@@ -1,0 +1,194 @@
+package ccredf_test
+
+import (
+	"testing"
+
+	"ccredf"
+)
+
+func TestDefaultConfigBuilds(t *testing.T) {
+	net, err := ccredf.New(ccredf.DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Params().Nodes != 8 {
+		t.Fatal("params lost")
+	}
+	if net.Config().Protocol != ccredf.CCREDF {
+		t.Fatal("default protocol wrong")
+	}
+	if net.Trace() != nil {
+		t.Fatal("tracer should be nil by default")
+	}
+}
+
+func TestZeroConfigRejected(t *testing.T) {
+	if _, err := ccredf.New(ccredf.Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	bad := ccredf.DefaultConfig(8)
+	bad.Protocol = ccredf.Protocol(9)
+	if _, err := ccredf.New(bad); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestProtocolNames(t *testing.T) {
+	if ccredf.CCREDF.String() != "ccr-edf" || ccredf.CCFPR.String() != "cc-fpr" {
+		t.Fatal("protocol names wrong")
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	cfg := ccredf.DefaultConfig(8)
+	cfg.ExactEDF = true
+	net, err := ccredf.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.OpenConnection(ccredf.Connection{
+		Src: 0, Dests: ccredf.Node(4),
+		Period: 10 * net.Params().SlotTime(), Slots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.SubmitMessage(ccredf.ClassBestEffort, 2, ccredf.Node(6), 1, ccredf.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(10 * ccredf.Millisecond)
+	cs, ok := net.ConnStats(conn.ID)
+	if !ok || cs.Delivered == 0 {
+		t.Fatal("connection carried no traffic")
+	}
+	if cs.UserMisses != 0 {
+		t.Fatalf("user misses: %d", cs.UserMisses)
+	}
+	if net.Metrics().MessagesDelivered.Value() < cs.Delivered+1 {
+		t.Fatal("best-effort message not delivered")
+	}
+}
+
+func TestCCFPRProtocolRuns(t *testing.T) {
+	cfg := ccredf.DefaultConfig(8)
+	cfg.Protocol = ccredf.CCFPR
+	net, err := ccredf.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.SubmitMessage(ccredf.ClassBestEffort, 0, ccredf.Node(1), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(ccredf.Millisecond)
+	if net.Metrics().MessagesDelivered.Value() != 1 {
+		t.Fatal("cc-fpr network did not deliver")
+	}
+}
+
+func TestTraceCapture(t *testing.T) {
+	cfg := ccredf.DefaultConfig(8)
+	cfg.TraceCapacity = 100
+	net, err := ccredf.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(ccredf.Millisecond)
+	if net.Trace() == nil || net.Trace().Len() == 0 {
+		t.Fatal("trace empty")
+	}
+}
+
+func TestDestinationSetHelpers(t *testing.T) {
+	s := ccredf.Nodes(1, 3)
+	if !s.Contains(1) || !s.Contains(3) || s.Count() != 2 {
+		t.Fatal("Nodes() broken")
+	}
+	b := ccredf.Broadcast(2, 8)
+	if b.Contains(2) || b.Count() != 7 {
+		t.Fatal("Broadcast() broken")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	p := ccredf.DefaultParams(8)
+	umax, lat, bps := ccredf.Bounds(p)
+	if umax <= 0 || umax >= 1 {
+		t.Fatal("umax out of range")
+	}
+	if lat != p.WorstCaseLatency() {
+		t.Fatal("latency mismatch")
+	}
+	if bps <= 0 {
+		t.Fatal("bytes/s non-positive")
+	}
+}
+
+func TestServicesViaPublicAPI(t *testing.T) {
+	net, err := ccredf.New(ccredf.DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := ccredf.Nodes(0, 2, 4)
+	bar, err := net.NewBarrier(0, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := net.NewReduction(0, members, ccredf.OpMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := net.NewChannel(1, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := 0
+	for _, m := range members.Nodes() {
+		if err := bar.Enter(m, func(ccredf.Time) { released++ }); err != nil {
+			t.Fatal(err)
+		}
+		if err := red.Contribute(m, int64(m*m), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch.Send(1)
+	ch.Send(1)
+	var short ccredf.Time
+	if err := net.SendShort(3, 7, func(at ccredf.Time) { short = at }); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(5 * ccredf.Millisecond)
+	if released != 3 {
+		t.Fatalf("barrier released %d", released)
+	}
+	if len(red.Results) != 1 || red.Results[0] != 16 {
+		t.Fatalf("reduction = %v", red.Results)
+	}
+	if ch.Received != 2 {
+		t.Fatalf("channel received %d", ch.Received)
+	}
+	if short == 0 {
+		t.Fatal("short message not delivered")
+	}
+}
+
+func TestTrafficViaPublicAPI(t *testing.T) {
+	net, err := ccredf.New(ccredf.DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := net.Params()
+	count := net.AttachPoisson(ccredf.Poisson{
+		Node: 0, Class: ccredf.ClassBestEffort,
+		MeanInterarrival: 20 * p.SlotTime(), Slots: 1, RelDeadline: 200 * p.SlotTime(),
+		Dest: ccredf.LocalDest(0.4),
+	}, 7)
+	if _, err := net.OpenRadarPipeline(ccredf.RadarPipeline{
+		Stages: 3, FirstNode: 2, CPI: 100 * p.SlotTime(), CubeSlots: 8, Reduction: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(2000 * p.SlotTime())
+	if *count == 0 || net.Metrics().MessagesDelivered.Value() == 0 {
+		t.Fatal("public traffic generators produced nothing")
+	}
+}

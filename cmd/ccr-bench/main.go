@@ -1,0 +1,132 @@
+// ccr-bench regenerates every table and figure of the experiment suite
+// (DESIGN.md §4): the paper's artefacts P1–P7 and the evaluation E1–E12.
+//
+// Usage:
+//
+//	ccr-bench                  # run the full suite
+//	ccr-bench -id E2,E3        # run selected experiments
+//	ccr-bench -quick           # 10× shorter horizons
+//	ccr-bench -list            # list experiment IDs and titles
+//	ccr-bench -out results.md  # also write a Markdown report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"ccredf/internal/experiment"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		ids     = flag.String("id", "", "comma-separated experiment IDs (default: all)")
+		quick   = flag.Bool("quick", false, "10× shorter horizons")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("out", "", "also write a Markdown report to this file")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "experiments to run in parallel")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	selected := experiment.All()
+	if *ids != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*ids, ",") {
+			e, ok := experiment.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ccr-bench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := experiment.Options{Seed: *seed, Quick: *quick}
+
+	// Experiments are independent simulations: fan them out over a worker
+	// pool, then print in suite order.
+	type outcome struct {
+		res     *experiment.Result
+		err     error
+		elapsed time.Duration
+	}
+	outcomes := make([]outcome, len(selected))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	nw := *workers
+	if nw < 1 {
+		nw = 1
+	}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				start := time.Now()
+				res, err := selected[i].Run(opts)
+				outcomes[i] = outcome{res, err, time.Since(start)}
+			}
+		}()
+	}
+	for i := range selected {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var report strings.Builder
+	failed := 0
+	for i, e := range selected {
+		res, err := outcomes[i].res, outcomes[i].err
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccr-bench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		verdict := "PASS"
+		if !res.Pass {
+			verdict = "FAIL"
+			failed++
+		}
+		header := fmt.Sprintf("=== %s — %s [%s, %.2fs]", res.ID, e.Title, verdict, outcomes[i].elapsed.Seconds())
+		fmt.Println(header)
+		fmt.Fprintf(&report, "\n## %s — %s (%s)\n\n", res.ID, e.Title, verdict)
+		for _, tab := range res.Tables {
+			fmt.Println(tab)
+			fmt.Fprintf(&report, "```\n%s```\n", tab)
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("note: %s\n", n)
+			fmt.Fprintf(&report, "- %s\n", n)
+		}
+		for _, f := range res.Failures {
+			fmt.Printf("FAIL: %s\n", f)
+			fmt.Fprintf(&report, "- **FAIL**: %s\n", f)
+		}
+		fmt.Println()
+	}
+
+	if *out != "" {
+		doc := "# CCR-EDF experiment report\n" + report.String()
+		if err := os.WriteFile(*out, []byte(doc), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "ccr-bench: write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "ccr-bench: %d experiment(s) failed validation\n", failed)
+		os.Exit(1)
+	}
+}

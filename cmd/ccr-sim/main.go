@@ -1,0 +1,203 @@
+// ccr-sim runs a single CCR-EDF (or CC-FPR / TDMA) scenario and prints a
+// summary: deliveries, deadline behaviour, spatial reuse, hand-over
+// overhead.
+//
+// Example:
+//
+//	ccr-sim -nodes 8 -rt 0.7 -be 0.2 -slots 20000
+//	ccr-sim -protocol cc-fpr -rt 0.9 -dest opposite
+//	ccr-sim -config scenario.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccredf"
+	"ccredf/internal/analysis"
+	"ccredf/scenario"
+)
+
+// showHist and jsonOut are set from flags and read by summarise.
+var showHist, jsonOut *bool
+
+func main() {
+	var (
+		config   = flag.String("config", "", "JSON scenario file (overrides the workload flags)")
+		nodes    = flag.Int("nodes", 8, "ring size (2-64)")
+		protocol = flag.String("protocol", "ccr-edf", "ccr-edf | cc-fpr")
+		rtLoad   = flag.Float64("rt", 0.6, "admitted real-time utilisation target")
+		beLoad   = flag.Float64("be", 0.2, "best-effort offered load (fraction of slot rate)")
+		dest     = flag.String("dest", "uniform", "destination pattern: uniform | neighbour | opposite | local | hotspot")
+		slots    = flag.Int64("slots", 20000, "horizon in worst-case slot periods")
+		exact    = flag.Bool("exact", false, "exact-EDF arbitration instead of the 5-bit map")
+		noReuse  = flag.Bool("no-reuse", false, "disable spatial reuse (analysis mode)")
+		loss     = flag.Float64("loss", 0, "per-fragment loss probability")
+		reliable = flag.Bool("reliable", false, "enable the reliable-transmission service")
+		seed     = flag.Uint64("seed", 1, "random seed")
+	)
+	showHist = flag.Bool("hist", false, "render latency histograms as ASCII bars")
+	jsonOut = flag.Bool("json", false, "print a machine-readable JSON snapshot instead of text")
+	flag.Parse()
+
+	if *config != "" {
+		runConfig(*config)
+		return
+	}
+
+	cfg := ccredf.DefaultConfig(*nodes)
+	cfg.ExactEDF = *exact
+	cfg.DisableSpatialReuse = *noReuse
+	cfg.LossProb = *loss
+	cfg.Reliable = *reliable
+	cfg.Seed = *seed
+	switch *protocol {
+	case "ccr-edf":
+		cfg.Protocol = ccredf.CCREDF
+	case "cc-fpr":
+		cfg.Protocol = ccredf.CCFPR
+	case "tdma":
+		cfg.Protocol = ccredf.TDMA
+	default:
+		fmt.Fprintf(os.Stderr, "ccr-sim: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+
+	var pick ccredf.DestPicker
+	switch *dest {
+	case "uniform":
+		pick = ccredf.UniformDest
+	case "neighbour":
+		pick = ccredf.NeighbourDest
+	case "opposite":
+		pick = ccredf.OppositeDest
+	case "local":
+		pick = ccredf.LocalDest(0.3)
+	case "hotspot":
+		pick = ccredf.HotspotDest(0, 0.7)
+	default:
+		fmt.Fprintf(os.Stderr, "ccr-sim: unknown destination pattern %q\n", *dest)
+		os.Exit(2)
+	}
+
+	net, err := ccredf.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
+		os.Exit(1)
+	}
+	p := net.Params()
+	rnd := ccredf.NewRand(*seed)
+
+	// Admitted periodic real-time connections up to the target.
+	opened := 0
+	for attempts := 0; attempts < 256 && net.Admission().Utilisation() < *rtLoad; attempts++ {
+		from := rnd.Intn(*nodes)
+		to := pick(rnd, from, *nodes)
+		period := ccredf.Time(5+rnd.Intn(40)) * p.SlotTime()
+		c := ccredf.Connection{Src: from, Dests: ccredf.Node(to), Period: period, Slots: 1 + rnd.Intn(2)}
+		if ccredf.Time(c.Slots)*p.SlotTime() > period {
+			continue
+		}
+		if _, err := net.OpenConnection(c); err == nil {
+			opened++
+		}
+	}
+
+	// Best-effort Poisson background.
+	if *beLoad > 0 {
+		mean := ccredf.Time(float64(*nodes) / *beLoad) * p.SlotTime()
+		for i := 0; i < *nodes; i++ {
+			net.AttachPoisson(ccredf.Poisson{
+				Node: i, Class: ccredf.ClassBestEffort,
+				MeanInterarrival: mean, Slots: 1,
+				RelDeadline: 500 * p.SlotTime(), Dest: pick,
+			}, *seed+uint64(i)+1)
+		}
+	}
+
+	net.RunSlots(*slots)
+	summarise(net, opened, *exact, *noReuse, *loss)
+}
+
+// runConfig executes a declarative JSON scenario.
+func runConfig(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	s, err := scenario.Load(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
+		os.Exit(1)
+	}
+	res, err := s.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
+		os.Exit(1)
+	}
+	res.Net.Run(res.Horizon)
+	summarise(res.Net, len(res.Connections), s.ExactEDF, s.DisableSpatialReuse, s.LossProb)
+	for _, c := range res.Connections {
+		if cs, ok := res.Net.ConnStats(c.ID); ok {
+			fmt.Printf("conn %-3d %d→%v      delivered=%d misses net=%d user=%d  %s\n",
+				c.ID, c.Src, c.Dests, cs.Delivered, cs.NetMisses, cs.UserMisses, cs.Latency.Summary())
+		}
+	}
+}
+
+// summarise prints the standard end-of-run report.
+func summarise(net *ccredf.Network, opened int, exact, noReuse bool, loss float64) {
+	if jsonOut != nil && *jsonOut {
+		if err := net.WriteSnapshot(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "ccr-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	cfg := net.Config()
+	p := net.Params()
+	nodes := p.Nodes
+	m := net.Metrics()
+	umax, latency, gbytes := ccredf.Bounds(p)
+	fmt.Printf("protocol            %s (exact=%v reuse=%v)\n", cfg.Protocol, exact, !noReuse)
+	fmt.Printf("ring                N=%d, slot=%v, U_max=%.4f, t_latency=%v, guaranteed %.1f MB/s\n",
+		nodes, p.SlotTime(), umax, latency, gbytes/1e6)
+	fmt.Printf("admitted RT conns   %d (U=%.4f)\n", opened, net.Admission().Utilisation())
+	fmt.Printf("simulated           %d slots, %v\n", m.Slots.Value(), net.Now())
+	fmt.Printf("delivered           %d messages (%d fragments, %.1f MB)\n",
+		m.MessagesDelivered.Value(), m.FragmentsDelivered.Value(), float64(m.BytesDelivered.Value())/1e6)
+	fmt.Printf("deadline misses     net=%d user=%d lateDrops=%d\n",
+		m.NetDeadlineMisses.Value(), m.UserDeadlineMisses.Value(), m.LateDrops.Value())
+	fmt.Printf("spatial reuse       %.2f busy links per data slot; %d/%d slots carried data\n",
+		m.SpatialReuseFactor(), m.SlotsWithData.Value(), m.Slots.Value())
+	fmt.Printf("hand-over overhead  total gap %v (%.2f%% of time)\n",
+		m.GapTime, 100*float64(m.GapTime)/float64(net.Now()))
+	fmt.Printf("effective RT util   %.4f (analytic worst case available: %.4f)\n",
+		analysis.EffectiveUtilisation(m.SlotsWithData.Value(), net.Now(), p), umax)
+	if loss > 0 {
+		fmt.Printf("fault injection     dropped=%d retransmits=%d lost=%d\n",
+			m.FragmentsDropped.Value(), m.Retransmits.Value(), m.MessagesLost.Value())
+	}
+	for _, cl := range []struct {
+		name  string
+		class ccredf.Class
+	}{{"rt", ccredf.ClassRealTime}, {"be", ccredf.ClassBestEffort}} {
+		h := m.Latency[cl.class]
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("latency[%s]          %s\n", cl.name, h.Summary())
+		if showHist != nil && *showHist {
+			if err := h.Render(os.Stdout, 50); err != nil {
+				fmt.Fprintln(os.Stderr, "ccr-sim:", err)
+			}
+		}
+	}
+	if m.WireErrors.Value() > 0 {
+		fmt.Fprintf(os.Stderr, "ccr-sim: %d wire codec errors!\n", m.WireErrors.Value())
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module ccredf
+
+go 1.22

@@ -1,0 +1,105 @@
+// Package analysis collects the closed-form results around the CCR-EDF
+// scheduling framework: the guaranteed-utilisation bound of the paper
+// (Equations 5–6), derived latency/throughput figures, and — for comparison —
+// a worst-case model of the CC-FPR baseline whose pessimism (analysed in the
+// paper's ref [5]) motivates CCR-EDF in the first place.
+package analysis
+
+import (
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// Bounds summarises the analytic guarantees of one configuration.
+type Bounds struct {
+	// UMax is CCR-EDF's guaranteed utilisation (Equation 6).
+	UMax float64
+	// WorstCaseLatency is the protocol latency added to every user-level
+	// deadline (Equation 4).
+	WorstCaseLatency timing.Time
+	// GuaranteedBytesPerSecond is the payload rate CCR-EDF can promise at
+	// full admitted load without spatial reuse.
+	GuaranteedBytesPerSecond float64
+	// CCFPRGuaranteed is the worst-case guaranteed utilisation of the
+	// CC-FPR baseline under the adversarial-booking model (see
+	// CCFPRGuaranteedUtilisation).
+	CCFPRGuaranteed float64
+}
+
+// Compute returns the bounds for the given physical parameters.
+func Compute(p timing.Params) Bounds {
+	return Bounds{
+		UMax:                     p.UMax(),
+		WorstCaseLatency:         p.WorstCaseLatency(),
+		GuaranteedBytesPerSecond: p.UMax() * float64(p.SlotPayloadBytes) / p.SlotTime().Seconds(),
+		CCFPRGuaranteed:          CCFPRGuaranteedUtilisation(p),
+	}
+}
+
+// CCFPRGuaranteedUtilisation models the pessimistic worst-case
+// schedulability bound of the round-robin-clocked CC-FPR network (paper
+// refs [4], [5]). Because link booking happens in collection order, an
+// adversarial workload can out-book a node in every slot except the one in
+// which the node is first in booking order — immediately downstream of the
+// current master — which happens once per N slots. In that slot the node's
+// transmission is always feasible (the next master is the node itself).
+// A node is therefore guaranteed only one slot in N:
+//
+//	U_guaranteed = (1/N) · t_slot / (t_slot + t_hop)
+//
+// with the constant one-hop hand-over gap of the simple clocking strategy.
+// The paper summarises the consequence: "a rather pessimistic worst-case
+// schedulability bound … unsuitable for hard real time traffic".
+func CCFPRGuaranteedUtilisation(p timing.Params) float64 {
+	slot := float64(p.SlotTime())
+	perSlot := slot / (slot + float64(p.HandoverTime(1)))
+	return perSlot / float64(p.Nodes)
+}
+
+// UserDeadline returns the user-level deadline of a message released at
+// release on a connection with the given period: release + period +
+// worst-case latency (Equation 3 with relative deadline = period).
+func UserDeadline(release, period timing.Time, p timing.Params) timing.Time {
+	return release + period + p.WorstCaseLatency()
+}
+
+// MaxAdmissibleConnections returns how many identical connections
+// (period, slots) the admission test accepts on the given network.
+func MaxAdmissibleConnections(c sched.Connection, p timing.Params) int {
+	u := c.Utilisation(p.SlotTime())
+	if u <= 0 {
+		return 0
+	}
+	count := int(p.UMax() / u)
+	// Guard against floating-point edge: counting one more must not fit.
+	for float64(count+1)*u <= p.UMax() {
+		count++
+	}
+	for count > 0 && float64(count)*u > p.UMax() {
+		count--
+	}
+	return count
+}
+
+// EffectiveUtilisation converts measured slot usage into the utilisation
+// scale of Equation 5: busy slot time over total elapsed time.
+func EffectiveUtilisation(busySlots int64, elapsed timing.Time, p timing.Params) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(busySlots) * float64(p.SlotTime()) / float64(elapsed)
+}
+
+// BreakEvenSpatialReuse returns the mean number of simultaneous
+// transmissions at which CC-FPR's aggregate throughput would catch up with
+// CCR-EDF's guaranteed single transmission per slot, i.e. the reuse factor
+// that compensates a given guaranteed-utilisation deficit. It is the ratio
+// UMax / CCFPRGuaranteed — a measure of how much the baseline must rely on
+// statistically unguaranteed reuse.
+func BreakEvenSpatialReuse(p timing.Params) float64 {
+	g := CCFPRGuaranteedUtilisation(p)
+	if g <= 0 {
+		return 0
+	}
+	return p.UMax() / g
+}

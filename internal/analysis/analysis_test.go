@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+func TestComputeConsistency(t *testing.T) {
+	p := timing.DefaultParams(8)
+	b := Compute(p)
+	if b.UMax != p.UMax() {
+		t.Error("UMax mismatch")
+	}
+	if b.WorstCaseLatency != p.WorstCaseLatency() {
+		t.Error("latency mismatch")
+	}
+	if b.CCFPRGuaranteed <= 0 || b.CCFPRGuaranteed >= b.UMax {
+		t.Errorf("CC-FPR bound %v should be positive and far below U_max %v", b.CCFPRGuaranteed, b.UMax)
+	}
+	wantBps := p.UMax() * float64(p.SlotPayloadBytes) / p.SlotTime().Seconds()
+	if math.Abs(b.GuaranteedBytesPerSecond-wantBps)/wantBps > 1e-12 {
+		t.Errorf("GuaranteedBytesPerSecond = %v, want %v", b.GuaranteedBytesPerSecond, wantBps)
+	}
+}
+
+func TestCCFPRBoundScalesInverseN(t *testing.T) {
+	// The baseline's guaranteed utilisation decays like 1/N — the paper's
+	// "very low guaranteed utilisation".
+	g8 := CCFPRGuaranteedUtilisation(timing.DefaultParams(8))
+	g16 := CCFPRGuaranteedUtilisation(timing.DefaultParams(16))
+	ratio := g8 / g16
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("bound should halve when N doubles: g8/g16 = %v", ratio)
+	}
+	if g8 > 0.13 {
+		t.Errorf("g8 = %v, expected ≈ 1/8", g8)
+	}
+}
+
+func TestUserDeadline(t *testing.T) {
+	p := timing.DefaultParams(8)
+	got := UserDeadline(100*timing.Microsecond, 50*timing.Microsecond, p)
+	want := 150*timing.Microsecond + p.WorstCaseLatency()
+	if got != want {
+		t.Errorf("UserDeadline = %v, want %v", got, want)
+	}
+}
+
+func TestMaxAdmissibleConnections(t *testing.T) {
+	p := timing.DefaultParams(8)
+	c := sched.Connection{Src: 0, Dests: ring.Node(1), Period: 10 * p.SlotTime(), Slots: 1} // U = 0.1
+	got := MaxAdmissibleConnections(c, p)
+	if got != 9 { // U_max ≈ 0.936
+		t.Errorf("MaxAdmissibleConnections = %d, want 9", got)
+	}
+	// Cross-check against the real admission controller.
+	a := sched.NewAdmission(p)
+	accepted := 0
+	for i := 0; i < got+3; i++ {
+		if _, err := a.Request(c); err == nil {
+			accepted++
+		}
+	}
+	if accepted != got {
+		t.Errorf("analytic count %d != admission controller count %d", got, accepted)
+	}
+}
+
+func TestMaxAdmissibleZeroUtilisation(t *testing.T) {
+	p := timing.DefaultParams(8)
+	if MaxAdmissibleConnections(sched.Connection{}, p) != 0 {
+		t.Error("zero-utilisation connection should count 0")
+	}
+}
+
+func TestEffectiveUtilisation(t *testing.T) {
+	p := timing.DefaultParams(8)
+	// 50 busy slots over 100 slot-times of elapsed time = 0.5.
+	got := EffectiveUtilisation(50, 100*p.SlotTime(), p)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("EffectiveUtilisation = %v", got)
+	}
+	if EffectiveUtilisation(50, 0, p) != 0 {
+		t.Error("zero elapsed should yield 0")
+	}
+}
+
+func TestBreakEvenSpatialReuse(t *testing.T) {
+	p := timing.DefaultParams(8)
+	be := BreakEvenSpatialReuse(p)
+	// ≈ UMax·8 ≈ 7.5: CC-FPR needs ~7.5× reuse to match the guarantee.
+	if be < 7 || be > 8 {
+		t.Errorf("BreakEvenSpatialReuse = %v, want ≈7.5", be)
+	}
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+func params8() timing.Params { return timing.DefaultParams(8) }
+
+func conn(period, deadline timing.Time, slots int) sched.Connection {
+	return sched.Connection{Src: 0, Dests: ring.Node(1), Period: period, Deadline: deadline, Slots: slots}
+}
+
+func TestDemandBoundBasics(t *testing.T) {
+	p := params8()
+	slot := p.SlotTime()
+	set := []sched.Connection{conn(10*slot, 0, 2)} // D = P = 10 slots, e = 2
+	// Before the first deadline, no demand.
+	if got := DemandBound(set, slot, 9*slot); got != 0 {
+		t.Fatalf("dbf(9) = %v, want 0", got)
+	}
+	// At D: one job.
+	if got := DemandBound(set, slot, 10*slot); got != 2*slot {
+		t.Fatalf("dbf(10) = %v, want 2 slots", got)
+	}
+	// At D + P: two jobs.
+	if got := DemandBound(set, slot, 20*slot); got != 4*slot {
+		t.Fatalf("dbf(20) = %v, want 4 slots", got)
+	}
+}
+
+func TestDemandBoundConstrainedDeadline(t *testing.T) {
+	p := params8()
+	slot := p.SlotTime()
+	set := []sched.Connection{conn(10*slot, 4*slot, 2)}
+	if got := DemandBound(set, slot, 4*slot); got != 2*slot {
+		t.Fatalf("dbf(D) = %v, want 2 slots", got)
+	}
+	if got := DemandBound(set, slot, 13*slot); got != 2*slot {
+		t.Fatalf("dbf(13) = %v, want 2 slots (second deadline at 14)", got)
+	}
+	if got := DemandBound(set, slot, 14*slot); got != 4*slot {
+		t.Fatalf("dbf(14) = %v, want 4 slots", got)
+	}
+}
+
+func TestFeasibleImplicitMatchesUtilisationTest(t *testing.T) {
+	p := params8()
+	slot := p.SlotTime()
+	// U = 0.9 < U_max ≈ 0.936: feasible both ways.
+	set := []sched.Connection{conn(10*slot, 0, 3), conn(5*slot, 0, 3)}
+	v, _ := DemandBoundFeasible(set, p)
+	if v != Feasible {
+		t.Fatalf("verdict = %v, want feasible (U=0.9)", v)
+	}
+	// U = 1.0 > U_max: infeasible.
+	over := []sched.Connection{conn(10*slot, 0, 5), conn(10*slot, 0, 5)}
+	v, _ = DemandBoundFeasible(over, p)
+	if v != Infeasible {
+		t.Fatalf("verdict = %v, want infeasible (U=1.0)", v)
+	}
+}
+
+func TestFeasibleConstrainedBeyondDensity(t *testing.T) {
+	p := params8()
+	slot := p.SlotTime()
+	// Two constrained connections whose densities sum to
+	// 2/4 + 2/4 = 1.0 > U_max (density test rejects) but whose exact
+	// demand is schedulable: deadlines interleave across long periods.
+	set := []sched.Connection{
+		conn(40*slot, 4*slot, 2),
+		conn(40*slot, 4*slot, 2),
+	}
+	density := set[0].Density(slot) + set[1].Density(slot)
+	if density <= p.UMax() {
+		t.Fatalf("test premise broken: density %v should exceed U_max", density)
+	}
+	v, at := DemandBoundFeasible(set, p)
+	// dbf(4 slots) = 4 slots > U_max·4 slots → actually infeasible!
+	// Both jobs share the deadline, so the demand at t=4 is 4 slots
+	// against capacity 0.936·4 = 3.74: the exact test agrees with
+	// rejection here.
+	if v != Infeasible {
+		t.Fatalf("verdict = %v at %v, want infeasible (synchronised deadlines)", v, at)
+	}
+
+	// Stagger the deadlines: 2 slots of work due by 4, 2 more by 8 —
+	// dbf(4)=2 ≤ 3.74, dbf(8)=4 ≤ 7.49 … feasible, yet density still
+	// rejects (2/4 + 2/8 = 0.75 < U_max — pick tighter: 3 slots by 4).
+	set2 := []sched.Connection{
+		conn(40*slot, 4*slot, 3),  // density 0.75
+		conn(40*slot, 16*slot, 4), // density 0.25 → total 1.0 > U_max
+	}
+	d2 := set2[0].Density(slot) + set2[1].Density(slot)
+	if d2 <= p.UMax() {
+		t.Fatalf("premise: density %v should exceed U_max", d2)
+	}
+	v, at = DemandBoundFeasible(set2, p)
+	if v != Feasible {
+		t.Fatalf("verdict = %v (violation at %v), want feasible: exact test beats density", v, at)
+	}
+}
+
+func TestInfeasibleTightDeadline(t *testing.T) {
+	p := params8()
+	slot := p.SlotTime()
+	// 4 slots of work due every 20 slots but within 4 slots of release:
+	// dbf(4 slots) = 4 slots > U_max·4.
+	set := []sched.Connection{conn(20*slot, 4*slot, 4)}
+	v, at := DemandBoundFeasible(set, p)
+	if v != Infeasible {
+		t.Fatalf("verdict = %v, want infeasible", v)
+	}
+	if at != 4*slot {
+		t.Fatalf("violation at %v, want 4 slots", at)
+	}
+}
+
+func TestEmptySetFeasible(t *testing.T) {
+	v, _ := DemandBoundFeasible(nil, params8())
+	if v != Feasible {
+		t.Fatalf("empty set verdict = %v", v)
+	}
+}
+
+func TestUnknownOnHugeHyperperiod(t *testing.T) {
+	p := params8()
+	slot := p.SlotTime()
+	// Utilisation within a hair of U_max → enormous busy-period bound and
+	// testing-point explosion → Unknown.
+	umax := p.UMax()
+	period := 1_000_000 * slot
+	slots := int(float64(period/slot) * (umax - 1e-9))
+	set := []sched.Connection{conn(period, period/2, slots)}
+	v, _ := DemandBoundFeasible(set, p)
+	if v == Feasible {
+		// Accept Infeasible or Unknown, but a Feasible verdict must have
+		// actually checked the points; with ~0 slack the horizon is huge.
+		t.Fatalf("suspicious feasible verdict on near-saturated set")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Feasible.String() != "feasible" || Infeasible.String() != "infeasible" || Unknown.String() != "unknown" {
+		t.Fatal("verdict names wrong")
+	}
+}
+
+// TestDemandNeverExceedsFeasibleVerdict: property — whenever the exact test
+// says Feasible, the demand bound holds at 200 random sample points.
+func TestDemandNeverExceedsFeasibleVerdict(t *testing.T) {
+	p := params8()
+	slot := p.SlotTime()
+	f := func(periods [4]uint8, sizes [4]uint8, deadlineFrac [4]uint8) bool {
+		var set []sched.Connection
+		for i := range periods {
+			period := timing.Time(10+int(periods[i])%100) * slot
+			e := 1 + int(sizes[i])%3
+			d := period * timing.Time(1+int(deadlineFrac[i])%4) / 4
+			if d < timing.Time(e)*slot {
+				d = timing.Time(e) * slot
+			}
+			if d > period {
+				d = period
+			}
+			set = append(set, conn(period, d, e))
+		}
+		v, _ := DemandBoundFeasible(set, p)
+		if v != Feasible {
+			return true // nothing to verify
+		}
+		for k := 1; k <= 200; k++ {
+			tpoint := timing.Time(k) * 3 * slot
+			if float64(DemandBound(set, slot, tpoint)) > p.UMax()*float64(tpoint)+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDemandBoundFeasible(b *testing.B) {
+	p := params8()
+	slot := p.SlotTime()
+	set := []sched.Connection{
+		conn(10*slot, 8*slot, 2), conn(24*slot, 12*slot, 3),
+		conn(50*slot, 25*slot, 4), conn(7*slot, 7*slot, 1),
+	}
+	for i := 0; i < b.N; i++ {
+		DemandBoundFeasible(set, p)
+	}
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"ccredf/internal/timing"
+)
+
+// SlotDesign is one point in the slot-length design space: Equations 2, 4
+// and 6 pull in opposite directions (long slots amortise the hand-over gap
+// and raise U_max, but stretch the worst-case latency and the minimum-slot
+// constraint floors the payload), so picking the slot payload is the main
+// deployment decision the paper leaves to the system designer.
+type SlotDesign struct {
+	// PayloadBytes is the slot payload.
+	PayloadBytes int
+	// SlotTime and WorstLatency are t_slot and Equation 4's t_latency.
+	SlotTime, WorstLatency timing.Time
+	// UMax is Equation 6's guaranteed utilisation.
+	UMax float64
+	// GuaranteedMBps is the admitted payload rate at full load, in MB/s.
+	GuaranteedMBps float64
+	// Valid reports whether the slot meets the Equation 2 minimum.
+	Valid bool
+}
+
+// SlotDesignSpace evaluates the design space for an n-node ring across
+// payload sizes, using default physics for everything else.
+func SlotDesignSpace(n int, payloads []int) []SlotDesign {
+	out := make([]SlotDesign, 0, len(payloads))
+	for _, payload := range payloads {
+		p := timing.DefaultParams(n)
+		p.SlotPayloadBytes = payload
+		d := SlotDesign{
+			PayloadBytes: payload,
+			SlotTime:     p.SlotTime(),
+			WorstLatency: p.WorstCaseLatency(),
+			UMax:         p.UMax(),
+			Valid:        p.Validate() == nil,
+		}
+		d.GuaranteedMBps = d.UMax * float64(payload) / d.SlotTime.Seconds() / 1e6
+		out = append(out, d)
+	}
+	return out
+}
+
+// RecommendPayload returns the largest power-of-two payload (within
+// [64 B, 1 MiB]) whose worst-case protocol latency stays at or below
+// maxLatency and whose slot meets the Equation 2 minimum — i.e. the
+// highest-U_max configuration that still satisfies the latency budget.
+// ok is false when no payload qualifies.
+func RecommendPayload(n int, maxLatency timing.Time) (payload int, ok bool) {
+	for size := 1 << 20; size >= 64; size >>= 1 {
+		p := timing.DefaultParams(n)
+		p.SlotPayloadBytes = size
+		if p.Validate() != nil {
+			continue
+		}
+		if p.WorstCaseLatency() <= maxLatency {
+			return size, true
+		}
+	}
+	return 0, false
+}

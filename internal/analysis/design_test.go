@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"testing"
+
+	"ccredf/internal/timing"
+)
+
+func TestSlotDesignSpaceMonotonicity(t *testing.T) {
+	payloads := []int{512, 1024, 4096, 16384, 65536}
+	space := SlotDesignSpace(8, payloads)
+	if len(space) != len(payloads) {
+		t.Fatal("wrong length")
+	}
+	for i := 1; i < len(space); i++ {
+		if space[i].UMax <= space[i-1].UMax {
+			t.Errorf("U_max not increasing at payload %d", space[i].PayloadBytes)
+		}
+		if space[i].WorstLatency <= space[i-1].WorstLatency {
+			t.Errorf("latency not increasing at payload %d", space[i].PayloadBytes)
+		}
+		if space[i].SlotTime <= space[i-1].SlotTime {
+			t.Errorf("slot time not increasing at payload %d", space[i].PayloadBytes)
+		}
+	}
+}
+
+func TestSlotDesignValidity(t *testing.T) {
+	// On a 64-node ring tiny slots violate the Eq. 2 minimum.
+	space := SlotDesignSpace(64, []int{256, 65536})
+	if space[0].Valid {
+		t.Error("256-byte slot on a 64-node ring should be invalid")
+	}
+	if !space[1].Valid {
+		t.Error("64 KiB slot should be valid")
+	}
+}
+
+func TestSlotDesignGuaranteedRate(t *testing.T) {
+	space := SlotDesignSpace(8, []int{4096})
+	p := timing.DefaultParams(8)
+	want := p.UMax() * 4096 / p.SlotTime().Seconds() / 1e6
+	if got := space[0].GuaranteedMBps; got != want {
+		t.Fatalf("GuaranteedMBps = %v, want %v", got, want)
+	}
+}
+
+func TestRecommendPayload(t *testing.T) {
+	// Generous budget → large payload, high U_max.
+	big, ok := RecommendPayload(8, timing.Millisecond)
+	if !ok || big < 65536 {
+		t.Fatalf("generous budget gave %d, %v", big, ok)
+	}
+	// Tight budget → small payload.
+	small, ok := RecommendPayload(8, 5*timing.Microsecond)
+	if !ok {
+		t.Fatal("5µs budget should be satisfiable on an 8-node ring")
+	}
+	if small >= big {
+		t.Fatalf("tight budget payload %d not smaller than %d", small, big)
+	}
+	// Verify the recommendation honours the budget and is maximal.
+	p := timing.DefaultParams(8)
+	p.SlotPayloadBytes = small
+	if p.WorstCaseLatency() > 5*timing.Microsecond {
+		t.Fatal("recommended payload violates the budget")
+	}
+	p.SlotPayloadBytes = small * 2
+	if p.Validate() == nil && p.WorstCaseLatency() <= 5*timing.Microsecond {
+		t.Fatal("recommendation is not maximal")
+	}
+	// Impossible budget.
+	if _, ok := RecommendPayload(64, timing.Nanosecond); ok {
+		t.Fatal("nanosecond budget should be impossible")
+	}
+}

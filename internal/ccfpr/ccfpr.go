@@ -1,0 +1,89 @@
+// Package ccfpr implements the CC-FPR baseline protocol (refs [4], [9] of
+// the paper): the same control-channel fibre-ribbon pipeline ring, but with
+// the *simple* clocking strategy — the master role rotates round-robin to the
+// next downstream node every slot — and with link booking performed greedily
+// by each node as the collection packet passes it.
+//
+// The baseline exhibits exactly the two pessimism sources that motivate
+// CCR-EDF:
+//
+//  1. A node books links for its locally most urgent message "regardless of
+//     what [downstream nodes] may have to send", so packets with very tight
+//     deadlines can be starved by upstream nodes holding lax traffic.
+//
+//  2. Clock hand-over ignores message urgency, so the highest-priority
+//     message in the system is infeasible in any slot whose (round-robin)
+//     master sits inside its path — the priority inversion analysed in
+//     ref [5].
+package ccfpr
+
+import (
+	"fmt"
+
+	"ccredf/internal/core"
+	"ccredf/internal/ring"
+)
+
+// Arbiter is the CC-FPR round-robin arbiter. It implements core.Protocol so
+// the slot engine can run either protocol unchanged.
+type Arbiter struct {
+	ring         ring.Ring
+	spatialReuse bool
+}
+
+// NewArbiter returns a CC-FPR arbiter for a ring of n nodes.
+func NewArbiter(n int, spatialReuse bool) (*Arbiter, error) {
+	r, err := ring.New(n)
+	if err != nil {
+		return nil, fmt.Errorf("ccfpr: %w", err)
+	}
+	return &Arbiter{ring: r, spatialReuse: spatialReuse}, nil
+}
+
+// Name implements core.Protocol.
+func (a *Arbiter) Name() string {
+	if a.spatialReuse {
+		return "cc-fpr"
+	}
+	return "cc-fpr/no-reuse"
+}
+
+// Ring returns the arbiter's topology.
+func (a *Arbiter) Ring() ring.Ring { return a.ring }
+
+// Arbitrate implements core.Protocol. The master role is handed to the next
+// downstream node unconditionally. Booking happens in collection order: the
+// packet leaves the current master and passes nodes downstream, each booking
+// the links for its own head message if they are still free and the segment
+// is feasible under the next slot's (round-robin) master; the current master
+// processes its own request last, when the packet returns. Priorities are
+// only considered locally — a node books for its own most urgent message,
+// never yielding to a more urgent downstream request.
+func (a *Arbiter) Arbitrate(reqs []core.Request, curMaster int) core.Outcome {
+	n := a.ring.Nodes()
+	next := a.ring.Next(curMaster)
+	out := core.Outcome{Master: next}
+	var used ring.LinkSet
+	booked := 0
+	for i := 1; i <= n; i++ {
+		node := (curMaster + i) % n // collection order; i == n is the master itself
+		req := reqs[node]
+		if req.Empty() {
+			continue
+		}
+		links := a.ring.PathLinks(req.Node, req.Dests)
+		switch {
+		case !a.spatialReuse && booked > 0,
+			!a.ring.Feasible(req.Node, req.Dests, next),
+			used.Overlaps(links):
+			out.Denied = append(out.Denied, req.Node)
+			continue
+		}
+		used = used.Union(links)
+		booked++
+		out.Grants = append(out.Grants, core.Grant{Node: req.Node, Dests: req.Dests, Links: links, MsgID: req.MsgID})
+	}
+	return out
+}
+
+var _ core.Protocol = (*Arbiter)(nil)

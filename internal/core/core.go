@@ -1,0 +1,203 @@
+// Package core implements the CCR-EDF medium access protocol — the paper's
+// primary contribution. Each slot, the arbiter receives one request per node
+// (collected over the control channel during the previous slot), sorts them
+// by priority with the node index breaking ties, elects the highest-priority
+// requester as the next master (which hands it the clocking responsibility
+// and therefore guarantees its transmission is feasible), and greedily grants
+// as many further link-disjoint requests as spatial reuse allows.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// Request is one node's transmission request for the coming slot: the
+// decoded content of its collection-phase entry (wire.Request) plus the
+// bookkeeping the simulator needs to map a grant back to a queued message.
+type Request struct {
+	// Node is the requesting node's index.
+	Node int
+	// Class is the traffic class the wire priority encodes.
+	Class sched.Class
+	// Prio is the 5-bit wire priority (Table 1).
+	Prio uint8
+	// Deadline is the absolute network-level deadline behind the priority;
+	// used directly in sched.MapExact mode and for diagnostics.
+	Deadline timing.Time
+	// Dests is the destination set of the head message.
+	Dests ring.NodeSet
+	// MsgID identifies the message the request is for.
+	MsgID int64
+}
+
+// Empty reports whether the node has nothing to send.
+func (r Request) Empty() bool { return r.Prio == sched.PrioNothing || r.Dests.Empty() }
+
+// Grant is one accepted transmission for the coming slot.
+type Grant struct {
+	// Node is the transmitting node.
+	Node int
+	// Dests is the destination set.
+	Dests ring.NodeSet
+	// Links is the contiguous segment of links the transmission occupies.
+	Links ring.LinkSet
+	// MsgID identifies the message being sent.
+	MsgID int64
+}
+
+// Outcome is the result of one arbitration round: the content of the
+// distribution-phase packet.
+type Outcome struct {
+	// Master is the node that will clock the coming slot (the
+	// highest-priority requester, or the previous master when no node
+	// requested anything).
+	Master int
+	// Grants are the accepted transmissions, in grant order (the master's
+	// own grant, when present, is first).
+	Grants []Grant
+	// Denied lists the nodes whose requests were refused this slot.
+	Denied []int
+}
+
+// Granted reports whether node holds a grant in the outcome.
+func (o Outcome) Granted(node int) bool {
+	for _, g := range o.Grants {
+		if g.Node == node {
+			return true
+		}
+	}
+	return false
+}
+
+// GrantedSet returns the set of granted nodes.
+func (o Outcome) GrantedSet() ring.NodeSet {
+	var s ring.NodeSet
+	for _, g := range o.Grants {
+		s = s.Add(g.Node)
+	}
+	return s
+}
+
+// Protocol is the arbitration strategy interface shared by CCR-EDF and the
+// CC-FPR baseline. Arbitrate receives the requests sampled during the
+// current slot (indexed by node) and the current master, and decides the
+// next slot's master and grants.
+type Protocol interface {
+	// Arbitrate decides the coming slot.
+	Arbitrate(reqs []Request, curMaster int) Outcome
+	// Name identifies the protocol in traces and experiment tables.
+	Name() string
+}
+
+// Arbiter is the CCR-EDF arbiter.
+type Arbiter struct {
+	ring ring.Ring
+	mode sched.MapMode
+	// spatialReuse enables granting several non-overlapping transmissions
+	// per slot. The schedulability analysis never relies on it (Section 5),
+	// but at run time it "always results in positive effects".
+	spatialReuse bool
+}
+
+// NewArbiter returns a CCR-EDF arbiter for a ring of n nodes.
+func NewArbiter(n int, mode sched.MapMode, spatialReuse bool) (*Arbiter, error) {
+	r, err := ring.New(n)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Arbiter{ring: r, mode: mode, spatialReuse: spatialReuse}, nil
+}
+
+// Name implements Protocol.
+func (a *Arbiter) Name() string {
+	if a.spatialReuse {
+		return "ccr-edf"
+	}
+	return "ccr-edf/no-reuse"
+}
+
+// Ring returns the arbiter's topology.
+func (a *Arbiter) Ring() ring.Ring { return a.ring }
+
+// Mode returns the priority-comparison mode.
+func (a *Arbiter) Mode() sched.MapMode { return a.mode }
+
+// higher reports whether request x outranks request y under the arbiter's
+// mapping mode. In Map5Bit mode the 5-bit wire priority decides (exactly what
+// the hardware master sees); in MapExact mode the class bands still apply but
+// deadlines are compared at full resolution. Priority ties are resolved by
+// the node index, as in the paper ("the index of the node resolves the tie").
+func (a *Arbiter) higher(x, y Request) bool {
+	if a.mode == sched.MapExact {
+		cx, cy := sched.PrioClass(x.Prio), sched.PrioClass(y.Prio)
+		if cx != cy {
+			return cx > cy
+		}
+		if x.Deadline != y.Deadline {
+			return x.Deadline < y.Deadline
+		}
+		return x.Node < y.Node
+	}
+	if x.Prio != y.Prio {
+		return x.Prio > y.Prio
+	}
+	return x.Node < y.Node
+}
+
+// Arbitrate implements Protocol. The master traverses the sorted request
+// list, starting with the highest priority, and tries to fulfil as many of
+// the N requests as possible: the top request always succeeds (its owner
+// becomes master and the clock break moves to it); later requests succeed
+// when spatial reuse is enabled, their segment is link-disjoint from every
+// earlier grant and their path avoids the new clock break.
+func (a *Arbiter) Arbitrate(reqs []Request, curMaster int) Outcome {
+	sorted := make([]Request, 0, len(reqs))
+	for _, r := range reqs {
+		if !r.Empty() {
+			sorted = append(sorted, r)
+		}
+	}
+	if len(sorted) == 0 {
+		// Nothing to send anywhere: the current master keeps clocking.
+		return Outcome{Master: curMaster}
+	}
+	sort.Slice(sorted, func(i, j int) bool { return a.higher(sorted[i], sorted[j]) })
+
+	master := sorted[0].Node
+	out := Outcome{Master: master}
+	var used ring.LinkSet
+	var granted, requested ring.NodeSet
+	for i, r := range sorted {
+		requested = requested.Add(r.Node)
+		links := a.ring.PathLinks(r.Node, r.Dests)
+		switch {
+		case i == 0:
+			// The new master's own request: always feasible by
+			// construction (≤ N−1 hops, never crosses its own break).
+		case granted.Contains(r.Node),
+			// A node transmits at most one packet per slot; a secondary
+			// request (extension) is only considered when the primary lost.
+			!a.spatialReuse,
+			!a.ring.Feasible(r.Node, r.Dests, master),
+			used.Overlaps(links):
+			continue
+		}
+		used = used.Union(links)
+		granted = granted.Add(r.Node)
+		out.Grants = append(out.Grants, Grant{Node: r.Node, Dests: r.Dests, Links: links, MsgID: r.MsgID})
+	}
+	// A node is denied when none of its requests were granted.
+	for _, node := range requested.Nodes() {
+		if !granted.Contains(node) {
+			out.Denied = append(out.Denied, node)
+		}
+	}
+	return out
+}
+
+var _ Protocol = (*Arbiter)(nil)

@@ -1,0 +1,176 @@
+// Package des is a small deterministic discrete-event simulation kernel.
+//
+// Events are closures scheduled at absolute simulated times and executed in
+// non-decreasing time order; ties are broken by scheduling order (FIFO), which
+// makes every run fully deterministic. The kernel is single-threaded by
+// design: a CCR-EDF slot engine is a strictly ordered protocol and gains
+// nothing from intra-run parallelism, while determinism is essential for the
+// reproducibility of every experiment. Parallelism in the benchmark harness
+// happens across independent simulations instead.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"ccredf/internal/timing"
+)
+
+// Handler is an event body, executed when simulated time reaches the event.
+type Handler func(now timing.Time)
+
+// Event is a scheduled occurrence. It is returned by Simulator.At and can be
+// cancelled.
+type Event struct {
+	when      timing.Time
+	seq       uint64
+	index     int // heap index, -1 when not queued
+	fn        Handler
+	cancelled bool
+}
+
+// When returns the simulated time at which the event fires.
+func (e *Event) When() timing.Time { return e.when }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel has been called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Simulator owns the event queue and the simulated clock. The zero value is
+// ready to use.
+type Simulator struct {
+	now      timing.Time
+	queue    eventQueue
+	seq      uint64
+	executed uint64
+	running  bool
+	stopped  bool
+}
+
+// New returns a fresh Simulator with the clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() timing.Time { return s.now }
+
+// Executed returns the number of events executed so far.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been discarded).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// ErrPast is returned by At when asked to schedule an event before Now.
+var ErrPast = errors.New("des: event scheduled in the past")
+
+// At schedules fn to run at absolute time t. It panics if t precedes the
+// current simulated time, because silently reordering the past would corrupt
+// any protocol built on the kernel.
+func (s *Simulator) At(t timing.Time, fn Handler) *Event {
+	if t < s.now {
+		panic(fmt.Errorf("%w: at %v, now %v", ErrPast, t, s.now))
+	}
+	ev := &Event{when: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (s *Simulator) After(d timing.Time, fn Handler) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events in time order until the queue is empty, Stop is called,
+// or the next event would fire after horizon. Events exactly at the horizon
+// still fire. Run returns the number of events executed during this call.
+func (s *Simulator) Run(horizon timing.Time) uint64 {
+	if s.running {
+		panic("des: Run called re-entrantly")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+
+	var n uint64
+	for len(s.queue) > 0 && !s.stopped {
+		next := s.queue[0]
+		if next.when > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.when
+		next.fn(s.now)
+		s.executed++
+		n++
+	}
+	// Advance the clock to the horizon so that repeated Run calls with
+	// increasing horizons behave like one continuous run.
+	if !s.stopped && s.now < horizon && horizon != timing.Forever {
+		s.now = horizon
+	}
+	return n
+}
+
+// RunAll executes events until the queue is empty or Stop is called.
+func (s *Simulator) RunAll() uint64 { return s.Run(timing.Forever) }
+
+// Step executes exactly one event (skipping cancelled ones) and reports
+// whether an event was executed.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		next := heap.Pop(&s.queue).(*Event)
+		if next.cancelled {
+			continue
+		}
+		s.now = next.when
+		next.fn(s.now)
+		s.executed++
+		return true
+	}
+	return false
+}
+
+// eventQueue is a binary min-heap ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

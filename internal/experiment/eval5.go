@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"ccredf/internal/analysis"
+	"ccredf/internal/network"
+	"ccredf/internal/ring"
+	"ccredf/internal/rng"
+	"ccredf/internal/sched"
+	"ccredf/internal/stats"
+	"ccredf/internal/timing"
+	"ccredf/internal/traffic"
+)
+
+// runE18 measures per-connection delivery jitter — the wobble of the
+// inter-completion gap around the period that an isochronous consumer
+// (radar integrator, video decoder) observes — for the three protocols
+// under identical admitted load plus best-effort interference.
+func runE18(o Options) (*Result, error) {
+	r := &Result{ID: "E18", Title: "Delivery jitter"}
+	p := timing.DefaultParams(o.nodes(8))
+	horizon := o.horizon(5000)
+
+	builders := []struct {
+		name  string
+		build func() (*network.Network, error)
+	}{
+		{"ccr-edf", func() (*network.Network, error) { return newEDF(p, sched.MapExact, true, nil) }},
+		{"cc-fpr", func() (*network.Network, error) { return newFPR(p, true, nil) }},
+		{"tdma (pure)", func() (*network.Network, error) { return newTDMA(p, false, nil) }},
+	}
+	tab := stats.NewTable("Jitter of a 1-slot/16-slot-period connection under 50% load + BE noise",
+		"protocol", "deliveries", "jitter p50", "jitter p99", "jitter max", "period")
+	jitterP99 := map[string]timing.Time{}
+	for _, b := range builders {
+		net, err := b.build()
+		if err != nil {
+			return nil, err
+		}
+		src := rng.New(o.Seed + 181)
+		// The observed connection.
+		watch, err := net.ForceConnection(sched.Connection{
+			Src: 0, Dests: ring.Node(4), Period: 16 * p.SlotTime(), Slots: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Background: other nodes at ~44% plus best-effort noise.
+		for _, c := range traffic.UniformRTSet(p.Nodes-1, p.Nodes, 0.44, p, traffic.UniformDest, src) {
+			if c.Src == 0 {
+				c.Src = 7
+			}
+			net.ForceConnection(c)
+		}
+		for i := 1; i < p.Nodes; i++ {
+			traffic.Poisson{
+				Node: i, Class: sched.ClassBestEffort,
+				MeanInterarrival: 20 * p.SlotTime(), Slots: 1,
+				RelDeadline: 400 * p.SlotTime(),
+			}.Attach(net, src.Split())
+		}
+		runFor(net, horizon)
+		cs, ok := net.ConnStats(watch.ID)
+		if !ok || cs.Jitter.Count() == 0 {
+			r.check(false, "%s recorded no jitter samples", b.name)
+			continue
+		}
+		jitterP99[b.name] = cs.Jitter.Quantile(0.99)
+		tab.AddRow(b.name, cs.Delivered, cs.Jitter.Quantile(0.5).String(),
+			cs.Jitter.Quantile(0.99).String(), cs.Jitter.Max().String(), watch.Period.String())
+		r.check(cs.Jitter.Quantile(0.99) < watch.Period,
+			"%s jitter p99 %v not below the period", b.name, cs.Jitter.Quantile(0.99))
+		r.check(cs.Delivered > horizon/32, "%s too few deliveries: %d", b.name, cs.Delivered)
+	}
+	r.Tables = append(r.Tables, tab)
+	r.note("jitter stays well below one period for every protocol; compare the tails to pick a transport for isochronous traffic")
+	return r.finish(), nil
+}
+
+// runE19 tabulates the slot-length design space: Equations 2, 4 and 6 pull
+// in opposite directions, so the payload size is the deployment's main
+// tuning knob. Includes the analyser's recommendation for two latency
+// budgets.
+func runE19(o Options) (*Result, error) {
+	r := &Result{ID: "E19", Title: "Slot-length design space"}
+	n := o.nodes(8)
+	payloads := []int{512, 1024, 2048, 4096, 8192, 16384, 65536}
+	space := analysis.SlotDesignSpace(n, payloads)
+	tab := stats.NewTable("Eqs. 2/4/6 interplay (N=8, default physics)",
+		"payload", "t_slot", "U_max", "t_latency", "guaranteed MB/s", "valid (Eq. 2)")
+	prevU := 0.0
+	for _, d := range space {
+		tab.AddRow(d.PayloadBytes, d.SlotTime.String(), d.UMax, d.WorstLatency.String(),
+			d.GuaranteedMBps, d.Valid)
+		r.check(d.UMax > prevU, "U_max not increasing at %d", d.PayloadBytes)
+		prevU = d.UMax
+	}
+	r.Tables = append(r.Tables, tab)
+
+	rec := stats.NewTable("Payload recommendation per latency budget",
+		"latency budget", "recommended payload", "resulting U_max")
+	for _, budget := range []timing.Time{10 * timing.Microsecond, 100 * timing.Microsecond, timing.Millisecond} {
+		payload, ok := analysis.RecommendPayload(n, budget)
+		if !ok {
+			rec.AddRow(budget.String(), "none", "-")
+			continue
+		}
+		p := timing.DefaultParams(n)
+		p.SlotPayloadBytes = payload
+		rec.AddRow(budget.String(), payload, p.UMax())
+		r.check(p.WorstCaseLatency() <= budget, "recommendation violates %v budget", budget)
+	}
+	r.Tables = append(r.Tables, rec)
+	r.note("longer slots amortise the hand-over gap (higher U_max) at the cost of latency — pick by budget")
+	return r.finish(), nil
+}

@@ -1,0 +1,193 @@
+// Package experiment defines the reproducible experiment suite of this
+// repository: the paper's own artefacts (P1–P7: Table 1, the packet formats,
+// Equations 1–6 and the Figure 2 scenario) and the deferred evaluation the
+// paper promises for "a future paper" (E1–E12: guarantee validation, the
+// CC-FPR comparison, spatial reuse, overhead, services and fault injection).
+//
+// Every experiment returns printable tables plus a Pass verdict for its
+// built-in validations; cmd/ccr-bench regenerates all of them and
+// bench_test.go exposes each as a benchmark.
+package experiment
+
+import (
+	"fmt"
+
+	"ccredf/internal/analysis"
+	"ccredf/internal/ccfpr"
+	"ccredf/internal/core"
+	"ccredf/internal/network"
+	"ccredf/internal/sched"
+	"ccredf/internal/stats"
+	"ccredf/internal/timing"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed makes the run reproducible; experiments derive their streams
+	// from it.
+	Seed uint64
+	// Nodes overrides the default ring size where it makes sense.
+	Nodes int
+	// HorizonSlots overrides the simulated duration in slot times.
+	HorizonSlots int64
+	// Quick shrinks horizons for use in unit tests.
+	Quick bool
+}
+
+func (o Options) nodes(def int) int {
+	if o.Nodes > 0 {
+		return o.Nodes
+	}
+	return def
+}
+
+func (o Options) horizon(def int64) int64 {
+	if o.HorizonSlots > 0 {
+		return o.HorizonSlots
+	}
+	if o.Quick {
+		return def / 10
+	}
+	return def
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID and Title identify the experiment (e.g. "P3", "Handover time").
+	ID, Title string
+	// Tables are the regenerated result tables.
+	Tables []*stats.Table
+	// Notes carries free-form observations (measured vs analytic, etc.).
+	Notes []string
+	// Pass reports whether every built-in validation held.
+	Pass bool
+	// Failures lists the validations that did not hold.
+	Failures []string
+}
+
+func (r *Result) check(ok bool, format string, args ...any) {
+	if !ok {
+		r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *Result) finish() *Result {
+	r.Pass = len(r.Failures) == 0
+	return r
+}
+
+func (r *Result) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Experiment is one entry in the suite.
+type Experiment struct {
+	// ID is the index key ("P1" … "E12").
+	ID string
+	// Title is a short human description.
+	Title string
+	// Run executes the experiment.
+	Run func(Options) (*Result, error)
+}
+
+var registry = []Experiment{
+	{"P1", "Table 1: priority-level allocation and laxity mapping", runP1},
+	{"P2", "Figures 4–5: control packet formats (bit-exact codec)", runP2},
+	{"P3", "Equation 1 / Figures 6–7: clock hand-over time", runP3},
+	{"P4", "Equation 2: minimum slot length", runP4},
+	{"P5", "Equations 3–4: worst-case latency bound vs measurement", runP5},
+	{"P6", "Equations 5–6: U_max and the admission test", runP6},
+	{"P7", "Figure 2: simultaneous transmissions through spatial reuse", runP7},
+	{"E1", "Guarantee validation: admitted sets never miss user deadlines", runE1},
+	{"E2", "CCR-EDF vs CC-FPR: deadline miss ratio under load", runE2},
+	{"E3", "Spatial-reuse throughput vs destination locality", runE3},
+	{"E4", "Hand-over gap overhead vs ring size", runE4},
+	{"E5", "Best-effort latency under real-time background load", runE5},
+	{"E6", "Online admission-control dynamics", runE6},
+	{"E7", "Ablation: 5-bit logarithmic priority map vs exact EDF", runE7},
+	{"E8", "Barrier synchronisation and global reduction latency", runE8},
+	{"E9", "Reliable transmission under packet loss", runE9},
+	{"E10", "Analytic bounds: CCR-EDF U_max vs CC-FPR guarantee", runE10},
+	{"E11", "Simultaneous multicast through spatial reuse", runE11},
+	{"E12", "Fault injection: master loss and designated-node recovery", runE12},
+	{"E13", "Three-protocol comparison: CCR-EDF vs CC-FPR vs static TDMA", runE13},
+	{"E14", "Ablation: spatial reuse on/off under admitted load", runE14},
+	{"E15", "Cross-seed replication with 95% confidence intervals", runE15},
+	{"E16", "Best-effort fairness across nodes (Jain index)", runE16},
+	{"E17", "Extension: secondary requests per collection round", runE17},
+	{"E18", "Delivery jitter across protocols", runE18},
+	{"E19", "Slot-length design space (Eqs. 2/4/6 interplay)", runE19},
+	{"E20", "Unequal link lengths (per-link Equation 1)", runE20},
+}
+
+// All returns every experiment in suite order.
+func All() []Experiment { return append([]Experiment(nil), registry...) }
+
+// ByID looks an experiment up by its ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs in suite order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// newEDF builds a CCR-EDF network.
+func newEDF(p timing.Params, mode sched.MapMode, reuse bool, mut func(*network.Config)) (*network.Network, error) {
+	arb, err := core.NewArbiter(p.Nodes, mode, reuse)
+	if err != nil {
+		return nil, err
+	}
+	cfg := network.Config{Params: p, Protocol: arb, WireCheck: true, CheckInvariants: true}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return network.New(cfg)
+}
+
+// newFPR builds a CC-FPR baseline network.
+func newFPR(p timing.Params, reuse bool, mut func(*network.Config)) (*network.Network, error) {
+	arb, err := ccfpr.NewArbiter(p.Nodes, reuse)
+	if err != nil {
+		return nil, err
+	}
+	cfg := network.Config{Params: p, Protocol: arb, WireCheck: true, CheckInvariants: true}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return network.New(cfg)
+}
+
+// runFor advances net by the given number of worst-case slot periods.
+func runFor(net *network.Network, slots int64) {
+	net.RunSlots(slots)
+}
+
+// missRatio is a convenience for ratio columns.
+func missRatio(misses, total int64) float64 {
+	return stats.Ratio(misses, total)
+}
+
+// bounds bundles the analytic figures E10 tabulates.
+type bounds struct {
+	UMax, CCFPRGuaranteed, BreakEven float64
+}
+
+func boundsFor(p timing.Params) bounds {
+	b := analysis.Compute(p)
+	return bounds{
+		UMax:            b.UMax,
+		CCFPRGuaranteed: b.CCFPRGuaranteed,
+		BreakEven:       analysis.BreakEvenSpatialReuse(p),
+	}
+}

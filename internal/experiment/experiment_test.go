@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Seed: 1, Quick: true} }
+
+// TestSuiteRegistry checks the registry matches DESIGN.md's experiment
+// index: P1-P7 and E1-E12, unique IDs, resolvable by ID.
+func TestSuiteRegistry(t *testing.T) {
+	ids := IDs()
+	want := []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7",
+		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+		"E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("IDs()[%d] = %s, want %s", i, ids[i], id)
+		}
+		e, ok := ByID(id)
+		if !ok || e.ID != id || e.Run == nil || e.Title == "" {
+			t.Fatalf("ByID(%s) broken: %+v ok=%v", id, e, ok)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+	if len(All()) != len(want) {
+		t.Fatal("All() length wrong")
+	}
+}
+
+// TestAllExperimentsPassQuick runs the entire suite in quick mode; every
+// built-in validation must hold and every experiment must produce at least
+// one table with data.
+func TestAllExperimentsPassQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(quickOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if !res.Pass {
+				t.Fatalf("%s failed validations:\n  %s", e.ID, strings.Join(res.Failures, "\n  "))
+			}
+			if len(res.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tab := range res.Tables {
+				if tab.Rows() == 0 {
+					t.Fatalf("%s produced empty table %q", e.ID, tab.Title)
+				}
+				if out := tab.String(); !strings.Contains(out, "\n") {
+					t.Fatalf("%s table renders empty", e.ID)
+				}
+			}
+			if res.ID != e.ID {
+				t.Fatalf("result ID %s != %s", res.ID, e.ID)
+			}
+		})
+	}
+}
+
+// TestExperimentsDeterministic: the same options produce identical tables.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, id := range []string{"P3", "E1", "E3"} {
+		e, _ := ByID(id)
+		a, err := e.Run(quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Run(quickOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Tables) != len(b.Tables) {
+			t.Fatalf("%s: table counts differ", id)
+		}
+		for i := range a.Tables {
+			if a.Tables[i].String() != b.Tables[i].String() {
+				t.Fatalf("%s table %d differs between identical runs:\n%s\nvs\n%s",
+					id, i, a.Tables[i], b.Tables[i])
+			}
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}
+	if o.nodes(8) != 8 || (Options{Nodes: 5}).nodes(8) != 5 {
+		t.Fatal("nodes default wrong")
+	}
+	if o.horizon(1000) != 1000 {
+		t.Fatal("horizon default wrong")
+	}
+	if (Options{Quick: true}).horizon(1000) != 100 {
+		t.Fatal("quick horizon wrong")
+	}
+	if (Options{HorizonSlots: 42}).horizon(1000) != 42 {
+		t.Fatal("horizon override wrong")
+	}
+}

@@ -1,0 +1,310 @@
+package experiment
+
+import (
+	"ccredf/internal/network"
+	"ccredf/internal/ring"
+	"ccredf/internal/rng"
+	"ccredf/internal/sched"
+	"ccredf/internal/stats"
+	"ccredf/internal/timing"
+	"ccredf/internal/trace"
+	"ccredf/internal/wire"
+)
+
+// runP1 regenerates Table 1 — the allocation of the 32 priority levels to
+// the user services — together with the logarithmic laxity mapping for the
+// two deadline-driven classes.
+func runP1(o Options) (*Result, error) {
+	r := &Result{ID: "P1", Title: "Table 1: priority allocation"}
+	p := timing.DefaultParams(o.nodes(8))
+	slot := p.SlotTime()
+
+	alloc := stats.NewTable("Priority-level allocation (Table 1)", "level(s)", "user service")
+	alloc.AddRow("0", "nothing to send")
+	alloc.AddRow("1", "non-real-time")
+	alloc.AddRow("2-16", "best effort")
+	alloc.AddRow("17-31", "logical real-time connection")
+	r.Tables = append(r.Tables, alloc)
+
+	mapping := stats.NewTable("Logarithmic laxity → priority mapping",
+		"laxity(slots)", "RT prio", "BE prio", "NRT prio")
+	for _, lax := range []int64{0, 1, 2, 4, 8, 16, 64, 256, 1024, 4096, 16384, 1 << 20} {
+		l := timing.Time(lax) * slot
+		rt := sched.MapPriority(sched.ClassRealTime, l, slot)
+		be := sched.MapPriority(sched.ClassBestEffort, l, slot)
+		nrt := sched.MapPriority(sched.ClassNonRealTime, l, slot)
+		mapping.AddRow(lax, int(rt), int(be), int(nrt))
+		r.check(rt >= sched.PrioRTMin && rt <= sched.PrioRTMax, "RT prio %d out of band at laxity %d", rt, lax)
+		r.check(be >= sched.PrioBEMin && be <= sched.PrioBEMax, "BE prio %d out of band at laxity %d", be, lax)
+		r.check(nrt == sched.PrioNonRT, "NRT prio %d at laxity %d", nrt, lax)
+		r.check(rt > be && be > nrt, "class bands overlap at laxity %d", lax)
+	}
+	r.Tables = append(r.Tables, mapping)
+	r.note("shorter laxity maps to higher priority within each class; one level per octave of laxity")
+	return r.finish(), nil
+}
+
+// runP2 regenerates the packet-format figures: the exact bit counts of the
+// collection (Figure 4) and distribution (Figure 5) packets across ring
+// sizes, and fuzzes the codec round trip.
+func runP2(o Options) (*Result, error) {
+	r := &Result{ID: "P2", Title: "Figures 4-5: packet formats"}
+	tab := stats.NewTable("Control packet sizes",
+		"N", "collection bits", "collection bytes", "distribution bits", "index bits")
+	for _, n := range []int{2, 4, 5, 8, 16, 32, 64} {
+		p := timing.DefaultParams(n)
+		cb := p.CollectionBits()
+		db := p.DistributionBits()
+		tab.AddRow(n, cb, (wire.CollectionBits(n)+7)/8, db, timing.CeilLog2(n))
+		r.check(cb == wire.CollectionBits(n), "collection bits disagree at N=%d", n)
+		r.check(cb == 1+n*(5+2*n), "collection bits formula at N=%d", n)
+	}
+	r.Tables = append(r.Tables, tab)
+
+	// Codec fuzz: random well-formed packets must round-trip bit-exactly.
+	src := rng.New(o.Seed + 2)
+	rounds := 2000
+	if o.Quick {
+		rounds = 200
+	}
+	bad := 0
+	for i := 0; i < rounds; i++ {
+		n := 2 + src.Intn(63)
+		c := wire.Collection{Requests: make([]wire.Request, n)}
+		for j := range c.Requests {
+			if src.Bool(0.3) {
+				continue
+			}
+			prio := uint8(1 + src.Intn(31))
+			c.Requests[j] = wire.Request{
+				Prio:    prio,
+				Reserve: ring.LinkSet(src.Uint64()) & (ring.LinkSet(1)<<uint(n) - 1),
+				Dests:   ring.NodeSet(src.Uint64()) & (ring.NodeSet(1)<<uint(n) - 1),
+			}
+		}
+		buf, err := wire.EncodeCollection(c, n)
+		if err != nil {
+			bad++
+			continue
+		}
+		got, err := wire.DecodeCollection(buf, n)
+		if err != nil {
+			bad++
+			continue
+		}
+		for j := range c.Requests {
+			if got.Requests[j] != c.Requests[j] {
+				bad++
+				break
+			}
+		}
+	}
+	r.check(bad == 0, "%d of %d fuzzed packets failed the round trip", bad, rounds)
+	r.note("fuzzed %d random packets through the bit-serial codec", rounds)
+	return r.finish(), nil
+}
+
+// runP3 regenerates Equation 1 and the hand-over timeline of Figures 6–7:
+// analytic hand-over times per hop distance, and a simulation cross-check
+// that every measured inter-slot gap equals P·L·D exactly.
+func runP3(o Options) (*Result, error) {
+	r := &Result{ID: "P3", Title: "Eq. 1: hand-over time"}
+	n := o.nodes(8)
+
+	tab := stats.NewTable("t_handover = P·L·D (µs)", "D(hops)", "L=5m", "L=10m", "L=20m")
+	for d := 1; d < n; d++ {
+		row := []any{d}
+		for _, length := range []float64{5, 10, 20} {
+			p := timing.DefaultParams(n)
+			p.LinkLengthM = length
+			row = append(row, p.HandoverTime(d).Micros())
+		}
+		tab.AddRow(row...)
+	}
+	r.Tables = append(r.Tables, tab)
+
+	// Simulation cross-check: drive traffic that moves the master around
+	// and verify every gap against the formula.
+	p := timing.DefaultParams(n)
+	tr := trace.New(0)
+	net, err := newEDF(p, sched.Map5Bit, true, func(c *network.Config) { c.Tracer = tr })
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(o.Seed + 3)
+	for i := 0; i < n; i++ {
+		net.ForceConnection(sched.Connection{
+			Src: i, Dests: ring.Node((i + 1 + src.Intn(n-1)) % n),
+			Period: timing.Time(5+src.Intn(10)) * p.SlotTime(), Slots: 1,
+		})
+	}
+	runFor(net, o.horizon(2000))
+
+	var starts []trace.Record
+	for _, rec := range tr.Records() {
+		if rec.Kind == trace.SlotStart {
+			starts = append(starts, rec)
+		}
+	}
+	gaps := stats.NewHistogram()
+	mismatches := 0
+	for i := 1; i < len(starts); i++ {
+		gap := starts[i].Time - starts[i-1].Time - p.SlotTime()
+		d := net.Ring().Dist(starts[i-1].Node, starts[i].Node)
+		if gap != p.HandoverTime(d) {
+			mismatches++
+		}
+		gaps.Observe(gap)
+	}
+	r.check(len(starts) > 100, "simulation too short: %d slots", len(starts))
+	r.check(mismatches == 0, "%d measured gaps disagree with Eq. 1", mismatches)
+	r.check(gaps.Max() <= p.MaxHandoverTime(), "gap %v exceeds worst case %v", gaps.Max(), p.MaxHandoverTime())
+
+	meas := stats.NewTable("Measured inter-slot gaps", "slots", "mean gap", "max gap", "analytic max")
+	meas.AddRow(len(starts), gaps.Mean().String(), gaps.Max().String(), p.MaxHandoverTime().String())
+	r.Tables = append(r.Tables, meas)
+	return r.finish(), nil
+}
+
+// runP4 regenerates Equation 2: the minimum slot length across ring sizes,
+// and the payload needed to reach it at the default bit rate.
+func runP4(o Options) (*Result, error) {
+	r := &Result{ID: "P4", Title: "Eq. 2: minimum slot length"}
+	tab := stats.NewTable("t_minslot = N·t_node + t_prop",
+		"N", "t_node", "t_prop", "t_minslot", "min payload (bytes)", "default slot")
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		p := timing.DefaultParams(n)
+		min := p.MinSlotLength()
+		minPayload := (int64(min) + int64(p.BitTime()) - 1) / int64(p.BitTime())
+		tab.AddRow(n, p.NodeControlDelay().String(), p.RingPropagation().String(),
+			min.String(), minPayload, p.SlotTime().String())
+		r.check(p.SlotTime() >= min, "default slot shorter than minimum at N=%d", n)
+		r.check(min == timing.Time(n)*p.NodeControlDelay()+p.RingPropagation(), "Eq. 2 identity at N=%d", n)
+	}
+	r.Tables = append(r.Tables, tab)
+	r.note("the collection phase must finish within the slot; Validate() enforces this")
+	return r.finish(), nil
+}
+
+// runP5 validates Equations 3–4: for admitted connection sets, measured
+// worst-case message latency never exceeds period + 2·t_slot +
+// t_handover_max, and reports the observed slack.
+func runP5(o Options) (*Result, error) {
+	r := &Result{ID: "P5", Title: "Eq. 3-4: latency bound"}
+	p := timing.DefaultParams(o.nodes(8))
+	src := rng.New(o.Seed + 5)
+	sets := 8
+	if o.Quick {
+		sets = 3
+	}
+	tab := stats.NewTable("Measured latency vs user-level bound",
+		"set", "U", "messages", "max latency", "min slack", "user misses")
+	for s := 0; s < sets; s++ {
+		net, err := newEDF(p, sched.MapExact, false, nil)
+		if err != nil {
+			return nil, err
+		}
+		var worstSlack timing.Time = timing.Forever
+		var maxLat timing.Time
+		net.OnDeliver(func(m *sched.Message, at timing.Time) {
+			if m.Class != sched.ClassRealTime {
+				return
+			}
+			if lat := at - m.Release; lat > maxLat {
+				maxLat = lat
+			}
+			slack := m.Deadline + p.WorstCaseLatency() - at
+			if slack < worstSlack {
+				worstSlack = slack
+			}
+		})
+		// Random admitted set near 85% utilisation.
+		for net.Admission().Utilisation() < 0.85 {
+			period := timing.Time(4+src.Intn(40)) * p.SlotTime()
+			slots := 1 + src.Intn(3)
+			from := src.Intn(p.Nodes)
+			to := (from + 1 + src.Intn(p.Nodes-1)) % p.Nodes
+			net.OpenConnection(sched.Connection{Src: from, Dests: ring.Node(to), Period: period, Slots: slots})
+		}
+		u := net.Admission().Utilisation()
+		runFor(net, o.horizon(3000))
+		mt := net.Metrics()
+		tab.AddRow(s, u, mt.MessagesDelivered.Value(), maxLat.String(),
+			worstSlack.String(), mt.UserDeadlineMisses.Value())
+		r.check(mt.UserDeadlineMisses.Value() == 0, "set %d missed %d user deadlines", s, mt.UserDeadlineMisses.Value())
+		r.check(worstSlack >= 0, "set %d slack went negative: %v", s, worstSlack)
+	}
+	r.Tables = append(r.Tables, tab)
+	r.note("t_maxdelay = t_deadline + 2·t_slot + t_handover_max (Eqs. 3-4) held for every message")
+	return r.finish(), nil
+}
+
+// runP6 regenerates Equations 5–6: the U_max bound across ring sizes and
+// slot payloads, and the behaviour of the admission test at the bound.
+func runP6(o Options) (*Result, error) {
+	r := &Result{ID: "P6", Title: "Eq. 5-6: U_max"}
+	tab := stats.NewTable("U_max = t_slot / (t_slot + t_handover_max)",
+		"N", "payload 1KiB", "4KiB", "16KiB", "64KiB")
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		row := []any{n}
+		prev := 0.0
+		for _, payload := range []int{1024, 4096, 16384, 65536} {
+			p := timing.DefaultParams(n)
+			p.SlotPayloadBytes = payload
+			u := p.UMax()
+			row = append(row, u)
+			r.check(u > 0 && u < 1, "U_max out of (0,1) at N=%d payload=%d", n, payload)
+			r.check(u > prev, "U_max not increasing in payload at N=%d", n)
+			prev = u
+		}
+		tab.AddRow(row...)
+	}
+	r.Tables = append(r.Tables, tab)
+
+	// Admission behaviour exactly at the bound.
+	p := timing.DefaultParams(8)
+	a := sched.NewAdmission(p)
+	unit := sched.Connection{Src: 0, Dests: ring.Node(1), Period: 100 * p.SlotTime(), Slots: 1} // U = 0.01
+	accepted := 0
+	for i := 0; i < 120; i++ {
+		if _, err := a.Request(unit); err == nil {
+			accepted++
+		}
+	}
+	want := int(p.UMax() * 100)
+	r.check(accepted == want, "accepted %d 1%% connections, want %d", accepted, want)
+	r.note("admission accepted exactly ⌊U_max·100⌋ = %d connections of 1%% utilisation", accepted)
+	return r.finish(), nil
+}
+
+// runP7 reproduces the Figure 2 scenario end to end: node 1 → node 3 and
+// node 4 → {node 5, node 1} (paper numbering) transmitted simultaneously.
+func runP7(o Options) (*Result, error) {
+	r := &Result{ID: "P7", Title: "Figure 2: spatial reuse scenario"}
+	p := timing.DefaultParams(5)
+	net, err := newEDF(p, sched.Map5Bit, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	a, err := net.SubmitMessage(sched.ClassRealTime, 0, ring.Node(2), 1, timing.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	b, err := net.SubmitMessage(sched.ClassRealTime, 3, ring.NodeSetOf(4, 0), 1, timing.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	runFor(net, 20)
+	mt := net.Metrics()
+	r.check(a.Delivered == 1, "single-destination packet not delivered")
+	r.check(b.Delivered == 1, "multicast packet not delivered")
+	r.check(mt.SlotsWithData.Value() == 1, "transmissions used %d slots, want 1", mt.SlotsWithData.Value())
+
+	tab := stats.NewTable("Figure 2 replay (paper numbering)",
+		"transmission", "links used", "delivered", "same slot")
+	tab.AddRow("node 1 → node 3", "{1,2}", a.Delivered == 1, true)
+	tab.AddRow("node 4 → {5,1}", "{4,5}", b.Delivered == 1, true)
+	r.Tables = append(r.Tables, tab)
+	r.note("aggregated throughput in that slot = %.0f links vs 1 without reuse", mt.SpatialReuseFactor())
+	return r.finish(), nil
+}

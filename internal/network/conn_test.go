@@ -1,0 +1,119 @@
+package network
+
+import (
+	"testing"
+
+	"ccredf/internal/core"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+func connNet(t *testing.T) *Network {
+	t.Helper()
+	p := timing.DefaultParams(8)
+	arb, err := core.NewArbiter(8, sched.Map5Bit, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := New(Config{Params: p, Protocol: arb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestOpenConnectionRejectsOverload(t *testing.T) {
+	net := connNet(t)
+	p := net.Params()
+	if _, err := net.OpenConnection(sched.Connection{
+		Src: 0, Dests: ring.Node(1), Period: p.SlotTime(), Slots: 1, // U = 1.0
+	}); err == nil {
+		t.Fatal("U=1.0 connection accepted")
+	}
+	if len(net.Connections()) != 0 {
+		t.Fatal("rejected connection left state behind")
+	}
+}
+
+func TestForceConnectionValidatesParameters(t *testing.T) {
+	net := connNet(t)
+	if _, err := net.ForceConnection(sched.Connection{
+		Src: 0, Dests: ring.Node(0), Period: timing.Millisecond, Slots: 1,
+	}); err == nil {
+		t.Fatal("self-destination forced connection accepted")
+	}
+}
+
+func TestStartAdmittedPaths(t *testing.T) {
+	net := connNet(t)
+	p := net.Params()
+	// Not admitted at all.
+	if err := net.StartAdmitted(sched.Connection{ID: 99}); err == nil {
+		t.Fatal("unadmitted connection started")
+	}
+	// Admit via the controller directly, then start once.
+	c, err := net.Admission().Request(sched.Connection{
+		Src: 2, Dests: ring.Node(6), Period: 20 * p.SlotTime(), Slots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.StartAdmitted(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.StartAdmitted(c); err == nil {
+		t.Fatal("double StartAdmitted accepted")
+	}
+	net.RunSlots(200)
+	cs, ok := net.ConnStats(c.ID)
+	if !ok || cs.Delivered == 0 {
+		t.Fatal("started connection idle")
+	}
+}
+
+func TestConnStatsUnknownID(t *testing.T) {
+	net := connNet(t)
+	if _, ok := net.ConnStats(42); ok {
+		t.Fatal("unknown connection reported stats")
+	}
+	if net.CloseConnection(42) {
+		t.Fatal("closed unknown connection")
+	}
+}
+
+func TestJitterRecordedPerConnection(t *testing.T) {
+	net := connNet(t)
+	p := net.Params()
+	c, err := net.OpenConnection(sched.Connection{
+		Src: 1, Dests: ring.Node(5), Period: 10 * p.SlotTime(), Slots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunSlots(500)
+	cs, _ := net.ConnStats(c.ID)
+	if cs.Jitter.Count() < cs.Delivered-1 {
+		t.Fatalf("jitter samples %d for %d deliveries", cs.Jitter.Count(), cs.Delivered)
+	}
+	// An unloaded periodic connection delivers like clockwork.
+	if cs.Jitter.Max() > p.SlotTime() {
+		t.Fatalf("idle-network jitter %v above one slot", cs.Jitter.Max())
+	}
+}
+
+func TestQueueDepthAndMasterAccessors(t *testing.T) {
+	net := connNet(t)
+	if net.QueueDepth() != 0 {
+		t.Fatal("fresh network has queued messages")
+	}
+	if _, err := net.SubmitMessage(sched.ClassNonRealTime, 0, ring.Node(1), 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if net.QueueDepth() != 1 {
+		t.Fatal("QueueDepth should count the queued message")
+	}
+	if net.Ring().Nodes() != 8 || net.Params().Nodes != 8 {
+		t.Fatal("accessors wrong")
+	}
+}

@@ -1,0 +1,105 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccredf/internal/core"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/tdma"
+	"ccredf/internal/timing"
+)
+
+// newPureTDMA builds an owner-only TDMA arbiter.
+func newPureTDMA(t *testing.T, n int) core.Protocol {
+	t.Helper()
+	a, err := tdma.NewArbiter(n, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestGuaranteeProperty is the repository's central property test: for
+// RANDOM connection sets accepted by the admission controller, exact-EDF
+// CCR-EDF never misses a user-level deadline (Equations 3-5), with spatial
+// reuse disabled exactly as the analysis assumes. testing/quick drives the
+// set construction.
+func TestGuaranteeProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := timing.DefaultParams(8)
+	f := func(seeds [6]uint16, targetRaw uint8) bool {
+		arb, err := core.NewArbiter(8, sched.MapExact, false)
+		if err != nil {
+			return false
+		}
+		net, err := New(Config{Params: p, Protocol: arb, CheckInvariants: true})
+		if err != nil {
+			return false
+		}
+		target := 0.4 + float64(targetRaw%50)/100 // 0.40 … 0.89
+		for _, s := range seeds {
+			if net.Admission().Utilisation() >= target {
+				break
+			}
+			period := timing.Time(3+s%50) * p.SlotTime()
+			slots := 1 + int(s%3)
+			if timing.Time(slots)*p.SlotTime() > period {
+				continue
+			}
+			from := int(s) % 8
+			to := (from + 1 + int(s/8)%7) % 8
+			net.OpenConnection(sched.Connection{
+				Src: from, Dests: ring.Node(to), Period: period, Slots: slots,
+			})
+		}
+		net.RunSlots(1200)
+		m := net.Metrics()
+		return m.UserDeadlineMisses.Value() == 0 &&
+			m.InvariantViolations.Value() == 0 &&
+			m.MessagesDelivered.Value() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTDMALatencyBound: under pure TDMA an urgent single-slot message waits
+// at most one full rotation (N slots) plus transmission — the static
+// allocation's latency floor that E13 measures statistically.
+func TestTDMALatencyBound(t *testing.T) {
+	p := timing.DefaultParams(8)
+	net, err := New(Config{Params: p, Protocol: newPureTDMA(t, 8), CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := net.SubmitMessage(sched.ClassRealTime, 5, ring.Node(6), 1, timing.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt timing.Time
+	net.OnDeliver(func(got *sched.Message, at timing.Time) {
+		if got.ID == m.ID {
+			deliveredAt = at
+		}
+	})
+	net.RunSlots(20)
+	if deliveredAt == 0 {
+		t.Fatal("message not delivered")
+	}
+	// Bound: N slots of rotation + 2 slots (arbitration + transmission) +
+	// gaps + propagation.
+	bound := timing.Time(10) * (p.SlotTime() + p.MaxHandoverTime())
+	if deliveredAt > bound {
+		t.Fatalf("TDMA latency %v above rotation bound %v", deliveredAt, bound)
+	}
+	// But it cannot be faster than waiting for node 5's slot: at least
+	// 5 slots of ownership rotation happen first (owners 1,2,3,4 then 5
+	// requests…). Empirically it needs several slots; assert > 2 slots.
+	if deliveredAt < 2*p.SlotTime() {
+		t.Fatalf("TDMA latency %v implausibly fast", deliveredAt)
+	}
+}

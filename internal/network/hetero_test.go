@@ -1,0 +1,92 @@
+package network
+
+import (
+	"testing"
+
+	"ccredf/internal/core"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+	"ccredf/internal/trace"
+)
+
+func heteroNet(t *testing.T) (*Network, *trace.Tracer) {
+	t.Helper()
+	p := timing.DefaultParams(5)
+	p.LinkLengthsM = []float64{5, 40, 10, 80, 15} // very unequal ring
+	arb, err := core.NewArbiter(5, sched.MapExact, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(0)
+	net, err := New(Config{Params: p, Protocol: arb, Tracer: tr, WireCheck: true, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, tr
+}
+
+// TestHeteroGapsMatchEq1Exactly: on an unequal-length ring every measured
+// inter-slot gap equals the per-link generalisation of Equation 1.
+func TestHeteroGapsMatchEq1Exactly(t *testing.T) {
+	net, tr := heteroNet(t)
+	p := net.Params()
+	// Traffic from several nodes so the master moves over unequal spans.
+	for i := 0; i < 5; i++ {
+		if _, err := net.OpenConnection(sched.Connection{
+			Src: i, Dests: ring.Node((i + 2) % 5), Period: timing.Time(7+i) * p.SlotTime(), Slots: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.RunSlots(500)
+	var starts []trace.Record
+	for _, r := range tr.Records() {
+		if r.Kind == trace.SlotStart {
+			starts = append(starts, r)
+		}
+	}
+	if len(starts) < 100 {
+		t.Fatalf("only %d slots", len(starts))
+	}
+	distinctGaps := map[timing.Time]bool{}
+	for i := 1; i < len(starts); i++ {
+		gap := starts[i].Time - starts[i-1].Time - p.SlotTime()
+		want := p.HandoverBetween(starts[i-1].Node, starts[i].Node)
+		if gap != want {
+			t.Fatalf("slot %d: gap %v, want %v (%d→%d)", i, gap, want, starts[i-1].Node, starts[i].Node)
+		}
+		distinctGaps[gap] = true
+	}
+	if len(distinctGaps) < 3 {
+		t.Fatalf("expected varied gaps on an unequal ring, saw %d distinct", len(distinctGaps))
+	}
+	if net.Metrics().InvariantViolations.Value() != 0 {
+		t.Fatalf("violations: %v", net.Metrics().Violations)
+	}
+}
+
+// TestHeteroGuaranteeHolds: the admission bound built on the slowest
+// (N−1)-link window still guarantees user-level deadlines.
+func TestHeteroGuaranteeHolds(t *testing.T) {
+	net, _ := heteroNet(t)
+	p := net.Params()
+	for i := 0; i < 5; i++ {
+		if _, err := net.OpenConnection(sched.Connection{
+			Src: i, Dests: ring.Node((i + 3) % 5), Period: 8 * p.SlotTime(), Slots: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u := net.Admission().Utilisation(); u < 0.6 {
+		t.Fatalf("setup too light: %v", u)
+	}
+	net.RunSlots(3000)
+	m := net.Metrics()
+	if m.MessagesDelivered.Value() < 1000 {
+		t.Fatalf("delivered %d", m.MessagesDelivered.Value())
+	}
+	if m.UserDeadlineMisses.Value() != 0 {
+		t.Fatalf("user misses on unequal ring: %d", m.UserDeadlineMisses.Value())
+	}
+}

@@ -1,0 +1,787 @@
+// Package network binds the CCR-EDF pieces into a runnable simulated ring:
+// the slot engine that executes grants, samples collection-phase requests as
+// the control packet passes each node, runs the arbitration one slot ahead
+// (Figure 3), performs clock hand-over with its variable inter-slot gap
+// (Figures 6–7), delivers data, and accounts deadlines, utilisation and
+// spatial reuse. Fault injection (packet loss, master failure with
+// timeout-based recovery — the paper's §8 future work) lives here too.
+package network
+
+import (
+	"errors"
+	"fmt"
+
+	"ccredf/internal/core"
+	"ccredf/internal/des"
+	"ccredf/internal/node"
+	"ccredf/internal/ring"
+	"ccredf/internal/rng"
+	"ccredf/internal/sched"
+	"ccredf/internal/stats"
+	"ccredf/internal/timing"
+	"ccredf/internal/trace"
+	"ccredf/internal/wire"
+)
+
+// Config configures one simulated network.
+type Config struct {
+	// Params is the physical timing model. Required.
+	Params timing.Params
+	// Protocol is the arbitration strategy (CCR-EDF or CC-FPR). Required.
+	Protocol core.Protocol
+	// DropLate discards real-time messages whose network-level deadline has
+	// already passed instead of transmitting them late.
+	DropLate bool
+	// Reliable enables the intrinsic reliable-transmission service: lost
+	// fragments are detected through the acknowledgement field of the
+	// distribution packet and retransmitted.
+	Reliable bool
+	// LossProb is the per-fragment loss probability (fault injection).
+	LossProb float64
+	// CorruptProb is the per-fragment bit-corruption probability (fault
+	// injection): the fragment arrives but its CRC-16 check fails at the
+	// receiver, which discards it. With Reliable set the missing
+	// acknowledgement triggers a retransmission, exactly like a loss.
+	CorruptProb float64
+	// DataCheck runs every transmitted fragment through the data-channel
+	// packet codec (header + CRC-16, internal/wire) and verifies the round
+	// trip, as the receiver hardware would. Failures count in WireErrors.
+	DataCheck bool
+	// Seed seeds the loss process.
+	Seed uint64
+	// Tracer, when non-nil, receives protocol trace records.
+	Tracer *trace.Tracer
+	// WireCheck routes every arbitration through the bit-serial packet
+	// codec and verifies the round trip, exactly as the hardware would
+	// serialise it. Cheap; on by default in tests.
+	WireCheck bool
+	// CheckInvariants verifies the protocol invariants of DESIGN.md §6 on
+	// every arbitration outcome (link-disjoint grants, no clock-break
+	// crossing, master granted, grant/deny partition). Violations are
+	// counted in Metrics.InvariantViolations with the first few recorded.
+	CheckInvariants bool
+	// SecondaryRequests enables the protocol extension in which every node
+	// advertises its two best messages per collection round, letting the
+	// CCR-EDF master pack more spatially disjoint grants per slot. The
+	// extension doubles the request fields on the control channel; the
+	// one-transmission-per-node rule still holds. Baseline protocols
+	// ignore the secondary entries.
+	SecondaryRequests bool
+	// FailMasterAt kills the node elected master for the slot after this
+	// one (0 disables): it stops clocking, triggering the timeout-based
+	// recovery by the designated node.
+	FailMasterAt int64
+	// RecoveryTimeoutSlots is how many slot times the designated node waits
+	// for a missing clock before restarting the network (default 2).
+	RecoveryTimeoutSlots int
+	// DesignatedNode restarts the network after a master loss (default 0).
+	DesignatedNode int
+}
+
+// Metrics aggregates network-wide measurements for one run.
+type Metrics struct {
+	// Slots counts slots started; SlotsWithData those carrying ≥1 grant.
+	Slots, SlotsWithData stats.Counter
+	// Grants counts executed grants; WastedGrants grants whose message had
+	// vanished by transmission time; DeniedRequests refused requests.
+	Grants, WastedGrants, DeniedRequests stats.Counter
+	// FragmentsDelivered / FragmentsDropped / Retransmits count data
+	// packets arriving, lost to injected faults, and re-sent;
+	// FragmentsCorrupted counts packets discarded by the receiver's CRC.
+	FragmentsDelivered, FragmentsDropped, Retransmits, FragmentsCorrupted stats.Counter
+	// MessagesDelivered counts fully delivered messages; MessagesLost
+	// messages that can never complete (loss without the reliable service).
+	MessagesDelivered, MessagesLost stats.Counter
+	// NetDeadlineMisses and UserDeadlineMisses count real-time messages
+	// completing after their network-level deadline (release + period) and
+	// after the user-level deadline (+ Equation 4 latency) respectively.
+	NetDeadlineMisses, UserDeadlineMisses stats.Counter
+	// LateDrops counts RT messages discarded by DropLate.
+	LateDrops stats.Counter
+	// BytesDelivered counts payload bytes that reached a destination.
+	BytesDelivered stats.Counter
+	// WireErrors counts control packets that failed the codec round trip
+	// (must stay zero).
+	WireErrors stats.Counter
+	// InvariantViolations counts arbitration outcomes that broke a
+	// protocol invariant (must stay zero); Violations records the first
+	// few descriptions.
+	InvariantViolations stats.Counter
+	// Violations holds up to eight violation descriptions for debugging.
+	Violations []string
+	// GapTime accumulates inter-slot clock hand-over gaps.
+	GapTime timing.Time
+	// BusyLinks accumulates links occupied per slot (spatial reuse).
+	BusyLinks int64
+	// Latency is one histogram per traffic class.
+	Latency [4]*stats.Histogram
+	// NodeSent counts data fragments transmitted per source node;
+	// NodeReceived counts fragments arriving per (first) destination.
+	// Together they feed the fairness analysis (Jain index).
+	NodeSent, NodeReceived []int64
+}
+
+func newMetrics(nodes int) *Metrics {
+	m := &Metrics{
+		NodeSent:     make([]int64, nodes),
+		NodeReceived: make([]int64, nodes),
+	}
+	for i := range m.Latency {
+		m.Latency[i] = stats.NewHistogram()
+	}
+	return m
+}
+
+// SentShares returns the per-node transmitted-fragment counts as floats,
+// ready for stats.JainIndex.
+func (m *Metrics) SentShares() []float64 {
+	out := make([]float64, len(m.NodeSent))
+	for i, v := range m.NodeSent {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// SpatialReuseFactor returns the mean number of simultaneously busy links in
+// slots that carried data: the aggregated-throughput multiplier over a
+// single transmission per slot.
+func (m *Metrics) SpatialReuseFactor() float64 {
+	return stats.Ratio(m.BusyLinks, m.SlotsWithData.Value())
+}
+
+// ConnStats tracks one logical real-time connection.
+type ConnStats struct {
+	Conn       sched.Connection
+	Released   int64
+	Delivered  int64
+	NetMisses  int64
+	UserMisses int64
+	Latency    *stats.Histogram
+	// Jitter records |inter-completion gap − period| per consecutive
+	// delivery pair: the delivery-time wobble an isochronous consumer
+	// (video decoder, radar integrator) observes.
+	Jitter       *stats.Histogram
+	lastDelivery timing.Time
+}
+
+type connState struct {
+	stats  *ConnStats
+	active bool
+}
+
+// Network is one simulated CCR-EDF (or CC-FPR) ring.
+type Network struct {
+	cfg     Config
+	params  timing.Params
+	sim     *des.Simulator
+	r       ring.Ring
+	proto   core.Protocol
+	nodes   []*node.Node
+	adm     *sched.Admission
+	rnd     *rng.Source
+	metrics *Metrics
+
+	slot      int64
+	master    int
+	slotStart timing.Time
+	pending   core.Outcome   // grants to execute at the next slot start
+	sampled   []core.Request // collection-phase requests of the current slot
+	sampled2  []core.Request // secondary requests (extension), may be nil
+	next      core.Outcome   // arbitration result awaiting slot end
+
+	msgSeq      int64
+	conns       map[int]*connState
+	deadNode    int
+	onDeliver   []func(*sched.Message, timing.Time)
+	dataScratch []byte
+}
+
+// New builds a network. The configuration must carry valid Params and a
+// Protocol whose ring size matches.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Protocol == nil {
+		return nil, errors.New("network: nil protocol")
+	}
+	if cfg.LossProb < 0 || cfg.LossProb > 1 {
+		return nil, fmt.Errorf("network: loss probability %v outside [0,1]", cfg.LossProb)
+	}
+	if cfg.CorruptProb < 0 || cfg.CorruptProb > 1 {
+		return nil, fmt.Errorf("network: corruption probability %v outside [0,1]", cfg.CorruptProb)
+	}
+	if cfg.RecoveryTimeoutSlots <= 0 {
+		cfg.RecoveryTimeoutSlots = 2
+	}
+	r, err := ring.New(cfg.Params.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DesignatedNode < 0 || cfg.DesignatedNode >= r.Nodes() {
+		return nil, fmt.Errorf("network: designated node %d outside ring", cfg.DesignatedNode)
+	}
+	n := &Network{
+		cfg:      cfg,
+		params:   cfg.Params,
+		sim:      des.New(),
+		r:        r,
+		proto:    cfg.Protocol,
+		adm:      sched.NewAdmission(cfg.Params),
+		rnd:      rng.New(cfg.Seed),
+		metrics:  newMetrics(r.Nodes()),
+		sampled:  make([]core.Request, r.Nodes()),
+		conns:    make(map[int]*connState),
+		deadNode: -1,
+	}
+	if cfg.SecondaryRequests {
+		n.sampled2 = make([]core.Request, r.Nodes())
+	}
+	for i := 0; i < r.Nodes(); i++ {
+		n.nodes = append(n.nodes, node.New(i))
+		n.sampled[i].Node = i
+		if n.sampled2 != nil {
+			n.sampled2[i].Node = i
+		}
+	}
+	n.sim.At(0, n.startSlot)
+	return n, nil
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() timing.Time { return n.sim.Now() }
+
+// At schedules fn at absolute simulated time t (for traffic generators and
+// services).
+func (n *Network) At(t timing.Time, fn func(timing.Time)) { n.sim.At(t, fn) }
+
+// After schedules fn d after the current time.
+func (n *Network) After(d timing.Time, fn func(timing.Time)) { n.sim.After(d, fn) }
+
+// Run advances the simulation to the given absolute time.
+func (n *Network) Run(until timing.Time) { n.sim.Run(until) }
+
+// RunSlots advances the simulation by approximately count slots (assuming
+// worst-case gaps; the engine may fit more slots in the same wall of time).
+func (n *Network) RunSlots(count int64) {
+	period := n.params.SlotTime() + n.params.MaxHandoverTime()
+	n.Run(n.sim.Now() + timing.Time(count)*period)
+}
+
+// Params returns the physical parameters.
+func (n *Network) Params() timing.Params { return n.params }
+
+// Ring returns the topology.
+func (n *Network) Ring() ring.Ring { return n.r }
+
+// Metrics returns the live metrics (read-only use).
+func (n *Network) Metrics() *Metrics { return n.metrics }
+
+// Admission returns the admission controller (Section 6).
+func (n *Network) Admission() *sched.Admission { return n.adm }
+
+// Slot returns the current slot number.
+func (n *Network) Slot() int64 { return n.slot }
+
+// Master returns the node currently holding clocking responsibility.
+func (n *Network) Master() int { return n.master }
+
+// QueueDepth returns the total number of messages still queued at all nodes.
+func (n *Network) QueueDepth() int {
+	total := 0
+	for _, nd := range n.nodes {
+		total += nd.QueueLen()
+	}
+	return total
+}
+
+// OnDeliver registers fn to run whenever a message completes delivery.
+func (n *Network) OnDeliver(fn func(*sched.Message, timing.Time)) {
+	n.onDeliver = append(n.onDeliver, fn)
+}
+
+// SubmitMessage enqueues a message at node src for the given destinations,
+// occupying slots network slots, with the given relative network-level
+// deadline (ignored — treated as no deadline — for non-real-time traffic).
+// It returns the queued message.
+func (n *Network) SubmitMessage(class sched.Class, src int, dests ring.NodeSet, slots int, relDeadline timing.Time) (*sched.Message, error) {
+	if !n.r.Valid(src) {
+		return nil, fmt.Errorf("network: source %d outside ring", src)
+	}
+	if dests.Empty() || dests.Contains(src) {
+		return nil, fmt.Errorf("network: bad destination set %v for source %d", dests, src)
+	}
+	for _, d := range dests.Nodes() {
+		if !n.r.Valid(d) {
+			return nil, fmt.Errorf("network: destination %d outside ring", d)
+		}
+	}
+	if slots < 1 {
+		return nil, fmt.Errorf("network: message of %d slots", slots)
+	}
+	deadline := timing.Forever
+	if class != sched.ClassNonRealTime && relDeadline > 0 && relDeadline != timing.Forever {
+		deadline = n.sim.Now() + relDeadline
+	}
+	n.msgSeq++
+	m := &sched.Message{
+		ID:       n.msgSeq,
+		Class:    class,
+		Src:      src,
+		Dests:    dests,
+		Release:  n.sim.Now(),
+		Deadline: deadline,
+		Slots:    slots,
+	}
+	if err := n.nodes[src].Enqueue(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// OpenConnection admits a logical real-time connection and starts its
+// periodic message stream immediately (first release now, then every
+// Period). It returns the admitted connection with its assigned ID.
+func (n *Network) OpenConnection(c sched.Connection) (sched.Connection, error) {
+	admitted, err := n.adm.Request(c)
+	if err != nil {
+		return sched.Connection{}, err
+	}
+	cs := &connState{
+		stats:  &ConnStats{Conn: admitted, Latency: stats.NewHistogram(), Jitter: stats.NewHistogram()},
+		active: true,
+	}
+	n.conns[admitted.ID] = cs
+	n.releaseConnMessage(admitted.ID)
+	return admitted, nil
+}
+
+// StartAdmitted begins the periodic stream of a connection that the
+// admission controller has already accepted (used by the remote admission
+// service, where reservation happens at the designated node and the stream
+// starts when the acceptance reply reaches the source).
+func (n *Network) StartAdmitted(c sched.Connection) error {
+	stored, ok := n.adm.Get(c.ID)
+	if !ok {
+		return fmt.Errorf("network: connection %d is not admitted", c.ID)
+	}
+	if _, exists := n.conns[c.ID]; exists {
+		return fmt.Errorf("network: connection %d already started", c.ID)
+	}
+	cs := &connState{
+		stats:  &ConnStats{Conn: stored, Latency: stats.NewHistogram(), Jitter: stats.NewHistogram()},
+		active: true,
+	}
+	n.conns[stored.ID] = cs
+	n.releaseConnMessage(stored.ID)
+	return nil
+}
+
+// ForceConnection starts a periodic stream while bypassing the admission
+// test — the hook overload experiments use to offer more than U_max.
+// Guarantees do not apply to forced connections.
+func (n *Network) ForceConnection(c sched.Connection) (sched.Connection, error) {
+	admitted, err := n.adm.Force(c)
+	if err != nil {
+		return sched.Connection{}, err
+	}
+	cs := &connState{
+		stats:  &ConnStats{Conn: admitted, Latency: stats.NewHistogram(), Jitter: stats.NewHistogram()},
+		active: true,
+	}
+	n.conns[admitted.ID] = cs
+	n.releaseConnMessage(admitted.ID)
+	return admitted, nil
+}
+
+// CloseConnection stops the connection's stream and frees its capacity.
+func (n *Network) CloseConnection(id int) bool {
+	cs, ok := n.conns[id]
+	if !ok || !cs.active {
+		return false
+	}
+	cs.active = false
+	return n.adm.Release(id)
+}
+
+// ConnStats returns the statistics of a (possibly closed) connection.
+func (n *Network) ConnStats(id int) (*ConnStats, bool) {
+	cs, ok := n.conns[id]
+	if !ok {
+		return nil, false
+	}
+	return cs.stats, true
+}
+
+// Connections returns the IDs of every connection ever opened, in ID order.
+func (n *Network) Connections() []int {
+	ids := make([]int, 0, len(n.conns))
+	for id := range n.conns {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ { // insertion sort; the set is small
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+func (n *Network) releaseConnMessage(id int) {
+	cs, ok := n.conns[id]
+	if !ok || !cs.active {
+		return
+	}
+	c := cs.stats.Conn
+	n.msgSeq++
+	m := &sched.Message{
+		ID:       n.msgSeq,
+		Conn:     c.ID,
+		Class:    sched.ClassRealTime,
+		Src:      c.Src,
+		Dests:    c.Dests,
+		Release:  n.sim.Now(),
+		Deadline: n.sim.Now() + c.RelDeadline(),
+		Slots:    c.Slots,
+	}
+	if err := n.nodes[c.Src].Enqueue(m); err == nil {
+		cs.stats.Released++
+	}
+	n.sim.After(c.Period, func(timing.Time) { n.releaseConnMessage(id) })
+}
+
+func (n *Network) emit(k trace.Kind, nodeIdx, peer int, detail string) {
+	n.cfg.Tracer.Emit(trace.Record{
+		Time: n.sim.Now(), Slot: n.slot, Kind: k, Node: nodeIdx, Peer: peer, Detail: detail,
+	})
+}
+
+// startSlot begins slot n.slot at the current time: grants decided during
+// the previous slot are transmitted, and the collection phase for the next
+// slot starts on the control channel.
+func (n *Network) startSlot(now timing.Time) {
+	n.slotStart = now
+	n.metrics.Slots.Inc()
+	n.emit(trace.SlotStart, n.master, 0, "")
+
+	// Execute the grants of the previous arbitration.
+	busy := 0
+	for _, g := range n.pending.Grants {
+		if g.Node == n.deadNode {
+			continue
+		}
+		m := n.nodes[g.Node].Grant(g.MsgID)
+		if m == nil {
+			n.metrics.WastedGrants.Inc()
+			continue
+		}
+		n.metrics.Grants.Inc()
+		n.metrics.NodeSent[g.Node]++
+		busy += g.Links.Count()
+		n.transmit(m, g, now)
+	}
+	n.metrics.DeniedRequests.Add(int64(len(n.pending.Denied)))
+	if busy > 0 {
+		n.metrics.SlotsWithData.Inc()
+		n.metrics.BusyLinks += int64(busy)
+	}
+
+	// Collection phase: the control packet leaves the master and passes
+	// every node; node (master+i) appends its request after i per-node
+	// delays and the propagation over the i links between them.
+	for i := 1; i <= n.r.Nodes(); i++ {
+		idx := (n.master + i) % n.r.Nodes()
+		prop := n.params.PropagationBetween(n.master, n.master+i)
+		if i == n.r.Nodes() {
+			prop = n.params.RingPropagation() // full loop back to the master
+		}
+		at := now + timing.Time(i)*n.params.NodeControlDelay() + prop
+		n.sim.At(at, func(t timing.Time) { n.sample(idx, t) })
+	}
+	// The master holds the completed packet after Equation 2's minimum
+	// collection time and arbitrates.
+	n.sim.At(now+n.params.MinSlotLength(), n.arbitrate)
+	// The slot ends one payload time after it started.
+	n.sim.At(now+n.params.SlotTime(), n.endSlot)
+}
+
+// transmit delivers (or loses) one granted fragment.
+func (n *Network) transmit(m *sched.Message, g core.Grant, slotBegin timing.Time) {
+	span := n.r.Span(g.Node, g.Dests)
+	arrival := slotBegin + n.params.SlotTime() + n.params.PropagationBetween(g.Node, g.Node+span)
+	if n.cfg.DataCheck {
+		n.dataCheck(m, g)
+	}
+	lost := n.cfg.LossProb > 0 && n.rnd.Bool(n.cfg.LossProb)
+	corrupted := !lost && n.cfg.CorruptProb > 0 && n.rnd.Bool(n.cfg.CorruptProb)
+	if lost || corrupted {
+		reason := "lost"
+		if corrupted {
+			reason = "crc"
+			n.metrics.FragmentsCorrupted.Inc()
+		}
+		n.metrics.FragmentsDropped.Inc()
+		n.emit(trace.Drop, g.Node, 0, fmt.Sprintf("msg=%d %s", m.ID, reason))
+		if n.cfg.Reliable {
+			// The sender notices the missing acknowledgement in the
+			// distribution packet of the slot after the arrival slot and
+			// requeues the fragment.
+			n.sim.At(arrival+n.params.SlotTime(), func(timing.Time) {
+				n.metrics.Retransmits.Inc()
+				n.nodes[m.Src].Restore(m)
+			})
+		} else {
+			m.Dropped++
+			if m.Dropped+m.Delivered >= m.Slots {
+				n.metrics.MessagesLost.Inc()
+			}
+		}
+		return
+	}
+	n.sim.At(arrival, func(t timing.Time) { n.deliver(m, g, t) })
+}
+
+// dataCheck serialises the fragment exactly as the eight data fibres would
+// carry it (header + payload + CRC-16) and verifies the receiver-side
+// decode, counting failures in WireErrors.
+func (n *Network) dataCheck(m *sched.Message, g core.Grant) {
+	headerBytes := (wire.DataPacketBits(n.r.Nodes(), 0) + 7) / 8
+	payloadLen := n.params.SlotPayloadBytes - headerBytes
+	if payloadLen < 1 {
+		payloadLen = 1
+	}
+	if n.dataScratch == nil || len(n.dataScratch) != payloadLen {
+		n.dataScratch = make([]byte, payloadLen)
+	}
+	// Deterministic pseudo-payload so the CRC covers realistic bytes.
+	seed := byte(m.ID) ^ byte(m.Sent)
+	for i := range n.dataScratch {
+		n.dataScratch[i] = seed + byte(i)
+	}
+	pkt := wire.DataPacket{
+		Version:  wire.DataVersion,
+		Class:    uint8(m.Class),
+		Src:      m.Src,
+		Dests:    g.Dests,
+		MsgID:    uint32(m.ID),
+		Fragment: uint16(m.Sent - 1),
+		Total:    uint16(m.Slots),
+		Payload:  n.dataScratch,
+	}
+	buf, err := wire.EncodeData(pkt, n.r.Nodes())
+	if err != nil {
+		n.metrics.WireErrors.Inc()
+		return
+	}
+	got, err := wire.DecodeData(buf, n.r.Nodes())
+	if err != nil || got.MsgID != pkt.MsgID || got.Fragment != pkt.Fragment ||
+		got.Src != pkt.Src || got.Dests != pkt.Dests {
+		n.metrics.WireErrors.Inc()
+	}
+}
+
+// deliver completes one fragment and, when it is the last, the message.
+func (n *Network) deliver(m *sched.Message, g core.Grant, now timing.Time) {
+	m.Delivered++
+	n.metrics.FragmentsDelivered.Inc()
+	n.metrics.NodeReceived[firstNode(g.Dests)]++
+	n.metrics.BytesDelivered.Add(int64(n.params.SlotPayloadBytes))
+	n.emit(trace.Deliver, g.Node, firstNode(g.Dests), fmt.Sprintf("msg=%d frag=%d/%d", m.ID, m.Delivered, m.Slots))
+	if m.Delivered < m.Slots {
+		if m.Dropped > 0 && m.Dropped+m.Delivered >= m.Slots {
+			// The last outstanding fragment was lost while this one was in
+			// flight: the message can never complete.
+			n.metrics.MessagesLost.Inc()
+		}
+		return
+	}
+	latency := now - m.Release
+	n.metrics.MessagesDelivered.Inc()
+	if int(m.Class) < len(n.metrics.Latency) {
+		n.metrics.Latency[m.Class].Observe(latency)
+	}
+	if m.Class == sched.ClassRealTime && m.Deadline != timing.Forever {
+		if now > m.Deadline {
+			n.metrics.NetDeadlineMisses.Inc()
+		}
+		if now > m.Deadline+n.params.WorstCaseLatency() {
+			n.metrics.UserDeadlineMisses.Inc()
+		}
+	}
+	if cs, ok := n.conns[m.Conn]; ok && m.Conn != 0 {
+		cs.stats.Delivered++
+		cs.stats.Latency.Observe(latency)
+		if cs.stats.lastDelivery > 0 {
+			gap := now - cs.stats.lastDelivery
+			wobble := gap - cs.stats.Conn.Period
+			if wobble < 0 {
+				wobble = -wobble
+			}
+			cs.stats.Jitter.Observe(wobble)
+		}
+		cs.stats.lastDelivery = now
+		if now > m.Deadline {
+			cs.stats.NetMisses++
+		}
+		if now > m.Deadline+n.params.WorstCaseLatency() {
+			cs.stats.UserMisses++
+		}
+	}
+	for _, fn := range n.onDeliver {
+		fn(m, now)
+	}
+}
+
+func firstNode(s ring.NodeSet) int {
+	nodes := s.Nodes()
+	if len(nodes) == 0 {
+		return 0
+	}
+	return nodes[0]
+}
+
+// sample snapshots one node's request as the collection packet passes it.
+func (n *Network) sample(idx int, now timing.Time) {
+	if idx == n.deadNode {
+		n.sampled[idx] = core.Request{Node: idx}
+		return
+	}
+	req, dropped := n.nodes[idx].Request(now, n.params.SlotTime(), n.cfg.DropLate)
+	n.sampled[idx] = req
+	if n.sampled2 != nil {
+		n.sampled2[idx] = n.nodes[idx].SecondaryRequest(now, n.params.SlotTime())
+	}
+	for _, m := range dropped {
+		n.metrics.LateDrops.Inc()
+		n.metrics.NetDeadlineMisses.Inc()
+		n.metrics.UserDeadlineMisses.Inc()
+		if cs, ok := n.conns[m.Conn]; ok && m.Conn != 0 {
+			cs.stats.NetMisses++
+			cs.stats.UserMisses++
+		}
+	}
+}
+
+// arbitrate runs the protocol on the completed collection packet.
+func (n *Network) arbitrate(now timing.Time) {
+	reqs := n.sampled
+	if n.cfg.WireCheck {
+		n.wireCheckCollection(n.sampled)
+	}
+	if n.sampled2 != nil {
+		// Extension: append the secondary requests after the primaries;
+		// indices 0..N−1 keep the per-node layout baseline protocols use.
+		reqs = append(append(make([]core.Request, 0, 2*len(n.sampled)), n.sampled...), n.sampled2...)
+	}
+	n.next = n.proto.Arbitrate(reqs, n.master)
+	if n.cfg.WireCheck {
+		n.wireCheckDistribution(n.next)
+	}
+	if n.cfg.CheckInvariants {
+		n.checkInvariants(reqs, n.next)
+	}
+	n.emit(trace.Collection, n.master, n.next.Master,
+		fmt.Sprintf("grants=%d denied=%d", len(n.next.Grants), len(n.next.Denied)))
+	for _, g := range n.next.Grants {
+		n.cfg.Tracer.Emit(trace.Record{
+			Time: n.sim.Now(), Slot: n.slot, Kind: trace.Grant,
+			Node: g.Node, Peer: firstNode(g.Dests), Links: uint64(g.Links),
+			Detail: fmt.Sprintf("msg=%d links=%v", g.MsgID, g.Links.Links()),
+		})
+	}
+	for _, d := range n.next.Denied {
+		n.emit(trace.Deny, d, 0, "")
+	}
+	// Fresh request slate for the next collection round.
+	n.sampled = make([]core.Request, n.r.Nodes())
+	for i := range n.sampled {
+		n.sampled[i].Node = i
+	}
+	if n.sampled2 != nil {
+		n.sampled2 = make([]core.Request, n.r.Nodes())
+		for i := range n.sampled2 {
+			n.sampled2[i].Node = i
+		}
+	}
+}
+
+// wireCheckCollection serialises the sampled requests exactly as the control
+// fibre would and verifies the round trip.
+func (n *Network) wireCheckCollection(reqs []core.Request) {
+	c := wire.Collection{Requests: make([]wire.Request, len(reqs))}
+	for i, r := range reqs {
+		if r.Empty() {
+			continue
+		}
+		c.Requests[i] = wire.Request{
+			Prio:    r.Prio,
+			Reserve: n.r.PathLinks(r.Node, r.Dests),
+			Dests:   r.Dests,
+		}
+	}
+	buf, err := wire.EncodeCollection(c, n.r.Nodes())
+	if err != nil {
+		n.metrics.WireErrors.Inc()
+		return
+	}
+	got, err := wire.DecodeCollection(buf, n.r.Nodes())
+	if err != nil {
+		n.metrics.WireErrors.Inc()
+		return
+	}
+	for i := range c.Requests {
+		if got.Requests[i] != c.Requests[i] {
+			n.metrics.WireErrors.Inc()
+			return
+		}
+	}
+}
+
+// wireCheckDistribution serialises the arbitration outcome as the
+// distribution-phase packet and verifies the round trip.
+func (n *Network) wireCheckDistribution(out core.Outcome) {
+	d := wire.Distribution{HPNode: out.Master, Granted: out.GrantedSet().Add(out.Master)}
+	buf, err := wire.EncodeDistribution(d, n.r.Nodes())
+	if err != nil {
+		n.metrics.WireErrors.Inc()
+		return
+	}
+	got, err := wire.DecodeDistribution(buf, n.r.Nodes())
+	if err != nil || got.HPNode != d.HPNode || got.Granted != d.Granted {
+		n.metrics.WireErrors.Inc()
+	}
+}
+
+// endSlot stops the clock, hands the master role over and schedules the next
+// slot after the hand-over gap (Equation 1).
+func (n *Network) endSlot(now timing.Time) {
+	newMaster := n.next.Master
+	if n.cfg.FailMasterAt > 0 && n.slot == n.cfg.FailMasterAt {
+		// The elected master dies before it starts clocking: the network
+		// goes silent until the designated node's timeout fires (§8).
+		n.deadNode = newMaster
+		n.emit(trace.MasterLoss, newMaster, 0, "master lost; waiting for designated node")
+		timeout := timing.Time(n.cfg.RecoveryTimeoutSlots) * n.params.SlotTime()
+		n.sim.At(now+timeout, func(t timing.Time) {
+			n.master = n.cfg.DesignatedNode
+			if n.master == n.deadNode {
+				n.master = n.r.Next(n.master)
+			}
+			n.pending = core.Outcome{Master: n.master}
+			n.next = n.pending
+			n.metrics.GapTime += timeout
+			n.emit(trace.Recovery, n.master, 0, "designated node restarted the ring")
+			n.slot++
+			n.startSlot(t)
+		})
+		return
+	}
+	dist := n.r.Dist(n.master, newMaster)
+	gap := n.params.HandoverBetween(n.master, newMaster)
+	n.metrics.GapTime += gap
+	n.emit(trace.Handover, n.master, newMaster, fmt.Sprintf("hops=%d gap=%v", dist, gap))
+	n.master = newMaster
+	n.pending = n.next
+	n.slot++
+	n.sim.At(now+gap, n.startSlot)
+}

@@ -1,0 +1,157 @@
+package network
+
+import (
+	"testing"
+
+	"ccredf/internal/core"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+	"ccredf/internal/trace"
+)
+
+func newSecondaryNet(t *testing.T, secondary bool) (*Network, *trace.Tracer) {
+	t.Helper()
+	p := timing.DefaultParams(8)
+	arb, err := core.NewArbiter(8, sched.MapExact, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(0)
+	net, err := New(Config{
+		Params: p, Protocol: arb,
+		WireCheck: true, CheckInvariants: true,
+		SecondaryRequests: secondary,
+		Tracer:            tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, tr
+}
+
+// grantsInSlot counts Grant records emitted during the given slot's
+// arbitration.
+func grantsInSlot(tr *trace.Tracer, slot int64) int {
+	count := 0
+	for _, r := range tr.Records() {
+		if r.Kind == trace.Grant && r.Slot == slot {
+			count++
+		}
+	}
+	return count
+}
+
+// submitTriple sets up the packing scenario: node 0's message blocks node
+// 5's primary, but node 5's *secondary* fits alongside.
+func submitTriple(t *testing.T, net *Network) {
+	t.Helper()
+	// P0: 0 → 4 (links 0-3), tightest deadline → master, granted.
+	if _, err := net.SubmitMessage(sched.ClassRealTime, 0, ring.Node(4), 1, 100*timing.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	// P5: 5 → 1 (links 5,6,7,0) overlaps P0 on link 0 → denied.
+	if _, err := net.SubmitMessage(sched.ClassRealTime, 5, ring.Node(1), 1, 200*timing.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	// S5: 5 → 7 (links 5,6) — disjoint; only visible via the extension.
+	if _, err := net.SubmitMessage(sched.ClassRealTime, 5, ring.Node(7), 1, 400*timing.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecondaryRequestImprovesPacking(t *testing.T) {
+	with, trWith := newSecondaryNet(t, true)
+	submitTriple(t, with)
+	with.RunSlots(20)
+
+	without, trWithout := newSecondaryNet(t, false)
+	submitTriple(t, without)
+	without.RunSlots(20)
+
+	// The first arbitration (slot 0) packs P0 + S5 with the extension but
+	// only P0 without it.
+	if got := grantsInSlot(trWithout, 0); got != 1 {
+		t.Fatalf("baseline slot-0 arbitration granted %d, want 1", got)
+	}
+	if got := grantsInSlot(trWith, 0); got != 2 {
+		t.Fatalf("extension slot-0 arbitration granted %d, want 2 (P0 + S5)", got)
+	}
+	// All three messages complete either way, but the extension needs one
+	// data slot fewer.
+	if with.Metrics().MessagesDelivered.Value() != 3 || without.Metrics().MessagesDelivered.Value() != 3 {
+		t.Fatal("not all messages delivered")
+	}
+	if w, wo := with.Metrics().SlotsWithData.Value(), without.Metrics().SlotsWithData.Value(); w >= wo {
+		t.Fatalf("extension should use fewer data slots: %d vs %d", w, wo)
+	}
+	if v := with.Metrics().InvariantViolations.Value(); v != 0 {
+		t.Fatalf("invariant violations with extension: %v", with.Metrics().Violations)
+	}
+}
+
+func TestSecondaryNeverDoubleGrantsANode(t *testing.T) {
+	net, tr := newSecondaryNet(t, true)
+	// Node 2 has two disjoint-looking messages; only one may go per slot.
+	net.SubmitMessage(sched.ClassRealTime, 2, ring.Node(3), 1, 100*timing.Microsecond)
+	net.SubmitMessage(sched.ClassRealTime, 2, ring.Node(4), 1, 200*timing.Microsecond)
+	net.RunSlots(22)
+	if g := grantsInSlot(tr, 0); g != 1 {
+		t.Fatalf("slot-0 arbitration granted %d from one node, want 1", g)
+	}
+	if d := net.Metrics().MessagesDelivered.Value(); d != 2 {
+		t.Fatalf("delivered %d, want both eventually", d)
+	}
+	if v := net.Metrics().InvariantViolations.Value(); v != 0 {
+		t.Fatalf("violations: %v", net.Metrics().Violations)
+	}
+}
+
+func TestSecondaryExtensionFullRun(t *testing.T) {
+	net, _ := newSecondaryNet(t, true)
+	p := net.Params()
+	for i := 0; i < 8; i++ {
+		if _, err := net.OpenConnection(sched.Connection{
+			Src: i, Dests: ring.Node((i + 2) % 8), Period: 12 * p.SlotTime(), Slots: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.RunSlots(2000)
+	m := net.Metrics()
+	if m.InvariantViolations.Value() != 0 {
+		t.Fatalf("violations: %v", m.Violations)
+	}
+	if m.UserDeadlineMisses.Value() != 0 {
+		t.Fatalf("extension broke the guarantee: %d misses", m.UserDeadlineMisses.Value())
+	}
+	if m.WireErrors.Value() != 0 {
+		t.Fatal("wire errors")
+	}
+}
+
+func TestQueueSecond(t *testing.T) {
+	var q sched.Queue
+	if q.Second() != nil {
+		t.Fatal("empty queue Second")
+	}
+	q.Push(&sched.Message{ID: 1, Class: sched.ClassRealTime, Deadline: 30})
+	if q.Second() != nil {
+		t.Fatal("single-element Second")
+	}
+	q.Push(&sched.Message{ID: 2, Class: sched.ClassRealTime, Deadline: 10})
+	q.Push(&sched.Message{ID: 3, Class: sched.ClassRealTime, Deadline: 20})
+	q.Push(&sched.Message{ID: 4, Class: sched.ClassRealTime, Deadline: 40})
+	if got := q.Second(); got == nil || got.ID != 3 {
+		t.Fatalf("Second() = %+v, want message 3 (deadline 20)", got)
+	}
+	// Second never equals the head and respects class ordering.
+	q.Push(&sched.Message{ID: 5, Class: sched.ClassBestEffort, Deadline: 1})
+	head, second := q.Peek(), q.Second()
+	if head.ID == second.ID {
+		t.Fatal("Second returned the head")
+	}
+	if head.ID != 2 || second.ID != 3 {
+		t.Fatalf("head=%d second=%d, want 2/3", head.ID, second.ID)
+	}
+}

@@ -1,0 +1,114 @@
+package network
+
+import (
+	"encoding/json"
+	"io"
+
+	"ccredf/internal/sched"
+	"ccredf/internal/stats"
+)
+
+// Snapshot is a machine-readable summary of a run, stable for tooling
+// (ccr-sim -json, dashboards, regression diffs).
+type Snapshot struct {
+	Protocol  string  `json:"protocol"`
+	Nodes     int     `json:"nodes"`
+	SlotTime  float64 `json:"slot_time_us"`
+	UMax      float64 `json:"u_max"`
+	ElapsedUs float64 `json:"elapsed_us"`
+
+	Slots              int64 `json:"slots"`
+	SlotsWithData      int64 `json:"slots_with_data"`
+	Grants             int64 `json:"grants"`
+	MessagesDelivered  int64 `json:"messages_delivered"`
+	MessagesLost       int64 `json:"messages_lost"`
+	FragmentsDelivered int64 `json:"fragments_delivered"`
+	FragmentsDropped   int64 `json:"fragments_dropped"`
+	Retransmits        int64 `json:"retransmits"`
+	NetMisses          int64 `json:"net_deadline_misses"`
+	UserMisses         int64 `json:"user_deadline_misses"`
+	LateDrops          int64 `json:"late_drops"`
+	BytesDelivered     int64 `json:"bytes_delivered"`
+	WireErrors         int64 `json:"wire_errors"`
+	Violations         int64 `json:"invariant_violations"`
+
+	GapTimeUs       float64                   `json:"gap_time_us"`
+	ReuseFactor     float64                   `json:"reuse_factor"`
+	AdmittedU       float64                   `json:"admitted_utilisation"`
+	ThroughputMBps  float64                   `json:"throughput_mbps"`
+	FairnessJain    float64                   `json:"fairness_jain"`
+	QueueDepth      int                       `json:"queue_depth"`
+	Latency         map[string]LatencySummary `json:"latency"`
+	NodeSent        []int64                   `json:"node_sent"`
+	ConnectionCount int                       `json:"connections"`
+}
+
+// LatencySummary summarises one latency histogram.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+func summarise(h *stats.Histogram) LatencySummary {
+	return LatencySummary{
+		Count:  h.Count(),
+		MeanUs: h.Mean().Micros(),
+		P50Us:  h.Quantile(0.5).Micros(),
+		P99Us:  h.Quantile(0.99).Micros(),
+		MaxUs:  h.Max().Micros(),
+	}
+}
+
+// Snapshot captures the network's current metrics.
+func (n *Network) Snapshot() Snapshot {
+	m := n.metrics
+	elapsed := n.Now()
+	s := Snapshot{
+		Protocol:           n.proto.Name(),
+		Nodes:              n.r.Nodes(),
+		SlotTime:           n.params.SlotTime().Micros(),
+		UMax:               n.params.UMax(),
+		ElapsedUs:          elapsed.Micros(),
+		Slots:              m.Slots.Value(),
+		SlotsWithData:      m.SlotsWithData.Value(),
+		Grants:             m.Grants.Value(),
+		MessagesDelivered:  m.MessagesDelivered.Value(),
+		MessagesLost:       m.MessagesLost.Value(),
+		FragmentsDelivered: m.FragmentsDelivered.Value(),
+		FragmentsDropped:   m.FragmentsDropped.Value(),
+		Retransmits:        m.Retransmits.Value(),
+		NetMisses:          m.NetDeadlineMisses.Value(),
+		UserMisses:         m.UserDeadlineMisses.Value(),
+		LateDrops:          m.LateDrops.Value(),
+		BytesDelivered:     m.BytesDelivered.Value(),
+		WireErrors:         m.WireErrors.Value(),
+		Violations:         m.InvariantViolations.Value(),
+		GapTimeUs:          m.GapTime.Micros(),
+		ReuseFactor:        m.SpatialReuseFactor(),
+		AdmittedU:          n.adm.Utilisation(),
+		FairnessJain:       stats.JainIndex(m.SentShares()),
+		QueueDepth:         n.QueueDepth(),
+		NodeSent:           append([]int64(nil), m.NodeSent...),
+		ConnectionCount:    len(n.conns),
+		Latency:            map[string]LatencySummary{},
+	}
+	if elapsed > 0 {
+		s.ThroughputMBps = float64(m.BytesDelivered.Value()) / elapsed.Seconds() / 1e6
+	}
+	for _, cl := range []sched.Class{sched.ClassRealTime, sched.ClassBestEffort, sched.ClassNonRealTime} {
+		if h := m.Latency[cl]; h.Count() > 0 {
+			s.Latency[cl.String()] = summarise(h)
+		}
+	}
+	return s
+}
+
+// WriteSnapshot writes the snapshot as indented JSON.
+func (n *Network) WriteSnapshot(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(n.Snapshot())
+}

@@ -1,0 +1,93 @@
+package network
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ccredf/internal/core"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+func TestSnapshotFields(t *testing.T) {
+	p := timing.DefaultParams(8)
+	arb, _ := core.NewArbiter(8, sched.Map5Bit, true)
+	net, err := New(Config{Params: p, Protocol: arb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.OpenConnection(sched.Connection{
+		Src: 0, Dests: ring.Node(4), Period: 10 * p.SlotTime(), Slots: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	net.SubmitMessage(sched.ClassBestEffort, 2, ring.Node(6), 1, timing.Millisecond)
+	net.Run(5 * timing.Millisecond)
+
+	s := net.Snapshot()
+	if s.Protocol != "ccr-edf" || s.Nodes != 8 {
+		t.Fatalf("identity fields wrong: %+v", s)
+	}
+	if s.MessagesDelivered == 0 || s.Slots == 0 {
+		t.Fatal("counters empty")
+	}
+	if s.UserMisses != 0 || s.WireErrors != 0 || s.Violations != 0 {
+		t.Fatal("unexpected errors in snapshot")
+	}
+	if s.AdmittedU <= 0.09 || s.AdmittedU >= 0.11 {
+		t.Fatalf("AdmittedU = %v, want ≈0.1", s.AdmittedU)
+	}
+	if s.ThroughputMBps <= 0 {
+		t.Fatal("throughput missing")
+	}
+	if s.FairnessJain <= 0 || s.FairnessJain > 1 {
+		t.Fatalf("Jain = %v", s.FairnessJain)
+	}
+	if len(s.NodeSent) != 8 {
+		t.Fatal("NodeSent length wrong")
+	}
+	rt, ok := s.Latency["rt"]
+	if !ok || rt.Count == 0 || rt.P99Us <= 0 {
+		t.Fatalf("rt latency summary missing: %+v", s.Latency)
+	}
+	if _, ok := s.Latency["be"]; !ok {
+		t.Fatal("be latency summary missing")
+	}
+	if s.ConnectionCount != 1 {
+		t.Fatalf("ConnectionCount = %d", s.ConnectionCount)
+	}
+}
+
+func TestWriteSnapshotJSON(t *testing.T) {
+	p := timing.DefaultParams(8)
+	arb, _ := core.NewArbiter(8, sched.Map5Bit, true)
+	net, _ := New(Config{Params: p, Protocol: arb})
+	net.SubmitMessage(sched.ClassBestEffort, 0, ring.Node(1), 1, 0)
+	net.Run(timing.Millisecond)
+
+	var buf bytes.Buffer
+	if err := net.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{"protocol", "u_max", "messages_delivered", "latency", "fairness_jain"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("key %q missing from snapshot JSON", key)
+		}
+	}
+}
+
+func TestSnapshotEmptyNetwork(t *testing.T) {
+	p := timing.DefaultParams(8)
+	arb, _ := core.NewArbiter(8, sched.Map5Bit, true)
+	net, _ := New(Config{Params: p, Protocol: arb})
+	s := net.Snapshot() // before any Run
+	if s.Slots != 0 || s.ThroughputMBps != 0 || len(s.Latency) != 0 {
+		t.Fatalf("fresh snapshot not empty: %+v", s)
+	}
+}

@@ -1,0 +1,135 @@
+// Package node models one station on the CCR-EDF ring: its class-ordered
+// local message queue, the request it contributes to the collection phase,
+// and the bookkeeping that maps a grant back to a queued message when the
+// distribution packet arrives.
+package node
+
+import (
+	"fmt"
+
+	"ccredf/internal/core"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// Node is one ring station. Create with New.
+type Node struct {
+	index int
+	queue sched.Queue
+
+	// Enqueued counts messages ever submitted at this node.
+	Enqueued int64
+	// LateDropped counts messages discarded because their network-level
+	// deadline had already passed at request time (only when the owning
+	// network runs with DropLate).
+	LateDropped int64
+}
+
+// New returns a node with the given ring index.
+func New(index int) *Node { return &Node{index: index} }
+
+// Index returns the node's position on the ring.
+func (n *Node) Index() int { return n.index }
+
+// QueueLen returns the number of locally queued messages.
+func (n *Node) QueueLen() int { return n.queue.Len() }
+
+// Queued returns the queued messages in arbitrary order (for inspection).
+func (n *Node) Queued() []*sched.Message { return n.queue.Messages() }
+
+// Enqueue adds m to the local queue. The message must originate here.
+func (n *Node) Enqueue(m *sched.Message) error {
+	if m.Src != n.index {
+		return fmt.Errorf("node %d: message %d has source %d", n.index, m.ID, m.Src)
+	}
+	if m.Slots < 1 || m.Dests.Empty() {
+		return fmt.Errorf("node %d: message %d is empty", n.index, m.ID)
+	}
+	n.queue.Push(m)
+	n.Enqueued++
+	return nil
+}
+
+// Request returns this node's collection-phase request at time now: the
+// head of the local queue mapped to a wire priority (Table 1), or an empty
+// request when the queue is empty. When dropLate is set, already-late
+// real-time messages are discarded instead of requested; the dropped
+// messages are returned so the caller can account for them.
+func (n *Node) Request(now, slot timing.Time, dropLate bool) (core.Request, []*sched.Message) {
+	var dropped []*sched.Message
+	for {
+		head := n.queue.Peek()
+		if head == nil {
+			return core.Request{Node: n.index}, dropped
+		}
+		if dropLate && head.Class == sched.ClassRealTime && head.Deadline < now {
+			n.queue.Pop()
+			n.LateDropped++
+			dropped = append(dropped, head)
+			continue
+		}
+		return core.Request{
+			Node:     n.index,
+			Class:    head.Class,
+			Prio:     sched.MapPriority(head.Class, head.Laxity(now), slot),
+			Deadline: head.Deadline,
+			Dests:    head.Dests,
+			MsgID:    head.ID,
+		}, dropped
+	}
+}
+
+// SecondaryRequest returns a request for the node's best queued message
+// with a destination set different from the head's — the protocol extension
+// in which each node advertises two candidates per collection round so the
+// master can pack spatial reuse better. (A same-segment runner-up could
+// never be granted alongside the head, so it is not worth the bits.) It
+// returns an empty request when no such message is queued.
+func (n *Node) SecondaryRequest(now, slot timing.Time) core.Request {
+	second := n.queue.SecondDistinct()
+	if second == nil {
+		return core.Request{Node: n.index}
+	}
+	return core.Request{
+		Node:     n.index,
+		Class:    second.Class,
+		Prio:     sched.MapPriority(second.Class, second.Laxity(now), slot),
+		Deadline: second.Deadline,
+		Dests:    second.Dests,
+		MsgID:    second.ID,
+	}
+}
+
+// Grant consumes one granted slot for the message with the given ID: the
+// node transmits the message's next fragment. It returns the message, or nil
+// when the message is no longer queued (the slot is wasted). When the last
+// fragment leaves, the message is removed from the queue; delivery
+// confirmation is the network's concern.
+func (n *Node) Grant(msgID int64) *sched.Message {
+	m := n.queue.Find(msgID)
+	if m == nil {
+		return nil
+	}
+	m.Sent++
+	if m.Remaining() <= 0 {
+		n.queue.Remove(msgID)
+	}
+	return m
+}
+
+// Restore undoes one transmitted fragment of m after a loss is detected
+// (reliable-transmission service): the fragment must be sent again. If the
+// message had already left the queue it is re-inserted.
+func (n *Node) Restore(m *sched.Message) {
+	m.Sent--
+	if m.Sent < 0 {
+		m.Sent = 0
+	}
+	if n.queue.Find(m.ID) == nil {
+		n.queue.Push(m)
+	}
+}
+
+// Cancel removes the message with the given ID from the queue, reporting
+// whether it was present.
+func (n *Node) Cancel(msgID int64) bool { return n.queue.Remove(msgID) }

@@ -1,0 +1,73 @@
+package node
+
+import (
+	"testing"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+func TestSecondaryRequestEmptyAndSingle(t *testing.T) {
+	n := New(0)
+	if req := n.SecondaryRequest(0, slot); !req.Empty() {
+		t.Fatal("empty queue should yield empty secondary")
+	}
+	_ = n.Enqueue(msg(1, 0, sched.ClassRealTime, 100*slot, 1))
+	if req := n.SecondaryRequest(0, slot); !req.Empty() {
+		t.Fatal("single message should yield empty secondary")
+	}
+}
+
+func TestSecondaryRequestPicksDistinctSegment(t *testing.T) {
+	n := New(0)
+	head := msg(1, 0, sched.ClassRealTime, 10*slot, 1)
+	head.Dests = ring.Node(4)
+	sameSeg := msg(2, 0, sched.ClassRealTime, 20*slot, 1)
+	sameSeg.Dests = ring.Node(4) // same destination as the head
+	distinct := msg(3, 0, sched.ClassRealTime, 30*slot, 1)
+	distinct.Dests = ring.Node(2)
+	for _, m := range []*sched.Message{head, sameSeg, distinct} {
+		if err := n.Enqueue(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := n.SecondaryRequest(0, slot)
+	if req.MsgID != 3 {
+		t.Fatalf("secondary = msg %d, want 3 (the best distinct segment)", req.MsgID)
+	}
+	if req.Dests != ring.Node(2) {
+		t.Fatalf("secondary dests = %v", req.Dests)
+	}
+	// Priority reflects the secondary's own laxity.
+	want := sched.MapPriority(sched.ClassRealTime, 30*slot, slot)
+	if req.Prio != want {
+		t.Fatalf("secondary prio = %d, want %d", req.Prio, want)
+	}
+}
+
+func TestSecondaryRequestAllSameSegment(t *testing.T) {
+	n := New(0)
+	for i := int64(1); i <= 4; i++ {
+		m := msg(i, 0, sched.ClassRealTime, timing.Time(i)*10*slot, 1)
+		m.Dests = ring.Node(5)
+		_ = n.Enqueue(m)
+	}
+	if req := n.SecondaryRequest(0, slot); !req.Empty() {
+		t.Fatalf("all-same-segment queue should yield empty secondary, got msg %d", req.MsgID)
+	}
+}
+
+func TestSecondaryRequestCrossClass(t *testing.T) {
+	n := New(0)
+	rtm := msg(1, 0, sched.ClassRealTime, 10*slot, 1)
+	rtm.Dests = ring.Node(4)
+	bem := msg(2, 0, sched.ClassBestEffort, 50*slot, 1)
+	bem.Dests = ring.Node(2)
+	_ = n.Enqueue(rtm)
+	_ = n.Enqueue(bem)
+	req := n.SecondaryRequest(0, slot)
+	if req.MsgID != 2 || req.Class != sched.ClassBestEffort {
+		t.Fatalf("secondary should be the BE message: %+v", req)
+	}
+}

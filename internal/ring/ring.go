@@ -1,0 +1,225 @@
+// Package ring implements the topology arithmetic of a unidirectional
+// pipelined ring: hop distances, the link sets used by (multicast)
+// transmissions, segment-overlap tests for spatial reuse, and the clock-break
+// feasibility rule that is the heart of the CCR-EDF scheduling property.
+//
+// Nodes are numbered 0..N−1 in downstream order. Link i is the fibre-ribbon
+// link from node i to node (i+1) mod N. Destination and link sets are 64-bit
+// masks, which bounds the ring at 64 nodes — comfortably above the LAN/SAN
+// scale the paper targets ("the number of nodes and network length is
+// relatively small").
+package ring
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// MaxNodes is the largest supported ring size (sets are 64-bit masks).
+const MaxNodes = 64
+
+// Ring describes a unidirectional ring of N nodes. The zero value is invalid;
+// use New.
+type Ring struct {
+	n int
+}
+
+// New returns a Ring with n nodes. It returns an error when n is outside
+// [2, MaxNodes].
+func New(n int) (Ring, error) {
+	if n < 2 || n > MaxNodes {
+		return Ring{}, fmt.Errorf("ring: size %d outside [2, %d]", n, MaxNodes)
+	}
+	return Ring{n: n}, nil
+}
+
+// MustNew is New for sizes known to be valid; it panics on error.
+func MustNew(n int) Ring {
+	r, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Nodes returns the number of nodes N.
+func (r Ring) Nodes() int { return r.n }
+
+// Valid reports whether node is a valid node index.
+func (r Ring) Valid(node int) bool { return node >= 0 && node < r.n }
+
+// Next returns the downstream neighbour of node.
+func (r Ring) Next(node int) int { return (node + 1) % r.n }
+
+// Prev returns the upstream neighbour of node.
+func (r Ring) Prev(node int) int { return (node + r.n - 1) % r.n }
+
+// Dist returns the number of hops travelled downstream from src to dst,
+// in [0, N−1].
+func (r Ring) Dist(src, dst int) int { return ((dst-src)%r.n + r.n) % r.n }
+
+// EntryLink returns the index of the link that enters node (the link from its
+// upstream neighbour). During a slot this is the clock-break link of the
+// master: the clock signal propagates only N−1 hops, so the link entering the
+// master carries no clock and no data may traverse it.
+func (r Ring) EntryLink(node int) int { return r.Prev(node) }
+
+// NodeSet is a set of nodes, as a bitmask. Used for multicast destination
+// fields (the N-bit destination field of Figure 4) and group membership.
+type NodeSet uint64
+
+// Node returns the singleton set {node}.
+func Node(node int) NodeSet { return 1 << uint(node) }
+
+// NodeSetOf builds a set from node indices.
+func NodeSetOf(nodes ...int) NodeSet {
+	var s NodeSet
+	for _, n := range nodes {
+		s |= Node(n)
+	}
+	return s
+}
+
+// Contains reports whether node is in s.
+func (s NodeSet) Contains(node int) bool { return s&Node(node) != 0 }
+
+// Add returns s with node added.
+func (s NodeSet) Add(node int) NodeSet { return s | Node(node) }
+
+// Remove returns s with node removed.
+func (s NodeSet) Remove(node int) NodeSet { return s &^ Node(node) }
+
+// Count returns the number of nodes in s.
+func (s NodeSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether s has no members.
+func (s NodeSet) Empty() bool { return s == 0 }
+
+// Nodes returns the members of s in ascending order.
+func (s NodeSet) Nodes() []int {
+	out := make([]int, 0, s.Count())
+	for v := uint64(s); v != 0; v &= v - 1 {
+		out = append(out, bits.TrailingZeros64(v))
+	}
+	return out
+}
+
+// String formats s like "{1,3,4}".
+func (s NodeSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range s.Nodes() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", n)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Broadcast returns the destination set for a broadcast from src: every node
+// except src itself.
+func (r Ring) Broadcast(src int) NodeSet {
+	all := NodeSet(1)<<uint(r.n) - 1
+	return all.Remove(src)
+}
+
+// LinkSet is a set of links, as a bitmask. Link i connects node i to node
+// (i+1) mod N. This is the link-reservation field of Figure 4.
+type LinkSet uint64
+
+// Link returns the singleton set {link}.
+func Link(link int) LinkSet { return 1 << uint(link) }
+
+// Contains reports whether link is in s.
+func (s LinkSet) Contains(link int) bool { return s&Link(link) != 0 }
+
+// Overlaps reports whether s and t share any link. Spatial reuse admits a set
+// of simultaneous transmissions exactly when their link sets are pairwise
+// non-overlapping.
+func (s LinkSet) Overlaps(t LinkSet) bool { return s&t != 0 }
+
+// Union returns s ∪ t.
+func (s LinkSet) Union(t LinkSet) LinkSet { return s | t }
+
+// Count returns the number of links in s.
+func (s LinkSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether s has no members.
+func (s LinkSet) Empty() bool { return s == 0 }
+
+// Links returns the members of s in ascending order.
+func (s LinkSet) Links() []int {
+	out := make([]int, 0, s.Count())
+	for v := uint64(s); v != 0; v &= v - 1 {
+		out = append(out, bits.TrailingZeros64(v))
+	}
+	return out
+}
+
+// Span returns the number of hops a transmission from src must travel to
+// cover every destination in dests: the distance to the farthest destination
+// downstream. It returns 0 for an empty destination set. Because data flows
+// downstream only and intermediate nodes forward the packet, a multicast
+// occupies one contiguous segment of Span links starting at src.
+func (r Ring) Span(src int, dests NodeSet) int {
+	max := 0
+	for _, d := range dests.Nodes() {
+		if d == src {
+			continue // a node does not send to itself over the ring
+		}
+		if h := r.Dist(src, d); h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// PathLinks returns the set of links occupied by a transmission from src to
+// all of dests: the contiguous segment of Span(src, dests) links starting at
+// the link leaving src.
+func (r Ring) PathLinks(src int, dests NodeSet) LinkSet {
+	span := r.Span(src, dests)
+	var s LinkSet
+	for h := 0; h < span; h++ {
+		s |= Link((src + h) % r.n)
+	}
+	return s
+}
+
+// SegmentNodes returns the set of nodes that a transmission from src with the
+// given destination set passes through or ends at, excluding src itself.
+func (r Ring) SegmentNodes(src int, dests NodeSet) NodeSet {
+	span := r.Span(src, dests)
+	var s NodeSet
+	for h := 1; h <= span; h++ {
+		s = s.Add((src + h) % r.n)
+	}
+	return s
+}
+
+// Feasible reports whether a transmission from src to dests can be carried
+// in a slot whose master is master. During the slot the ring behaves as a
+// linear bus cut at the master: data may flow downstream from the master all
+// the way around and terminate at the master (which latches it with its own
+// clock), but no transmission may cross past the clock break — the paper's
+// "will never have to transmit past a master". Formally the segment's span
+// from src must not exceed the remaining distance to the break:
+// Span(src, dests) ≤ N − Dist(master, src). The master's own transmissions
+// are always feasible because they span at most N−1 hops. An empty
+// destination set is trivially feasible.
+func (r Ring) Feasible(src int, dests NodeSet, master int) bool {
+	return r.Span(src, dests) <= r.n-r.Dist(master, src)
+}
+
+// Reaches reports whether every destination in dests is strictly downstream
+// of src within the slot segment of the given master, i.e. the transmission
+// is feasible and src is not a destination of itself.
+func (r Ring) Reaches(src int, dests NodeSet, master int) bool {
+	if dests.Contains(src) {
+		return false
+	}
+	return r.Feasible(src, dests, master)
+}

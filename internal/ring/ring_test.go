@@ -1,0 +1,327 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBounds(t *testing.T) {
+	for _, n := range []int{2, 3, 16, 64} {
+		if _, err := New(n); err != nil {
+			t.Errorf("New(%d): %v", n, err)
+		}
+	}
+	for _, n := range []int{-1, 0, 1, 65, 1000} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) accepted invalid size", n)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(1) did not panic")
+		}
+	}()
+	MustNew(1)
+}
+
+func TestNeighbours(t *testing.T) {
+	r := MustNew(5)
+	if got := r.Next(4); got != 0 {
+		t.Errorf("Next(4) = %d, want 0", got)
+	}
+	if got := r.Prev(0); got != 4 {
+		t.Errorf("Prev(0) = %d, want 4", got)
+	}
+	for n := 0; n < 5; n++ {
+		if r.Prev(r.Next(n)) != n || r.Next(r.Prev(n)) != n {
+			t.Errorf("Next/Prev not inverse at %d", n)
+		}
+	}
+}
+
+func TestDist(t *testing.T) {
+	r := MustNew(5)
+	cases := []struct{ src, dst, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 4, 4}, {4, 0, 1}, {3, 2, 4}, {2, 2, 0},
+	}
+	for _, c := range cases {
+		if got := r.Dist(c.src, c.dst); got != c.want {
+			t.Errorf("Dist(%d,%d) = %d, want %d", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	r := MustNew(7)
+	f := func(a, b uint8) bool {
+		src, dst := int(a%7), int(b%7)
+		d := r.Dist(src, dst)
+		if d < 0 || d >= 7 {
+			return false
+		}
+		// Walking d hops downstream from src lands on dst.
+		return (src+d)%7 == dst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeSetBasics(t *testing.T) {
+	s := NodeSetOf(1, 3, 4)
+	if !s.Contains(1) || !s.Contains(3) || !s.Contains(4) || s.Contains(2) {
+		t.Fatalf("membership wrong in %v", s)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count() = %d, want 3", s.Count())
+	}
+	s = s.Add(2).Remove(3)
+	want := []int{1, 2, 4}
+	got := s.Nodes()
+	if len(got) != len(want) {
+		t.Fatalf("Nodes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+	if s.String() != "{1,2,4}" {
+		t.Fatalf("String() = %q", s.String())
+	}
+	if !NodeSet(0).Empty() || s.Empty() {
+		t.Fatal("Empty() wrong")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	r := MustNew(4)
+	b := r.Broadcast(2)
+	if b.Contains(2) {
+		t.Fatal("broadcast set contains the source")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("broadcast Count() = %d, want 3", b.Count())
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := MustNew(5)
+	cases := []struct {
+		src   int
+		dests NodeSet
+		want  int
+	}{
+		{0, Node(1), 1},
+		{0, Node(4), 4},
+		{4, Node(0), 1},
+		{0, NodeSetOf(1, 2, 3), 3},
+		{3, NodeSetOf(4, 0), 2}, // Fig. 2: node 4 → {5,1} in 1-based = 3 → {4,0}
+		{0, 0, 0},
+		{2, Node(2), 0}, // self is ignored
+	}
+	for _, c := range cases {
+		if got := r.Span(c.src, c.dests); got != c.want {
+			t.Errorf("Span(%d,%v) = %d, want %d", c.src, c.dests, got, c.want)
+		}
+	}
+}
+
+func TestPathLinks(t *testing.T) {
+	r := MustNew(5)
+	// Fig. 2: Node 0 sends to Node 2 using links 0 and 1 (paper's 1-based:
+	// node 1 → node 3 via links 1, 2).
+	got := r.PathLinks(0, Node(2))
+	if got != Link(0).Union(Link(1)) {
+		t.Errorf("PathLinks(0,{2}) = %v, want links {0,1}", got.Links())
+	}
+	// Fig. 2: Node 3 multicasts to {4, 0} using links 3 and 4.
+	got = r.PathLinks(3, NodeSetOf(4, 0))
+	if got != Link(3).Union(Link(4)) {
+		t.Errorf("PathLinks(3,{4,0}) = %v, want links {3,4}", got.Links())
+	}
+}
+
+// TestFig2SpatialReuse reproduces the exact scenario of Figure 2: in a
+// 5-node ring, node 1 sends a single-destination packet to node 3 while node
+// 4 multicasts to nodes 5 and 1 (1-based). The two segments must not overlap.
+func TestFig2SpatialReuse(t *testing.T) {
+	r := MustNew(5)
+	a := r.PathLinks(0, Node(2))         // paper node 1 → node 3
+	b := r.PathLinks(3, NodeSetOf(4, 0)) // paper node 4 → nodes 5, 1
+	if a.Overlaps(b) {
+		t.Fatalf("Fig. 2 segments overlap: %v vs %v", a.Links(), b.Links())
+	}
+	if a.Union(b).Count() != 4 {
+		t.Fatalf("Fig. 2 should occupy 4 of 5 links, got %d", a.Union(b).Count())
+	}
+}
+
+func TestLinkSetOps(t *testing.T) {
+	a := Link(1).Union(Link(2))
+	b := Link(2).Union(Link(3))
+	if !a.Overlaps(b) {
+		t.Fatal("expected overlap on link 2")
+	}
+	if a.Overlaps(Link(0)) {
+		t.Fatal("unexpected overlap")
+	}
+	if got := a.Union(b).Count(); got != 3 {
+		t.Fatalf("union Count() = %d, want 3", got)
+	}
+	if !LinkSet(0).Empty() {
+		t.Fatal("zero LinkSet not empty")
+	}
+	links := a.Links()
+	if len(links) != 2 || links[0] != 1 || links[1] != 2 {
+		t.Fatalf("Links() = %v", links)
+	}
+}
+
+func TestEntryLink(t *testing.T) {
+	r := MustNew(5)
+	if got := r.EntryLink(0); got != 4 {
+		t.Errorf("EntryLink(0) = %d, want 4", got)
+	}
+	if got := r.EntryLink(3); got != 2 {
+		t.Errorf("EntryLink(3) = %d, want 2", got)
+	}
+}
+
+// TestMasterAlwaysFeasible is the paper's central property: the master's own
+// message can always be sent to any destination (it spans at most N−1 hops
+// and never crosses the clock break at the master itself).
+func TestMasterAlwaysFeasible(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 64} {
+		r := MustNew(n)
+		for m := 0; m < n; m++ {
+			for d := 0; d < n; d++ {
+				if d == m {
+					continue
+				}
+				if !r.Feasible(m, Node(d), m) {
+					t.Fatalf("N=%d: master %d cannot reach %d", n, m, d)
+				}
+			}
+			// Even broadcast from the master is feasible.
+			if !r.Feasible(m, r.Broadcast(m), m) {
+				t.Fatalf("N=%d: master %d cannot broadcast", n, m)
+			}
+		}
+	}
+}
+
+// TestCrossingMasterInfeasible checks the complementary rule: a transmission
+// whose path crosses the clock break is infeasible.
+func TestCrossingMasterInfeasible(t *testing.T) {
+	r := MustNew(5)
+	// Master 2; node 1 → node 3 must cross link 1→2 and 2→3, i.e. the
+	// entry link of 2 (link 1). Infeasible.
+	if r.Feasible(1, Node(3), 2) {
+		t.Fatal("path through master should be infeasible")
+	}
+	// Node 3 → node 1 with master 2: links 3,4,0 — does not use link 1.
+	if !r.Feasible(3, Node(1), 2) {
+		t.Fatal("path avoiding the break should be feasible")
+	}
+	// Destination = master: the segment terminates exactly at the break,
+	// which is allowed (Figure 2 relies on it — the multicast from node 4
+	// ends at node 1).
+	if !r.Feasible(1, Node(2), 2) {
+		t.Fatal("terminating at the master should be feasible")
+	}
+	// But passing one hop beyond the master is not.
+	if r.Feasible(1, NodeSetOf(2, 3), 2) {
+		t.Fatal("passing beyond the master should be infeasible")
+	}
+}
+
+// TestFeasibleRegionIsPrefix: with master m the ring behaves as a linear bus
+// cut at m — exactly the transmissions whose destination lies strictly
+// downstream of the source within the segment (with m itself acting as the
+// far end of the bus) are feasible.
+func TestFeasibleRegionIsPrefix(t *testing.T) {
+	r := MustNew(8)
+	m := 5
+	for src := 0; src < 8; src++ {
+		for dst := 0; dst < 8; dst++ {
+			if src == dst {
+				continue
+			}
+			// Positions along the cut bus: m at 0 (head) and also at 8
+			// (tail, receive side); feasible iff pos(src) < pos(dst).
+			pos := func(x int) int {
+				if x == m {
+					return 8
+				}
+				return r.Dist(m, x)
+			}
+			want := pos(src) < pos(dst) || src == m
+			got := r.Feasible(src, Node(dst), m)
+			if got != want {
+				t.Errorf("Feasible(src=%d,dst=%d,m=%d) = %v, want %v", src, dst, m, got, want)
+			}
+		}
+	}
+}
+
+func TestReaches(t *testing.T) {
+	r := MustNew(5)
+	if r.Reaches(2, Node(2), 0) {
+		t.Fatal("node must not reach itself")
+	}
+	if !r.Reaches(0, Node(1), 0) {
+		t.Fatal("master should reach downstream neighbour")
+	}
+}
+
+func TestSegmentNodes(t *testing.T) {
+	r := MustNew(5)
+	s := r.SegmentNodes(3, NodeSetOf(0))
+	// 3 → 0 passes 4 and ends at 0.
+	if !s.Contains(4) || !s.Contains(0) || s.Contains(3) || s.Count() != 2 {
+		t.Fatalf("SegmentNodes(3,{0}) = %v", s)
+	}
+}
+
+// TestPathLinksProperty: the number of links equals the span, and every link
+// in the set is within span hops downstream of src.
+func TestPathLinksProperty(t *testing.T) {
+	r := MustNew(9)
+	f := func(rawSrc uint8, rawDests uint16) bool {
+		src := int(rawSrc % 9)
+		dests := NodeSet(rawDests) & (NodeSet(1)<<9 - 1)
+		span := r.Span(src, dests)
+		links := r.PathLinks(src, dests)
+		if links.Count() != span {
+			return false
+		}
+		for _, l := range links.Links() {
+			if r.Dist(src, l) >= span { // link l leaves node l
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPathLinks(b *testing.B) {
+	r := MustNew(32)
+	dests := NodeSetOf(5, 9, 21)
+	for i := 0; i < b.N; i++ {
+		_ = r.PathLinks(i%32, dests)
+	}
+}
+
+func BenchmarkFeasible(b *testing.B) {
+	r := MustNew(32)
+	for i := 0; i < b.N; i++ {
+		_ = r.Feasible(i%32, Node((i+7)%32), (i+13)%32)
+	}
+}

@@ -1,0 +1,227 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/timing"
+)
+
+// Connection describes a logical real-time connection: a stream of periodic
+// messages from Src to Dests, each message occupying Slots network slots,
+// released every Period. The paper assumes the relative deadline equals the
+// period, so each message's network-level deadline is its release time plus
+// Period.
+type Connection struct {
+	// ID is assigned by the admission controller on acceptance.
+	ID int
+	// Src is the transmitting node.
+	Src int
+	// Dests is the destination set.
+	Dests ring.NodeSet
+	// Period is the message period Pᵢ.
+	Period timing.Time
+	// Slots is the message size eᵢ in slots.
+	Slots int
+	// Deadline is the relative network-level deadline Dᵢ. Zero means
+	// Dᵢ = Pᵢ, the paper's assumption; a smaller value gives a
+	// constrained-deadline connection (an extension beyond the paper,
+	// admitted by the conservative density test — see RelDeadline and
+	// analysis.DemandBoundFeasible for the exact test).
+	Deadline timing.Time
+}
+
+// RelDeadline returns the effective relative deadline: Deadline, or Period
+// when Deadline is zero.
+func (c Connection) RelDeadline() timing.Time {
+	if c.Deadline != 0 {
+		return c.Deadline
+	}
+	return c.Period
+}
+
+// Density returns eᵢ·t_slot / min(Dᵢ, Pᵢ): the per-connection term of the
+// density test used to admit constrained-deadline connections. For
+// implicit deadlines (Dᵢ = Pᵢ) it equals Utilisation.
+func (c Connection) Density(slot timing.Time) float64 {
+	d := c.RelDeadline()
+	if d > c.Period {
+		d = c.Period
+	}
+	if d <= 0 {
+		return 0
+	}
+	return float64(c.Slots) * float64(slot) / float64(d)
+}
+
+// Utilisation returns eᵢ·t_slot / Pᵢ, the fraction of network capacity the
+// connection consumes (Equation 5's per-connection term, with periods in
+// real time and message sizes in slots).
+func (c Connection) Utilisation(slot timing.Time) float64 {
+	if c.Period <= 0 {
+		return 0
+	}
+	return float64(c.Slots) * float64(slot) / float64(c.Period)
+}
+
+// Validate reports whether the connection parameters are usable on a ring of
+// n nodes with the given slot time.
+func (c Connection) Validate(n int, slot timing.Time) error {
+	switch {
+	case c.Src < 0 || c.Src >= n:
+		return fmt.Errorf("sched: source %d outside ring of %d", c.Src, n)
+	case c.Dests.Empty():
+		return fmt.Errorf("sched: connection has no destinations")
+	case c.Dests.Contains(c.Src):
+		return fmt.Errorf("sched: connection from %d lists itself as destination", c.Src)
+	case c.Period <= 0:
+		return fmt.Errorf("sched: non-positive period %v", c.Period)
+	case c.Slots < 1:
+		return fmt.Errorf("sched: message size %d slots", c.Slots)
+	case c.Deadline < 0:
+		return fmt.Errorf("sched: negative relative deadline %v", c.Deadline)
+	case c.Deadline > c.Period:
+		return fmt.Errorf("sched: deadline %v beyond period %v (unsupported)", c.Deadline, c.Period)
+	case timing.Time(c.Slots)*slot > c.RelDeadline():
+		return fmt.Errorf("sched: message (%d slots = %v) does not fit in its own deadline %v",
+			c.Slots, timing.Time(c.Slots)*slot, c.RelDeadline())
+	}
+	for _, d := range c.Dests.Nodes() {
+		if d < 0 || d >= n {
+			return fmt.Errorf("sched: destination %d outside ring of %d", d, n)
+		}
+	}
+	return nil
+}
+
+// ErrRejected is the error type returned when the admission test fails.
+type ErrRejected struct {
+	// Requested is the utilisation the new connection would add.
+	Requested float64
+	// Current is the utilisation of the accepted set Ma.
+	Current float64
+	// UMax is the bound of Equation 6.
+	UMax float64
+}
+
+// Error implements error.
+func (e ErrRejected) Error() string {
+	return fmt.Sprintf("sched: connection rejected: utilisation %.4f + %.4f would exceed U_max %.4f",
+		e.Current, e.Requested, e.UMax)
+}
+
+// Admission is the online centralised admission controller of Section 6. A
+// designated node runs one instance; connection requests arrive one at a
+// time (over the best-effort service or the in-process API) and are accepted
+// exactly when the utilisation of the accepted set Ma plus the new
+// connection stays at or below U_max (Equations 5 and 6).
+type Admission struct {
+	params timing.Params
+	umax   float64
+	active map[int]Connection
+	nextID int
+}
+
+// NewAdmission returns an admission controller for a ring with the given
+// physical parameters.
+func NewAdmission(params timing.Params) *Admission {
+	return &Admission{
+		params: params,
+		umax:   params.UMax(),
+		active: make(map[int]Connection),
+		nextID: 1,
+	}
+}
+
+// UMax returns the schedulability bound in use (Equation 6).
+func (a *Admission) UMax() float64 { return a.umax }
+
+// Utilisation returns the total utilisation of the accepted set Ma.
+func (a *Admission) Utilisation() float64 {
+	u := 0.0
+	for _, c := range a.active {
+		u += c.Utilisation(a.params.SlotTime())
+	}
+	return u
+}
+
+// Density returns the total density of the accepted set Ma. For the
+// paper's implicit-deadline connections this equals Utilisation.
+func (a *Admission) Density() float64 {
+	u := 0.0
+	for _, c := range a.active {
+		u += c.Density(a.params.SlotTime())
+	}
+	return u
+}
+
+// Request runs the admission test for c: the density test
+// Σ eᵢ·t_slot/min(Dᵢ,Pᵢ) ≤ U_max, which reduces to the paper's Equation 5
+// for implicit deadlines and is a safe (sufficient) test for
+// constrained-deadline connections. On acceptance it assigns an ID, adds
+// the connection to Ma and returns the stored connection; otherwise it
+// returns ErrRejected (or a validation error).
+func (a *Admission) Request(c Connection) (Connection, error) {
+	if err := c.Validate(a.params.Nodes, a.params.SlotTime()); err != nil {
+		return Connection{}, err
+	}
+	u := c.Density(a.params.SlotTime())
+	cur := a.Density()
+	if cur+u > a.umax {
+		return Connection{}, ErrRejected{Requested: u, Current: cur, UMax: a.umax}
+	}
+	c.ID = a.nextID
+	a.nextID++
+	a.active[c.ID] = c
+	return c, nil
+}
+
+// Force admits c without running the utilisation test. It exists for
+// overload experiments that deliberately exceed U_max; production callers
+// must use Request. Parameter validation still applies.
+func (a *Admission) Force(c Connection) (Connection, error) {
+	if err := c.Validate(a.params.Nodes, a.params.SlotTime()); err != nil {
+		return Connection{}, err
+	}
+	c.ID = a.nextID
+	a.nextID++
+	a.active[c.ID] = c
+	return c, nil
+}
+
+// Release removes the connection with the given ID from Ma and reports
+// whether it was active.
+func (a *Admission) Release(id int) bool {
+	if _, ok := a.active[id]; !ok {
+		return false
+	}
+	delete(a.active, id)
+	return true
+}
+
+// Get returns the active connection with the given ID.
+func (a *Admission) Get(id int) (Connection, bool) {
+	c, ok := a.active[id]
+	return c, ok
+}
+
+// Active returns the accepted set Ma, sorted by ID.
+func (a *Admission) Active() []Connection {
+	out := make([]Connection, 0, len(a.active))
+	for _, c := range a.active {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Feasible runs the basic EDF feasibility test of Equation 5 on an arbitrary
+// connection set, without mutating any state: Σ eᵢ·t_slot/Pᵢ ≤ U_max.
+func Feasible(set []Connection, params timing.Params) bool {
+	u := 0.0
+	for _, c := range set {
+		u += c.Utilisation(params.SlotTime())
+	}
+	return u <= params.UMax()
+}

@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"testing"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/timing"
+)
+
+func TestRelDeadlineDefaultsToPeriod(t *testing.T) {
+	c := Connection{Period: 100}
+	if c.RelDeadline() != 100 {
+		t.Fatal("implicit deadline wrong")
+	}
+	c.Deadline = 40
+	if c.RelDeadline() != 40 {
+		t.Fatal("explicit deadline wrong")
+	}
+}
+
+func TestDensityReducesToUtilisation(t *testing.T) {
+	slotT := 5 * timing.Microsecond
+	c := Connection{Period: 100 * slotT, Slots: 4}
+	if c.Density(slotT) != c.Utilisation(slotT) {
+		t.Fatal("implicit-deadline density must equal utilisation")
+	}
+	c.Deadline = 20 * slotT
+	if got := c.Density(slotT); got != 0.2 {
+		t.Fatalf("Density = %v, want 0.2", got)
+	}
+	if c.Utilisation(slotT) != 0.04 {
+		t.Fatal("utilisation changed by deadline")
+	}
+}
+
+func TestValidateConstrainedDeadline(t *testing.T) {
+	p := timing.DefaultParams(8)
+	slotT := p.SlotTime()
+	good := Connection{Src: 0, Dests: ring.Node(1), Period: 100 * slotT, Deadline: 10 * slotT, Slots: 2}
+	if err := good.Validate(8, slotT); err != nil {
+		t.Fatalf("good constrained connection rejected: %v", err)
+	}
+	bad := []Connection{
+		{Src: 0, Dests: ring.Node(1), Period: 100 * slotT, Deadline: -slotT, Slots: 1},
+		{Src: 0, Dests: ring.Node(1), Period: 100 * slotT, Deadline: 200 * slotT, Slots: 1},
+		{Src: 0, Dests: ring.Node(1), Period: 100 * slotT, Deadline: slotT, Slots: 2}, // e > D
+	}
+	for i, c := range bad {
+		if err := c.Validate(8, slotT); err == nil {
+			t.Errorf("bad constrained connection %d accepted", i)
+		}
+	}
+}
+
+func TestAdmissionUsesDensity(t *testing.T) {
+	p := timing.DefaultParams(8)
+	a := NewAdmission(p)
+	slotT := p.SlotTime()
+	// Density 0.5 each despite tiny utilisation: only one fits.
+	c := Connection{Src: 0, Dests: ring.Node(1), Period: 1000 * slotT, Deadline: 2 * slotT, Slots: 1}
+	if _, err := a.Request(c); err != nil {
+		t.Fatalf("first constrained connection rejected: %v", err)
+	}
+	if _, err := a.Request(c); err == nil {
+		t.Fatal("second 0.5-density connection should be rejected")
+	}
+	if got := a.Density(); got != 0.5 {
+		t.Fatalf("Density() = %v", got)
+	}
+	if got := a.Utilisation(); got >= 0.01 {
+		t.Fatalf("Utilisation() = %v, should be tiny", got)
+	}
+}
+
+func TestForceSkipsDensityTest(t *testing.T) {
+	p := timing.DefaultParams(8)
+	a := NewAdmission(p)
+	slotT := p.SlotTime()
+	c := Connection{Src: 0, Dests: ring.Node(1), Period: 2 * slotT, Slots: 2} // U = 1.0
+	if _, err := a.Force(c); err != nil {
+		t.Fatalf("Force rejected: %v", err)
+	}
+	if _, err := a.Force(c); err != nil {
+		t.Fatalf("second Force rejected: %v", err)
+	}
+	if a.Utilisation() < 1.9 {
+		t.Fatalf("forced utilisation = %v", a.Utilisation())
+	}
+	// Force still validates parameters.
+	if _, err := a.Force(Connection{Src: 0, Dests: ring.Node(0), Period: slotT, Slots: 1}); err == nil {
+		t.Fatal("Force accepted self-destination")
+	}
+}

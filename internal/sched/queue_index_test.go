@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccredf/internal/timing"
+)
+
+// TestQueueIndexCoherence: after arbitrary interleavings of Push, Pop and
+// Remove, Find answers exactly like a linear scan and the heap order is
+// intact.
+func TestQueueIndexCoherence(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var q Queue
+		nextID := int64(1)
+		live := map[int64]bool{}
+		var ids []int64
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // push
+				m := &Message{ID: nextID, Class: Class(op%3) + 1, Deadline: timing.Time(op)}
+				q.Push(m)
+				live[nextID] = true
+				ids = append(ids, nextID)
+				nextID++
+			case 2: // pop
+				if m := q.Pop(); m != nil {
+					delete(live, m.ID)
+				}
+			case 3: // remove by id (may target dead IDs)
+				if len(ids) > 0 {
+					id := ids[int(op/4)%len(ids)]
+					if q.Remove(id) != live[id] {
+						return false
+					}
+					delete(live, id)
+				}
+			}
+			// Find agrees with liveness for a sample of IDs.
+			for _, id := range ids {
+				if (q.Find(id) != nil) != live[id] {
+					return false
+				}
+			}
+			if q.Len() != len(live) {
+				return false
+			}
+		}
+		// Drain: strictly ordered.
+		var prev *Message
+		for q.Len() > 0 {
+			m := q.Pop()
+			if prev != nil && before(m, prev) {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// BenchmarkQueueFindLarge shows the indexed lookup on a saturated queue —
+// the hot path when the slot engine maps grants back to messages.
+func BenchmarkQueueFindLarge(b *testing.B) {
+	var q Queue
+	const n = 10000
+	for i := int64(0); i < n; i++ {
+		q.Push(&Message{ID: i, Class: ClassBestEffort, Deadline: timing.Time(i * 17 % 1000)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if q.Find(int64(i)%n) == nil {
+			b.Fatal("missing")
+		}
+	}
+}
+
+// BenchmarkQueueRemoveLarge measures indexed removal from a large queue.
+func BenchmarkQueueRemoveLarge(b *testing.B) {
+	var q Queue
+	const n = 10000
+	id := int64(0)
+	for i := int64(0); i < n; i++ {
+		q.Push(&Message{ID: id, Class: ClassBestEffort, Deadline: timing.Time(i * 17 % 1000)})
+		id++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := int64(i) % id
+		if q.Remove(victim) {
+			q.Push(&Message{ID: victim, Class: ClassBestEffort, Deadline: timing.Time(i % 1000)})
+		}
+	}
+}

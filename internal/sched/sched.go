@@ -1,0 +1,345 @@
+// Package sched implements the scheduling machinery of the CCR-EDF network:
+// traffic classes and the deadline-to-priority mapping of Table 1, EDF-ordered
+// message queues, logical real-time connections, and the online admission
+// control of Section 6 (Equations 5 and 6).
+package sched
+
+import (
+	"ccredf/internal/ring"
+	"ccredf/internal/timing"
+)
+
+// Class is a traffic class, in increasing order of importance. Messages that
+// are part of logical real-time connections always have higher priority than
+// any other service; best-effort messages are sent only when no real-time
+// message is queued locally, and non-real-time messages only when nothing
+// else is queued (paper Section 3).
+type Class int
+
+const (
+	// ClassNone means no traffic (reserved priority level 0).
+	ClassNone Class = iota
+	// ClassNonRealTime is the non-real-time message service (level 1).
+	ClassNonRealTime
+	// ClassBestEffort is the best-effort message service (levels 2–16).
+	ClassBestEffort
+	// ClassRealTime is the logical real-time connection service
+	// (levels 17–31).
+	ClassRealTime
+)
+
+// String returns a short class name.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassNonRealTime:
+		return "nrt"
+	case ClassBestEffort:
+		return "be"
+	case ClassRealTime:
+		return "rt"
+	default:
+		return "class?"
+	}
+}
+
+// Priority-level allocation of Table 1.
+const (
+	PrioNothing    = 0  // reserved: nothing to send
+	PrioNonRT      = 1  // non-real-time traffic
+	PrioBEMin      = 2  // best effort, longest laxity
+	PrioBEMax      = 16 // best effort, shortest laxity
+	PrioRTMin      = 17 // logical real-time connection, longest laxity
+	PrioRTMax      = 31 // logical real-time connection, shortest laxity
+	classLevels    = 15 // levels per mapped class
+	maxLaxityIndex = classLevels - 1
+)
+
+// MapMode selects how deadlines become arbitration priorities.
+type MapMode int
+
+const (
+	// Map5Bit is the paper's wire format: laxity is mapped logarithmically
+	// onto the 5-bit priority field of the request (Table 1). Resolution is
+	// higher the closer a message is to its deadline.
+	Map5Bit MapMode = iota
+	// MapExact is an idealised mode with unbounded priority resolution:
+	// the arbiter compares absolute deadlines directly (classes still rank
+	// above each other). The paper leaves the mapping function out of
+	// scope; MapExact gives the EDF ideal that Map5Bit approximates, and
+	// experiment E7 quantifies the difference.
+	MapExact
+)
+
+// String names the mode.
+func (m MapMode) String() string {
+	if m == Map5Bit {
+		return "5bit"
+	}
+	return "exact"
+}
+
+// MapPriority maps a message's class and current laxity (time remaining to
+// its network-level deadline) to the 5-bit wire priority of Table 1, given
+// the slot length. The mapping within a class is logarithmic in whole slots
+// of laxity: priority = classMax − ⌊log₂(laxitySlots + 1)⌋, clamped to the
+// class's band, so resolution increases as the deadline approaches. Negative
+// laxity (an already-late message) maps to the class's highest level.
+func MapPriority(c Class, laxity, slot timing.Time) uint8 {
+	switch c {
+	case ClassNone:
+		return PrioNothing
+	case ClassNonRealTime:
+		return PrioNonRT
+	}
+	if slot <= 0 {
+		slot = 1
+	}
+	laxSlots := int64(0)
+	if laxity > 0 {
+		laxSlots = int64(laxity / slot)
+	}
+	k := 0
+	for v := laxSlots + 1; v > 1 && k < maxLaxityIndex; v >>= 1 {
+		k++
+	}
+	if c == ClassRealTime {
+		return uint8(PrioRTMax - k)
+	}
+	return uint8(PrioBEMax - k)
+}
+
+// PrioClass returns the traffic class that a wire priority level belongs to
+// (the inverse of Table 1's band allocation).
+func PrioClass(prio uint8) Class {
+	switch {
+	case prio == PrioNothing:
+		return ClassNone
+	case prio == PrioNonRT:
+		return ClassNonRealTime
+	case prio <= PrioBEMax:
+		return ClassBestEffort
+	default:
+		return ClassRealTime
+	}
+}
+
+// Message is one schedulable message: a user payload that occupies Slots
+// consecutive (not necessarily adjacent) network slots. Real-time messages
+// belong to a logical real-time connection and carry its network-level
+// deadline (release + period; the paper assumes relative deadline = period).
+type Message struct {
+	// ID identifies the message uniquely within a simulation.
+	ID int64
+	// Conn is the logical real-time connection ID, 0 for non-RT traffic.
+	Conn int
+	// Class is the traffic class.
+	Class Class
+	// Src is the sending node.
+	Src int
+	// Dests is the destination set (single, multicast or broadcast).
+	Dests ring.NodeSet
+	// Release is when the message became available to send.
+	Release timing.Time
+	// Deadline is the absolute network-level deadline used for scheduling.
+	// The user-level deadline adds the worst-case protocol latency
+	// (Equation 3). Non-real-time messages use timing.Forever.
+	Deadline timing.Time
+	// Slots is the message size e in slots.
+	Slots int
+	// Sent counts fragments granted and transmitted so far.
+	Sent int
+	// Delivered counts fragments that arrived at the destination(s).
+	Delivered int
+	// Dropped counts fragments lost to injected faults and not
+	// retransmitted (only without the reliable-transmission service).
+	Dropped int
+	// seq is a FIFO tiebreaker assigned by the queue; pos is the message's
+	// current heap position, maintained by the queue.
+	seq int64
+	pos int
+}
+
+// Remaining returns the number of fragments still to transmit.
+func (m *Message) Remaining() int { return m.Slots - m.Sent }
+
+// Laxity returns the time remaining to the network-level deadline at now
+// (negative when late).
+func (m *Message) Laxity(now timing.Time) timing.Time {
+	if m.Deadline == timing.Forever {
+		return timing.Forever
+	}
+	return m.Deadline - now
+}
+
+// before reports whether a should be served before b: higher class first,
+// then earlier deadline, then FIFO order. This single ordering realises the
+// paper's three per-class queues (real-time ahead of best effort ahead of
+// non-real-time) with EDF inside each class.
+func before(a, b *Message) bool {
+	if a.Class != b.Class {
+		return a.Class > b.Class
+	}
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	return a.seq < b.seq
+}
+
+// Queue is a node-local message queue ordered by class and deadline (EDF).
+// The zero value is an empty queue ready to use. An ID index keeps Find,
+// Remove and grant handling O(log n) even when saturation grows the queue
+// to thousands of messages.
+type Queue struct {
+	heap []*Message
+	next int64
+	byID map[int64]*Message
+}
+
+// Len returns the number of queued messages.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Push inserts m.
+func (q *Queue) Push(m *Message) {
+	if q.byID == nil {
+		q.byID = make(map[int64]*Message)
+	}
+	m.seq = q.next
+	q.next++
+	m.pos = len(q.heap)
+	q.heap = append(q.heap, m)
+	q.byID[m.ID] = m
+	q.up(m.pos)
+}
+
+// Peek returns the head message (highest class, earliest deadline) without
+// removing it, or nil when empty.
+func (q *Queue) Peek() *Message {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+// Second returns the second message in service order without removing
+// anything, or nil when fewer than two messages are queued. In a binary
+// heap the runner-up is always one of the root's children.
+func (q *Queue) Second() *Message {
+	switch len(q.heap) {
+	case 0, 1:
+		return nil
+	case 2:
+		return q.heap[1]
+	}
+	if before(q.heap[1], q.heap[2]) {
+		return q.heap[1]
+	}
+	return q.heap[2]
+}
+
+// SecondDistinct returns the best queued message whose destination set
+// differs from the head's, or nil when none exists. This is what a node
+// advertises as its secondary request: a same-segment runner-up could never
+// be granted alongside the head, so only a distinct segment is worth the
+// control-channel bits.
+func (q *Queue) SecondDistinct() *Message {
+	head := q.Peek()
+	if head == nil {
+		return nil
+	}
+	var best *Message
+	for _, m := range q.heap[1:] {
+		if m.Dests == head.Dests {
+			continue
+		}
+		if best == nil || before(m, best) {
+			best = m
+		}
+	}
+	return best
+}
+
+// Pop removes and returns the head message, or nil when empty.
+func (q *Queue) Pop() *Message {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	head := q.heap[0]
+	delete(q.byID, head.ID)
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[0].pos = 0
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return head
+}
+
+// Remove deletes the message with the given ID and reports whether it was
+// present.
+func (q *Queue) Remove(id int64) bool {
+	m, ok := q.byID[id]
+	if !ok {
+		return false
+	}
+	delete(q.byID, id)
+	i := m.pos
+	last := len(q.heap) - 1
+	q.heap[i] = q.heap[last]
+	q.heap[i].pos = i
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
+	return true
+}
+
+// Find returns the queued message with the given ID, or nil.
+func (q *Queue) Find(id int64) *Message {
+	return q.byID[id]
+}
+
+// Messages returns the queued messages in arbitrary (heap) order.
+func (q *Queue) Messages() []*Message { return q.heap }
+
+// swap exchanges two heap slots and keeps the position fields coherent.
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].pos = i
+	q.heap[j].pos = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && before(q.heap[l], q.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && before(q.heap[r], q.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

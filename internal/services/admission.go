@@ -1,0 +1,130 @@
+package services
+
+import (
+	"fmt"
+
+	"ccredf/internal/network"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// RemoteAdmission realises Section 6's deployment of the admission
+// controller: "A specific node in the system is designated to solely handle
+// new logical real-time connections … Communication with this node is
+// handled with the best effort traffic user service."
+//
+// A requesting node sends a single-slot best-effort message carrying the
+// connection parameters to the designated node; the controller there runs
+// the Equation 5 test and answers with another best-effort message. Only
+// when the acceptance reply arrives at the requester does the connection
+// activate. (In the simulation the parameters ride in a side table keyed by
+// message ID — the single-slot payload has ample room for them on real
+// hardware.)
+type RemoteAdmission struct {
+	net        *network.Network
+	designated int
+
+	requests  map[int64]*admissionCall // request msg → pending call
+	responses map[int64]*admissionCall // response msg → pending call
+	// Processed counts requests the designated node has decided.
+	Processed int64
+	// RoundTrips records request→response latency at the requester.
+	RoundTrips []timing.Time
+}
+
+type admissionCall struct {
+	from     int
+	conn     sched.Connection
+	sentAt   timing.Time
+	accepted bool
+	result   sched.Connection
+	done     func(conn sched.Connection, accepted bool, at timing.Time)
+}
+
+// NewRemoteAdmission designates a node as the admission controller.
+func NewRemoteAdmission(net *network.Network, designated int) (*RemoteAdmission, error) {
+	if designated < 0 || designated >= net.Params().Nodes {
+		return nil, fmt.Errorf("services: designated node %d outside ring", designated)
+	}
+	ra := &RemoteAdmission{
+		net:        net,
+		designated: designated,
+		requests:   make(map[int64]*admissionCall),
+		responses:  make(map[int64]*admissionCall),
+	}
+	net.OnDeliver(ra.onDeliver)
+	return ra, nil
+}
+
+// Request sends a connection request from the connection's source node to
+// the designated node. done runs when the reply arrives: on acceptance the
+// connection (with its assigned ID) is already active. Requests from the
+// designated node itself short-circuit the network round trip, as they
+// would on hardware.
+func (ra *RemoteAdmission) Request(c sched.Connection, done func(conn sched.Connection, accepted bool, at timing.Time)) error {
+	call := &admissionCall{from: c.Src, conn: c, sentAt: ra.net.Now(), done: done}
+	if c.Src == ra.designated {
+		ra.decide(call)
+		ra.respondLocal(call)
+		return nil
+	}
+	m, err := ra.net.SubmitMessage(sched.ClassBestEffort, c.Src, ring.Node(ra.designated), 1, groupOpDeadline(ra.net))
+	if err != nil {
+		return err
+	}
+	ra.requests[m.ID] = call
+	return nil
+}
+
+// decide runs the admission test at the designated node.
+func (ra *RemoteAdmission) decide(call *admissionCall) {
+	ra.Processed++
+	got, err := ra.net.Admission().Request(call.conn)
+	if err != nil {
+		call.accepted = false
+		return
+	}
+	call.accepted = true
+	call.result = got
+}
+
+// respondLocal completes a same-node request without network traffic.
+func (ra *RemoteAdmission) respondLocal(call *admissionCall) {
+	ra.finish(call, ra.net.Now())
+}
+
+func (ra *RemoteAdmission) finish(call *admissionCall, at timing.Time) {
+	ra.RoundTrips = append(ra.RoundTrips, at-call.sentAt)
+	if call.accepted {
+		// Activate: the controller reserved capacity; the source starts
+		// the periodic stream now that it knows.
+		ra.net.StartAdmitted(call.result)
+	}
+	if call.done != nil {
+		call.done(call.result, call.accepted, at)
+	}
+}
+
+func (ra *RemoteAdmission) onDeliver(m *sched.Message, at timing.Time) {
+	if call, ok := ra.requests[m.ID]; ok {
+		delete(ra.requests, m.ID)
+		// The request just arrived at the designated node: decide and
+		// send the reply.
+		ra.decide(call)
+		reply, err := ra.net.SubmitMessage(sched.ClassBestEffort, ra.designated, ring.Node(call.from), 1, groupOpDeadline(ra.net))
+		if err != nil {
+			// Cannot reply (should not happen); undo a reservation.
+			if call.accepted {
+				ra.net.Admission().Release(call.result.ID)
+			}
+			return
+		}
+		ra.responses[reply.ID] = call
+		return
+	}
+	if call, ok := ra.responses[m.ID]; ok {
+		delete(ra.responses, m.ID)
+		ra.finish(call, at)
+	}
+}

@@ -1,0 +1,150 @@
+package services
+
+import (
+	"testing"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+func TestRemoteAdmissionValidation(t *testing.T) {
+	net := newNet(t, 8, nil)
+	if _, err := NewRemoteAdmission(net, 8); err == nil {
+		t.Fatal("designated node outside ring accepted")
+	}
+	if _, err := NewRemoteAdmission(net, -1); err == nil {
+		t.Fatal("negative designated node accepted")
+	}
+}
+
+func TestRemoteAdmissionAcceptAndActivate(t *testing.T) {
+	net := newNet(t, 8, nil)
+	p := net.Params()
+	ra, err := NewRemoteAdmission(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted bool
+	var got sched.Connection
+	var replyAt timing.Time
+	err = ra.Request(sched.Connection{
+		Src: 3, Dests: ring.Node(6), Period: 20 * p.SlotTime(), Slots: 1,
+	}, func(c sched.Connection, ok bool, at timing.Time) {
+		accepted, got, replyAt = ok, c, at
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Run(2000 * p.SlotTime())
+	if !accepted {
+		t.Fatal("feasible connection rejected")
+	}
+	if got.ID == 0 {
+		t.Fatal("accepted connection has no ID")
+	}
+	if replyAt == 0 {
+		t.Fatal("no reply time")
+	}
+	// The stream activated after the reply and is delivering.
+	cs, ok := net.ConnStats(got.ID)
+	if !ok || cs.Delivered < 10 {
+		t.Fatalf("remote-admitted connection idle: %+v %v", cs, ok)
+	}
+	if cs.UserMisses != 0 {
+		t.Fatal("misses on admitted connection")
+	}
+	if ra.Processed != 1 || len(ra.RoundTrips) != 1 {
+		t.Fatalf("accounting wrong: processed=%d roundtrips=%d", ra.Processed, len(ra.RoundTrips))
+	}
+	// Round trip took two best-effort messages: at least ~4 slots.
+	if ra.RoundTrips[0] < 2*p.SlotTime() {
+		t.Fatalf("round trip %v implausibly fast", ra.RoundTrips[0])
+	}
+}
+
+func TestRemoteAdmissionRejectsOverload(t *testing.T) {
+	net := newNet(t, 8, nil)
+	p := net.Params()
+	ra, _ := NewRemoteAdmission(net, 0)
+	results := make([]bool, 0, 3)
+	for i := 0; i < 3; i++ {
+		// Each request wants 50% of capacity; only one fits.
+		err := ra.Request(sched.Connection{
+			Src: 1 + i, Dests: ring.Node(5), Period: 2 * p.SlotTime(), Slots: 1,
+		}, func(c sched.Connection, ok bool, at timing.Time) {
+			results = append(results, ok)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(3000 * p.SlotTime())
+	if len(results) != 3 {
+		t.Fatalf("%d replies, want 3", len(results))
+	}
+	acceptedCount := 0
+	for _, ok := range results {
+		if ok {
+			acceptedCount++
+		}
+	}
+	if acceptedCount != 1 {
+		t.Fatalf("accepted %d of 3 half-capacity requests, want 1", acceptedCount)
+	}
+	if u := net.Admission().Utilisation(); u > net.Admission().UMax() {
+		t.Fatalf("over-admitted: %v", u)
+	}
+}
+
+func TestRemoteAdmissionFromDesignatedNode(t *testing.T) {
+	net := newNet(t, 8, nil)
+	p := net.Params()
+	ra, _ := NewRemoteAdmission(net, 4)
+	var accepted bool
+	err := ra.Request(sched.Connection{
+		Src: 4, Dests: ring.Node(7), Period: 10 * p.SlotTime(), Slots: 1,
+	}, func(c sched.Connection, ok bool, at timing.Time) { accepted = ok })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Local requests complete synchronously (no network round trip).
+	if !accepted {
+		t.Fatal("local request should complete immediately")
+	}
+	net.Run(500 * p.SlotTime())
+	if net.Metrics().MessagesDelivered.Value() == 0 {
+		t.Fatal("locally admitted stream idle")
+	}
+}
+
+func TestRemoteAdmissionUnderLoad(t *testing.T) {
+	net := newNet(t, 8, nil)
+	p := net.Params()
+	// Pre-existing 60% RT load delays the admission messages but must not
+	// break the protocol.
+	for i := 0; i < 6; i++ {
+		if _, err := net.OpenConnection(sched.Connection{
+			Src: i, Dests: ring.Node((i + 4) % 8), Period: 10 * p.SlotTime(), Slots: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ra, _ := NewRemoteAdmission(net, 0)
+	replies := 0
+	for i := 0; i < 4; i++ {
+		src := 1 + i
+		if err := ra.Request(sched.Connection{
+			Src: src, Dests: ring.Node((src + 2) % 8), Period: 40 * p.SlotTime(), Slots: 1,
+		}, func(sched.Connection, bool, timing.Time) { replies++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(4000 * p.SlotTime())
+	if replies != 4 {
+		t.Fatalf("%d replies under load, want 4", replies)
+	}
+	if net.Metrics().UserDeadlineMisses.Value() != 0 {
+		t.Fatal("admission churn broke the RT guarantee")
+	}
+}

@@ -1,0 +1,111 @@
+package services
+
+import (
+	"testing"
+
+	"ccredf/internal/network"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+func TestAllToAllValidation(t *testing.T) {
+	net := newNet(t, 8, nil)
+	if _, err := NewAllToAll(net, ring.Node(3), 1); err == nil {
+		t.Fatal("single-member exchange accepted")
+	}
+	if _, err := NewAllToAll(net, ring.NodeSetOf(0, 1), 0); err == nil {
+		t.Fatal("zero-slot messages accepted")
+	}
+	a, err := NewAllToAll(net, ring.NodeSetOf(0, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(nil); err == nil {
+		t.Fatal("double Start accepted")
+	}
+}
+
+func TestAllToAllCompletes(t *testing.T) {
+	net := newNet(t, 8, nil)
+	members := ring.NodeSetOf(0, 2, 4, 6)
+	a, err := NewAllToAll(net, members, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var makespan timing.Time
+	if err := a.Start(func(m timing.Time) { makespan = m }); err != nil {
+		t.Fatal(err)
+	}
+	if a.Messages != 4*3 {
+		t.Fatalf("Messages = %d, want 12 (4 members × 3 peers)", a.Messages)
+	}
+	net.Run(5 * timing.Millisecond)
+	if a.Outstanding() != 0 {
+		t.Fatalf("%d messages undelivered", a.Outstanding())
+	}
+	if makespan == 0 || a.Makespan != makespan {
+		t.Fatalf("makespan not reported: %v / %v", makespan, a.Makespan)
+	}
+}
+
+// TestAllToAllSpatialReuseSpeedup: the full-ring exchange completes in far
+// fewer data slots than its message count because distance-k rounds share
+// slots through spatial reuse.
+func TestAllToAllSpatialReuseSpeedup(t *testing.T) {
+	net := newNet(t, 8, nil)
+	all := ring.NodeSet(0)
+	for i := 0; i < 8; i++ {
+		all = all.Add(i)
+	}
+	a, err := NewAllToAll(net, all, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.Messages != 8*7 {
+		t.Fatalf("Messages = %d", a.Messages)
+	}
+	net.Run(10 * timing.Millisecond)
+	if a.Outstanding() != 0 {
+		t.Fatalf("%d undelivered", a.Outstanding())
+	}
+	slotsUsed := net.Metrics().SlotsWithData.Value()
+	if slotsUsed >= int64(a.Messages) {
+		t.Fatalf("no packing: %d slots for %d messages", slotsUsed, a.Messages)
+	}
+	// 56 messages, total link demand Σ dist = 8·(1+…+7)·1 = 224 links over
+	// 8 links/slot ⇒ ≥28 slots; good packing should land well under 56.
+	if slotsUsed > 45 {
+		t.Fatalf("weak packing: %d data slots for 56 messages", slotsUsed)
+	}
+}
+
+func TestAllToAllUnderRTLoad(t *testing.T) {
+	net := newNet(t, 8, func(c *network.Config) {})
+	p := net.Params()
+	for i := 0; i < 4; i++ {
+		if _, err := net.OpenConnection(sched.Connection{
+			Src: i, Dests: ring.Node((i + 4) % 8), Period: 10 * p.SlotTime(), Slots: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	members := ring.NodeSetOf(1, 3, 5, 7)
+	a, _ := NewAllToAll(net, members, 1)
+	if err := a.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(20 * timing.Millisecond)
+	if a.Outstanding() != 0 {
+		t.Fatalf("exchange starved under RT load: %d left", a.Outstanding())
+	}
+	if net.Metrics().UserDeadlineMisses.Value() != 0 {
+		t.Fatal("exchange broke the RT guarantee")
+	}
+}

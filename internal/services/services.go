@@ -1,0 +1,365 @@
+// Package services implements the user services the paper lists beyond plain
+// messaging (Sections 1 and 7, ref [11]): barrier synchronisation and global
+// reduction for parallel computing, a short-message convenience service, and
+// a reliable in-order channel with sliding-window flow control on top of the
+// network's intrinsic acknowledgement mechanism.
+//
+// The group operations are coordinator-based: participants signal the
+// coordinator with single-slot messages; the coordinator answers with a
+// multicast. On the real hardware these signals ride in the "other fields"
+// of the distribution-phase packet (see internal/wire); in the simulation
+// they are ordinary best-effort messages, which exercises the same MAC code
+// path with slightly more conservative timing.
+package services
+
+import (
+	"fmt"
+
+	"ccredf/internal/network"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// Barrier is a reusable barrier across a node group. All participants must
+// call Enter (in simulated time); once the last signal reaches the
+// coordinator it multicasts a release and every participant's callback runs.
+type Barrier struct {
+	net         *network.Network
+	coordinator int
+	members     ring.NodeSet
+
+	round     int
+	arrived   ring.NodeSet
+	waiting   map[int]func(timing.Time)
+	signals   map[int64]int // in-flight signal msg → member
+	releaseID int64         // in-flight release multicast
+	Rounds    int           // completed rounds
+	Latency   []timing.Time // per-round barrier latency (first Enter → release)
+	roundFrom timing.Time
+}
+
+// NewBarrier creates a barrier over members, coordinated by coordinator
+// (which must be a member).
+func NewBarrier(net *network.Network, coordinator int, members ring.NodeSet) (*Barrier, error) {
+	if !members.Contains(coordinator) {
+		return nil, fmt.Errorf("services: coordinator %d not in member set %v", coordinator, members)
+	}
+	if members.Count() < 2 {
+		return nil, fmt.Errorf("services: barrier needs at least 2 members, have %v", members)
+	}
+	b := &Barrier{
+		net:         net,
+		coordinator: coordinator,
+		members:     members,
+		waiting:     make(map[int]func(timing.Time)),
+		signals:     make(map[int64]int),
+	}
+	net.OnDeliver(b.onDeliver)
+	return b, nil
+}
+
+// Enter signals that member has reached the barrier; done runs (at the
+// release delivery time) once every member has arrived. Entering twice in
+// one round or entering as a non-member is an error.
+func (b *Barrier) Enter(member int, done func(timing.Time)) error {
+	if !b.members.Contains(member) {
+		return fmt.Errorf("services: node %d not a barrier member", member)
+	}
+	if b.arrived.Contains(member) {
+		return fmt.Errorf("services: node %d already entered round %d", member, b.round)
+	}
+	if b.arrived.Empty() {
+		b.roundFrom = b.net.Now()
+	}
+	b.arrived = b.arrived.Add(member)
+	b.waiting[member] = done
+	if member == b.coordinator {
+		b.checkComplete()
+		return nil
+	}
+	m, err := b.net.SubmitMessage(sched.ClassBestEffort, member, ring.Node(b.coordinator), 1, groupOpDeadline(b.net))
+	if err != nil {
+		return err
+	}
+	b.signals[m.ID] = member
+	return nil
+}
+
+func (b *Barrier) onDeliver(m *sched.Message, at timing.Time) {
+	if _, ok := b.signals[m.ID]; ok {
+		delete(b.signals, m.ID)
+		b.checkComplete()
+		return
+	}
+	if m.ID == b.releaseID {
+		b.releaseID = 0
+		b.Rounds++
+		b.Latency = append(b.Latency, at-b.roundFrom)
+		waiting := b.waiting
+		b.waiting = make(map[int]func(timing.Time))
+		b.arrived = 0
+		b.round++
+		for _, fn := range waiting {
+			if fn != nil {
+				fn(at)
+			}
+		}
+	}
+}
+
+// checkComplete releases the barrier once every member has arrived and all
+// signal messages have been delivered to the coordinator.
+func (b *Barrier) checkComplete() {
+	if b.arrived != b.members || len(b.signals) != 0 || b.releaseID != 0 {
+		return
+	}
+	rel, err := b.net.SubmitMessage(sched.ClassBestEffort, b.coordinator, b.members.Remove(b.coordinator), 1, groupOpDeadline(b.net))
+	if err != nil {
+		return
+	}
+	b.releaseID = rel.ID
+}
+
+// ReduceOp combines two reduction operands.
+type ReduceOp func(a, b int64) int64
+
+// Standard reduction operators.
+var (
+	OpSum ReduceOp = func(a, b int64) int64 { return a + b }
+	OpMin ReduceOp = func(a, b int64) int64 {
+		if b < a {
+			return b
+		}
+		return a
+	}
+	OpMax ReduceOp = func(a, b int64) int64 {
+		if b > a {
+			return b
+		}
+		return a
+	}
+)
+
+// Reduction performs global reductions over a node group: every member
+// contributes a value; the coordinator combines them and multicasts the
+// result back. One Reduction value supports repeated rounds.
+type Reduction struct {
+	net         *network.Network
+	coordinator int
+	members     ring.NodeSet
+	op          ReduceOp
+
+	arrived   ring.NodeSet
+	acc       int64
+	hasAcc    bool
+	signals   map[int64]int64 // in-flight contribution msg → value
+	resultID  int64
+	callbacks []func(result int64, at timing.Time)
+	// Results holds the outcome of each completed round.
+	Results []int64
+}
+
+// NewReduction creates a reduction group.
+func NewReduction(net *network.Network, coordinator int, members ring.NodeSet, op ReduceOp) (*Reduction, error) {
+	if !members.Contains(coordinator) {
+		return nil, fmt.Errorf("services: coordinator %d not in member set %v", coordinator, members)
+	}
+	if op == nil {
+		return nil, fmt.Errorf("services: nil reduction operator")
+	}
+	r := &Reduction{
+		net:         net,
+		coordinator: coordinator,
+		members:     members,
+		op:          op,
+		signals:     make(map[int64]int64),
+	}
+	net.OnDeliver(r.onDeliver)
+	return r, nil
+}
+
+// Contribute submits member's value for the current round; done (optional)
+// runs with the global result when the coordinator's multicast arrives.
+func (r *Reduction) Contribute(member int, value int64, done func(result int64, at timing.Time)) error {
+	if !r.members.Contains(member) {
+		return fmt.Errorf("services: node %d not a reduction member", member)
+	}
+	if r.arrived.Contains(member) {
+		return fmt.Errorf("services: node %d already contributed", member)
+	}
+	r.arrived = r.arrived.Add(member)
+	if done != nil {
+		r.callbacks = append(r.callbacks, done)
+	}
+	if member == r.coordinator {
+		r.combine(value)
+		r.checkComplete()
+		return nil
+	}
+	m, err := r.net.SubmitMessage(sched.ClassBestEffort, member, ring.Node(r.coordinator), 1, groupOpDeadline(r.net))
+	if err != nil {
+		return err
+	}
+	r.signals[m.ID] = value
+	return nil
+}
+
+func (r *Reduction) combine(v int64) {
+	if !r.hasAcc {
+		r.acc = v
+		r.hasAcc = true
+		return
+	}
+	r.acc = r.op(r.acc, v)
+}
+
+func (r *Reduction) onDeliver(m *sched.Message, at timing.Time) {
+	if v, ok := r.signals[m.ID]; ok {
+		delete(r.signals, m.ID)
+		r.combine(v)
+		r.checkComplete()
+		return
+	}
+	if m.ID == r.resultID {
+		r.resultID = 0
+		result := r.acc
+		r.Results = append(r.Results, result)
+		callbacks := r.callbacks
+		r.callbacks = nil
+		r.arrived = 0
+		r.hasAcc = false
+		for _, fn := range callbacks {
+			fn(result, at)
+		}
+	}
+}
+
+func (r *Reduction) checkComplete() {
+	if r.arrived != r.members || len(r.signals) != 0 || r.resultID != 0 {
+		return
+	}
+	res, err := r.net.SubmitMessage(sched.ClassBestEffort, r.coordinator, r.members.Remove(r.coordinator), 1, groupOpDeadline(r.net))
+	if err != nil {
+		return
+	}
+	r.resultID = res.ID
+}
+
+// SendShort submits a single-slot best-effort message — the short-message
+// service of ref [11] — and reports its delivery time to done.
+func SendShort(net *network.Network, from, to int, done func(at timing.Time)) error {
+	m, err := net.SubmitMessage(sched.ClassBestEffort, from, ring.Node(to), 1, groupOpDeadline(net))
+	if err != nil {
+		return err
+	}
+	if done != nil {
+		id := m.ID
+		net.OnDeliver(func(got *sched.Message, at timing.Time) {
+			if got.ID == id {
+				done(at)
+			}
+		})
+	}
+	return nil
+}
+
+// Channel is a reliable, in-order, flow-controlled message channel between
+// two nodes, layered over the network's intrinsic acknowledgement service:
+// at most Window messages are outstanding; completions release the next
+// queued sends in order.
+type Channel struct {
+	net      *network.Network
+	from, to int
+	window   int
+
+	inFlight  map[int64]int // msg ID → sequence number
+	nextSeq   int
+	sendQueue []chSend
+	delivered map[int]bool
+	nextUp    int
+	onRecv    func(seq int, at timing.Time)
+	// Sent and Received count messages handed to the network and delivered
+	// in order.
+	Sent, Received int64
+}
+
+type chSend struct {
+	slots int
+	class sched.Class
+}
+
+// NewChannel opens a reliable channel from → to with the given window.
+func NewChannel(net *network.Network, from, to, window int) (*Channel, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("services: window %d", window)
+	}
+	if from == to {
+		return nil, fmt.Errorf("services: channel to self")
+	}
+	c := &Channel{
+		net: net, from: from, to: to, window: window,
+		inFlight:  make(map[int64]int),
+		delivered: make(map[int]bool),
+	}
+	net.OnDeliver(c.onDeliver)
+	return c, nil
+}
+
+// OnReceive registers the in-order delivery callback.
+func (c *Channel) OnReceive(fn func(seq int, at timing.Time)) { c.onRecv = fn }
+
+// Send queues one message of the given size; it is transmitted when the
+// window allows. Sequence numbers are assigned in Send order.
+func (c *Channel) Send(slots int) {
+	c.sendQueue = append(c.sendQueue, chSend{slots: slots, class: sched.ClassBestEffort})
+	c.pump()
+}
+
+func (c *Channel) pump() {
+	for len(c.inFlight) < c.window && len(c.sendQueue) > 0 {
+		s := c.sendQueue[0]
+		c.sendQueue = c.sendQueue[1:]
+		m, err := c.net.SubmitMessage(s.class, c.from, ring.Node(c.to), s.slots, 0)
+		if err != nil {
+			return
+		}
+		c.inFlight[m.ID] = c.nextSeq
+		c.nextSeq++
+		c.Sent++
+	}
+}
+
+func (c *Channel) onDeliver(m *sched.Message, at timing.Time) {
+	seq, ok := c.inFlight[m.ID]
+	if !ok {
+		return
+	}
+	delete(c.inFlight, m.ID)
+	c.delivered[seq] = true
+	for c.delivered[c.nextUp] {
+		delete(c.delivered, c.nextUp)
+		if c.onRecv != nil {
+			c.onRecv(c.nextUp, at)
+		}
+		c.nextUp++
+		c.Received++
+	}
+	c.pump()
+}
+
+// Outstanding returns the number of unacknowledged messages.
+func (c *Channel) Outstanding() int { return len(c.inFlight) }
+
+// QueuedSends returns the number of sends still waiting for window space.
+func (c *Channel) QueuedSends() int { return len(c.sendQueue) }
+
+// groupOpDeadline gives service control messages (barrier signals,
+// reduction contributions, admission requests, short messages) a finite
+// best-effort deadline. Deadline-less best effort sorts behind every
+// deadlined message and starves under saturation, which would deadlock
+// group operations; a generous but finite laxity keeps them flowing while
+// still yielding to urgent traffic.
+func groupOpDeadline(net *network.Network) timing.Time {
+	return 64 * net.Params().SlotTime()
+}

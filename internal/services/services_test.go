@@ -1,0 +1,335 @@
+package services
+
+import (
+	"testing"
+
+	"ccredf/internal/core"
+	"ccredf/internal/network"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+func newNet(t testing.TB, n int, mut func(*network.Config)) *network.Network {
+	t.Helper()
+	p := timing.DefaultParams(n)
+	arb, err := core.NewArbiter(n, sched.Map5Bit, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := network.Config{Params: p, Protocol: arb}
+	if mut != nil {
+		mut(&cfg)
+	}
+	net, err := network.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestBarrierValidation(t *testing.T) {
+	net := newNet(t, 8, nil)
+	if _, err := NewBarrier(net, 0, ring.NodeSetOf(1, 2)); err == nil {
+		t.Fatal("coordinator outside members accepted")
+	}
+	if _, err := NewBarrier(net, 0, ring.NodeSetOf(0)); err == nil {
+		t.Fatal("1-member barrier accepted")
+	}
+}
+
+func TestBarrierReleasesAllMembers(t *testing.T) {
+	net := newNet(t, 8, nil)
+	members := ring.NodeSetOf(0, 2, 4, 6)
+	b, err := NewBarrier(net, 0, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := map[int]timing.Time{}
+	for _, m := range members.Nodes() {
+		m := m
+		if err := b.Enter(m, func(at timing.Time) { released[m] = at }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(timing.Millisecond)
+	if len(released) != 4 {
+		t.Fatalf("released %d members, want 4", len(released))
+	}
+	if b.Rounds != 1 || len(b.Latency) != 1 {
+		t.Fatalf("Rounds=%d Latency=%v", b.Rounds, b.Latency)
+	}
+	for m, at := range released {
+		if at <= 0 {
+			t.Fatalf("member %d released at %v", m, at)
+		}
+	}
+}
+
+func TestBarrierDoesNotReleaseEarly(t *testing.T) {
+	net := newNet(t, 8, nil)
+	members := ring.NodeSetOf(1, 3, 5)
+	b, _ := NewBarrier(net, 3, members)
+	released := 0
+	_ = b.Enter(1, func(timing.Time) { released++ })
+	_ = b.Enter(3, func(timing.Time) { released++ })
+	// Member 5 never enters.
+	net.Run(timing.Millisecond)
+	if released != 0 {
+		t.Fatalf("barrier released with a missing member")
+	}
+	if b.Rounds != 0 {
+		t.Fatal("round counted without completion")
+	}
+}
+
+func TestBarrierRejectsDoubleEnterAndStrangers(t *testing.T) {
+	net := newNet(t, 8, nil)
+	b, _ := NewBarrier(net, 0, ring.NodeSetOf(0, 1))
+	if err := b.Enter(7, nil); err == nil {
+		t.Fatal("non-member entered")
+	}
+	if err := b.Enter(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Enter(1, nil); err == nil {
+		t.Fatal("double enter accepted")
+	}
+}
+
+func TestBarrierReusableAcrossRounds(t *testing.T) {
+	net := newNet(t, 8, nil)
+	members := ring.NodeSetOf(0, 1, 2)
+	b, _ := NewBarrier(net, 0, members)
+	rounds := 0
+	var enterAll func(timing.Time)
+	enterAll = func(timing.Time) {
+		for _, m := range members.Nodes() {
+			who := m
+			cb := func(timing.Time) {
+				if who == 0 {
+					rounds++
+					if rounds < 5 {
+						net.After(0, enterAll)
+					}
+				}
+			}
+			if err := b.Enter(m, cb); err != nil {
+				t.Errorf("round %d enter %d: %v", rounds, m, err)
+			}
+		}
+	}
+	net.At(0, enterAll)
+	net.Run(10 * timing.Millisecond)
+	if rounds != 5 {
+		t.Fatalf("completed %d rounds, want 5", rounds)
+	}
+	if b.Rounds != 5 {
+		t.Fatalf("b.Rounds = %d", b.Rounds)
+	}
+}
+
+func TestReductionSum(t *testing.T) {
+	net := newNet(t, 8, nil)
+	members := ring.NodeSetOf(0, 1, 2, 3)
+	r, err := NewReduction(net, 2, members, OpSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int64
+	for i, m := range members.Nodes() {
+		v := int64(10 * (i + 1)) // 10+20+30+40 = 100
+		_ = r.Contribute(m, v, func(result int64, at timing.Time) { got = result })
+	}
+	net.Run(timing.Millisecond)
+	if got != 100 {
+		t.Fatalf("sum = %d, want 100", got)
+	}
+	if len(r.Results) != 1 || r.Results[0] != 100 {
+		t.Fatalf("Results = %v", r.Results)
+	}
+}
+
+func TestReductionMinMax(t *testing.T) {
+	net := newNet(t, 8, nil)
+	members := ring.NodeSetOf(0, 1, 4)
+	rMin, _ := NewReduction(net, 0, members, OpMin)
+	values := map[int]int64{0: 7, 1: -3, 4: 12}
+	for m, v := range values {
+		_ = rMin.Contribute(m, v, nil)
+	}
+	net.Run(timing.Millisecond)
+	if len(rMin.Results) != 1 || rMin.Results[0] != -3 {
+		t.Fatalf("min Results = %v", rMin.Results)
+	}
+
+	net2 := newNet(t, 8, nil)
+	rMax, _ := NewReduction(net2, 0, members, OpMax)
+	for m, v := range values {
+		_ = rMax.Contribute(m, v, nil)
+	}
+	net2.Run(timing.Millisecond)
+	if len(rMax.Results) != 1 || rMax.Results[0] != 12 {
+		t.Fatalf("max Results = %v", rMax.Results)
+	}
+}
+
+func TestReductionValidation(t *testing.T) {
+	net := newNet(t, 8, nil)
+	if _, err := NewReduction(net, 5, ring.NodeSetOf(0, 1), OpSum); err == nil {
+		t.Fatal("coordinator outside members accepted")
+	}
+	if _, err := NewReduction(net, 0, ring.NodeSetOf(0, 1), nil); err == nil {
+		t.Fatal("nil op accepted")
+	}
+	r, _ := NewReduction(net, 0, ring.NodeSetOf(0, 1), OpSum)
+	if err := r.Contribute(5, 1, nil); err == nil {
+		t.Fatal("non-member contributed")
+	}
+	_ = r.Contribute(0, 1, nil)
+	if err := r.Contribute(0, 2, nil); err == nil {
+		t.Fatal("double contribution accepted")
+	}
+}
+
+func TestReductionRepeatedRounds(t *testing.T) {
+	net := newNet(t, 8, nil)
+	members := ring.NodeSetOf(0, 3)
+	r, _ := NewReduction(net, 0, members, OpSum)
+	round := 0
+	var fire func(timing.Time)
+	fire = func(timing.Time) {
+		for _, m := range members.Nodes() {
+			_ = r.Contribute(m, int64(round+1), func(res int64, at timing.Time) {})
+		}
+		round++
+	}
+	net.At(0, fire)
+	net.At(2*timing.Millisecond, fire)
+	net.Run(5 * timing.Millisecond)
+	if len(r.Results) != 2 {
+		t.Fatalf("Results = %v, want 2 rounds", r.Results)
+	}
+	if r.Results[0] != 2 || r.Results[1] != 4 {
+		t.Fatalf("Results = %v, want [2 4]", r.Results)
+	}
+}
+
+func TestSendShort(t *testing.T) {
+	net := newNet(t, 8, nil)
+	var at timing.Time
+	if err := SendShort(net, 1, 6, func(t timing.Time) { at = t }); err != nil {
+		t.Fatal(err)
+	}
+	if err := SendShort(net, 1, 1, nil); err == nil {
+		t.Fatal("self short message accepted")
+	}
+	net.Run(timing.Millisecond)
+	if at == 0 {
+		t.Fatal("short message not delivered")
+	}
+}
+
+func TestChannelInOrderDelivery(t *testing.T) {
+	net := newNet(t, 8, nil)
+	ch, err := NewChannel(net, 0, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []int
+	ch.OnReceive(func(seq int, at timing.Time) { seqs = append(seqs, seq) })
+	for i := 0; i < 10; i++ {
+		ch.Send(1)
+	}
+	if ch.Outstanding() > 2 {
+		t.Fatalf("window violated: %d outstanding", ch.Outstanding())
+	}
+	net.Run(5 * timing.Millisecond)
+	if len(seqs) != 10 {
+		t.Fatalf("received %d messages, want 10", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("out of order: %v", seqs)
+		}
+	}
+	if ch.Sent != 10 || ch.Received != 10 || ch.Outstanding() != 0 || ch.QueuedSends() != 0 {
+		t.Fatalf("counters wrong: %+v", ch)
+	}
+}
+
+func TestChannelWindowEnforced(t *testing.T) {
+	net := newNet(t, 8, nil)
+	ch, _ := NewChannel(net, 0, 3, 1)
+	for i := 0; i < 5; i++ {
+		ch.Send(2)
+	}
+	if ch.Outstanding() != 1 || ch.QueuedSends() != 4 {
+		t.Fatalf("window not enforced: %d outstanding, %d queued", ch.Outstanding(), ch.QueuedSends())
+	}
+	net.Run(10 * timing.Millisecond)
+	if ch.Received != 5 {
+		t.Fatalf("Received = %d", ch.Received)
+	}
+}
+
+func TestChannelValidation(t *testing.T) {
+	net := newNet(t, 8, nil)
+	if _, err := NewChannel(net, 0, 0, 1); err == nil {
+		t.Fatal("self channel accepted")
+	}
+	if _, err := NewChannel(net, 0, 1, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestChannelSurvivesPacketLoss(t *testing.T) {
+	net := newNet(t, 8, func(c *network.Config) {
+		c.LossProb = 0.25
+		c.Reliable = true
+		c.Seed = 11
+	})
+	ch, _ := NewChannel(net, 2, 6, 4)
+	var seqs []int
+	ch.OnReceive(func(seq int, at timing.Time) { seqs = append(seqs, seq) })
+	for i := 0; i < 20; i++ {
+		ch.Send(2)
+	}
+	net.Run(50 * timing.Millisecond)
+	if len(seqs) != 20 {
+		t.Fatalf("received %d of 20 under loss", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("order broken under loss: %v", seqs)
+		}
+	}
+	if net.Metrics().Retransmits.Value() == 0 {
+		t.Fatal("expected retransmissions")
+	}
+}
+
+func TestBarrierUnderBackgroundLoad(t *testing.T) {
+	net := newNet(t, 8, nil)
+	p := net.Params()
+	// Background RT load at 50%.
+	for i := 0; i < 4; i++ {
+		if _, err := net.OpenConnection(sched.Connection{
+			Src: i, Dests: ring.Node(i + 4), Period: 8 * p.SlotTime(), Slots: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	members := ring.NodeSetOf(0, 2, 5, 7)
+	b, _ := NewBarrier(net, 0, members)
+	done := 0
+	net.At(10*p.SlotTime(), func(timing.Time) {
+		for _, m := range members.Nodes() {
+			_ = b.Enter(m, func(timing.Time) { done++ })
+		}
+	})
+	net.Run(2000 * p.SlotTime())
+	if done != 4 {
+		t.Fatalf("barrier under load released %d, want 4", done)
+	}
+}

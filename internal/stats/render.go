@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ccredf/internal/timing"
+)
+
+// Render writes an ASCII bar chart of the histogram's logarithmic buckets:
+// one row per non-empty power-of-two latency band, bar lengths normalised
+// to width characters. Useful for eyeballing latency shapes from cmd
+// output without plotting tools.
+func (h *Histogram) Render(w io.Writer, width int) error {
+	if width < 8 {
+		width = 8
+	}
+	if h.count == 0 {
+		_, err := io.WriteString(w, "(no samples)\n")
+		return err
+	}
+	lo, hi := 0, len(h.buckets)-1
+	for lo < len(h.buckets) && h.buckets[lo] == 0 {
+		lo++
+	}
+	for hi >= 0 && h.buckets[hi] == 0 {
+		hi--
+	}
+	var max int64
+	for i := lo; i <= hi; i++ {
+		if h.buckets[i] > max {
+			max = h.buckets[i]
+		}
+	}
+	for i := lo; i <= hi; i++ {
+		var lower, upper timing.Time
+		if i > 0 {
+			lower = 1 << uint(i-1)
+		}
+		upper = 1 << uint(i)
+		bar := int(float64(width) * float64(h.buckets[i]) / float64(max))
+		if h.buckets[i] > 0 && bar == 0 {
+			bar = 1
+		}
+		if _, err := fmt.Fprintf(w, "%10s – %-10s %7d |%s\n",
+			lower, upper, h.buckets[i], strings.Repeat("█", bar)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JainIndex computes Jain's fairness index over per-entity allocations:
+// (Σxᵢ)² / (n·Σxᵢ²). It is 1 for perfectly equal shares and 1/n when one
+// entity takes everything; entities with zero share still count.
+func JainIndex(shares []float64) float64 {
+	if len(shares) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range shares {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(shares)) * sumSq)
+}

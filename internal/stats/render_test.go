@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ccredf/internal/timing"
+)
+
+func TestRenderEmpty(t *testing.T) {
+	var h Histogram
+	var buf bytes.Buffer
+	if err := h.Render(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no samples") {
+		t.Fatalf("empty render = %q", buf.String())
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * timing.Microsecond)
+	}
+	for i := 0; i < 25; i++ {
+		h.Observe(100 * timing.Microsecond)
+	}
+	var buf bytes.Buffer
+	if err := h.Render(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("too few rows:\n%s", out)
+	}
+	// The dominant bucket has the longest bar.
+	var maxBar, rowOf100 int
+	for _, l := range lines {
+		bar := strings.Count(l, "█")
+		if bar > maxBar {
+			maxBar = bar
+		}
+		if strings.Contains(l, "100") && strings.Contains(l, "|") && strings.Count(l, "█") > 0 {
+			rowOf100 = bar
+		}
+	}
+	if maxBar != 40 {
+		t.Fatalf("longest bar %d, want normalised to 40:\n%s", maxBar, out)
+	}
+	_ = rowOf100
+	// Interior zero buckets render as gap rows with no bar (they keep the
+	// shape readable); non-empty buckets always get at least one block.
+	for _, l := range lines {
+		empty := strings.HasSuffix(strings.TrimSpace(l), "0 |")
+		hasBar := strings.Contains(l, "█")
+		if empty && hasBar {
+			t.Fatalf("zero bucket got a bar:\n%s", out)
+		}
+		if !empty && !hasBar {
+			t.Fatalf("non-empty bucket without a bar:\n%s", out)
+		}
+	}
+}
+
+func TestRenderMinimumWidth(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1)
+	var buf bytes.Buffer
+	if err := h.Render(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "█") {
+		t.Fatal("tiny width lost the bar")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares → %v, want 1", got)
+	}
+	if got := JainIndex([]float64{4, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("monopoly → %v, want 0.25", got)
+	}
+	if JainIndex(nil) != 0 || JainIndex([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate cases should be 0")
+	}
+	// Scale invariance.
+	a := JainIndex([]float64{1, 2, 3})
+	b := JainIndex([]float64{10, 20, 30})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("not scale invariant: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Series accumulates scalar observations across independent replications
+// (e.g. one value per seed) and reports the mean with a 95% confidence
+// half-width. The zero value is ready to use.
+type Series struct {
+	n     int
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+}
+
+// Add records one replication's value.
+func (s *Series) Add(v float64) {
+	if s.n == 0 || v < s.min {
+		s.min = v
+	}
+	if s.n == 0 || v > s.max {
+		s.max = v
+	}
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// N returns the number of replications.
+func (s *Series) N() int { return s.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Series) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min and Max return the observed extremes.
+func (s *Series) Min() float64 { return s.min }
+
+// Max returns the largest observation.
+func (s *Series) Max() float64 { return s.max }
+
+// StdDev returns the sample standard deviation (n−1 denominator), or 0 with
+// fewer than two observations.
+func (s *Series) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	n := float64(s.n)
+	variance := (s.sumSq - s.sum*s.sum/n) / (n - 1)
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance)
+}
+
+// tCritical95 holds two-sided 95% Student-t critical values for small
+// degrees of freedom; beyond the table the normal approximation 1.96 is
+// close enough.
+var tCritical95 = []float64{
+	0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+	2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+}
+
+// CI95 returns the 95% confidence half-width of the mean (Student-t), or 0
+// with fewer than two observations.
+func (s *Series) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	df := s.n - 1
+	t := 1.96
+	if df < len(tCritical95) {
+		t = tCritical95[df]
+	}
+	return t * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// String formats "mean ± hw" with compact precision.
+func (s *Series) String() string {
+	return fmt.Sprintf("%s ± %s", formatFloat(s.Mean()), formatFloat(s.CI95()))
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ccredf/internal/rng"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.StdDev()-2.138) > 0.01 {
+		t.Fatalf("StdDev = %v", s.StdDev())
+	}
+}
+
+func TestSeriesEmptyAndSingle(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.CI95() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty series should be zero")
+	}
+	s.Add(7)
+	if s.Mean() != 7 || s.CI95() != 0 {
+		t.Fatal("single observation: mean 7, no CI")
+	}
+}
+
+func TestSeriesCI95SmallSample(t *testing.T) {
+	var s Series
+	s.Add(10)
+	s.Add(12)
+	// df=1 → t=12.706; sd = √2; hw = 12.706·√2/√2 = 12.706.
+	if math.Abs(s.CI95()-12.706) > 0.01 {
+		t.Fatalf("CI95 = %v, want 12.706", s.CI95())
+	}
+}
+
+func TestSeriesCICoverageProperty(t *testing.T) {
+	// For normal data with known mean, the 95% CI should contain the true
+	// mean in roughly 95% of replications.
+	src := rng.New(31)
+	const trials = 400
+	covered := 0
+	for i := 0; i < trials; i++ {
+		var s Series
+		for j := 0; j < 10; j++ {
+			s.Add(src.Normal(50, 5))
+		}
+		if math.Abs(s.Mean()-50) <= s.CI95() {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("CI coverage = %v, want ≈0.95", frac)
+	}
+}
+
+func TestSeriesLargeSampleUsesNormalApprox(t *testing.T) {
+	var s Series
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i % 10))
+	}
+	sd := s.StdDev()
+	want := 1.96 * sd / 10
+	if math.Abs(s.CI95()-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", s.CI95(), want)
+	}
+}
+
+func TestSeriesString(t *testing.T) {
+	var s Series
+	s.Add(1)
+	s.Add(3)
+	out := s.String()
+	if !strings.Contains(out, "±") || !strings.Contains(out, "2") {
+		t.Fatalf("String() = %q", out)
+	}
+}

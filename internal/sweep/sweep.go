@@ -1,0 +1,206 @@
+// Package sweep runs grids of independent simulations in parallel and
+// aggregates their headline metrics. Each grid point is a full network
+// simulation (protocol × ring size × offered load × locality × seed); the
+// points are independent, so they fan out across a worker pool of
+// goroutines while each simulation itself stays single-threaded and
+// deterministic. Output order is the grid order regardless of scheduling,
+// so sweep results are bit-reproducible for any worker count.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"ccredf/internal/ccfpr"
+	"ccredf/internal/core"
+	"ccredf/internal/network"
+	"ccredf/internal/rng"
+	"ccredf/internal/sched"
+	"ccredf/internal/stats"
+	"ccredf/internal/tdma"
+	"ccredf/internal/timing"
+	"ccredf/internal/traffic"
+)
+
+// Point is one grid coordinate.
+type Point struct {
+	// Protocol is "ccr-edf", "cc-fpr" or "tdma".
+	Protocol string
+	// Nodes is the ring size.
+	Nodes int
+	// Load is the offered real-time utilisation (forced, identical across
+	// protocols).
+	Load float64
+	// Locality names the destination pattern: "uniform", "neighbour",
+	// "opposite" or "local".
+	Locality string
+	// Seed drives the point's randomness.
+	Seed uint64
+}
+
+// String renders the coordinate compactly.
+func (p Point) String() string {
+	return fmt.Sprintf("%s/N%d/U%.2f/%s/s%d", p.Protocol, p.Nodes, p.Load, p.Locality, p.Seed)
+}
+
+// Outcome is the measured result at one point.
+type Outcome struct {
+	Point
+	// Delivered counts completed messages; MissRatio is net-deadline
+	// misses over (delivered+missed).
+	Delivered int64
+	MissRatio float64
+	// P99Latency is the real-time class 99th percentile.
+	P99Latency timing.Time
+	// ReuseFactor is mean busy links per data slot.
+	ReuseFactor float64
+	// GapFraction is hand-over time over elapsed time.
+	GapFraction float64
+	// Err records a failed point (nil on success).
+	Err error
+}
+
+// Grid enumerates the cartesian product in deterministic order.
+func Grid(protocols []string, nodes []int, loads []float64, localities []string, seeds []uint64) []Point {
+	var pts []Point
+	for _, proto := range protocols {
+		for _, n := range nodes {
+			for _, u := range loads {
+				for _, loc := range localities {
+					for _, s := range seeds {
+						pts = append(pts, Point{Protocol: proto, Nodes: n, Load: u, Locality: loc, Seed: s})
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+func picker(name string) traffic.DestPicker {
+	switch name {
+	case "neighbour":
+		return traffic.NeighbourDest
+	case "opposite":
+		return traffic.OppositeDest
+	case "local":
+		return traffic.LocalDest(0.3)
+	default:
+		return traffic.UniformDest
+	}
+}
+
+func protocol(name string, nodes int) (core.Protocol, error) {
+	switch name {
+	case "ccr-edf":
+		return core.NewArbiter(nodes, sched.MapExact, true)
+	case "cc-fpr":
+		return ccfpr.NewArbiter(nodes, true)
+	case "tdma":
+		return tdma.NewArbiter(nodes, true)
+	default:
+		return nil, fmt.Errorf("sweep: unknown protocol %q", name)
+	}
+}
+
+// runPoint executes one simulation.
+func runPoint(pt Point, horizonSlots int64) Outcome {
+	out := Outcome{Point: pt}
+	p := timing.DefaultParams(pt.Nodes)
+	proto, err := protocol(pt.Protocol, pt.Nodes)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	net, err := network.New(network.Config{Params: p, Protocol: proto, Seed: pt.Seed})
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	src := rng.New(pt.Seed)
+	for _, c := range traffic.UniformRTSet(pt.Nodes, pt.Nodes, pt.Load, p, picker(pt.Locality), src) {
+		if _, err := net.ForceConnection(c); err != nil {
+			out.Err = err
+			return out
+		}
+	}
+	net.RunSlots(horizonSlots)
+	m := net.Metrics()
+	out.Delivered = m.MessagesDelivered.Value()
+	misses := m.NetDeadlineMisses.Value()
+	out.MissRatio = stats.Ratio(misses, out.Delivered+misses)
+	out.P99Latency = m.Latency[sched.ClassRealTime].Quantile(0.99)
+	out.ReuseFactor = m.SpatialReuseFactor()
+	out.GapFraction = float64(m.GapTime) / float64(net.Now())
+	return out
+}
+
+// Run executes every point on a pool of workers (≤ 0 means GOMAXPROCS) and
+// returns outcomes in grid order.
+func Run(points []Point, workers int, horizonSlots int64) []Outcome {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	outcomes := make([]Outcome, len(points))
+	if workers <= 1 {
+		for i, pt := range points {
+			outcomes[i] = runPoint(pt, horizonSlots)
+		}
+		return outcomes
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				outcomes[i] = runPoint(points[i], horizonSlots)
+			}
+		}()
+	}
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return outcomes
+}
+
+// WriteCSV emits the outcomes as CSV with a header row.
+func WriteCSV(w io.Writer, outcomes []Outcome) error {
+	if _, err := fmt.Fprintln(w, "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,error"); err != nil {
+		return err
+	}
+	for _, o := range outcomes {
+		errStr := ""
+		if o.Err != nil {
+			errStr = o.Err.Error()
+		}
+		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%d,%d,%.6f,%.3f,%.4f,%.6f,%s\n",
+			o.Protocol, o.Nodes, o.Load, o.Locality, o.Seed,
+			o.Delivered, o.MissRatio, o.P99Latency.Micros(), o.ReuseFactor, o.GapFraction, errStr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders the outcomes as an aligned text table.
+func Table(outcomes []Outcome) *stats.Table {
+	t := stats.NewTable("Sweep results",
+		"point", "delivered", "miss ratio", "p99", "reuse", "gap frac")
+	for _, o := range outcomes {
+		if o.Err != nil {
+			t.AddRow(o.Point.String(), "-", "-", "-", "-", o.Err.Error())
+			continue
+		}
+		t.AddRow(o.Point.String(), o.Delivered, o.MissRatio, o.P99Latency.String(), o.ReuseFactor, o.GapFraction)
+	}
+	return t
+}

@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallGrid() []Point {
+	return Grid(
+		[]string{"ccr-edf", "cc-fpr"},
+		[]int{8},
+		[]float64{0.3, 0.8},
+		[]string{"uniform"},
+		[]uint64{1, 2},
+	)
+}
+
+func TestGridEnumeration(t *testing.T) {
+	pts := smallGrid()
+	if len(pts) != 2*1*2*1*2 {
+		t.Fatalf("grid size %d", len(pts))
+	}
+	// Deterministic order: protocol outermost, seed innermost.
+	if pts[0].Protocol != "ccr-edf" || pts[0].Seed != 1 {
+		t.Fatalf("first point %v", pts[0])
+	}
+	if pts[1].Seed != 2 {
+		t.Fatalf("second point %v", pts[1])
+	}
+	if pts[len(pts)-1].Protocol != "cc-fpr" {
+		t.Fatalf("last point %v", pts[len(pts)-1])
+	}
+}
+
+func TestRunProducesResults(t *testing.T) {
+	outs := Run(smallGrid(), 4, 300)
+	if len(outs) != 8 {
+		t.Fatalf("%d outcomes", len(outs))
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("point %d failed: %v", i, o.Err)
+		}
+		if o.Delivered == 0 {
+			t.Fatalf("point %v delivered nothing", o.Point)
+		}
+		if o.GapFraction < 0 || o.GapFraction > 1 {
+			t.Fatalf("gap fraction %v", o.GapFraction)
+		}
+	}
+}
+
+// TestParallelEqualsSerial: the outcome slice must be identical for any
+// worker count — the determinism contract.
+func TestParallelEqualsSerial(t *testing.T) {
+	pts := smallGrid()
+	serial := Run(pts, 1, 300)
+	parallel := Run(pts, 8, 300)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("point %d differs: serial %+v vs parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	outs := Run([]Point{{Protocol: "atm", Nodes: 8, Load: 0.5, Locality: "uniform", Seed: 1}}, 1, 100)
+	if outs[0].Err == nil {
+		t.Fatal("unknown protocol should error")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	outs := Run(smallGrid()[:2], 2, 200)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, outs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "protocol,nodes,load") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "ccr-edf,8,0.3000,uniform,1,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	outs := Run(smallGrid()[:1], 1, 200)
+	outs = append(outs, Outcome{Point: Point{Protocol: "atm"}, Err: errFake})
+	tab := Table(outs)
+	if tab.Rows() != 2 {
+		t.Fatalf("rows = %d", tab.Rows())
+	}
+	if !strings.Contains(tab.String(), "fake") {
+		t.Fatal("error row missing")
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "fake" }
+
+// TestSweepShape: at equal offered load, CCR-EDF's miss ratio never exceeds
+// CC-FPR's across the small grid — the paper's headline, here as a sweep
+// regression.
+func TestSweepShape(t *testing.T) {
+	pts := Grid([]string{"ccr-edf", "cc-fpr"}, []int{8}, []float64{0.9}, []string{"opposite"}, []uint64{1})
+	outs := Run(pts, 2, 2000)
+	if outs[0].Err != nil || outs[1].Err != nil {
+		t.Fatal(outs[0].Err, outs[1].Err)
+	}
+	if outs[0].MissRatio > outs[1].MissRatio {
+		t.Fatalf("EDF miss ratio %v above CC-FPR %v", outs[0].MissRatio, outs[1].MissRatio)
+	}
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	pts := Grid([]string{"ccr-edf"}, []int{8}, []float64{0.5}, []string{"uniform"}, []uint64{1, 2, 3, 4})
+	for i := 0; i < b.N; i++ {
+		Run(pts, 4, 200)
+	}
+}
+
+func TestRunDefaultWorkers(t *testing.T) {
+	// workers <= 0 selects GOMAXPROCS; the result must match serial.
+	pts := smallGrid()[:2]
+	a := Run(pts, 0, 200)
+	b := Run(pts, 1, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("default-worker outcome %d differs", i)
+		}
+	}
+}
+
+func TestPointString(t *testing.T) {
+	p := Point{Protocol: "ccr-edf", Nodes: 8, Load: 0.5, Locality: "uniform", Seed: 3}
+	if got := p.String(); got != "ccr-edf/N8/U0.50/uniform/s3" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,129 @@
+package timing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func heteroParams() Params {
+	p := DefaultParams(5)
+	p.LinkLengthsM = []float64{5, 10, 20, 10, 5} // 50 m ring
+	return p
+}
+
+func TestHeteroValidate(t *testing.T) {
+	if err := heteroParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := heteroParams()
+	bad.LinkLengthsM = []float64{5, 10}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("wrong length count accepted")
+	}
+	bad = heteroParams()
+	bad.LinkLengthsM[2] = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero link length accepted")
+	}
+	bad = heteroParams()
+	bad.LinkLengthsM[0] = -3
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative link length accepted")
+	}
+}
+
+func TestHeteroRingPropagation(t *testing.T) {
+	p := heteroParams()
+	// 50 m at 5 ns/m = 250 ns.
+	if got := p.RingPropagation(); got != 250*Nanosecond {
+		t.Fatalf("RingPropagation = %v, want 250ns", got)
+	}
+}
+
+func TestHeteroLinkPropagationAt(t *testing.T) {
+	p := heteroParams()
+	wants := []Time{25, 50, 100, 50, 25}
+	for i, w := range wants {
+		if got := p.LinkPropagationAt(i); got != w*Nanosecond {
+			t.Fatalf("link %d propagation = %v, want %vns", i, got, w)
+		}
+	}
+	// Wraps modulo the ring.
+	if p.LinkPropagationAt(5) != p.LinkPropagationAt(0) {
+		t.Fatal("LinkPropagationAt does not wrap")
+	}
+	// Mean link propagation: 250/5 = 50 ns.
+	if got := p.LinkPropagation(); got != 50*Nanosecond {
+		t.Fatalf("mean LinkPropagation = %v", got)
+	}
+}
+
+func TestHeteroPropagationBetween(t *testing.T) {
+	p := heteroParams()
+	// 1 → 3 crosses links 1 (10 m) and 2 (20 m): 150 ns.
+	if got := p.PropagationBetween(1, 3); got != 150*Nanosecond {
+		t.Fatalf("PropagationBetween(1,3) = %v", got)
+	}
+	// 3 → 1 crosses links 3, 4, 0: 10+5+5 = 20 m = 100 ns.
+	if got := p.PropagationBetween(3, 1); got != 100*Nanosecond {
+		t.Fatalf("PropagationBetween(3,1) = %v", got)
+	}
+	if p.PropagationBetween(2, 2) != 0 {
+		t.Fatal("self propagation not zero")
+	}
+}
+
+// TestHeteroHandoverWorstCaseWindow: MaxHandoverTime is the slowest
+// (N−1)-link window — the full ring minus the fastest link.
+func TestHeteroHandoverWorstCaseWindow(t *testing.T) {
+	p := heteroParams()
+	// Total 250 ns; fastest link 25 ns → worst window 225 ns.
+	if got := p.MaxHandoverTime(); got != 225*Nanosecond {
+		t.Fatalf("MaxHandoverTime = %v, want 225ns", got)
+	}
+	// HandoverBetween is exact: 1 → 0 crosses links 1,2,3,4 = 45 m = 225 ns
+	// (the worst window); 2 → 1 crosses links 2,3,4,0 = 40 m = 200 ns.
+	if got := p.HandoverBetween(1, 0); got != 225*Nanosecond {
+		t.Fatalf("HandoverBetween(1,0) = %v", got)
+	}
+	if got := p.HandoverBetween(2, 1); got != 200*Nanosecond {
+		t.Fatalf("HandoverBetween(2,1) = %v", got)
+	}
+	// And the uniform-case identity still holds.
+	u := DefaultParams(8)
+	if u.HandoverBetween(3, 6) != u.HandoverTime(3) {
+		t.Fatal("uniform HandoverBetween disagrees with HandoverTime")
+	}
+}
+
+// TestHeteroHandoverDominatesPairs: HandoverTime(d) upper-bounds every
+// node pair at distance d (property over random length vectors).
+func TestHeteroHandoverDominatesPairs(t *testing.T) {
+	f := func(raw [6]uint8, dRaw uint8) bool {
+		p := DefaultParams(6)
+		p.LinkLengthsM = make([]float64, 6)
+		for i, v := range raw {
+			p.LinkLengthsM[i] = 1 + float64(v%50)
+		}
+		d := int(dRaw % 6)
+		bound := p.HandoverTime(d)
+		for from := 0; from < 6; from++ {
+			if p.HandoverBetween(from, from+d) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeteroUMaxUsesWorstWindow(t *testing.T) {
+	p := heteroParams()
+	slot := float64(p.SlotTime())
+	want := slot / (slot + float64(225*Nanosecond))
+	if got := p.UMax(); got != want {
+		t.Fatalf("UMax = %v, want %v", got, want)
+	}
+}

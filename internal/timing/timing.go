@@ -1,0 +1,325 @@
+// Package timing models the physical timing of a CCR-EDF fibre-ribbon ring.
+//
+// All simulation time is expressed as Time, an integer number of picoseconds,
+// which keeps every computation exact and every run bit-reproducible. The
+// package implements the closed-form timing relations of the paper:
+//
+//   - Equation 1: clock hand-over time  t_handover = P·L·D
+//   - Equation 2: minimum slot length   t_minslot  = N·t_node + t_prop
+//   - Equation 4: worst-case latency    t_latency  = 2·t_slot + t_handover_max
+//   - Equation 6: guaranteed utilisation U_max = t_slot / (t_slot + t_handover_max)
+//
+// where P is the propagation delay of light per metre of fibre, L the link
+// length, D the number of hops traversed during hand-over and N the number of
+// nodes in the ring.
+package timing
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, in integer picoseconds since the start
+// of the simulation. A Duration is also represented as Time; the two are not
+// distinguished at the type level because the protocol arithmetic constantly
+// mixes them and the extra ceremony buys nothing here.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+
+	// Forever is a sentinel meaning "no deadline" / "never".
+	Forever Time = 1<<63 - 1
+)
+
+// Seconds reports t as floating-point seconds. Intended for output only.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds. Intended for output only.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Std converts t to a time.Duration (nanosecond resolution, rounding toward
+// zero). Values beyond the time.Duration range saturate.
+func (t Time) Std() time.Duration { return time.Duration(t / Nanosecond) }
+
+// FromStd converts a time.Duration to a Time.
+func FromStd(d time.Duration) Time { return Time(d) * Nanosecond }
+
+// String formats t with an SI-scaled unit, e.g. "5.12µs".
+func (t Time) String() string {
+	switch {
+	case t == Forever:
+		return "∞"
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.3gns", float64(t)/float64(Nanosecond))
+	case t < Millisecond:
+		return fmt.Sprintf("%.4gµs", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.4gms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.6gs", float64(t)/float64(Second))
+	}
+}
+
+// Params describes the physical configuration of one ring. The zero value is
+// not useful; obtain one from DefaultParams and adjust, then call Validate.
+type Params struct {
+	// Nodes is the number of nodes N in the ring (and also the number of
+	// unidirectional fibre-ribbon links, since the ring is closed).
+	Nodes int
+
+	// LinkLengthM is the length L of each link in metres. The paper assumes
+	// all links are of (roughly) the same length.
+	LinkLengthM float64
+
+	// LinkLengthsM optionally gives each link its own length (metres),
+	// generalising the paper's equal-length assumption ("as long as the
+	// link length between each pair of neighbours is roughly the same").
+	// When non-nil it must have exactly Nodes entries; link i runs from
+	// node i to node i+1. Equations 1, 2 and 6 then use per-link
+	// propagation, with the worst-case hand-over being the slowest
+	// (N−1)-link window.
+	LinkLengthsM []float64
+
+	// PropagationPerM is the propagation delay P of light per metre of
+	// fibre. Standard silica fibre: ~5 ns/m.
+	PropagationPerM Time
+
+	// BitRate is the clock rate of the network in bits per second per
+	// fibre. The data channel moves one byte per clock cycle (eight data
+	// fibres in parallel); the control channel moves one bit per cycle.
+	BitRate int64
+
+	// SlotPayloadBytes is the fixed data-packet payload carried by one
+	// slot on the data channel.
+	SlotPayloadBytes int
+
+	// NodeControlDelayBits is the delay t_node experienced by the
+	// collection-phase control packet through each node, in bit times
+	// (the node must at minimum regenerate the packet and append its own
+	// request field).
+	NodeControlDelayBits int
+}
+
+// DefaultParams returns the baseline configuration used throughout the
+// repository: an 8-node ring of 10 m links, 800 Mbit/s per fibre (one byte
+// per 1.25 ns clock on the 8-fibre data channel) and a 4 KiB slot payload.
+func DefaultParams(nodes int) Params {
+	return Params{
+		Nodes:                nodes,
+		LinkLengthM:          10,
+		PropagationPerM:      5 * Nanosecond,
+		BitRate:              800_000_000,
+		SlotPayloadBytes:     4096,
+		NodeControlDelayBits: 20,
+	}
+}
+
+// Validate reports whether p is internally consistent: the slot must be long
+// enough for the collection phase to complete (Equation 2), the ring needs at
+// least two nodes, and all rates and lengths must be positive.
+func (p Params) Validate() error {
+	switch {
+	case p.Nodes < 2:
+		return fmt.Errorf("timing: ring needs at least 2 nodes, have %d", p.Nodes)
+	case p.LinkLengthM <= 0:
+		return fmt.Errorf("timing: non-positive link length %v m", p.LinkLengthM)
+	case p.PropagationPerM <= 0:
+		return errors.New("timing: non-positive propagation delay")
+	case p.BitRate <= 0:
+		return errors.New("timing: non-positive bit rate")
+	case p.SlotPayloadBytes <= 0:
+		return errors.New("timing: non-positive slot payload")
+	case p.NodeControlDelayBits < 1:
+		return errors.New("timing: node control delay must be at least one bit time")
+	}
+	if p.LinkLengthsM != nil {
+		if len(p.LinkLengthsM) != p.Nodes {
+			return fmt.Errorf("timing: %d per-link lengths for %d links", len(p.LinkLengthsM), p.Nodes)
+		}
+		for i, l := range p.LinkLengthsM {
+			if l <= 0 {
+				return fmt.Errorf("timing: non-positive length %v m for link %d", l, i)
+			}
+		}
+	}
+	if slot, min := p.SlotTime(), p.MinSlotLength(); slot < min {
+		return fmt.Errorf("timing: slot time %v shorter than minimum slot length %v (Eq. 2); increase payload or reduce ring size", slot, min)
+	}
+	return nil
+}
+
+// BitTime returns the duration of one clock cycle (one bit on the control
+// fibre, one byte on the data channel).
+func (p Params) BitTime() Time {
+	return Time((int64(Second) + p.BitRate - 1) / p.BitRate)
+}
+
+// SlotTime returns t_slot, the time to clock one data packet of
+// SlotPayloadBytes through the data channel (one byte per cycle).
+func (p Params) SlotTime() Time {
+	return Time(p.SlotPayloadBytes) * p.BitTime()
+}
+
+// LinkPropagation returns the light propagation time across a single
+// (uniform-length) link, P·L. With per-link lengths configured it returns
+// the mean link propagation; prefer LinkPropagationAt then.
+func (p Params) LinkPropagation() Time {
+	if p.LinkLengthsM == nil {
+		return Time(float64(p.PropagationPerM) * p.LinkLengthM)
+	}
+	return p.RingPropagation() / Time(p.Nodes)
+}
+
+// LinkPropagationAt returns the propagation time across link i (from node i
+// to node i+1), honouring per-link lengths when configured.
+func (p Params) LinkPropagationAt(i int) Time {
+	if p.LinkLengthsM == nil {
+		return Time(float64(p.PropagationPerM) * p.LinkLengthM)
+	}
+	i = ((i % p.Nodes) + p.Nodes) % p.Nodes
+	return Time(float64(p.PropagationPerM) * p.LinkLengthsM[i])
+}
+
+// PropagationBetween returns the propagation time of the downstream path
+// from node `from` to node `to` (0 when from == to).
+func (p Params) PropagationBetween(from, to int) Time {
+	if p.Nodes <= 0 {
+		return 0
+	}
+	d := (((to - from) % p.Nodes) + p.Nodes) % p.Nodes
+	var sum Time
+	for h := 0; h < d; h++ {
+		sum += p.LinkPropagationAt(from + h)
+	}
+	return sum
+}
+
+// HandoverTime implements Equation 1: the clock hand-over time when the
+// master role moves D hops downstream, t_handover = P·L·D. D = 0 (the master
+// keeps the role) costs nothing. D is taken modulo the ring size. With
+// per-link lengths the time depends on *which* links are crossed; this
+// method returns the worst case over all starting positions for the given
+// distance (use HandoverBetween for exact node pairs).
+func (p Params) HandoverTime(d int) Time {
+	if p.Nodes > 0 {
+		d = ((d % p.Nodes) + p.Nodes) % p.Nodes
+	}
+	if p.LinkLengthsM == nil {
+		return Time(d) * p.LinkPropagation()
+	}
+	var worst Time
+	for from := 0; from < p.Nodes; from++ {
+		if t := p.PropagationBetween(from, from+d); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// HandoverBetween returns the exact hand-over time from master `from` to
+// master `to`: the propagation over the links between them (Equation 1 with
+// per-link lengths).
+func (p Params) HandoverBetween(from, to int) Time {
+	return p.PropagationBetween(from, to)
+}
+
+// MaxHandoverTime returns the worst-case hand-over time: N−1 hops (hand-over
+// to the upstream neighbour), over the slowest (N−1)-link window when
+// per-link lengths are configured.
+func (p Params) MaxHandoverTime() Time {
+	return p.HandoverTime(p.Nodes - 1)
+}
+
+// RingPropagation returns t_prop, the propagation delay around the whole
+// ring: N·P·L, or the sum of per-link propagations.
+func (p Params) RingPropagation() Time {
+	if p.LinkLengthsM == nil {
+		return Time(p.Nodes) * Time(float64(p.PropagationPerM)*p.LinkLengthM)
+	}
+	var sum Time
+	for i := 0; i < p.Nodes; i++ {
+		sum += p.LinkPropagationAt(i)
+	}
+	return sum
+}
+
+// NodeControlDelay returns t_node, the per-node delay of the collection-phase
+// control packet.
+func (p Params) NodeControlDelay() Time {
+	return Time(p.NodeControlDelayBits) * p.BitTime()
+}
+
+// MinSlotLength implements Equation 2: the collection phase must finish
+// before the end of the slot, so t_minslot = N·t_node + t_prop.
+func (p Params) MinSlotLength() Time {
+	return Time(p.Nodes)*p.NodeControlDelay() + p.RingPropagation()
+}
+
+// WorstCaseLatency implements Equation 4: t_latency = 2·t_slot +
+// t_handover_max. One slot may be just missed, one slot is needed for
+// arbitration, and the hand-over may take its worst-case time.
+func (p Params) WorstCaseLatency() Time {
+	return 2*p.SlotTime() + p.MaxHandoverTime()
+}
+
+// MaxDelay implements Equation 3: the maximum delay a message with deadline
+// deadline may encounter at user level, t_maxdelay = t_deadline + t_latency.
+func (p Params) MaxDelay(deadline Time) Time {
+	return deadline + p.WorstCaseLatency()
+}
+
+// UMax implements Equation 6: the worst-case guaranteed utilisation at full
+// load, U_max = t_slot / (t_slot + t_handover_max). Because the inter-slot
+// gap cannot carry data and the guarantee ignores spatial reuse, U_max < 1.
+func (p Params) UMax() float64 {
+	slot := float64(p.SlotTime())
+	return slot / (slot + float64(p.MaxHandoverTime()))
+}
+
+// SlotDataRate returns the net payload rate of a fully loaded ring without
+// spatial reuse, in bytes per second, assuming every slot is followed by a
+// worst-case hand-over gap.
+func (p Params) SlotDataRate() float64 {
+	period := p.SlotTime() + p.MaxHandoverTime()
+	return float64(p.SlotPayloadBytes) / period.Seconds()
+}
+
+// CollectionBits returns the length in bits of a complete collection-phase
+// packet: a start bit plus one request per node, each request carrying a
+// 5-bit priority field, an N-bit link-reservation field and an N-bit
+// destination field (Figure 4).
+func (p Params) CollectionBits() int {
+	return 1 + p.Nodes*(5+p.Nodes+p.Nodes)
+}
+
+// DistributionBits returns the length in bits of a distribution-phase packet:
+// a start bit, N−1 request-result bits and a ⌈log₂N⌉-bit index of the
+// highest-priority node (Figure 5), ignoring the paper's unspecified
+// trailing service fields.
+func (p Params) DistributionBits() int {
+	return 1 + (p.Nodes - 1) + CeilLog2(p.Nodes)
+}
+
+// CeilLog2 returns ⌈log₂(n)⌉ for n ≥ 1; the width in bits needed to address n
+// distinct values is CeilLog2(n) (with a minimum of 1 bit).
+func CeilLog2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

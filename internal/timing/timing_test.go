@@ -1,0 +1,261 @@
+package timing
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultParamsValidate(t *testing.T) {
+	for n := 2; n <= 64; n++ {
+		if err := DefaultParams(n).Validate(); err != nil {
+			t.Fatalf("DefaultParams(%d): %v", n, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"one node", func(p *Params) { p.Nodes = 1 }},
+		{"zero nodes", func(p *Params) { p.Nodes = 0 }},
+		{"negative length", func(p *Params) { p.LinkLengthM = -1 }},
+		{"zero length", func(p *Params) { p.LinkLengthM = 0 }},
+		{"zero propagation", func(p *Params) { p.PropagationPerM = 0 }},
+		{"zero bit rate", func(p *Params) { p.BitRate = 0 }},
+		{"zero payload", func(p *Params) { p.SlotPayloadBytes = 0 }},
+		{"zero node delay", func(p *Params) { p.NodeControlDelayBits = 0 }},
+	}
+	for _, tc := range cases {
+		p := DefaultParams(8)
+		tc.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate() accepted invalid params", tc.name)
+		}
+	}
+}
+
+func TestValidateRejectsSlotShorterThanMinimum(t *testing.T) {
+	p := DefaultParams(32)
+	p.SlotPayloadBytes = 8 // 8 byte times << N·t_node + t_prop
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("Validate() accepted slot shorter than Eq. 2 minimum")
+	}
+	if !strings.Contains(err.Error(), "Eq. 2") {
+		t.Errorf("error should reference Eq. 2, got %v", err)
+	}
+}
+
+func TestBitTime(t *testing.T) {
+	p := DefaultParams(8)
+	if got, want := p.BitTime(), Time(1250); got != want { // 1/800MHz = 1.25ns
+		t.Errorf("BitTime() = %v ps, want %v ps", int64(got), int64(want))
+	}
+}
+
+func TestSlotTime(t *testing.T) {
+	p := DefaultParams(8)
+	// 4096 bytes at one byte per 1.25 ns = 5.12 µs.
+	if got, want := p.SlotTime(), Time(4096)*1250*Picosecond; got != want {
+		t.Errorf("SlotTime() = %v, want %v", got, want)
+	}
+}
+
+// TestHandoverTimeEq1 checks Equation 1 directly: t_handover = P·L·D.
+func TestHandoverTimeEq1(t *testing.T) {
+	p := DefaultParams(8)
+	for d := 0; d < p.Nodes; d++ {
+		want := Time(d) * 50 * Nanosecond // 5 ns/m × 10 m per hop
+		if got := p.HandoverTime(d); got != want {
+			t.Errorf("HandoverTime(%d) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestHandoverTimeWrapsModuloRing(t *testing.T) {
+	p := DefaultParams(8)
+	if got, want := p.HandoverTime(8), p.HandoverTime(0); got != want {
+		t.Errorf("HandoverTime(8) = %v, want %v (wrap)", got, want)
+	}
+	if got, want := p.HandoverTime(-1), p.HandoverTime(7); got != want {
+		t.Errorf("HandoverTime(-1) = %v, want %v (wrap)", got, want)
+	}
+}
+
+func TestMaxHandoverIsWorstCase(t *testing.T) {
+	p := DefaultParams(8)
+	max := p.MaxHandoverTime()
+	for d := 0; d < p.Nodes; d++ {
+		if h := p.HandoverTime(d); h > max {
+			t.Errorf("HandoverTime(%d) = %v exceeds MaxHandoverTime %v", d, h, max)
+		}
+	}
+	if want := Time(7) * 50 * Nanosecond; max != want {
+		t.Errorf("MaxHandoverTime = %v, want %v", max, want)
+	}
+}
+
+// TestMinSlotLengthEq2 checks Equation 2: t_minslot = N·t_node + t_prop.
+func TestMinSlotLengthEq2(t *testing.T) {
+	p := DefaultParams(8)
+	tNode := Time(20) * 1250 * Picosecond // 20 bit times
+	tProp := Time(8) * 50 * Nanosecond
+	if got, want := p.MinSlotLength(), 8*tNode+tProp; got != want {
+		t.Errorf("MinSlotLength() = %v, want %v", got, want)
+	}
+}
+
+// TestWorstCaseLatencyEq4 checks Equation 4: t_latency = 2·t_slot + t_handover_max.
+func TestWorstCaseLatencyEq4(t *testing.T) {
+	p := DefaultParams(8)
+	if got, want := p.WorstCaseLatency(), 2*p.SlotTime()+p.MaxHandoverTime(); got != want {
+		t.Errorf("WorstCaseLatency() = %v, want %v", got, want)
+	}
+}
+
+// TestMaxDelayEq3 checks Equation 3: t_maxdelay = t_deadline + t_latency.
+func TestMaxDelayEq3(t *testing.T) {
+	p := DefaultParams(8)
+	d := 100 * Microsecond
+	if got, want := p.MaxDelay(d), d+p.WorstCaseLatency(); got != want {
+		t.Errorf("MaxDelay(%v) = %v, want %v", d, got, want)
+	}
+}
+
+// TestUMaxEq6 checks Equation 6 and its qualitative properties.
+func TestUMaxEq6(t *testing.T) {
+	p := DefaultParams(8)
+	slot := float64(p.SlotTime())
+	want := slot / (slot + float64(p.MaxHandoverTime()))
+	if got := p.UMax(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("UMax() = %v, want %v", got, want)
+	}
+	if got := p.UMax(); got <= 0 || got >= 1 {
+		t.Errorf("UMax() = %v, want strictly within (0,1)", got)
+	}
+}
+
+func TestUMaxDecreasesWithRingSize(t *testing.T) {
+	prev := 2.0
+	for n := 2; n <= 64; n *= 2 {
+		u := DefaultParams(n).UMax()
+		if u >= prev {
+			t.Errorf("UMax not strictly decreasing in N: UMax(%d)=%v, prev=%v", n, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestUMaxIncreasesWithSlotSize(t *testing.T) {
+	prev := 0.0
+	for payload := 1024; payload <= 65536; payload *= 2 {
+		p := DefaultParams(8)
+		p.SlotPayloadBytes = payload
+		u := p.UMax()
+		if u <= prev {
+			t.Errorf("UMax not increasing with payload: UMax(%d)=%v, prev=%v", payload, u, prev)
+		}
+		prev = u
+	}
+}
+
+func TestSlotDataRate(t *testing.T) {
+	p := DefaultParams(8)
+	period := (p.SlotTime() + p.MaxHandoverTime()).Seconds()
+	want := float64(p.SlotPayloadBytes) / period
+	if got := p.SlotDataRate(); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("SlotDataRate() = %v, want %v", got, want)
+	}
+}
+
+func TestCollectionBitsFig4(t *testing.T) {
+	// Figure 4: start bit + per node (5-bit prio + N-bit reservation +
+	// N-bit destination).
+	p := DefaultParams(5)
+	if got, want := p.CollectionBits(), 1+5*(5+5+5); got != want {
+		t.Errorf("CollectionBits() = %d, want %d", got, want)
+	}
+}
+
+func TestDistributionBitsFig5(t *testing.T) {
+	// Figure 5: start bit + (N−1) result bits + log2 N index bits.
+	p := DefaultParams(8)
+	if got, want := p.DistributionBits(), 1+7+3; got != want {
+		t.Errorf("DistributionBits() = %d, want %d", got, want)
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCeilLog2Property(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int(raw%4096) + 1
+		b := CeilLog2(n)
+		// n values must fit in b bits, and b is minimal (except n=1, 1 bit).
+		if n > 1<<b {
+			return false
+		}
+		if n > 1 && n <= 1<<(b-1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		500 * Picosecond:  "500ps",
+		5 * Nanosecond:    "5ns",
+		Forever:           "∞",
+		-5 * Nanosecond:   "-5ns",
+		3 * Second:        "3s",
+		2 * Millisecond:   "2ms",
+		512 * Microsecond: "512µs",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("(%d).String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if got := (5 * Microsecond).Micros(); got != 5 {
+		t.Errorf("Micros() = %v, want 5", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds() = %v, want 2", got)
+	}
+	if got := FromStd(3 * time.Microsecond); got != 3*Microsecond {
+		t.Errorf("FromStd = %v, want 3µs", got)
+	}
+	if got := (3 * Microsecond).Std(); got != 3*time.Microsecond {
+		t.Errorf("Std() = %v, want 3µs", got)
+	}
+}
+
+func TestMinSlotGrowsWithN(t *testing.T) {
+	prev := Time(0)
+	for n := 2; n <= 64; n++ {
+		m := DefaultParams(n).MinSlotLength()
+		if m <= prev {
+			t.Fatalf("MinSlotLength(%d) = %v not greater than %v", n, m, prev)
+		}
+		prev = m
+	}
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+)
+
+// Gantt renders the retained trace as a per-slot link-occupancy chart — a
+// textual version of the pipeline diagrams (Figure 2): one row per slot,
+// one column per link, with each simultaneous transmission shown as its own
+// letter. It makes spatial reuse, clock placement and hand-over distances
+// visible at a glance:
+//
+//	slot    0  master 0  |AA·BB|  grants=2  handover→1 (1 hop)
+//	slot    1  master 1  |CC···|  grants=1  handover→0 (4 hops)
+//
+// nLinks is the ring size. A nil tracer renders nothing.
+func (t *Tracer) Gantt(w io.Writer, nLinks int) error {
+	if t == nil {
+		return nil
+	}
+	type slotInfo struct {
+		seen     bool
+		master   int
+		grants   []uint64 // link masks in grant order
+		handover string
+	}
+	slots := map[int64]*slotInfo{}
+	var order []int64
+	get := func(s int64) *slotInfo {
+		si, ok := slots[s]
+		if !ok {
+			si = &slotInfo{}
+			slots[s] = si
+			order = append(order, s)
+		}
+		return si
+	}
+	for _, r := range t.Records() {
+		switch r.Kind {
+		case SlotStart:
+			si := get(r.Slot)
+			si.seen = true
+			si.master = r.Node
+		case Grant:
+			// Grants are decided during slot k for slot k+1, where the
+			// transmission actually occupies the links.
+			si := get(r.Slot + 1)
+			si.grants = append(si.grants, r.Links)
+		case Handover:
+			si := get(r.Slot)
+			si.handover = fmt.Sprintf("handover→%d", r.Peer)
+		}
+	}
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	for _, s := range order {
+		si := slots[s]
+		if !si.seen {
+			continue
+		}
+		row := make([]byte, nLinks)
+		for i := range row {
+			row[i] = '.'
+		}
+		for gi, mask := range si.grants {
+			ch := letters[gi%len(letters)]
+			for m := mask; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				if l < nLinks {
+					row[l] = ch
+				}
+			}
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "slot %4d  master %-2d |%s|  grants=%d", s, si.master, row, len(si.grants))
+		if si.handover != "" {
+			fmt.Fprintf(&b, "  %s", si.handover)
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ccredf/internal/timing"
+)
+
+func TestGanttRendersOccupancy(t *testing.T) {
+	tr := New(0)
+	tr.Emit(Record{Time: 0, Slot: 0, Kind: SlotStart, Node: 0})
+	// Two grants decided during slot 0 (transmitted in slot 1):
+	// links {0,1} and {3,4}.
+	tr.Emit(Record{Time: 1, Slot: 0, Kind: Grant, Node: 0, Links: 0b00011})
+	tr.Emit(Record{Time: 1, Slot: 0, Kind: Grant, Node: 3, Links: 0b11000})
+	tr.Emit(Record{Time: 2, Slot: 0, Kind: Handover, Node: 0, Peer: 1})
+	tr.Emit(Record{Time: 3, Slot: 1, Kind: SlotStart, Node: 1})
+
+	var buf bytes.Buffer
+	if err := tr.Gantt(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 slot rows, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "|.....|") {
+		t.Fatalf("slot 0 should be idle (grants land in slot 1):\n%s", out)
+	}
+	if !strings.Contains(lines[0], "handover→1") {
+		t.Fatalf("missing handover annotation:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "|AA.BB|") {
+		t.Fatalf("slot 1 occupancy wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "grants=2") {
+		t.Fatalf("grant count wrong:\n%s", out)
+	}
+}
+
+func TestGanttNilTracer(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.Gantt(&buf, 5); err != nil || buf.Len() != 0 {
+		t.Fatal("nil tracer should render nothing")
+	}
+}
+
+func TestGanttManyGrantsCycleLetters(t *testing.T) {
+	tr := New(0)
+	tr.Emit(Record{Slot: 0, Kind: SlotStart, Node: 0})
+	tr.Emit(Record{Slot: 1, Kind: SlotStart, Node: 0})
+	for i := 0; i < 30; i++ {
+		tr.Emit(Record{Slot: 0, Kind: Grant, Node: i % 8, Links: 1 << uint(i%8)})
+	}
+	var buf bytes.Buffer
+	if err := tr.Gantt(&buf, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "grants=30") {
+		t.Fatalf("grant count missing:\n%s", buf.String())
+	}
+}
+
+func TestGanttRecordJSONIncludesLinks(t *testing.T) {
+	r := Record{Time: timing.Microsecond, Slot: 1, Kind: Grant, Node: 2, Links: 0b110}
+	buf, err := r.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(buf), `"links":6`) {
+		t.Fatalf("links missing from JSON: %s", buf)
+	}
+}

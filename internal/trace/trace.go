@@ -1,0 +1,158 @@
+// Package trace records a structured slot-by-slot protocol trace. The slot
+// engine emits one Record per protocol event; a Tracer stores them in a
+// bounded ring buffer and can render them as human-readable text or JSON
+// lines (for cmd/ccr-trace and for debugging failing experiments).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"ccredf/internal/timing"
+)
+
+// Kind classifies a trace record.
+type Kind int
+
+const (
+	// SlotStart marks the beginning of a slot: the master starts clocking.
+	SlotStart Kind = iota
+	// Collection marks completion of the collection phase at the master.
+	Collection
+	// Grant marks one granted transmission for the next slot.
+	Grant
+	// Deny marks one denied request.
+	Deny
+	// Handover marks the clock hand-over between slots.
+	Handover
+	// Deliver marks a data packet fully received by its destination(s).
+	Deliver
+	// Drop marks an injected packet loss (fault injection).
+	Drop
+	// MasterLoss marks a simulated master failure.
+	MasterLoss
+	// Recovery marks the designated node restarting the network after a
+	// master loss (paper §8 future work).
+	Recovery
+)
+
+var kindNames = [...]string{
+	SlotStart:  "slot-start",
+	Collection: "collection",
+	Grant:      "grant",
+	Deny:       "deny",
+	Handover:   "handover",
+	Deliver:    "deliver",
+	Drop:       "drop",
+	MasterLoss: "master-loss",
+	Recovery:   "recovery",
+}
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Record is one traced protocol event.
+type Record struct {
+	Time   timing.Time `json:"t"`
+	Slot   int64       `json:"slot"`
+	Kind   Kind        `json:"kind"`
+	Node   int         `json:"node"`            // acting node (master, source…)
+	Peer   int         `json:"peer,omitempty"`  // other party (destination, next master…)
+	Links  uint64      `json:"links,omitempty"` // link set of a grant (bitmask)
+	Detail string      `json:"detail,omitempty"`
+}
+
+// MarshalJSON emits the kind as its string name.
+func (r Record) MarshalJSON() ([]byte, error) {
+	type alias Record
+	return json.Marshal(struct {
+		alias
+		KindName string `json:"kind"`
+	}{alias(r), r.Kind.String()})
+}
+
+// Tracer collects records. A nil *Tracer is valid and discards everything,
+// so hot paths can call t.Emit unconditionally.
+type Tracer struct {
+	records []Record
+	cap     int
+	dropped int64
+}
+
+// New returns a Tracer retaining at most capacity records (older records are
+// discarded first). capacity <= 0 means unbounded.
+func New(capacity int) *Tracer { return &Tracer{cap: capacity} }
+
+// Emit appends a record.
+func (t *Tracer) Emit(r Record) {
+	if t == nil {
+		return
+	}
+	if t.cap > 0 && len(t.records) >= t.cap {
+		copy(t.records, t.records[1:])
+		t.records = t.records[:len(t.records)-1]
+		t.dropped++
+	}
+	t.records = append(t.records, r)
+}
+
+// Records returns the retained records in order.
+func (t *Tracer) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	return t.records
+}
+
+// Dropped returns how many records were evicted by the capacity bound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Len returns the number of retained records.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.records)
+}
+
+// WriteJSON writes the retained records as JSON lines.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range t.Records() {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText writes the retained records as aligned human-readable lines.
+func (t *Tracer) WriteText(w io.Writer) error {
+	for _, r := range t.Records() {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%12s  slot %-6d %-11s node %-3d", r.Time, r.Slot, r.Kind, r.Node)
+		if r.Peer != 0 || r.Kind == Grant || r.Kind == Handover || r.Kind == Deliver {
+			fmt.Fprintf(&b, " peer %-3d", r.Peer)
+		}
+		if r.Detail != "" {
+			fmt.Fprintf(&b, "  %s", r.Detail)
+		}
+		b.WriteByte('\n')
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

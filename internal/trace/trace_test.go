@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ccredf/internal/timing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Record{Kind: Grant})
+	if tr.Len() != 0 || tr.Records() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer should discard silently")
+	}
+}
+
+func TestEmitAndRecords(t *testing.T) {
+	tr := New(0)
+	for i := 0; i < 5; i++ {
+		tr.Emit(Record{Slot: int64(i), Kind: SlotStart, Node: i})
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len() = %d", tr.Len())
+	}
+	for i, r := range tr.Records() {
+		if r.Slot != int64(i) {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Record{Slot: int64(i)})
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", tr.Len())
+	}
+	if tr.Dropped() != 7 {
+		t.Fatalf("Dropped() = %d, want 7", tr.Dropped())
+	}
+	if got := tr.Records()[0].Slot; got != 7 {
+		t.Fatalf("oldest retained slot = %d, want 7", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if SlotStart.String() != "slot-start" || Deliver.String() != "deliver" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind should include number")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := New(0)
+	tr.Emit(Record{Time: 5 * timing.Microsecond, Slot: 1, Kind: Grant, Node: 2, Peer: 3, Detail: "prio=31"})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if m["kind"] != "grant" {
+		t.Fatalf("kind = %v, want grant", m["kind"])
+	}
+	if m["detail"] != "prio=31" {
+		t.Fatalf("detail = %v", m["detail"])
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	tr := New(0)
+	tr.Emit(Record{Time: timing.Microsecond, Slot: 0, Kind: SlotStart, Node: 1})
+	tr.Emit(Record{Time: 2 * timing.Microsecond, Slot: 0, Kind: Grant, Node: 1, Peer: 4, Detail: "links {1,2}"})
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "slot-start") || !strings.Contains(out, "grant") {
+		t.Fatalf("text output missing kinds:\n%s", out)
+	}
+	if !strings.Contains(out, "links {1,2}") {
+		t.Fatalf("text output missing detail:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Fatalf("want 2 lines, got %d", lines)
+	}
+}

@@ -1,0 +1,103 @@
+package traffic
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"ccredf/internal/network"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// TraceEvent is one recorded message arrival for trace-driven replay — the
+// substitution for production traces the paper's applications would supply.
+type TraceEvent struct {
+	// At is the release time in slot-times from replay start.
+	At int64
+	// Src and Dst are node indices.
+	Src, Dst int
+	// Slots is the message size.
+	Slots int
+	// Class is "rt" (deadline = RelDeadlineSlots), "be" or "nrt".
+	Class string
+	// RelDeadlineSlots is the relative deadline in slot-times (0 = none).
+	RelDeadlineSlots int64
+}
+
+// ParseTrace reads a workload trace from CSV with the columns
+//
+//	at_slots,src,dst,slots,class,rel_deadline_slots
+//
+// and an optional header row. Events may be in any order.
+func ParseTrace(r io.Reader) ([]TraceEvent, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("traffic: trace: %w", err)
+	}
+	var out []TraceEvent
+	for i, rec := range records {
+		if i == 0 && len(rec) > 0 && rec[0] == "at_slots" {
+			continue // header
+		}
+		if len(rec) != 6 {
+			return nil, fmt.Errorf("traffic: trace line %d has %d fields, want 6", i+1, len(rec))
+		}
+		var ev TraceEvent
+		var errs [5]error
+		ev.At, errs[0] = strconv.ParseInt(rec[0], 10, 64)
+		ev.Src, errs[1] = strconv.Atoi(rec[1])
+		ev.Dst, errs[2] = strconv.Atoi(rec[2])
+		ev.Slots, errs[3] = strconv.Atoi(rec[3])
+		ev.Class = rec[4]
+		ev.RelDeadlineSlots, errs[4] = strconv.ParseInt(rec[5], 10, 64)
+		for _, e := range errs {
+			if e != nil {
+				return nil, fmt.Errorf("traffic: trace line %d: %w", i+1, e)
+			}
+		}
+		switch ev.Class {
+		case "rt", "be", "nrt":
+		default:
+			return nil, fmt.Errorf("traffic: trace line %d: unknown class %q", i+1, ev.Class)
+		}
+		if ev.At < 0 || ev.Slots < 1 {
+			return nil, fmt.Errorf("traffic: trace line %d: bad time or size", i+1)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// Replay schedules every trace event on net (times relative to net.Now())
+// and returns a counter of messages actually submitted (events rejected by
+// validation are skipped and counted separately in the second return).
+func Replay(net *network.Network, events []TraceEvent) (submitted *int64, rejected *int64) {
+	submitted, rejected = new(int64), new(int64)
+	slot := net.Params().SlotTime()
+	base := net.Now()
+	for _, ev := range events {
+		ev := ev
+		net.At(base+timing.Time(ev.At)*slot, func(timing.Time) {
+			class := sched.ClassBestEffort
+			switch ev.Class {
+			case "rt":
+				class = sched.ClassRealTime
+			case "nrt":
+				class = sched.ClassNonRealTime
+			}
+			_, err := net.SubmitMessage(class, ev.Src, ring.Node(ev.Dst), ev.Slots,
+				timing.Time(ev.RelDeadlineSlots)*slot)
+			if err != nil {
+				*rejected++
+				return
+			}
+			*submitted++
+		})
+	}
+	return submitted, rejected
+}

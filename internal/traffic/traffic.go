@@ -1,0 +1,283 @@
+// Package traffic generates workloads for the simulated ring: periodic
+// real-time streams, Poisson and bursty best-effort traffic, and the two
+// application scenarios the paper motivates the network with — radar signal
+// processing pipelines (refs [1], [2]) and distributed multimedia.
+package traffic
+
+import (
+	"fmt"
+
+	"ccredf/internal/network"
+	"ccredf/internal/ring"
+	"ccredf/internal/rng"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// DestPicker chooses a destination node for a generated message.
+type DestPicker func(src *rng.Source, from, nodes int) int
+
+// UniformDest picks any node except the sender, uniformly.
+func UniformDest(src *rng.Source, from, nodes int) int {
+	d := src.Intn(nodes - 1)
+	if d >= from {
+		d++
+	}
+	return d
+}
+
+// NeighbourDest picks the downstream neighbour: maximal locality, maximal
+// spatial-reuse opportunity.
+func NeighbourDest(src *rng.Source, from, nodes int) int {
+	return (from + 1) % nodes
+}
+
+// OppositeDest picks the node halfway around the ring: minimal locality.
+func OppositeDest(src *rng.Source, from, nodes int) int {
+	return (from + nodes/2) % nodes
+}
+
+// HotspotDest returns a picker that sends to the hotspot node with
+// probability p and uniformly otherwise (a node never targets itself).
+func HotspotDest(hotspot int, p float64) DestPicker {
+	return func(src *rng.Source, from, nodes int) int {
+		if from != hotspot && src.Bool(p) {
+			return hotspot
+		}
+		return UniformDest(src, from, nodes)
+	}
+}
+
+// LocalDest returns a picker with geometric locality: hop distance h is
+// chosen with probability ∝ q^(h−1), so q close to 0 keeps traffic between
+// neighbours and q close to 1 approaches uniform.
+func LocalDest(q float64) DestPicker {
+	return func(src *rng.Source, from, nodes int) int {
+		h := 1
+		for h < nodes-1 && src.Bool(q) {
+			h++
+		}
+		return (from + h) % nodes
+	}
+}
+
+// Poisson is a best-effort (or non-real-time) message source at one node.
+type Poisson struct {
+	// Node is the sending node.
+	Node int
+	// Class is the traffic class (ClassBestEffort or ClassNonRealTime).
+	Class sched.Class
+	// MeanInterarrival is the mean gap between messages.
+	MeanInterarrival timing.Time
+	// Slots is the fixed message size; when MaxSlots > Slots the size is
+	// uniform in [Slots, MaxSlots].
+	Slots, MaxSlots int
+	// RelDeadline is the relative deadline given to each message (mapped to
+	// a best-effort priority; ignored for non-real-time).
+	RelDeadline timing.Time
+	// Dest picks destinations (UniformDest when nil).
+	Dest DestPicker
+}
+
+// Attach starts the source on net, drawing randomness from src. It returns
+// a counter that tracks how many messages the source submitted.
+func (p Poisson) Attach(net *network.Network, src *rng.Source) *int64 {
+	if p.Dest == nil {
+		p.Dest = UniformDest
+	}
+	if p.MaxSlots < p.Slots {
+		p.MaxSlots = p.Slots
+	}
+	count := new(int64)
+	var fire func(timing.Time)
+	fire = func(now timing.Time) {
+		dest := p.Dest(src, p.Node, net.Params().Nodes)
+		size := p.Slots
+		if p.MaxSlots > p.Slots {
+			size += src.Intn(p.MaxSlots - p.Slots + 1)
+		}
+		if _, err := net.SubmitMessage(p.Class, p.Node, ring.Node(dest), size, p.RelDeadline); err == nil {
+			*count++
+		}
+		net.After(timing.Time(src.Exp(float64(p.MeanInterarrival))), fire)
+	}
+	net.After(timing.Time(src.Exp(float64(p.MeanInterarrival))), fire)
+	return count
+}
+
+// Bursty is a two-state Markov-modulated Poisson source: it alternates
+// between a burst state with short interarrivals and an idle state.
+type Bursty struct {
+	Node              int
+	Class             sched.Class
+	BurstInterarrival timing.Time // mean gap inside a burst
+	MeanBurstLen      int         // mean messages per burst
+	MeanIdle          timing.Time // mean gap between bursts
+	Slots             int
+	RelDeadline       timing.Time
+	Dest              DestPicker
+}
+
+// Attach starts the bursty source on net.
+func (b Bursty) Attach(net *network.Network, src *rng.Source) *int64 {
+	if b.Dest == nil {
+		b.Dest = UniformDest
+	}
+	count := new(int64)
+	var burst func(now timing.Time, left int)
+	startBurst := func(timing.Time) {}
+	burst = func(now timing.Time, left int) {
+		dest := b.Dest(src, b.Node, net.Params().Nodes)
+		if _, err := net.SubmitMessage(b.Class, b.Node, ring.Node(dest), b.Slots, b.RelDeadline); err == nil {
+			*count++
+		}
+		if left > 1 {
+			net.After(timing.Time(src.Exp(float64(b.BurstInterarrival))), func(t timing.Time) { burst(t, left-1) })
+		} else {
+			net.After(timing.Time(src.Exp(float64(b.MeanIdle))), startBurst)
+		}
+	}
+	startBurst = func(t timing.Time) {
+		n := 1 + src.Intn(2*b.MeanBurstLen) // uniform with the requested mean
+		burst(t, n)
+	}
+	net.After(timing.Time(src.Exp(float64(b.MeanIdle))), startBurst)
+	return count
+}
+
+// RadarPipeline builds the connection set of a radar signal-processing
+// chain, the paper's flagship application (refs [1], [2]): data cubes flow
+// through consecutive pipeline stages (beamforming → pulse compression →
+// Doppler filtering → CFAR detection → tracking), one stage per node, with a
+// new cube released every coherent processing interval (CPI). Each hop is a
+// logical real-time connection whose message size shrinks as the data is
+// reduced stage by stage.
+type RadarPipeline struct {
+	// Stages is the number of pipeline hops (needs Stages+1 nodes).
+	Stages int
+	// FirstNode is the node holding the antenna front-end.
+	FirstNode int
+	// CPI is the coherent processing interval (the period of every hop).
+	CPI timing.Time
+	// CubeSlots is the data-cube size in slots at the first hop.
+	CubeSlots int
+	// Reduction divides the message size at each subsequent stage
+	// (≥ 1; 1 keeps the size constant).
+	Reduction int
+}
+
+// Connections returns the per-hop logical real-time connections.
+func (rp RadarPipeline) Connections(nodes int) ([]sched.Connection, error) {
+	if rp.Stages < 1 || rp.Stages >= nodes {
+		return nil, fmt.Errorf("traffic: %d-stage pipeline needs %d nodes, ring has %d", rp.Stages, rp.Stages+1, nodes)
+	}
+	if rp.Reduction < 1 {
+		rp.Reduction = 1
+	}
+	size := rp.CubeSlots
+	conns := make([]sched.Connection, 0, rp.Stages)
+	for s := 0; s < rp.Stages; s++ {
+		if size < 1 {
+			size = 1
+		}
+		from := (rp.FirstNode + s) % nodes
+		to := (rp.FirstNode + s + 1) % nodes
+		conns = append(conns, sched.Connection{
+			Src: from, Dests: ring.Node(to), Period: rp.CPI, Slots: size,
+		})
+		size /= rp.Reduction
+	}
+	return conns, nil
+}
+
+// Open admits and starts every pipeline hop on net.
+func (rp RadarPipeline) Open(net *network.Network) ([]sched.Connection, error) {
+	conns, err := rp.Connections(net.Params().Nodes)
+	if err != nil {
+		return nil, err
+	}
+	opened := make([]sched.Connection, 0, len(conns))
+	for _, c := range conns {
+		oc, err := net.OpenConnection(c)
+		if err != nil {
+			for _, prev := range opened {
+				net.CloseConnection(prev.ID)
+			}
+			return nil, fmt.Errorf("traffic: radar pipeline stage %d rejected: %w", len(opened), err)
+		}
+		opened = append(opened, oc)
+	}
+	return opened, nil
+}
+
+// VideoStream is a variable-bit-rate multimedia stream: frames are released
+// periodically with a repeating group-of-pictures size pattern (large
+// I-frames, small P/B-frames), the classic distributed-multimedia load.
+type VideoStream struct {
+	// Node is the sender, Dest the viewer.
+	Node, Dest int
+	// FrameInterval is the frame period (e.g. 33 ms scaled down for
+	// simulation speed).
+	FrameInterval timing.Time
+	// GOP is the repeating frame-size pattern in slots, e.g. {8,2,2,2}.
+	GOP []int
+}
+
+// PeakSlots returns the largest frame in the GOP pattern.
+func (v VideoStream) PeakSlots() int {
+	max := 1
+	for _, s := range v.GOP {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// Connection returns the logical real-time connection that reserves the
+// stream's *peak* rate, the standard way to guarantee VBR video over a
+// reservation network.
+func (v VideoStream) Connection() sched.Connection {
+	return sched.Connection{
+		Src: v.Node, Dests: ring.Node(v.Dest), Period: v.FrameInterval, Slots: v.PeakSlots(),
+	}
+}
+
+// AttachBestEffort streams the frames as best-effort traffic instead (for
+// comparison experiments): the actual VBR sizes are submitted without a
+// reservation. It returns the number of frames submitted.
+func (v VideoStream) AttachBestEffort(net *network.Network) *int64 {
+	count := new(int64)
+	idx := 0
+	var fire func(timing.Time)
+	fire = func(now timing.Time) {
+		size := v.GOP[idx%len(v.GOP)]
+		idx++
+		if _, err := net.SubmitMessage(sched.ClassBestEffort, v.Node, ring.Node(v.Dest), size, v.FrameInterval); err == nil {
+			*count++
+		}
+		net.After(v.FrameInterval, fire)
+	}
+	net.After(0, fire)
+	return count
+}
+
+// UniformRTSet builds n periodic connections with evenly spread sources and
+// a total utilisation of approximately targetU, for load sweeps. Messages
+// are single-slot; periods are derived from the per-connection share.
+func UniformRTSet(n, nodes int, targetU float64, params timing.Params, dest DestPicker, src *rng.Source) []sched.Connection {
+	if dest == nil {
+		dest = UniformDest
+	}
+	conns := make([]sched.Connection, 0, n)
+	perConn := targetU / float64(n)
+	period := timing.Time(float64(params.SlotTime()) / perConn)
+	for i := 0; i < n; i++ {
+		from := i % nodes
+		to := dest(src, from, nodes)
+		conns = append(conns, sched.Connection{
+			Src: from, Dests: ring.Node(to), Period: period, Slots: 1,
+		})
+	}
+	return conns
+}

@@ -1,0 +1,277 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"ccredf/internal/core"
+	"ccredf/internal/network"
+	"ccredf/internal/rng"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+func newNet(t testing.TB, n int) *network.Network {
+	t.Helper()
+	p := timing.DefaultParams(n)
+	arb, err := core.NewArbiter(n, sched.Map5Bit, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := network.New(network.Config{Params: p, Protocol: arb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestUniformDestNeverSelf(t *testing.T) {
+	src := rng.New(1)
+	for i := 0; i < 10000; i++ {
+		from := i % 8
+		d := UniformDest(src, from, 8)
+		if d == from || d < 0 || d >= 8 {
+			t.Fatalf("UniformDest(from=%d) = %d", from, d)
+		}
+	}
+}
+
+func TestUniformDestCoversAll(t *testing.T) {
+	src := rng.New(2)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[UniformDest(src, 3, 8)] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("covered %d destinations, want 7", len(seen))
+	}
+}
+
+func TestNeighbourAndOppositeDest(t *testing.T) {
+	if NeighbourDest(nil, 7, 8) != 0 {
+		t.Error("NeighbourDest wraps wrong")
+	}
+	if OppositeDest(nil, 1, 8) != 5 {
+		t.Error("OppositeDest wrong")
+	}
+}
+
+func TestHotspotDest(t *testing.T) {
+	src := rng.New(3)
+	pick := HotspotDest(2, 0.9)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if pick(src, 5, 8) == 2 {
+			hits++
+		}
+	}
+	frac := float64(hits) / 10000
+	// 0.9 direct + uniform residue hitting node 2 with prob 0.1/7.
+	want := 0.9 + 0.1/7
+	if math.Abs(frac-want) > 0.02 {
+		t.Fatalf("hotspot fraction = %v, want ≈%v", frac, want)
+	}
+	// The hotspot itself never targets itself.
+	for i := 0; i < 1000; i++ {
+		if pick(src, 2, 8) == 2 {
+			t.Fatal("hotspot targeted itself")
+		}
+	}
+}
+
+func TestLocalDestBias(t *testing.T) {
+	src := rng.New(4)
+	pick := LocalDest(0.2)
+	near, far := 0, 0
+	for i := 0; i < 10000; i++ {
+		d := pick(src, 0, 8)
+		if d == 1 || d == 2 {
+			near++
+		}
+		if d >= 5 {
+			far++
+		}
+	}
+	if near <= 5*far {
+		t.Fatalf("LocalDest(0.2) not local enough: near=%d far=%d", near, far)
+	}
+}
+
+func TestPoissonSubmitsAtRate(t *testing.T) {
+	net := newNet(t, 8)
+	p := net.Params()
+	src := rng.New(5)
+	mean := 20 * p.SlotTime()
+	count := Poisson{
+		Node: 0, Class: sched.ClassBestEffort,
+		MeanInterarrival: mean, Slots: 1, RelDeadline: 100 * p.SlotTime(),
+	}.Attach(net, src)
+	horizon := 4000 * p.SlotTime()
+	net.Run(horizon)
+	want := float64(horizon) / float64(mean)
+	got := float64(*count)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("Poisson submitted %v messages, want ≈%v", got, want)
+	}
+	if net.Metrics().MessagesDelivered.Value() == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestPoissonVariableSizes(t *testing.T) {
+	net := newNet(t, 8)
+	p := net.Params()
+	src := rng.New(6)
+	Poisson{
+		Node: 2, Class: sched.ClassBestEffort,
+		MeanInterarrival: 50 * p.SlotTime(), Slots: 1, MaxSlots: 4,
+		RelDeadline: 200 * p.SlotTime(),
+	}.Attach(net, src)
+	net.Run(2000 * p.SlotTime())
+	frags := net.Metrics().FragmentsDelivered.Value()
+	msgs := net.Metrics().MessagesDelivered.Value()
+	if msgs == 0 {
+		t.Fatal("nothing delivered")
+	}
+	meanSize := float64(frags) / float64(msgs)
+	if meanSize < 1.5 || meanSize > 4 {
+		t.Fatalf("mean message size %v, want within (1.5, 4) for uniform [1,4]", meanSize)
+	}
+}
+
+func TestBurstySource(t *testing.T) {
+	net := newNet(t, 8)
+	p := net.Params()
+	src := rng.New(7)
+	count := Bursty{
+		Node: 1, Class: sched.ClassBestEffort,
+		BurstInterarrival: p.SlotTime(), MeanBurstLen: 5,
+		MeanIdle: 100 * p.SlotTime(), Slots: 1, RelDeadline: 500 * p.SlotTime(),
+	}.Attach(net, src)
+	net.Run(5000 * p.SlotTime())
+	if *count == 0 {
+		t.Fatal("bursty source produced nothing")
+	}
+	// Roughly: bursts every ~100+5 slots of ~5 messages.
+	approx := 5000.0 / 105 * 5
+	if float64(*count) < approx/3 || float64(*count) > approx*3 {
+		t.Fatalf("bursty count = %d, want within 3x of ≈%v", *count, approx)
+	}
+}
+
+func TestRadarPipelineConnections(t *testing.T) {
+	rp := RadarPipeline{Stages: 4, FirstNode: 0, CPI: timing.Millisecond, CubeSlots: 16, Reduction: 2}
+	conns, err := rp.Connections(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conns) != 4 {
+		t.Fatalf("%d connections, want 4", len(conns))
+	}
+	wantSizes := []int{16, 8, 4, 2}
+	for i, c := range conns {
+		if c.Src != i || !c.Dests.Contains(i+1) {
+			t.Errorf("stage %d: %d → %v, want %d → {%d}", i, c.Src, c.Dests, i, i+1)
+		}
+		if c.Slots != wantSizes[i] {
+			t.Errorf("stage %d size %d, want %d", i, c.Slots, wantSizes[i])
+		}
+		if c.Period != timing.Millisecond {
+			t.Errorf("stage %d period %v", i, c.Period)
+		}
+	}
+}
+
+func TestRadarPipelineTooManyStages(t *testing.T) {
+	rp := RadarPipeline{Stages: 8, CPI: timing.Millisecond, CubeSlots: 4}
+	if _, err := rp.Connections(8); err == nil {
+		t.Fatal("accepted pipeline longer than ring")
+	}
+}
+
+func TestRadarPipelineOpenAndRun(t *testing.T) {
+	net := newNet(t, 8)
+	p := net.Params()
+	rp := RadarPipeline{Stages: 5, FirstNode: 1, CPI: 200 * p.SlotTime(), CubeSlots: 16, Reduction: 2}
+	conns, err := rp.Open(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conns) != 5 {
+		t.Fatal("not all stages opened")
+	}
+	net.Run(4000 * p.SlotTime())
+	for _, c := range conns {
+		cs, ok := net.ConnStats(c.ID)
+		if !ok || cs.Delivered < 10 {
+			t.Fatalf("stage %d delivered %d cubes", c.ID, cs.Delivered)
+		}
+		if cs.UserMisses != 0 {
+			t.Fatalf("radar pipeline missed %d user deadlines", cs.UserMisses)
+		}
+	}
+}
+
+func TestRadarPipelineRollbackOnRejection(t *testing.T) {
+	net := newNet(t, 8)
+	p := net.Params()
+	// A pipeline that cannot fit: utilisation far above U_max.
+	rp := RadarPipeline{Stages: 5, FirstNode: 0, CPI: 10 * p.SlotTime(), CubeSlots: 16, Reduction: 1}
+	if _, err := rp.Open(net); err == nil {
+		t.Fatal("oversized pipeline accepted")
+	}
+	if u := net.Admission().Utilisation(); u != 0 {
+		t.Fatalf("rollback failed: utilisation %v", u)
+	}
+}
+
+func TestVideoStream(t *testing.T) {
+	v := VideoStream{Node: 0, Dest: 4, FrameInterval: timing.Millisecond, GOP: []int{8, 2, 2, 2}}
+	if v.PeakSlots() != 8 {
+		t.Fatal("PeakSlots wrong")
+	}
+	c := v.Connection()
+	if c.Slots != 8 || c.Period != timing.Millisecond || c.Src != 0 {
+		t.Fatalf("Connection() = %+v", c)
+	}
+}
+
+func TestVideoStreamBestEffort(t *testing.T) {
+	net := newNet(t, 8)
+	p := net.Params()
+	v := VideoStream{Node: 0, Dest: 4, FrameInterval: 50 * p.SlotTime(), GOP: []int{6, 2, 2}}
+	count := v.AttachBestEffort(net)
+	net.Run(1000 * p.SlotTime())
+	if *count < 18 || *count > 22 {
+		t.Fatalf("frames submitted = %d, want ≈20", *count)
+	}
+	// Frame sizes follow the GOP pattern: mean (6+2+2)/3 slots.
+	frags := net.Metrics().FragmentsDelivered.Value()
+	msgs := net.Metrics().MessagesDelivered.Value()
+	if msgs == 0 {
+		t.Fatal("no frames delivered")
+	}
+	mean := float64(frags) / float64(msgs)
+	if math.Abs(mean-10.0/3) > 0.5 {
+		t.Fatalf("mean frame size %v, want ≈3.33", mean)
+	}
+}
+
+func TestUniformRTSet(t *testing.T) {
+	p := timing.DefaultParams(8)
+	src := rng.New(9)
+	conns := UniformRTSet(8, 8, 0.6, p, nil, src)
+	if len(conns) != 8 {
+		t.Fatal("wrong count")
+	}
+	u := 0.0
+	for _, c := range conns {
+		if c.Dests.Contains(c.Src) {
+			t.Fatal("self destination")
+		}
+		u += c.Utilisation(p.SlotTime())
+	}
+	if math.Abs(u-0.6) > 0.01 {
+		t.Fatalf("total utilisation %v, want ≈0.6", u)
+	}
+}

@@ -1,0 +1,307 @@
+// Package wire implements the bit-serial control-channel packet formats of
+// the CCR-EDF network.
+//
+// Two packets exist (paper Figures 4 and 5):
+//
+//   - The collection-phase packet: a start bit followed by one request per
+//     node, each request being a 5-bit priority field, an N-bit link
+//     reservation field and an N-bit destination field. Priority 0 is the
+//     reserved "nothing to send" level, in which case the node writes zeros
+//     in the remaining fields.
+//
+//   - The distribution-phase packet: a start bit, N−1 request-result bits
+//     (the result for the highest-priority node is implicit — its request is
+//     by construction always granted), a ⌈log₂N⌉-bit index of the
+//     highest-priority node that will be master in the coming slot, and the
+//     "other fields" the paper mentions but does not specify, which this
+//     implementation uses for the intrinsic services of ref [11]: an N-bit
+//     acknowledgement field, a barrier-completion bit and a 64-bit global
+//     reduction operand.
+//
+// Bits are packed MSB-first into bytes, which mirrors serial transmission
+// order on the control fibre.
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/timing"
+)
+
+// PrioBits is the width of the request priority field (Table 1 allocates
+// levels 0–31).
+const PrioBits = 5
+
+// MaxPrio is the highest encodable priority level.
+const MaxPrio = 1<<PrioBits - 1
+
+// PrioNothing is the reserved priority level meaning "nothing to send".
+const PrioNothing = 0
+
+// Request is one node's entry in the collection-phase packet (Figure 4).
+type Request struct {
+	// Prio is the 5-bit priority level (Table 1). PrioNothing means the
+	// node has no request and the other fields must be zero.
+	Prio uint8
+	// Reserve is the N-bit link reservation field: the links the request
+	// needs for its transmission segment.
+	Reserve ring.LinkSet
+	// Dests is the N-bit destination field (single destination, multicast
+	// or broadcast).
+	Dests ring.NodeSet
+}
+
+// Empty reports whether the request carries nothing to send.
+func (r Request) Empty() bool { return r.Prio == PrioNothing }
+
+// Collection is a complete collection-phase packet: one request per node, in
+// ring order starting at the node downstream of the master (the master
+// initiates the empty packet and each node appends its request as it passes).
+type Collection struct {
+	Requests []Request
+}
+
+// Distribution is a distribution-phase packet (Figure 5).
+type Distribution struct {
+	// HPNode is the index of the node holding the highest-priority message;
+	// it becomes master of the coming slot.
+	HPNode int
+	// Granted marks the nodes whose requests were accepted. HPNode's grant
+	// is implicit on the wire but always set here after decoding.
+	Granted ring.NodeSet
+	// Acks acknowledges data packets received in the previous slot, per
+	// source node (reliable-transmission service).
+	Acks ring.NodeSet
+	// Barrier is set when the current barrier-synchronisation round is
+	// complete (all participants reported).
+	Barrier bool
+	// Reduce carries the running operand of a global-reduction operation.
+	Reduce uint64
+}
+
+// errTruncated is returned when a packet is shorter than its format requires.
+var errTruncated = errors.New("wire: truncated packet")
+
+// fits reports whether v fits in width bits (width ≤ 64).
+func fits(v uint64, width int) bool {
+	return width >= 64 || v < 1<<uint(width)
+}
+
+// Writer packs bits MSB-first into a byte slice.
+type Writer struct {
+	buf  []byte
+	nbit int
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b bool) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b {
+		w.buf[w.nbit/8] |= 0x80 >> uint(w.nbit%8)
+	}
+	w.nbit++
+}
+
+// WriteBits appends the width low-order bits of v, most significant first.
+func (w *Writer) WriteBits(v uint64, width int) {
+	for i := width - 1; i >= 0; i-- {
+		w.WriteBit(v>>uint(i)&1 == 1)
+	}
+}
+
+// Bytes returns the packed bytes. The final byte is zero-padded.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bits written.
+func (w *Writer) Len() int { return w.nbit }
+
+// Reader unpacks bits MSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	nbit int
+}
+
+// NewReader returns a Reader over buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBit consumes one bit.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.nbit >= 8*len(r.buf) {
+		return false, errTruncated
+	}
+	b := r.buf[r.nbit/8]&(0x80>>uint(r.nbit%8)) != 0
+	r.nbit++
+	return b, nil
+}
+
+// ReadBits consumes width bits and returns them as the low-order bits of a
+// uint64, most significant first.
+func (r *Reader) ReadBits(width int) (uint64, error) {
+	var v uint64
+	for i := 0; i < width; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if b {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return 8*len(r.buf) - r.nbit }
+
+// EncodeCollection serialises c for a ring of n nodes. It returns an error
+// when the packet shape is inconsistent with n or a field overflows its
+// width.
+func EncodeCollection(c Collection, n int) ([]byte, error) {
+	if len(c.Requests) != n {
+		return nil, fmt.Errorf("wire: collection has %d requests, ring has %d nodes", len(c.Requests), n)
+	}
+	var w Writer
+	w.WriteBit(true) // start bit
+	for i, req := range c.Requests {
+		if req.Prio > MaxPrio {
+			return nil, fmt.Errorf("wire: request %d priority %d exceeds %d", i, req.Prio, MaxPrio)
+		}
+		if !fits(uint64(req.Reserve), n) || !fits(uint64(req.Dests), n) {
+			return nil, fmt.Errorf("wire: request %d field exceeds %d-bit width", i, n)
+		}
+		if req.Empty() && (req.Reserve != 0 || req.Dests != 0) {
+			return nil, fmt.Errorf("wire: request %d has priority 0 but non-zero fields", i)
+		}
+		w.WriteBits(uint64(req.Prio), PrioBits)
+		w.WriteBits(uint64(req.Reserve), n)
+		w.WriteBits(uint64(req.Dests), n)
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeCollection parses a collection-phase packet for a ring of n nodes.
+func DecodeCollection(buf []byte, n int) (Collection, error) {
+	r := NewReader(buf)
+	start, err := r.ReadBit()
+	if err != nil {
+		return Collection{}, err
+	}
+	if !start {
+		return Collection{}, errors.New("wire: missing start bit")
+	}
+	c := Collection{Requests: make([]Request, n)}
+	for i := 0; i < n; i++ {
+		prio, err := r.ReadBits(PrioBits)
+		if err != nil {
+			return Collection{}, err
+		}
+		res, err := r.ReadBits(n)
+		if err != nil {
+			return Collection{}, err
+		}
+		dst, err := r.ReadBits(n)
+		if err != nil {
+			return Collection{}, err
+		}
+		c.Requests[i] = Request{Prio: uint8(prio), Reserve: ring.LinkSet(res), Dests: ring.NodeSet(dst)}
+		if c.Requests[i].Empty() && (res != 0 || dst != 0) {
+			return Collection{}, fmt.Errorf("wire: request %d has priority 0 but non-zero fields", i)
+		}
+	}
+	return c, nil
+}
+
+// EncodeDistribution serialises d for a ring of n nodes.
+func EncodeDistribution(d Distribution, n int) ([]byte, error) {
+	if d.HPNode < 0 || d.HPNode >= n {
+		return nil, fmt.Errorf("wire: hp-node %d outside ring of %d", d.HPNode, n)
+	}
+	if !fits(uint64(d.Granted), n) || !fits(uint64(d.Acks), n) {
+		return nil, fmt.Errorf("wire: node-set field exceeds %d-bit width", n)
+	}
+	var w Writer
+	w.WriteBit(true) // start bit
+	// N−1 result bits: every node except HPNode, in ascending index order.
+	for i := 0; i < n; i++ {
+		if i == d.HPNode {
+			continue
+		}
+		w.WriteBit(d.Granted.Contains(i))
+	}
+	w.WriteBits(uint64(d.HPNode), timing.CeilLog2(n))
+	// "Other fields": intrinsic services (ref [11]).
+	w.WriteBits(uint64(d.Acks), n)
+	w.WriteBit(d.Barrier)
+	w.WriteBits(d.Reduce, 64)
+	return w.Bytes(), nil
+}
+
+// DecodeDistribution parses a distribution-phase packet for a ring of n
+// nodes. The highest-priority node's grant is restored (it is implicit on
+// the wire).
+func DecodeDistribution(buf []byte, n int) (Distribution, error) {
+	r := NewReader(buf)
+	start, err := r.ReadBit()
+	if err != nil {
+		return Distribution{}, err
+	}
+	if !start {
+		return Distribution{}, errors.New("wire: missing start bit")
+	}
+	results := make([]bool, n-1)
+	for i := range results {
+		results[i], err = r.ReadBit()
+		if err != nil {
+			return Distribution{}, err
+		}
+	}
+	hp, err := r.ReadBits(timing.CeilLog2(n))
+	if err != nil {
+		return Distribution{}, err
+	}
+	if int(hp) >= n {
+		return Distribution{}, fmt.Errorf("wire: hp-node %d outside ring of %d", hp, n)
+	}
+	d := Distribution{HPNode: int(hp)}
+	// Re-associate the N−1 result bits with node indices.
+	j := 0
+	for i := 0; i < n; i++ {
+		if i == d.HPNode {
+			continue
+		}
+		if results[j] {
+			d.Granted = d.Granted.Add(i)
+		}
+		j++
+	}
+	d.Granted = d.Granted.Add(d.HPNode) // implicit grant
+	acks, err := r.ReadBits(n)
+	if err != nil {
+		return Distribution{}, err
+	}
+	d.Acks = ring.NodeSet(acks)
+	d.Barrier, err = r.ReadBit()
+	if err != nil {
+		return Distribution{}, err
+	}
+	d.Reduce, err = r.ReadBits(64)
+	if err != nil {
+		return Distribution{}, err
+	}
+	return d, nil
+}
+
+// CollectionBits returns the on-wire length in bits of a collection packet
+// for a ring of n nodes (matches timing.Params.CollectionBits).
+func CollectionBits(n int) int { return 1 + n*(PrioBits+2*n) }
+
+// DistributionBits returns the on-wire length in bits of a distribution
+// packet for a ring of n nodes, including the service fields.
+func DistributionBits(n int) int {
+	return 1 + (n - 1) + timing.CeilLog2(n) + n + 1 + 64
+}

@@ -1,0 +1,317 @@
+// Package scenario loads complete simulation scenarios from JSON: network
+// configuration, logical real-time connections, traffic generators and run
+// horizon. It lets cmd/ccr-sim (and user tooling) describe reproducible
+// experiments declaratively:
+//
+//	{
+//	  "nodes": 8,
+//	  "protocol": "ccr-edf",
+//	  "exact_edf": true,
+//	  "horizon_slots": 20000,
+//	  "connections": [
+//	    {"src": 0, "dests": [4], "period_slots": 10, "slots": 1}
+//	  ],
+//	  "poisson": [
+//	    {"node": 2, "class": "be", "mean_interarrival_slots": 25, "slots": 1}
+//	  ]
+//	}
+//
+// Durations are expressed in slot times, the protocol's natural unit.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ccredf"
+)
+
+// Scenario is a declarative simulation description.
+type Scenario struct {
+	// Nodes is the ring size (required, 2-64).
+	Nodes int `json:"nodes"`
+	// Protocol is "ccr-edf" (default), "cc-fpr" or "tdma".
+	Protocol string `json:"protocol,omitempty"`
+	// ExactEDF enables full-resolution deadline arbitration.
+	ExactEDF bool `json:"exact_edf,omitempty"`
+	// DisableSpatialReuse restricts to one transmission per slot.
+	DisableSpatialReuse bool `json:"disable_spatial_reuse,omitempty"`
+	// Seed drives all randomness (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// HorizonSlots is the run length in worst-case slot periods (required).
+	HorizonSlots int64 `json:"horizon_slots"`
+	// LossProb injects per-fragment loss; CorruptProb per-fragment CRC
+	// failures; Reliable enables retransmission.
+	LossProb    float64 `json:"loss_prob,omitempty"`
+	CorruptProb float64 `json:"corrupt_prob,omitempty"`
+	Reliable    bool    `json:"reliable,omitempty"`
+	// DropLate discards already-late real-time messages.
+	DropLate bool `json:"drop_late,omitempty"`
+	// SecondaryRequests enables the two-requests-per-node extension.
+	SecondaryRequests bool `json:"secondary_requests,omitempty"`
+	// TraceCapacity retains protocol trace records (-1 = unbounded).
+	TraceCapacity int `json:"trace_capacity,omitempty"`
+
+	// Physics overrides (zero = default).
+	LinkLengthM      float64   `json:"link_length_m,omitempty"`
+	LinkLengthsM     []float64 `json:"link_lengths_m,omitempty"` // per-link, len == nodes
+	BitRate          int64     `json:"bit_rate,omitempty"`
+	SlotPayloadBytes int       `json:"slot_payload_bytes,omitempty"`
+
+	// Workloads.
+	Connections []Connection `json:"connections,omitempty"`
+	Poisson     []Poisson    `json:"poisson,omitempty"`
+	Bursty      []Bursty     `json:"bursty,omitempty"`
+	Video       []Video      `json:"video,omitempty"`
+}
+
+// Connection describes a logical real-time connection in slot units.
+type Connection struct {
+	Src           int   `json:"src"`
+	Dests         []int `json:"dests"`
+	PeriodSlots   int64 `json:"period_slots"`
+	Slots         int   `json:"slots"`
+	DeadlineSlots int64 `json:"deadline_slots,omitempty"` // 0 = period
+	// Force bypasses the admission test (overload studies).
+	Force bool `json:"force,omitempty"`
+}
+
+// Poisson describes a memoryless background source.
+type Poisson struct {
+	Node                  int    `json:"node"`
+	Class                 string `json:"class,omitempty"` // "be" (default) or "nrt"
+	MeanInterarrivalSlots int64  `json:"mean_interarrival_slots"`
+	Slots                 int    `json:"slots"`
+	MaxSlots              int    `json:"max_slots,omitempty"`
+	RelDeadlineSlots      int64  `json:"rel_deadline_slots,omitempty"`
+	Dest                  string `json:"dest,omitempty"` // uniform|neighbour|opposite|local|hotspot
+}
+
+// Bursty describes a two-state bursty source.
+type Bursty struct {
+	Node                   int    `json:"node"`
+	Class                  string `json:"class,omitempty"`
+	BurstInterarrivalSlots int64  `json:"burst_interarrival_slots"`
+	MeanBurstLen           int    `json:"mean_burst_len"`
+	MeanIdleSlots          int64  `json:"mean_idle_slots"`
+	Slots                  int    `json:"slots"`
+	RelDeadlineSlots       int64  `json:"rel_deadline_slots,omitempty"`
+}
+
+// Video describes a VBR stream; Guaranteed reserves its peak rate.
+type Video struct {
+	Node               int   `json:"node"`
+	Dest               int   `json:"dest"`
+	FrameIntervalSlots int64 `json:"frame_interval_slots"`
+	GOP                []int `json:"gop"`
+	Guaranteed         bool  `json:"guaranteed,omitempty"`
+}
+
+// Load parses a scenario from JSON, rejecting unknown fields.
+func Load(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks scenario-level consistency (network-level checks happen
+// again in Build).
+func (s *Scenario) Validate() error {
+	if s.Nodes < 2 || s.Nodes > 64 {
+		return fmt.Errorf("scenario: nodes %d outside [2,64]", s.Nodes)
+	}
+	if s.HorizonSlots <= 0 {
+		return fmt.Errorf("scenario: horizon_slots must be positive")
+	}
+	switch s.Protocol {
+	case "", "ccr-edf", "cc-fpr", "tdma":
+	default:
+		return fmt.Errorf("scenario: unknown protocol %q", s.Protocol)
+	}
+	for i, c := range s.Connections {
+		if len(c.Dests) == 0 {
+			return fmt.Errorf("scenario: connection %d has no destinations", i)
+		}
+		if c.PeriodSlots <= 0 || c.Slots <= 0 {
+			return fmt.Errorf("scenario: connection %d needs positive period and slots", i)
+		}
+	}
+	for i, p := range s.Poisson {
+		if p.MeanInterarrivalSlots <= 0 || p.Slots <= 0 {
+			return fmt.Errorf("scenario: poisson %d needs positive interarrival and slots", i)
+		}
+		if err := checkClass(p.Class); err != nil {
+			return fmt.Errorf("scenario: poisson %d: %w", i, err)
+		}
+		switch p.Dest {
+		case "", "uniform", "neighbour", "opposite", "local", "hotspot":
+		default:
+			return fmt.Errorf("scenario: poisson %d: unknown dest %q", i, p.Dest)
+		}
+	}
+	for i, b := range s.Bursty {
+		if b.BurstInterarrivalSlots <= 0 || b.MeanBurstLen <= 0 || b.MeanIdleSlots <= 0 || b.Slots <= 0 {
+			return fmt.Errorf("scenario: bursty %d has non-positive parameters", i)
+		}
+		if err := checkClass(b.Class); err != nil {
+			return fmt.Errorf("scenario: bursty %d: %w", i, err)
+		}
+	}
+	for i, v := range s.Video {
+		if v.FrameIntervalSlots <= 0 || len(v.GOP) == 0 {
+			return fmt.Errorf("scenario: video %d needs a frame interval and GOP", i)
+		}
+	}
+	return nil
+}
+
+func checkClass(c string) error {
+	switch c {
+	case "", "be", "nrt":
+		return nil
+	default:
+		return fmt.Errorf("unknown class %q", c)
+	}
+}
+
+func classOf(c string) ccredf.Class {
+	if c == "nrt" {
+		return ccredf.ClassNonRealTime
+	}
+	return ccredf.ClassBestEffort
+}
+
+func (s *Scenario) destPicker(d string) ccredf.DestPicker {
+	switch d {
+	case "neighbour":
+		return ccredf.NeighbourDest
+	case "opposite":
+		return ccredf.OppositeDest
+	case "local":
+		return ccredf.LocalDest(0.3)
+	case "hotspot":
+		return ccredf.HotspotDest(0, 0.7)
+	default:
+		return ccredf.UniformDest
+	}
+}
+
+// Result is a built scenario ready to run.
+type Result struct {
+	Net *ccredf.Network
+	// Connections are the opened real-time connections, in file order.
+	Connections []ccredf.Connection
+	// Horizon is the absolute simulated time to run to.
+	Horizon ccredf.Time
+}
+
+// Build constructs the network and attaches every workload. Call
+// Result.Net.Run(Result.Horizon) to execute.
+func (s *Scenario) Build() (*Result, error) {
+	cfg := ccredf.DefaultConfig(s.Nodes)
+	switch s.Protocol {
+	case "cc-fpr":
+		cfg.Protocol = ccredf.CCFPR
+	case "tdma":
+		cfg.Protocol = ccredf.TDMA
+	}
+	cfg.ExactEDF = s.ExactEDF
+	cfg.DisableSpatialReuse = s.DisableSpatialReuse
+	cfg.LossProb = s.LossProb
+	cfg.CorruptProb = s.CorruptProb
+	cfg.Reliable = s.Reliable
+	cfg.DropLate = s.DropLate
+	cfg.SecondaryRequests = s.SecondaryRequests
+	cfg.TraceCapacity = s.TraceCapacity
+	cfg.Seed = s.Seed
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if s.LinkLengthM > 0 {
+		cfg.Params.LinkLengthM = s.LinkLengthM
+	}
+	if s.LinkLengthsM != nil {
+		cfg.Params.LinkLengthsM = s.LinkLengthsM
+	}
+	if s.BitRate > 0 {
+		cfg.Params.BitRate = s.BitRate
+	}
+	if s.SlotPayloadBytes > 0 {
+		cfg.Params.SlotPayloadBytes = s.SlotPayloadBytes
+	}
+	net, err := ccredf.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	slot := net.Params().SlotTime()
+
+	res := &Result{Net: net}
+	for i, c := range s.Connections {
+		conn := ccredf.Connection{
+			Src:      c.Src,
+			Dests:    ccredf.Nodes(c.Dests...),
+			Period:   ccredf.Time(c.PeriodSlots) * slot,
+			Deadline: ccredf.Time(c.DeadlineSlots) * slot,
+			Slots:    c.Slots,
+		}
+		var opened ccredf.Connection
+		if c.Force {
+			opened, err = net.ForceConnection(conn)
+		} else {
+			opened, err = net.OpenConnection(conn)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario: connection %d: %w", i, err)
+		}
+		res.Connections = append(res.Connections, opened)
+	}
+	for i, p := range s.Poisson {
+		net.AttachPoisson(ccredf.Poisson{
+			Node:             p.Node,
+			Class:            classOf(p.Class),
+			MeanInterarrival: ccredf.Time(p.MeanInterarrivalSlots) * slot,
+			Slots:            p.Slots,
+			MaxSlots:         p.MaxSlots,
+			RelDeadline:      ccredf.Time(p.RelDeadlineSlots) * slot,
+			Dest:             s.destPicker(p.Dest),
+		}, cfg.Seed+uint64(i)+100)
+	}
+	for i, b := range s.Bursty {
+		net.AttachBursty(ccredf.Bursty{
+			Node:              b.Node,
+			Class:             classOf(b.Class),
+			BurstInterarrival: ccredf.Time(b.BurstInterarrivalSlots) * slot,
+			MeanBurstLen:      b.MeanBurstLen,
+			MeanIdle:          ccredf.Time(b.MeanIdleSlots) * slot,
+			Slots:             b.Slots,
+			RelDeadline:       ccredf.Time(b.RelDeadlineSlots) * slot,
+		}, cfg.Seed+uint64(i)+200)
+	}
+	for i, v := range s.Video {
+		vs := ccredf.VideoStream{
+			Node: v.Node, Dest: v.Dest,
+			FrameInterval: ccredf.Time(v.FrameIntervalSlots) * slot,
+			GOP:           v.GOP,
+		}
+		if v.Guaranteed {
+			opened, err := net.OpenConnection(vs.Connection())
+			if err != nil {
+				return nil, fmt.Errorf("scenario: video %d: %w", i, err)
+			}
+			res.Connections = append(res.Connections, opened)
+		} else {
+			net.AttachVideoBestEffort(vs)
+		}
+	}
+	period := net.Params().SlotTime() + net.Params().MaxHandoverTime()
+	res.Horizon = ccredf.Time(s.HorizonSlots) * period
+	return res, nil
+}

@@ -1,0 +1,110 @@
+package ccredf_test
+
+import (
+	"testing"
+
+	"ccredf"
+)
+
+// TestSoak runs a long mixed workload — admitted real-time connections,
+// saturating best effort, injected loss and corruption, the reliable
+// service, secondary requests and invariant checking all enabled — and
+// requires the system to stay healthy throughout: no guarantee violations,
+// no protocol invariant breaches, no unbounded queue growth from leaks.
+// Skipped in -short mode.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in short mode")
+	}
+	cfg := ccredf.DefaultConfig(16)
+	cfg.ExactEDF = true
+	cfg.Reliable = true
+	cfg.LossProb = 0.01
+	cfg.CorruptProb = 0.01
+	cfg.DataCheck = true
+	cfg.CheckInvariants = true
+	cfg.SecondaryRequests = true
+	cfg.Seed = 424242
+	net, err := ccredf.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := net.Params()
+
+	// 70% admitted real-time load across the ring.
+	opened := 0
+	for i := 0; i < 16 && net.Admission().Utilisation() < 0.7; i++ {
+		if _, err := net.OpenConnection(ccredf.Connection{
+			Src: i, Dests: ccredf.Node((i + 5) % 16),
+			Period: ccredf.Time(10+i) * p.SlotTime(), Slots: 1 + i%2,
+		}); err == nil {
+			opened++
+		}
+	}
+	if opened < 5 || net.Admission().Utilisation() < 0.65 {
+		t.Fatalf("setup too light: %d connections, U=%.3f", opened, net.Admission().Utilisation())
+	}
+	// Best-effort background on every node.
+	for i := 0; i < 16; i++ {
+		net.AttachPoisson(ccredf.Poisson{
+			Node: i, Class: ccredf.ClassBestEffort,
+			MeanInterarrival: 40 * p.SlotTime(), Slots: 1, MaxSlots: 2,
+			RelDeadline: 400 * p.SlotTime(),
+		}, uint64(1000+i))
+	}
+	// Group operations churning throughout.
+	members := ccredf.Nodes(0, 2, 4, 6)
+	bar, err := net.NewBarrier(0, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds int
+	var enter func(ccredf.Time)
+	enter = func(ccredf.Time) {
+		for _, m := range members.Nodes() {
+			who := m
+			bar.Enter(who, func(ccredf.Time) {
+				if who == 0 {
+					rounds++
+					net.After(50*p.SlotTime(), enter)
+				}
+			})
+		}
+	}
+	net.At(0, enter)
+
+	// 20k slots ≈ 0.1 s of simulated network time.
+	const slots = 20_000
+	net.RunSlots(slots)
+
+	s := net.Snapshot()
+	t.Logf("soak: %d slots, %d delivered, reuse %.2f, queueDepth %d, barrier rounds %d",
+		s.Slots, s.MessagesDelivered, s.ReuseFactor, s.QueueDepth, rounds)
+	if s.UserMisses != 0 {
+		t.Errorf("user-deadline misses: %d", s.UserMisses)
+	}
+	if s.Violations != 0 {
+		t.Errorf("invariant violations: %d (%v)", s.Violations, net.Metrics().Violations)
+	}
+	if s.WireErrors != 0 {
+		t.Errorf("wire errors: %d", s.WireErrors)
+	}
+	if s.MessagesLost != 0 {
+		t.Errorf("lost messages despite reliable service: %d", s.MessagesLost)
+	}
+	if s.MessagesDelivered < slots/2 {
+		t.Errorf("suspiciously few deliveries: %d", s.MessagesDelivered)
+	}
+	// Queues must stay bounded: offered load (0.7 RT + ~0.6 BE slots per
+	// slot-time) sits well below the reuse capacity, so a large
+	// standing backlog means a leak or livelock.
+	if s.QueueDepth > 2_000 {
+		t.Errorf("queue depth %d suggests a leak or livelock", s.QueueDepth)
+	}
+	if rounds < 20 {
+		t.Errorf("barrier made only %d rounds", rounds)
+	}
+	if s.Retransmits == 0 || s.FragmentsDropped == 0 {
+		t.Error("fault injection did not exercise the reliable service")
+	}
+}
