@@ -32,11 +32,13 @@ package ccredf
 
 import (
 	"fmt"
+	"io"
 
 	"ccredf/internal/analysis"
 	"ccredf/internal/ccfpr"
 	"ccredf/internal/core"
 	"ccredf/internal/network"
+	"ccredf/internal/obs"
 	"ccredf/internal/sched"
 	"ccredf/internal/tdma"
 	"ccredf/internal/timing"
@@ -170,17 +172,24 @@ func New(cfg Config) (*Network, error) {
 		Reliable:          cfg.Reliable,
 		LossProb:          cfg.LossProb,
 		CorruptProb:       cfg.CorruptProb,
-		DataCheck:         cfg.DataCheck,
 		Seed:              cfg.Seed,
-		Tracer:            tracer,
-		WireCheck:         true,
-		CheckInvariants:   cfg.CheckInvariants,
 		SecondaryRequests: cfg.SecondaryRequests,
 		FailMasterAt:      cfg.FailMasterAt,
 	})
 	if err != nil {
 		return nil, err
 	}
+	// Instrumentation rides on the protocol-event pipeline: the control
+	// codec verifier always (it is cheap and must stay silent), the rest as
+	// configured. Further observers attach through Attach.
+	inner.AttachWireCheck()
+	if cfg.DataCheck {
+		inner.AttachDataCheck()
+	}
+	if cfg.CheckInvariants {
+		inner.AttachInvariantChecker()
+	}
+	inner.AttachTracer(tracer)
 	return &Network{Network: inner, cfg: cfg, tracer: tracer}, nil
 }
 
@@ -189,6 +198,33 @@ func (n *Network) Config() Config { return n.cfg }
 
 // Trace returns the protocol tracer (nil unless TraceCapacity was set).
 func (n *Network) Trace() *trace.Tracer { return n.tracer }
+
+// Observer consumes protocol events; attach one with Attach before running.
+type Observer = obs.Observer
+
+// Event is one protocol occurrence delivered to observers.
+type Event = obs.Event
+
+// EventKind classifies protocol events.
+type EventKind = obs.Kind
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = obs.Func
+
+// EventExporter streams protocol events as JSON lines (one object per
+// event); see NewEventExporter.
+type EventExporter = obs.JSONLExporter
+
+// NewEventExporter returns an observer that writes every protocol event to w
+// as JSON lines. Attach it with Attach.
+func NewEventExporter(w io.Writer) *EventExporter { return obs.NewJSONLExporter(w) }
+
+// LatencyProbe aggregates per-source-node completion-latency percentiles.
+type LatencyProbe = obs.LatencyProbe
+
+// NewLatencyProbe returns a per-node latency observer for an n-node ring.
+// Attach it with Attach and render it with its Table method after the run.
+func NewLatencyProbe(n int) *LatencyProbe { return obs.NewLatencyProbe(n) }
 
 // Bounds returns the analytic guarantees for params: U_max (Equation 6),
 // the worst-case protocol latency (Equation 4) and the guaranteed payload

@@ -16,10 +16,10 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"sync"
 	"time"
 
 	"ccredf/internal/experiment"
+	"ccredf/internal/runner"
 )
 
 func main() {
@@ -62,29 +62,11 @@ func main() {
 		err     error
 		elapsed time.Duration
 	}
-	outcomes := make([]outcome, len(selected))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	nw := *workers
-	if nw < 1 {
-		nw = 1
-	}
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				start := time.Now()
-				res, err := selected[i].Run(opts)
-				outcomes[i] = outcome{res, err, time.Since(start)}
-			}
-		}()
-	}
-	for i := range selected {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	outcomes := runner.Map(len(selected), *workers, func(i int) outcome {
+		start := time.Now()
+		res, err := selected[i].Run(opts)
+		return outcome{res, err, time.Since(start)}
+	})
 
 	var report strings.Builder
 	failed := 0

@@ -36,13 +36,14 @@ func main() {
 		loss     = flag.Float64("loss", 0, "per-fragment loss probability")
 		reliable = flag.Bool("reliable", false, "enable the reliable-transmission service")
 		seed     = flag.Uint64("seed", 1, "random seed")
+		nodeLat  = flag.Bool("node-latency", false, "print per-source-node completion-latency percentiles")
 	)
 	showHist = flag.Bool("hist", false, "render latency histograms as ASCII bars")
 	jsonOut = flag.Bool("json", false, "print a machine-readable JSON snapshot instead of text")
 	flag.Parse()
 
 	if *config != "" {
-		runConfig(*config)
+		runConfig(*config, *nodeLat)
 		return
 	}
 
@@ -86,6 +87,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
 		os.Exit(1)
 	}
+	probe := attachProbe(net, *nodeLat)
 	p := net.Params()
 	rnd := ccredf.NewRand(*seed)
 
@@ -118,10 +120,30 @@ func main() {
 
 	net.RunSlots(*slots)
 	summarise(net, opened, *exact, *noReuse, *loss)
+	printProbe(probe)
+}
+
+// attachProbe subscribes the per-node latency observer when requested.
+func attachProbe(net *ccredf.Network, enabled bool) *ccredf.LatencyProbe {
+	if !enabled {
+		return nil
+	}
+	probe := ccredf.NewLatencyProbe(net.Params().Nodes)
+	net.Attach(probe)
+	return probe
+}
+
+// printProbe renders the per-node percentile table after the summary.
+func printProbe(probe *ccredf.LatencyProbe) {
+	if probe == nil {
+		return
+	}
+	fmt.Println()
+	fmt.Print(probe.Table())
 }
 
 // runConfig executes a declarative JSON scenario.
-func runConfig(path string) {
+func runConfig(path string, nodeLat bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
@@ -138,8 +160,10 @@ func runConfig(path string) {
 		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
 		os.Exit(1)
 	}
+	probe := attachProbe(res.Net, nodeLat)
 	res.Net.Run(res.Horizon)
 	summarise(res.Net, len(res.Connections), s.ExactEDF, s.DisableSpatialReuse, s.LossProb)
+	printProbe(probe)
 	for _, c := range res.Connections {
 		if cs, ok := res.Net.ConnStats(c.ID); ok {
 			fmt.Printf("conn %-3d %d→%v      delivered=%d misses net=%d user=%d  %s\n",

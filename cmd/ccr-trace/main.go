@@ -7,6 +7,7 @@
 //
 //	ccr-trace -slots 12
 //	ccr-trace -slots 40 -protocol cc-fpr -format json
+//	ccr-trace -slots 200 -events | jq .kind
 package main
 
 import (
@@ -25,11 +26,15 @@ func main() {
 		format   = flag.String("format", "text", "text | json | gantt")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		fail     = flag.Int64("fail-master-at", 0, "kill the master after this slot (0 = never)")
+		events   = flag.Bool("events", false, "stream every protocol event as JSON lines while running (ignores -format)")
 	)
 	flag.Parse()
 
 	cfg := ccredf.DefaultConfig(*nodes)
 	cfg.TraceCapacity = -1 // unbounded
+	if *events {
+		cfg.TraceCapacity = 0 // the event stream replaces the record buffer
+	}
 	cfg.Seed = *seed
 	cfg.FailMasterAt = *fail
 	if *protocol == "cc-fpr" {
@@ -41,6 +46,11 @@ func main() {
 		os.Exit(1)
 	}
 	p := net.Params()
+	var exporter *ccredf.EventExporter
+	if *events {
+		exporter = ccredf.NewEventExporter(os.Stdout)
+		net.Attach(exporter)
+	}
 
 	// The Figure 2 scenario plus a periodic connection, so the trace shows
 	// spatial reuse, EDF mastership and variable hand-over gaps.
@@ -61,6 +71,14 @@ func main() {
 
 	net.RunSlots(*slots)
 
+	if *events {
+		if err := exporter.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "ccr-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ccr-trace: streamed %d events\n", exporter.Events())
+		return
+	}
 	switch *format {
 	case "json":
 		if err := net.Trace().WriteJSON(os.Stdout); err != nil {

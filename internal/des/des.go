@@ -28,14 +28,22 @@ type Event struct {
 	index     int // heap index, -1 when not queued
 	fn        Handler
 	cancelled bool
+	sim       *Simulator
 }
 
 // When returns the simulated time at which the event fires.
 func (e *Event) When() timing.Time { return e.when }
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// Cancel prevents a pending event from firing and removes it from the queue
+// immediately (long soaks that schedule and cancel periodic work would
+// otherwise accumulate dead entries until their fire time). Cancelling an
+// event that has already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() {
+	e.cancelled = true
+	if e.index >= 0 && e.sim != nil {
+		heap.Remove(&e.sim.queue, e.index)
+	}
+}
 
 // Cancelled reports whether Cancel has been called.
 func (e *Event) Cancelled() bool { return e.cancelled }
@@ -60,8 +68,8 @@ func (s *Simulator) Now() timing.Time { return s.now }
 // Executed returns the number of events executed so far.
 func (s *Simulator) Executed() uint64 { return s.executed }
 
-// Pending returns the number of events still queued (including cancelled
-// events that have not yet been discarded).
+// Pending returns the exact number of events still queued; cancelled events
+// are removed eagerly and never counted.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
 // ErrPast is returned by At when asked to schedule an event before Now.
@@ -74,7 +82,7 @@ func (s *Simulator) At(t timing.Time, fn Handler) *Event {
 	if t < s.now {
 		panic(fmt.Errorf("%w: at %v, now %v", ErrPast, t, s.now))
 	}
-	ev := &Event{when: t, seq: s.seq, fn: fn}
+	ev := &Event{when: t, seq: s.seq, fn: fn, sim: s}
 	s.seq++
 	heap.Push(&s.queue, ev)
 	return ev

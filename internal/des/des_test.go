@@ -84,6 +84,52 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+func TestCancelRemovesEagerly(t *testing.T) {
+	s := New()
+	// Interleave survivors and victims so removal exercises the heap's
+	// interior (not just the root or the tail).
+	var victims []*Event
+	var fired []timing.Time
+	for i := 0; i < 100; i++ {
+		tm := timing.Time(i)
+		if i%2 == 0 {
+			victims = append(victims, s.At(tm, func(timing.Time) { t.Errorf("cancelled event at %v fired", tm) }))
+		} else {
+			s.At(tm, func(now timing.Time) { fired = append(fired, now) })
+		}
+	}
+	if s.Pending() != 100 {
+		t.Fatalf("Pending() = %d before cancel, want 100", s.Pending())
+	}
+	for _, ev := range victims {
+		ev.Cancel()
+	}
+	// Eager removal: the queue shrinks at Cancel time, not at pop time.
+	if s.Pending() != 50 {
+		t.Fatalf("Pending() = %d after cancelling 50, want 50", s.Pending())
+	}
+	// Double-cancel and cancel-after-fire are no-ops.
+	victims[0].Cancel()
+	if s.Pending() != 50 {
+		t.Fatalf("Pending() = %d after double cancel, want 50", s.Pending())
+	}
+	s.RunAll()
+	if len(fired) != 50 {
+		t.Fatalf("%d survivors fired, want 50", len(fired))
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("order corrupted after removals: %v", fired)
+		}
+	}
+	done := s.At(200, func(timing.Time) {})
+	s.RunAll()
+	done.Cancel() // fired already; index is -1, Cancel must not touch the heap
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d at end, want 0", s.Pending())
+	}
+}
+
 func TestRunHorizonStopsBeforeLaterEvents(t *testing.T) {
 	s := New()
 	var fired []timing.Time

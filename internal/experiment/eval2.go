@@ -247,7 +247,7 @@ func runE12(o Options) (*Result, error) {
 	net, err := newEDF(p, sched.MapExact, true, func(c *network.Config) {
 		c.FailMasterAt = 50
 		c.RecoveryTimeoutSlots = 3
-		c.Tracer = tr
+		c.Observers = append(c.Observers, trace.NewObserver(tr))
 	})
 	if err != nil {
 		return nil, err

@@ -19,11 +19,17 @@ func newTDMA(p timing.Params, reuse bool, mut func(*network.Config)) (*network.N
 	if err != nil {
 		return nil, err
 	}
-	cfg := network.Config{Params: p, Protocol: arb, WireCheck: true, CheckInvariants: true}
+	cfg := network.Config{Params: p, Protocol: arb}
 	if mut != nil {
 		mut(&cfg)
 	}
-	return network.New(cfg)
+	net, err := network.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	net.AttachWireCheck()
+	net.AttachInvariantChecker()
+	return net, nil
 }
 
 // runE13 compares the three protocols — CCR-EDF, CC-FPR and static TDMA —

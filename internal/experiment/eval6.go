@@ -25,7 +25,7 @@ func runE20(o Options) (*Result, error) {
 	}
 	p.LinkLengthsM = lengths[:p.Nodes]
 	tr := trace.New(0)
-	net, err := newEDF(p, sched.MapExact, true, func(c *network.Config) { c.Tracer = tr })
+	net, err := newEDF(p, sched.MapExact, true, func(c *network.Config) { c.Observers = append(c.Observers, trace.NewObserver(tr)) })
 	if err != nil {
 		return nil, err
 	}

@@ -148,11 +148,17 @@ func newEDF(p timing.Params, mode sched.MapMode, reuse bool, mut func(*network.C
 	if err != nil {
 		return nil, err
 	}
-	cfg := network.Config{Params: p, Protocol: arb, WireCheck: true, CheckInvariants: true}
+	cfg := network.Config{Params: p, Protocol: arb}
 	if mut != nil {
 		mut(&cfg)
 	}
-	return network.New(cfg)
+	net, err := network.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	net.AttachWireCheck()
+	net.AttachInvariantChecker()
+	return net, nil
 }
 
 // newFPR builds a CC-FPR baseline network.
@@ -161,11 +167,17 @@ func newFPR(p timing.Params, reuse bool, mut func(*network.Config)) (*network.Ne
 	if err != nil {
 		return nil, err
 	}
-	cfg := network.Config{Params: p, Protocol: arb, WireCheck: true, CheckInvariants: true}
+	cfg := network.Config{Params: p, Protocol: arb}
 	if mut != nil {
 		mut(&cfg)
 	}
-	return network.New(cfg)
+	net, err := network.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	net.AttachWireCheck()
+	net.AttachInvariantChecker()
+	return net, nil
 }
 
 // runFor advances net by the given number of worst-case slot periods.

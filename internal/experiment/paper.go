@@ -127,7 +127,7 @@ func runP3(o Options) (*Result, error) {
 	// and verify every gap against the formula.
 	p := timing.DefaultParams(n)
 	tr := trace.New(0)
-	net, err := newEDF(p, sched.Map5Bit, true, func(c *network.Config) { c.Tracer = tr })
+	net, err := newEDF(p, sched.Map5Bit, true, func(c *network.Config) { c.Observers = append(c.Observers, trace.NewObserver(tr)) })
 	if err != nil {
 		return nil, err
 	}

@@ -16,7 +16,7 @@ func newDataNet(t *testing.T, mut func(*Config)) *Network {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{Params: p, Protocol: arb, DataCheck: true}
+	cfg := Config{Params: p, Protocol: arb}
 	if mut != nil {
 		mut(&cfg)
 	}
@@ -24,6 +24,7 @@ func newDataNet(t *testing.T, mut func(*Config)) *Network {
 	if err != nil {
 		t.Fatal(err)
 	}
+	net.AttachDataCheck()
 	return net
 }
 

@@ -27,13 +27,15 @@ func goldenScenario(t *testing.T) []byte {
 	}
 	tr := trace.New(0)
 	net, err := New(Config{
-		Params: p, Protocol: arb, Tracer: tr,
-		WireCheck: true, CheckInvariants: true,
+		Params: p, Protocol: arb,
 		LossProb: 0.05, Reliable: true, Seed: 12345,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	net.AttachWireCheck()
+	net.AttachInvariantChecker()
+	net.AttachTracer(tr)
 	if _, err := net.SubmitMessage(sched.ClassRealTime, 0, ring.Node(2), 1, 50*p.SlotTime()); err != nil {
 		t.Fatal(err)
 	}

@@ -36,10 +36,11 @@ func TestGuaranteeProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		net, err := New(Config{Params: p, Protocol: arb, CheckInvariants: true})
+		net, err := New(Config{Params: p, Protocol: arb})
 		if err != nil {
 			return false
 		}
+		net.AttachInvariantChecker()
 		target := 0.4 + float64(targetRaw%50)/100 // 0.40 … 0.89
 		for _, s := range seeds {
 			if net.Admission().Utilisation() >= target {
@@ -72,10 +73,11 @@ func TestGuaranteeProperty(t *testing.T) {
 // allocation's latency floor that E13 measures statistically.
 func TestTDMALatencyBound(t *testing.T) {
 	p := timing.DefaultParams(8)
-	net, err := New(Config{Params: p, Protocol: newPureTDMA(t, 8), CheckInvariants: true})
+	net, err := New(Config{Params: p, Protocol: newPureTDMA(t, 8)})
 	if err != nil {
 		t.Fatal(err)
 	}
+	net.AttachInvariantChecker()
 	m, err := net.SubmitMessage(sched.ClassRealTime, 5, ring.Node(6), 1, timing.Millisecond)
 	if err != nil {
 		t.Fatal(err)

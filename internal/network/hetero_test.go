@@ -19,10 +19,13 @@ func heteroNet(t *testing.T) (*Network, *trace.Tracer) {
 		t.Fatal(err)
 	}
 	tr := trace.New(0)
-	net, err := New(Config{Params: p, Protocol: arb, Tracer: tr, WireCheck: true, CheckInvariants: true})
+	net, err := New(Config{Params: p, Protocol: arb})
 	if err != nil {
 		t.Fatal(err)
 	}
+	net.AttachWireCheck()
+	net.AttachInvariantChecker()
+	net.AttachTracer(tr)
 	return net, tr
 }
 

@@ -4,25 +4,40 @@ import (
 	"fmt"
 
 	"ccredf/internal/core"
+	"ccredf/internal/obs"
 	"ccredf/internal/ring"
 	"ccredf/internal/sched"
 )
 
-// checkInvariants verifies the protocol invariants of DESIGN.md §6 on one
+// invariantChecker verifies the protocol invariants of DESIGN.md §6 on every
 // arbitration outcome. Violations are counted rather than panicking so an
 // experiment run surfaces them in its metrics (tests assert the counter is
-// zero). The request slice may hold more than one entry per node when the
-// secondary-request extension is active.
-func (n *Network) checkInvariants(reqs []core.Request, out core.Outcome) {
+// zero).
+type invariantChecker struct {
+	r     ring.Ring
+	proto core.Protocol
+	m     *Metrics
+}
+
+func (c *invariantChecker) OnEvent(e *obs.Event) {
+	if e.Kind != obs.KindArbitration {
+		return
+	}
+	c.check(e.Slot, e.Requests, *e.Outcome)
+}
+
+// check verifies one arbitration outcome. The request slice may hold more
+// than one entry per node when the secondary-request extension is active.
+func (c *invariantChecker) check(slot int64, reqs []core.Request, out core.Outcome) {
 	violate := func(format string, args ...any) {
-		n.metrics.InvariantViolations.Inc()
-		if len(n.metrics.Violations) < 8 {
-			n.metrics.Violations = append(n.metrics.Violations,
-				fmt.Sprintf("slot %d: %s", n.slot, fmt.Sprintf(format, args...)))
+		c.m.InvariantViolations.Inc()
+		if len(c.m.Violations) < 8 {
+			c.m.Violations = append(c.m.Violations,
+				fmt.Sprintf("slot %d: %s", slot, fmt.Sprintf(format, args...)))
 		}
 	}
 
-	if !n.r.Valid(out.Master) {
+	if !c.r.Valid(out.Master) {
 		violate("master %d outside ring", out.Master)
 		return
 	}
@@ -61,7 +76,7 @@ func (n *Network) checkInvariants(reqs []core.Request, out core.Outcome) {
 			violate("grant for node %d overlaps earlier grants (links %v)", g.Node, g.Links.Links())
 		}
 		used = used.Union(g.Links)
-		if !n.r.Valid(g.Node) || !requested.Contains(g.Node) {
+		if !c.r.Valid(g.Node) || !requested.Contains(g.Node) {
 			violate("grant for node %d without a request", g.Node)
 			continue
 		}
@@ -70,7 +85,7 @@ func (n *Network) checkInvariants(reqs []core.Request, out core.Outcome) {
 		}
 		// Invariant 2: the segment stays within the ring cut at the
 		// master (may terminate at the break, never cross it).
-		if n.r.Span(g.Node, g.Dests) > n.r.Nodes()-n.r.Dist(out.Master, g.Node) {
+		if c.r.Span(g.Node, g.Dests) > c.r.Nodes()-c.r.Dist(out.Master, g.Node) {
 			violate("grant for node %d crosses the clock break at %d", g.Node, out.Master)
 		}
 	}
@@ -81,7 +96,7 @@ func (n *Network) checkInvariants(reqs []core.Request, out core.Outcome) {
 	// compares absolute deadlines, and per-node sampling times can give
 	// the earliest-deadline node a lower *quantised* wire priority, so
 	// there the check is class dominance only.
-	if arb, isEDF := n.proto.(*core.Arbiter); isEDF && !requested.Empty() {
+	if arb, isEDF := c.proto.(*core.Arbiter); isEDF && !requested.Empty() {
 		if arb.Mode() == sched.Map5Bit {
 			var max uint8
 			for _, p := range bestPrio {
@@ -120,7 +135,7 @@ func (n *Network) checkInvariants(reqs []core.Request, out core.Outcome) {
 		}
 		denied = denied.Add(d)
 	}
-	for node := 0; node < n.r.Nodes(); node++ {
+	for node := 0; node < c.r.Nodes(); node++ {
 		switch {
 		case requested.Contains(node) && granted.Contains(node) == denied.Contains(node):
 			violate("request of node %d neither granted nor denied (or both)", node)

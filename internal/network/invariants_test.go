@@ -19,10 +19,12 @@ import (
 func runRandomTraffic(t *testing.T, proto core.Protocol, seed uint64) *network.Metrics {
 	t.Helper()
 	p := timing.DefaultParams(8)
-	net, err := network.New(network.Config{Params: p, Protocol: proto, WireCheck: true, CheckInvariants: true, Seed: seed})
+	net, err := network.New(network.Config{Params: p, Protocol: proto, Seed: seed})
 	if err != nil {
 		t.Fatal(err)
 	}
+	net.AttachWireCheck()
+	net.AttachInvariantChecker()
 	src := rng.New(seed)
 	// Random RT connections (forced, to stress beyond admission), BE
 	// Poisson and bursty NRT.
@@ -107,11 +109,11 @@ func TestInvariantCheckerDetectsViolations(t *testing.T) {
 	p := timing.DefaultParams(8)
 	net, err := network.New(network.Config{
 		Params: p, Protocol: brokenProtocol{ring.MustNew(8)},
-		CheckInvariants: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	net.AttachInvariantChecker()
 	net.SubmitMessage(sched.ClassRealTime, 1, ring.Node(3), 2, timing.Millisecond)
 	net.SubmitMessage(sched.ClassRealTime, 4, ring.Node(6), 2, timing.Millisecond)
 	net.RunSlots(20)

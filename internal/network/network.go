@@ -14,13 +14,12 @@ import (
 	"ccredf/internal/core"
 	"ccredf/internal/des"
 	"ccredf/internal/node"
+	"ccredf/internal/obs"
 	"ccredf/internal/ring"
 	"ccredf/internal/rng"
 	"ccredf/internal/sched"
 	"ccredf/internal/stats"
 	"ccredf/internal/timing"
-	"ccredf/internal/trace"
-	"ccredf/internal/wire"
 )
 
 // Config configures one simulated network.
@@ -43,23 +42,15 @@ type Config struct {
 	// receiver, which discards it. With Reliable set the missing
 	// acknowledgement triggers a retransmission, exactly like a loss.
 	CorruptProb float64
-	// DataCheck runs every transmitted fragment through the data-channel
-	// packet codec (header + CRC-16, internal/wire) and verifies the round
-	// trip, as the receiver hardware would. Failures count in WireErrors.
-	DataCheck bool
 	// Seed seeds the loss process.
 	Seed uint64
-	// Tracer, when non-nil, receives protocol trace records.
-	Tracer *trace.Tracer
-	// WireCheck routes every arbitration through the bit-serial packet
-	// codec and verifies the round trip, exactly as the hardware would
-	// serialise it. Cheap; on by default in tests.
-	WireCheck bool
-	// CheckInvariants verifies the protocol invariants of DESIGN.md §6 on
-	// every arbitration outcome (link-disjoint grants, no clock-break
-	// crossing, master granted, grant/deny partition). Violations are
-	// counted in Metrics.InvariantViolations with the first few recorded.
-	CheckInvariants bool
+	// Observers are attached to the protocol-event pipeline at
+	// construction, after the built-in metrics observer. Instrumentation
+	// that used to be configured here — tracing, codec verification,
+	// invariant checking — is attached through AttachTracer,
+	// AttachWireCheck, AttachDataCheck and AttachInvariantChecker (or any
+	// custom observer via Attach).
+	Observers []obs.Observer
 	// SecondaryRequests enables the protocol extension in which every node
 	// advertises its two best messages per collection round, letting the
 	// CCR-EDF master pack more spatially disjoint grants per slot. The
@@ -189,11 +180,11 @@ type Network struct {
 	sampled2  []core.Request // secondary requests (extension), may be nil
 	next      core.Outcome   // arbitration result awaiting slot end
 
-	msgSeq      int64
-	conns       map[int]*connState
-	deadNode    int
-	onDeliver   []func(*sched.Message, timing.Time)
-	dataScratch []byte
+	msgSeq    int64
+	conns     map[int]*connState
+	deadNode  int
+	onDeliver []func(*sched.Message, timing.Time)
+	pipe      obs.Pipeline
 }
 
 // New builds a network. The configuration must carry valid Params and a
@@ -243,6 +234,12 @@ func New(cfg Config) (*Network, error) {
 		if n.sampled2 != nil {
 			n.sampled2[i].Node = i
 		}
+	}
+	// Built-in accounting subscribes first so Metrics always fills; the
+	// caller's observers follow in the order given.
+	n.pipe.Attach(&metricsObserver{m: n.metrics, payload: cfg.Params.SlotPayloadBytes})
+	for _, o := range cfg.Observers {
+		n.pipe.Attach(o)
 	}
 	n.sim.At(0, n.startSlot)
 	return n, nil
@@ -450,19 +447,12 @@ func (n *Network) releaseConnMessage(id int) {
 	n.sim.After(c.Period, func(timing.Time) { n.releaseConnMessage(id) })
 }
 
-func (n *Network) emit(k trace.Kind, nodeIdx, peer int, detail string) {
-	n.cfg.Tracer.Emit(trace.Record{
-		Time: n.sim.Now(), Slot: n.slot, Kind: k, Node: nodeIdx, Peer: peer, Detail: detail,
-	})
-}
-
 // startSlot begins slot n.slot at the current time: grants decided during
 // the previous slot are transmitted, and the collection phase for the next
 // slot starts on the control channel.
 func (n *Network) startSlot(now timing.Time) {
 	n.slotStart = now
-	n.metrics.Slots.Inc()
-	n.emit(trace.SlotStart, n.master, 0, "")
+	n.pipe.Emit(obs.Event{Kind: obs.KindSlotStart, Time: now, Slot: n.slot, Node: n.master})
 
 	// Execute the grants of the previous arbitration.
 	busy := 0
@@ -472,19 +462,16 @@ func (n *Network) startSlot(now timing.Time) {
 		}
 		m := n.nodes[g.Node].Grant(g.MsgID)
 		if m == nil {
-			n.metrics.WastedGrants.Inc()
+			n.pipe.Emit(obs.Event{Kind: obs.KindGrantWasted, Time: now, Slot: n.slot, Node: g.Node, Grant: g})
 			continue
 		}
-		n.metrics.Grants.Inc()
-		n.metrics.NodeSent[g.Node]++
 		busy += g.Links.Count()
 		n.transmit(m, g, now)
 	}
-	n.metrics.DeniedRequests.Add(int64(len(n.pending.Denied)))
-	if busy > 0 {
-		n.metrics.SlotsWithData.Inc()
-		n.metrics.BusyLinks += int64(busy)
-	}
+	n.pipe.Emit(obs.Event{
+		Kind: obs.KindSlotData, Time: now, Slot: n.slot, Node: n.master,
+		Busy: busy, Denied: len(n.pending.Denied),
+	})
 
 	// Collection phase: the control packet leaves the master and passes
 	// every node; node (master+i) appends its request after i per-node
@@ -509,31 +496,33 @@ func (n *Network) startSlot(now timing.Time) {
 func (n *Network) transmit(m *sched.Message, g core.Grant, slotBegin timing.Time) {
 	span := n.r.Span(g.Node, g.Dests)
 	arrival := slotBegin + n.params.SlotTime() + n.params.PropagationBetween(g.Node, g.Node+span)
-	if n.cfg.DataCheck {
-		n.dataCheck(m, g)
-	}
+	n.pipe.Emit(obs.Event{
+		Kind: obs.KindFragmentSent, Time: slotBegin, Slot: n.slot,
+		Node: g.Node, Peer: g.Dests.First(), Msg: m, Grant: g,
+	})
 	lost := n.cfg.LossProb > 0 && n.rnd.Bool(n.cfg.LossProb)
 	corrupted := !lost && n.cfg.CorruptProb > 0 && n.rnd.Bool(n.cfg.CorruptProb)
 	if lost || corrupted {
-		reason := "lost"
-		if corrupted {
-			reason = "crc"
-			n.metrics.FragmentsCorrupted.Inc()
-		}
-		n.metrics.FragmentsDropped.Inc()
-		n.emit(trace.Drop, g.Node, 0, fmt.Sprintf("msg=%d %s", m.ID, reason))
+		n.pipe.Emit(obs.Event{
+			Kind: obs.KindFragmentLost, Corrupted: corrupted, Time: n.sim.Now(), Slot: n.slot,
+			Node: g.Node, Peer: g.Dests.First(), Msg: m, Grant: g,
+		})
 		if n.cfg.Reliable {
 			// The sender notices the missing acknowledgement in the
 			// distribution packet of the slot after the arrival slot and
 			// requeues the fragment.
-			n.sim.At(arrival+n.params.SlotTime(), func(timing.Time) {
-				n.metrics.Retransmits.Inc()
+			n.sim.At(arrival+n.params.SlotTime(), func(t timing.Time) {
+				n.pipe.Emit(obs.Event{
+					Kind: obs.KindRetransmit, Time: t, Slot: n.slot, Node: m.Src, Msg: m, Grant: g,
+				})
 				n.nodes[m.Src].Restore(m)
 			})
 		} else {
 			m.Dropped++
 			if m.Dropped+m.Delivered >= m.Slots {
-				n.metrics.MessagesLost.Inc()
+				n.pipe.Emit(obs.Event{
+					Kind: obs.KindMessageLost, Time: n.sim.Now(), Slot: n.slot, Node: m.Src, Msg: m,
+				})
 			}
 		}
 		return
@@ -541,71 +530,37 @@ func (n *Network) transmit(m *sched.Message, g core.Grant, slotBegin timing.Time
 	n.sim.At(arrival, func(t timing.Time) { n.deliver(m, g, t) })
 }
 
-// dataCheck serialises the fragment exactly as the eight data fibres would
-// carry it (header + payload + CRC-16) and verifies the receiver-side
-// decode, counting failures in WireErrors.
-func (n *Network) dataCheck(m *sched.Message, g core.Grant) {
-	headerBytes := (wire.DataPacketBits(n.r.Nodes(), 0) + 7) / 8
-	payloadLen := n.params.SlotPayloadBytes - headerBytes
-	if payloadLen < 1 {
-		payloadLen = 1
-	}
-	if n.dataScratch == nil || len(n.dataScratch) != payloadLen {
-		n.dataScratch = make([]byte, payloadLen)
-	}
-	// Deterministic pseudo-payload so the CRC covers realistic bytes.
-	seed := byte(m.ID) ^ byte(m.Sent)
-	for i := range n.dataScratch {
-		n.dataScratch[i] = seed + byte(i)
-	}
-	pkt := wire.DataPacket{
-		Version:  wire.DataVersion,
-		Class:    uint8(m.Class),
-		Src:      m.Src,
-		Dests:    g.Dests,
-		MsgID:    uint32(m.ID),
-		Fragment: uint16(m.Sent - 1),
-		Total:    uint16(m.Slots),
-		Payload:  n.dataScratch,
-	}
-	buf, err := wire.EncodeData(pkt, n.r.Nodes())
-	if err != nil {
-		n.metrics.WireErrors.Inc()
-		return
-	}
-	got, err := wire.DecodeData(buf, n.r.Nodes())
-	if err != nil || got.MsgID != pkt.MsgID || got.Fragment != pkt.Fragment ||
-		got.Src != pkt.Src || got.Dests != pkt.Dests {
-		n.metrics.WireErrors.Inc()
-	}
-}
-
 // deliver completes one fragment and, when it is the last, the message.
 func (n *Network) deliver(m *sched.Message, g core.Grant, now timing.Time) {
 	m.Delivered++
-	n.metrics.FragmentsDelivered.Inc()
-	n.metrics.NodeReceived[firstNode(g.Dests)]++
-	n.metrics.BytesDelivered.Add(int64(n.params.SlotPayloadBytes))
-	n.emit(trace.Deliver, g.Node, firstNode(g.Dests), fmt.Sprintf("msg=%d frag=%d/%d", m.ID, m.Delivered, m.Slots))
+	n.pipe.Emit(obs.Event{
+		Kind: obs.KindFragmentDelivered, Time: now, Slot: n.slot,
+		Node: g.Node, Peer: g.Dests.First(), Msg: m, Grant: g,
+	})
 	if m.Delivered < m.Slots {
 		if m.Dropped > 0 && m.Dropped+m.Delivered >= m.Slots {
 			// The last outstanding fragment was lost while this one was in
 			// flight: the message can never complete.
-			n.metrics.MessagesLost.Inc()
+			n.pipe.Emit(obs.Event{
+				Kind: obs.KindMessageLost, Time: now, Slot: n.slot, Node: m.Src, Msg: m,
+			})
 		}
 		return
 	}
 	latency := now - m.Release
-	n.metrics.MessagesDelivered.Inc()
-	if int(m.Class) < len(n.metrics.Latency) {
-		n.metrics.Latency[m.Class].Observe(latency)
-	}
+	n.pipe.Emit(obs.Event{
+		Kind: obs.KindMessageComplete, Time: now, Slot: n.slot, Node: m.Src, Msg: m, Latency: latency,
+	})
 	if m.Class == sched.ClassRealTime && m.Deadline != timing.Forever {
 		if now > m.Deadline {
-			n.metrics.NetDeadlineMisses.Inc()
+			n.pipe.Emit(obs.Event{
+				Kind: obs.KindDeadlineMiss, Time: now, Slot: n.slot, Node: m.Src, Msg: m,
+			})
 		}
 		if now > m.Deadline+n.params.WorstCaseLatency() {
-			n.metrics.UserDeadlineMisses.Inc()
+			n.pipe.Emit(obs.Event{
+				Kind: obs.KindDeadlineMiss, User: true, Time: now, Slot: n.slot, Node: m.Src, Msg: m,
+			})
 		}
 	}
 	if cs, ok := n.conns[m.Conn]; ok && m.Conn != 0 {
@@ -632,14 +587,6 @@ func (n *Network) deliver(m *sched.Message, g core.Grant, now timing.Time) {
 	}
 }
 
-func firstNode(s ring.NodeSet) int {
-	nodes := s.Nodes()
-	if len(nodes) == 0 {
-		return 0
-	}
-	return nodes[0]
-}
-
 // sample snapshots one node's request as the collection packet passes it.
 func (n *Network) sample(idx int, now timing.Time) {
 	if idx == n.deadNode {
@@ -651,10 +598,11 @@ func (n *Network) sample(idx int, now timing.Time) {
 	if n.sampled2 != nil {
 		n.sampled2[idx] = n.nodes[idx].SecondaryRequest(now, n.params.SlotTime())
 	}
+	n.pipe.Emit(obs.Event{Kind: obs.KindRequestSampled, Time: now, Slot: n.slot, Node: idx, Req: req})
 	for _, m := range dropped {
-		n.metrics.LateDrops.Inc()
-		n.metrics.NetDeadlineMisses.Inc()
-		n.metrics.UserDeadlineMisses.Inc()
+		n.pipe.Emit(obs.Event{Kind: obs.KindLateDrop, Time: now, Slot: n.slot, Node: idx, Msg: m})
+		n.pipe.Emit(obs.Event{Kind: obs.KindDeadlineMiss, Time: now, Slot: n.slot, Node: idx, Msg: m})
+		n.pipe.Emit(obs.Event{Kind: obs.KindDeadlineMiss, User: true, Time: now, Slot: n.slot, Node: idx, Msg: m})
 		if cs, ok := n.conns[m.Conn]; ok && m.Conn != 0 {
 			cs.stats.NetMisses++
 			cs.stats.UserMisses++
@@ -665,33 +613,19 @@ func (n *Network) sample(idx int, now timing.Time) {
 // arbitrate runs the protocol on the completed collection packet.
 func (n *Network) arbitrate(now timing.Time) {
 	reqs := n.sampled
-	if n.cfg.WireCheck {
-		n.wireCheckCollection(n.sampled)
-	}
 	if n.sampled2 != nil {
 		// Extension: append the secondary requests after the primaries;
 		// indices 0..N−1 keep the per-node layout baseline protocols use.
 		reqs = append(append(make([]core.Request, 0, 2*len(n.sampled)), n.sampled...), n.sampled2...)
 	}
 	n.next = n.proto.Arbitrate(reqs, n.master)
-	if n.cfg.WireCheck {
-		n.wireCheckDistribution(n.next)
-	}
-	if n.cfg.CheckInvariants {
-		n.checkInvariants(reqs, n.next)
-	}
-	n.emit(trace.Collection, n.master, n.next.Master,
-		fmt.Sprintf("grants=%d denied=%d", len(n.next.Grants), len(n.next.Denied)))
-	for _, g := range n.next.Grants {
-		n.cfg.Tracer.Emit(trace.Record{
-			Time: n.sim.Now(), Slot: n.slot, Kind: trace.Grant,
-			Node: g.Node, Peer: firstNode(g.Dests), Links: uint64(g.Links),
-			Detail: fmt.Sprintf("msg=%d links=%v", g.MsgID, g.Links.Links()),
-		})
-	}
-	for _, d := range n.next.Denied {
-		n.emit(trace.Deny, d, 0, "")
-	}
+	// One event carries the whole round: the sampled requests and the full
+	// outcome. The codec verifiers, the invariant checker and the tracer
+	// all subscribe to it.
+	n.pipe.Emit(obs.Event{
+		Kind: obs.KindArbitration, Time: now, Slot: n.slot,
+		Node: n.master, Peer: n.next.Master, Outcome: &n.next, Requests: reqs,
+	})
 	// Fresh request slate for the next collection round.
 	n.sampled = make([]core.Request, n.r.Nodes())
 	for i := range n.sampled {
@@ -705,53 +639,6 @@ func (n *Network) arbitrate(now timing.Time) {
 	}
 }
 
-// wireCheckCollection serialises the sampled requests exactly as the control
-// fibre would and verifies the round trip.
-func (n *Network) wireCheckCollection(reqs []core.Request) {
-	c := wire.Collection{Requests: make([]wire.Request, len(reqs))}
-	for i, r := range reqs {
-		if r.Empty() {
-			continue
-		}
-		c.Requests[i] = wire.Request{
-			Prio:    r.Prio,
-			Reserve: n.r.PathLinks(r.Node, r.Dests),
-			Dests:   r.Dests,
-		}
-	}
-	buf, err := wire.EncodeCollection(c, n.r.Nodes())
-	if err != nil {
-		n.metrics.WireErrors.Inc()
-		return
-	}
-	got, err := wire.DecodeCollection(buf, n.r.Nodes())
-	if err != nil {
-		n.metrics.WireErrors.Inc()
-		return
-	}
-	for i := range c.Requests {
-		if got.Requests[i] != c.Requests[i] {
-			n.metrics.WireErrors.Inc()
-			return
-		}
-	}
-}
-
-// wireCheckDistribution serialises the arbitration outcome as the
-// distribution-phase packet and verifies the round trip.
-func (n *Network) wireCheckDistribution(out core.Outcome) {
-	d := wire.Distribution{HPNode: out.Master, Granted: out.GrantedSet().Add(out.Master)}
-	buf, err := wire.EncodeDistribution(d, n.r.Nodes())
-	if err != nil {
-		n.metrics.WireErrors.Inc()
-		return
-	}
-	got, err := wire.DecodeDistribution(buf, n.r.Nodes())
-	if err != nil || got.HPNode != d.HPNode || got.Granted != d.Granted {
-		n.metrics.WireErrors.Inc()
-	}
-}
-
 // endSlot stops the clock, hands the master role over and schedules the next
 // slot after the hand-over gap (Equation 1).
 func (n *Network) endSlot(now timing.Time) {
@@ -760,7 +647,7 @@ func (n *Network) endSlot(now timing.Time) {
 		// The elected master dies before it starts clocking: the network
 		// goes silent until the designated node's timeout fires (§8).
 		n.deadNode = newMaster
-		n.emit(trace.MasterLoss, newMaster, 0, "master lost; waiting for designated node")
+		n.pipe.Emit(obs.Event{Kind: obs.KindMasterLoss, Time: now, Slot: n.slot, Node: newMaster})
 		timeout := timing.Time(n.cfg.RecoveryTimeoutSlots) * n.params.SlotTime()
 		n.sim.At(now+timeout, func(t timing.Time) {
 			n.master = n.cfg.DesignatedNode
@@ -769,8 +656,7 @@ func (n *Network) endSlot(now timing.Time) {
 			}
 			n.pending = core.Outcome{Master: n.master}
 			n.next = n.pending
-			n.metrics.GapTime += timeout
-			n.emit(trace.Recovery, n.master, 0, "designated node restarted the ring")
+			n.pipe.Emit(obs.Event{Kind: obs.KindRecovery, Time: t, Slot: n.slot, Node: n.master, Gap: timeout})
 			n.slot++
 			n.startSlot(t)
 		})
@@ -778,8 +664,10 @@ func (n *Network) endSlot(now timing.Time) {
 	}
 	dist := n.r.Dist(n.master, newMaster)
 	gap := n.params.HandoverBetween(n.master, newMaster)
-	n.metrics.GapTime += gap
-	n.emit(trace.Handover, n.master, newMaster, fmt.Sprintf("hops=%d gap=%v", dist, gap))
+	n.pipe.Emit(obs.Event{
+		Kind: obs.KindHandover, Time: now, Slot: n.slot,
+		Node: n.master, Peer: newMaster, Hops: dist, Gap: gap,
+	})
 	n.master = newMaster
 	n.pending = n.next
 	n.slot++

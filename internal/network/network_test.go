@@ -18,7 +18,7 @@ func newEDF(t testing.TB, n int, mode sched.MapMode, reuse bool, mut func(*Confi
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{Params: p, Protocol: arb, WireCheck: true}
+	cfg := Config{Params: p, Protocol: arb}
 	if mut != nil {
 		mut(&cfg)
 	}
@@ -26,6 +26,7 @@ func newEDF(t testing.TB, n int, mode sched.MapMode, reuse bool, mut func(*Confi
 	if err != nil {
 		t.Fatal(err)
 	}
+	net.AttachWireCheck()
 	return net
 }
 
@@ -36,10 +37,11 @@ func newFPR(t testing.TB, n int, reuse bool) *Network {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net, err := New(Config{Params: p, Protocol: arb, WireCheck: true})
+	net, err := New(Config{Params: p, Protocol: arb})
 	if err != nil {
 		t.Fatal(err)
 	}
+	net.AttachWireCheck()
 	return net
 }
 
@@ -223,7 +225,7 @@ func TestHandoverGapAccounting(t *testing.T) {
 // master distance (DESIGN.md invariant 6).
 func TestSlotTimingEq1(t *testing.T) {
 	tr := trace.New(0)
-	net := newEDF(t, 8, sched.Map5Bit, true, func(c *Config) { c.Tracer = tr })
+	net := newEDF(t, 8, sched.Map5Bit, true, func(c *Config) { c.Observers = append(c.Observers, trace.NewObserver(tr)) })
 	// Traffic bouncing between nodes 1 and 6 so the master alternates.
 	net.SubmitMessage(sched.ClassRealTime, 1, ring.Node(2), 3, timing.Millisecond)
 	net.SubmitMessage(sched.ClassRealTime, 6, ring.Node(7), 3, 990*timing.Microsecond)
@@ -389,7 +391,7 @@ func TestMasterFailureRecovery(t *testing.T) {
 	tr := trace.New(0)
 	net := newEDF(t, 8, sched.Map5Bit, true, func(c *Config) {
 		c.FailMasterAt = 5
-		c.Tracer = tr
+		c.Observers = append(c.Observers, trace.NewObserver(tr))
 	})
 	// Keep node 3 busy so it is master around slot 5.
 	net.SubmitMessage(sched.ClassRealTime, 3, ring.Node(5), 30, 10*timing.Millisecond)

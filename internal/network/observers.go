@@ -1,0 +1,226 @@
+package network
+
+import (
+	"ccredf/internal/core"
+	"ccredf/internal/obs"
+	"ccredf/internal/ring"
+	"ccredf/internal/stats"
+	"ccredf/internal/trace"
+	"ccredf/internal/wire"
+)
+
+// Attach subscribes an observer to the network's protocol-event pipeline.
+// Observers fire synchronously in attachment order on the simulation thread;
+// they must not retain the event past OnEvent. Attach before running the
+// simulation — events are not replayed.
+func (n *Network) Attach(o obs.Observer) { n.pipe.Attach(o) }
+
+// AttachTracer subscribes a protocol tracer. A nil tracer is ignored.
+func (n *Network) AttachTracer(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	n.pipe.Attach(trace.NewObserver(tr))
+}
+
+// AttachWireCheck subscribes the control-channel codec verifier: every
+// arbitration's collection and distribution packets are routed through the
+// bit-serial codec and the round trip compared, exactly as the hardware would
+// serialise them. Failures count in Metrics.WireErrors.
+func (n *Network) AttachWireCheck() {
+	n.pipe.Attach(&wireChecker{r: n.r, errs: &n.metrics.WireErrors})
+}
+
+// AttachDataCheck subscribes the data-channel codec verifier: every
+// transmitted fragment is serialised as the eight data fibres would carry it
+// (header + payload + CRC-16) and the receiver-side decode verified.
+// Failures count in Metrics.WireErrors.
+func (n *Network) AttachDataCheck() {
+	n.pipe.Attach(&dataChecker{
+		nodes:        n.r.Nodes(),
+		payloadBytes: n.params.SlotPayloadBytes,
+		errs:         &n.metrics.WireErrors,
+	})
+}
+
+// AttachInvariantChecker subscribes the protocol-invariant verifier of
+// DESIGN.md §6 (link-disjoint grants, no clock-break crossing, master
+// dominance, grant/deny partition). Violations count in
+// Metrics.InvariantViolations with the first few recorded in
+// Metrics.Violations.
+func (n *Network) AttachInvariantChecker() {
+	n.pipe.Attach(&invariantChecker{r: n.r, proto: n.proto, m: n.metrics})
+}
+
+// metricsObserver aggregates the event stream into Metrics. It is attached
+// first by New, so built-in accounting always runs and later observers see
+// the same events it does.
+type metricsObserver struct {
+	m       *Metrics
+	payload int
+}
+
+func (o *metricsObserver) OnEvent(e *obs.Event) {
+	m := o.m
+	switch e.Kind {
+	case obs.KindSlotStart:
+		m.Slots.Inc()
+	case obs.KindGrantWasted:
+		m.WastedGrants.Inc()
+	case obs.KindSlotData:
+		m.DeniedRequests.Add(int64(e.Denied))
+		if e.Busy > 0 {
+			m.SlotsWithData.Inc()
+			m.BusyLinks += int64(e.Busy)
+		}
+	case obs.KindFragmentSent:
+		m.Grants.Inc()
+		m.NodeSent[e.Node]++
+	case obs.KindFragmentLost:
+		if e.Corrupted {
+			m.FragmentsCorrupted.Inc()
+		}
+		m.FragmentsDropped.Inc()
+	case obs.KindRetransmit:
+		m.Retransmits.Inc()
+	case obs.KindFragmentDelivered:
+		m.FragmentsDelivered.Inc()
+		m.NodeReceived[e.Peer]++
+		m.BytesDelivered.Add(int64(o.payload))
+	case obs.KindMessageComplete:
+		m.MessagesDelivered.Inc()
+		if int(e.Msg.Class) < len(m.Latency) {
+			m.Latency[e.Msg.Class].Observe(e.Latency)
+		}
+	case obs.KindMessageLost:
+		m.MessagesLost.Inc()
+	case obs.KindDeadlineMiss:
+		if e.User {
+			m.UserDeadlineMisses.Inc()
+		} else {
+			m.NetDeadlineMisses.Inc()
+		}
+	case obs.KindLateDrop:
+		m.LateDrops.Inc()
+	case obs.KindHandover, obs.KindRecovery:
+		m.GapTime += e.Gap
+	}
+}
+
+// wireChecker verifies the control-channel packet codecs on every
+// arbitration.
+type wireChecker struct {
+	r    ring.Ring
+	errs *stats.Counter
+}
+
+func (w *wireChecker) OnEvent(e *obs.Event) {
+	if e.Kind != obs.KindArbitration {
+		return
+	}
+	reqs := e.Requests
+	if len(reqs) > w.r.Nodes() {
+		// With the secondary-request extension the combined slice appends
+		// the secondaries after the per-node primaries; the baseline
+		// collection packet carries only the first N entries.
+		reqs = reqs[:w.r.Nodes()]
+	}
+	w.checkCollection(reqs)
+	w.checkDistribution(*e.Outcome)
+}
+
+// checkCollection serialises the sampled requests exactly as the control
+// fibre would and verifies the round trip.
+func (w *wireChecker) checkCollection(reqs []core.Request) {
+	c := wire.Collection{Requests: make([]wire.Request, len(reqs))}
+	for i, r := range reqs {
+		if r.Empty() {
+			continue
+		}
+		c.Requests[i] = wire.Request{
+			Prio:    r.Prio,
+			Reserve: w.r.PathLinks(r.Node, r.Dests),
+			Dests:   r.Dests,
+		}
+	}
+	buf, err := wire.EncodeCollection(c, w.r.Nodes())
+	if err != nil {
+		w.errs.Inc()
+		return
+	}
+	got, err := wire.DecodeCollection(buf, w.r.Nodes())
+	if err != nil {
+		w.errs.Inc()
+		return
+	}
+	for i := range c.Requests {
+		if got.Requests[i] != c.Requests[i] {
+			w.errs.Inc()
+			return
+		}
+	}
+}
+
+// checkDistribution serialises the arbitration outcome as the
+// distribution-phase packet and verifies the round trip.
+func (w *wireChecker) checkDistribution(out core.Outcome) {
+	d := wire.Distribution{HPNode: out.Master, Granted: out.GrantedSet().Add(out.Master)}
+	buf, err := wire.EncodeDistribution(d, w.r.Nodes())
+	if err != nil {
+		w.errs.Inc()
+		return
+	}
+	got, err := wire.DecodeDistribution(buf, w.r.Nodes())
+	if err != nil || got.HPNode != d.HPNode || got.Granted != d.Granted {
+		w.errs.Inc()
+	}
+}
+
+// dataChecker verifies the data-channel packet codec on every transmitted
+// fragment, as the receiver hardware would.
+type dataChecker struct {
+	nodes        int
+	payloadBytes int
+	errs         *stats.Counter
+	scratch      []byte
+}
+
+func (d *dataChecker) OnEvent(e *obs.Event) {
+	if e.Kind != obs.KindFragmentSent {
+		return
+	}
+	m, g := e.Msg, e.Grant
+	headerBytes := (wire.DataPacketBits(d.nodes, 0) + 7) / 8
+	payloadLen := d.payloadBytes - headerBytes
+	if payloadLen < 1 {
+		payloadLen = 1
+	}
+	if d.scratch == nil || len(d.scratch) != payloadLen {
+		d.scratch = make([]byte, payloadLen)
+	}
+	// Deterministic pseudo-payload so the CRC covers realistic bytes.
+	seed := byte(m.ID) ^ byte(m.Sent)
+	for i := range d.scratch {
+		d.scratch[i] = seed + byte(i)
+	}
+	pkt := wire.DataPacket{
+		Version:  wire.DataVersion,
+		Class:    uint8(m.Class),
+		Src:      m.Src,
+		Dests:    g.Dests,
+		MsgID:    uint32(m.ID),
+		Fragment: uint16(m.Sent - 1),
+		Total:    uint16(m.Slots),
+		Payload:  d.scratch,
+	}
+	buf, err := wire.EncodeData(pkt, d.nodes)
+	if err != nil {
+		d.errs.Inc()
+		return
+	}
+	got, err := wire.DecodeData(buf, d.nodes)
+	if err != nil || got.MsgID != pkt.MsgID || got.Fragment != pkt.Fragment ||
+		got.Src != pkt.Src || got.Dests != pkt.Dests {
+		d.errs.Inc()
+	}
+}

@@ -20,13 +20,14 @@ func newSecondaryNet(t *testing.T, secondary bool) (*Network, *trace.Tracer) {
 	tr := trace.New(0)
 	net, err := New(Config{
 		Params: p, Protocol: arb,
-		WireCheck: true, CheckInvariants: true,
 		SecondaryRequests: secondary,
-		Tracer:            tr,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	net.AttachWireCheck()
+	net.AttachInvariantChecker()
+	net.AttachTracer(tr)
 	return net, tr
 }
 

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonlEvent is the wire form of an Event. Fields that hold their zero value
+// are omitted so common events stay one short line.
+type jsonlEvent struct {
+	Kind      string  `json:"kind"`
+	Time      int64   `json:"t"`
+	Slot      int64   `json:"slot"`
+	Node      int     `json:"node"`
+	Peer      int     `json:"peer,omitempty"`
+	Hops      int     `json:"hops,omitempty"`
+	Busy      int     `json:"busy,omitempty"`
+	Denied    int     `json:"denied,omitempty"`
+	Gap       int64   `json:"gap,omitempty"`
+	Latency   int64   `json:"latency,omitempty"`
+	Msg       int64   `json:"msg,omitempty"`
+	Conn      int     `json:"conn,omitempty"`
+	Class     string  `json:"class,omitempty"`
+	Fragment  int     `json:"frag,omitempty"`
+	Fragments int     `json:"frags,omitempty"`
+	Links     []int   `json:"links,omitempty"`
+	Grants    int     `json:"grants,omitempty"`
+	Prio      float64 `json:"prio,omitempty"`
+	Corrupted bool    `json:"corrupted,omitempty"`
+	User      bool    `json:"user,omitempty"`
+}
+
+// JSONLExporter streams every observed event as one JSON object per line
+// (JSON Lines). It is the seam for external tooling: ccr-trace -events pipes
+// a simulation through it so downstream scripts can consume the protocol
+// timeline without linking against the simulator.
+type JSONLExporter struct {
+	enc    *json.Encoder
+	err    error
+	events int64
+}
+
+// NewJSONLExporter returns an exporter writing to w.
+func NewJSONLExporter(w io.Writer) *JSONLExporter {
+	return &JSONLExporter{enc: json.NewEncoder(w)}
+}
+
+// OnEvent implements Observer. The first write error is latched and all
+// subsequent events are dropped; check Err after the run.
+func (x *JSONLExporter) OnEvent(e *Event) {
+	if x.err != nil {
+		return
+	}
+	rec := jsonlEvent{
+		Kind:      e.Kind.String(),
+		Time:      int64(e.Time),
+		Slot:      e.Slot,
+		Node:      e.Node,
+		Peer:      e.Peer,
+		Hops:      e.Hops,
+		Busy:      e.Busy,
+		Denied:    e.Denied,
+		Gap:       int64(e.Gap),
+		Latency:   int64(e.Latency),
+		Corrupted: e.Corrupted,
+		User:      e.User,
+	}
+	if e.Msg != nil {
+		rec.Msg = e.Msg.ID
+		rec.Conn = e.Msg.Conn
+		rec.Class = e.Msg.Class.String()
+		rec.Fragment = e.Msg.Delivered
+		rec.Fragments = e.Msg.Slots
+	}
+	switch e.Kind {
+	case KindFragmentSent, KindFragmentDelivered, KindFragmentLost, KindRetransmit:
+		rec.Links = e.Grant.Links.Links()
+	case KindArbitration:
+		if e.Outcome != nil {
+			rec.Grants = len(e.Outcome.Grants)
+			rec.Denied = len(e.Outcome.Denied)
+		}
+	case KindRequestSampled:
+		rec.Prio = float64(e.Req.Prio)
+	}
+	if err := x.enc.Encode(&rec); err != nil {
+		x.err = err
+		return
+	}
+	x.events++
+}
+
+// Events returns the number of events successfully encoded.
+func (x *JSONLExporter) Events() int64 { return x.events }
+
+// Err returns the first write error encountered, if any.
+func (x *JSONLExporter) Err() error { return x.err }

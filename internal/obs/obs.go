@@ -1,0 +1,206 @@
+// Package obs is the observability seam of the slot engine: a typed
+// protocol-event model and a fan-out observer pipeline.
+//
+// The engine in internal/network *emits* one Event per protocol occurrence
+// (slot start, request sampled, arbitration outcome, hand-over, fragment
+// sent/lost/delivered, message completion, deadline miss, recovery…) and
+// knows nothing about who is listening. Everything that *watches* the
+// protocol — metrics aggregation, the protocol tracer, invariant checking,
+// codec verification, exporters, probes — implements Observer and is attached
+// to the Pipeline at construction time. New instrumentation therefore never
+// touches the engine, the same way TSN verification work layers constraint
+// checkers on top of a schedule instead of weaving them through it.
+//
+// The hot path stays hot: Emit with no attached observers performs no heap
+// allocation (guarded by a testing.AllocsPerRun test), and with observers
+// attached it costs one struct copy plus one interface call per observer.
+package obs
+
+import (
+	"fmt"
+
+	"ccredf/internal/core"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// Kind classifies a protocol event.
+type Kind uint8
+
+const (
+	// KindSlotStart marks the beginning of a slot: the master starts
+	// clocking and the previous arbitration's grants are executed.
+	KindSlotStart Kind = iota
+	// KindRequestSampled marks one node's request being snapshotted as the
+	// collection packet passes it.
+	KindRequestSampled
+	// KindArbitration marks the completion of one arbitration round at the
+	// master: the event carries the sampled requests and the full outcome.
+	KindArbitration
+	// KindHandover marks the clock hand-over between slots with its
+	// variable inter-slot gap (Equation 1).
+	KindHandover
+	// KindMasterLoss marks a simulated master failure (§8 future work).
+	KindMasterLoss
+	// KindRecovery marks the designated node restarting the network after a
+	// master loss; Gap carries the silent timeout that elapsed.
+	KindRecovery
+	// KindGrantWasted marks a grant whose message had vanished by
+	// transmission time.
+	KindGrantWasted
+	// KindSlotData summarises one slot's data phase: links busy (spatial
+	// reuse) and requests denied by the arbitration that scheduled it.
+	KindSlotData
+	// KindFragmentSent marks one granted fragment leaving its source.
+	KindFragmentSent
+	// KindFragmentLost marks an injected fault eating a fragment; Corrupted
+	// distinguishes a receiver-side CRC discard from a plain loss.
+	KindFragmentLost
+	// KindFragmentDelivered marks a fragment arriving at its
+	// destination(s).
+	KindFragmentDelivered
+	// KindRetransmit marks the reliable service requeueing a lost fragment
+	// after the missing acknowledgement was detected.
+	KindRetransmit
+	// KindMessageComplete marks the final fragment of a message arriving;
+	// Latency carries completion time minus release.
+	KindMessageComplete
+	// KindMessageLost marks a message that can never complete (loss without
+	// the reliable service).
+	KindMessageLost
+	// KindDeadlineMiss marks a real-time message completing (or being
+	// dropped) after its deadline; User selects the user-level deadline
+	// (network-level + Equation 4 latency) over the network-level one.
+	KindDeadlineMiss
+	// KindLateDrop marks a real-time message discarded by the DropLate
+	// policy because its network-level deadline had already passed.
+	KindLateDrop
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindSlotStart:         "slot-start",
+	KindRequestSampled:    "request-sampled",
+	KindArbitration:       "arbitration",
+	KindHandover:          "handover",
+	KindMasterLoss:        "master-loss",
+	KindRecovery:          "recovery",
+	KindGrantWasted:       "grant-wasted",
+	KindSlotData:          "slot-data",
+	KindFragmentSent:      "fragment-sent",
+	KindFragmentLost:      "fragment-lost",
+	KindFragmentDelivered: "fragment-delivered",
+	KindRetransmit:        "retransmit",
+	KindMessageComplete:   "message-complete",
+	KindMessageLost:       "message-lost",
+	KindDeadlineMiss:      "deadline-miss",
+	KindLateDrop:          "late-drop",
+}
+
+// String returns the kind's wire name (used by the JSONL exporter).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one protocol occurrence. Which fields are meaningful depends on
+// Kind; unused fields hold their zero value. Events are delivered by pointer
+// purely to avoid copies — observers must not retain the pointer (or the
+// Requests slice) beyond the OnEvent call, because the pipeline reuses the
+// backing storage for the next event.
+type Event struct {
+	// Kind classifies the event.
+	Kind Kind
+	// Corrupted marks a KindFragmentLost caused by a receiver-side CRC
+	// discard rather than an outright loss.
+	Corrupted bool
+	// User marks a KindDeadlineMiss against the user-level deadline.
+	User bool
+	// Time is the simulated time of the event.
+	Time timing.Time
+	// Slot is the slot number current when the event fired.
+	Slot int64
+	// Node is the acting node: the clocking master for slot events, the
+	// source for fragment events, the sampled node for requests.
+	Node int
+	// Peer is the other party: the next master for arbitration/hand-over,
+	// the (first) destination for fragment events.
+	Peer int
+	// Hops is the master movement distance of a KindHandover.
+	Hops int
+	// Busy is the number of simultaneously occupied links (KindSlotData).
+	Busy int
+	// Denied is the number of requests the slot's arbitration refused
+	// (KindSlotData).
+	Denied int
+	// Gap is the inter-slot gap of a KindHandover, or the silent timeout of
+	// a KindRecovery.
+	Gap timing.Time
+	// Latency is the release-to-completion latency of a
+	// KindMessageComplete.
+	Latency timing.Time
+	// Req is the sampled request of a KindRequestSampled.
+	Req core.Request
+	// Grant is the executed grant of fragment events.
+	Grant core.Grant
+	// Msg is the message involved in fragment/message/deadline events.
+	Msg *sched.Message
+	// Outcome is the arbitration result of a KindArbitration.
+	Outcome *core.Outcome
+	// Requests are the sampled requests behind a KindArbitration (with the
+	// secondary-request extension the per-node primaries occupy the first
+	// Nodes entries, the secondaries follow).
+	Requests []core.Request
+}
+
+// Observer consumes protocol events. OnEvent runs synchronously on the
+// simulation's single thread; implementations must not retain e.
+type Observer interface {
+	OnEvent(e *Event)
+}
+
+// Func adapts a plain function to the Observer interface.
+type Func func(e *Event)
+
+// OnEvent implements Observer.
+func (f Func) OnEvent(e *Event) { f(e) }
+
+// Pipeline fans protocol events out to its attached observers in attachment
+// order. The zero value is an empty pipeline ready to use. Emitting into a
+// pipeline with no observers allocates nothing.
+type Pipeline struct {
+	observers []Observer
+	// scratch is the reusable dispatch slot: Emit copies the event here and
+	// hands observers a pointer to it, so the event value itself never
+	// escapes to the heap.
+	scratch Event
+}
+
+// Attach appends an observer; nil observers are ignored.
+func (p *Pipeline) Attach(o Observer) {
+	if o != nil {
+		p.observers = append(p.observers, o)
+	}
+}
+
+// Len returns the number of attached observers.
+func (p *Pipeline) Len() int { return len(p.observers) }
+
+// Active reports whether any observer is attached (callers can skip building
+// expensive event payloads when it is false).
+func (p *Pipeline) Active() bool { return len(p.observers) > 0 }
+
+// Emit dispatches one event to every attached observer in order. With no
+// observers attached it is a zero-allocation no-op.
+func (p *Pipeline) Emit(e Event) {
+	if len(p.observers) == 0 {
+		return
+	}
+	p.scratch = e
+	for _, o := range p.observers {
+		o.OnEvent(&p.scratch)
+	}
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// TestPipelineOrder: observers fire in attachment order and each sees the
+// emitted event's fields.
+func TestPipelineOrder(t *testing.T) {
+	var p Pipeline
+	var order []string
+	p.Attach(Func(func(e *Event) {
+		order = append(order, "a:"+e.Kind.String())
+	}))
+	p.Attach(nil) // ignored
+	p.Attach(Func(func(e *Event) {
+		order = append(order, "b:"+e.Kind.String())
+		if e.Slot != 7 || e.Node != 3 {
+			t.Errorf("event fields lost in dispatch: %+v", e)
+		}
+	}))
+	if p.Len() != 2 || !p.Active() {
+		t.Fatalf("Len=%d Active=%v after two attaches", p.Len(), p.Active())
+	}
+	p.Emit(Event{Kind: KindHandover, Slot: 7, Node: 3})
+	want := []string{"a:handover", "b:handover"}
+	if len(order) != 2 || order[0] != want[0] || order[1] != want[1] {
+		t.Fatalf("dispatch order %v, want %v", order, want)
+	}
+}
+
+// TestEmitZeroObserversAllocs is the hot-path guard: dispatching into an
+// empty pipeline must not allocate, so a simulation with no instrumentation
+// attached pays nothing for the observability seam.
+func TestEmitZeroObserversAllocs(t *testing.T) {
+	var p Pipeline
+	m := &sched.Message{ID: 1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Emit(Event{Kind: KindFragmentSent, Slot: 5, Node: 1, Peer: 2, Msg: m})
+	})
+	if allocs != 0 {
+		t.Fatalf("zero-observer Emit allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestEmitNoopObserverAllocs: even with an observer attached, dispatch itself
+// allocates nothing — the scratch-slot trick keeps the event off the heap.
+func TestEmitNoopObserverAllocs(t *testing.T) {
+	var p Pipeline
+	var count int64
+	p.Attach(Func(func(e *Event) { count++ }))
+	m := &sched.Message{ID: 1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Emit(Event{Kind: KindFragmentDelivered, Slot: 5, Node: 1, Peer: 2, Msg: m})
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op-observer Emit allocates %v per call, want 0", allocs)
+	}
+	if count == 0 {
+		t.Fatal("observer never ran")
+	}
+}
+
+// TestKindStrings: every kind has a distinct wire name and the out-of-range
+// fallback is stable.
+func TestKindStrings(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := Kind(0); k < numKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+// TestJSONLExporter: events round-trip as one JSON object per line with the
+// documented field names.
+func TestJSONLExporter(t *testing.T) {
+	var buf bytes.Buffer
+	x := NewJSONLExporter(&buf)
+	var p Pipeline
+	p.Attach(x)
+
+	msg := &sched.Message{ID: 42, Conn: 3, Class: sched.ClassRealTime, Src: 1, Slots: 4, Delivered: 2}
+	p.Emit(Event{Kind: KindFragmentDelivered, Time: 100, Slot: 9, Node: 1, Peer: 4, Msg: msg})
+	p.Emit(Event{Kind: KindHandover, Time: 120, Slot: 9, Node: 1, Peer: 2, Hops: 1, Gap: timing.Time(250)})
+
+	if err := x.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Events() != 2 {
+		t.Fatalf("Events() = %d, want 2", x.Events())
+	}
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line not valid JSON: %v", err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d JSONL lines, want 2", len(lines))
+	}
+	if lines[0]["kind"] != "fragment-delivered" || lines[0]["msg"] != float64(42) ||
+		lines[0]["frag"] != float64(2) || lines[0]["frags"] != float64(4) {
+		t.Errorf("delivery line wrong: %v", lines[0])
+	}
+	if lines[1]["kind"] != "handover" || lines[1]["gap"] != float64(250) {
+		t.Errorf("handover line wrong: %v", lines[1])
+	}
+}
+
+// TestJSONLExporterLatchesError: the first write error stops encoding rather
+// than spamming a broken writer.
+func TestJSONLExporterLatchesError(t *testing.T) {
+	x := NewJSONLExporter(failWriter{})
+	x.OnEvent(&Event{Kind: KindSlotStart})
+	x.OnEvent(&Event{Kind: KindSlotStart})
+	if x.Err() == nil {
+		t.Fatal("expected latched error")
+	}
+	if x.Events() != 0 {
+		t.Fatalf("Events() = %d after failed writes", x.Events())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errFail }
+
+var errFail = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "write failed" }
+
+// TestLatencyProbe: completions are bucketed by source node.
+func TestLatencyProbe(t *testing.T) {
+	probe := NewLatencyProbe(4)
+	var p Pipeline
+	p.Attach(probe)
+	for i := 0; i < 10; i++ {
+		m := &sched.Message{ID: int64(i), Src: i % 2}
+		p.Emit(Event{Kind: KindMessageComplete, Msg: m, Latency: timing.Time(100 * (i + 1))})
+	}
+	// Non-completions and foreign kinds are ignored.
+	p.Emit(Event{Kind: KindFragmentSent, Msg: &sched.Message{Src: 3}})
+	if n := probe.Node(0).Count(); n != 5 {
+		t.Fatalf("node 0 observed %d completions, want 5", n)
+	}
+	if n := probe.Node(1).Count(); n != 5 {
+		t.Fatalf("node 1 observed %d completions, want 5", n)
+	}
+	if n := probe.Node(3).Count(); n != 0 {
+		t.Fatalf("node 3 observed %d completions, want 0", n)
+	}
+	if probe.Node(99) != nil || probe.Node(-1) != nil {
+		t.Fatal("out-of-range Node() should be nil")
+	}
+	tbl := probe.Table()
+	if tbl.Rows() != 2 {
+		t.Fatalf("table has %d rows, want 2 (idle nodes skipped)", tbl.Rows())
+	}
+}

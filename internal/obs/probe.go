@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"ccredf/internal/stats"
+)
+
+// LatencyProbe is a per-source-node latency-percentile observer: it watches
+// message completions and accumulates one histogram per source node, exposing
+// the skew that a single network-wide histogram hides (e.g. nodes far from
+// the hot destination paying more hand-over gaps per delivery).
+type LatencyProbe struct {
+	perNode []*stats.Histogram
+}
+
+// NewLatencyProbe returns a probe for a network of nodes nodes.
+func NewLatencyProbe(nodes int) *LatencyProbe {
+	p := &LatencyProbe{perNode: make([]*stats.Histogram, nodes)}
+	for i := range p.perNode {
+		p.perNode[i] = stats.NewHistogram()
+	}
+	return p
+}
+
+// OnEvent implements Observer.
+func (p *LatencyProbe) OnEvent(e *Event) {
+	if e.Kind != KindMessageComplete || e.Msg == nil {
+		return
+	}
+	if src := e.Msg.Src; src >= 0 && src < len(p.perNode) {
+		p.perNode[src].Observe(e.Latency)
+	}
+}
+
+// Node returns the histogram for one source node (nil if out of range).
+func (p *LatencyProbe) Node(i int) *stats.Histogram {
+	if i < 0 || i >= len(p.perNode) {
+		return nil
+	}
+	return p.perNode[i]
+}
+
+// Table renders the per-node percentiles for CLI output.
+func (p *LatencyProbe) Table() *stats.Table {
+	t := stats.NewTable("Per-node completion latency", "node", "msgs", "p50", "p90", "p99", "max")
+	for i, h := range p.perNode {
+		if h.Count() == 0 {
+			continue
+		}
+		t.AddRow(i, h.Count(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Max())
+	}
+	return t
+}

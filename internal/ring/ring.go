@@ -96,6 +96,16 @@ func (s NodeSet) Count() int { return bits.OnesCount64(uint64(s)) }
 // Empty reports whether s has no members.
 func (s NodeSet) Empty() bool { return s == 0 }
 
+// First returns the lowest-numbered member of s, or 0 when s is empty
+// (callers use it as "the destination" of single-destination sets without
+// allocating the full member slice).
+func (s NodeSet) First() int {
+	if s == 0 {
+		return 0
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
 // Nodes returns the members of s in ascending order.
 func (s NodeSet) Nodes() []int {
 	out := make([]int, 0, s.Count())

@@ -1,0 +1,52 @@
+package runner
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(i int) int { return i*i + 7 }
+	want := Map(100, 1, fn)
+	for _, workers := range []int{0, 2, 4, 16, 200} {
+		got := Map(100, workers, fn)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: len = %d, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapCallsEachIndexOnce(t *testing.T) {
+	const n = 500
+	var calls [n]int32
+	Map(n, 8, func(i int) struct{} {
+		atomic.AddInt32(&calls[i], 1)
+		return struct{}{}
+	})
+	for i, c := range calls {
+		if c != 1 {
+			t.Fatalf("index %d evaluated %d times", i, c)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(0, 4, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map(0, ...) = %v, want nil", got)
+	}
+	if got := Map(-3, 4, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map(-3, ...) = %v, want nil", got)
+	}
+}
+
+func TestMapSingle(t *testing.T) {
+	got := Map(1, 16, func(i int) string { return "only" })
+	if len(got) != 1 || got[0] != "only" {
+		t.Fatalf("Map(1, ...) = %v", got)
+	}
+}

@@ -10,13 +10,12 @@ package sweep
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
 
 	"ccredf/internal/ccfpr"
 	"ccredf/internal/core"
 	"ccredf/internal/network"
 	"ccredf/internal/rng"
+	"ccredf/internal/runner"
 	"ccredf/internal/sched"
 	"ccredf/internal/stats"
 	"ccredf/internal/tdma"
@@ -140,36 +139,9 @@ func runPoint(pt Point, horizonSlots int64) Outcome {
 // Run executes every point on a pool of workers (≤ 0 means GOMAXPROCS) and
 // returns outcomes in grid order.
 func Run(points []Point, workers int, horizonSlots int64) []Outcome {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(points) {
-		workers = len(points)
-	}
-	outcomes := make([]Outcome, len(points))
-	if workers <= 1 {
-		for i, pt := range points {
-			outcomes[i] = runPoint(pt, horizonSlots)
-		}
-		return outcomes
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				outcomes[i] = runPoint(points[i], horizonSlots)
-			}
-		}()
-	}
-	for i := range points {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return outcomes
+	return runner.Map(len(points), workers, func(i int) Outcome {
+		return runPoint(points[i], horizonSlots)
+	})
 }
 
 // WriteCSV emits the outcomes as CSV with a header row.

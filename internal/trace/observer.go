@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"fmt"
+
+	"ccredf/internal/obs"
+)
+
+// observer renders protocol events into trace records. It reproduces the
+// exact record stream the slot engine used to emit inline (the golden-trace
+// test pins it byte for byte), so attaching a Tracer through the observer
+// pipeline is indistinguishable from the old hardwired tracing.
+type observer struct {
+	t *Tracer
+}
+
+// NewObserver returns an observer that records protocol events into t.
+func NewObserver(t *Tracer) obs.Observer { return &observer{t: t} }
+
+// OnEvent implements obs.Observer. The detail strings are formatted here —
+// not in the engine — so untraced runs never pay for fmt.Sprintf.
+func (o *observer) OnEvent(e *obs.Event) {
+	switch e.Kind {
+	case obs.KindSlotStart:
+		o.t.Emit(Record{Time: e.Time, Slot: e.Slot, Kind: SlotStart, Node: e.Node})
+	case obs.KindArbitration:
+		out := e.Outcome
+		o.t.Emit(Record{
+			Time: e.Time, Slot: e.Slot, Kind: Collection, Node: e.Node, Peer: e.Peer,
+			Detail: fmt.Sprintf("grants=%d denied=%d", len(out.Grants), len(out.Denied)),
+		})
+		for _, g := range out.Grants {
+			o.t.Emit(Record{
+				Time: e.Time, Slot: e.Slot, Kind: Grant,
+				Node: g.Node, Peer: g.Dests.First(), Links: uint64(g.Links),
+				Detail: fmt.Sprintf("msg=%d links=%v", g.MsgID, g.Links.Links()),
+			})
+		}
+		for _, d := range out.Denied {
+			o.t.Emit(Record{Time: e.Time, Slot: e.Slot, Kind: Deny, Node: d})
+		}
+	case obs.KindHandover:
+		o.t.Emit(Record{
+			Time: e.Time, Slot: e.Slot, Kind: Handover, Node: e.Node, Peer: e.Peer,
+			Detail: fmt.Sprintf("hops=%d gap=%v", e.Hops, e.Gap),
+		})
+	case obs.KindFragmentDelivered:
+		o.t.Emit(Record{
+			Time: e.Time, Slot: e.Slot, Kind: Deliver, Node: e.Node, Peer: e.Peer,
+			Detail: fmt.Sprintf("msg=%d frag=%d/%d", e.Msg.ID, e.Msg.Delivered, e.Msg.Slots),
+		})
+	case obs.KindFragmentLost:
+		reason := "lost"
+		if e.Corrupted {
+			reason = "crc"
+		}
+		o.t.Emit(Record{
+			Time: e.Time, Slot: e.Slot, Kind: Drop, Node: e.Node,
+			Detail: fmt.Sprintf("msg=%d %s", e.Msg.ID, reason),
+		})
+	case obs.KindMasterLoss:
+		o.t.Emit(Record{
+			Time: e.Time, Slot: e.Slot, Kind: MasterLoss, Node: e.Node,
+			Detail: "master lost; waiting for designated node",
+		})
+	case obs.KindRecovery:
+		o.t.Emit(Record{
+			Time: e.Time, Slot: e.Slot, Kind: Recovery, Node: e.Node,
+			Detail: "designated node restarted the ring",
+		})
+	}
+}

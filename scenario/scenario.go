@@ -52,6 +52,11 @@ type Scenario struct {
 	SecondaryRequests bool `json:"secondary_requests,omitempty"`
 	// TraceCapacity retains protocol trace records (-1 = unbounded).
 	TraceCapacity int `json:"trace_capacity,omitempty"`
+	// CheckInvariants attaches the protocol-invariant observer
+	// (Metrics.InvariantViolations must stay zero).
+	CheckInvariants bool `json:"check_invariants,omitempty"`
+	// DataCheck attaches the data-channel codec verifier.
+	DataCheck bool `json:"data_check,omitempty"`
 
 	// Physics overrides (zero = default).
 	LinkLengthM      float64   `json:"link_length_m,omitempty"`
@@ -231,6 +236,8 @@ func (s *Scenario) Build() (*Result, error) {
 	cfg.DropLate = s.DropLate
 	cfg.SecondaryRequests = s.SecondaryRequests
 	cfg.TraceCapacity = s.TraceCapacity
+	cfg.CheckInvariants = s.CheckInvariants
+	cfg.DataCheck = s.DataCheck
 	cfg.Seed = s.Seed
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
