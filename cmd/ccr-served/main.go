@@ -1,0 +1,87 @@
+// ccr-served is the simulation-as-a-service daemon: a long-running HTTP
+// server that accepts scenario JSON, runs simulations through a bounded job
+// queue and worker pool, caches results by content hash, and streams live
+// protocol events to subscribers.
+//
+// Example:
+//
+//	ccr-served -addr :8080 -workers 8 -cache-mb 128
+//	curl -XPOST --data-binary @scenario.json localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/j000000
+//	curl localhost:8080/v1/jobs/j000000/result
+//	curl -N localhost:8080/v1/jobs/j000000/events
+//
+// SIGTERM/SIGINT drains gracefully: intake stops, queued and running jobs
+// finish (up to -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"ccredf/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
+		queueDepth   = flag.Int("queue", 64, "bounded job queue depth (submissions beyond it get 429)")
+		cacheMB      = flag.Int64("cache-mb", 64, "result cache budget in MiB (0 disables)")
+		timeout      = flag.Duration("timeout", 0, "default per-job timeout (0 = none; override per job with ?timeout=)")
+		chunkSlots   = flag.Int64("chunk-slots", 512, "cancellation granularity in slot periods")
+		maxBodyKB    = flag.Int64("max-body-kb", 1024, "largest accepted request body in KiB")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before hard-cancelling jobs")
+	)
+	flag.Parse()
+
+	cacheBytes := *cacheMB << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1 // NewCache stores nothing on a negative budget
+	}
+	srv := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheBytes:     cacheBytes,
+		DefaultTimeout: *timeout,
+		ChunkSlots:     *chunkSlots,
+		MaxBodyBytes:   *maxBodyKB << 10,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		stop() // a second signal kills the process the default way
+		log.Printf("ccr-served: draining (budget %v)…", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(dctx); err != nil {
+			log.Printf("ccr-served: http shutdown: %v", err)
+		}
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Printf("ccr-served: drain incomplete, cancelling jobs: %v", err)
+		}
+		srv.Close()
+	}()
+
+	log.Printf("ccr-served: listening on %s (workers=%d queue=%d cache=%dMiB engine=%s)",
+		*addr, *workers, *queueDepth, *cacheMB, serve.EngineVersion)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("ccr-served: %v", err)
+	}
+	<-drained
+	log.Printf("ccr-served: bye")
+}

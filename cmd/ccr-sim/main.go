@@ -1,23 +1,32 @@
 // ccr-sim runs a single CCR-EDF (or CC-FPR / TDMA) scenario and prints a
 // summary: deliveries, deadline behaviour, spatial reuse, hand-over
-// overhead.
+// overhead. With -json the summary is the same machine-readable
+// serve.Summary object the ccr-served result API returns.
+//
+// Exit codes: 0 clean run, 1 runtime error, 2 usage, 3 at least one
+// real-time deadline missed (so scripts can gate on deadline behaviour).
 //
 // Example:
 //
 //	ccr-sim -nodes 8 -rt 0.7 -be 0.2 -slots 20000
 //	ccr-sim -protocol cc-fpr -rt 0.9 -dest opposite
-//	ccr-sim -config scenario.json
+//	ccr-sim -config scenario.json -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"ccredf"
 	"ccredf/internal/analysis"
+	"ccredf/internal/serve"
 	"ccredf/scenario"
 )
+
+// exitMissedDeadline is returned when the run missed any real-time deadline.
+const exitMissedDeadline = 3
 
 // showHist and jsonOut are set from flags and read by summarise.
 var showHist, jsonOut *bool
@@ -119,8 +128,18 @@ func main() {
 	}
 
 	net.RunSlots(*slots)
-	summarise(net, opened, *exact, *noReuse, *loss)
+	summarise(net, "", opened, *exact, *noReuse, *loss)
 	printProbe(probe)
+	exitOnMiss(net)
+}
+
+// exitOnMiss terminates with a distinct non-zero status when any real-time
+// deadline was missed, so scripts can gate on it.
+func exitOnMiss(net *ccredf.Network) {
+	m := net.Metrics()
+	if m.NetDeadlineMisses.Value()+m.UserDeadlineMisses.Value()+m.LateDrops.Value() > 0 {
+		os.Exit(exitMissedDeadline)
+	}
 }
 
 // attachProbe subscribes the per-node latency observer when requested.
@@ -155,6 +174,11 @@ func runConfig(path string, nodeLat bool) {
 		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
 		os.Exit(1)
 	}
+	key, err := serve.ScenarioKey(s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
+		os.Exit(1)
+	}
 	res, err := s.Build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
@@ -162,20 +186,28 @@ func runConfig(path string, nodeLat bool) {
 	}
 	probe := attachProbe(res.Net, nodeLat)
 	res.Net.Run(res.Horizon)
-	summarise(res.Net, len(res.Connections), s.ExactEDF, s.DisableSpatialReuse, s.LossProb)
+	summarise(res.Net, key, len(res.Connections), s.ExactEDF, s.DisableSpatialReuse, s.LossProb)
 	printProbe(probe)
-	for _, c := range res.Connections {
-		if cs, ok := res.Net.ConnStats(c.ID); ok {
-			fmt.Printf("conn %-3d %d→%v      delivered=%d misses net=%d user=%d  %s\n",
-				c.ID, c.Src, c.Dests, cs.Delivered, cs.NetMisses, cs.UserMisses, cs.Latency.Summary())
+	if jsonOut == nil || !*jsonOut {
+		for _, c := range res.Connections {
+			if cs, ok := res.Net.ConnStats(c.ID); ok {
+				fmt.Printf("conn %-3d %d→%v      delivered=%d misses net=%d user=%d  %s\n",
+					c.ID, c.Src, c.Dests, cs.Delivered, cs.NetMisses, cs.UserMisses, cs.Latency.Summary())
+			}
 		}
 	}
+	exitOnMiss(res.Net)
 }
 
-// summarise prints the standard end-of-run report.
-func summarise(net *ccredf.Network, opened int, exact, noReuse bool, loss float64) {
+// summarise prints the standard end-of-run report; with -json it emits the
+// shared serve.Summary object instead (the same shape ccr-served returns),
+// indented for reading. key is the scenario's content hash when the run
+// came from a config file.
+func summarise(net *ccredf.Network, key string, opened int, exact, noReuse bool, loss float64) {
 	if jsonOut != nil && *jsonOut {
-		if err := net.WriteSnapshot(os.Stdout); err != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(serve.Summarize(net, key)); err != nil {
 			fmt.Fprintln(os.Stderr, "ccr-sim:", err)
 			os.Exit(1)
 		}

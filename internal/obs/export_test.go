@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccredf/internal/core"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the JSONL export golden file")
+
+// exportFixture returns one representative event per Kind, in Kind order,
+// with every wire-visible field populated for the kinds that carry it.
+func exportFixture() []Event {
+	msg := &sched.Message{
+		ID:        42,
+		Conn:      3,
+		Class:     sched.ClassRealTime,
+		Src:       1,
+		Dests:     ring.NodeSetOf(4),
+		Slots:     2,
+		Delivered: 1,
+	}
+	grant := core.Grant{
+		Node:  1,
+		Dests: ring.NodeSetOf(4),
+		Links: ring.Link(1).Union(ring.Link(2)).Union(ring.Link(3)),
+		MsgID: 42,
+	}
+	req := core.Request{Node: 3, Class: sched.ClassRealTime, Prio: 7, MsgID: 42}
+	outcome := &core.Outcome{Master: 2, Grants: []core.Grant{grant}, Denied: []int{5, 6}}
+	return []Event{
+		{Kind: KindSlotStart, Time: 100, Slot: 9, Node: 2},
+		{Kind: KindRequestSampled, Time: 110, Slot: 9, Node: 3, Req: req},
+		{Kind: KindArbitration, Time: 120, Slot: 9, Node: 2, Peer: 3, Outcome: outcome, Requests: []core.Request{req}},
+		{Kind: KindHandover, Time: 130, Slot: 9, Node: 2, Peer: 3, Hops: 1, Gap: 350},
+		{Kind: KindMasterLoss, Time: 140, Slot: 10, Node: 3},
+		{Kind: KindRecovery, Time: 150, Slot: 10, Node: 0, Gap: 9000},
+		{Kind: KindGrantWasted, Time: 160, Slot: 11, Node: 1},
+		{Kind: KindSlotData, Time: 170, Slot: 11, Node: 2, Busy: 3, Denied: 1},
+		{Kind: KindFragmentSent, Time: 180, Slot: 11, Node: 1, Peer: 4, Grant: grant, Msg: msg},
+		{Kind: KindFragmentLost, Time: 190, Slot: 11, Node: 1, Peer: 4, Grant: grant, Msg: msg, Corrupted: true},
+		{Kind: KindFragmentDelivered, Time: 200, Slot: 11, Node: 1, Peer: 4, Grant: grant, Msg: msg},
+		{Kind: KindRetransmit, Time: 210, Slot: 12, Node: 1, Peer: 4, Grant: grant, Msg: msg},
+		{Kind: KindMessageComplete, Time: 220, Slot: 12, Node: 1, Peer: 4, Latency: 1234, Msg: msg},
+		{Kind: KindMessageLost, Time: 230, Slot: 12, Node: 1, Msg: msg},
+		{Kind: KindDeadlineMiss, Time: 240, Slot: 13, Node: 1, User: true, Msg: msg},
+		{Kind: KindLateDrop, Time: 250, Slot: 13, Node: 1, Msg: msg},
+	}
+}
+
+// TestExportCoversEveryKind guards the fixture itself: adding a Kind without
+// extending the fixture (and the golden file) must fail loudly, because the
+// service streams this format as a public wire contract.
+func TestExportCoversEveryKind(t *testing.T) {
+	seen := make(map[Kind]bool)
+	for _, e := range exportFixture() {
+		seen[e.Kind] = true
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if !seen[k] {
+			t.Errorf("fixture has no event of kind %v; extend exportFixture and refresh the golden file", k)
+		}
+	}
+}
+
+// TestExportRoundTrip re-decodes every exported line and checks the wire
+// fields each kind must carry.
+func TestExportRoundTrip(t *testing.T) {
+	events := exportFixture()
+	var buf bytes.Buffer
+	x := NewJSONLExporter(&buf)
+	p := Pipeline{}
+	p.Attach(x)
+	for _, e := range events {
+		p.Emit(e)
+	}
+	if err := x.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Events() != int64(len(events)) {
+		t.Fatalf("exported %d events, want %d", x.Events(), len(events))
+	}
+
+	sc := bufio.NewScanner(&buf)
+	for i := 0; sc.Scan(); i++ {
+		e := events[i]
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d does not decode: %v", i, err)
+		}
+		if got := rec["kind"]; got != e.Kind.String() {
+			t.Errorf("line %d kind = %v, want %q", i, got, e.Kind)
+		}
+		for _, field := range []string{"t", "slot", "node"} {
+			if _, ok := rec[field]; !ok {
+				t.Errorf("line %d (%v) missing field %q", i, e.Kind, field)
+			}
+		}
+		requireField := func(name string, want float64) {
+			v, ok := rec[name].(float64)
+			if !ok || v != want {
+				t.Errorf("line %d (%v): field %q = %v, want %v", i, e.Kind, name, rec[name], want)
+			}
+		}
+		switch e.Kind {
+		case KindRequestSampled:
+			requireField("prio", float64(e.Req.Prio))
+		case KindArbitration:
+			requireField("grants", float64(len(e.Outcome.Grants)))
+			requireField("denied", float64(len(e.Outcome.Denied)))
+		case KindHandover:
+			requireField("hops", float64(e.Hops))
+			requireField("gap", float64(e.Gap))
+		case KindRecovery:
+			requireField("gap", float64(e.Gap))
+		case KindSlotData:
+			requireField("busy", float64(e.Busy))
+			requireField("denied", float64(e.Denied))
+		case KindFragmentSent, KindFragmentDelivered, KindFragmentLost, KindRetransmit:
+			links, ok := rec["links"].([]any)
+			if !ok || len(links) != len(e.Grant.Links.Links()) {
+				t.Errorf("line %d (%v): links = %v, want %v", i, e.Kind, rec["links"], e.Grant.Links.Links())
+			}
+			if e.Kind == KindFragmentLost && rec["corrupted"] != true {
+				t.Errorf("line %d: corrupted flag lost", i)
+			}
+		case KindMessageComplete:
+			requireField("latency", float64(e.Latency))
+		case KindDeadlineMiss:
+			if rec["user"] != true {
+				t.Errorf("line %d: user flag lost", i)
+			}
+		}
+		if e.Msg != nil {
+			requireField("msg", float64(e.Msg.ID))
+			requireField("conn", float64(e.Msg.Conn))
+			if rec["class"] != e.Msg.Class.String() {
+				t.Errorf("line %d (%v): class = %v, want %q", i, e.Kind, rec["class"], e.Msg.Class)
+			}
+		}
+	}
+}
+
+// TestExportGolden pins the exact wire bytes: field names, order and value
+// encodings. ccr-served streams this format to external clients, so any
+// diff here is a breaking API change — regenerate deliberately with
+// go test ./internal/obs -run TestExportGolden -update.
+func TestExportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	x := NewJSONLExporter(&buf)
+	p := Pipeline{}
+	p.Attach(x)
+	for _, e := range exportFixture() {
+		p.Emit(e)
+	}
+	if err := x.Err(); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "events.jsonl.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("JSONL export drifted from golden wire format.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

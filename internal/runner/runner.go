@@ -3,12 +3,13 @@
 //
 // The discrete-event core is strictly single-threaded — determinism comes
 // from a totally ordered event queue — so parallelism in this codebase only
-// ever appears *across* simulations (sweep grids, benchmark suites). Every
-// call site used to hand-roll the same jobs-channel/WaitGroup pool; this
-// package is that pool, written once.
+// ever appears *across* simulations (sweep grids, benchmark suites, service
+// jobs). Every call site used to hand-roll the same jobs-channel/WaitGroup
+// pool; this package is that pool, written once.
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -21,8 +22,20 @@ import (
 // fn must be safe to call from multiple goroutines; each index is evaluated
 // exactly once.
 func Map[T any](n, workers int, fn func(i int) T) []T {
+	results, _ := MapCtx(context.Background(), n, workers, fn)
+	return results
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is cancelled no
+// further index is dispatched, in-flight calls run to completion, and the
+// context error is returned. Indices that were never dispatched keep the
+// zero value of T in the result slice — callers that need to distinguish
+// "skipped" from "computed zero" should encode that in T (sweep records the
+// context error in the outcome). fn should itself poll ctx if a single call
+// can run long.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, error) {
 	if n <= 0 {
-		return nil
+		return nil, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -33,9 +46,12 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 	results := make([]T, n)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
 			results[i] = fn(i)
 		}
-		return results
+		return results, ctx.Err()
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -48,10 +64,15 @@ func Map[T any](n, workers int, fn func(i int) T) []T {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return results
+	return results, ctx.Err()
 }

@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 )
@@ -48,5 +50,67 @@ func TestMapSingle(t *testing.T) {
 	got := Map(1, 16, func(i int) string { return "only" })
 	if len(got) != 1 || got[0] != "only" {
 		t.Fatalf("Map(1, ...) = %v", got)
+	}
+}
+
+func TestMapCtxCancelStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int32
+	const n = 10_000
+	results, err := MapCtx(ctx, n, 4, func(i int) int {
+		if calls.Add(1) == 8 {
+			cancel() // cancel mid-flight; dispatch must stop soon after
+		}
+		return i + 1
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != n {
+		t.Fatalf("len(results) = %d, want %d", len(results), n)
+	}
+	c := int(calls.Load())
+	if c >= n {
+		t.Fatalf("all %d indices evaluated despite cancellation", n)
+	}
+	// Every evaluated index holds fn(i); skipped ones hold the zero value.
+	done := 0
+	for i, r := range results {
+		switch r {
+		case i + 1:
+			done++
+		case 0:
+		default:
+			t.Fatalf("result[%d] = %d, want %d or 0", i, r, i+1)
+		}
+	}
+	if done != c {
+		t.Fatalf("%d results populated but fn called %d times", done, c)
+	}
+}
+
+func TestMapCtxInlineCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := MapCtx(ctx, 5, 1, func(i int) int { return i + 1 })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range results {
+		if r != 0 {
+			t.Fatalf("result[%d] = %d after pre-cancelled ctx", i, r)
+		}
+	}
+}
+
+func TestMapCtxNilErrorOnCompletion(t *testing.T) {
+	results, err := MapCtx(context.Background(), 50, 8, func(i int) int { return i })
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	for i, r := range results {
+		if r != i {
+			t.Fatalf("result[%d] = %d", i, r)
+		}
 	}
 }

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a content-addressed LRU result cache with a byte budget. Keys are
+// canonical (scenario, seed, engine-version) hashes, values are the exact
+// encoded result bytes a job produced — serving a hit therefore returns
+// byte-identical output to re-running the simulation, without re-running it.
+// Values are immutable once stored; callers must not modify returned slices.
+type Cache struct {
+	mu        sync.Mutex
+	budget    int64
+	used      int64
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns a cache evicting least-recently-used entries once the
+// stored bytes exceed budget. A budget ≤ 0 disables storage entirely (every
+// Get misses), which keeps the serving path uniform for cacheless deployments.
+func NewCache(budget int64) *Cache {
+	return &Cache{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key and marks it most recently used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting LRU entries to stay within the byte
+// budget. A value larger than the whole budget is not stored.
+func (c *Cache) Put(key string, val []byte) {
+	size := int64(len(val))
+	if size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		ent := e.Value.(*cacheEntry)
+		c.used += size - int64(len(ent.val))
+		ent.val = val
+		c.ll.MoveToFront(e)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.used += size
+	}
+	for c.used > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, ent.key)
+		c.used -= int64(len(ent.val))
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time view of the cache counters.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Entries   int64
+	Bytes     int64
+	Budget    int64
+	Evictions int64
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Entries:   int64(c.ll.Len()),
+		Bytes:     c.used,
+		Budget:    c.budget,
+		Evictions: c.evictions,
+	}
+}
+
+// HitRatio returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

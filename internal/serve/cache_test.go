@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissCounting(t *testing.T) {
+	c := NewCache(1 << 10)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("alpha"))
+	b, ok := c.Get("a")
+	if !ok || !bytes.Equal(b, []byte("alpha")) {
+		t.Fatalf("Get(a) = %q, %v", b, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRatio(); got != 0.5 {
+		t.Fatalf("hit ratio = %v, want 0.5", got)
+	}
+}
+
+func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewCache(30) // room for three 10-byte values
+	val := bytes.Repeat([]byte("x"), 10)
+	for _, k := range []string{"a", "b", "c"} {
+		c.Put(k, val)
+	}
+	c.Get("a") // refresh a: b is now the LRU entry
+	c.Put("d", val)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted unexpectedly", k)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > st.Budget {
+		t.Fatalf("resident bytes %d exceed budget %d", st.Bytes, st.Budget)
+	}
+}
+
+func TestCacheSkipsOversizedValues(t *testing.T) {
+	c := NewCache(8)
+	c.Put("big", bytes.Repeat([]byte("x"), 9))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversized value should not be stored")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after oversized Put = %+v", st)
+	}
+}
+
+func TestCacheDisabledByNegativeBudget(t *testing.T) {
+	c := NewCache(-1)
+	c.Put("a", []byte("alpha"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+}
+
+func TestCachePutReplacesExisting(t *testing.T) {
+	c := NewCache(1 << 10)
+	c.Put("k", []byte("old"))
+	c.Put("k", []byte("newer"))
+	b, ok := c.Get("k")
+	if !ok || string(b) != "newer" {
+		t.Fatalf("Get(k) = %q, %v", b, ok)
+	}
+	if st := c.Stats(); st.Entries != 1 || st.Bytes != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(1 << 12)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%16)
+				c.Put(k, []byte(k))
+				if b, ok := c.Get(k); ok && string(b) != k {
+					t.Errorf("Get(%s) = %q", k, b)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ccredf/scenario"
+)
+
+// EngineVersion names the simulation semantics baked into cached results.
+// It participates in every cache key, so bumping it when the engine's
+// observable behaviour changes (arbitration, timing model, Summary wire
+// format) invalidates the whole cache instead of serving stale results.
+const EngineVersion = "ccredf-engine/2"
+
+// canonicalKey hashes (engine version, domain, canonical JSON of v). Struct
+// field order is fixed by the Go type, so json.Marshal of a normalised value
+// is a canonical serialisation.
+func canonicalKey(domain string, v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("serve: canonical encoding: %w", err)
+	}
+	h := sha256.New()
+	io.WriteString(h, EngineVersion)
+	h.Write([]byte{0})
+	io.WriteString(h, domain)
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// ScenarioKey returns the content-addressed cache key of a scenario: equal
+// keys guarantee byte-identical results. The scenario is normalised first
+// (implicit defaults made explicit) so spellings like seed omitted vs.
+// "seed": 1 share a cache line.
+func ScenarioKey(s *scenario.Scenario) (string, error) {
+	return canonicalKey("sim", normaliseScenario(s))
+}
+
+// normaliseScenario copies s with implicit defaults resolved, without
+// mutating the caller's value.
+func normaliseScenario(s *scenario.Scenario) *scenario.Scenario {
+	n := *s
+	if n.Seed == 0 {
+		n.Seed = 1
+	}
+	if n.Protocol == "" {
+		n.Protocol = "ccr-edf"
+	}
+	return &n
+}

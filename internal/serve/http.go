@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"ccredf/scenario"
+)
+
+// JobStatus is the wire form of a job record (GET /v1/jobs/{id}).
+type JobStatus struct {
+	ID          string    `json:"id"`
+	Kind        string    `json:"kind"`
+	State       State     `json:"state"`
+	Key         string    `json:"key"`
+	Cached      bool      `json:"cached,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	WallMS      float64   `json:"wall_ms,omitempty"`
+	// ResultURL and EventsURL point at the result bytes (once done) and the
+	// live event stream (while queued/running).
+	ResultURL string `json:"result_url,omitempty"`
+	EventsURL string `json:"events_url,omitempty"`
+}
+
+func (s *Server) status(j *Job) JobStatus {
+	j.mu.Lock()
+	st := JobStatus{
+		ID:          j.id,
+		Kind:        j.kind,
+		State:       j.state,
+		Key:         j.key,
+		Cached:      j.cached,
+		Error:       j.errMsg,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() && !j.finished.IsZero() {
+		st.WallMS = float64(j.finished.Sub(j.started)) / float64(time.Millisecond)
+	}
+	j.mu.Unlock()
+	switch st.State {
+	case StateDone:
+		st.ResultURL = "/v1/jobs/" + st.ID + "/result"
+	case StateQueued, StateRunning:
+		st.EventsURL = "/v1/jobs/" + st.ID + "/events"
+	}
+	return st
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs             submit a scenario (JSON body, ?timeout=30s)
+//	GET    /v1/jobs             list retained jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result result bytes (deterministic JSON)
+//	GET    /v1/jobs/{id}/events live protocol events (JSONL, or SSE when
+//	                            Accept: text/event-stream)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	POST   /v1/sweeps           submit a sweep grid (JSON body)
+//	GET    /healthz             liveness
+//	GET    /metrics             Prometheus text format
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // best effort; the client is gone on error
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseTimeout reads the optional ?timeout= duration query parameter.
+func parseTimeout(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return 0, fmt.Errorf("timeout %q: %w", raw, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("timeout %q must be positive", raw)
+	}
+	return d, nil
+}
+
+// submitCode maps submission results to HTTP: 200 for a cache hit already
+// done, 202 for an accepted (queued) job.
+func submitCode(j *Job) int {
+	if j.State() == StateDone {
+		return http.StatusOK
+	}
+	return http.StatusAccepted
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	timeout, err := parseTimeout(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	scen, err := scenario.Load(r.Body)
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	j, err := s.SubmitScenario(scen, timeout)
+	s.respondSubmission(w, j, err)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	timeout, err := parseTimeout(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec SweepSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "sweep: %v", err)
+		return
+	}
+	spec.normalise()
+	if err := spec.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.SubmitSweep(&spec, timeout)
+	s.respondSubmission(w, j, err)
+}
+
+func (s *Server) respondSubmission(w http.ResponseWriter, j *Job, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeJSON(w, submitCode(j), s.status(j))
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, s.status(j))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(j))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	b, ok := j.Result()
+	if !ok {
+		// 409: the resource exists but is not in a result-bearing state.
+		writeError(w, http.StatusConflict, "job %s is %s, not done", j.ID(), j.State())
+		return
+	}
+	// Serve the stored bytes verbatim: byte-identical across cache hits.
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b) //nolint:errcheck
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": r.PathValue("id"), "state": st})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	ch, unsubscribe := j.hub.subscribe()
+	defer unsubscribe()
+
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+	if canFlush {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case line, ok := <-ch:
+			if !ok {
+				return // job finished (or was already terminal): end of stream
+			}
+			if sse {
+				// SSE data frame; the JSONL line already ends in \n, the
+				// blank separator line follows.
+				if _, err := fmt.Fprintf(w, "data: %s\n", line); err != nil {
+					return
+				}
+			} else {
+				if _, err := w.Write(line); err != nil {
+					return
+				}
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return // client went away
+		}
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// hub broadcasts one job's JSONL event stream to any number of HTTP
+// subscribers. It sits between the simulation's obs.JSONLExporter (which
+// performs exactly one Write per event line) and the streaming handlers.
+//
+// The writer side runs on the simulation's single thread and must never
+// block on a slow client, so delivery is non-blocking per subscriber: a
+// full subscriber buffer drops the line and counts it. The active flag lets
+// the simulation skip JSON encoding entirely while nobody is listening —
+// the steady-state cost of the streaming seam is one atomic load per event.
+type hub struct {
+	active atomic.Bool
+	// streamed/dropped point at server-lifetime counters so /metrics stays
+	// monotonic even after old job records are pruned.
+	streamed *atomic.Int64
+	dropped  *atomic.Int64
+
+	mu     sync.Mutex
+	subs   map[int]chan []byte
+	nextID int
+	closed bool
+}
+
+// subscriberBuffer is the per-subscriber line buffer; a client that falls
+// this many events behind starts losing lines rather than stalling the run.
+const subscriberBuffer = 1024
+
+// newHub builds a hub accumulating into the given counters (fresh ones when
+// nil, for standalone use).
+func newHub(streamed, dropped *atomic.Int64) *hub {
+	if streamed == nil {
+		streamed = new(atomic.Int64)
+	}
+	if dropped == nil {
+		dropped = new(atomic.Int64)
+	}
+	return &hub{subs: make(map[int]chan []byte), streamed: streamed, dropped: dropped}
+}
+
+// Write implements io.Writer for the JSONL exporter: p is one event line.
+// The line is copied once and fanned out without blocking.
+func (h *hub) Write(p []byte) (int, error) {
+	line := make([]byte, len(p))
+	copy(line, p)
+	h.mu.Lock()
+	for _, ch := range h.subs {
+		select {
+		case ch <- line:
+			h.streamed.Add(1)
+		default:
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+	return len(p), nil
+}
+
+// subscribe registers a new listener and returns its line channel plus an
+// unsubscribe function. Subscribing to a closed hub returns an
+// already-closed channel, so handlers uniformly read until close.
+func (h *hub) subscribe() (<-chan []byte, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ch := make(chan []byte, subscriberBuffer)
+	if h.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	id := h.nextID
+	h.nextID++
+	h.subs[id] = ch
+	h.active.Store(true)
+	return ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if _, ok := h.subs[id]; !ok {
+			return
+		}
+		delete(h.subs, id)
+		h.active.Store(len(h.subs) > 0)
+	}
+}
+
+// close ends the stream: every subscriber channel is closed and further
+// writes become no-ops. Idempotent.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for id, ch := range h.subs {
+		close(ch)
+		delete(h.subs, id)
+	}
+	h.active.Store(false)
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// WriteMetrics renders the operational counters in Prometheus text
+// exposition format, with no dependency beyond the standard library.
+// Conventions: *_total are monotonic counters, the rest are gauges.
+func (s *Server) WriteMetrics(w io.Writer) {
+	// Job registry view: current states and event-stream counters.
+	var byState = map[State]int64{
+		StateQueued: 0, StateRunning: 0, StateDone: 0, StateFailed: 0, StateCancelled: 0,
+	}
+	for _, j := range s.Jobs() {
+		byState[j.State()]++
+	}
+	streamed, dropped := s.eventsStreamed.Load(), s.eventsDropped.Load()
+
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+
+	gauge("ccr_served_up", "1 while the service is running.", 1)
+	gauge("ccr_served_uptime_seconds", "Seconds since the server started.",
+		fmt.Sprintf("%.3f", time.Since(s.start).Seconds()))
+
+	gauge("ccr_served_queue_depth", "Jobs waiting in the submission queue.", len(s.queue))
+	gauge("ccr_served_queue_capacity", "Submission queue capacity.", cap(s.queue))
+
+	fmt.Fprintf(w, "# HELP ccr_served_jobs Jobs currently retained, by state.\n# TYPE ccr_served_jobs gauge\n")
+	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "ccr_served_jobs{state=%q} %d\n", st, byState[st])
+	}
+	fmt.Fprintf(w, "# HELP ccr_served_jobs_total Jobs finished since start, by terminal state.\n# TYPE ccr_served_jobs_total counter\n")
+	fmt.Fprintf(w, "ccr_served_jobs_total{state=\"done\"} %d\n", s.doneJobs.Load())
+	fmt.Fprintf(w, "ccr_served_jobs_total{state=\"failed\"} %d\n", s.failed.Load())
+	fmt.Fprintf(w, "ccr_served_jobs_total{state=\"cancelled\"} %d\n", s.cancelled.Load())
+
+	workers := int64(s.opts.Workers)
+	busy := s.busy.Load()
+	gauge("ccr_served_workers", "Simulation worker pool size.", workers)
+	gauge("ccr_served_workers_busy", "Workers currently running a job.", busy)
+	gauge("ccr_served_worker_utilisation", "Busy workers over pool size.",
+		fmt.Sprintf("%.4f", float64(busy)/float64(workers)))
+
+	cs := s.cache.Stats()
+	counter("ccr_served_cache_hits_total", "Result-cache hits.", cs.Hits)
+	counter("ccr_served_cache_misses_total", "Result-cache misses.", cs.Misses)
+	counter("ccr_served_cache_evictions_total", "Entries evicted by the LRU byte budget.", cs.Evictions)
+	gauge("ccr_served_cache_entries", "Entries resident in the result cache.", cs.Entries)
+	gauge("ccr_served_cache_bytes", "Bytes resident in the result cache.", cs.Bytes)
+	gauge("ccr_served_cache_budget_bytes", "Result-cache byte budget.", cs.Budget)
+	gauge("ccr_served_cache_hit_ratio", "Hits over lookups since start.",
+		fmt.Sprintf("%.4f", cs.HitRatio()))
+
+	s.wallMu.Lock()
+	wallSum, wallCount, wallMax := s.wallSum, s.wallCount, s.wallMax
+	s.wallMu.Unlock()
+	counter("ccr_served_job_wall_seconds_sum", "Total measured job run time.",
+		fmt.Sprintf("%.6f", wallSum))
+	counter("ccr_served_job_wall_seconds_count", "Jobs with a measured run time.", wallCount)
+	gauge("ccr_served_job_wall_seconds_max", "Longest single job run time.",
+		fmt.Sprintf("%.6f", wallMax))
+
+	counter("ccr_served_events_streamed_total", "Protocol-event lines delivered to stream subscribers.", streamed)
+	counter("ccr_served_events_dropped_total", "Protocol-event lines dropped on slow subscribers.", dropped)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.WriteMetrics(w)
+}

@@ -1,0 +1,587 @@
+// Package serve is the simulation-as-a-service core behind cmd/ccr-served:
+// a bounded job queue feeding a worker pool of deterministic simulations, a
+// content-addressed LRU result cache, live protocol-event streaming, and a
+// Prometheus-style operational surface — with no dependencies outside the
+// standard library.
+//
+// The shape mirrors the rest of the codebase: each job is one strictly
+// single-threaded, fully deterministic simulation; all parallelism lives
+// *across* jobs. Determinism is what makes the cache sound — a result is
+// addressed by the canonical hash of (scenario, seed, engine version), and
+// equal keys guarantee byte-identical result bytes, so repeated submissions
+// of the same scenario are served from memory without re-simulating.
+//
+// Lifecycle: POST /v1/jobs → queued → running → done|failed|cancelled.
+// Cancellation (DELETE /v1/jobs/{id}) propagates through a per-job
+// context.Context; running simulations advance in bounded slot chunks and
+// poll the context between chunks, so a cancel frees the worker slot
+// promptly. Graceful shutdown closes intake, drains the queue and waits for
+// workers (Shutdown); Close cancels everything immediately.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccredf"
+	"ccredf/scenario"
+
+	"ccredf/internal/sweep"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states. queued → running → done|failed|cancelled; cancellation can
+// also strike a job while it is still queued.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job kinds.
+const (
+	kindSim   = "sim"
+	kindSweep = "sweep"
+)
+
+// Submission errors.
+var (
+	// ErrQueueFull is returned when the bounded queue cannot accept another
+	// job; HTTP maps it to 429 so clients back off.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrClosed is returned once the server has stopped accepting work.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Options configures a Server. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	// Workers is the simulation worker pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of jobs waiting to run (default 64).
+	// Submissions beyond it fail with ErrQueueFull.
+	QueueDepth int
+	// CacheBytes is the result cache budget (default 64 MiB; < 0 disables).
+	CacheBytes int64
+	// DefaultTimeout applies to jobs submitted without one (default 0 = no
+	// timeout).
+	DefaultTimeout time.Duration
+	// ChunkSlots is the cancellation granularity: a running simulation polls
+	// its context every ChunkSlots slot periods (default 512).
+	ChunkSlots int64
+	// MaxBodyBytes bounds request bodies accepted by the HTTP layer
+	// (default 1 MiB).
+	MaxBodyBytes int64
+	// MaxJobs bounds retained job records; the oldest terminal jobs are
+	// forgotten beyond it (default 4096).
+	MaxJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.ChunkSlots <= 0 {
+		o.ChunkSlots = 512
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 1 << 20
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 4096
+	}
+	return o
+}
+
+// Job is one submitted unit of work: a single scenario simulation or a
+// sweep grid. Fields above mu are immutable after submission.
+type Job struct {
+	id        string
+	kind      string
+	key       string
+	scen      *scenario.Scenario
+	sweepSpec *SweepSpec
+	timeout   time.Duration
+	ctx       context.Context
+	cancel    context.CancelFunc
+	hub       *hub
+	submitted time.Time
+	done      chan struct{}
+
+	mu       sync.Mutex
+	state    State
+	cached   bool
+	errMsg   string
+	result   []byte
+	started  time.Time
+	finished time.Time
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the job's content-addressed cache key.
+func (j *Job) Key() string { return j.key }
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Cached reports whether the result was served from the cache.
+func (j *Job) Cached() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cached
+}
+
+// Err returns the failure message ("" while running or on success).
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errMsg
+}
+
+// Result returns the encoded result bytes; ok is false until the job is
+// done. The bytes are immutable.
+func (j *Job) Result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state == StateDone
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// setRunning transitions queued → running; false if the job already ended.
+func (j *Job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finalize moves the job to a terminal state exactly once. It closes the
+// done channel and the event hub and releases the job's context. Returns
+// false if the job was already terminal.
+func (j *Job) finalize(st State, result []byte, err error) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = st
+	j.result = result
+	if err != nil {
+		j.errMsg = err.Error()
+	}
+	j.finished = time.Now()
+	j.mu.Unlock()
+	close(j.done)
+	j.hub.close()
+	j.cancel()
+	return true
+}
+
+// wall returns the job's measured run time (0 until it has both started and
+// finished).
+func (j *Job) wall() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.started.IsZero() || j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started)
+}
+
+// Server owns the queue, the worker pool, the cache and the job registry.
+// Create with New, expose with Handler, stop with Shutdown and/or Close.
+type Server struct {
+	opts       Options
+	cache      *Cache
+	queue      chan *Job
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+	start      time.Time
+
+	busy           atomic.Int64
+	doneJobs       atomic.Int64
+	failed         atomic.Int64
+	cancelled      atomic.Int64
+	eventsStreamed atomic.Int64
+	eventsDropped  atomic.Int64
+
+	wallMu    sync.Mutex
+	wallSum   float64
+	wallCount int64
+	wallMax   float64
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	order  []string
+	nextID int64
+}
+
+// New builds a server and starts its worker pool.
+func New(opts Options) *Server {
+	o := opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       o,
+		cache:      NewCache(o.CacheBytes),
+		queue:      make(chan *Job, o.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		start:      time.Now(),
+		jobs:       make(map[string]*Job),
+	}
+	for i := 0; i < o.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// SubmitScenario enqueues a validated scenario. timeout ≤ 0 selects the
+// server default. The scenario must not be mutated after submission.
+func (s *Server) SubmitScenario(scen *scenario.Scenario, timeout time.Duration) (*Job, error) {
+	key, err := ScenarioKey(scen)
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(kindSim, key, scen, nil, timeout)
+}
+
+// SubmitSweep enqueues a normalised, validated sweep spec.
+func (s *Server) SubmitSweep(spec *SweepSpec, timeout time.Duration) (*Job, error) {
+	key, err := SweepKey(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.submit(kindSweep, key, nil, spec, timeout)
+}
+
+func (s *Server) submit(kind, key string, scen *scenario.Scenario, spec *SweepSpec, timeout time.Duration) (*Job, error) {
+	if timeout <= 0 {
+		timeout = s.opts.DefaultTimeout
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	id := fmt.Sprintf("j%06d", s.nextID)
+	s.nextID++
+	j := &Job{
+		id:        id,
+		kind:      kind,
+		key:       key,
+		scen:      scen,
+		sweepSpec: spec,
+		timeout:   timeout,
+		hub:       newHub(&s.eventsStreamed, &s.eventsDropped),
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		state:     StateQueued,
+	}
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+
+	// Cache fast path: identical (scenario, seed, engine) already computed.
+	if b, ok := s.cache.Get(key); ok {
+		j.mu.Lock()
+		j.state = StateDone
+		j.cached = true
+		j.result = b
+		j.started, j.finished = j.submitted, j.submitted
+		j.mu.Unlock()
+		close(j.done)
+		j.hub.close()
+		j.cancel()
+		s.doneJobs.Add(1)
+		s.registerLocked(j)
+		return j, nil
+	}
+
+	select {
+	case s.queue <- j:
+	default:
+		j.cancel()
+		return nil, ErrQueueFull
+	}
+	s.registerLocked(j)
+	return j, nil
+}
+
+// registerLocked records the job and prunes old terminal records beyond
+// MaxJobs. Caller holds s.mu.
+func (s *Server) registerLocked(j *Job) {
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if len(s.order) <= s.opts.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.opts.MaxJobs
+	for _, id := range s.order {
+		if excess > 0 {
+			if job, ok := s.jobs[id]; ok && job.State().Terminal() {
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job looks a job up by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every retained job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Cancel cancels a queued or running job via its context and finalizes it
+// immediately, so the caller observes the cancelled state promptly; the
+// worker (if mid-simulation) notices at its next slot chunk and frees the
+// slot. Cancelling a terminal job is a no-op. ok is false for unknown IDs.
+func (s *Server) Cancel(id string) (State, bool) {
+	j, ok := s.Job(id)
+	if !ok {
+		return "", false
+	}
+	j.cancel()
+	if j.finalize(StateCancelled, nil, context.Canceled) {
+		s.cancelled.Add(1)
+	}
+	return j.State(), true
+}
+
+// CacheStats exposes the result-cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// finalizeJob applies a terminal state and updates the server counters; it
+// is the only finalization path used by workers.
+func (s *Server) finalizeJob(j *Job, st State, result []byte, err error) {
+	if !j.finalize(st, result, err) {
+		return
+	}
+	switch st {
+	case StateDone:
+		s.doneJobs.Add(1)
+	case StateFailed:
+		s.failed.Add(1)
+	case StateCancelled:
+		s.cancelled.Add(1)
+	}
+	if w := j.wall(); w > 0 {
+		secs := w.Seconds()
+		s.wallMu.Lock()
+		s.wallSum += secs
+		s.wallCount++
+		if secs > s.wallMax {
+			s.wallMax = secs
+		}
+		s.wallMu.Unlock()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.runJob(j)
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+func (s *Server) runJob(j *Job) {
+	if j.ctx.Err() != nil || j.State().Terminal() {
+		s.finalizeJob(j, StateCancelled, nil, context.Canceled)
+		return
+	}
+	// A duplicate submitted while the first copy was still queued hits the
+	// cache here instead of re-simulating.
+	if b, ok := s.cache.Get(j.key); ok {
+		j.mu.Lock()
+		j.cached = true
+		j.started = time.Now()
+		j.mu.Unlock()
+		s.finalizeJob(j, StateDone, b, nil)
+		return
+	}
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
+	if !j.setRunning() {
+		return
+	}
+	ctx := j.ctx
+	if j.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.timeout)
+		defer cancel()
+	}
+	var result []byte
+	var err error
+	switch j.kind {
+	case kindSim:
+		result, err = s.runSim(ctx, j)
+	case kindSweep:
+		result, err = s.runSweep(ctx, j)
+	default:
+		err = fmt.Errorf("serve: unknown job kind %q", j.kind)
+	}
+	switch {
+	case err == nil:
+		s.cache.Put(j.key, result)
+		s.finalizeJob(j, StateDone, result, nil)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.finalizeJob(j, StateFailed, nil, fmt.Errorf("job timed out after %v", j.timeout))
+	case errors.Is(err, context.Canceled):
+		s.finalizeJob(j, StateCancelled, nil, err)
+	default:
+		s.finalizeJob(j, StateFailed, nil, err)
+	}
+}
+
+// runSim executes one scenario simulation, streaming events to the job's
+// hub and polling ctx between slot chunks.
+func (s *Server) runSim(ctx context.Context, j *Job) ([]byte, error) {
+	res, err := j.scen.Build()
+	if err != nil {
+		return nil, err
+	}
+	// The streaming exporter rides the observer pipeline, gated on live
+	// subscribers so an unwatched run pays one atomic load per event.
+	h := j.hub
+	exp := ccredf.NewEventExporter(h)
+	res.Net.Attach(ccredf.ObserverFunc(func(e *ccredf.Event) {
+		if h.active.Load() {
+			exp.OnEvent(e)
+		}
+	}))
+	period := res.Net.Params().SlotTime() + res.Net.Params().MaxHandoverTime()
+	chunk := ccredf.Time(s.opts.ChunkSlots) * period
+	for now := res.Net.Now(); now < res.Horizon; now = res.Net.Now() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		next := now + chunk
+		if next > res.Horizon {
+			next = res.Horizon
+		}
+		res.Net.Run(next)
+	}
+	return Summarize(res.Net, j.key).Encode()
+}
+
+// runSweep fans the grid out over internal/sweep with the job's context.
+func (s *Server) runSweep(ctx context.Context, j *Job) ([]byte, error) {
+	spec := j.sweepSpec
+	outcomes, err := sweep.RunCtx(ctx, spec.Grid(), spec.workerCount(), spec.HorizonSlots)
+	if err != nil {
+		return nil, err
+	}
+	return encodeSweep(j.key, outcomes)
+}
+
+// Shutdown drains gracefully: intake stops (submissions fail with
+// ErrClosed), queued jobs run to completion, and Shutdown returns once the
+// workers are idle. If ctx expires first the remaining jobs are cancelled
+// hard and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeIntake()
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		s.sweepUnfinished()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-idle
+		s.sweepUnfinished()
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately: every queued and running job is
+// cancelled and Close blocks until the workers exit. Safe after Shutdown.
+func (s *Server) Close() {
+	s.closeIntake()
+	s.baseCancel()
+	s.wg.Wait()
+	s.sweepUnfinished()
+}
+
+func (s *Server) closeIntake() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	close(s.queue)
+}
+
+// sweepUnfinished finalizes jobs stranded in the queue by a hard stop.
+func (s *Server) sweepUnfinished() {
+	for _, j := range s.Jobs() {
+		if !j.State().Terminal() {
+			j.cancel()
+			s.finalizeJob(j, StateCancelled, nil, context.Canceled)
+		}
+	}
+}

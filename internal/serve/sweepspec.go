@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+
+	"ccredf/internal/sweep"
+)
+
+// SweepSpec is the declarative body of POST /v1/sweeps: a parameter grid
+// fanned out over internal/sweep. The cartesian product of the axes is
+// enumerated in deterministic order, so a spec's result bytes are
+// reproducible and cacheable exactly like a single scenario's.
+type SweepSpec struct {
+	// Protocols, Nodes, Loads, Localities and Seeds are the grid axes
+	// (defaults: ["ccr-edf"], [8], [0.5], ["uniform"], [1]).
+	Protocols  []string  `json:"protocols,omitempty"`
+	Nodes      []int     `json:"nodes,omitempty"`
+	Loads      []float64 `json:"loads,omitempty"`
+	Localities []string  `json:"localities,omitempty"`
+	Seeds      []uint64  `json:"seeds,omitempty"`
+	// HorizonSlots is the per-point run length (required).
+	HorizonSlots int64 `json:"horizon_slots"`
+	// Workers bounds the sweep's internal fan-out (0 = GOMAXPROCS). The grid
+	// still occupies a single service worker slot; Workers only controls
+	// parallelism within it.
+	Workers int `json:"workers,omitempty"`
+}
+
+// normalise fills the implicit axis defaults in place, so equivalent
+// spellings share a cache key.
+func (sp *SweepSpec) normalise() {
+	if len(sp.Protocols) == 0 {
+		sp.Protocols = []string{"ccr-edf"}
+	}
+	if len(sp.Nodes) == 0 {
+		sp.Nodes = []int{8}
+	}
+	if len(sp.Loads) == 0 {
+		sp.Loads = []float64{0.5}
+	}
+	if len(sp.Localities) == 0 {
+		sp.Localities = []string{"uniform"}
+	}
+	if len(sp.Seeds) == 0 {
+		sp.Seeds = []uint64{1}
+	}
+}
+
+// Validate checks the axes with field-qualified errors.
+func (sp *SweepSpec) Validate() error {
+	if sp.HorizonSlots <= 0 {
+		return fmt.Errorf("sweep: horizon_slots must be positive")
+	}
+	if sp.Workers < 0 {
+		return fmt.Errorf("sweep: workers %d negative", sp.Workers)
+	}
+	for i, p := range sp.Protocols {
+		switch p {
+		case "ccr-edf", "cc-fpr", "tdma":
+		default:
+			return fmt.Errorf("sweep: protocols[%d]: unknown protocol %q", i, p)
+		}
+	}
+	for i, n := range sp.Nodes {
+		if n < 2 || n > 64 {
+			return fmt.Errorf("sweep: nodes[%d] %d outside [2,64]", i, n)
+		}
+	}
+	for i, u := range sp.Loads {
+		if u <= 0 || u > 2 {
+			return fmt.Errorf("sweep: loads[%d] %g outside (0,2]", i, u)
+		}
+	}
+	for i, l := range sp.Localities {
+		switch l {
+		case "uniform", "neighbour", "opposite", "local":
+		default:
+			return fmt.Errorf("sweep: localities[%d]: unknown pattern %q", i, l)
+		}
+	}
+	return nil
+}
+
+// Grid enumerates the spec's cartesian product in deterministic order.
+func (sp *SweepSpec) Grid() []sweep.Point {
+	return sweep.Grid(sp.Protocols, sp.Nodes, sp.Loads, sp.Localities, sp.Seeds)
+}
+
+// workerCount resolves the within-sweep parallelism.
+func (sp *SweepSpec) workerCount() int {
+	if sp.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return sp.Workers
+}
+
+// SweepKey returns the content-addressed cache key of a (normalised) spec.
+// Workers is excluded: it changes scheduling, never results.
+func SweepKey(sp *SweepSpec) (string, error) {
+	n := *sp
+	n.normalise()
+	n.Workers = 0
+	return canonicalKey("sweep", &n)
+}
+
+// SweepOutcome is the wire form of one grid point's result.
+type SweepOutcome struct {
+	Protocol     string  `json:"protocol"`
+	Nodes        int     `json:"nodes"`
+	Load         float64 `json:"load"`
+	Locality     string  `json:"locality"`
+	Seed         uint64  `json:"seed"`
+	Delivered    int64   `json:"delivered"`
+	MissRatio    float64 `json:"miss_ratio"`
+	P99LatencyUs float64 `json:"p99_latency_us"`
+	ReuseFactor  float64 `json:"reuse_factor"`
+	GapFraction  float64 `json:"gap_fraction"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// SweepResult is the machine-readable result of one sweep job, deterministic
+// for a given (spec, engine version) like Summary is for scenarios.
+type SweepResult struct {
+	Schema int            `json:"schema"`
+	Engine string         `json:"engine"`
+	Key    string         `json:"key,omitempty"`
+	Points []SweepOutcome `json:"points"`
+}
+
+// encodeSweep converts outcomes to the deterministic wire form.
+func encodeSweep(key string, outcomes []sweep.Outcome) ([]byte, error) {
+	res := SweepResult{Schema: SummarySchema, Engine: EngineVersion, Key: key}
+	for _, o := range outcomes {
+		w := SweepOutcome{
+			Protocol:     o.Protocol,
+			Nodes:        o.Nodes,
+			Load:         o.Load,
+			Locality:     o.Locality,
+			Seed:         o.Seed,
+			Delivered:    o.Delivered,
+			MissRatio:    o.MissRatio,
+			P99LatencyUs: o.P99Latency.Micros(),
+			ReuseFactor:  o.ReuseFactor,
+			GapFraction:  o.GapFraction,
+		}
+		if o.Err != nil {
+			w.Error = o.Err.Error()
+		}
+		res.Points = append(res.Points, w)
+	}
+	return encodeJSONLine(res)
+}

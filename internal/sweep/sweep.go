@@ -8,6 +8,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -104,8 +105,13 @@ func protocol(name string, nodes int) (core.Protocol, error) {
 	}
 }
 
-// runPoint executes one simulation.
-func runPoint(pt Point, horizonSlots int64) Outcome {
+// chunkSlots bounds how long a running point can ignore a cancelled
+// context: the simulation advances in chunks of this many slot periods and
+// polls ctx between chunks.
+const chunkSlots = 512
+
+// runPoint executes one simulation, polling ctx between chunks of slots.
+func runPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
 	out := Outcome{Point: pt}
 	p := timing.DefaultParams(pt.Nodes)
 	proto, err := protocol(pt.Protocol, pt.Nodes)
@@ -125,7 +131,18 @@ func runPoint(pt Point, horizonSlots int64) Outcome {
 			return out
 		}
 	}
-	net.RunSlots(horizonSlots)
+	for done := int64(0); done < horizonSlots; {
+		if err := ctx.Err(); err != nil {
+			out.Err = err
+			return out
+		}
+		step := int64(chunkSlots)
+		if remaining := horizonSlots - done; remaining < step {
+			step = remaining
+		}
+		net.RunSlots(step)
+		done += step
+	}
 	m := net.Metrics()
 	out.Delivered = m.MessagesDelivered.Value()
 	misses := m.NetDeadlineMisses.Value()
@@ -139,9 +156,28 @@ func runPoint(pt Point, horizonSlots int64) Outcome {
 // Run executes every point on a pool of workers (≤ 0 means GOMAXPROCS) and
 // returns outcomes in grid order.
 func Run(points []Point, workers int, horizonSlots int64) []Outcome {
-	return runner.Map(len(points), workers, func(i int) Outcome {
-		return runPoint(points[i], horizonSlots)
+	outcomes, _ := RunCtx(context.Background(), points, workers, horizonSlots)
+	return outcomes
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is cancelled no new
+// point starts and running points stop at the next slot chunk. Outcomes stay
+// in grid order; points that never ran (or were interrupted) carry the
+// context error in Err. The returned error is ctx.Err().
+func RunCtx(ctx context.Context, points []Point, workers int, horizonSlots int64) ([]Outcome, error) {
+	outcomes, err := runner.MapCtx(ctx, len(points), workers, func(i int) Outcome {
+		return runPoint(ctx, points[i], horizonSlots)
 	})
+	if err != nil {
+		// Undispatched points hold the zero Outcome; stamp their coordinate
+		// and the cancellation error so callers see exactly what was skipped.
+		for i := range outcomes {
+			if outcomes[i].Point != points[i] {
+				outcomes[i] = Outcome{Point: points[i], Err: err}
+			}
+		}
+	}
+	return outcomes, err
 }
 
 // WriteCSV emits the outcomes as CSV with a header row.

@@ -2,6 +2,8 @@ package sweep
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -144,5 +146,40 @@ func TestPointString(t *testing.T) {
 	p := Point{Protocol: "ccr-edf", Nodes: 8, Load: 0.5, Locality: "uniform", Seed: 3}
 	if got := p.String(); got != "ccr-edf/N8/U0.50/uniform/s3" {
 		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRunCtxCancelSkipsRemainingPoints(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pts := smallGrid()
+	outs, err := RunCtx(ctx, pts, 2, 300)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(outs) != len(pts) {
+		t.Fatalf("%d outcomes for %d points", len(outs), len(pts))
+	}
+	for i, o := range outs {
+		if o.Point != pts[i] {
+			t.Fatalf("outcome %d carries point %v, want %v", i, o.Point, pts[i])
+		}
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("outcome %d err = %v, want context.Canceled", i, o.Err)
+		}
+	}
+}
+
+func TestRunCtxMatchesRunWhenUncancelled(t *testing.T) {
+	pts := smallGrid()
+	want := Run(pts, 1, 300)
+	got, err := RunCtx(context.Background(), pts, 4, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("outcome %d diverges: %+v vs %+v", i, got[i], want[i])
+		}
 	}
 }

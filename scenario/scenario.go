@@ -127,8 +127,12 @@ func Load(r io.Reader) (*Scenario, error) {
 	return &s, nil
 }
 
-// Validate checks scenario-level consistency (network-level checks happen
-// again in Build).
+// Validate checks scenario-level consistency: field ranges, probability
+// bounds and — critically for anything that feeds user-supplied JSON into
+// the simulator, like ccr-served — that every node index in every workload
+// refers to a node that actually exists on the ring. Errors are
+// field-qualified ("connections[2].src …") so API clients can pinpoint the
+// offending input. Network-level checks (admission) happen again in Build.
 func (s *Scenario) Validate() error {
 	if s.Nodes < 2 || s.Nodes > 64 {
 		return fmt.Errorf("scenario: nodes %d outside [2,64]", s.Nodes)
@@ -141,39 +145,134 @@ func (s *Scenario) Validate() error {
 	default:
 		return fmt.Errorf("scenario: unknown protocol %q", s.Protocol)
 	}
-	for i, c := range s.Connections {
-		if len(c.Dests) == 0 {
-			return fmt.Errorf("scenario: connection %d has no destinations", i)
+	if s.LossProb < 0 || s.LossProb > 1 {
+		return fmt.Errorf("scenario: loss_prob %g outside [0,1]", s.LossProb)
+	}
+	if s.CorruptProb < 0 || s.CorruptProb > 1 {
+		return fmt.Errorf("scenario: corrupt_prob %g outside [0,1]", s.CorruptProb)
+	}
+	if s.TraceCapacity < -1 {
+		return fmt.Errorf("scenario: trace_capacity %d invalid (-1 = unbounded, 0 = off)", s.TraceCapacity)
+	}
+	if s.LinkLengthM < 0 {
+		return fmt.Errorf("scenario: link_length_m %g negative", s.LinkLengthM)
+	}
+	if s.LinkLengthsM != nil && len(s.LinkLengthsM) != s.Nodes {
+		return fmt.Errorf("scenario: link_lengths_m has %d entries, want nodes (%d)", len(s.LinkLengthsM), s.Nodes)
+	}
+	for i, l := range s.LinkLengthsM {
+		if l <= 0 {
+			return fmt.Errorf("scenario: link_lengths_m[%d] %g not positive", i, l)
 		}
-		if c.PeriodSlots <= 0 || c.Slots <= 0 {
-			return fmt.Errorf("scenario: connection %d needs positive period and slots", i)
+	}
+	if s.BitRate < 0 {
+		return fmt.Errorf("scenario: bit_rate %d negative", s.BitRate)
+	}
+	if s.SlotPayloadBytes < 0 {
+		return fmt.Errorf("scenario: slot_payload_bytes %d negative", s.SlotPayloadBytes)
+	}
+	for i, c := range s.Connections {
+		if err := s.checkNode(c.Src); err != nil {
+			return fmt.Errorf("scenario: connections[%d].src: %w", i, err)
+		}
+		if len(c.Dests) == 0 {
+			return fmt.Errorf("scenario: connections[%d].dests is empty", i)
+		}
+		for j, d := range c.Dests {
+			if err := s.checkNode(d); err != nil {
+				return fmt.Errorf("scenario: connections[%d].dests[%d]: %w", i, j, err)
+			}
+			if d == c.Src {
+				return fmt.Errorf("scenario: connections[%d].dests[%d] equals src %d", i, j, c.Src)
+			}
+		}
+		if c.PeriodSlots <= 0 {
+			return fmt.Errorf("scenario: connections[%d].period_slots %d not positive", i, c.PeriodSlots)
+		}
+		if c.Slots <= 0 {
+			return fmt.Errorf("scenario: connections[%d].slots %d not positive", i, c.Slots)
+		}
+		if c.DeadlineSlots < 0 {
+			return fmt.Errorf("scenario: connections[%d].deadline_slots %d negative", i, c.DeadlineSlots)
 		}
 	}
 	for i, p := range s.Poisson {
-		if p.MeanInterarrivalSlots <= 0 || p.Slots <= 0 {
-			return fmt.Errorf("scenario: poisson %d needs positive interarrival and slots", i)
+		if err := s.checkNode(p.Node); err != nil {
+			return fmt.Errorf("scenario: poisson[%d].node: %w", i, err)
+		}
+		if p.MeanInterarrivalSlots <= 0 {
+			return fmt.Errorf("scenario: poisson[%d].mean_interarrival_slots %d not positive", i, p.MeanInterarrivalSlots)
+		}
+		if p.Slots <= 0 {
+			return fmt.Errorf("scenario: poisson[%d].slots %d not positive", i, p.Slots)
+		}
+		if p.MaxSlots < 0 {
+			return fmt.Errorf("scenario: poisson[%d].max_slots %d negative", i, p.MaxSlots)
+		}
+		if p.RelDeadlineSlots < 0 {
+			return fmt.Errorf("scenario: poisson[%d].rel_deadline_slots %d negative", i, p.RelDeadlineSlots)
 		}
 		if err := checkClass(p.Class); err != nil {
-			return fmt.Errorf("scenario: poisson %d: %w", i, err)
+			return fmt.Errorf("scenario: poisson[%d].class: %w", i, err)
 		}
 		switch p.Dest {
 		case "", "uniform", "neighbour", "opposite", "local", "hotspot":
 		default:
-			return fmt.Errorf("scenario: poisson %d: unknown dest %q", i, p.Dest)
+			return fmt.Errorf("scenario: poisson[%d].dest: unknown pattern %q", i, p.Dest)
 		}
 	}
 	for i, b := range s.Bursty {
-		if b.BurstInterarrivalSlots <= 0 || b.MeanBurstLen <= 0 || b.MeanIdleSlots <= 0 || b.Slots <= 0 {
-			return fmt.Errorf("scenario: bursty %d has non-positive parameters", i)
+		if err := s.checkNode(b.Node); err != nil {
+			return fmt.Errorf("scenario: bursty[%d].node: %w", i, err)
+		}
+		if b.BurstInterarrivalSlots <= 0 {
+			return fmt.Errorf("scenario: bursty[%d].burst_interarrival_slots %d not positive", i, b.BurstInterarrivalSlots)
+		}
+		if b.MeanBurstLen <= 0 {
+			return fmt.Errorf("scenario: bursty[%d].mean_burst_len %d not positive", i, b.MeanBurstLen)
+		}
+		if b.MeanIdleSlots <= 0 {
+			return fmt.Errorf("scenario: bursty[%d].mean_idle_slots %d not positive", i, b.MeanIdleSlots)
+		}
+		if b.Slots <= 0 {
+			return fmt.Errorf("scenario: bursty[%d].slots %d not positive", i, b.Slots)
+		}
+		if b.RelDeadlineSlots < 0 {
+			return fmt.Errorf("scenario: bursty[%d].rel_deadline_slots %d negative", i, b.RelDeadlineSlots)
 		}
 		if err := checkClass(b.Class); err != nil {
-			return fmt.Errorf("scenario: bursty %d: %w", i, err)
+			return fmt.Errorf("scenario: bursty[%d].class: %w", i, err)
 		}
 	}
 	for i, v := range s.Video {
-		if v.FrameIntervalSlots <= 0 || len(v.GOP) == 0 {
-			return fmt.Errorf("scenario: video %d needs a frame interval and GOP", i)
+		if err := s.checkNode(v.Node); err != nil {
+			return fmt.Errorf("scenario: video[%d].node: %w", i, err)
 		}
+		if err := s.checkNode(v.Dest); err != nil {
+			return fmt.Errorf("scenario: video[%d].dest: %w", i, err)
+		}
+		if v.Dest == v.Node {
+			return fmt.Errorf("scenario: video[%d].dest equals node %d", i, v.Node)
+		}
+		if v.FrameIntervalSlots <= 0 {
+			return fmt.Errorf("scenario: video[%d].frame_interval_slots %d not positive", i, v.FrameIntervalSlots)
+		}
+		if len(v.GOP) == 0 {
+			return fmt.Errorf("scenario: video[%d].gop is empty", i)
+		}
+		for j, g := range v.GOP {
+			if g <= 0 {
+				return fmt.Errorf("scenario: video[%d].gop[%d] %d not positive", i, j, g)
+			}
+		}
+	}
+	return nil
+}
+
+// checkNode verifies a node index against the ring size.
+func (s *Scenario) checkNode(n int) error {
+	if n < 0 || n >= s.Nodes {
+		return fmt.Errorf("node %d outside ring [0,%d)", n, s.Nodes)
 	}
 	return nil
 }

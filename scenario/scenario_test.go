@@ -78,10 +78,53 @@ func TestValidateErrors(t *testing.T) {
 		`{"nodes": 8, "horizon_slots": 10, "poisson": [{"node":0,"mean_interarrival_slots":5,"slots":1,"dest":"random"}]}`,
 		`{"nodes": 8, "horizon_slots": 10, "bursty": [{"node":0,"burst_interarrival_slots":1,"mean_burst_len":0,"mean_idle_slots":5,"slots":1}]}`,
 		`{"nodes": 8, "horizon_slots": 10, "video": [{"node":0,"dest":1,"frame_interval_slots":10,"gop":[]}]}`,
+		// Index and range checks: the service feeds untrusted JSON here.
+		`{"nodes": 8, "horizon_slots": 10, "connections": [{"src":8,"dests":[1],"period_slots":5,"slots":1}]}`,
+		`{"nodes": 8, "horizon_slots": 10, "connections": [{"src":-1,"dests":[1],"period_slots":5,"slots":1}]}`,
+		`{"nodes": 8, "horizon_slots": 10, "connections": [{"src":0,"dests":[9],"period_slots":5,"slots":1}]}`,
+		`{"nodes": 8, "horizon_slots": 10, "connections": [{"src":0,"dests":[0],"period_slots":5,"slots":1}]}`,
+		`{"nodes": 8, "horizon_slots": 10, "connections": [{"src":0,"dests":[1],"period_slots":5,"slots":1,"deadline_slots":-1}]}`,
+		`{"nodes": 8, "horizon_slots": 10, "poisson": [{"node":8,"mean_interarrival_slots":5,"slots":1}]}`,
+		`{"nodes": 8, "horizon_slots": 10, "bursty": [{"node":-2,"burst_interarrival_slots":1,"mean_burst_len":2,"mean_idle_slots":5,"slots":1}]}`,
+		`{"nodes": 8, "horizon_slots": 10, "video": [{"node":0,"dest":8,"frame_interval_slots":10,"gop":[3]}]}`,
+		`{"nodes": 8, "horizon_slots": 10, "video": [{"node":2,"dest":2,"frame_interval_slots":10,"gop":[3]}]}`,
+		`{"nodes": 8, "horizon_slots": 10, "video": [{"node":0,"dest":1,"frame_interval_slots":10,"gop":[3,0]}]}`,
+		`{"nodes": 8, "horizon_slots": 10, "loss_prob": 1.5}`,
+		`{"nodes": 8, "horizon_slots": 10, "corrupt_prob": -0.1}`,
+		`{"nodes": 8, "horizon_slots": 10, "link_lengths_m": [10, 10]}`,
+		`{"nodes": 8, "horizon_slots": 10, "link_lengths_m": [10,10,10,10,10,10,10,-5]}`,
+		`{"nodes": 8, "horizon_slots": 10, "bit_rate": -1}`,
+		`{"nodes": 8, "horizon_slots": 10, "slot_payload_bytes": -1}`,
+		`{"nodes": 8, "horizon_slots": 10, "trace_capacity": -2}`,
 	}
 	for i, c := range cases {
 		if _, err := Load(strings.NewReader(c)); err == nil {
 			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+// TestValidateErrorsAreFieldQualified pins the error style the HTTP API
+// surfaces to clients: the offending field is named with its index.
+func TestValidateErrorsAreFieldQualified(t *testing.T) {
+	cases := []struct{ input, want string }{
+		{`{"nodes": 8, "horizon_slots": 10, "connections": [{"src":9,"dests":[1],"period_slots":5,"slots":1}]}`,
+			"connections[0].src"},
+		{`{"nodes": 8, "horizon_slots": 10, "connections": [{"src":0,"dests":[1],"period_slots":5,"slots":1},{"src":1,"dests":[2,99],"period_slots":5,"slots":1}]}`,
+			"connections[1].dests[1]"},
+		{`{"nodes": 8, "horizon_slots": 10, "poisson": [{"node":11,"mean_interarrival_slots":5,"slots":1}]}`,
+			"poisson[0].node"},
+		{`{"nodes": 8, "horizon_slots": 10, "video": [{"node":0,"dest":1,"frame_interval_slots":10,"gop":[3,0]}]}`,
+			"video[0].gop[1]"},
+	}
+	for _, c := range cases {
+		_, err := Load(strings.NewReader(c.input))
+		if err == nil {
+			t.Errorf("accepted: %s", c.input)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error %q does not name %q", err, c.want)
 		}
 	}
 }
