@@ -14,6 +14,7 @@ import (
 	"ccredf"
 	"ccredf/internal/experiment"
 	"ccredf/internal/sched"
+	"ccredf/internal/slotbench"
 	"ccredf/internal/timing"
 )
 
@@ -119,6 +120,28 @@ func BenchmarkSaturatedRing(b *testing.B) {
 		net.RunSlots(1)
 	}
 	b.ReportMetric(net.Metrics().SpatialReuseFactor(), "links/slot")
+}
+
+// BenchmarkSteadyStateSlots pins the allocation-free steady-state slot loop
+// per protocol over the shared slotbench workload — the same workload the
+// zero-alloc tests and BENCH_slot_engine.json measure. With -benchmem the
+// B/op and allocs/op columns must read 0.
+func BenchmarkSteadyStateSlots(b *testing.B) {
+	for _, name := range slotbench.Protocols {
+		b.Run(name, func(b *testing.B) {
+			net, err := slotbench.New(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := net.Slot()
+			for i := 0; i < b.N; i++ {
+				net.RunSlots(1)
+			}
+			b.ReportMetric(float64(net.Slot()-start)/float64(b.N), "slots/op")
+		})
+	}
 }
 
 // BenchmarkAdmissionControl measures the admission test itself.

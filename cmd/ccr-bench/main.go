@@ -8,9 +8,14 @@
 //	ccr-bench -quick           # 10× shorter horizons
 //	ccr-bench -list            # list experiment IDs and titles
 //	ccr-bench -out results.md  # also write a Markdown report
+//	ccr-bench -json BENCH_slot_engine.json
+//	                           # also write the benchmark baseline: per-slot
+//	                           # cost of every experiment plus the slot-engine
+//	                           # microbenchmark (runs serially)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,16 +25,19 @@ import (
 
 	"ccredf/internal/experiment"
 	"ccredf/internal/runner"
+	"ccredf/internal/slotbench"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list experiments and exit")
-		ids     = flag.String("id", "", "comma-separated experiment IDs (default: all)")
-		quick   = flag.Bool("quick", false, "10× shorter horizons")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("out", "", "also write a Markdown report to this file")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "experiments to run in parallel")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		ids        = flag.String("id", "", "comma-separated experiment IDs (default: all)")
+		quick      = flag.Bool("quick", false, "10× shorter horizons")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		out        = flag.String("out", "", "also write a Markdown report to this file")
+		jsonOut    = flag.String("json", "", "also write the machine-readable benchmark baseline to this file (forces a serial run)")
+		benchSlots = flag.Int64("bench-slots", 4096, "slot horizon of the -json slot-engine microbenchmark")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "experiments to run in parallel")
 	)
 	flag.Parse()
 
@@ -57,16 +65,29 @@ func main() {
 
 	// Experiments are independent simulations: fan them out over a worker
 	// pool, then print in suite order.
-	type outcome struct {
-		res     *experiment.Result
-		err     error
-		elapsed time.Duration
-	}
-	outcomes := runner.Map(len(selected), *workers, func(i int) outcome {
+	run := func(i int) outcome {
 		start := time.Now()
 		res, err := selected[i].Run(opts)
-		return outcome{res, err, time.Since(start)}
-	})
+		return outcome{res: res, err: err, elapsed: time.Since(start)}
+	}
+	var outcomes []outcome
+	if *jsonOut != "" {
+		// The baseline charges runtime.MemStats deltas to each experiment,
+		// which is only attributable when nothing else runs concurrently.
+		outcomes = make([]outcome, len(selected))
+		var m0, m1 runtime.MemStats
+		for i := range selected {
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			o := run(i)
+			runtime.ReadMemStats(&m1)
+			o.mallocs = m1.Mallocs - m0.Mallocs
+			o.bytes = m1.TotalAlloc - m0.TotalAlloc
+			outcomes[i] = o
+		}
+	} else {
+		outcomes = runner.Map(len(selected), *workers, run)
+	}
 
 	var report strings.Builder
 	failed := 0
@@ -107,8 +128,80 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+	if *jsonOut != "" {
+		if err := writeBaseline(*jsonOut, selected, outcomes, *benchSlots); err != nil {
+			fmt.Fprintf(os.Stderr, "ccr-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "ccr-bench: %d experiment(s) failed validation\n", failed)
 		os.Exit(1)
 	}
+}
+
+// outcome is one experiment's run plus its (serial-only) allocation deltas.
+type outcome struct {
+	res            *experiment.Result
+	err            error
+	elapsed        time.Duration
+	mallocs, bytes uint64
+}
+
+// experimentBench is the per-experiment entry of the JSON baseline.
+type experimentBench struct {
+	ID            string  `json:"id"`
+	Title         string  `json:"title"`
+	Pass          bool    `json:"pass"`
+	Slots         int64   `json:"slots"`
+	ElapsedS      float64 `json:"elapsed_s"`
+	NsPerSlot     float64 `json:"ns_per_slot"`
+	AllocsPerSlot float64 `json:"allocs_per_slot"`
+	BytesPerSlot  float64 `json:"bytes_per_slot"`
+}
+
+// baseline is the BENCH_slot_engine.json document: the steady-state
+// slot-engine microbenchmark (the number CI gates on) plus per-experiment
+// per-slot costs for the whole P/E suite.
+type baseline struct {
+	Schema      int               `json:"schema"`
+	Go          string            `json:"go"`
+	BenchSlots  int64             `json:"bench_slots"`
+	SlotEngine  []slotbench.Stats `json:"slot_engine"`
+	Experiments []experimentBench `json:"experiments"`
+}
+
+func writeBaseline(path string, selected []experiment.Experiment, outcomes []outcome, benchSlots int64) error {
+	doc := baseline{Schema: 1, Go: runtime.Version(), BenchSlots: benchSlots}
+	for _, name := range slotbench.Protocols {
+		st, err := slotbench.Measure(name, benchSlots)
+		if err != nil {
+			return err
+		}
+		doc.SlotEngine = append(doc.SlotEngine, st)
+	}
+	for i := range selected {
+		res := outcomes[i].res
+		eb := experimentBench{
+			ID:       res.ID,
+			Title:    selected[i].Title,
+			Pass:     res.Pass,
+			Slots:    res.Slots,
+			ElapsedS: outcomes[i].elapsed.Seconds(),
+		}
+		// P1/P2 and the analytic experiments run no simulation: per-slot
+		// figures are meaningless there and stay zero.
+		if res.Slots > 0 {
+			eb.NsPerSlot = float64(outcomes[i].elapsed.Nanoseconds()) / float64(res.Slots)
+			eb.AllocsPerSlot = float64(outcomes[i].mallocs) / float64(res.Slots)
+			eb.BytesPerSlot = float64(outcomes[i].bytes) / float64(res.Slots)
+		}
+		doc.Experiments = append(doc.Experiments, eb)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(enc, '\n'), 0o644)
 }

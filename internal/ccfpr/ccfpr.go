@@ -29,6 +29,11 @@ import (
 type Arbiter struct {
 	ring         ring.Ring
 	spatialReuse bool
+	// Reusable outcome scratch (see core.Outcome): the returned grant/deny
+	// slices stay valid only until the next Arbitrate call, which keeps the
+	// steady-state slot loop allocation-free.
+	grants []core.Grant
+	denied []int
 }
 
 // NewArbiter returns a CC-FPR arbiter for a ring of n nodes.
@@ -62,7 +67,7 @@ func (a *Arbiter) Ring() ring.Ring { return a.ring }
 func (a *Arbiter) Arbitrate(reqs []core.Request, curMaster int) core.Outcome {
 	n := a.ring.Nodes()
 	next := a.ring.Next(curMaster)
-	out := core.Outcome{Master: next}
+	grants, denied := a.grants[:0], a.denied[:0]
 	var used ring.LinkSet
 	booked := 0
 	for i := 1; i <= n; i++ {
@@ -76,14 +81,15 @@ func (a *Arbiter) Arbitrate(reqs []core.Request, curMaster int) core.Outcome {
 		case !a.spatialReuse && booked > 0,
 			!a.ring.Feasible(req.Node, req.Dests, next),
 			used.Overlaps(links):
-			out.Denied = append(out.Denied, req.Node)
+			denied = append(denied, req.Node)
 			continue
 		}
 		used = used.Union(links)
 		booked++
-		out.Grants = append(out.Grants, core.Grant{Node: req.Node, Dests: req.Dests, Links: links, MsgID: req.MsgID})
+		grants = append(grants, core.Grant{Node: req.Node, Dests: req.Dests, Links: links, MsgID: req.MsgID})
 	}
-	return out
+	a.grants, a.denied = grants, denied
+	return core.Outcome{Master: next, Grants: grants, Denied: denied}
 }
 
 var _ core.Protocol = (*Arbiter)(nil)

@@ -9,7 +9,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"ccredf/internal/ring"
 	"ccredf/internal/sched"
@@ -52,6 +53,12 @@ type Grant struct {
 
 // Outcome is the result of one arbitration round: the content of the
 // distribution-phase packet.
+//
+// Hot-path memory discipline: the Grants and Denied slices returned by the
+// arbiters in this repository alias per-arbiter scratch buffers and stay
+// valid only until the protocol's next Arbitrate call. Callers that retain an
+// outcome across rounds must copy the slices (the slot engine consumes each
+// outcome before the next round begins and needs no copy).
 type Outcome struct {
 	// Master is the node that will clock the coming slot (the
 	// highest-priority requester, or the previous master when no node
@@ -102,6 +109,15 @@ type Arbiter struct {
 	// per slot. The schedulability analysis never relies on it (Section 5),
 	// but at run time it "always results in positive effects".
 	spatialReuse bool
+	// Reusable per-round scratch: the request sort buffer and the outcome's
+	// grant/deny slices. Arbitrate runs once per slot for the lifetime of a
+	// simulation, so reusing these keeps the steady-state slot loop
+	// allocation-free. cmp is the comparison function bound once at
+	// construction (binding it per call would allocate a closure per round).
+	sorted []Request
+	grants []Grant
+	denied []int
+	cmp    func(x, y Request) int
 }
 
 // NewArbiter returns a CCR-EDF arbiter for a ring of n nodes.
@@ -110,7 +126,9 @@ func NewArbiter(n int, mode sched.MapMode, spatialReuse bool) (*Arbiter, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &Arbiter{ring: r, mode: mode, spatialReuse: spatialReuse}, nil
+	a := &Arbiter{ring: r, mode: mode, spatialReuse: spatialReuse}
+	a.cmp = a.compare
+	return a, nil
 }
 
 // Name implements Protocol.
@@ -133,20 +151,56 @@ func (a *Arbiter) Mode() sched.MapMode { return a.mode }
 // deadlines are compared at full resolution. Priority ties are resolved by
 // the node index, as in the paper ("the index of the node resolves the tie").
 func (a *Arbiter) higher(x, y Request) bool {
+	return a.compare(x, y) < 0
+}
+
+// compare is higher as a three-way comparison, extended into a strict total
+// order: with the secondary-request extension the same node contributes two
+// requests per round, and a node-index tie between them is broken by deadline
+// and then message ID — both ascending, which deterministically ranks a
+// node's primary (its queue head) ahead of its own secondary. Between
+// different nodes the order is exactly the paper's: priority, then node
+// index.
+func (a *Arbiter) compare(x, y Request) int {
 	if a.mode == sched.MapExact {
 		cx, cy := sched.PrioClass(x.Prio), sched.PrioClass(y.Prio)
 		if cx != cy {
-			return cx > cy
+			if cx > cy {
+				return -1
+			}
+			return 1
 		}
 		if x.Deadline != y.Deadline {
-			return x.Deadline < y.Deadline
+			if x.Deadline < y.Deadline {
+				return -1
+			}
+			return 1
 		}
-		return x.Node < y.Node
+	} else if x.Prio != y.Prio {
+		if x.Prio > y.Prio {
+			return -1
+		}
+		return 1
 	}
-	if x.Prio != y.Prio {
-		return x.Prio > y.Prio
+	if x.Node != y.Node {
+		if x.Node < y.Node {
+			return -1
+		}
+		return 1
 	}
-	return x.Node < y.Node
+	if x.Deadline != y.Deadline {
+		if x.Deadline < y.Deadline {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case x.MsgID < y.MsgID:
+		return -1
+	case x.MsgID > y.MsgID:
+		return 1
+	}
+	return 0
 }
 
 // Arbitrate implements Protocol. The master traverses the sorted request
@@ -156,20 +210,21 @@ func (a *Arbiter) higher(x, y Request) bool {
 // when spatial reuse is enabled, their segment is link-disjoint from every
 // earlier grant and their path avoids the new clock break.
 func (a *Arbiter) Arbitrate(reqs []Request, curMaster int) Outcome {
-	sorted := make([]Request, 0, len(reqs))
+	sorted := a.sorted[:0]
 	for _, r := range reqs {
 		if !r.Empty() {
 			sorted = append(sorted, r)
 		}
 	}
+	a.sorted = sorted
 	if len(sorted) == 0 {
 		// Nothing to send anywhere: the current master keeps clocking.
 		return Outcome{Master: curMaster}
 	}
-	sort.Slice(sorted, func(i, j int) bool { return a.higher(sorted[i], sorted[j]) })
+	slices.SortFunc(sorted, a.cmp)
 
 	master := sorted[0].Node
-	out := Outcome{Master: master}
+	grants, denied := a.grants[:0], a.denied[:0]
 	var used ring.LinkSet
 	var granted, requested ring.NodeSet
 	for i, r := range sorted {
@@ -189,15 +244,14 @@ func (a *Arbiter) Arbitrate(reqs []Request, curMaster int) Outcome {
 		}
 		used = used.Union(links)
 		granted = granted.Add(r.Node)
-		out.Grants = append(out.Grants, Grant{Node: r.Node, Dests: r.Dests, Links: links, MsgID: r.MsgID})
+		grants = append(grants, Grant{Node: r.Node, Dests: r.Dests, Links: links, MsgID: r.MsgID})
 	}
 	// A node is denied when none of its requests were granted.
-	for _, node := range requested.Nodes() {
-		if !granted.Contains(node) {
-			out.Denied = append(out.Denied, node)
-		}
+	for v := uint64(requested &^ granted); v != 0; v &= v - 1 {
+		denied = append(denied, bits.TrailingZeros64(v))
 	}
-	return out
+	a.grants, a.denied = grants, denied
+	return Outcome{Master: master, Grants: grants, Denied: denied}
 }
 
 var _ Protocol = (*Arbiter)(nil)

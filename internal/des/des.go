@@ -28,6 +28,7 @@ type Event struct {
 	index     int // heap index, -1 when not queued
 	fn        Handler
 	cancelled bool
+	pooled    bool // scheduled via Post: recycled after firing
 	sim       *Simulator
 }
 
@@ -57,6 +58,7 @@ type Simulator struct {
 	executed uint64
 	running  bool
 	stopped  bool
+	free     []*Event // recycled Post events
 }
 
 // New returns a fresh Simulator with the clock at zero.
@@ -93,6 +95,43 @@ func (s *Simulator) After(d timing.Time, fn Handler) *Event {
 	return s.At(s.now+d, fn)
 }
 
+// Post schedules fn at absolute time t like At, but returns no handle: the
+// event cannot be cancelled and its bookkeeping is recycled through a free
+// list once it fires. A steady-state caller (the slot engine schedules a
+// handful of events per slot, forever) therefore allocates nothing after the
+// free list has warmed up. Ordering is identical to At — Post and At events
+// share one (time, scheduling-order) queue.
+func (s *Simulator) Post(t timing.Time, fn Handler) {
+	if t < s.now {
+		panic(fmt.Errorf("%w: at %v, now %v", ErrPast, t, s.now))
+	}
+	var ev *Event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*ev = Event{when: t, seq: s.seq, fn: fn, pooled: true, sim: s}
+	} else {
+		ev = &Event{when: t, seq: s.seq, fn: fn, pooled: true, sim: s}
+	}
+	s.seq++
+	heap.Push(&s.queue, ev)
+}
+
+// PostAfter schedules fn to run d after the current time, with Post's
+// pooled, non-cancellable semantics.
+func (s *Simulator) PostAfter(d timing.Time, fn Handler) {
+	s.Post(s.now+d, fn)
+}
+
+// recycle returns a fired Post event to the free list. The event's handler is
+// extracted by the caller first, so the recycled slot may be reused by
+// whatever that handler schedules.
+func (s *Simulator) recycle(ev *Event) {
+	ev.fn = nil
+	s.free = append(s.free, ev)
+}
+
 // Stop makes Run return after the currently executing event completes.
 func (s *Simulator) Stop() { s.stopped = true }
 
@@ -118,7 +157,12 @@ func (s *Simulator) Run(horizon timing.Time) uint64 {
 			continue
 		}
 		s.now = next.when
-		next.fn(s.now)
+		fn := next.fn
+		if next.pooled {
+			// Recycle before running: fn's own Posts may reuse the slot.
+			s.recycle(next)
+		}
+		fn(s.now)
 		s.executed++
 		n++
 	}
@@ -142,7 +186,11 @@ func (s *Simulator) Step() bool {
 			continue
 		}
 		s.now = next.when
-		next.fn(s.now)
+		fn := next.fn
+		if next.pooled {
+			s.recycle(next)
+		}
+		fn(s.now)
 		s.executed++
 		return true
 	}

@@ -1,0 +1,131 @@
+package des
+
+import (
+	"testing"
+
+	"ccredf/internal/timing"
+)
+
+func TestPostOrdersWithAt(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(20, func(timing.Time) { got = append(got, 2) })
+	s.Post(10, func(timing.Time) { got = append(got, 1) })
+	s.Post(30, func(timing.Time) { got = append(got, 3) })
+	s.At(5, func(timing.Time) { got = append(got, 0) })
+	s.RunAll()
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPostTiesFIFOAcrossKinds(t *testing.T) {
+	// Post and At share one (time, scheduling-order) queue: same-time events
+	// fire in the order they were scheduled, regardless of kind.
+	s := New()
+	var got []int
+	s.Post(10, func(timing.Time) { got = append(got, 0) })
+	s.At(10, func(timing.Time) { got = append(got, 1) })
+	s.Post(10, func(timing.Time) { got = append(got, 2) })
+	s.At(10, func(timing.Time) { got = append(got, 3) })
+	s.RunAll()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestPostAfterSchedulesRelative(t *testing.T) {
+	s := New()
+	var fired timing.Time
+	s.Post(100, func(timing.Time) {
+		s.PostAfter(50, func(now timing.Time) { fired = now })
+	})
+	s.RunAll()
+	if fired != 150 {
+		t.Fatalf("PostAfter fired at %v, want 150", fired)
+	}
+}
+
+func TestPostInPastPanics(t *testing.T) {
+	s := New()
+	s.Post(100, func(timing.Time) {})
+	s.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Post in the past did not panic")
+		}
+	}()
+	s.Post(50, func(timing.Time) {})
+}
+
+func TestPostRecyclesEvents(t *testing.T) {
+	// A self-rescheduling Post chain must reuse one pooled Event: the slot is
+	// recycled before the handler runs, so the handler's own Post takes it.
+	s := New()
+	n := 0
+	var tick Handler
+	tick = func(timing.Time) {
+		n++
+		if n < 1000 {
+			s.PostAfter(1, tick)
+		}
+	}
+	s.Post(0, tick)
+	s.RunAll()
+	if n != 1000 {
+		t.Fatalf("executed %d events, want 1000", n)
+	}
+	if len(s.free) != 1 {
+		t.Fatalf("free list holds %d events, want 1 (one slot recycled forever)", len(s.free))
+	}
+}
+
+func TestPostDoesNotDisturbCancel(t *testing.T) {
+	// At events stay cancellable while pooled Post events churn around them.
+	s := New()
+	var fired bool
+	ev := s.At(100, func(timing.Time) { fired = true })
+	for i := timing.Time(1); i <= 10; i++ {
+		s.Post(i, func(timing.Time) {})
+	}
+	s.Run(50)
+	ev.Cancel()
+	s.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+}
+
+func TestPostInterleavedDeterminism(t *testing.T) {
+	// Two identical schedules mixing At, Cancel and Post must execute in the
+	// identical order — the reproducibility contract of the kernel.
+	run := func() []int {
+		s := New()
+		var got []int
+		rec := func(v int) Handler { return func(timing.Time) { got = append(got, v) } }
+		s.Post(10, rec(0))
+		e := s.At(10, rec(99))
+		s.Post(10, rec(1))
+		e.Cancel()
+		s.Post(5, func(timing.Time) { s.PostAfter(5, rec(2)) })
+		s.RunAll()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) != 3 {
+		t.Fatalf("runs differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs differ: %v vs %v", a, b)
+		}
+	}
+}

@@ -45,7 +45,7 @@ func runE1(o Options) (*Result, error) {
 				conns++
 			}
 		}
-		runFor(net, o.horizon(4000))
+		runFor(r, net, o.horizon(4000))
 		mt := net.Metrics()
 		tab.AddRow(s, conns, net.Admission().Utilisation(),
 			mt.MessagesDelivered.Value(), mt.NetDeadlineMisses.Value(), mt.UserDeadlineMisses.Value())
@@ -87,14 +87,14 @@ func runE2(o Options) (*Result, error) {
 			return nil, err
 		}
 		build(edf, u, o.Seed+21)
-		runFor(edf, horizon)
+		runFor(r, edf, horizon)
 
 		fpr, err := newFPR(p, true, nil)
 		if err != nil {
 			return nil, err
 		}
 		build(fpr, u, o.Seed+21)
-		runFor(fpr, horizon)
+		runFor(r, fpr, horizon)
 
 		em, et := edf.Metrics().NetDeadlineMisses.Value(), edf.Metrics().MessagesDelivered.Value()
 		fm, ft := fpr.Metrics().NetDeadlineMisses.Value(), fpr.Metrics().MessagesDelivered.Value()
@@ -145,7 +145,7 @@ func runE3(o Options) (*Result, error) {
 				Dest: pat.pick,
 			}.Attach(net, src.Split())
 		}
-		runFor(net, horizon)
+		runFor(r, net, horizon)
 		mt := net.Metrics()
 		reuse := mt.SpatialReuseFactor()
 		grantsPerSlot := stats.Ratio(mt.Grants.Value(), mt.SlotsWithData.Value())
@@ -186,7 +186,7 @@ func runE4(o Options) (*Result, error) {
 				return nil, err
 			}
 		}
-		runFor(net, horizon)
+		runFor(r, net, horizon)
 		mt := net.Metrics()
 		slots := mt.Slots.Value()
 		meanGap := timing.Time(0)
@@ -234,7 +234,7 @@ func runE5(o Options) (*Result, error) {
 				RelDeadline: 500 * p.SlotTime(), Dest: traffic.UniformDest,
 			}.Attach(net, src.Split())
 		}
-		runFor(net, horizon)
+		runFor(r, net, horizon)
 		mt := net.Metrics()
 		be := mt.Latency[sched.ClassBestEffort]
 		tab.AddRow(u, be.Count(), be.Quantile(0.5).String(), be.Quantile(0.99).String(),

@@ -37,7 +37,7 @@ func runE7(o Options) (*Result, error) {
 			to := (from + 1 + src.Intn(p.Nodes-1)) % p.Nodes
 			net.OpenConnection(sched.Connection{Src: from, Dests: ring.Node(to), Period: period, Slots: slots})
 		}
-		runFor(net, horizon)
+		runFor(r, net, horizon)
 		mt := net.Metrics()
 		rt := mt.Latency[sched.ClassRealTime]
 		tab.AddRow(mode.String(), mt.MessagesDelivered.Value(), mt.NetDeadlineMisses.Value(),
@@ -109,7 +109,7 @@ func runE8(o Options) (*Result, error) {
 			for _, m := range members.Nodes() {
 				red.Contribute(m, int64(m), nil)
 			}
-			runFor(net, o.horizon(int64(rounds)*int64(n)*20))
+			runFor(r, net, o.horizon(int64(rounds)*int64(n)*20))
 
 			hist := stats.NewHistogram()
 			for _, l := range bar.Latency {
@@ -157,7 +157,7 @@ func runE9(o Options) (*Result, error) {
 				MeanInterarrival: 10 * p.SlotTime(), Slots: 4,
 				RelDeadline: 2000 * p.SlotTime(), Dest: traffic.UniformDest,
 			}.Attach(net, src)
-			runFor(net, horizon)
+			runFor(r, net, horizon)
 			mt := net.Metrics()
 			ratio := stats.Ratio(mt.MessagesDelivered.Value(), *sent)
 			tab.AddRow(loss, reliable, mt.MessagesDelivered.Value(), mt.MessagesLost.Value(),
@@ -212,7 +212,7 @@ func runE11(o Options) (*Result, error) {
 	}
 	a, _ := net.SubmitMessage(sched.ClassRealTime, 0, ring.NodeSetOf(1, 2, 3), 1, timing.Millisecond)
 	b, _ := net.SubmitMessage(sched.ClassRealTime, 4, ring.NodeSetOf(5, 6, 7), 1, timing.Millisecond)
-	runFor(net, 20)
+	runFor(r, net, 20)
 	disjointSlots := net.Metrics().SlotsWithData.Value()
 	r.check(a.Delivered == 1 && b.Delivered == 1, "disjoint multicasts not delivered")
 	r.check(disjointSlots == 1, "disjoint multicasts used %d slots, want 1", disjointSlots)
@@ -224,7 +224,7 @@ func runE11(o Options) (*Result, error) {
 	}
 	c, _ := net2.SubmitMessage(sched.ClassRealTime, 0, ring.NodeSetOf(1, 2, 3, 4, 5), 1, timing.Millisecond)
 	d, _ := net2.SubmitMessage(sched.ClassRealTime, 3, ring.NodeSetOf(4, 5, 6), 1, timing.Millisecond)
-	runFor(net2, 20)
+	runFor(r, net2, 20)
 	overlapSlots := net2.Metrics().SlotsWithData.Value()
 	r.check(c.Delivered == 1 && d.Delivered == 1, "overlapping multicasts not delivered")
 	r.check(overlapSlots == 2, "overlapping multicasts used %d slots, want 2", overlapSlots)
@@ -264,7 +264,7 @@ func runE12(o Options) (*Result, error) {
 	net.At(70*(p.SlotTime()+p.MaxHandoverTime()), func(timing.Time) {
 		sur, surErr = net.OpenConnection(sched.Connection{Src: 5, Dests: ring.Node(7), Period: 10 * p.SlotTime(), Slots: 1})
 	})
-	runFor(net, o.horizon(2000))
+	runFor(r, net, o.horizon(2000))
 	if surErr != nil {
 		return nil, surErr
 	}

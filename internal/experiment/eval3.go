@@ -69,7 +69,7 @@ func runE13(o Options) (*Result, error) {
 				return nil, err
 			}
 		}
-		runFor(net, horizon)
+		runFor(r, net, horizon)
 		mt := net.Metrics()
 		rt := mt.Latency[sched.ClassRealTime]
 		tab.AddRow(pc.name, mt.MessagesDelivered.Value(), mt.NetDeadlineMisses.Value(),
@@ -118,7 +118,7 @@ func runE14(o Options) (*Result, error) {
 				RelDeadline: 1000 * p.SlotTime(), Dest: traffic.NeighbourDest,
 			}.Attach(net, src.Split())
 		}
-		runFor(net, horizon)
+		runFor(r, net, horizon)
 		mt := net.Metrics()
 		rt := mt.Latency[sched.ClassRealTime]
 		be := mt.Latency[sched.ClassBestEffort]
@@ -174,7 +174,7 @@ func runE15(o Options) (*Result, error) {
 			MeanInterarrival: 10 * p.SlotTime(), Slots: 1,
 			RelDeadline: 500 * p.SlotTime(),
 		}.Attach(net, src.Split())
-		runFor(net, horizon)
+		runFor(r, net, horizon)
 		mt := net.Metrics()
 		missRate.Add(stats.Ratio(mt.UserDeadlineMisses.Value(), mt.MessagesDelivered.Value()))
 		reuseFactor.Add(mt.SpatialReuseFactor())

@@ -49,7 +49,7 @@ func runE16(o Options) (*Result, error) {
 				RelDeadline: 2000 * p.SlotTime(), Dest: traffic.UniformDest,
 			}.Attach(net, src.Split())
 		}
-		runFor(net, horizon)
+		runFor(r, net, horizon)
 		m := net.Metrics()
 		shares := m.SentShares()
 		jain := stats.JainIndex(shares)
@@ -113,7 +113,7 @@ func runE17(o Options) (*Result, error) {
 				RelDeadline: 8000 * p.SlotTime(), Dest: traffic.NeighbourDest,
 			}.Attach(net, src.Split())
 		}
-		runFor(net, horizon)
+		runFor(r, net, horizon)
 		m := net.Metrics()
 		grantRate[i] = stats.Ratio(m.Grants.Value(), m.SlotsWithData.Value())
 		bits := p.CollectionBits()

@@ -58,7 +58,7 @@ func runE18(o Options) (*Result, error) {
 				RelDeadline: 400 * p.SlotTime(),
 			}.Attach(net, src.Split())
 		}
-		runFor(net, horizon)
+		runFor(r, net, horizon)
 		cs, ok := net.ConnStats(watch.ID)
 		if !ok || cs.Jitter.Count() == 0 {
 			r.check(false, "%s recorded no jitter samples", b.name)

@@ -38,7 +38,7 @@ func runE20(o Options) (*Result, error) {
 			return nil, err
 		}
 	}
-	runFor(net, o.horizon(3000))
+	runFor(r, net, o.horizon(3000))
 
 	var starts []trace.Record
 	for _, rec := range tr.Records() {

@@ -63,6 +63,10 @@ type Result struct {
 	Pass bool
 	// Failures lists the validations that did not hold.
 	Failures []string
+	// Slots counts the network slots executed across all of the
+	// experiment's simulations — the denominator for the per-slot
+	// benchmark figures ccr-bench -json reports.
+	Slots int64
 }
 
 func (r *Result) check(ok bool, format string, args ...any) {
@@ -180,9 +184,12 @@ func newFPR(p timing.Params, reuse bool, mut func(*network.Config)) (*network.Ne
 	return net, nil
 }
 
-// runFor advances net by the given number of worst-case slot periods.
-func runFor(net *network.Network, slots int64) {
+// runFor advances net by the given number of worst-case slot periods and
+// accounts the slots actually executed to the experiment result.
+func runFor(r *Result, net *network.Network, slots int64) {
+	before := net.Metrics().Slots.Value()
 	net.RunSlots(slots)
+	r.Slots += net.Metrics().Slots.Value() - before
 }
 
 // missRatio is a convenience for ratio columns.

@@ -138,7 +138,7 @@ func runP3(o Options) (*Result, error) {
 			Period: timing.Time(5+src.Intn(10)) * p.SlotTime(), Slots: 1,
 		})
 	}
-	runFor(net, o.horizon(2000))
+	runFor(r, net, o.horizon(2000))
 
 	var starts []trace.Record
 	for _, rec := range tr.Records() {
@@ -227,7 +227,7 @@ func runP5(o Options) (*Result, error) {
 			net.OpenConnection(sched.Connection{Src: from, Dests: ring.Node(to), Period: period, Slots: slots})
 		}
 		u := net.Admission().Utilisation()
-		runFor(net, o.horizon(3000))
+		runFor(r, net, o.horizon(3000))
 		mt := net.Metrics()
 		tab.AddRow(s, u, mt.MessagesDelivered.Value(), maxLat.String(),
 			worstSlack.String(), mt.UserDeadlineMisses.Value())
@@ -294,7 +294,7 @@ func runP7(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	runFor(net, 20)
+	runFor(r, net, 20)
 	mt := net.Metrics()
 	r.check(a.Delivered == 1, "single-destination packet not delivered")
 	r.check(b.Delivered == 1, "multicast packet not delivered")

@@ -1,0 +1,58 @@
+package network
+
+import (
+	"testing"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/stats"
+	"ccredf/internal/timing"
+)
+
+// TestConnectionlessMessageNeverTouchesConnStats is the regression test for
+// the conns-lookup ordering in deliver and sample: both paths used to index
+// the conns map with m.Conn BEFORE checking the Conn == 0 "connectionless"
+// sentinel. The map lookup with key 0 is harmless only as long as no entry
+// ever sits under key 0 — this test plants one and checks that connectionless
+// traffic (delivered or late-dropped) leaves it untouched.
+func TestConnectionlessMessageNeverTouchesConnStats(t *testing.T) {
+	t.Run("late drop", func(t *testing.T) {
+		net := newEDF(t, 8, sched.Map5Bit, true, func(c *Config) { c.DropLate = true })
+		planted := &connState{
+			stats:  &ConnStats{Latency: stats.NewHistogram(), Jitter: stats.NewHistogram()},
+			active: true,
+		}
+		net.conns[0] = planted
+		// A connectionless RT message that is already late at sampling time:
+		// it is dropped in sample's dropped-message loop, the path that
+		// charges deadline misses to the owning connection.
+		if _, err := net.SubmitMessage(sched.ClassRealTime, 1, ring.Node(4), 1, timing.Picosecond); err != nil {
+			t.Fatal(err)
+		}
+		net.RunSlots(8)
+		if net.Metrics().LateDrops.Value() == 0 {
+			t.Fatal("scenario did not exercise the late-drop path")
+		}
+		if planted.stats.NetMisses != 0 || planted.stats.UserMisses != 0 {
+			t.Fatalf("late-dropped connectionless message charged conns[0]: %+v", planted.stats)
+		}
+	})
+	t.Run("delivery", func(t *testing.T) {
+		net := newEDF(t, 8, sched.Map5Bit, true, nil)
+		planted := &connState{
+			stats:  &ConnStats{Latency: stats.NewHistogram(), Jitter: stats.NewHistogram()},
+			active: true,
+		}
+		net.conns[0] = planted
+		if _, err := net.SubmitMessage(sched.ClassRealTime, 1, ring.Node(4), 1, timing.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		net.Run(timing.Millisecond)
+		if net.Metrics().MessagesDelivered.Value() != 1 {
+			t.Fatal("scenario did not deliver the message")
+		}
+		if planted.stats.Delivered != 0 || planted.stats.Latency.Count() != 0 {
+			t.Fatalf("delivered connectionless message charged conns[0]: %+v", planted.stats)
+		}
+	})
+}

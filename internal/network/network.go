@@ -158,6 +158,9 @@ type ConnStats struct {
 type connState struct {
 	stats  *ConnStats
 	active bool
+	// release is the periodic release handler, bound once at connection
+	// start so each period's rescheduling allocates no closure.
+	release des.Handler
 }
 
 // Network is one simulated CCR-EDF (or CC-FPR) ring.
@@ -180,11 +183,64 @@ type Network struct {
 	sampled2  []core.Request // secondary requests (extension), may be nil
 	next      core.Outcome   // arbitration result awaiting slot end
 
+	// Hot-path memory discipline (DESIGN.md §9): the slot loop reuses all of
+	// its per-round storage. sampledSpare/sampled2Spare double-buffer the
+	// request slates (arbitrate swaps and resets in place, so the slate an
+	// arbitration event exposed stays intact until the next round), combined
+	// is the 2N scratch for the secondary-request extension, the handler
+	// fields are the per-slot des handlers bound once at construction
+	// (binding per schedule would allocate a closure per event), and
+	// freeDeliveries pools the in-flight fragment-delivery events.
+	sampledSpare   []core.Request
+	sampled2Spare  []core.Request
+	combined       []core.Request
+	sampleFns      []des.Handler
+	arbitrateFn    des.Handler
+	endSlotFn      des.Handler
+	startSlotFn    des.Handler
+	freeDeliveries *delivery
+
 	msgSeq    int64
 	conns     map[int]*connState
 	deadNode  int
 	onDeliver []func(*sched.Message, timing.Time)
 	pipe      obs.Pipeline
+}
+
+// delivery is a pooled in-flight fragment: the des event payload for the
+// arrival of one granted transmission. fire is bound into fn once, when the
+// pool entry is first created, so scheduling a delivery in steady state
+// allocates nothing.
+type delivery struct {
+	n    *Network
+	m    *sched.Message
+	g    core.Grant
+	fn   des.Handler
+	next *delivery
+}
+
+// newDelivery takes a pooled delivery (or grows the pool) and arms it.
+func (n *Network) newDelivery(m *sched.Message, g core.Grant) *delivery {
+	d := n.freeDeliveries
+	if d == nil {
+		d = &delivery{n: n}
+		d.fn = d.fire
+	} else {
+		n.freeDeliveries = d.next
+	}
+	d.m, d.g = m, g
+	return d
+}
+
+// fire releases the delivery back to the pool and completes the fragment.
+// The pool release happens first so the deliver path (which may grant, emit
+// and schedule further work) can reuse the slot.
+func (d *delivery) fire(now timing.Time) {
+	n, m, g := d.n, d.m, d.g
+	d.m = nil
+	d.next = n.freeDeliveries
+	n.freeDeliveries = d
+	n.deliver(m, g, now)
 }
 
 // New builds a network. The configuration must carry valid Params and a
@@ -213,35 +269,50 @@ func New(cfg Config) (*Network, error) {
 		return nil, fmt.Errorf("network: designated node %d outside ring", cfg.DesignatedNode)
 	}
 	n := &Network{
-		cfg:      cfg,
-		params:   cfg.Params,
-		sim:      des.New(),
-		r:        r,
-		proto:    cfg.Protocol,
-		adm:      sched.NewAdmission(cfg.Params),
-		rnd:      rng.New(cfg.Seed),
-		metrics:  newMetrics(r.Nodes()),
-		sampled:  make([]core.Request, r.Nodes()),
-		conns:    make(map[int]*connState),
-		deadNode: -1,
+		cfg:          cfg,
+		params:       cfg.Params,
+		sim:          des.New(),
+		r:            r,
+		proto:        cfg.Protocol,
+		adm:          sched.NewAdmission(cfg.Params),
+		rnd:          rng.New(cfg.Seed),
+		metrics:      newMetrics(r.Nodes()),
+		sampled:      make([]core.Request, r.Nodes()),
+		sampledSpare: make([]core.Request, r.Nodes()),
+		conns:        make(map[int]*connState),
+		deadNode:     -1,
 	}
 	if cfg.SecondaryRequests {
 		n.sampled2 = make([]core.Request, r.Nodes())
+		n.sampled2Spare = make([]core.Request, r.Nodes())
+		n.combined = make([]core.Request, 0, 2*r.Nodes())
 	}
+	n.sampleFns = make([]des.Handler, r.Nodes())
 	for i := 0; i < r.Nodes(); i++ {
-		n.nodes = append(n.nodes, node.New(i))
+		nd := node.New(i)
+		if cfg.SecondaryRequests {
+			nd.EnableSecondaryIndex(r)
+		}
+		n.nodes = append(n.nodes, nd)
 		n.sampled[i].Node = i
+		n.sampledSpare[i].Node = i
 		if n.sampled2 != nil {
 			n.sampled2[i].Node = i
+			n.sampled2Spare[i].Node = i
 		}
+		i := i
+		n.sampleFns[i] = func(t timing.Time) { n.sample(i, t) }
 	}
+	n.arbitrateFn = n.arbitrate
+	n.endSlotFn = n.endSlot
+	n.startSlotFn = n.startSlot
 	// Built-in accounting subscribes first so Metrics always fills; the
 	// caller's observers follow in the order given.
 	n.pipe.Attach(&metricsObserver{m: n.metrics, payload: cfg.Params.SlotPayloadBytes})
 	for _, o := range cfg.Observers {
 		n.pipe.Attach(o)
 	}
-	n.sim.At(0, n.startSlot)
+	n.sim.Post(0, n.startSlotFn)
 	return n, nil
 }
 
@@ -249,11 +320,12 @@ func New(cfg Config) (*Network, error) {
 func (n *Network) Now() timing.Time { return n.sim.Now() }
 
 // At schedules fn at absolute simulated time t (for traffic generators and
-// services).
-func (n *Network) At(t timing.Time, fn func(timing.Time)) { n.sim.At(t, fn) }
+// services). The event bookkeeping is pooled (des.Post): callers never see a
+// handle, so nothing is lost by making it non-cancellable.
+func (n *Network) At(t timing.Time, fn func(timing.Time)) { n.sim.Post(t, fn) }
 
 // After schedules fn d after the current time.
-func (n *Network) After(d timing.Time, fn func(timing.Time)) { n.sim.After(d, fn) }
+func (n *Network) After(d timing.Time, fn func(timing.Time)) { n.sim.PostAfter(d, fn) }
 
 // Run advances the simulation to the given absolute time.
 func (n *Network) Run(until timing.Time) { n.sim.Run(until) }
@@ -344,13 +416,20 @@ func (n *Network) OpenConnection(c sched.Connection) (sched.Connection, error) {
 	if err != nil {
 		return sched.Connection{}, err
 	}
+	n.startConn(admitted)
+	return admitted, nil
+}
+
+// startConn registers the connection's state and releases its first message.
+func (n *Network) startConn(c sched.Connection) {
 	cs := &connState{
-		stats:  &ConnStats{Conn: admitted, Latency: stats.NewHistogram(), Jitter: stats.NewHistogram()},
+		stats:  &ConnStats{Conn: c, Latency: stats.NewHistogram(), Jitter: stats.NewHistogram()},
 		active: true,
 	}
-	n.conns[admitted.ID] = cs
-	n.releaseConnMessage(admitted.ID)
-	return admitted, nil
+	id := c.ID
+	cs.release = func(timing.Time) { n.releaseConnMessage(id) }
+	n.conns[id] = cs
+	n.releaseConnMessage(id)
 }
 
 // StartAdmitted begins the periodic stream of a connection that the
@@ -365,12 +444,7 @@ func (n *Network) StartAdmitted(c sched.Connection) error {
 	if _, exists := n.conns[c.ID]; exists {
 		return fmt.Errorf("network: connection %d already started", c.ID)
 	}
-	cs := &connState{
-		stats:  &ConnStats{Conn: stored, Latency: stats.NewHistogram(), Jitter: stats.NewHistogram()},
-		active: true,
-	}
-	n.conns[stored.ID] = cs
-	n.releaseConnMessage(stored.ID)
+	n.startConn(stored)
 	return nil
 }
 
@@ -382,12 +456,7 @@ func (n *Network) ForceConnection(c sched.Connection) (sched.Connection, error) 
 	if err != nil {
 		return sched.Connection{}, err
 	}
-	cs := &connState{
-		stats:  &ConnStats{Conn: admitted, Latency: stats.NewHistogram(), Jitter: stats.NewHistogram()},
-		active: true,
-	}
-	n.conns[admitted.ID] = cs
-	n.releaseConnMessage(admitted.ID)
+	n.startConn(admitted)
 	return admitted, nil
 }
 
@@ -444,7 +513,7 @@ func (n *Network) releaseConnMessage(id int) {
 	if err := n.nodes[c.Src].Enqueue(m); err == nil {
 		cs.stats.Released++
 	}
-	n.sim.After(c.Period, func(timing.Time) { n.releaseConnMessage(id) })
+	n.sim.PostAfter(c.Period, cs.release)
 }
 
 // startSlot begins slot n.slot at the current time: grants decided during
@@ -483,13 +552,13 @@ func (n *Network) startSlot(now timing.Time) {
 			prop = n.params.RingPropagation() // full loop back to the master
 		}
 		at := now + timing.Time(i)*n.params.NodeControlDelay() + prop
-		n.sim.At(at, func(t timing.Time) { n.sample(idx, t) })
+		n.sim.Post(at, n.sampleFns[idx])
 	}
 	// The master holds the completed packet after Equation 2's minimum
 	// collection time and arbitrates.
-	n.sim.At(now+n.params.MinSlotLength(), n.arbitrate)
+	n.sim.Post(now+n.params.MinSlotLength(), n.arbitrateFn)
 	// The slot ends one payload time after it started.
-	n.sim.At(now+n.params.SlotTime(), n.endSlot)
+	n.sim.Post(now+n.params.SlotTime(), n.endSlotFn)
 }
 
 // transmit delivers (or loses) one granted fragment.
@@ -510,8 +579,9 @@ func (n *Network) transmit(m *sched.Message, g core.Grant, slotBegin timing.Time
 		if n.cfg.Reliable {
 			// The sender notices the missing acknowledgement in the
 			// distribution packet of the slot after the arrival slot and
-			// requeues the fragment.
-			n.sim.At(arrival+n.params.SlotTime(), func(t timing.Time) {
+			// requeues the fragment. (A closure per loss is fine: losses are
+			// injected faults, not the steady-state path.)
+			n.sim.Post(arrival+n.params.SlotTime(), func(t timing.Time) {
 				n.pipe.Emit(obs.Event{
 					Kind: obs.KindRetransmit, Time: t, Slot: n.slot, Node: m.Src, Msg: m, Grant: g,
 				})
@@ -527,7 +597,7 @@ func (n *Network) transmit(m *sched.Message, g core.Grant, slotBegin timing.Time
 		}
 		return
 	}
-	n.sim.At(arrival, func(t timing.Time) { n.deliver(m, g, t) })
+	n.sim.Post(arrival, n.newDelivery(m, g).fn)
 }
 
 // deliver completes one fragment and, when it is the last, the message.
@@ -563,23 +633,27 @@ func (n *Network) deliver(m *sched.Message, g core.Grant, now timing.Time) {
 			})
 		}
 	}
-	if cs, ok := n.conns[m.Conn]; ok && m.Conn != 0 {
-		cs.stats.Delivered++
-		cs.stats.Latency.Observe(latency)
-		if cs.stats.lastDelivery > 0 {
-			gap := now - cs.stats.lastDelivery
-			wobble := gap - cs.stats.Conn.Period
-			if wobble < 0 {
-				wobble = -wobble
+	// Conn == 0 is the "connectionless" sentinel, never a map key: check it
+	// before indexing so a stray zero entry in conns can't absorb stats.
+	if m.Conn != 0 {
+		if cs, ok := n.conns[m.Conn]; ok {
+			cs.stats.Delivered++
+			cs.stats.Latency.Observe(latency)
+			if cs.stats.lastDelivery > 0 {
+				gap := now - cs.stats.lastDelivery
+				wobble := gap - cs.stats.Conn.Period
+				if wobble < 0 {
+					wobble = -wobble
+				}
+				cs.stats.Jitter.Observe(wobble)
 			}
-			cs.stats.Jitter.Observe(wobble)
-		}
-		cs.stats.lastDelivery = now
-		if now > m.Deadline {
-			cs.stats.NetMisses++
-		}
-		if now > m.Deadline+n.params.WorstCaseLatency() {
-			cs.stats.UserMisses++
+			cs.stats.lastDelivery = now
+			if now > m.Deadline {
+				cs.stats.NetMisses++
+			}
+			if now > m.Deadline+n.params.WorstCaseLatency() {
+				cs.stats.UserMisses++
+			}
 		}
 	}
 	for _, fn := range n.onDeliver {
@@ -603,9 +677,11 @@ func (n *Network) sample(idx int, now timing.Time) {
 		n.pipe.Emit(obs.Event{Kind: obs.KindLateDrop, Time: now, Slot: n.slot, Node: idx, Msg: m})
 		n.pipe.Emit(obs.Event{Kind: obs.KindDeadlineMiss, Time: now, Slot: n.slot, Node: idx, Msg: m})
 		n.pipe.Emit(obs.Event{Kind: obs.KindDeadlineMiss, User: true, Time: now, Slot: n.slot, Node: idx, Msg: m})
-		if cs, ok := n.conns[m.Conn]; ok && m.Conn != 0 {
-			cs.stats.NetMisses++
-			cs.stats.UserMisses++
+		if m.Conn != 0 { // sentinel check first; see deliver
+			if cs, ok := n.conns[m.Conn]; ok {
+				cs.stats.NetMisses++
+				cs.stats.UserMisses++
+			}
 		}
 	}
 }
@@ -616,25 +692,30 @@ func (n *Network) arbitrate(now timing.Time) {
 	if n.sampled2 != nil {
 		// Extension: append the secondary requests after the primaries;
 		// indices 0..N−1 keep the per-node layout baseline protocols use.
-		reqs = append(append(make([]core.Request, 0, 2*len(n.sampled)), n.sampled...), n.sampled2...)
+		// combined is network-owned scratch, rebuilt in place every round.
+		n.combined = append(append(n.combined[:0], n.sampled...), n.sampled2...)
+		reqs = n.combined
 	}
 	n.next = n.proto.Arbitrate(reqs, n.master)
 	// One event carries the whole round: the sampled requests and the full
 	// outcome. The codec verifiers, the invariant checker and the tracer
-	// all subscribe to it.
+	// all subscribe to it. Requests aliases network-owned scratch that stays
+	// intact only until the next arbitration — observers retaining it must
+	// copy (DESIGN.md §9).
 	n.pipe.Emit(obs.Event{
 		Kind: obs.KindArbitration, Time: now, Slot: n.slot,
 		Node: n.master, Peer: n.next.Master, Outcome: &n.next, Requests: reqs,
 	})
-	// Fresh request slate for the next collection round.
-	n.sampled = make([]core.Request, n.r.Nodes())
+	// Swap in the spare slate for the next collection round, resetting it in
+	// place. The slate just emitted stays untouched until the round after.
+	n.sampled, n.sampledSpare = n.sampledSpare, n.sampled
 	for i := range n.sampled {
-		n.sampled[i].Node = i
+		n.sampled[i] = core.Request{Node: i}
 	}
 	if n.sampled2 != nil {
-		n.sampled2 = make([]core.Request, n.r.Nodes())
+		n.sampled2, n.sampled2Spare = n.sampled2Spare, n.sampled2
 		for i := range n.sampled2 {
-			n.sampled2[i].Node = i
+			n.sampled2[i] = core.Request{Node: i}
 		}
 	}
 }
@@ -649,7 +730,7 @@ func (n *Network) endSlot(now timing.Time) {
 		n.deadNode = newMaster
 		n.pipe.Emit(obs.Event{Kind: obs.KindMasterLoss, Time: now, Slot: n.slot, Node: newMaster})
 		timeout := timing.Time(n.cfg.RecoveryTimeoutSlots) * n.params.SlotTime()
-		n.sim.At(now+timeout, func(t timing.Time) {
+		n.sim.Post(now+timeout, func(t timing.Time) {
 			n.master = n.cfg.DesignatedNode
 			if n.master == n.deadNode {
 				n.master = n.r.Next(n.master)
@@ -671,5 +752,5 @@ func (n *Network) endSlot(now timing.Time) {
 	n.master = newMaster
 	n.pending = n.next
 	n.slot++
-	n.sim.At(now+gap, n.startSlot)
+	n.sim.Post(now+gap, n.startSlotFn)
 }

@@ -131,6 +131,45 @@ func TestSecondaryExtensionFullRun(t *testing.T) {
 	}
 }
 
+// TestSecondaryFilterGrantRateNoWorse guards the segment-overlap bugfix from
+// the throughput side: the stricter strict-subset-segment filter only drops
+// adverts that arbitration could never have granted anyway, so a saturated
+// ring with the extension must still execute at least as many grants per
+// horizon as the baseline without it.
+func TestSecondaryFilterGrantRateNoWorse(t *testing.T) {
+	run := func(secondary bool) int64 {
+		net, _ := newSecondaryNet(t, secondary)
+		// A deep backlog of alternating far/near messages at every node: the
+		// queue never drains within the horizon, heads mix spans, and (with
+		// the extension) a shorter-segment secondary rides behind every far
+		// head.
+		for i := 0; i < 8; i++ {
+			far := ring.Node((i + 5) % 8)
+			near := ring.Node((i + 1) % 8)
+			for j := 0; j < 40; j++ {
+				if _, err := net.SubmitMessage(sched.ClassBestEffort, i, far, 1, 0); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := net.SubmitMessage(sched.ClassBestEffort, i, near, 1, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		net.RunSlots(100)
+		if net.QueueDepth() == 0 {
+			t.Fatal("backlog drained; grant counts would saturate and compare nothing")
+		}
+		if v := net.Metrics().InvariantViolations.Value(); v != 0 {
+			t.Fatalf("violations: %v", net.Metrics().Violations)
+		}
+		return net.Metrics().Grants.Value()
+	}
+	with, without := run(true), run(false)
+	if with < without {
+		t.Fatalf("secondary extension reduced grants over the same horizon: %d with vs %d without", with, without)
+	}
+}
+
 func TestQueueSecond(t *testing.T) {
 	var q sched.Queue
 	if q.Second() != nil {

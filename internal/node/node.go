@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"ccredf/internal/core"
+	"ccredf/internal/ring"
 	"ccredf/internal/sched"
 	"ccredf/internal/timing"
 )
@@ -27,6 +28,12 @@ type Node struct {
 
 // New returns a node with the given ring index.
 func New(index int) *Node { return &Node{index: index} }
+
+// EnableSecondaryIndex switches on the queue's per-span index so
+// SecondaryRequest can answer in O(ring size). The owning network enables it
+// exactly when the secondary-request extension is configured; without it
+// SecondaryRequest always returns an empty request.
+func (n *Node) EnableSecondaryIndex(r ring.Ring) { n.queue.EnableSecondaryIndex(r) }
 
 // Index returns the node's position on the ring.
 func (n *Node) Index() int { return n.index }
@@ -80,11 +87,13 @@ func (n *Node) Request(now, slot timing.Time, dropLate bool) (core.Request, []*s
 }
 
 // SecondaryRequest returns a request for the node's best queued message
-// with a destination set different from the head's — the protocol extension
-// in which each node advertises two candidates per collection round so the
-// master can pack spatial reuse better. (A same-segment runner-up could
-// never be granted alongside the head, so it is not worth the bits.) It
-// returns an empty request when no such message is queued.
+// whose link segment is a strict subset of the head's — the protocol
+// extension in which each node advertises two candidates per collection
+// round so the master can pack spatial reuse better. (A runner-up whose
+// segment covers the head's can never be granted when the head is denied,
+// so it is not worth the bits; see Queue.SecondDistinct.) It returns an
+// empty request when no such message is queued or the secondary index is
+// not enabled.
 func (n *Node) SecondaryRequest(now, slot timing.Time) core.Request {
 	second := n.queue.SecondDistinct()
 	if second == nil {

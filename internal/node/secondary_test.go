@@ -8,8 +8,21 @@ import (
 	"ccredf/internal/timing"
 )
 
-func TestSecondaryRequestEmptyAndSingle(t *testing.T) {
+// secNode builds a node with the secondary index enabled over an 8-node ring,
+// the configuration the network uses when SecondaryRequests is on.
+func secNode(t *testing.T) *Node {
+	t.Helper()
+	r, err := ring.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	n := New(0)
+	n.EnableSecondaryIndex(r)
+	return n
+}
+
+func TestSecondaryRequestEmptyAndSingle(t *testing.T) {
+	n := secNode(t)
 	if req := n.SecondaryRequest(0, slot); !req.Empty() {
 		t.Fatal("empty queue should yield empty secondary")
 	}
@@ -19,8 +32,17 @@ func TestSecondaryRequestEmptyAndSingle(t *testing.T) {
 	}
 }
 
+func TestSecondaryRequestWithoutIndex(t *testing.T) {
+	n := New(0) // index never enabled
+	_ = n.Enqueue(msg(1, 0, sched.ClassRealTime, 10*slot, 1))
+	_ = n.Enqueue(msg(2, 0, sched.ClassRealTime, 20*slot, 1))
+	if req := n.SecondaryRequest(0, slot); !req.Empty() {
+		t.Fatal("secondary without index should be empty")
+	}
+}
+
 func TestSecondaryRequestPicksDistinctSegment(t *testing.T) {
-	n := New(0)
+	n := secNode(t)
 	head := msg(1, 0, sched.ClassRealTime, 10*slot, 1)
 	head.Dests = ring.Node(4)
 	sameSeg := msg(2, 0, sched.ClassRealTime, 20*slot, 1)
@@ -46,8 +68,34 @@ func TestSecondaryRequestPicksDistinctSegment(t *testing.T) {
 	}
 }
 
+// TestSecondaryRequestCoveringSegmentRejected is the regression test for the
+// segment-overlap filter: a runner-up whose link segment strictly COVERS the
+// head's (longer span, different destination set) used to be advertised under
+// the old destination-set-difference filter, yet arbitration can never grant
+// it when the head is denied — every path from one source shares link 0 — so
+// the advert wasted control-channel bits. It must not be offered.
+func TestSecondaryRequestCoveringSegmentRejected(t *testing.T) {
+	n := secNode(t)
+	head := msg(1, 0, sched.ClassRealTime, 10*slot, 1)
+	head.Dests = ring.Node(2) // span 2
+	covering := msg(2, 0, sched.ClassRealTime, 20*slot, 1)
+	covering.Dests = ring.Node(4) // span 4: distinct dests, covering segment
+	_ = n.Enqueue(head)
+	_ = n.Enqueue(covering)
+	if req := n.SecondaryRequest(0, slot); !req.Empty() {
+		t.Fatalf("covering-segment runner-up must not be advertised, got %+v", req)
+	}
+	// A strictly shorter segment alongside it is still offered.
+	short := msg(3, 0, sched.ClassRealTime, 30*slot, 1)
+	short.Dests = ring.Node(1) // span 1 ⊂ head's span 2
+	_ = n.Enqueue(short)
+	if req := n.SecondaryRequest(0, slot); req.MsgID != 3 {
+		t.Fatalf("secondary = msg %d, want 3 (the shorter segment)", req.MsgID)
+	}
+}
+
 func TestSecondaryRequestAllSameSegment(t *testing.T) {
-	n := New(0)
+	n := secNode(t)
 	for i := int64(1); i <= 4; i++ {
 		m := msg(i, 0, sched.ClassRealTime, timing.Time(i)*10*slot, 1)
 		m.Dests = ring.Node(5)
@@ -59,7 +107,7 @@ func TestSecondaryRequestAllSameSegment(t *testing.T) {
 }
 
 func TestSecondaryRequestCrossClass(t *testing.T) {
-	n := New(0)
+	n := secNode(t)
 	rtm := msg(1, 0, sched.ClassRealTime, 10*slot, 1)
 	rtm.Dests = ring.Node(4)
 	bem := msg(2, 0, sched.ClassBestEffort, 50*slot, 1)

@@ -173,10 +173,13 @@ func (s LinkSet) Links() []int {
 // cover every destination in dests: the distance to the farthest destination
 // downstream. It returns 0 for an empty destination set. Because data flows
 // downstream only and intermediate nodes forward the packet, a multicast
-// occupies one contiguous segment of Span links starting at src.
+// occupies one contiguous segment of Span links starting at src. Span sits on
+// the slot engine's per-request hot path, so it iterates the mask directly
+// instead of materialising the member slice.
 func (r Ring) Span(src int, dests NodeSet) int {
 	max := 0
-	for _, d := range dests.Nodes() {
+	for v := uint64(dests); v != 0; v &= v - 1 {
+		d := bits.TrailingZeros64(v)
 		if d == src {
 			continue // a node does not send to itself over the ring
 		}

@@ -156,9 +156,13 @@ type Message struct {
 	// retransmitted (only without the reliable-transmission service).
 	Dropped int
 	// seq is a FIFO tiebreaker assigned by the queue; pos is the message's
-	// current heap position, maintained by the queue.
-	seq int64
-	pos int
+	// current heap position, maintained by the queue. span and spos are the
+	// message's link-segment span and its position in the queue's per-span
+	// secondary index (maintained only when the index is enabled).
+	seq  int64
+	pos  int
+	span int
+	spos int
 }
 
 // Remaining returns the number of fragments still to transmit.
@@ -190,11 +194,35 @@ func before(a, b *Message) bool {
 // Queue is a node-local message queue ordered by class and deadline (EDF).
 // The zero value is an empty queue ready to use. An ID index keeps Find,
 // Remove and grant handling O(log n) even when saturation grows the queue
-// to thousands of messages.
+// to thousands of messages. An optional per-span secondary index
+// (EnableSecondaryIndex) additionally keeps SecondDistinct O(ring size)
+// instead of O(queue length).
 type Queue struct {
 	heap []*Message
 	next int64
 	byID map[int64]*Message
+	// topo and spans implement the secondary-request index: spans[s] is a
+	// heap (ordered by before) of the queued messages whose transmission
+	// occupies a segment of exactly s links. Nil until EnableSecondaryIndex.
+	topo  ring.Ring
+	spans [][]*Message
+}
+
+// EnableSecondaryIndex switches on the per-span index that backs
+// SecondDistinct, using r to map destination sets to link-segment spans.
+// Messages already queued are indexed immediately. Without the index
+// SecondDistinct always returns nil — the secondary-request extension is the
+// only consumer, and it costs O(log n) per queue operation, so plain runs
+// should leave it off.
+func (q *Queue) EnableSecondaryIndex(r ring.Ring) {
+	if q.spans != nil {
+		return
+	}
+	q.topo = r
+	q.spans = make([][]*Message, r.Nodes())
+	for _, m := range q.heap {
+		q.spanPush(m)
+	}
 }
 
 // Len returns the number of queued messages.
@@ -211,6 +239,9 @@ func (q *Queue) Push(m *Message) {
 	q.heap = append(q.heap, m)
 	q.byID[m.ID] = m
 	q.up(m.pos)
+	if q.spans != nil {
+		q.spanPush(m)
+	}
 }
 
 // Peek returns the head message (highest class, earliest deadline) without
@@ -238,23 +269,34 @@ func (q *Queue) Second() *Message {
 	return q.heap[2]
 }
 
-// SecondDistinct returns the best queued message whose destination set
-// differs from the head's, or nil when none exists. This is what a node
-// advertises as its secondary request: a same-segment runner-up could never
-// be granted alongside the head, so only a distinct segment is worth the
-// control-channel bits.
+// SecondDistinct returns the best queued message whose link segment is a
+// strict subset of the head's, or nil when none exists. This is what a node
+// advertises as its secondary request, and the filter is the arbitration's
+// own: the master denies on link-segment overlap (used.Overlaps), not on
+// destination-set identity. All of a node's transmissions leave on the same
+// first link, so its candidate segments are nested prefixes — a runner-up
+// whose segment covers the head's (equal or longer span) collides with
+// `used` or the clock break whenever the head does and can never be granted
+// in its place; only a strictly shorter segment, which frees the head's
+// contested tail links, is worth the control-channel bits. (Filtering on
+// destination-set difference, as this method once did, advertised
+// same-segment and longer-segment runners-up that were dead on arrival.)
+//
+// The per-span index (EnableSecondaryIndex) answers the query in O(ring
+// size); without the index SecondDistinct returns nil.
 func (q *Queue) SecondDistinct() *Message {
 	head := q.Peek()
-	if head == nil {
+	if head == nil || q.spans == nil {
 		return nil
 	}
 	var best *Message
-	for _, m := range q.heap[1:] {
-		if m.Dests == head.Dests {
+	for s := 0; s < head.span; s++ {
+		h := q.spans[s]
+		if len(h) == 0 {
 			continue
 		}
-		if best == nil || before(m, best) {
-			best = m
+		if c := h[0]; best == nil || before(c, best) {
+			best = c
 		}
 	}
 	return best
@@ -274,6 +316,9 @@ func (q *Queue) Pop() *Message {
 	q.heap = q.heap[:last]
 	if last > 0 {
 		q.down(0)
+	}
+	if q.spans != nil {
+		q.spanRemove(head)
 	}
 	return head
 }
@@ -295,6 +340,9 @@ func (q *Queue) Remove(id int64) bool {
 	if i < last {
 		q.down(i)
 		q.up(i)
+	}
+	if q.spans != nil {
+		q.spanRemove(m)
 	}
 	return true
 }
@@ -340,6 +388,73 @@ func (q *Queue) down(i int) {
 			return
 		}
 		q.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// spanPush inserts m into the per-span secondary index. Spans outside the
+// index (a degenerate destination set) fall into bucket 0, which
+// SecondDistinct naturally treats as "shorter than any head".
+func (q *Queue) spanPush(m *Message) {
+	m.span = q.topo.Span(m.Src, m.Dests)
+	if m.span < 0 || m.span >= len(q.spans) {
+		m.span = 0
+	}
+	h := q.spans[m.span]
+	m.spos = len(h)
+	q.spans[m.span] = append(h, m)
+	q.spanUp(m.span, m.spos)
+}
+
+// spanRemove deletes m from its span bucket.
+func (q *Queue) spanRemove(m *Message) {
+	h := q.spans[m.span]
+	i, last := m.spos, len(h)-1
+	h[i] = h[last]
+	h[i].spos = i
+	h[last] = nil
+	q.spans[m.span] = h[:last]
+	if i < last {
+		q.spanDown(m.span, i)
+		q.spanUp(m.span, i)
+	}
+}
+
+func (q *Queue) spanSwap(s, i, j int) {
+	h := q.spans[s]
+	h[i], h[j] = h[j], h[i]
+	h[i].spos = i
+	h[j].spos = j
+}
+
+func (q *Queue) spanUp(s, i int) {
+	h := q.spans[s]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(h[i], h[parent]) {
+			break
+		}
+		q.spanSwap(s, i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) spanDown(s, i int) {
+	h := q.spans[s]
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && before(h[l], h[smallest]) {
+			smallest = l
+		}
+		if r < n && before(h[r], h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.spanSwap(s, i, smallest)
 		i = smallest
 	}
 }

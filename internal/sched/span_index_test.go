@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/timing"
+)
+
+// bruteSecondDistinct is the reference answer: scan the whole queue for the
+// best message (by service order) whose link-segment span is strictly shorter
+// than the head's.
+func bruteSecondDistinct(q *Queue, r ring.Ring) *Message {
+	head := q.Peek()
+	if head == nil {
+		return nil
+	}
+	headSpan := r.Span(head.Src, head.Dests)
+	var best *Message
+	for _, m := range q.Messages() {
+		if r.Span(m.Src, m.Dests) >= headSpan {
+			continue
+		}
+		if best == nil || before(m, best) {
+			best = m
+		}
+	}
+	return best
+}
+
+func TestSecondDistinctStrictSubsetSemantics(t *testing.T) {
+	r, err := ring.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Queue
+	q.EnableSecondaryIndex(r)
+	mk := func(id int64, deadline timing.Time, dests ring.NodeSet) *Message {
+		return &Message{ID: id, Class: ClassRealTime, Src: 0, Dests: dests, Deadline: deadline, Slots: 1}
+	}
+	// Head spans 3 links (0→3). A same-span and a covering-span runner-up
+	// must both be skipped; the span-2 one is the answer.
+	q.Push(mk(1, 10, ring.Node(3)))
+	q.Push(mk(2, 20, ring.Node(3)))              // same segment
+	q.Push(mk(3, 30, ring.Node(5)))              // covering segment (span 5)
+	q.Push(mk(4, 40, ring.Node(1)|ring.Node(2))) // span 2, strict subset
+	q.Push(mk(5, 50, ring.Node(1)))              // span 1, later deadline
+	got := q.SecondDistinct()
+	if got == nil || got.ID != 4 {
+		t.Fatalf("SecondDistinct = %v, want msg 4", got)
+	}
+	// Remove the span-2 message: the span-1 one takes over.
+	q.Remove(4)
+	if got := q.SecondDistinct(); got == nil || got.ID != 5 {
+		t.Fatalf("after removal SecondDistinct = %v, want msg 5", got)
+	}
+	// Remove it too: only covering/same segments remain → nothing to offer.
+	q.Remove(5)
+	if got := q.SecondDistinct(); got != nil {
+		t.Fatalf("with only covering segments left, SecondDistinct = %v, want nil", got)
+	}
+}
+
+func TestSecondDistinctDisabledReturnsNil(t *testing.T) {
+	var q Queue
+	q.Push(&Message{ID: 1, Class: ClassRealTime, Src: 0, Dests: ring.Node(3), Deadline: 10})
+	q.Push(&Message{ID: 2, Class: ClassRealTime, Src: 0, Dests: ring.Node(1), Deadline: 20})
+	if got := q.SecondDistinct(); got != nil {
+		t.Fatalf("SecondDistinct without index = %v, want nil", got)
+	}
+}
+
+func TestEnableSecondaryIndexIndexesExisting(t *testing.T) {
+	r, _ := ring.New(8)
+	var q Queue
+	q.Push(&Message{ID: 1, Class: ClassRealTime, Src: 0, Dests: ring.Node(4), Deadline: 10})
+	q.Push(&Message{ID: 2, Class: ClassRealTime, Src: 0, Dests: ring.Node(2), Deadline: 20})
+	q.EnableSecondaryIndex(r)
+	if got := q.SecondDistinct(); got == nil || got.ID != 2 {
+		t.Fatalf("SecondDistinct after late enable = %v, want msg 2", got)
+	}
+}
+
+// TestSpanIndexMatchesBruteForce: under arbitrary interleavings of Push, Pop
+// and Remove, the O(ring) indexed answer equals the O(n) scan.
+func TestSpanIndexMatchesBruteForce(t *testing.T) {
+	r, err := ring.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(ops []uint16) bool {
+		var q Queue
+		q.EnableSecondaryIndex(r)
+		nextID := int64(1)
+		var ids []int64
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // push a message with a pseudo-random span
+				dest := 1 + int(op/4)%7 // node 1..7 ⇒ span 1..7 from src 0
+				m := &Message{
+					ID:       nextID,
+					Class:    Class(op%3) + 1,
+					Src:      0,
+					Dests:    ring.Node(dest),
+					Deadline: timing.Time(op),
+					Slots:    1,
+				}
+				q.Push(m)
+				ids = append(ids, nextID)
+				nextID++
+			case 2:
+				q.Pop()
+			case 3:
+				if len(ids) > 0 {
+					q.Remove(ids[int(op/4)%len(ids)])
+				}
+			}
+			want := bruteSecondDistinct(&q, r)
+			got := q.SecondDistinct()
+			// Equality must hold message-for-message: both orders are total
+			// (deadline ties break by FIFO seq), so the best is unique.
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -52,10 +52,13 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 }
 
 // Put stores val under key, evicting LRU entries to stay within the byte
-// budget. A value larger than the whole budget is not stored.
+// budget. A value larger than the whole budget is not stored, and a budget
+// ≤ 0 stores nothing at all — without the explicit budget check, zero-length
+// values would slip past the size comparison and accumulate in a cache that
+// is documented as disabled.
 func (c *Cache) Put(key string, val []byte) {
 	size := int64(len(val))
-	if size > c.budget {
+	if c.budget <= 0 || size > c.budget {
 		return
 	}
 	c.mu.Lock()

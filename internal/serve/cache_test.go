@@ -61,11 +61,41 @@ func TestCacheSkipsOversizedValues(t *testing.T) {
 	}
 }
 
-func TestCacheDisabledByNegativeBudget(t *testing.T) {
-	c := NewCache(-1)
-	c.Put("a", []byte("alpha"))
-	if _, ok := c.Get("a"); ok {
-		t.Fatal("disabled cache stored a value")
+// TestCacheDisabledBudgetStoresNothing is the regression test for the
+// budget-≤-0 guard: a zero-length value passes the size-vs-budget comparison
+// (0 > 0 is false), so a "disabled" cache used to store empty values and
+// serve them as hits.
+func TestCacheDisabledBudgetStoresNothing(t *testing.T) {
+	cases := []struct {
+		name   string
+		budget int64
+		val    []byte
+	}{
+		{"zero budget, empty value", 0, nil},
+		{"zero budget, nonempty value", 0, []byte("alpha")},
+		{"negative budget, empty value", -1, []byte{}},
+		{"negative budget, nonempty value", -1, []byte("alpha")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCache(tc.budget)
+			c.Put("a", tc.val)
+			if _, ok := c.Get("a"); ok {
+				t.Fatal("disabled cache stored a value")
+			}
+			if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+				t.Fatalf("disabled cache stats = %+v", st)
+			}
+		})
+	}
+}
+
+// An empty value in an ENABLED cache is legitimate and must still hit.
+func TestCacheEmptyValueWithBudget(t *testing.T) {
+	c := NewCache(8)
+	c.Put("a", nil)
+	if v, ok := c.Get("a"); !ok || len(v) != 0 {
+		t.Fatalf("Get(a) = %q, %v; want empty hit", v, ok)
 	}
 }
 

@@ -1,0 +1,26 @@
+// Zero-allocation gates for the steady-state slot loop. The race detector
+// instruments allocations and would report spurious nonzero counts, so these
+// run only without -race; CI's bench-baseline job runs them race-free while
+// the ordinary test job keeps -race coverage of the same packages.
+
+//go:build !race
+
+package slotbench
+
+import "testing"
+
+func testZeroAllocs(t *testing.T, name string) {
+	net, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() { net.RunSlots(1) })
+	if avg != 0 {
+		t.Errorf("%s slot engine allocates %v objects/slot-period, want 0", name, avg)
+	}
+}
+
+func TestZeroAllocCCREDF(t *testing.T)          { testZeroAllocs(t, "ccr-edf") }
+func TestZeroAllocCCREDFSecondary(t *testing.T) { testZeroAllocs(t, "ccr-edf+secondary") }
+func TestZeroAllocCCFPR(t *testing.T)           { testZeroAllocs(t, "cc-fpr") }
+func TestZeroAllocTDMA(t *testing.T)            { testZeroAllocs(t, "tdma") }

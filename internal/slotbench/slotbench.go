@@ -1,0 +1,137 @@
+// Package slotbench defines the shared steady-state slot-engine workload
+// behind the repo's benchmark baseline: the zero-allocation tests and the
+// ccr-bench -json report both run it, so the numbers in
+// BENCH_slot_engine.json and the allocs/slot gate in CI measure the same
+// thing.
+//
+// The workload is an 8-node ring where every node holds a permanent backlog
+// of messages so large they never complete within any bench horizon. Every
+// slot therefore exercises the full engine — collection sampling,
+// arbitration with contention and spatial reuse, clock hand-over, grant
+// execution and fragment delivery — without ever reaching the
+// message-completion path, whose latency histograms retain samples and
+// allocate by design. Steady-state slot cost is exactly what the baseline
+// pins (DESIGN.md §9).
+package slotbench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ccredf/internal/ccfpr"
+	"ccredf/internal/core"
+	"ccredf/internal/network"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/tdma"
+	"ccredf/internal/timing"
+)
+
+const (
+	// Nodes is the ring size of the baseline workload.
+	Nodes = 8
+	// WarmupSlots is how many slot periods New runs before handing the
+	// network over: enough to grow every pooled structure (event free list,
+	// delivery pool, arbiter scratch) to its steady-state size.
+	WarmupSlots = 256
+	// backlogSlots is a message size no bench horizon ever finishes.
+	backlogSlots = 1 << 30
+)
+
+// Protocols lists the protocol configurations the baseline covers, in
+// report order.
+var Protocols = []string{"ccr-edf", "ccr-edf+secondary", "cc-fpr", "tdma"}
+
+// New builds a warmed-up network running the named protocol over the
+// permanent-backlog workload. Valid names are listed in Protocols.
+func New(name string) (*network.Network, error) {
+	p := timing.DefaultParams(Nodes)
+	cfg := network.Config{Params: p}
+	switch name {
+	case "ccr-edf", "ccr-edf+secondary":
+		arb, err := core.NewArbiter(Nodes, sched.Map5Bit, true)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Protocol = arb
+		cfg.SecondaryRequests = name == "ccr-edf+secondary"
+	case "cc-fpr":
+		arb, err := ccfpr.NewArbiter(Nodes, true)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Protocol = arb
+	case "tdma":
+		arb, err := tdma.NewArbiter(Nodes, true)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Protocol = arb
+	default:
+		return nil, fmt.Errorf("slotbench: unknown protocol %q", name)
+	}
+	net, err := network.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Two backlog messages per node, one near and one far destination, with
+	// the push order alternating so ring-wide the queue heads mix short and
+	// long segments: arbitration sees contention, spatial reuse packs the
+	// short ones, and (with the extension) odd nodes advertise a
+	// shorter-segment secondary behind their far-destination head.
+	for i := 0; i < Nodes; i++ {
+		near, far := (i+1)%Nodes, (i+4)%Nodes
+		first, second := near, far
+		if i%2 == 1 {
+			first, second = far, near
+		}
+		if _, err := net.SubmitMessage(sched.ClassBestEffort, i, ring.Node(first), backlogSlots, 0); err != nil {
+			return nil, err
+		}
+		if _, err := net.SubmitMessage(sched.ClassBestEffort, i, ring.Node(second), backlogSlots, 0); err != nil {
+			return nil, err
+		}
+	}
+	net.RunSlots(WarmupSlots)
+	return net, nil
+}
+
+// Stats is the measured steady-state cost of one protocol's slot engine.
+type Stats struct {
+	Protocol      string  `json:"protocol"`
+	Slots         int64   `json:"slots"`
+	NsPerSlot     float64 `json:"ns_per_slot"`
+	AllocsPerSlot float64 `json:"allocs_per_slot"`
+	BytesPerSlot  float64 `json:"bytes_per_slot"`
+}
+
+// Measure runs the named protocol's warmed-up engine for at least the given
+// number of slot periods and returns its per-slot cost, with allocations
+// taken from runtime.MemStats deltas. Run it serially — concurrent
+// allocating goroutines would be charged to the slot engine.
+func Measure(name string, slots int64) (Stats, error) {
+	net, err := New(name)
+	if err != nil {
+		return Stats{}, err
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	before := net.Metrics().Slots.Value()
+	start := time.Now()
+	net.RunSlots(slots)
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	executed := net.Metrics().Slots.Value() - before
+	if executed <= 0 {
+		return Stats{}, fmt.Errorf("slotbench: %s executed no slots", name)
+	}
+	return Stats{
+		Protocol:      name,
+		Slots:         executed,
+		NsPerSlot:     float64(elapsed.Nanoseconds()) / float64(executed),
+		AllocsPerSlot: float64(m1.Mallocs-m0.Mallocs) / float64(executed),
+		BytesPerSlot:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(executed),
+	}, nil
+}

@@ -1,0 +1,49 @@
+package slotbench
+
+import "testing"
+
+func TestWorkloadRunsEveryProtocol(t *testing.T) {
+	for _, name := range Protocols {
+		t.Run(name, func(t *testing.T) {
+			net, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := net.Metrics().Slots.Value(); got < WarmupSlots {
+				t.Fatalf("warmup ran %d slots, want ≥ %d", got, WarmupSlots)
+			}
+			// The backlog must keep every slot busy and never complete.
+			if net.Metrics().SlotsWithData.Value() == 0 {
+				t.Fatal("no slot carried data")
+			}
+			if net.Metrics().MessagesDelivered.Value() != 0 {
+				t.Fatal("backlog message completed; the workload must never reach the completion path")
+			}
+			if net.QueueDepth() == 0 {
+				t.Fatal("backlog drained")
+			}
+		})
+	}
+}
+
+func TestMeasureReportsSaneFigures(t *testing.T) {
+	st, err := Measure("ccr-edf", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Slots < 64 {
+		t.Fatalf("measured %d slots, want ≥ 64", st.Slots)
+	}
+	if st.NsPerSlot <= 0 {
+		t.Fatalf("ns/slot = %v", st.NsPerSlot)
+	}
+	if st.AllocsPerSlot < 0 || st.BytesPerSlot < 0 {
+		t.Fatalf("negative allocation figures: %+v", st)
+	}
+}
+
+func TestUnknownProtocolRejected(t *testing.T) {
+	if _, err := New("token-ring"); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}

@@ -25,6 +25,11 @@ type Arbiter struct {
 	ring         ring.Ring
 	spatialReuse bool
 	slot         int64 // arbitration round counter ⇒ slot ownership
+	// Reusable outcome scratch (see core.Outcome): the returned grant/deny
+	// slices stay valid only until the next Arbitrate call, which keeps the
+	// steady-state slot loop allocation-free.
+	grants []core.Grant
+	denied []int
 }
 
 // NewArbiter returns a TDMA arbiter for a ring of n nodes.
@@ -55,7 +60,7 @@ func (a *Arbiter) Arbitrate(reqs []core.Request, curMaster int) core.Outcome {
 	n := a.ring.Nodes()
 	a.slot++
 	owner := int(a.slot % int64(n))
-	out := core.Outcome{Master: owner}
+	grants, denied := a.grants[:0], a.denied[:0]
 	var used ring.LinkSet
 	granted := 0
 	for i := 0; i <= n-1; i++ {
@@ -69,14 +74,15 @@ func (a *Arbiter) Arbitrate(reqs []core.Request, curMaster int) core.Outcome {
 		case i > 0 && !a.spatialReuse,
 			!a.ring.Feasible(req.Node, req.Dests, owner),
 			used.Overlaps(links):
-			out.Denied = append(out.Denied, req.Node)
+			denied = append(denied, req.Node)
 			continue
 		}
 		used = used.Union(links)
 		granted++
-		out.Grants = append(out.Grants, core.Grant{Node: req.Node, Dests: req.Dests, Links: links, MsgID: req.MsgID})
+		grants = append(grants, core.Grant{Node: req.Node, Dests: req.Dests, Links: links, MsgID: req.MsgID})
 	}
-	return out
+	a.grants, a.denied = grants, denied
+	return core.Outcome{Master: owner, Grants: grants, Denied: denied}
 }
 
 var _ core.Protocol = (*Arbiter)(nil)
