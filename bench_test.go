@@ -73,6 +73,7 @@ func BenchmarkE17SecondaryReqs(b *testing.B)  { runExperiment(b, "E17", nil) }
 func BenchmarkE18Jitter(b *testing.B)         { runExperiment(b, "E18", nil) }
 func BenchmarkE19SlotDesign(b *testing.B)     { runExperiment(b, "E19", nil) }
 func BenchmarkE20UnequalLinks(b *testing.B)   { runExperiment(b, "E20", nil) }
+func BenchmarkE21FaultInjection(b *testing.B) { runExperiment(b, "E21", nil) }
 
 // BenchmarkSlotEngine measures raw simulation speed: simulated slots per
 // second of an 8-node ring at ~70% admitted load.

@@ -37,6 +37,7 @@ import (
 	"ccredf/internal/analysis"
 	"ccredf/internal/ccfpr"
 	"ccredf/internal/core"
+	"ccredf/internal/fault"
 	"ccredf/internal/network"
 	"ccredf/internal/obs"
 	"ccredf/internal/sched"
@@ -109,6 +110,10 @@ type Config struct {
 	// FailMasterAt kills the elected master after the given slot, to
 	// exercise the designated-node recovery (0 disables).
 	FailMasterAt int64
+	// Faults is the deterministic fault-injection plan (nil disables; a
+	// nil or zero plan leaves runs byte-identical to an unconfigured
+	// network). See FaultPlan and ParseFaultSpec.
+	Faults *FaultPlan
 	// CheckInvariants verifies the protocol invariants on every
 	// arbitration (Metrics.InvariantViolations must stay zero).
 	CheckInvariants bool
@@ -175,6 +180,7 @@ func New(cfg Config) (*Network, error) {
 		Seed:              cfg.Seed,
 		SecondaryRequests: cfg.SecondaryRequests,
 		FailMasterAt:      cfg.FailMasterAt,
+		Faults:            cfg.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -198,6 +204,36 @@ func (n *Network) Config() Config { return n.cfg }
 
 // Trace returns the protocol tracer (nil unless TraceCapacity was set).
 func (n *Network) Trace() *trace.Tracer { return n.tracer }
+
+// FaultPlan declares deterministic fault injection: control-channel packet
+// drops, clock-handover failures and node crash/restart schedules, all driven
+// by a dedicated seeded stream so equal plans give byte-identical runs.
+type FaultPlan = fault.Plan
+
+// FaultCrash schedules one node crash (and optional restart) in a FaultPlan.
+type FaultCrash = fault.Crash
+
+// FaultKind classifies an injected fault in protocol events.
+type FaultKind = fault.Kind
+
+// Fault kinds carried by KindFaultInjected/Detected/Recovered events.
+const (
+	FaultCollectionDrop   = fault.CollectionDrop
+	FaultDistributionDrop = fault.DistributionDrop
+	FaultHandoverFail     = fault.HandoverFail
+	FaultNodeCrash        = fault.NodeCrash
+)
+
+// Fault-lifecycle event kinds (Event.Fault carries the FaultKind).
+const (
+	KindFaultInjected  = obs.KindFaultInjected
+	KindFaultDetected  = obs.KindFaultDetected
+	KindFaultRecovered = obs.KindFaultRecovered
+)
+
+// ParseFaultSpec parses a compact command-line fault spec such as
+// "coll=0.01,ho=0.005,crash=3@100+50,seed=9"; see internal/fault.ParseSpec.
+func ParseFaultSpec(spec string) (FaultPlan, error) { return fault.ParseSpec(spec) }
 
 // Observer consumes protocol events; attach one with Attach before running.
 type Observer = obs.Observer

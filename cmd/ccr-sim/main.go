@@ -46,13 +46,24 @@ func main() {
 		reliable = flag.Bool("reliable", false, "enable the reliable-transmission service")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		nodeLat  = flag.Bool("node-latency", false, "print per-source-node completion-latency percentiles")
+		faults   = flag.String("faults", "", "fault-injection spec, e.g. coll=0.01,dist=0.01,ho=0.005,crash=3@100+50,seed=9")
 	)
 	showHist = flag.Bool("hist", false, "render latency histograms as ASCII bars")
 	jsonOut = flag.Bool("json", false, "print a machine-readable JSON snapshot instead of text")
 	flag.Parse()
 
+	var faultPlan *ccredf.FaultPlan
+	if *faults != "" {
+		plan, err := ccredf.ParseFaultSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccr-sim:", err)
+			os.Exit(2)
+		}
+		faultPlan = &plan
+	}
+
 	if *config != "" {
-		runConfig(*config, *nodeLat)
+		runConfig(*config, *nodeLat, faultPlan)
 		return
 	}
 
@@ -62,6 +73,7 @@ func main() {
 	cfg.LossProb = *loss
 	cfg.Reliable = *reliable
 	cfg.Seed = *seed
+	cfg.Faults = faultPlan
 	switch *protocol {
 	case "ccr-edf":
 		cfg.Protocol = ccredf.CCREDF
@@ -161,8 +173,9 @@ func printProbe(probe *ccredf.LatencyProbe) {
 	fmt.Print(probe.Table())
 }
 
-// runConfig executes a declarative JSON scenario.
-func runConfig(path string, nodeLat bool) {
+// runConfig executes a declarative JSON scenario. A -faults spec overrides
+// the scenario's own faults stanza.
+func runConfig(path string, nodeLat bool, faultPlan *ccredf.FaultPlan) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
@@ -173,6 +186,13 @@ func runConfig(path string, nodeLat bool) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
 		os.Exit(1)
+	}
+	if faultPlan != nil {
+		s.Faults = faultPlan
+		if err := s.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "ccr-sim:", err)
+			os.Exit(2)
+		}
 	}
 	key, err := serve.ScenarioKey(s)
 	if err != nil {
@@ -236,6 +256,11 @@ func summarise(net *ccredf.Network, key string, opened int, exact, noReuse bool,
 	if loss > 0 {
 		fmt.Printf("fault injection     dropped=%d retransmits=%d lost=%d\n",
 			m.FragmentsDropped.Value(), m.Retransmits.Value(), m.MessagesLost.Value())
+	}
+	if m.FaultsInjected.Value() > 0 {
+		fmt.Printf("faults              injected=%d detected=%d recovered=%d crashes=%d\n",
+			m.FaultsInjected.Value(), m.FaultsDetected.Value(),
+			m.FaultsRecovered.Value(), m.NodeCrashes.Value())
 	}
 	for _, cl := range []struct {
 		name  string

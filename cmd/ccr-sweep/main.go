@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ccredf"
 	"ccredf/internal/sweep"
 )
 
@@ -29,6 +30,7 @@ func main() {
 		slots      = flag.Int64("slots", 5000, "horizon per point in slot periods")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
 		csvPath    = flag.String("csv", "", "also write results to this CSV file")
+		faults     = flag.String("faults", "", "fault-injection spec applied to every point, e.g. coll=0.01,crash=3@100+50")
 	)
 	flag.Parse()
 
@@ -83,6 +85,13 @@ func main() {
 	}
 
 	grid := sweep.Grid(strings.Split(*protocols, ","), ns, us, strings.Split(*localities, ","), ss)
+	if *faults != "" {
+		if _, err := ccredf.ParseFaultSpec(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "ccr-sweep: -faults:", err)
+			os.Exit(2)
+		}
+		grid = sweep.WithFaults(grid, *faults)
+	}
 	fmt.Printf("sweeping %d points on %d workers (%d slots each)…\n", len(grid), *workers, *slots)
 	outcomes := sweep.Run(grid, *workers, *slots)
 

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"ccredf/internal/rng"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// randRequest draws a request from a deliberately small value space so that
+// priority, node, deadline and ID collisions all occur and every tie-break
+// level of the comparator is exercised.
+func randRequest(src *rng.Source, nodes int) Request {
+	return Request{
+		Node:     src.Intn(nodes),
+		Prio:     uint8(src.Intn(32)),
+		Deadline: timing.Time(src.Intn(4)) * timing.Microsecond,
+		MsgID:    int64(src.Intn(4)),
+	}
+}
+
+// sameKey reports whether the comparator is allowed to call x and y equal:
+// every field it consults matches. Dests is not part of the order.
+func sameKey(mode sched.MapMode, x, y Request) bool {
+	if x.Node != y.Node || x.Deadline != y.Deadline || x.MsgID != y.MsgID {
+		return false
+	}
+	if mode == sched.MapExact {
+		return sched.PrioClass(x.Prio) == sched.PrioClass(y.Prio)
+	}
+	return x.Prio == y.Prio
+}
+
+func sign(v int) int {
+	switch {
+	case v < 0:
+		return -1
+	case v > 0:
+		return 1
+	}
+	return 0
+}
+
+// TestCompareStrictTotalOrder checks, over randomized request slates, that
+// the arbitration comparator is a strict total order — the property the
+// arbiter's sort and the whole "highest-priority requester wins" election
+// rest on: reflexive equality, antisymmetry, transitivity, and totality
+// (equality only for requests the order genuinely cannot distinguish).
+func TestCompareStrictTotalOrder(t *testing.T) {
+	for _, mode := range []sched.MapMode{sched.Map5Bit, sched.MapExact} {
+		t.Run(mode.String(), func(t *testing.T) {
+			a := mustArbiter(t, 8, mode, true)
+			src := rng.New(42)
+			const slate = 24
+			for round := 0; round < 400; round++ {
+				reqs := make([]Request, slate)
+				for i := range reqs {
+					reqs[i] = randRequest(src, 8)
+				}
+				for _, x := range reqs {
+					if a.compare(x, x) != 0 {
+						t.Fatalf("compare(x,x) = %d for %+v", a.compare(x, x), x)
+					}
+				}
+				for _, x := range reqs {
+					for _, y := range reqs {
+						xy, yx := a.compare(x, y), a.compare(y, x)
+						if sign(xy) != -sign(yx) {
+							t.Fatalf("antisymmetry: compare(%+v,%+v)=%d but reverse=%d", x, y, xy, yx)
+						}
+						if xy == 0 && !sameKey(mode, x, y) {
+							t.Fatalf("totality: distinguishable requests compare equal: %+v vs %+v", x, y)
+						}
+						if (xy < 0) != a.higher(x, y) {
+							t.Fatalf("higher disagrees with compare for %+v vs %+v", x, y)
+						}
+					}
+				}
+				// Transitivity over sampled triples (full n³ would dominate
+				// the test's runtime without adding coverage).
+				for k := 0; k < 200; k++ {
+					x, y, z := reqs[src.Intn(slate)], reqs[src.Intn(slate)], reqs[src.Intn(slate)]
+					xy, yz, xz := a.compare(x, y), a.compare(y, z), a.compare(x, z)
+					if xy < 0 && yz < 0 && xz >= 0 {
+						t.Fatalf("transitivity: x<y<z but compare(x,z)=%d\nx=%+v\ny=%+v\nz=%+v", xz, x, y, z)
+					}
+					if xy == 0 && yz == 0 && xz != 0 {
+						t.Fatalf("transitivity of equality broken\nx=%+v\ny=%+v\nz=%+v", x, y, z)
+					}
+				}
+			}
+		})
+	}
+}

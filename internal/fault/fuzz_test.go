@@ -1,0 +1,36 @@
+package fault
+
+import "testing"
+
+// FuzzParseSpec hammers the command-line spec parser: no panics on any
+// input, and every accepted spec must render (Spec) and re-parse to an
+// identical plan, so -faults values survive being copied out of logs.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("coll=0.01,dist=0.02,ho=0.005,crash=3@100+50,seed=9")
+	f.Add("crash=0@1")
+	f.Add("coll=1")
+	f.Add("")
+	f.Add("crash=3@100+50,crash=3@200+10")
+	f.Add("ho=nope")
+	f.Add("crash=@")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		again, err := ParseSpec(p.Spec())
+		if err != nil {
+			t.Fatalf("rendered spec %q of accepted %q does not re-parse: %v", p.Spec(), spec, err)
+		}
+		if p.Seed != again.Seed || p.CollectionDropProb != again.CollectionDropProb ||
+			p.DistributionDropProb != again.DistributionDropProb ||
+			p.HandoverFailProb != again.HandoverFailProb || len(p.Crashes) != len(again.Crashes) {
+			t.Fatalf("spec round trip changed the plan: %+v vs %+v", p, again)
+		}
+		for i := range p.Crashes {
+			if p.Crashes[i] != again.Crashes[i] {
+				t.Fatalf("spec round trip changed crash %d: %+v vs %+v", i, p.Crashes[i], again.Crashes[i])
+			}
+		}
+	})
+}

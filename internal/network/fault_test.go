@@ -1,0 +1,226 @@
+package network
+
+import (
+	"bytes"
+	"testing"
+
+	"ccredf/internal/fault"
+	"ccredf/internal/obs"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// faultCounter tallies fault events per kind and phase.
+type faultCounter struct {
+	injected, detected, recovered map[fault.Kind]int
+}
+
+func newFaultCounter() *faultCounter {
+	return &faultCounter{
+		injected:  make(map[fault.Kind]int),
+		detected:  make(map[fault.Kind]int),
+		recovered: make(map[fault.Kind]int),
+	}
+}
+
+func (c *faultCounter) OnEvent(e *obs.Event) {
+	switch e.Kind {
+	case obs.KindFaultInjected:
+		c.injected[e.Fault]++
+	case obs.KindFaultDetected:
+		c.detected[e.Fault]++
+	case obs.KindFaultRecovered:
+		c.recovered[e.Fault]++
+	}
+}
+
+// faultNet builds an 8-node CCR-EDF ring with the given plan and a steady
+// periodic workload on every node.
+func faultNet(t testing.TB, plan *fault.Plan, extra ...obs.Observer) *Network {
+	t.Helper()
+	net := newEDF(t, 8, sched.Map5Bit, true, func(cfg *Config) {
+		cfg.Faults = plan
+		cfg.Observers = extra
+	})
+	net.AttachInvariantChecker()
+	p := net.Params()
+	for src := 0; src < 8; src++ {
+		if _, err := net.OpenConnection(sched.Connection{
+			Src: src, Dests: ring.Node((src + 3) % 8),
+			Period: 16 * p.SlotTime(), Slots: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+// TestFaultEventPairing checks the tentpole acceptance property: every
+// injected fault produces a matching detected and recovered event, with no
+// protocol-invariant violations.
+func TestFaultEventPairing(t *testing.T) {
+	plan := &fault.Plan{
+		Seed:                 7,
+		CollectionDropProb:   0.02,
+		DistributionDropProb: 0.02,
+		HandoverFailProb:     0.01,
+		Crashes: []fault.Crash{
+			{Node: 3, At: 200, Restart: 400},
+			{Node: 5, At: 1000, Restart: 1100},
+		},
+	}
+	c := newFaultCounter()
+	net := faultNet(t, plan, c)
+	net.RunSlots(4000)
+
+	total := 0
+	for _, k := range []fault.Kind{fault.CollectionDrop, fault.DistributionDrop, fault.HandoverFail, fault.NodeCrash} {
+		total += c.injected[k]
+		if c.injected[k] != c.detected[k] {
+			t.Errorf("%v: injected %d, detected %d", k, c.injected[k], c.detected[k])
+		}
+		if c.injected[k] != c.recovered[k] {
+			t.Errorf("%v: injected %d, recovered %d", k, c.injected[k], c.recovered[k])
+		}
+	}
+	if total == 0 {
+		t.Fatal("plan injected nothing; the test exercises no fault path")
+	}
+	if c.injected[fault.NodeCrash] != 2 {
+		t.Errorf("node crashes injected = %d, want 2", c.injected[fault.NodeCrash])
+	}
+	m := net.Metrics()
+	if v := m.InvariantViolations.Value(); v != 0 {
+		t.Errorf("%d invariant violations under faults: %v", v, m.Violations)
+	}
+	if m.FaultsInjected.Value() != int64(total) {
+		t.Errorf("Metrics.FaultsInjected = %d, want %d", m.FaultsInjected.Value(), total)
+	}
+	if m.FaultsDetected.Value() != m.FaultsInjected.Value() || m.FaultsRecovered.Value() != m.FaultsInjected.Value() {
+		t.Errorf("fault counters disagree: injected=%d detected=%d recovered=%d",
+			m.FaultsInjected.Value(), m.FaultsDetected.Value(), m.FaultsRecovered.Value())
+	}
+	if m.NodeCrashes.Value() != 2 {
+		t.Errorf("Metrics.NodeCrashes = %d, want 2", m.NodeCrashes.Value())
+	}
+	snap := net.Snapshot()
+	if snap.FaultsInjected != int64(total) || snap.NodeCrashes != 2 {
+		t.Errorf("snapshot fault counters: injected=%d crashes=%d, want %d and 2",
+			snap.FaultsInjected, snap.NodeCrashes, total)
+	}
+}
+
+// eventStream runs a fault scenario and returns the full JSONL event stream.
+func eventStream(t testing.TB, plan *fault.Plan, slots int64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	exp := obs.NewJSONLExporter(&buf)
+	net := faultNet(t, plan, exp)
+	net.RunSlots(slots)
+	if err := exp.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFaultDeterminism checks byte-reproducibility: the same plan and seed
+// give a byte-identical protocol event stream, and a different fault seed
+// gives a different one.
+func TestFaultDeterminism(t *testing.T) {
+	plan := &fault.Plan{
+		Seed:                 11,
+		CollectionDropProb:   0.03,
+		DistributionDropProb: 0.03,
+		HandoverFailProb:     0.02,
+		Crashes:              []fault.Crash{{Node: 2, At: 100, Restart: 250}},
+	}
+	a := eventStream(t, plan, 2000)
+	b := eventStream(t, plan, 2000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal fault plans produced different event streams")
+	}
+	other := *plan
+	other.Seed = 12
+	if bytes.Equal(a, eventStream(t, &other, 2000)) {
+		t.Fatal("different fault seeds produced identical event streams (injector not seeded?)")
+	}
+}
+
+// TestFaultsDisabledIdentical checks the zero-cost-when-off contract: a nil
+// plan and a zero plan produce streams byte-identical to an unconfigured run.
+func TestFaultsDisabledIdentical(t *testing.T) {
+	base := eventStream(t, nil, 1000)
+	zero := eventStream(t, &fault.Plan{Seed: 99}, 1000)
+	if !bytes.Equal(base, zero) {
+		t.Fatal("zero fault plan perturbed the event stream")
+	}
+}
+
+// TestCrashExpiresQueueAndReforms checks the crash semantics: the victim's
+// queued messages expire, the ring keeps running while it is dark, a dead
+// elected master triggers the timeout recovery, and traffic resumes after the
+// restart.
+func TestCrashExpiresQueueAndReforms(t *testing.T) {
+	plan := &fault.Plan{Crashes: []fault.Crash{{Node: 3, At: 50, Restart: 300}}}
+	c := newFaultCounter()
+	net := faultNet(t, plan, c)
+	net.RunSlots(2000)
+	m := net.Metrics()
+	if m.MessagesLost.Value() == 0 {
+		t.Error("crash expired no queued messages")
+	}
+	if c.recovered[fault.NodeCrash] != 1 {
+		t.Errorf("crash recoveries = %d, want 1", c.recovered[fault.NodeCrash])
+	}
+	if v := m.InvariantViolations.Value(); v != 0 {
+		t.Errorf("%d invariant violations: %v", v, m.Violations)
+	}
+	// The victim transmits again after its restart: its per-node sent count
+	// keeps growing once it is back.
+	cs, ok := net.ConnStats(1 + 3) // connections are opened in src order, IDs start at 1
+	if !ok {
+		t.Fatal("no stats for node 3's connection")
+	}
+	if cs.Delivered == 0 {
+		t.Error("node 3 delivered nothing over the whole run despite restarting")
+	}
+}
+
+// TestPermanentCrash checks that a crash without a restart leaves the node
+// dark for good: it is skipped by election and sends nothing after the slot.
+func TestPermanentCrash(t *testing.T) {
+	plan := &fault.Plan{Crashes: []fault.Crash{{Node: 0, At: 100}}}
+	c := newFaultCounter()
+	net := faultNet(t, plan, c)
+	net.RunSlots(2000)
+	if c.injected[fault.NodeCrash] != 1 || c.detected[fault.NodeCrash] != 1 {
+		t.Fatalf("crash injected=%d detected=%d, want 1/1", c.injected[fault.NodeCrash], c.detected[fault.NodeCrash])
+	}
+	if c.recovered[fault.NodeCrash] != 0 {
+		t.Errorf("permanent crash recovered %d times", c.recovered[fault.NodeCrash])
+	}
+	if v := net.Metrics().InvariantViolations.Value(); v != 0 {
+		t.Errorf("%d invariant violations: %v", v, net.Metrics().Violations)
+	}
+	// Node 0 (the default designated node) is dead; the run must still make
+	// progress — the election and the designated-node fallback skip it.
+	if net.Metrics().MessagesDelivered.Value() == 0 {
+		t.Error("network made no progress with node 0 dark")
+	}
+}
+
+// TestFaultConfigValidation checks that a bad plan is rejected at New.
+func TestFaultConfigValidation(t *testing.T) {
+	net := newEDF(t, 8, sched.Map5Bit, true, nil)
+	_ = net
+	p := timing.DefaultParams(8)
+	cfg := Config{Params: p, Protocol: net.proto, Faults: &fault.Plan{CollectionDropProb: 2}}
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted collection drop probability > 1")
+	}
+	cfg.Faults = &fault.Plan{Crashes: []fault.Crash{{Node: 20, At: 5}}}
+	if _, err := New(cfg); err == nil {
+		t.Error("accepted crash node outside ring")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"ccredf/internal/core"
 	"ccredf/internal/des"
+	"ccredf/internal/fault"
 	"ccredf/internal/node"
 	"ccredf/internal/obs"
 	"ccredf/internal/ring"
@@ -67,6 +68,14 @@ type Config struct {
 	RecoveryTimeoutSlots int
 	// DesignatedNode restarts the network after a master loss (default 0).
 	DesignatedNode int
+	// Faults is an optional deterministic fault-injection plan (see
+	// internal/fault): per-slot control-channel packet drops, clock-handover
+	// failures and scheduled node crashes/restarts. Nil (or a zero plan)
+	// disables injection entirely — the engine then performs one nil check
+	// per hook and the run is byte-identical to a fault-free build. The
+	// injector draws from its own seeded stream, so enabling faults never
+	// perturbs the workload or loss randomness.
+	Faults *fault.Plan
 }
 
 // Metrics aggregates network-wide measurements for one run.
@@ -98,6 +107,12 @@ type Metrics struct {
 	// protocol invariant (must stay zero); Violations records the first
 	// few descriptions.
 	InvariantViolations stats.Counter
+	// FaultsInjected / FaultsDetected / FaultsRecovered count the
+	// deterministic injector's activity (internal/fault): every injected
+	// fault must eventually be detected and recovered, so after a settled
+	// run the three counters agree. NodeCrashes counts the subset of
+	// injections that killed a station.
+	FaultsInjected, FaultsDetected, FaultsRecovered, NodeCrashes stats.Counter
 	// Violations holds up to eight violation descriptions for debugging.
 	Violations []string
 	// GapTime accumulates inter-slot clock hand-over gaps.
@@ -202,9 +217,19 @@ type Network struct {
 
 	msgSeq    int64
 	conns     map[int]*connState
-	deadNode  int
 	onDeliver []func(*sched.Message, timing.Time)
 	pipe      obs.Pipeline
+
+	// Fault state. inj is nil unless Config.Faults enables injection; dead
+	// is the set of currently crashed nodes (also used by the legacy
+	// FailMasterAt path); detectPending holds crashed nodes whose failure
+	// the collection round has not yet observed; collDropped remembers that
+	// this slot's collection packet was injected away so endSlot can emit
+	// the matching recovery event.
+	inj           *fault.Injector
+	dead          ring.NodeSet
+	detectPending ring.NodeSet
+	collDropped   bool
 }
 
 // delivery is a pooled in-flight fragment: the des event payload for the
@@ -280,7 +305,13 @@ func New(cfg Config) (*Network, error) {
 		sampled:      make([]core.Request, r.Nodes()),
 		sampledSpare: make([]core.Request, r.Nodes()),
 		conns:        make(map[int]*connState),
-		deadNode:     -1,
+	}
+	if cfg.Faults.Enabled() {
+		inj, err := fault.New(*cfg.Faults, r.Nodes())
+		if err != nil {
+			return nil, fmt.Errorf("network: %w", err)
+		}
+		n.inj = inj
 	}
 	if cfg.SecondaryRequests {
 		n.sampled2 = make([]core.Request, r.Nodes())
@@ -526,7 +557,7 @@ func (n *Network) startSlot(now timing.Time) {
 	// Execute the grants of the previous arbitration.
 	busy := 0
 	for _, g := range n.pending.Grants {
-		if g.Node == n.deadNode {
+		if n.dead.Contains(g.Node) {
 			continue
 		}
 		m := n.nodes[g.Node].Grant(g.MsgID)
@@ -663,8 +694,18 @@ func (n *Network) deliver(m *sched.Message, g core.Grant, now timing.Time) {
 
 // sample snapshots one node's request as the collection packet passes it.
 func (n *Network) sample(idx int, now timing.Time) {
-	if idx == n.deadNode {
+	if n.dead.Contains(idx) {
 		n.sampled[idx] = core.Request{Node: idx}
+		if n.sampled2 != nil {
+			n.sampled2[idx] = core.Request{Node: idx}
+		}
+		if n.detectPending.Contains(idx) {
+			// The collection packet passing a silent station is how the
+			// ring notices a crash: the node's request field stays empty
+			// and its downstream neighbour re-clocks the control channel.
+			n.detectPending = n.detectPending.Remove(idx)
+			n.pipe.Emit(obs.Event{Kind: obs.KindFaultDetected, Fault: fault.NodeCrash, Time: now, Slot: n.slot, Node: idx})
+		}
 		return
 	}
 	req, dropped := n.nodes[idx].Request(now, n.params.SlotTime(), n.cfg.DropLate)
@@ -688,6 +729,21 @@ func (n *Network) sample(idx int, now timing.Time) {
 
 // arbitrate runs the protocol on the completed collection packet.
 func (n *Network) arbitrate(now timing.Time) {
+	if n.inj != nil && n.inj.DropCollection() {
+		// A control-channel bit error ate the collection packet: the master
+		// has no request slate to arbitrate, so it keeps the clock itself
+		// and grants nothing — queued messages are simply re-requested next
+		// round (sampling only peeks at the queues). No arbitration event is
+		// emitted: on the wire, the round never happened. The filled slate
+		// is abandoned in place; next slot's samples overwrite every entry,
+		// and the slate exposed by the previous arbitration event (in the
+		// spare buffer) stays intact as the observer contract requires.
+		n.pipe.Emit(obs.Event{Kind: obs.KindFaultInjected, Fault: fault.CollectionDrop, Time: now, Slot: n.slot, Node: n.master})
+		n.pipe.Emit(obs.Event{Kind: obs.KindFaultDetected, Fault: fault.CollectionDrop, Time: now, Slot: n.slot, Node: n.master})
+		n.next = core.Outcome{Master: n.master}
+		n.collDropped = true
+		return
+	}
 	reqs := n.sampled
 	if n.sampled2 != nil {
 		// Extension: append the secondary requests after the primaries;
@@ -721,18 +777,46 @@ func (n *Network) arbitrate(now timing.Time) {
 }
 
 // endSlot stops the clock, hands the master role over and schedules the next
-// slot after the hand-over gap (Equation 1).
+// slot after the hand-over gap (Equation 1). It is also the fault boundary:
+// scheduled crashes and restarts take effect here, a lost distribution packet
+// keeps the clock with the incumbent, and a failed handover leaves the ring
+// silent until the incumbent re-takes it. All fault branches may allocate —
+// they are off the steady-state path (DESIGN.md §9).
 func (n *Network) endSlot(now timing.Time) {
+	if n.collDropped {
+		// The collection drop injected during this slot has run its course:
+		// the incumbent kept the clock and the round retries next slot.
+		n.collDropped = false
+		n.pipe.Emit(obs.Event{Kind: obs.KindFaultRecovered, Fault: fault.CollectionDrop, Time: now, Slot: n.slot, Node: n.master})
+	}
+	if n.inj != nil {
+		for {
+			c, ok := n.inj.NextRestart(n.slot)
+			if !ok {
+				break
+			}
+			n.restartNode(c.Node, now)
+		}
+		for {
+			c, ok := n.inj.NextCrash(n.slot)
+			if !ok {
+				break
+			}
+			n.crashNode(c.Node, now)
+		}
+	}
 	newMaster := n.next.Master
-	if n.cfg.FailMasterAt > 0 && n.slot == n.cfg.FailMasterAt {
-		// The elected master dies before it starts clocking: the network
-		// goes silent until the designated node's timeout fires (§8).
-		n.deadNode = newMaster
+	if (n.cfg.FailMasterAt > 0 && n.slot == n.cfg.FailMasterAt) || n.dead.Contains(newMaster) {
+		// The elected master is dead before it starts clocking — either the
+		// legacy single-shot FailMasterAt failure or a scheduled crash. The
+		// network goes silent until the designated node's timeout fires
+		// (§8); the designated node skips dead stations.
+		n.dead = n.dead.Add(newMaster)
 		n.pipe.Emit(obs.Event{Kind: obs.KindMasterLoss, Time: now, Slot: n.slot, Node: newMaster})
 		timeout := timing.Time(n.cfg.RecoveryTimeoutSlots) * n.params.SlotTime()
 		n.sim.Post(now+timeout, func(t timing.Time) {
 			n.master = n.cfg.DesignatedNode
-			if n.master == n.deadNode {
+			for i := 0; n.dead.Contains(n.master) && i < n.r.Nodes(); i++ {
 				n.master = n.r.Next(n.master)
 			}
 			n.pending = core.Outcome{Master: n.master}
@@ -743,14 +827,94 @@ func (n *Network) endSlot(now timing.Time) {
 		})
 		return
 	}
+	if n.inj != nil && n.inj.DropDistribution() {
+		// The distribution packet is lost to a control-channel bit error: no
+		// node learns the arbitration outcome, so no grants execute and the
+		// elected master never takes over. The incumbent — which sees its
+		// own packet come back corrupt as the ring loops it around — keeps
+		// the clock with an empty outcome; the denied and granted messages
+		// stay queued and are re-requested next round.
+		n.pipe.Emit(obs.Event{Kind: obs.KindFaultInjected, Fault: fault.DistributionDrop, Time: now, Slot: n.slot, Node: n.master})
+		n.pipe.Emit(obs.Event{Kind: obs.KindFaultDetected, Fault: fault.DistributionDrop, Time: now, Slot: n.slot, Node: n.master})
+		n.pipe.Emit(obs.Event{
+			Kind: obs.KindHandover, Time: now, Slot: n.slot,
+			Node: n.master, Peer: n.master, Hops: 0, Gap: 0,
+		})
+		n.pipe.Emit(obs.Event{Kind: obs.KindFaultRecovered, Fault: fault.DistributionDrop, Time: now, Slot: n.slot, Node: n.master})
+		n.pending = core.Outcome{Master: n.master}
+		n.next = n.pending
+		n.slot++
+		n.sim.Post(now, n.startSlotFn)
+		return
+	}
 	dist := n.r.Dist(n.master, newMaster)
 	gap := n.params.HandoverBetween(n.master, newMaster)
 	n.pipe.Emit(obs.Event{
 		Kind: obs.KindHandover, Time: now, Slot: n.slot,
 		Node: n.master, Peer: newMaster, Hops: dist, Gap: gap,
 	})
+	if n.inj != nil && newMaster != n.master && n.inj.FailHandover() {
+		// The handover token is lost in the inter-slot gap: the elected
+		// master never starts clocking. Equation 1's gap still elapses (the
+		// KindHandover above keeps the accounting honest); the incumbent
+		// detects the silence after one further slot time — the forfeited
+		// slot — and re-takes the clock with an empty outcome.
+		n.pipe.Emit(obs.Event{Kind: obs.KindFaultInjected, Fault: fault.HandoverFail, Time: now, Slot: n.slot, Node: newMaster})
+		silence := gap + n.params.SlotTime()
+		n.sim.Post(now+silence, func(t timing.Time) {
+			n.pipe.Emit(obs.Event{Kind: obs.KindFaultDetected, Fault: fault.HandoverFail, Time: t, Slot: n.slot, Node: n.master, Gap: silence})
+			n.pending = core.Outcome{Master: n.master}
+			n.next = n.pending
+			n.pipe.Emit(obs.Event{Kind: obs.KindFaultRecovered, Fault: fault.HandoverFail, Time: t, Slot: n.slot, Node: n.master})
+			n.slot++
+			n.startSlot(t)
+		})
+		return
+	}
 	n.master = newMaster
 	n.pending = n.next
 	n.slot++
 	n.sim.Post(now+gap, n.startSlotFn)
+}
+
+// crashNode kills one station at the current slot boundary: its queue
+// expires, its request field goes silent (the next collection round detects
+// that), and — if it was about to take the clock — the master-loss recovery
+// re-forms the ring around it.
+func (n *Network) crashNode(idx int, now timing.Time) {
+	if n.dead.Contains(idx) {
+		return
+	}
+	n.dead = n.dead.Add(idx)
+	n.detectPending = n.detectPending.Add(idx)
+	n.pipe.Emit(obs.Event{Kind: obs.KindFaultInjected, Fault: fault.NodeCrash, Time: now, Slot: n.slot, Node: idx})
+	n.expireQueue(idx, now)
+}
+
+// restartNode brings a crashed station back. Everything that accumulated in
+// its queue while it was dark expires with the crash — a rebooted station
+// holds no state — and the node rejoins the collection round from the next
+// slot on.
+func (n *Network) restartNode(idx int, now timing.Time) {
+	if !n.dead.Contains(idx) {
+		return
+	}
+	if n.detectPending.Contains(idx) {
+		// No collection round ran between crash and restart (recovery
+		// silence): account the detection here so every injected crash has
+		// its matching detection event.
+		n.detectPending = n.detectPending.Remove(idx)
+		n.pipe.Emit(obs.Event{Kind: obs.KindFaultDetected, Fault: fault.NodeCrash, Time: now, Slot: n.slot, Node: idx})
+	}
+	n.expireQueue(idx, now)
+	n.dead = n.dead.Remove(idx)
+	n.pipe.Emit(obs.Event{Kind: obs.KindFaultRecovered, Fault: fault.NodeCrash, Time: now, Slot: n.slot, Node: idx})
+}
+
+// expireQueue drains a dead station's queue, emitting one KindMessageLost per
+// expired message in service order.
+func (n *Network) expireQueue(idx int, now timing.Time) {
+	for _, m := range n.nodes[idx].Drain() {
+		n.pipe.Emit(obs.Event{Kind: obs.KindMessageLost, Time: now, Slot: n.slot, Node: idx, Msg: m})
+	}
 }

@@ -2,6 +2,7 @@ package network
 
 import (
 	"ccredf/internal/core"
+	"ccredf/internal/fault"
 	"ccredf/internal/obs"
 	"ccredf/internal/ring"
 	"ccredf/internal/stats"
@@ -104,6 +105,15 @@ func (o *metricsObserver) OnEvent(e *obs.Event) {
 		m.LateDrops.Inc()
 	case obs.KindHandover, obs.KindRecovery:
 		m.GapTime += e.Gap
+	case obs.KindFaultInjected:
+		m.FaultsInjected.Inc()
+		if e.Fault == fault.NodeCrash {
+			m.NodeCrashes.Inc()
+		}
+	case obs.KindFaultDetected:
+		m.FaultsDetected.Inc()
+	case obs.KindFaultRecovered:
+		m.FaultsRecovered.Inc()
 	}
 }
 

@@ -31,6 +31,10 @@ type Snapshot struct {
 	BytesDelivered     int64 `json:"bytes_delivered"`
 	WireErrors         int64 `json:"wire_errors"`
 	Violations         int64 `json:"invariant_violations"`
+	FaultsInjected     int64 `json:"faults_injected,omitempty"`
+	FaultsDetected     int64 `json:"faults_detected,omitempty"`
+	FaultsRecovered    int64 `json:"faults_recovered,omitempty"`
+	NodeCrashes        int64 `json:"node_crashes,omitempty"`
 
 	GapTimeUs       float64                   `json:"gap_time_us"`
 	ReuseFactor     float64                   `json:"reuse_factor"`
@@ -86,6 +90,10 @@ func (n *Network) Snapshot() Snapshot {
 		BytesDelivered:     m.BytesDelivered.Value(),
 		WireErrors:         m.WireErrors.Value(),
 		Violations:         m.InvariantViolations.Value(),
+		FaultsInjected:     m.FaultsInjected.Value(),
+		FaultsDetected:     m.FaultsDetected.Value(),
+		FaultsRecovered:    m.FaultsRecovered.Value(),
+		NodeCrashes:        m.NodeCrashes.Value(),
 		GapTimeUs:          m.GapTime.Micros(),
 		ReuseFactor:        m.SpatialReuseFactor(),
 		AdmittedU:          n.adm.Utilisation(),

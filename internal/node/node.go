@@ -142,3 +142,18 @@ func (n *Node) Restore(m *sched.Message) {
 // Cancel removes the message with the given ID from the queue, reporting
 // whether it was present.
 func (n *Node) Cancel(msgID int64) bool { return n.queue.Remove(msgID) }
+
+// Drain empties the queue and returns the removed messages in service order
+// (highest class, earliest deadline first). The owning network uses it to
+// expire the queue of a crashed node: everything the station held — or
+// accumulated while it was dark — is lost with it.
+func (n *Node) Drain() []*sched.Message {
+	if n.queue.Len() == 0 {
+		return nil
+	}
+	out := make([]*sched.Message, 0, n.queue.Len())
+	for m := n.queue.Pop(); m != nil; m = n.queue.Pop() {
+		out = append(out, m)
+	}
+	return out
+}

@@ -26,6 +26,7 @@ type jsonlEvent struct {
 	Links     []int   `json:"links,omitempty"`
 	Grants    int     `json:"grants,omitempty"`
 	Prio      float64 `json:"prio,omitempty"`
+	Fault     string  `json:"fault,omitempty"`
 	Corrupted bool    `json:"corrupted,omitempty"`
 	User      bool    `json:"user,omitempty"`
 }
@@ -82,6 +83,8 @@ func (x *JSONLExporter) OnEvent(e *Event) {
 		}
 	case KindRequestSampled:
 		rec.Prio = float64(e.Req.Prio)
+	case KindFaultInjected, KindFaultDetected, KindFaultRecovered:
+		rec.Fault = e.Fault.String()
 	}
 	if err := x.enc.Encode(&rec); err != nil {
 		x.err = err

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ccredf/internal/core"
+	"ccredf/internal/fault"
 	"ccredf/internal/ring"
 	"ccredf/internal/sched"
 )
@@ -53,6 +54,9 @@ func exportFixture() []Event {
 		{Kind: KindMessageLost, Time: 230, Slot: 12, Node: 1, Msg: msg},
 		{Kind: KindDeadlineMiss, Time: 240, Slot: 13, Node: 1, User: true, Msg: msg},
 		{Kind: KindLateDrop, Time: 250, Slot: 13, Node: 1, Msg: msg},
+		{Kind: KindFaultInjected, Time: 260, Slot: 14, Node: 3, Fault: fault.NodeCrash},
+		{Kind: KindFaultDetected, Time: 270, Slot: 15, Node: 3, Fault: fault.NodeCrash},
+		{Kind: KindFaultRecovered, Time: 280, Slot: 16, Node: 3, Fault: fault.NodeCrash},
 	}
 }
 
@@ -134,6 +138,10 @@ func TestExportRoundTrip(t *testing.T) {
 			}
 		case KindMessageComplete:
 			requireField("latency", float64(e.Latency))
+		case KindFaultInjected, KindFaultDetected, KindFaultRecovered:
+			if rec["fault"] != e.Fault.String() {
+				t.Errorf("line %d (%v): fault = %v, want %q", i, e.Kind, rec["fault"], e.Fault)
+			}
 		case KindDeadlineMiss:
 			if rec["user"] != true {
 				t.Errorf("line %d: user flag lost", i)

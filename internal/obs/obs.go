@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"ccredf/internal/core"
+	"ccredf/internal/fault"
 	"ccredf/internal/sched"
 	"ccredf/internal/timing"
 )
@@ -75,6 +76,17 @@ const (
 	// KindLateDrop marks a real-time message discarded by the DropLate
 	// policy because its network-level deadline had already passed.
 	KindLateDrop
+	// KindFaultInjected marks the injector firing one fault; Fault carries
+	// the fault class and Node the affected node (the clocking master for
+	// control-channel faults, the victim for crashes).
+	KindFaultInjected
+	// KindFaultDetected marks the protocol noticing an injected fault: the
+	// master seeing a corrupt control packet, the incumbent timing out on a
+	// silent handover, the collection round sampling a dead node.
+	KindFaultDetected
+	// KindFaultRecovered marks the recovery action completing: the incumbent
+	// master re-taking the clock, or a crashed node rejoining the ring.
+	KindFaultRecovered
 
 	numKinds
 )
@@ -96,6 +108,9 @@ var kindNames = [numKinds]string{
 	KindMessageLost:       "message-lost",
 	KindDeadlineMiss:      "deadline-miss",
 	KindLateDrop:          "late-drop",
+	KindFaultInjected:     "fault-injected",
+	KindFaultDetected:     "fault-detected",
+	KindFaultRecovered:    "fault-recovered",
 }
 
 // String returns the kind's wire name (used by the JSONL exporter).
@@ -136,9 +151,13 @@ type Event struct {
 	// Denied is the number of requests the slot's arbitration refused
 	// (KindSlotData).
 	Denied int
-	// Gap is the inter-slot gap of a KindHandover, or the silent timeout of
-	// a KindRecovery.
+	// Gap is the inter-slot gap of a KindHandover, the silent timeout of a
+	// KindRecovery, or the forfeited silence of a KindFaultDetected after a
+	// failed handover.
 	Gap timing.Time
+	// Fault classifies the fault of KindFaultInjected/Detected/Recovered
+	// events (fault.None otherwise).
+	Fault fault.Kind
 	// Latency is the release-to-completion latency of a
 	// KindMessageComplete.
 	Latency timing.Time

@@ -139,19 +139,27 @@ func (a *Admission) UMax() float64 { return a.umax }
 
 // Utilisation returns the total utilisation of the accepted set Ma.
 func (a *Admission) Utilisation() float64 {
-	u := 0.0
-	for _, c := range a.active {
-		u += c.Utilisation(a.params.SlotTime())
-	}
-	return u
+	return a.sum(Connection.Utilisation)
 }
 
 // Density returns the total density of the accepted set Ma. For the
 // paper's implicit-deadline connections this equals Utilisation.
 func (a *Admission) Density() float64 {
+	return a.sum(Connection.Density)
+}
+
+// sum folds term over the accepted set in ascending connection-ID order:
+// float addition is not associative, so summing in map order would make the
+// last bits of the total (and everything derived from it) vary run to run.
+func (a *Admission) sum(term func(Connection, timing.Time) float64) float64 {
+	ids := make([]int, 0, len(a.active))
+	for id := range a.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	u := 0.0
-	for _, c := range a.active {
-		u += c.Density(a.params.SlotTime())
+	for _, id := range ids {
+		u += term(a.active[id], a.params.SlotTime())
 	}
 	return u
 }

@@ -71,6 +71,10 @@ func (s *Server) WriteMetrics(w io.Writer) {
 
 	counter("ccr_served_events_streamed_total", "Protocol-event lines delivered to stream subscribers.", streamed)
 	counter("ccr_served_events_dropped_total", "Protocol-event lines dropped on slow subscribers.", dropped)
+
+	counter("ccr_served_faults_injected_total", "Faults injected across all simulations run by this server.", s.faultsInjected.Load())
+	counter("ccr_served_faults_detected_total", "Injected faults detected by the protocol.", s.faultsDetected.Load())
+	counter("ccr_served_faults_recovered_total", "Injected faults recovered from.", s.faultsRecovered.Load())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

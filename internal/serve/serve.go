@@ -238,6 +238,12 @@ type Server struct {
 	eventsStreamed atomic.Int64
 	eventsDropped  atomic.Int64
 
+	// Fault-injection counters aggregated over every simulation this server
+	// has actually run (cache hits do not re-count).
+	faultsInjected  atomic.Int64
+	faultsDetected  atomic.Int64
+	faultsRecovered atomic.Int64
+
 	wallMu    sync.Mutex
 	wallSum   float64
 	wallCount int64
@@ -521,6 +527,10 @@ func (s *Server) runSim(ctx context.Context, j *Job) ([]byte, error) {
 		}
 		res.Net.Run(next)
 	}
+	snap := res.Net.Snapshot()
+	s.faultsInjected.Add(snap.FaultsInjected)
+	s.faultsDetected.Add(snap.FaultsDetected)
+	s.faultsRecovered.Add(snap.FaultsRecovered)
 	return Summarize(res.Net, j.key).Encode()
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"ccredf/internal/fault"
 	"ccredf/internal/sweep"
 )
 
@@ -25,6 +26,9 @@ type SweepSpec struct {
 	// still occupies a single service worker slot; Workers only controls
 	// parallelism within it.
 	Workers int `json:"workers,omitempty"`
+	// Faults is an optional fault-injection spec (fault.ParseSpec syntax)
+	// applied identically to every grid point.
+	Faults string `json:"faults,omitempty"`
 }
 
 // normalise fills the implicit axis defaults in place, so equivalent
@@ -79,12 +83,21 @@ func (sp *SweepSpec) Validate() error {
 			return fmt.Errorf("sweep: localities[%d]: unknown pattern %q", i, l)
 		}
 	}
+	if sp.Faults != "" {
+		if _, err := fault.ParseSpec(sp.Faults); err != nil {
+			return fmt.Errorf("sweep: faults: %w", err)
+		}
+	}
 	return nil
 }
 
 // Grid enumerates the spec's cartesian product in deterministic order.
 func (sp *SweepSpec) Grid() []sweep.Point {
-	return sweep.Grid(sp.Protocols, sp.Nodes, sp.Loads, sp.Localities, sp.Seeds)
+	pts := sweep.Grid(sp.Protocols, sp.Nodes, sp.Loads, sp.Localities, sp.Seeds)
+	if sp.Faults != "" {
+		pts = sweep.WithFaults(pts, sp.Faults)
+	}
+	return pts
 }
 
 // workerCount resolves the within-sweep parallelism.
@@ -106,17 +119,19 @@ func SweepKey(sp *SweepSpec) (string, error) {
 
 // SweepOutcome is the wire form of one grid point's result.
 type SweepOutcome struct {
-	Protocol     string  `json:"protocol"`
-	Nodes        int     `json:"nodes"`
-	Load         float64 `json:"load"`
-	Locality     string  `json:"locality"`
-	Seed         uint64  `json:"seed"`
-	Delivered    int64   `json:"delivered"`
-	MissRatio    float64 `json:"miss_ratio"`
-	P99LatencyUs float64 `json:"p99_latency_us"`
-	ReuseFactor  float64 `json:"reuse_factor"`
-	GapFraction  float64 `json:"gap_fraction"`
-	Error        string  `json:"error,omitempty"`
+	Protocol        string  `json:"protocol"`
+	Nodes           int     `json:"nodes"`
+	Load            float64 `json:"load"`
+	Locality        string  `json:"locality"`
+	Seed            uint64  `json:"seed"`
+	Delivered       int64   `json:"delivered"`
+	MissRatio       float64 `json:"miss_ratio"`
+	P99LatencyUs    float64 `json:"p99_latency_us"`
+	ReuseFactor     float64 `json:"reuse_factor"`
+	GapFraction     float64 `json:"gap_fraction"`
+	FaultsInjected  int64   `json:"faults_injected,omitempty"`
+	FaultsRecovered int64   `json:"faults_recovered,omitempty"`
+	Error           string  `json:"error,omitempty"`
 }
 
 // SweepResult is the machine-readable result of one sweep job, deterministic
@@ -133,16 +148,18 @@ func encodeSweep(key string, outcomes []sweep.Outcome) ([]byte, error) {
 	res := SweepResult{Schema: SummarySchema, Engine: EngineVersion, Key: key}
 	for _, o := range outcomes {
 		w := SweepOutcome{
-			Protocol:     o.Protocol,
-			Nodes:        o.Nodes,
-			Load:         o.Load,
-			Locality:     o.Locality,
-			Seed:         o.Seed,
-			Delivered:    o.Delivered,
-			MissRatio:    o.MissRatio,
-			P99LatencyUs: o.P99Latency.Micros(),
-			ReuseFactor:  o.ReuseFactor,
-			GapFraction:  o.GapFraction,
+			Protocol:        o.Protocol,
+			Nodes:           o.Nodes,
+			Load:            o.Load,
+			Locality:        o.Locality,
+			Seed:            o.Seed,
+			Delivered:       o.Delivered,
+			MissRatio:       o.MissRatio,
+			P99LatencyUs:    o.P99Latency.Micros(),
+			ReuseFactor:     o.ReuseFactor,
+			GapFraction:     o.GapFraction,
+			FaultsInjected:  o.FaultsInjected,
+			FaultsRecovered: o.FaultsRecovered,
 		}
 		if o.Err != nil {
 			w.Error = o.Err.Error()

@@ -14,6 +14,7 @@ import (
 
 	"ccredf/internal/ccfpr"
 	"ccredf/internal/core"
+	"ccredf/internal/fault"
 	"ccredf/internal/network"
 	"ccredf/internal/rng"
 	"ccredf/internal/runner"
@@ -38,11 +39,29 @@ type Point struct {
 	Locality string
 	// Seed drives the point's randomness.
 	Seed uint64
+	// FaultSpec is an optional fault-injection spec (fault.ParseSpec
+	// syntax, e.g. "coll=0.01,crash=3@100+50"); empty disables injection.
+	// Kept as the compact string so Point stays comparable.
+	FaultSpec string
 }
 
 // String renders the coordinate compactly.
 func (p Point) String() string {
-	return fmt.Sprintf("%s/N%d/U%.2f/%s/s%d", p.Protocol, p.Nodes, p.Load, p.Locality, p.Seed)
+	s := fmt.Sprintf("%s/N%d/U%.2f/%s/s%d", p.Protocol, p.Nodes, p.Load, p.Locality, p.Seed)
+	if p.FaultSpec != "" {
+		s += "/f[" + p.FaultSpec + "]"
+	}
+	return s
+}
+
+// WithFaults returns the points with the given fault spec stamped on every
+// coordinate ("" clears it).
+func WithFaults(points []Point, spec string) []Point {
+	out := append([]Point(nil), points...)
+	for i := range out {
+		out[i].FaultSpec = spec
+	}
+	return out
 }
 
 // Outcome is the measured result at one point.
@@ -58,6 +77,10 @@ type Outcome struct {
 	ReuseFactor float64
 	// GapFraction is hand-over time over elapsed time.
 	GapFraction float64
+	// FaultsInjected and FaultsRecovered count injected faults and the
+	// recoveries the protocol completed (equal when every fault healed).
+	FaultsInjected  int64
+	FaultsRecovered int64
 	// Err records a failed point (nil on success).
 	Err error
 }
@@ -119,7 +142,16 @@ func runPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
 		out.Err = err
 		return out
 	}
-	net, err := network.New(network.Config{Params: p, Protocol: proto, Seed: pt.Seed})
+	cfg := network.Config{Params: p, Protocol: proto, Seed: pt.Seed}
+	if pt.FaultSpec != "" {
+		plan, err := fault.ParseSpec(pt.FaultSpec)
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		cfg.Faults = &plan
+	}
+	net, err := network.New(cfg)
 	if err != nil {
 		out.Err = err
 		return out
@@ -150,6 +182,8 @@ func runPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
 	out.P99Latency = m.Latency[sched.ClassRealTime].Quantile(0.99)
 	out.ReuseFactor = m.SpatialReuseFactor()
 	out.GapFraction = float64(m.GapTime) / float64(net.Now())
+	out.FaultsInjected = m.FaultsInjected.Value()
+	out.FaultsRecovered = m.FaultsRecovered.Value()
 	return out
 }
 
@@ -182,7 +216,7 @@ func RunCtx(ctx context.Context, points []Point, workers int, horizonSlots int64
 
 // WriteCSV emits the outcomes as CSV with a header row.
 func WriteCSV(w io.Writer, outcomes []Outcome) error {
-	if _, err := fmt.Fprintln(w, "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,error"); err != nil {
+	if _, err := fmt.Fprintln(w, "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,faults_injected,faults_recovered,error"); err != nil {
 		return err
 	}
 	for _, o := range outcomes {
@@ -190,9 +224,10 @@ func WriteCSV(w io.Writer, outcomes []Outcome) error {
 		if o.Err != nil {
 			errStr = o.Err.Error()
 		}
-		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%d,%d,%.6f,%.3f,%.4f,%.6f,%s\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%d,%d,%.6f,%.3f,%.4f,%.6f,%d,%d,%s\n",
 			o.Protocol, o.Nodes, o.Load, o.Locality, o.Seed,
-			o.Delivered, o.MissRatio, o.P99Latency.Micros(), o.ReuseFactor, o.GapFraction, errStr); err != nil {
+			o.Delivered, o.MissRatio, o.P99Latency.Micros(), o.ReuseFactor, o.GapFraction,
+			o.FaultsInjected, o.FaultsRecovered, errStr); err != nil {
 			return err
 		}
 	}

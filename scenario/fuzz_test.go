@@ -1,0 +1,36 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioValidate feeds arbitrary JSON to the scenario loader — the
+// exact surface ccr-served exposes to untrusted clients. Load (parse +
+// Validate) must never panic, and any scenario it accepts must survive a
+// marshal/reload cycle: validation may not depend on incidental input
+// spelling.
+func FuzzScenarioValidate(f *testing.F) {
+	f.Add([]byte(`{"nodes":8,"horizon_slots":1000}`))
+	f.Add([]byte(`{"nodes":4,"horizon_slots":50,"connections":[{"src":0,"dests":[2],"period_slots":10,"slots":1}]}`))
+	f.Add([]byte(`{"nodes":8,"horizon_slots":100,"poisson":[{"node":2,"class":"be","mean_interarrival_slots":25,"slots":1}]}`))
+	f.Add([]byte(`{"nodes":8,"horizon_slots":100,"faults":{"seed":9,"collection_drop_prob":0.01,"crashes":[{"node":3,"at_slot":10,"restart_slot":20}]}}`))
+	f.Add([]byte(`{"nodes":1,"horizon_slots":100}`))
+	f.Add([]byte(`{"nodes":8,"horizon_slots":100,"faults":{"collection_drop_prob":2}}`))
+	f.Add([]byte(`{"nodes":8}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		if _, err := Load(bytes.NewReader(out)); err != nil {
+			t.Fatalf("accepted scenario rejected after marshal round trip: %v\n%s", err, out)
+		}
+	})
+}

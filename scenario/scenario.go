@@ -57,6 +57,11 @@ type Scenario struct {
 	CheckInvariants bool `json:"check_invariants,omitempty"`
 	// DataCheck attaches the data-channel codec verifier.
 	DataCheck bool `json:"data_check,omitempty"`
+	// Faults declares deterministic fault injection: control-channel drop
+	// probabilities, handover failures and node crash/restart schedules.
+	// Omitted (or all-zero) leaves the run byte-identical to a fault-free
+	// network.
+	Faults *ccredf.FaultPlan `json:"faults,omitempty"`
 
 	// Physics overrides (zero = default).
 	LinkLengthM      float64   `json:"link_length_m,omitempty"`
@@ -170,6 +175,11 @@ func (s *Scenario) Validate() error {
 	}
 	if s.SlotPayloadBytes < 0 {
 		return fmt.Errorf("scenario: slot_payload_bytes %d negative", s.SlotPayloadBytes)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(s.Nodes); err != nil {
+			return fmt.Errorf("scenario: faults: %w", err)
+		}
 	}
 	for i, c := range s.Connections {
 		if err := s.checkNode(c.Src); err != nil {
@@ -337,6 +347,7 @@ func (s *Scenario) Build() (*Result, error) {
 	cfg.TraceCapacity = s.TraceCapacity
 	cfg.CheckInvariants = s.CheckInvariants
 	cfg.DataCheck = s.DataCheck
+	cfg.Faults = s.Faults
 	cfg.Seed = s.Seed
 	if cfg.Seed == 0 {
 		cfg.Seed = 1

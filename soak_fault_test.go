@@ -1,0 +1,118 @@
+//go:build soak
+
+package ccredf_test
+
+import (
+	"testing"
+
+	"ccredf"
+)
+
+// TestFaultSoak is the long randomized crash/restart soak (build tag
+// "soak"): every node on a 16-node ring crashes and restarts several times
+// at randomized slots while control-channel drops and handover failures fire
+// probabilistically, under admitted real-time plus best-effort load. The
+// protocol must detect and recover every injected fault, the invariants
+// observer must report zero violations, and the ring must keep delivering
+// throughout. Run with: go test -tags soak -run TestFaultSoak .
+func TestFaultSoak(t *testing.T) {
+	const (
+		nodes   = 16
+		horizon = 60_000
+	)
+	rnd := ccredf.NewRand(777)
+	plan := &ccredf.FaultPlan{
+		Seed:                 777,
+		CollectionDropProb:   0.005,
+		DistributionDropProb: 0.005,
+		HandoverFailProb:     0.002,
+	}
+	// Randomized but valid crash schedule: per node a sequence of
+	// crash/restart windows with strictly increasing, non-overlapping slots.
+	for n := 0; n < nodes; n++ {
+		at := int64(1 + rnd.Intn(4000))
+		for len(plan.Crashes) == 0 || at < horizon-2000 {
+			restart := at + int64(50+rnd.Intn(1000))
+			if restart >= horizon {
+				break
+			}
+			plan.Crashes = append(plan.Crashes, ccredf.FaultCrash{Node: n, At: at, Restart: restart})
+			at = restart + int64(1000+rnd.Intn(8000))
+			if at >= horizon-2000 {
+				break
+			}
+		}
+	}
+
+	cfg := ccredf.DefaultConfig(nodes)
+	cfg.CheckInvariants = true
+	cfg.Seed = 99
+	cfg.Faults = plan
+	net, err := ccredf.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := net.Params()
+	for i := 0; i < nodes; i++ {
+		if _, err := net.OpenConnection(ccredf.Connection{
+			Src: i, Dests: ccredf.Node((i + 5) % nodes),
+			Period: ccredf.Time(20+i) * p.SlotTime(), Slots: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		net.AttachPoisson(ccredf.Poisson{
+			Node: i, Class: ccredf.ClassBestEffort,
+			MeanInterarrival: 60 * p.SlotTime(), Slots: 1,
+			RelDeadline: 400 * p.SlotTime(),
+		}, uint64(2000+i))
+	}
+
+	injected := map[ccredf.FaultKind]int64{}
+	detected := map[ccredf.FaultKind]int64{}
+	recovered := map[ccredf.FaultKind]int64{}
+	net.Attach(ccredf.ObserverFunc(func(e *ccredf.Event) {
+		switch e.Kind {
+		case ccredf.KindFaultInjected:
+			injected[e.Fault]++
+		case ccredf.KindFaultDetected:
+			detected[e.Fault]++
+		case ccredf.KindFaultRecovered:
+			recovered[e.Fault]++
+		}
+	}))
+
+	net.RunSlots(horizon)
+
+	s := net.Snapshot()
+	t.Logf("fault soak: %d slots, %d delivered, %d faults injected (%d crashes), %d messages expired",
+		s.Slots, s.MessagesDelivered, s.FaultsInjected, s.NodeCrashes, s.MessagesLost)
+	for k, n := range injected {
+		if detected[k] != n {
+			t.Errorf("%v: injected %d, detected %d", k, n, detected[k])
+		}
+		if recovered[k] != n {
+			t.Errorf("%v: injected %d, recovered %d", k, n, recovered[k])
+		}
+	}
+	if got := injected[ccredf.FaultNodeCrash]; got != int64(len(plan.Crashes)) {
+		t.Errorf("crashes injected = %d, want the full schedule of %d", got, len(plan.Crashes))
+	}
+	if s.FaultsInjected == 0 || s.NodeCrashes == 0 {
+		t.Fatal("soak injected no faults; the plan is broken")
+	}
+	if s.Violations != 0 {
+		t.Errorf("invariant violations under fault soak: %d (%v)", s.Violations, net.Metrics().Violations)
+	}
+	if s.WireErrors != 0 {
+		t.Errorf("wire errors: %d", s.WireErrors)
+	}
+	if s.MessagesLost == 0 {
+		t.Error("no messages expired across dozens of crashes; queue expiry is not firing")
+	}
+	if s.MessagesDelivered < horizon/4 {
+		t.Errorf("suspiciously few deliveries under faults: %d", s.MessagesDelivered)
+	}
+	if s.QueueDepth > 5_000 {
+		t.Errorf("queue depth %d suggests a leak or livelock", s.QueueDepth)
+	}
+}
