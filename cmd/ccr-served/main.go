@@ -13,6 +13,11 @@
 //
 // SIGTERM/SIGINT drains gracefully: intake stops, queued and running jobs
 // finish (up to -drain-timeout), then the process exits.
+//
+// With -journal PATH the daemon is crash-safe: accepted jobs are fsynced to
+// an append-only journal before they run, and a restart re-enqueues
+// incomplete jobs and replays finished results into the cache, so a client
+// resubmitting after a crash gets a byte-identical cache hit.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"time"
 
 	"ccredf/internal/serve"
+	"ccredf/internal/serve/journal"
 )
 
 func main() {
@@ -40,6 +46,13 @@ func main() {
 		chunkSlots   = flag.Int64("chunk-slots", 512, "cancellation granularity in slot periods")
 		maxBodyKB    = flag.Int64("max-body-kb", 1024, "largest accepted request body in KiB")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before hard-cancelling jobs")
+
+		journalPath   = flag.String("journal", "", "job-journal path for crash-safe durability (empty disables)")
+		journalCompMB = flag.Int64("journal-compact-mb", 8, "journal size in MiB that triggers compaction")
+		breakerK      = flag.Int("breaker-threshold", 5, "consecutive job failures that trip cache-only degraded mode (-1 disables)")
+		breakerCool   = flag.Duration("breaker-cooldown", 30*time.Second, "open-breaker wait before a half-open probe job")
+		rate          = flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
+		rateBurst     = flag.Int("rate-burst", 0, "per-client token-bucket burst (default 2x -rate)")
 	)
 	flag.Parse()
 
@@ -47,13 +60,31 @@ func main() {
 	if *cacheMB <= 0 {
 		cacheBytes = -1 // NewCache stores nothing on a negative budget
 	}
+
+	var jnl *journal.Journal
+	if *journalPath != "" {
+		var err error
+		jnl, err = journal.Open(*journalPath, journal.Options{CompactBytes: *journalCompMB << 20})
+		if err != nil {
+			log.Fatalf("ccr-served: journal: %v", err)
+		}
+		rec := jnl.Recovery()
+		log.Printf("ccr-served: journal %s: %d record(s) replayed, %d incomplete job(s) to re-run, %d finished result(s) restored, %d line(s) skipped",
+			*journalPath, rec.Records, len(rec.Pending), len(rec.Results), rec.Skipped)
+	}
+
 	srv := serve.New(serve.Options{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CacheBytes:     cacheBytes,
-		DefaultTimeout: *timeout,
-		ChunkSlots:     *chunkSlots,
-		MaxBodyBytes:   *maxBodyKB << 10,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		CacheBytes:       cacheBytes,
+		DefaultTimeout:   *timeout,
+		ChunkSlots:       *chunkSlots,
+		MaxBodyBytes:     *maxBodyKB << 10,
+		Journal:          jnl,
+		BreakerThreshold: *breakerK,
+		BreakerCooldown:  *breakerCool,
+		RatePerSec:       *rate,
+		RateBurst:        *rateBurst,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -65,6 +96,9 @@ func main() {
 		defer close(drained)
 		<-ctx.Done()
 		stop() // a second signal kills the process the default way
+		if srv.Degraded() {
+			log.Printf("ccr-served: draining while DEGRADED (circuit breaker open, cache-only)")
+		}
 		log.Printf("ccr-served: draining (budget %v)…", *drainTimeout)
 		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
@@ -75,6 +109,11 @@ func main() {
 			log.Printf("ccr-served: drain incomplete, cancelling jobs: %v", err)
 		}
 		srv.Close()
+		if jnl != nil {
+			if err := jnl.Close(); err != nil {
+				log.Printf("ccr-served: journal close: %v", err)
+			}
+		}
 	}()
 
 	log.Printf("ccr-served: listening on %s (workers=%d queue=%d cache=%dMiB engine=%s)",

@@ -6,18 +6,30 @@
 // Example:
 //
 //	ccr-sweep -protocols ccr-edf,cc-fpr,tdma -loads 0.3,0.6,0.9 -csv out.csv
+//
+// With -remote URL the grid is not run locally: the spec is submitted to a
+// ccr-served daemon through the retrying client (bounded backoff honouring
+// Retry-After), so repeated sweeps hit the daemon's result cache and a
+// sweep survives transient 429/503 responses.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"ccredf"
+	"ccredf/internal/serve"
+	"ccredf/internal/serve/client"
 	"ccredf/internal/sweep"
+	"ccredf/internal/timing"
 )
 
 func main() {
@@ -31,6 +43,8 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
 		csvPath    = flag.String("csv", "", "also write results to this CSV file")
 		faults     = flag.String("faults", "", "fault-injection spec applied to every point, e.g. coll=0.01,crash=3@100+50")
+		remote     = flag.String("remote", "", "run the sweep on a ccr-served daemon at this base URL instead of locally")
+		remoteWait = flag.Duration("remote-timeout", 10*time.Minute, "server-side job timeout for -remote sweeps")
 	)
 	flag.Parse()
 
@@ -84,16 +98,39 @@ func main() {
 		os.Exit(2)
 	}
 
-	grid := sweep.Grid(strings.Split(*protocols, ","), ns, us, strings.Split(*localities, ","), ss)
 	if *faults != "" {
 		if _, err := ccredf.ParseFaultSpec(*faults); err != nil {
 			fmt.Fprintln(os.Stderr, "ccr-sweep: -faults:", err)
 			os.Exit(2)
 		}
-		grid = sweep.WithFaults(grid, *faults)
 	}
-	fmt.Printf("sweeping %d points on %d workers (%d slots each)…\n", len(grid), *workers, *slots)
-	outcomes := sweep.Run(grid, *workers, *slots)
+
+	var outcomes []sweep.Outcome
+	if *remote != "" {
+		spec := &serve.SweepSpec{
+			Protocols:    strings.Split(*protocols, ","),
+			Nodes:        ns,
+			Loads:        us,
+			Localities:   strings.Split(*localities, ","),
+			Seeds:        ss,
+			HorizonSlots: *slots,
+			Workers:      *workers,
+			Faults:       *faults,
+		}
+		var err error
+		outcomes, err = runRemote(*remote, spec, *remoteWait, *faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccr-sweep: remote:", err)
+			os.Exit(1)
+		}
+	} else {
+		grid := sweep.Grid(strings.Split(*protocols, ","), ns, us, strings.Split(*localities, ","), ss)
+		if *faults != "" {
+			grid = sweep.WithFaults(grid, *faults)
+		}
+		fmt.Printf("sweeping %d points on %d workers (%d slots each)…\n", len(grid), *workers, *slots)
+		outcomes = sweep.Run(grid, *workers, *slots)
+	}
 
 	failed := 0
 	for _, o := range outcomes {
@@ -122,4 +159,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ccr-sweep: %d point(s) failed\n", failed)
 		os.Exit(1)
 	}
+}
+
+// runRemote submits the sweep spec to a ccr-served daemon and converts the
+// wire outcomes back into sweep.Outcome, so the table/CSV output below is
+// identical whether the grid ran locally or remotely.
+func runRemote(base string, spec *serve.SweepSpec, timeout time.Duration, faultSpec string) ([]sweep.Outcome, error) {
+	c := client.New(base, client.Options{})
+	ctx := context.Background()
+
+	st, body, err := c.RunSweep(ctx, spec, timeout)
+	if err != nil {
+		return nil, err
+	}
+	var res serve.SweepResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("decode sweep result: %w", err)
+	}
+	if st.Cached {
+		fmt.Printf("sweep %s: %d points served from %s cache\n", st.ID, len(res.Points), base)
+	} else {
+		fmt.Printf("sweep %s: %d points run on %s (%.0f ms)\n", st.ID, len(res.Points), base, st.WallMS)
+	}
+
+	out := make([]sweep.Outcome, 0, len(res.Points))
+	for _, p := range res.Points {
+		o := sweep.Outcome{
+			Point: sweep.Point{
+				Protocol:  p.Protocol,
+				Nodes:     p.Nodes,
+				Load:      p.Load,
+				Locality:  p.Locality,
+				Seed:      p.Seed,
+				FaultSpec: faultSpec,
+			},
+			Delivered:       p.Delivered,
+			MissRatio:       p.MissRatio,
+			P99Latency:      timing.Time(p.P99LatencyUs * float64(timing.Microsecond)),
+			ReuseFactor:     p.ReuseFactor,
+			GapFraction:     p.GapFraction,
+			FaultsInjected:  p.FaultsInjected,
+			FaultsRecovered: p.FaultsRecovered,
+		}
+		if p.Error != "" {
+			o.Err = errors.New(p.Error)
+		}
+		out = append(out, o)
+	}
+	return out, nil
 }

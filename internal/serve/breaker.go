@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the circuit-breaker phase. The state machine is the
+// classic three-state breaker, driven by job outcomes:
+//
+//	closed ──K consecutive failures──▶ open ──cooldown elapses──▶ half-open
+//	   ▲                                 ▲                            │
+//	   └────────── probe succeeds ───────┼──────── probe fails ───────┘
+//
+// While open (and half-open), the server is in degraded mode: cache hits
+// are still served, but submissions that would need a simulation are
+// refused with ErrDegraded. Half-open admits exactly one probe job; its
+// outcome decides whether the breaker closes or re-opens.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker trips the serving layer into cache-only degraded mode after K
+// consecutive job failures (panics included). A zero threshold disables it:
+// allow always admits and outcomes are ignored.
+type breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	cooldown    time.Duration
+	now         func() time.Time // injectable for tests
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+	trips       int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a cache-missing submission may enter the queue.
+// When the cooldown of an open breaker has elapsed it transitions to
+// half-open and admits a single probe.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a finished job: the consecutive-failure run ends, and a
+// successful half-open probe closes the breaker.
+func (b *breaker) success() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.probing = false
+	}
+}
+
+// failure records a failed job (engine error, timeout or panic). K in a row
+// trips the breaker; any failure while half-open re-opens it.
+func (b *breaker) failure() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	switch b.state {
+	case breakerClosed:
+		if b.consecutive >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		}
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.trips++
+	case breakerOpen:
+		// A job admitted before the trip failed too; restart the cooldown.
+		b.openedAt = b.now()
+	}
+}
+
+// cancelled releases a half-open probe slot when the probe job was
+// cancelled rather than judged, so the next submission can re-probe.
+func (b *breaker) cancelled() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// degraded reports whether the server should refuse cache-missing work.
+func (b *breaker) degraded() bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerClosed
+}
+
+// breakerView is a point-in-time snapshot for /readyz and /metrics.
+type breakerView struct {
+	State       string
+	Degraded    bool
+	Consecutive int
+	Trips       int64
+	RetryAfter  time.Duration // remaining cooldown (0 when not open)
+}
+
+func (b *breaker) view() breakerView {
+	if b.threshold <= 0 {
+		return breakerView{State: breakerClosed.String()}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v := breakerView{
+		State:       b.state.String(),
+		Degraded:    b.state != breakerClosed,
+		Consecutive: b.consecutive,
+		Trips:       b.trips,
+	}
+	if b.state == breakerOpen {
+		if left := b.cooldown - b.now().Sub(b.openedAt); left > 0 {
+			v.RetryAfter = left
+		}
+	}
+	return v
+}

@@ -1,0 +1,237 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// --- state machine unit tests (injected clock) ---
+
+func testBreaker(threshold int, cooldown time.Duration) (*breaker, *time.Time) {
+	b := newBreaker(threshold, cooldown)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute)
+	for i := 0; i < 2; i++ {
+		b.failure()
+		if !b.allow() {
+			t.Fatalf("breaker open after only %d failure(s)", i+1)
+		}
+	}
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker still closed after threshold failures")
+	}
+	v := b.view()
+	if v.State != "open" || !v.Degraded || v.Trips != 1 || v.Consecutive != 3 {
+		t.Fatalf("unexpected view %+v", v)
+	}
+	if v.RetryAfter != time.Minute {
+		t.Fatalf("RetryAfter = %v, want full cooldown", v.RetryAfter)
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	b, _ := testBreaker(3, time.Minute)
+	b.failure()
+	b.failure()
+	b.success()
+	b.failure()
+	b.failure()
+	if !b.allow() {
+		t.Fatal("success must reset the consecutive-failure run")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, now := testBreaker(1, time.Minute)
+	b.failure()
+	if b.allow() {
+		t.Fatal("expected open breaker")
+	}
+	*now = now.Add(2 * time.Minute)
+	// Cooldown elapsed: exactly one probe is admitted.
+	if !b.allow() {
+		t.Fatal("expected half-open probe admission")
+	}
+	if b.allow() {
+		t.Fatal("second concurrent probe must be refused")
+	}
+	// A failing probe re-opens (and re-arms the cooldown)…
+	b.failure()
+	if b.allow() {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+	if got := b.view().Trips; got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+	// …a succeeding probe closes.
+	*now = now.Add(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("expected second probe")
+	}
+	b.success()
+	if b.degraded() || !b.allow() {
+		t.Fatal("successful probe must close the breaker")
+	}
+}
+
+func TestBreakerCancelledProbeReleasesSlot(t *testing.T) {
+	b, now := testBreaker(1, time.Minute)
+	b.failure()
+	*now = now.Add(2 * time.Minute)
+	if !b.allow() {
+		t.Fatal("expected probe")
+	}
+	b.cancelled()
+	if !b.allow() {
+		t.Fatal("cancelled probe must free the slot for the next submission")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(0, time.Minute)
+	for i := 0; i < 10; i++ {
+		b.failure()
+	}
+	if !b.allow() || b.degraded() {
+		t.Fatal("threshold 0 must disable the breaker entirely")
+	}
+}
+
+// --- integration: panic isolation and degraded serving over HTTP ---
+
+// TestPanicIsolation: an engine panic fails only its own job — the error
+// carries the panic value and stack for post-mortems — and the worker
+// survives to run the next job.
+func TestPanicIsolation(t *testing.T) {
+	srv, ts, client := newTestService(t, Options{Workers: 1, BreakerThreshold: 10})
+	srv.runHook = func(j *Job) { panic("injected engine fault") }
+
+	st := submitScenario(t, client, ts.URL, testScenario(1, 2000))
+	st = awaitState(t, client, ts.URL, st.ID, StateFailed)
+	if st.State != StateFailed {
+		t.Fatalf("panicking job ended %s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "injected engine fault") || !strings.Contains(st.Error, "runJob") {
+		t.Fatalf("job error should carry panic value and stack, got: %.200s", st.Error)
+	}
+	if got := srv.panics.Load(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+
+	// The same worker must still be alive to run the next job.
+	srv.runHook = nil
+	st2 := submitScenario(t, client, ts.URL, testScenario(2, 2000))
+	if st2 = awaitState(t, client, ts.URL, st2.ID, StateDone); st2.State != StateDone {
+		t.Fatalf("post-panic job ended %s: %s", st2.State, st2.Error)
+	}
+}
+
+// TestBreakerDegradedMode: K consecutive panics trip the server into
+// cache-only mode — /readyz 503 while /healthz stays 200, cached results
+// are still served, cache misses get 503 with Retry-After, and the metrics
+// surface the degradation.
+func TestBreakerDegradedMode(t *testing.T) {
+	const k = 3
+	srv, ts, client := newTestService(t, Options{
+		Workers: 1, BreakerThreshold: k, BreakerCooldown: time.Hour,
+	})
+
+	// Seed the cache with one good result while the engine is healthy.
+	good := testScenario(1, 2000)
+	st := submitScenario(t, client, ts.URL, good)
+	goodBytes := func() []byte {
+		st = awaitState(t, client, ts.URL, st.ID, StateDone)
+		_, b := getBody(t, client, ts.URL+"/v1/jobs/"+st.ID+"/result")
+		return b
+	}()
+
+	srv.runHook = func(j *Job) { panic("engine on fire") }
+	for i := 0; i < k; i++ {
+		bad := submitScenario(t, client, ts.URL, testScenario(uint64(100+i), 2000))
+		awaitState(t, client, ts.URL, bad.ID, StateFailed)
+	}
+
+	// Tripped: readiness fails, liveness does not.
+	resp, body := getBody(t, client, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz = %d after trip, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "degraded") || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("/readyz should explain degradation with Retry-After, got %q hdr=%q",
+			body, resp.Header.Get("Retry-After"))
+	}
+	if resp, _ := getBody(t, client, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d while degraded, want 200", resp.StatusCode)
+	}
+
+	// Cache hits are still served, byte-identical.
+	hit := submitScenario(t, client, ts.URL, good)
+	if !hit.Cached || hit.State != StateDone {
+		t.Fatalf("cached scenario should still be served while degraded: %+v", hit)
+	}
+	_, hitBytes := getBody(t, client, ts.URL+"/v1/jobs/"+hit.ID+"/result")
+	if string(hitBytes) != string(goodBytes) {
+		t.Fatal("degraded-mode cache hit is not byte-identical")
+	}
+
+	// Cache misses are refused with 503 + Retry-After.
+	resp, body = postJSON(t, client, ts.URL+"/v1/jobs", testScenario(999, 2000))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cache miss while degraded = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 must carry Retry-After")
+	}
+
+	// Metrics surface the trip.
+	_, metrics := getBody(t, client, ts.URL+"/metrics")
+	for _, want := range []string{"ccr_served_degraded 1", "ccr_served_breaker_trips_total 1", "ccr_served_panics_total 3"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestBreakerRecoversViaProbe: once the cooldown elapses, a single probe
+// job is admitted; its success closes the breaker and /readyz goes green.
+func TestBreakerRecoversViaProbe(t *testing.T) {
+	srv, ts, client := newTestService(t, Options{
+		Workers: 1, BreakerThreshold: 1, BreakerCooldown: 20 * time.Millisecond,
+	})
+	srv.runHook = func(j *Job) { panic("transient fault") }
+	bad := submitScenario(t, client, ts.URL, testScenario(1, 2000))
+	awaitState(t, client, ts.URL, bad.ID, StateFailed)
+	if !srv.breaker.degraded() {
+		t.Fatal("breaker should be open")
+	}
+
+	srv.runHook = nil // engine healed
+	time.Sleep(40 * time.Millisecond)
+	probe := submitScenario(t, client, ts.URL, testScenario(2, 2000))
+	if st := awaitState(t, client, ts.URL, probe.ID, StateDone); st.State != StateDone {
+		t.Fatalf("probe ended %s: %s", st.State, st.Error)
+	}
+	if srv.breaker.degraded() {
+		t.Fatal("successful probe should close the breaker")
+	}
+	if resp, body := getBody(t, client, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ready") {
+		t.Fatalf("/readyz after recovery = %d %q, want 200 ready", resp.StatusCode, body)
+	}
+}
+
+// TestReadyzHappyPath: a fresh healthy server is ready.
+func TestReadyzHappyPath(t *testing.T) {
+	_, ts, client := newTestService(t, Options{Workers: 1})
+	resp, body := getBody(t, client, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ready") {
+		t.Fatalf("/readyz = %d %q, want 200 ready", resp.StatusCode, body)
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -61,8 +63,15 @@ func (s *Server) status(j *Job) JobStatus {
 //	                            Accept: text/event-stream)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	POST   /v1/sweeps           submit a sweep grid (JSON body)
-//	GET    /healthz             liveness
+//	GET    /healthz             liveness (200 while the process runs)
+//	GET    /readyz              readiness: 503 while degraded (circuit
+//	                            breaker open, cache-only) or draining
 //	GET    /metrics             Prometheus text format
+//
+// Over-admission responses (429 queue-full, 429 rate-limited, 503
+// degraded) carry a Retry-After header computed from queue depth, recent
+// job latency or remaining breaker cooldown, so clients back off for a
+// meaningful interval instead of a constant.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -73,6 +82,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -114,7 +124,64 @@ func submitCode(j *Job) int {
 	return http.StatusAccepted
 }
 
+// retryAfterSeconds estimates how long a refused client should wait before
+// resubmitting: the current backlog (queued + running jobs) divided across
+// the worker pool, scaled by the mean measured job latency, clamped to
+// [1, 60] seconds. With no latency history yet it assumes half a second.
+func (s *Server) retryAfterSeconds() int {
+	s.wallMu.Lock()
+	mean := 0.0
+	if s.wallCount > 0 {
+		mean = s.wallSum / float64(s.wallCount)
+	}
+	s.wallMu.Unlock()
+	if mean <= 0 {
+		mean = 0.5
+	}
+	backlog := len(s.queue) + int(s.busy.Load()) + 1
+	secs := int(math.Ceil(mean * float64(backlog) / float64(s.opts.Workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// setRetryAfter writes a Retry-After header of at least one second.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
+// allowClient applies the per-client token bucket to a submission; on
+// refusal it writes the 429 (with the bucket's own refill time as
+// Retry-After) and reports false.
+func (s *Server) allowClient(w http.ResponseWriter, r *http.Request) bool {
+	if s.limiter == nil {
+		return true
+	}
+	ok, wait := s.limiter.allow(clientKey(r.RemoteAddr))
+	if ok {
+		return true
+	}
+	s.rateLimited.Add(1)
+	setRetryAfter(w, wait)
+	writeError(w, http.StatusTooManyRequests, "serve: rate limit exceeded")
+	return false
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.allowClient(w, r) {
+		return
+	}
 	timeout, err := parseTimeout(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -136,6 +203,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !s.allowClient(w, r) {
+		return
+	}
 	timeout, err := parseTimeout(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -161,8 +231,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 func (s *Server) respondSubmission(w http.ResponseWriter, j *Job, err error) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w, time.Duration(s.retryAfterSeconds())*time.Second)
 		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDegraded):
+		// Come back once the breaker's cooldown can admit a probe.
+		wait := s.breaker.view().RetryAfter
+		if wait <= 0 {
+			wait = time.Second
+		}
+		setRetryAfter(w, wait)
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case err != nil:
@@ -267,4 +345,30 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is the readiness probe, distinct from liveness: a daemon in
+// cache-only degraded mode (circuit breaker open) or draining after
+// SIGTERM is alive (/healthz 200) but should be rotated out of new-work
+// routing (/readyz 503).
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	if v := s.breaker.view(); v.Degraded {
+		if v.RetryAfter > 0 {
+			setRetryAfter(w, v.RetryAfter)
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded: circuit breaker %s after %d consecutive failure(s); serving cached results only\n",
+			v.State, v.Consecutive)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }

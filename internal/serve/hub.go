@@ -22,14 +22,27 @@ type hub struct {
 	dropped  *atomic.Int64
 
 	mu     sync.Mutex
-	subs   map[int]chan []byte
+	subs   map[int]*subscriber
 	nextID int
 	closed bool
+}
+
+// subscriber is one listener: its line channel plus a consecutive-drop
+// count used to evict consumers that have stopped reading entirely.
+type subscriber struct {
+	ch      chan []byte
+	stalled int
 }
 
 // subscriberBuffer is the per-subscriber line buffer; a client that falls
 // this many events behind starts losing lines rather than stalling the run.
 const subscriberBuffer = 1024
+
+// subscriberStallLimit is the consecutive-drop count after which a
+// subscriber is judged dead (it has not drained a single line across this
+// many broadcasts on top of a full buffer) and is force-unsubscribed: its
+// channel closes, its handler unwinds, and the hub stops paying for it.
+const subscriberStallLimit = 256
 
 // newHub builds a hub accumulating into the given counters (fresh ones when
 // nil, for standalone use).
@@ -40,23 +53,33 @@ func newHub(streamed, dropped *atomic.Int64) *hub {
 	if dropped == nil {
 		dropped = new(atomic.Int64)
 	}
-	return &hub{subs: make(map[int]chan []byte), streamed: streamed, dropped: dropped}
+	return &hub{subs: make(map[int]*subscriber), streamed: streamed, dropped: dropped}
 }
 
 // Write implements io.Writer for the JSONL exporter: p is one event line.
-// The line is copied once and fanned out without blocking.
+// The line is copied once and fanned out without blocking; a subscriber
+// that stays stalled past subscriberStallLimit consecutive drops is
+// force-closed so a dead client cannot hold hub resources for the rest of
+// the run.
 func (h *hub) Write(p []byte) (int, error) {
 	line := make([]byte, len(p))
 	copy(line, p)
 	h.mu.Lock()
-	for _, ch := range h.subs {
+	for id, sub := range h.subs {
 		select {
-		case ch <- line:
+		case sub.ch <- line:
+			sub.stalled = 0
 			h.streamed.Add(1)
 		default:
+			sub.stalled++
 			h.dropped.Add(1)
+			if sub.stalled >= subscriberStallLimit {
+				close(sub.ch)
+				delete(h.subs, id)
+			}
 		}
 	}
+	h.active.Store(len(h.subs) > 0)
 	h.mu.Unlock()
 	return len(p), nil
 }
@@ -74,7 +97,7 @@ func (h *hub) subscribe() (<-chan []byte, func()) {
 	}
 	id := h.nextID
 	h.nextID++
-	h.subs[id] = ch
+	h.subs[id] = &subscriber{ch: ch}
 	h.active.Store(true)
 	return ch, func() {
 		h.mu.Lock()
@@ -96,8 +119,8 @@ func (h *hub) close() {
 		return
 	}
 	h.closed = true
-	for id, ch := range h.subs {
-		close(ch)
+	for id, sub := range h.subs {
+		close(sub.ch)
 		delete(h.subs, id)
 	}
 	h.active.Store(false)

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHubStalledSubscriberIsEvicted: a subscriber that stops reading loses
+// lines once its buffer fills, and after subscriberStallLimit consecutive
+// drops it is force-unsubscribed (channel closed) — all without ever
+// blocking the writer or starving a healthy subscriber.
+func TestHubStalledSubscriberIsEvicted(t *testing.T) {
+	var dropped atomic.Int64
+	h := newHub(nil, &dropped)
+
+	stalled, unsubStalled := h.subscribe()
+	defer unsubStalled()
+	healthy, unsubHealthy := h.subscribe()
+	defer unsubHealthy()
+
+	const total = subscriberBuffer + subscriberStallLimit
+	healthyGot := 0
+	for i := 0; i < total; i++ {
+		start := time.Now()
+		h.Write([]byte(fmt.Sprintf("line %d\n", i)))
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("Write blocked for %v on a stalled subscriber", d)
+		}
+		// The healthy subscriber drains as it goes and misses nothing.
+		select {
+		case <-healthy:
+			healthyGot++
+		default:
+			t.Fatalf("healthy subscriber missing line %d", i)
+		}
+	}
+
+	if got := dropped.Load(); got != subscriberStallLimit {
+		t.Fatalf("dropped = %d, want exactly %d (buffer absorbs the rest)", got, subscriberStallLimit)
+	}
+	if healthyGot != total {
+		t.Fatalf("healthy subscriber got %d/%d lines", healthyGot, total)
+	}
+
+	// The stalled channel was force-closed: its buffered backlog drains,
+	// then reads report closed — which unwinds a real SSE handler.
+	drained := 0
+	for range stalled {
+		drained++
+	}
+	if drained != subscriberBuffer {
+		t.Fatalf("stalled subscriber drained %d buffered lines, want %d", drained, subscriberBuffer)
+	}
+
+	// The writer no longer pays for the evicted subscriber.
+	before := dropped.Load()
+	h.Write([]byte("after eviction\n"))
+	if got := dropped.Load(); got != before {
+		t.Fatalf("dropped grew to %d after eviction", got)
+	}
+	select {
+	case line := <-healthy:
+		if string(line) != "after eviction\n" {
+			t.Fatalf("healthy got %q", line)
+		}
+	default:
+		t.Fatal("healthy subscriber missing post-eviction line")
+	}
+}
+
+// TestHubEvictedUnsubscribeIsSafe: the evicted handler's deferred
+// unsubscribe must be a no-op, not a double-delete or double-close.
+func TestHubEvictedUnsubscribeIsSafe(t *testing.T) {
+	h := newHub(nil, nil)
+	_, unsub := h.subscribe()
+	for i := 0; i < subscriberBuffer+subscriberStallLimit; i++ {
+		h.Write([]byte("x\n"))
+	}
+	unsub() // already evicted: must not panic
+	h.close()
+}

@@ -1,0 +1,538 @@
+// Package journal is the crash-safety layer under ccr-served: an
+// append-only, JSONL write-ahead log of job submissions and terminal
+// outcomes. Every accepted submission is recorded (and fsynced) before the
+// job enters the run queue; every terminal state is appended when the job
+// ends. After a crash the journal replays into two things: the set of
+// incomplete jobs to re-enqueue, and the finished results to seed the
+// content-addressed cache — so a client that resubmits after a crash still
+// gets a byte-identical cache hit, and in-flight work is re-run rather than
+// lost.
+//
+// The format is one JSON object per line. The parser is deliberately
+// forgiving: a torn final record (the classic crash artefact), garbage
+// lines, duplicate job IDs and terminal records for unknown jobs are all
+// skipped and counted, never fatal — a journal must not be able to wedge
+// the daemon that owns it.
+//
+// Growth is bounded by size-triggered compaction: once the file exceeds
+// CompactBytes the live state (pending submissions plus a byte-budgeted
+// tail of finished results) is rewritten to a temp file and atomically
+// renamed over the journal.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Record operations. A submit opens a job; exactly one of the terminal ops
+// (done, failed, cancelled) closes it.
+const (
+	OpSubmit    = "submit"
+	OpDone      = "done"
+	OpFailed    = "failed"
+	OpCancelled = "cancelled"
+)
+
+// Record is one journal line. Spec carries the compact JSON body the job
+// was submitted with (a scenario or a sweep spec, per Kind); Result carries
+// the exact result bytes of a done job (base64 on the wire, verbatim in
+// memory) so replay restores byte-identical cache entries.
+type Record struct {
+	Op      string          `json:"op"`
+	ID      string          `json:"id,omitempty"`
+	Kind    string          `json:"kind,omitempty"`
+	Key     string          `json:"key,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	Timeout int64           `json:"timeout_ns,omitempty"`
+	Result  []byte          `json:"result,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// Pending is an incomplete job recovered from the journal: submitted, never
+// finished. The daemon re-enqueues these on restart.
+type Pending struct {
+	ID      string
+	Kind    string
+	Key     string
+	Spec    json.RawMessage
+	Timeout time.Duration
+}
+
+// Result is a finished job's cache line recovered from the journal.
+type Result struct {
+	ID    string
+	Key   string
+	Bytes []byte
+}
+
+// Recovery is the replayed state of a journal: what to re-run, what to put
+// back in the cache, and how much of the file was unusable.
+type Recovery struct {
+	// Pending holds incomplete jobs in original submission order.
+	Pending []Pending
+	// Results holds finished results, oldest first, deduplicated by key
+	// (last write wins).
+	Results []Result
+	// Records counts well-formed records applied; Skipped counts lines that
+	// were malformed, duplicate or truncated and therefore ignored.
+	Records int
+	Skipped int
+}
+
+// Replay reads a journal stream tolerantly: malformed lines, a truncated
+// final record, duplicate submit IDs and garbage are skipped and counted.
+// The only returned error is a transport-level read failure; everything
+// decodable up to that point is still in the Recovery.
+func Replay(r io.Reader) (*Recovery, error) {
+	br := bufio.NewReader(r)
+	rec := &Recovery{}
+	// pendingIdx maps every submit ID ever seen to its slot in order;
+	// terminal records tombstone the slot (nil) but keep the map entry so a
+	// duplicate submit of a finished ID is still rejected.
+	pendingIdx := make(map[string]int)
+	var order []*Pending
+	resIdx := make(map[string]int)
+
+	var readErr error
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil && !errors.Is(err, io.EOF) {
+			readErr = err
+		}
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			var r Record
+			if json.Unmarshal(trimmed, &r) != nil {
+				rec.Skipped++ // garbage or a torn tail record
+			} else {
+				rec.apply(r, pendingIdx, &order, resIdx)
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	for _, p := range order {
+		if p != nil {
+			rec.Pending = append(rec.Pending, *p)
+		}
+	}
+	return rec, readErr
+}
+
+// apply folds one decoded record into the replay state.
+func (rec *Recovery) apply(r Record, pendingIdx map[string]int, order *[]*Pending, resIdx map[string]int) {
+	switch r.Op {
+	case OpSubmit:
+		if r.ID == "" || r.Kind == "" || len(r.Spec) == 0 {
+			rec.Skipped++
+			return
+		}
+		if _, dup := pendingIdx[r.ID]; dup {
+			rec.Skipped++ // duplicate job ID: first submission wins
+			return
+		}
+		pendingIdx[r.ID] = len(*order)
+		*order = append(*order, &Pending{
+			ID: r.ID, Kind: r.Kind, Key: r.Key,
+			Spec:    append(json.RawMessage(nil), r.Spec...),
+			Timeout: time.Duration(r.Timeout),
+		})
+		rec.Records++
+	case OpDone:
+		if r.Key == "" || len(r.Result) == 0 {
+			rec.Skipped++
+			return
+		}
+		if i, ok := pendingIdx[r.ID]; ok {
+			(*order)[i] = nil
+		}
+		if i, ok := resIdx[r.Key]; ok {
+			rec.Results[i] = Result{ID: r.ID, Key: r.Key, Bytes: r.Result}
+		} else {
+			resIdx[r.Key] = len(rec.Results)
+			rec.Results = append(rec.Results, Result{ID: r.ID, Key: r.Key, Bytes: r.Result})
+		}
+		rec.Records++
+	case OpFailed, OpCancelled:
+		if r.ID == "" {
+			rec.Skipped++
+			return
+		}
+		// A terminal record for an unknown ID (compacted away, or replayed
+		// twice) is harmless.
+		if i, ok := pendingIdx[r.ID]; ok {
+			(*order)[i] = nil
+		}
+		rec.Records++
+	default:
+		rec.Skipped++
+	}
+}
+
+// Options configures a Journal. Zero values select the noted defaults.
+type Options struct {
+	// CompactBytes triggers compaction once the file exceeds it
+	// (default 8 MiB; < 0 disables automatic compaction).
+	CompactBytes int64
+	// RetainResultBytes bounds the finished-result bytes kept across
+	// compaction, newest first (default 4 MiB). Results beyond the budget
+	// are dropped from the journal — they were only a cache warm-up.
+	RetainResultBytes int64
+	// NoSync skips the per-append fsync (tests only; a production journal
+	// without fsync is not crash-safe).
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompactBytes == 0 {
+		o.CompactBytes = 8 << 20
+	}
+	if o.RetainResultBytes == 0 {
+		o.RetainResultBytes = 4 << 20
+	}
+	return o
+}
+
+// Stats is a point-in-time view of the journal counters.
+type Stats struct {
+	Path        string
+	SizeBytes   int64
+	Appends     int64
+	Compactions int64
+	PendingJobs int
+	Results     int
+}
+
+// Journal is the append-only log. All methods are safe for concurrent use.
+type Journal struct {
+	mu       sync.Mutex
+	path     string
+	opts     Options
+	f        *os.File
+	size     int64
+	appends  int64
+	compacts int64
+	closed   bool
+	// compactAt is the size high-water mark that triggers the next
+	// compaction; it doubles when compaction cannot shrink the file, so a
+	// journal whose live state exceeds CompactBytes does not thrash.
+	compactAt int64
+
+	recovery *Recovery // snapshot taken at Open, for the daemon to consume
+
+	// Live state mirrored from the appended records, so compaction can
+	// rewrite the file without re-reading it.
+	pending      map[string]*Record
+	pendingOrder []string
+	results      []Result
+	resIdx       map[string]int
+	resBytes     int64
+}
+
+// Open replays an existing journal (or starts an empty one), opens it for
+// appending, and compacts immediately if it is already oversized. The
+// replayed state is available via Recovery until the daemon consumes it.
+func Open(path string, opts Options) (*Journal, error) {
+	o := opts.withDefaults()
+	rec := &Recovery{}
+	if f, err := os.Open(path); err == nil {
+		rec, err = Replay(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("journal: replay %s: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+
+	j := &Journal{
+		path:      path,
+		opts:      o,
+		recovery:  rec,
+		compactAt: o.CompactBytes,
+		pending:   make(map[string]*Record),
+		resIdx:    make(map[string]int),
+	}
+	for i := range rec.Pending {
+		p := &rec.Pending[i]
+		r := &Record{Op: OpSubmit, ID: p.ID, Kind: p.Kind, Key: p.Key, Spec: p.Spec, Timeout: int64(p.Timeout)}
+		j.pending[p.ID] = r
+		j.pendingOrder = append(j.pendingOrder, p.ID)
+	}
+	// Keep the newest results within the retention budget.
+	keepFrom := len(rec.Results)
+	var kept int64
+	for keepFrom > 0 {
+		next := kept + int64(len(rec.Results[keepFrom-1].Bytes))
+		if next > o.RetainResultBytes {
+			break
+		}
+		kept = next
+		keepFrom--
+	}
+	for _, r := range rec.Results[keepFrom:] {
+		j.resIdx[r.Key] = len(j.results)
+		j.results = append(j.results, r)
+		j.resBytes += int64(len(r.Bytes))
+	}
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	if st, err := f.Stat(); err == nil {
+		j.size = st.Size()
+	}
+	if o.CompactBytes > 0 && j.size > o.CompactBytes {
+		if err := j.compactLocked(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// Recovery returns the state replayed at Open: incomplete jobs to re-run
+// and finished results to seed the cache.
+func (j *Journal) Recovery() *Recovery { return j.recovery }
+
+// marshalLine encodes one record as a single journal line. Any whitespace
+// inside the embedded spec is compacted first: a record must be exactly one
+// physical line or the tolerant parser would shred it.
+func marshalLine(rec Record) ([]byte, error) {
+	if len(rec.Spec) > 0 {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, rec.Spec); err != nil {
+			return nil, fmt.Errorf("journal: spec is not valid JSON: %w", err)
+		}
+		rec.Spec = buf.Bytes()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+// Append writes one record and (unless NoSync) fsyncs it before returning,
+// so an acknowledged submission survives an immediate crash. It also folds
+// the record into the live state and compacts when the size trigger fires.
+func (j *Journal) Append(rec Record) error {
+	line, err := marshalLine(rec)
+	if err != nil {
+		return err
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	j.size += int64(len(line))
+	j.appends++
+	j.applyLocked(rec)
+	if j.opts.CompactBytes > 0 && j.size > j.compactAt {
+		return j.compactLocked()
+	}
+	return nil
+}
+
+// applyLocked mirrors an appended record into the live compaction state.
+func (j *Journal) applyLocked(rec Record) {
+	switch rec.Op {
+	case OpSubmit:
+		if _, dup := j.pending[rec.ID]; dup {
+			return
+		}
+		r := rec
+		j.pending[rec.ID] = &r
+		j.pendingOrder = append(j.pendingOrder, rec.ID)
+	case OpDone:
+		j.dropPendingLocked(rec.ID)
+		if rec.Key == "" || len(rec.Result) == 0 {
+			return
+		}
+		if i, ok := j.resIdx[rec.Key]; ok {
+			j.resBytes += int64(len(rec.Result)) - int64(len(j.results[i].Bytes))
+			j.results[i] = Result{ID: rec.ID, Key: rec.Key, Bytes: rec.Result}
+		} else {
+			j.resIdx[rec.Key] = len(j.results)
+			j.results = append(j.results, Result{ID: rec.ID, Key: rec.Key, Bytes: rec.Result})
+			j.resBytes += int64(len(rec.Result))
+		}
+		j.trimResultsLocked()
+	case OpFailed, OpCancelled:
+		j.dropPendingLocked(rec.ID)
+	}
+}
+
+func (j *Journal) dropPendingLocked(id string) {
+	if _, ok := j.pending[id]; !ok {
+		return
+	}
+	delete(j.pending, id)
+	for i, pid := range j.pendingOrder {
+		if pid == id {
+			j.pendingOrder = append(j.pendingOrder[:i], j.pendingOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// trimResultsLocked evicts the oldest retained results beyond the budget.
+func (j *Journal) trimResultsLocked() {
+	drop := 0
+	for j.resBytes > j.opts.RetainResultBytes && drop < len(j.results) {
+		j.resBytes -= int64(len(j.results[drop].Bytes))
+		drop++
+	}
+	if drop == 0 {
+		return
+	}
+	dropped := j.results[:drop]
+	j.results = append([]Result(nil), j.results[drop:]...)
+	for _, r := range dropped {
+		delete(j.resIdx, r.Key)
+	}
+	for i, r := range j.results {
+		j.resIdx[r.Key] = i
+	}
+}
+
+// compactLocked rewrites the journal to just its live state — pending
+// submissions plus the retained results — via a temp file and atomic
+// rename. Caller holds j.mu.
+func (j *Journal) compactLocked() error {
+	tmp := j.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	write := func(rec Record) error {
+		line, err := marshalLine(rec)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(line)
+		return err
+	}
+	for _, id := range j.pendingOrder {
+		if err := write(*j.pending[id]); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+	}
+	for _, r := range j.results {
+		if err := write(Record{Op: OpDone, ID: r.ID, Key: r.Key, Result: r.Bytes}); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if !j.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	syncDir(filepath.Dir(j.path))
+
+	old := j.f
+	nf, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact reopen: %w", err)
+	}
+	old.Close()
+	j.f = nf
+	if st, err := nf.Stat(); err == nil {
+		j.size = st.Size()
+	}
+	j.compacts++
+	// If the live state itself exceeds the trigger, back off the next
+	// compaction so we do not rewrite the file on every append.
+	j.compactAt = j.opts.CompactBytes
+	if j.size*2 > j.compactAt {
+		j.compactAt = j.size * 2
+	}
+	return nil
+}
+
+// syncDir best-effort fsyncs a directory so a rename is durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // best effort
+		d.Close()
+	}
+}
+
+// Stats returns the current counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Path:        j.path,
+		SizeBytes:   j.size,
+		Appends:     j.appends,
+		Compactions: j.compacts,
+		PendingJobs: len(j.pendingOrder),
+		Results:     len(j.results),
+	}
+}
+
+// Compact forces a compaction regardless of size.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	return j.compactLocked()
+}
+
+// Close syncs and closes the journal. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if !j.opts.NoSync {
+		j.f.Sync() //nolint:errcheck // close follows regardless
+	}
+	return j.f.Close()
+}

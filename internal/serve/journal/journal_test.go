@@ -1,0 +1,257 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tempJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "journal.jsonl")
+}
+
+func mustOpen(t *testing.T, path string, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func submitRec(id string) Record {
+	return Record{
+		Op: OpSubmit, ID: id, Kind: "sim", Key: "key-" + id,
+		Spec:    json.RawMessage(`{"nodes": 8, "horizon_slots": 100}`),
+		Timeout: int64(3 * time.Second),
+	}
+}
+
+// TestRoundTrip: submits and terminals survive a close/reopen cycle with
+// exact state: unfinished jobs pending in order, done results replayable.
+func TestRoundTrip(t *testing.T) {
+	path := tempJournal(t)
+	j := mustOpen(t, path, Options{})
+
+	for i := 0; i < 4; i++ {
+		if err := j.Append(submitRec(fmt.Sprintf("j%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// j000000 finishes, j000001 fails, j000002 is cancelled, j000003 stays pending.
+	result := []byte(`{"schema":1,"ok":true}` + "\n")
+	if err := j.Append(Record{Op: OpDone, ID: "j000000", Key: "key-j000000", Result: result}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpFailed, ID: "j000001", Error: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Op: OpCancelled, ID: "j000002"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpen(t, path, Options{})
+	rec := j2.Recovery()
+	if len(rec.Pending) != 1 || rec.Pending[0].ID != "j000003" {
+		t.Fatalf("pending = %+v, want exactly j000003", rec.Pending)
+	}
+	p := rec.Pending[0]
+	if p.Kind != "sim" || p.Key != "key-j000003" || p.Timeout != 3*time.Second {
+		t.Fatalf("pending fields lost: %+v", p)
+	}
+	if !json.Valid(p.Spec) || !strings.Contains(string(p.Spec), "horizon_slots") {
+		t.Fatalf("pending spec mangled: %s", p.Spec)
+	}
+	if len(rec.Results) != 1 || rec.Results[0].Key != "key-j000000" {
+		t.Fatalf("results = %+v, want key-j000000", rec.Results)
+	}
+	if string(rec.Results[0].Bytes) != string(result) {
+		t.Fatalf("result bytes not byte-identical: %q", rec.Results[0].Bytes)
+	}
+	if rec.Skipped != 0 {
+		t.Fatalf("clean journal reported %d skipped lines", rec.Skipped)
+	}
+}
+
+// TestTruncatedTailIsSkipped: a torn final record (the crash artefact) is
+// skipped; everything before it replays intact.
+func TestTruncatedTailIsSkipped(t *testing.T) {
+	path := tempJournal(t)
+	j := mustOpen(t, path, Options{})
+	if err := j.Append(submitRec("j000000")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a record, no trailing newline: what a SIGKILL mid-write leaves.
+	if _, err := f.WriteString(`{"op":"done","id":"j000000","key":"k","resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2 := mustOpen(t, path, Options{})
+	rec := j2.Recovery()
+	if len(rec.Pending) != 1 || rec.Pending[0].ID != "j000000" {
+		t.Fatalf("pending = %+v, want j000000 (torn done record must not complete it)", rec.Pending)
+	}
+	if rec.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1 for the torn tail", rec.Skipped)
+	}
+}
+
+// TestGarbageAndDuplicatesAreSkipped: garbage lines, duplicate submit IDs
+// and malformed records are counted, never fatal, and never corrupt state.
+func TestGarbageAndDuplicatesAreSkipped(t *testing.T) {
+	raw := strings.Join([]string{
+		`{"op":"submit","id":"j000000","kind":"sim","key":"a","spec":{"nodes":8,"horizon_slots":10}}`,
+		`this is not json at all`,
+		`{"op":"submit","id":"j000000","kind":"sim","key":"dup","spec":{"nodes":4,"horizon_slots":20}}`, // duplicate ID
+		`{"op":"nonsense","id":"x"}`,
+		`{"op":"submit","id":"","kind":"sim","spec":{}}`, // missing ID
+		`{"op":"failed","id":"unknown-job"}`,             // terminal for unknown ID: valid, ignored
+		`{"op":"done","key":"","result":""}`,             // done without key/result
+		`{"op":"submit","id":"j000001","kind":"sweep","key":"b","spec":{"horizon_slots":10}}`,
+	}, "\n")
+	rec, err := Replay(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Pending) != 2 {
+		t.Fatalf("pending = %+v, want j000000 and j000001", rec.Pending)
+	}
+	if rec.Pending[0].ID != "j000000" || rec.Pending[0].Key != "a" {
+		t.Fatalf("duplicate submit overwrote the original: %+v", rec.Pending[0])
+	}
+	if rec.Pending[1].ID != "j000001" || rec.Pending[1].Kind != "sweep" {
+		t.Fatalf("pending[1] = %+v", rec.Pending[1])
+	}
+	if rec.Skipped != 5 {
+		t.Fatalf("skipped = %d, want 5 (garbage, dup, bad submit, bad op, bad done)", rec.Skipped)
+	}
+}
+
+// TestDuplicateOfFinishedIDStillSkipped: a submit reusing the ID of an
+// already-terminal job is rejected, not resurrected.
+func TestDuplicateOfFinishedIDStillSkipped(t *testing.T) {
+	raw := strings.Join([]string{
+		`{"op":"submit","id":"j000000","kind":"sim","key":"a","spec":{"n":1}}`,
+		`{"op":"cancelled","id":"j000000"}`,
+		`{"op":"submit","id":"j000000","kind":"sim","key":"b","spec":{"n":2}}`,
+	}, "\n")
+	rec, err := Replay(strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Pending) != 0 {
+		t.Fatalf("pending = %+v, want none", rec.Pending)
+	}
+	if rec.Skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", rec.Skipped)
+	}
+}
+
+// TestCompaction: once the file passes the size trigger it is rewritten to
+// just the live state, terminal records vanish, and a reopen agrees.
+func TestCompaction(t *testing.T) {
+	path := tempJournal(t)
+	j := mustOpen(t, path, Options{CompactBytes: 2048, NoSync: true})
+
+	big := []byte(strings.Repeat("x", 200))
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("j%06d", i)
+		if err := j.Append(submitRec(id)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(Record{Op: OpDone, ID: id, Key: "key-" + id, Result: big}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Append(submitRec("j000099")); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after %d bytes of appends", st.Appends)
+	}
+	if st.PendingJobs != 1 {
+		t.Fatalf("pending = %d, want 1", st.PendingJobs)
+	}
+	j.Close()
+
+	j2 := mustOpen(t, path, Options{})
+	rec := j2.Recovery()
+	if len(rec.Pending) != 1 || rec.Pending[0].ID != "j000099" {
+		t.Fatalf("post-compaction pending = %+v", rec.Pending)
+	}
+	if len(rec.Results) == 0 {
+		t.Fatal("compaction dropped every finished result")
+	}
+	if rec.Skipped != 0 {
+		t.Fatalf("compacted journal has %d unreadable lines", rec.Skipped)
+	}
+}
+
+// TestResultRetentionBudget: retained results are bounded by
+// RetainResultBytes, evicting the oldest first.
+func TestResultRetentionBudget(t *testing.T) {
+	path := tempJournal(t)
+	j := mustOpen(t, path, Options{CompactBytes: -1, RetainResultBytes: 500, NoSync: true})
+	val := []byte(strings.Repeat("v", 200))
+	for i := 0; i < 5; i++ {
+		if err := j.Append(Record{Op: OpDone, ID: fmt.Sprintf("j%06d", i), Key: fmt.Sprintf("k%d", i), Result: val}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := j.Stats(); st.Results != 2 {
+		t.Fatalf("retained %d results, want 2 within the 500-byte budget", st.Results)
+	}
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	rec := mustOpen(t, path, Options{}).Recovery()
+	if len(rec.Results) != 2 || rec.Results[0].Key != "k3" || rec.Results[1].Key != "k4" {
+		t.Fatalf("retained results = %+v, want newest two (k3, k4)", rec.Results)
+	}
+}
+
+// TestAppendAfterCloseFails pins the crash-simulation seam the serve tests
+// rely on: a closed journal rejects appends instead of silently dropping.
+func TestAppendAfterCloseFails(t *testing.T) {
+	j := mustOpen(t, tempJournal(t), Options{})
+	j.Close()
+	if err := j.Append(submitRec("j000000")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+// TestSpecWithWhitespaceIsCompacted: a spec containing newlines must not be
+// able to split a journal line.
+func TestSpecWithWhitespaceIsCompacted(t *testing.T) {
+	path := tempJournal(t)
+	j := mustOpen(t, path, Options{})
+	rec := submitRec("j000000")
+	rec.Spec = json.RawMessage("{\n  \"nodes\": 8,\n  \"horizon_slots\": 100\n}")
+	if err := j.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	got := mustOpen(t, path, Options{}).Recovery()
+	if len(got.Pending) != 1 || got.Skipped != 0 {
+		t.Fatalf("pending=%d skipped=%d, want 1/0", len(got.Pending), got.Skipped)
+	}
+}

@@ -75,6 +75,30 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	counter("ccr_served_faults_injected_total", "Faults injected across all simulations run by this server.", s.faultsInjected.Load())
 	counter("ccr_served_faults_detected_total", "Injected faults detected by the protocol.", s.faultsDetected.Load())
 	counter("ccr_served_faults_recovered_total", "Injected faults recovered from.", s.faultsRecovered.Load())
+
+	// Resilience surface: circuit breaker, panic isolation, admission
+	// control and journal durability.
+	bv := s.breaker.view()
+	degraded := 0
+	if bv.Degraded {
+		degraded = 1
+	}
+	gauge("ccr_served_degraded", "1 while the circuit breaker is open and the server is cache-only.", degraded)
+	gauge("ccr_served_breaker_consecutive_failures", "Current run of consecutive job failures.", bv.Consecutive)
+	counter("ccr_served_breaker_trips_total", "Times the circuit breaker opened.", bv.Trips)
+	counter("ccr_served_panics_total", "Engine panics converted into failed jobs.", s.panics.Load())
+	counter("ccr_served_ratelimited_total", "Submissions refused by the per-client rate limit.", s.rateLimited.Load())
+
+	if s.journal != nil {
+		js := s.journal.Stats()
+		counter("ccr_served_journal_appends_total", "Records appended to the job journal.", js.Appends)
+		counter("ccr_served_journal_compactions_total", "Journal compactions performed.", js.Compactions)
+		counter("ccr_served_journal_errors_total", "Journal writes that failed (job served anyway).", s.journalErrors.Load())
+		gauge("ccr_served_journal_bytes", "Current journal file size.", js.SizeBytes)
+		gauge("ccr_served_journal_pending_jobs", "Incomplete jobs recorded in the journal.", js.PendingJobs)
+		counter("ccr_served_recovered_jobs_total", "Jobs re-enqueued from the journal at startup.", s.recoveredJobs.Load())
+		counter("ccr_served_replayed_results_total", "Finished results replayed into the cache at startup.", s.replayedHits.Load())
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token-bucket admission filter for the submission
+// endpoints. Each client key (remote IP) owns a bucket holding up to burst
+// tokens refilled at rate tokens/second; a submission spends one token, and
+// an empty bucket yields the time until the next token — which the HTTP
+// layer surfaces as Retry-After instead of a blind constant.
+type limiter struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // injectable for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// limiterMaxClients bounds the bucket map; beyond it, full (idle) buckets
+// are pruned so one scan keeps memory proportional to active clients.
+const limiterMaxClients = 4096
+
+// newLimiter returns nil (no limiting) when rate ≤ 0.
+func newLimiter(rate float64, burst int) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = 2 * rate
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &limiter{rate: rate, burst: b, now: time.Now, buckets: make(map[string]*bucket)}
+}
+
+// allow spends one token from key's bucket. When refused, retryAfter is the
+// time until the bucket next holds a whole token.
+func (l *limiter) allow(key string) (ok bool, retryAfter time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[key]
+	if !exists {
+		if len(l.buckets) >= limiterMaxClients {
+			l.pruneLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// pruneLocked drops buckets that have refilled completely — their owners
+// have been idle long enough to be indistinguishable from new clients.
+func (l *limiter) pruneLocked(now time.Time) {
+	for key, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, key)
+		}
+	}
+}
+
+// clientKey identifies the submitting client: the remote IP, with the
+// ephemeral port stripped so one host shares one bucket.
+func clientKey(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}

@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testLimiter(rate float64, burst int) (*limiter, *time.Time) {
+	l := newLimiter(rate, burst)
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+	return l, &now
+}
+
+func TestLimiterBurstThenRefill(t *testing.T) {
+	l, now := testLimiter(2, 3) // 2 tokens/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("burst request %d refused", i+1)
+		}
+	}
+	ok, wait := l.allow("a")
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	// Empty bucket at 2 tokens/s: next whole token in 500ms.
+	if wait != 500*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want 500ms", wait)
+	}
+
+	*now = now.Add(time.Second) // refills 2 tokens
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("post-refill request %d refused", i+1)
+		}
+	}
+	if ok, _ := l.allow("a"); ok {
+		t.Fatal("third post-refill request should exceed the 2 refilled tokens")
+	}
+}
+
+func TestLimiterKeysAreIndependent(t *testing.T) {
+	l, _ := testLimiter(1, 1)
+	if ok, _ := l.allow("a"); !ok {
+		t.Fatal("first a refused")
+	}
+	if ok, _ := l.allow("a"); ok {
+		t.Fatal("second a admitted")
+	}
+	if ok, _ := l.allow("b"); !ok {
+		t.Fatal("b must have its own bucket")
+	}
+}
+
+func TestLimiterPrunesIdleBuckets(t *testing.T) {
+	l, now := testLimiter(1, 1)
+	for i := 0; i < limiterMaxClients; i++ {
+		l.allow(fmt.Sprintf("client-%d", i))
+	}
+	if got := len(l.buckets); got != limiterMaxClients {
+		t.Fatalf("bucket count = %d, want %d", got, limiterMaxClients)
+	}
+	// All buckets refill within a second; the next new client triggers a
+	// prune instead of unbounded growth.
+	*now = now.Add(2 * time.Second)
+	l.allow("fresh")
+	if got := len(l.buckets); got != 1 {
+		t.Fatalf("bucket count after prune = %d, want 1", got)
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	if l := newLimiter(0, 10); l != nil {
+		t.Fatal("rate 0 must disable limiting")
+	}
+}
+
+func TestClientKeyStripsPort(t *testing.T) {
+	if got := clientKey("10.1.2.3:58211"); got != "10.1.2.3" {
+		t.Fatalf("clientKey = %q", got)
+	}
+	if got := clientKey("[::1]:58211"); got != "::1" {
+		t.Fatalf("clientKey v6 = %q", got)
+	}
+	if got := clientKey("no-port"); got != "no-port" {
+		t.Fatalf("clientKey fallback = %q", got)
+	}
+}
+
+// TestRateLimitOverHTTP: submissions beyond the per-client burst get 429
+// with the bucket's own refill time as Retry-After, and the refusal is
+// counted in /metrics. Cache hits are rate-limited too — admission happens
+// before any work.
+func TestRateLimitOverHTTP(t *testing.T) {
+	_, ts, client := newTestService(t, Options{
+		Workers: 1, RatePerSec: 0.5, RateBurst: 2,
+	})
+
+	body := testScenario(1, 2000)
+	for i := 0; i < 2; i++ {
+		resp, b := postJSON(t, client, ts.URL+"/v1/jobs", body)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("burst submission %d refused: %d %s", i+1, resp.StatusCode, b)
+		}
+	}
+
+	resp, b := postJSON(t, client, ts.URL+"/v1/jobs", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-burst submission = %d, want 429 (body %s)", resp.StatusCode, b)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("429 Retry-After = %q, want >= 1 second", resp.Header.Get("Retry-After"))
+	}
+	if !strings.Contains(string(b), "rate limit") {
+		t.Fatalf("429 body should name the rate limit: %s", b)
+	}
+
+	_, metrics := getBody(t, client, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "ccr_served_ratelimited_total 1") {
+		t.Fatal("metrics missing ccr_served_ratelimited_total 1")
+	}
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ccredf/internal/serve/journal"
+)
+
+// TestCrashRecovery is the durability acceptance test, simulating a crash
+// without leaving the process:
+//
+//  1. run a fast job to completion (its result lands in the journal),
+//  2. start a long job and kill the server mid-run — the journal is closed
+//     FIRST, so the server's shutdown bookkeeping cannot reach the file,
+//     exactly like a SIGKILL would prevent it,
+//  3. reopen the journal and build a fresh server over it.
+//
+// The new server must re-enqueue the incomplete job under its original ID
+// and run it to completion, and a resubmission of the fast scenario must be
+// a cache hit with byte-identical result bytes.
+func TestCrashRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	jnl, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+
+	srv := New(Options{Workers: 1, Journal: jnl})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	// 1. Fast job completes; its done record (with result bytes) is durable.
+	fast := testScenario(1, 2000)
+	fastSt := submitScenario(t, client, ts.URL, fast)
+	fastSt = awaitState(t, client, ts.URL, fastSt.ID, StateDone)
+	if fastSt.State != StateDone {
+		t.Fatalf("fast job ended %s: %s", fastSt.State, fastSt.Error)
+	}
+	_, fastBytes := getBody(t, client, ts.URL+"/v1/jobs/"+fastSt.ID+"/result")
+
+	// 2. Long job reaches running, then the process "crashes".
+	long := testScenario(2, 400_000)
+	longSt := submitScenario(t, client, ts.URL, long)
+	awaitState(t, client, ts.URL, longSt.ID, StateRunning)
+
+	if err := jnl.Close(); err != nil {
+		t.Fatalf("close journal: %v", err)
+	}
+	ts.Close()
+	srv.Close() // hard-cancels the long job; its terminal append fails silently
+
+	// 3. Restart over the same journal file.
+	jnl2, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		t.Fatalf("reopen journal: %v", err)
+	}
+	rec := jnl2.Recovery()
+	if len(rec.Pending) != 1 || rec.Pending[0].ID != longSt.ID {
+		t.Fatalf("recovery pending = %+v, want exactly the long job %s", rec.Pending, longSt.ID)
+	}
+	if len(rec.Results) != 1 {
+		t.Fatalf("recovery results = %d, want the fast job's", len(rec.Results))
+	}
+
+	srv2 := New(Options{Workers: 1, Journal: jnl2})
+	ts2 := httptest.NewServer(srv2.Handler())
+	client2 := ts2.Client()
+	t.Cleanup(func() {
+		ts2.Close()
+		srv2.Close()
+		jnl2.Close()
+	})
+
+	if got := srv2.recoveredJobs.Load(); got != 1 {
+		t.Fatalf("recoveredJobs = %d, want 1", got)
+	}
+	if got := srv2.replayedHits.Load(); got != 1 {
+		t.Fatalf("replayedHits = %d, want 1", got)
+	}
+
+	// The incomplete job re-runs under its ORIGINAL id — a client that was
+	// polling it across the crash reconnects without resubmitting.
+	st := awaitState(t, client2, ts2.URL, longSt.ID, StateDone)
+	if st.State != StateDone {
+		t.Fatalf("recovered job ended %s: %s", st.State, st.Error)
+	}
+	if st.ID != longSt.ID {
+		t.Fatalf("recovered job id %s, want original %s", st.ID, longSt.ID)
+	}
+
+	// Resubmitting the fast scenario is a replayed cache hit, byte-identical.
+	hit := submitScenario(t, client2, ts2.URL, fast)
+	if !hit.Cached || hit.State != StateDone {
+		t.Fatalf("resubmission after restart should hit the replayed cache: %+v", hit)
+	}
+	_, hitBytes := getBody(t, client2, ts2.URL+"/v1/jobs/"+hit.ID+"/result")
+	if !bytes.Equal(hitBytes, fastBytes) {
+		t.Fatal("replayed result is not byte-identical to the pre-crash result")
+	}
+
+	// New submissions must not collide with recovered IDs.
+	fresh := submitScenario(t, client2, ts2.URL, testScenario(3, 2000))
+	if fresh.ID == longSt.ID || fresh.ID == fastSt.ID {
+		t.Fatalf("fresh job reused a recovered id: %s", fresh.ID)
+	}
+	awaitState(t, client2, ts2.URL, fresh.ID, StateDone)
+}
+
+// TestRecoveryCorruptPendingFailsJob: a journalled spec that no longer
+// parses (e.g. written by a build with different scenario fields) must
+// surface as a cleanly failed job under its original ID — visible to the
+// polling client — rather than being dropped or crashing recovery.
+func TestRecoveryCorruptPendingFailsJob(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	jnl, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	if err := jnl.Append(journal.Record{
+		Op: journal.OpSubmit, ID: "j000042", Kind: "sim", Key: "sha256:feed",
+		Spec: []byte(`{"definitely_not_a_scenario_field": true}`),
+	}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := jnl.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	jnl2, err := journal.Open(path, journal.Options{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	srv := New(Options{Workers: 1, Journal: jnl2})
+	t.Cleanup(func() {
+		srv.Close()
+		jnl2.Close()
+	})
+	j, ok := srv.Job("j000042")
+	if !ok {
+		t.Fatal("corrupt pending job should still be registered")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j.State() != StateFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("corrupt pending job state %s, want failed", j.State())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -20,10 +20,13 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +34,7 @@ import (
 	"ccredf"
 	"ccredf/scenario"
 
+	"ccredf/internal/serve/journal"
 	"ccredf/internal/sweep"
 )
 
@@ -65,6 +69,10 @@ var (
 	ErrQueueFull = errors.New("serve: job queue full")
 	// ErrClosed is returned once the server has stopped accepting work.
 	ErrClosed = errors.New("serve: server closed")
+	// ErrDegraded is returned for cache-missing submissions while the
+	// circuit breaker is open: the engine has failed repeatedly and the
+	// server is serving cached results only; HTTP maps it to 503.
+	ErrDegraded = errors.New("serve: degraded (circuit breaker open), serving cached results only")
 )
 
 // Options configures a Server. Zero values select the defaults noted on
@@ -89,6 +97,24 @@ type Options struct {
 	// MaxJobs bounds retained job records; the oldest terminal jobs are
 	// forgotten beyond it (default 4096).
 	MaxJobs int
+	// Journal, when non-nil, makes the server crash-safe: every accepted
+	// submission is journalled (fsync) before it is queued, every terminal
+	// state is journalled when the job ends, and New replays the journal's
+	// recovery state — incomplete jobs are re-enqueued under their original
+	// IDs and finished results are restored into the cache.
+	Journal *journal.Journal
+	// BreakerThreshold is the consecutive-failure count (panics included)
+	// that trips the circuit breaker into cache-only degraded mode
+	// (default 5; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting a
+	// half-open probe job (default 30s).
+	BreakerCooldown time.Duration
+	// RatePerSec enables per-client token-bucket admission on the
+	// submission endpoints (default 0 = unlimited).
+	RatePerSec float64
+	// RateBurst is the token-bucket depth (default 2×RatePerSec, min 1).
+	RateBurst int
 }
 
 func (o Options) withDefaults() Options {
@@ -109,6 +135,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 4096
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 30 * time.Second
 	}
 	return o
 }
@@ -230,6 +262,12 @@ type Server struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 	start      time.Time
+	journal    *journal.Journal
+	breaker    *breaker
+	limiter    *limiter
+	// runHook, when set (tests), runs at the start of every job execution;
+	// a panic here exercises the worker isolation path.
+	runHook func(*Job)
 
 	busy           atomic.Int64
 	doneJobs       atomic.Int64
@@ -237,6 +275,11 @@ type Server struct {
 	cancelled      atomic.Int64
 	eventsStreamed atomic.Int64
 	eventsDropped  atomic.Int64
+	panics         atomic.Int64
+	rateLimited    atomic.Int64
+	journalErrors  atomic.Int64
+	recoveredJobs  atomic.Int64
+	replayedHits   atomic.Int64
 
 	// Fault-injection counters aggregated over every simulation this server
 	// has actually run (cache hits do not re-count).
@@ -256,7 +299,10 @@ type Server struct {
 	nextID int64
 }
 
-// New builds a server and starts its worker pool.
+// New builds a server and starts its worker pool. When Options.Journal is
+// set, the journal's replayed state is consumed first: finished results go
+// back into the cache and incomplete jobs re-enter the queue under their
+// original IDs, so a restart after a crash resumes rather than forgets.
 func New(opts Options) *Server {
 	o := opts.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -267,13 +313,101 @@ func New(opts Options) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		start:      time.Now(),
+		journal:    o.Journal,
+		breaker:    newBreaker(o.BreakerThreshold, o.BreakerCooldown),
+		limiter:    newLimiter(o.RatePerSec, o.RateBurst),
 		jobs:       make(map[string]*Job),
+	}
+	if s.journal != nil {
+		s.recoverFromJournal()
 	}
 	for i := 0; i < o.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// recoverFromJournal replays the journal captured at Open: results seed the
+// cache, incomplete jobs are rebuilt and re-enqueued (original IDs kept, so
+// clients polling across the crash reconnect), and the ID counter advances
+// past everything recovered. Runs before the workers start.
+func (s *Server) recoverFromJournal() {
+	rec := s.journal.Recovery()
+	if rec == nil {
+		return
+	}
+	for _, r := range rec.Results {
+		s.cache.Put(r.Key, r.Bytes)
+		s.replayedHits.Add(1)
+	}
+	var maxID int64 = -1
+	for _, p := range rec.Pending {
+		var n int64
+		if _, err := fmt.Sscanf(p.ID, "j%d", &n); err == nil && n > maxID {
+			maxID = n
+		}
+	}
+	s.nextID = maxID + 1
+	for _, p := range rec.Pending {
+		s.requeueRecovered(p)
+	}
+}
+
+// requeueRecovered rebuilds one journalled pending job. Specs that no
+// longer parse (e.g. written by an incompatible engine) fail the job
+// cleanly — which also journals a terminal record, clearing the entry.
+func (s *Server) requeueRecovered(p journal.Pending) {
+	j := &Job{
+		id:        p.ID,
+		kind:      p.Kind,
+		timeout:   p.Timeout,
+		hub:       newHub(&s.eventsStreamed, &s.eventsDropped),
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		state:     StateQueued,
+	}
+	j.ctx, j.cancel = context.WithCancel(s.baseCtx)
+
+	var err error
+	switch p.Kind {
+	case kindSim:
+		var scen *scenario.Scenario
+		if scen, err = scenario.Load(bytes.NewReader(p.Spec)); err == nil {
+			j.scen = scen
+			// Recompute the key rather than trusting the journalled one: it
+			// embeds the engine version, so results computed by an older
+			// engine can never satisfy a newer server.
+			j.key, err = ScenarioKey(scen)
+		}
+	case kindSweep:
+		var spec SweepSpec
+		dec := json.NewDecoder(bytes.NewReader(p.Spec))
+		dec.DisallowUnknownFields()
+		if err = dec.Decode(&spec); err == nil {
+			spec.normalise()
+			if err = spec.Validate(); err == nil {
+				j.sweepSpec = &spec
+				j.key, err = SweepKey(&spec)
+			}
+		}
+	default:
+		err = fmt.Errorf("serve: journal: unknown job kind %q", p.Kind)
+	}
+
+	s.mu.Lock()
+	s.registerLocked(j)
+	s.mu.Unlock()
+	s.recoveredJobs.Add(1)
+	if err != nil {
+		s.finalizeJob(j, StateFailed, nil, fmt.Errorf("journal recovery: %w", err))
+		return
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.finalizeJob(j, StateFailed, nil, errors.New("journal recovery: job queue full"))
+	}
 }
 
 // SubmitScenario enqueues a validated scenario. timeout ≤ 0 selects the
@@ -336,14 +470,58 @@ func (s *Server) submit(kind, key string, scen *scenario.Scenario, spec *SweepSp
 		return j, nil
 	}
 
+	// Cache miss: a simulation will have to run. While the breaker is open
+	// the server is cache-only — refuse rather than feed a failing engine.
+	if !s.breaker.allow() {
+		j.cancel()
+		return nil, ErrDegraded
+	}
+
+	// Journal the submission (fsync) before it becomes runnable, so an
+	// acknowledged job survives a crash. Workers cannot observe the job
+	// until it is queued below, which keeps journal order submit-first.
+	if s.journal != nil {
+		if err := s.journal.Append(s.submitRecord(j)); err != nil {
+			// Availability over durability: serve the job, count the loss.
+			s.journalErrors.Add(1)
+		}
+	}
+
 	select {
 	case s.queue <- j:
 	default:
+		if s.journal != nil {
+			if err := s.journal.Append(journal.Record{Op: journal.OpCancelled, ID: j.id}); err != nil {
+				s.journalErrors.Add(1)
+			}
+		}
+		s.breaker.cancelled() // release a half-open probe slot, if any
 		j.cancel()
 		return nil, ErrQueueFull
 	}
 	s.registerLocked(j)
 	return j, nil
+}
+
+// submitRecord renders a job's write-ahead record: kind, key, timeout and
+// the compact JSON spec needed to rebuild it after a crash.
+func (s *Server) submitRecord(j *Job) journal.Record {
+	rec := journal.Record{
+		Op: journal.OpSubmit, ID: j.id, Kind: j.kind, Key: j.key,
+		Timeout: int64(j.timeout),
+	}
+	var spec []byte
+	var err error
+	switch j.kind {
+	case kindSim:
+		spec, err = json.Marshal(j.scen)
+	case kindSweep:
+		spec, err = json.Marshal(j.sweepSpec)
+	}
+	if err == nil {
+		rec.Spec = spec
+	}
+	return rec
 }
 
 // registerLocked records the job and prunes old terminal records beyond
@@ -409,11 +587,32 @@ func (s *Server) Cancel(id string) (State, bool) {
 // CacheStats exposes the result-cache counters.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
+// Degraded reports whether the circuit breaker has the server in cache-only
+// degraded mode (new work refused with 503 until a probe job succeeds).
+func (s *Server) Degraded() bool { return s.breaker.view().Degraded }
+
 // finalizeJob applies a terminal state and updates the server counters; it
 // is the only finalization path used by workers.
 func (s *Server) finalizeJob(j *Job, st State, result []byte, err error) {
 	if !j.finalize(st, result, err) {
 		return
+	}
+	if s.journal != nil {
+		rec := journal.Record{ID: j.id}
+		switch st {
+		case StateDone:
+			rec.Op, rec.Key, rec.Result = journal.OpDone, j.key, result
+		case StateFailed:
+			rec.Op = journal.OpFailed
+			if err != nil {
+				rec.Error = err.Error()
+			}
+		default:
+			rec.Op = journal.OpCancelled
+		}
+		if jerr := s.journal.Append(rec); jerr != nil {
+			s.journalErrors.Add(1)
+		}
 	}
 	switch st {
 	case StateDone:
@@ -451,6 +650,17 @@ func (s *Server) worker() {
 }
 
 func (s *Server) runJob(j *Job) {
+	// Worker panic isolation: an engine panic fails its own job (the stack
+	// travels in the job's error for post-mortems), feeds the breaker, and
+	// leaves the worker goroutine alive for the next job. Registered first
+	// so the busy-counter defer below still runs before recovery.
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.breaker.failure()
+			s.finalizeJob(j, StateFailed, nil, fmt.Errorf("panic: %v\n\n%s", r, debug.Stack()))
+		}
+	}()
 	if j.ctx.Err() != nil || j.State().Terminal() {
 		s.finalizeJob(j, StateCancelled, nil, context.Canceled)
 		return
@@ -469,6 +679,9 @@ func (s *Server) runJob(j *Job) {
 	defer s.busy.Add(-1)
 	if !j.setRunning() {
 		return
+	}
+	if s.runHook != nil {
+		s.runHook(j)
 	}
 	ctx := j.ctx
 	if j.timeout > 0 {
@@ -489,12 +702,16 @@ func (s *Server) runJob(j *Job) {
 	switch {
 	case err == nil:
 		s.cache.Put(j.key, result)
+		s.breaker.success()
 		s.finalizeJob(j, StateDone, result, nil)
 	case errors.Is(err, context.DeadlineExceeded):
+		s.breaker.failure()
 		s.finalizeJob(j, StateFailed, nil, fmt.Errorf("job timed out after %v", j.timeout))
 	case errors.Is(err, context.Canceled):
+		s.breaker.cancelled()
 		s.finalizeJob(j, StateCancelled, nil, err)
 	default:
+		s.breaker.failure()
 		s.finalizeJob(j, StateFailed, nil, err)
 	}
 }
