@@ -204,6 +204,10 @@ func runConfig(path string, nodeLat bool, faultPlan *ccredf.FaultPlan) {
 		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
 		os.Exit(1)
 	}
+	if res.Multi != nil {
+		runMulti(res, key, nodeLat)
+		return
+	}
 	probe := attachProbe(res.Net, nodeLat)
 	res.Net.Run(res.Horizon)
 	summarise(res.Net, key, len(res.Connections), s.ExactEDF, s.DisableSpatialReuse, s.LossProb)
@@ -217,6 +221,53 @@ func runConfig(path string, nodeLat bool, faultPlan *ccredf.FaultPlan) {
 		}
 	}
 	exitOnMiss(res.Net)
+}
+
+// runMulti executes a multi-ring scenario build: run to the horizon, report
+// per ring and per cross-ring connection, and gate the exit code on any ring
+// or end-to-end deadline miss.
+func runMulti(res *scenario.Result, key string, nodeLat bool) {
+	probe := attachProbe(res.Multi.RingNetwork(0), nodeLat)
+	res.Multi.Run(res.Horizon)
+	sum := serve.SummarizeMulti(res.Multi, key)
+	if jsonOut != nil && *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			fmt.Fprintln(os.Stderr, "ccr-sim:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("topology            %d rings, %d bridges\n",
+			res.Multi.Rings(), len(res.Multi.Config().Topology.Bridges))
+		fmt.Printf("simulated           %v\n", res.Multi.Now())
+		for _, r := range sum.Rings {
+			fmt.Printf("ring %-2d             N=%d slots=%d delivered=%d misses net=%d user=%d lateDrops=%d\n",
+				r.Ring, r.Snapshot.Nodes, r.Snapshot.Slots, r.Snapshot.MessagesDelivered,
+				r.Snapshot.NetMisses, r.Snapshot.UserMisses, r.Snapshot.LateDrops)
+		}
+		for _, c := range sum.Cross {
+			fmt.Printf("cross %-3d %d:%d→%d:%v  route=%v released=%d delivered=%d expired=%d misses=%d p99=%.1fµs max=%.1fµs bound=%.1fµs\n",
+				c.ID, c.SrcRing, c.Src, c.DstRing, c.Dests, c.Route,
+				c.Released, c.Delivered, c.Expired, c.Misses,
+				c.LatencyP99Us, c.LatencyMaxUs, c.BoundUs)
+		}
+		if sum.Snapshot.FaultsInjected > 0 {
+			fmt.Printf("faults              injected=%d detected=%d recovered=%d crashes=%d\n",
+				sum.Snapshot.FaultsInjected, sum.Snapshot.FaultsDetected,
+				sum.Snapshot.FaultsRecovered, sum.Snapshot.NodeCrashes)
+		}
+	}
+	printProbe(probe)
+	missed := sum.DeadlinesMissed()
+	for _, c := range sum.Cross {
+		if c.Misses+c.Expired > 0 {
+			missed = true
+		}
+	}
+	if missed {
+		os.Exit(exitMissedDeadline)
+	}
 }
 
 // summarise prints the standard end-of-run report; with -json it emits the

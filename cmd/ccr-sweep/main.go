@@ -16,7 +16,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,7 +28,6 @@ import (
 	"ccredf/internal/serve"
 	"ccredf/internal/serve/client"
 	"ccredf/internal/sweep"
-	"ccredf/internal/timing"
 )
 
 func main() {
@@ -43,6 +41,7 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
 		csvPath    = flag.String("csv", "", "also write results to this CSV file")
 		faults     = flag.String("faults", "", "fault-injection spec applied to every point, e.g. coll=0.01,crash=3@100+50")
+		rings      = flag.Int("rings", 1, "rings per point: >1 runs each point on a bridged chain with cross-ring traffic")
 		remote     = flag.String("remote", "", "run the sweep on a ccr-served daemon at this base URL instead of locally")
 		remoteWait = flag.Duration("remote-timeout", 10*time.Minute, "server-side job timeout for -remote sweeps")
 	)
@@ -116,6 +115,7 @@ func main() {
 			HorizonSlots: *slots,
 			Workers:      *workers,
 			Faults:       *faults,
+			Rings:        *rings,
 		}
 		var err error
 		outcomes, err = runRemote(*remote, spec, *remoteWait, *faults)
@@ -127,6 +127,9 @@ func main() {
 		grid := sweep.Grid(strings.Split(*protocols, ","), ns, us, strings.Split(*localities, ","), ss)
 		if *faults != "" {
 			grid = sweep.WithFaults(grid, *faults)
+		}
+		if *rings > 1 {
+			grid = sweep.WithRings(grid, *rings)
 		}
 		fmt.Printf("sweeping %d points on %d workers (%d slots each)…\n", len(grid), *workers, *slots)
 		outcomes = sweep.Run(grid, *workers, *slots)
@@ -184,27 +187,7 @@ func runRemote(base string, spec *serve.SweepSpec, timeout time.Duration, faultS
 
 	out := make([]sweep.Outcome, 0, len(res.Points))
 	for _, p := range res.Points {
-		o := sweep.Outcome{
-			Point: sweep.Point{
-				Protocol:  p.Protocol,
-				Nodes:     p.Nodes,
-				Load:      p.Load,
-				Locality:  p.Locality,
-				Seed:      p.Seed,
-				FaultSpec: faultSpec,
-			},
-			Delivered:       p.Delivered,
-			MissRatio:       p.MissRatio,
-			P99Latency:      timing.Time(p.P99LatencyUs * float64(timing.Microsecond)),
-			ReuseFactor:     p.ReuseFactor,
-			GapFraction:     p.GapFraction,
-			FaultsInjected:  p.FaultsInjected,
-			FaultsRecovered: p.FaultsRecovered,
-		}
-		if p.Error != "" {
-			o.Err = errors.New(p.Error)
-		}
-		out = append(out, o)
+		out = append(out, p.Outcome(faultSpec))
 	}
 	return out, nil
 }

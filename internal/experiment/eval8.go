@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ccredf/internal/analysis"
+	"ccredf/internal/core"
+	"ccredf/internal/network"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/stats"
+	"ccredf/internal/timing"
+	"ccredf/internal/topology"
+)
+
+// newMultiEDF builds a bridged ring-of-rings fabric with CCR-EDF arbitration
+// on every ring and per-ring seeds derived from seed.
+func newMultiEDF(spec topology.Spec, seed uint64) (*network.MultiNet, error) {
+	topo, err := topology.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfgs := make([]network.Config, topo.Rings())
+	for i := range cfgs {
+		p := timing.DefaultParams(spec.Rings[i])
+		arb, err := core.NewArbiter(p.Nodes, sched.MapExact, true)
+		if err != nil {
+			return nil, err
+		}
+		cfgs[i] = network.Config{Params: p, Protocol: arb, Seed: seed + uint64(i)}
+	}
+	return network.NewMulti(network.MultiConfig{Topo: topo, RingConfigs: cfgs})
+}
+
+// runE22 validates the end-to-end latency bound on a bridged three-ring
+// topology: every cross-ring connection's per-segment deadlines plus
+// worst-case single-ring latencies plus bridge relay latencies (the holistic
+// composition of Amari & Mifdaoui, arXiv:1605.07353) must dominate the
+// simulated worst case, under background intra-ring load, with zero
+// end-to-end misses and byte-stable repetition.
+func runE22(o Options) (*Result, error) {
+	r := &Result{ID: "E22", Title: "End-to-end bounds across bridged rings"}
+	horizon := o.horizon(8000)
+	spec := topology.Spec{
+		Rings: []int{8, 8, 8},
+		Bridges: []topology.Bridge{
+			{RingA: 0, NodeA: 3, RingB: 1, NodeB: 0},
+			{RingA: 1, NodeA: 4, RingB: 2, NodeB: 1},
+		},
+	}
+	crossReqs := func(p timing.Params) []network.CrossRequest {
+		slot := p.SlotTime()
+		return []network.CrossRequest{
+			{SrcRing: 0, Src: 1, DstRing: 1, Dests: ring.Node(2), Period: 40 * slot, Slots: 1, Deadline: 30 * slot},
+			{SrcRing: 0, Src: 5, DstRing: 2, Dests: ring.Node(6), Period: 64 * slot, Slots: 1, Deadline: 60 * slot},
+			{SrcRing: 2, Src: 7, DstRing: 0, Dests: ring.Node(0), Period: 64 * slot, Slots: 1, Deadline: 64 * slot},
+		}
+	}
+	run := func() (*network.MultiNet, []*network.CrossConn, error) {
+		m, err := newMultiEDF(spec, o.Seed+401)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Background intra-ring periodic load on every ring, so the
+		// cross-ring segments compete for slots like any other traffic.
+		for ri := 0; ri < m.Rings(); ri++ {
+			net := m.Ring(ri)
+			p := net.Params()
+			for i := 0; i < p.Nodes; i += 2 {
+				if _, err := net.OpenConnection(sched.Connection{
+					Src: i, Dests: ring.Node((i + 3) % p.Nodes),
+					Period: 20 * p.SlotTime(), Slots: 1,
+				}); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		var ccs []*network.CrossConn
+		for _, req := range crossReqs(m.Ring(0).Params()) {
+			cc, err := m.OpenCross(req)
+			if err != nil {
+				return nil, nil, err
+			}
+			ccs = append(ccs, cc)
+		}
+		before := m.Ring(0).Metrics().Slots.Value()
+		m.RunSlots(horizon)
+		r.Slots += m.Ring(0).Metrics().Slots.Value() - before
+		return m, ccs, nil
+	}
+
+	m, ccs, err := run()
+	if err != nil {
+		return nil, err
+	}
+	m2, ccs2, err := run()
+	if err != nil {
+		return nil, err
+	}
+	r.Slots /= 2
+
+	tab := stats.NewTable("Cross-ring connections vs analytical bound",
+		"conn", "route", "delivered", "p99", "max", "bound")
+	for i, cc := range ccs {
+		st := cc.Stats()
+		bound := m.Bound(cc)
+		worst := st.Latency.Max()
+		tab.AddRow(
+			fmt.Sprintf("%d:%d→%d:%v", cc.Req.SrcRing, cc.Req.Src, cc.Req.DstRing, cc.Req.Dests.Nodes()),
+			fmt.Sprintf("%v", cc.Route),
+			st.Delivered, st.Latency.Quantile(0.99), worst, bound)
+		r.check(st.Delivered > 0, "conn %d: nothing delivered end-to-end", cc.ID)
+		r.check(st.Misses == 0, "conn %d: %d end-to-end deadline misses", cc.ID, st.Misses)
+		r.check(st.Expired == 0, "conn %d: %d relays expired at a bridge", cc.ID, st.Expired)
+		if err := analysis.CheckEndToEnd(worst, bound); err != nil {
+			r.check(false, "conn %d: %v", cc.ID, err)
+		}
+		st2 := ccs2[i].Stats()
+		r.check(st.Delivered == st2.Delivered && st.Released == st2.Released,
+			"conn %d: not reproducible (%d/%d vs %d/%d delivered/released)",
+			cc.ID, st.Delivered, st.Released, st2.Delivered, st2.Released)
+	}
+	r.Tables = append(r.Tables, tab)
+	_ = m2
+	for bi := range spec.Bridges {
+		relayed, expired := m.BridgeStats(bi)
+		r.check(relayed > 0, "bridge %d relayed nothing", bi)
+		r.check(expired == 0, "bridge %d expired %d relays", bi, expired)
+	}
+	r.note("the simulated worst case stays under the holistic bound D_e2e <= sum_k(D_k + WCL_k) + sum_b relay_b on every route, including the two-bridge 0->2 path")
+	return r.finish(), nil
+}

@@ -123,6 +123,7 @@ var registry = []Experiment{
 	{"E19", "Slot-length design space (Eqs. 2/4/6 interplay)", runE19},
 	{"E20", "Unequal link lengths (per-link Equation 1)", runE20},
 	{"E21", "Deterministic fault injection and recovery", runE21},
+	{"E22", "End-to-end bounds across bridged rings", runE22},
 }
 
 // All returns every experiment in suite order.

@@ -1,0 +1,119 @@
+package network
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccredf/internal/core"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+	"ccredf/internal/topology"
+	"ccredf/internal/trace"
+)
+
+// goldenMultiScenario runs the canonical two-ring bridged scenario — a
+// cross-ring connection over one bridge plus a local periodic connection on
+// each ring — and returns both rings' full text traces.
+func goldenMultiScenario(t *testing.T) []byte {
+	t.Helper()
+	topo, err := topology.New(topology.Spec{
+		Rings:   []int{5, 5},
+		Bridges: []topology.Bridge{{RingA: 0, NodeA: 2, RingB: 1, NodeB: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]Config, 2)
+	for i := range cfgs {
+		arb, err := core.NewArbiter(5, sched.Map5Bit, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs[i] = Config{Params: timing.DefaultParams(5), Protocol: arb, Seed: uint64(100 + i)}
+	}
+	m, err := NewMulti(MultiConfig{Topo: topo, RingConfigs: cfgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracers := make([]*trace.Tracer, 2)
+	for i := range tracers {
+		tracers[i] = trace.New(0)
+		m.Ring(i).AttachWireCheck()
+		m.Ring(i).AttachInvariantChecker()
+		m.Ring(i).AttachTracer(tracers[i])
+	}
+	p := m.Ring(0).Params()
+	if _, err := m.OpenCross(CrossRequest{
+		SrcRing: 0, Src: 0, DstRing: 1, Dests: ring.Node(3),
+		Period: 10 * p.SlotTime(), Slots: 1, Deadline: 10 * p.SlotTime(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for ri := 0; ri < 2; ri++ {
+		if _, err := m.Ring(ri).OpenConnection(sched.Connection{
+			Src: 1, Dests: ring.Node(4), Period: 7 * p.SlotTime(), Slots: 1,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.RunSlots(30)
+	for ri := 0; ri < 2; ri++ {
+		if v := m.Ring(ri).Metrics().InvariantViolations.Value(); v != 0 {
+			t.Fatalf("ring %d has invariant violations: %v", ri, m.Ring(ri).Metrics().Violations)
+		}
+	}
+	var out bytes.Buffer
+	for ri, tr := range tracers {
+		fmt.Fprintf(&out, "--- ring %d ---\n", ri)
+		if err := tr.WriteText(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.Bytes()
+}
+
+// TestGoldenMultiTrace pins the multi-ring fabric's slot-by-slot behaviour
+// on the shared clock: both rings' slot loops, the bridge's store-and-forward
+// hop, and the relayed segment's arbitration must stay byte-identical.
+// Regenerate deliberately with
+// `go test ./internal/network -run GoldenMulti -update-golden`.
+func TestGoldenMultiTrace(t *testing.T) {
+	got := goldenMultiScenario(t)
+	path := filepath.Join("testdata", "golden_multi_trace.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden once): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		gl, wl := bytes.Split(got, []byte("\n")), bytes.Split(want, []byte("\n"))
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if !bytes.Equal(gl[i], wl[i]) {
+				t.Fatalf("trace diverges from golden at line %d:\n got: %s\nwant: %s",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("trace length changed: got %d lines, want %d", len(gl), len(wl))
+	}
+}
+
+func TestGoldenMultiScenarioDeterminism(t *testing.T) {
+	a := goldenMultiScenario(t)
+	b := goldenMultiScenario(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("golden multi scenario is not deterministic")
+	}
+}

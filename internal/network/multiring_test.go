@@ -1,0 +1,247 @@
+package network
+
+import (
+	"testing"
+
+	"ccredf/internal/core"
+	"ccredf/internal/fault"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+	"ccredf/internal/topology"
+)
+
+// newMulti builds a chain of `sizes` rings bridged node 3 → node 0 of the
+// next ring, with per-ring CCR-EDF arbiters on a shared kernel.
+func newMulti(t testing.TB, sizes []int, mut func(ri int, cfg *Config)) *MultiNet {
+	t.Helper()
+	spec := topology.Spec{Rings: sizes}
+	for i := 1; i < len(sizes); i++ {
+		spec.Bridges = append(spec.Bridges, topology.Bridge{
+			RingA: i - 1, NodeA: 3, RingB: i, NodeB: 0,
+		})
+	}
+	topo, err := topology.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]Config, len(sizes))
+	for i, n := range sizes {
+		arb, err := core.NewArbiter(n, sched.Map5Bit, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfgs[i] = Config{Params: timing.DefaultParams(n), Protocol: arb, Seed: uint64(1 + i)}
+		if mut != nil {
+			mut(i, &cfgs[i])
+		}
+	}
+	m, err := NewMulti(MultiConfig{Topo: topo, RingConfigs: cfgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMultiNetValidation(t *testing.T) {
+	if _, err := NewMulti(MultiConfig{}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	topo := topology.MustNew(topology.Single(8))
+	if _, err := NewMulti(MultiConfig{Topo: topo}); err == nil {
+		t.Fatal("missing ring configs accepted")
+	}
+	arb, _ := core.NewArbiter(6, sched.Map5Bit, true)
+	if _, err := NewMulti(MultiConfig{
+		Topo:        topo,
+		RingConfigs: []Config{{Params: timing.DefaultParams(6), Protocol: arb}},
+	}); err == nil {
+		t.Fatal("ring size mismatch accepted")
+	}
+}
+
+func TestCrossRingDelivery(t *testing.T) {
+	m := newMulti(t, []int{8, 8, 8}, nil)
+	slot := m.Ring(0).Params().SlotTime()
+
+	cc, err := m.OpenCross(CrossRequest{
+		SrcRing: 0, Src: 1, DstRing: 2, Dests: ring.Node(5),
+		Period: 200 * slot, Slots: 1, Deadline: 150 * slot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cc.Segments) != 3 || len(cc.Route) != 2 {
+		t.Fatalf("segments %d route %d", len(cc.Segments), len(cc.Route))
+	}
+
+	m.RunSlots(2000)
+	st := cc.Stats()
+	if st.Delivered == 0 {
+		t.Fatalf("no end-to-end deliveries: %+v", st)
+	}
+	if st.Misses != 0 {
+		t.Fatalf("%d end-to-end misses under light load (worst %v, deadline %v)",
+			st.Misses, st.Latency.Max(), cc.Req.Deadline)
+	}
+	if st.Released < st.Delivered {
+		t.Fatalf("released %d < delivered %d", st.Released, st.Delivered)
+	}
+	relayed, expired := m.BridgeStats(0)
+	if relayed == 0 || expired != 0 {
+		t.Fatalf("bridge 0 relayed=%d expired=%d", relayed, expired)
+	}
+}
+
+func TestCrossSameRingDegenerates(t *testing.T) {
+	m := newMulti(t, []int{8, 8}, nil)
+	slot := m.Ring(1).Params().SlotTime()
+	cc, err := m.OpenCross(CrossRequest{
+		SrcRing: 1, Src: 2, DstRing: 1, Dests: ring.Node(6),
+		Period: 100 * slot, Slots: 1, Deadline: 50 * slot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cc.Segments) != 1 || len(cc.Route) != 0 {
+		t.Fatalf("same-ring request decomposed into %d segments, %d bridges", len(cc.Segments), len(cc.Route))
+	}
+	m.RunSlots(500)
+	if cc.Stats().Delivered == 0 {
+		t.Fatal("no deliveries on same-ring cross connection")
+	}
+}
+
+func TestCrossAdmissionRollback(t *testing.T) {
+	m := newMulti(t, []int{8, 8}, nil)
+	slot := m.Ring(0).Params().SlotTime()
+
+	// Saturate ring 1 so the second leg of a cross request must be refused.
+	for i := 0; i < 64; i++ {
+		_, err := m.Ring(1).OpenConnection(sched.Connection{
+			Src: 1, Dests: ring.Node(5), Period: 4 * slot, Slots: 1, Deadline: 4 * slot,
+		})
+		if err != nil {
+			break
+		}
+	}
+	before := len(m.Ring(0).Admission().Active())
+	_, err := m.OpenCross(CrossRequest{
+		SrcRing: 0, Src: 1, DstRing: 1, Dests: ring.Node(5),
+		Period: 8 * slot, Slots: 2, Deadline: 8 * slot,
+	})
+	if err == nil {
+		t.Fatal("cross request admitted through a saturated ring")
+	}
+	if got := len(m.Ring(0).Admission().Active()); got != before {
+		t.Fatalf("ring 0 admission not rolled back: %d connections, want %d", got, before)
+	}
+}
+
+func TestCrossDeadlineTooTight(t *testing.T) {
+	m := newMulti(t, []int{8, 8}, nil)
+	if _, err := m.OpenCross(CrossRequest{
+		SrcRing: 0, Src: 1, DstRing: 1, Dests: ring.Node(5),
+		Period: timing.Millisecond, Slots: 1, Deadline: m.RelayLatency(0),
+	}); err == nil {
+		t.Fatal("deadline inside relay latency accepted")
+	}
+}
+
+// TestBridgeCrashExpiresAndRecovers crashes the bridge station mid-run: the
+// partitioned route must shed (expire) cross traffic while the bridge is
+// dark, produce the injected→detected→recovered triple on the bridge's ring,
+// and resume end-to-end delivery after the restart.
+func TestBridgeCrashExpiresAndRecovers(t *testing.T) {
+	m := newMulti(t, []int{8, 8}, func(ri int, cfg *Config) {
+		if ri == 1 {
+			cfg.Faults = &fault.Plan{Crashes: []fault.Crash{{Node: 0, At: 300, Restart: 900}}}
+		}
+	})
+	slot := m.Ring(0).Params().SlotTime()
+	cc, err := m.OpenCross(CrossRequest{
+		SrcRing: 0, Src: 1, DstRing: 1, Dests: ring.Node(5),
+		Period: 40 * slot, Slots: 1, Deadline: 40 * slot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunSlots(2500)
+
+	st := cc.Stats()
+	if st.Expired == 0 {
+		t.Fatalf("bridge crash shed nothing: %+v", st)
+	}
+	if st.Delivered == 0 {
+		t.Fatalf("no deliveries at all: %+v", st)
+	}
+	snap := m.Ring(1).Snapshot()
+	if snap.FaultsInjected == 0 || snap.FaultsInjected != snap.FaultsDetected || snap.FaultsDetected != snap.FaultsRecovered {
+		t.Fatalf("fault triple incomplete: injected=%d detected=%d recovered=%d",
+			snap.FaultsInjected, snap.FaultsDetected, snap.FaultsRecovered)
+	}
+	// Traffic resumed after the restart: the last delivery postdates it.
+	if got := st.Delivered + st.Expired; got < st.Released-2 {
+		t.Fatalf("flights unaccounted for: released %d, delivered %d, expired %d", st.Released, st.Delivered, st.Expired)
+	}
+}
+
+// TestMultiNetDeterminism runs the same multi-ring workload twice and
+// requires identical end-to-end statistics.
+func TestMultiNetDeterminism(t *testing.T) {
+	run := func() (CrossStats, Snapshot, Snapshot) {
+		m := newMulti(t, []int{8, 6, 8}, nil)
+		slot := m.Ring(0).Params().SlotTime()
+		cc, err := m.OpenCross(CrossRequest{
+			SrcRing: 0, Src: 1, DstRing: 2, Dests: ring.NodeSetOf(2, 5),
+			Period: 100 * slot, Slots: 2, Deadline: 200 * slot,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Ring(1).OpenConnection(sched.Connection{
+			Src: 1, Dests: ring.Node(5), Period: 50 * slot, Slots: 1, Deadline: 25 * slot,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		m.RunSlots(1500)
+		st := *cc.Stats()
+		st.Latency = nil
+		return st, m.Ring(0).Snapshot(), m.Ring(2).Snapshot()
+	}
+	s1, a1, b1 := run()
+	s2, a2, b2 := run()
+	if s1 != s2 {
+		t.Fatalf("cross stats diverged:\n%+v\n%+v", s1, s2)
+	}
+	if a1.MessagesDelivered != a2.MessagesDelivered || b1.MessagesDelivered != b2.MessagesDelivered {
+		t.Fatal("per-ring snapshots diverged")
+	}
+}
+
+func TestCloseCrossReleasesCapacity(t *testing.T) {
+	m := newMulti(t, []int{8, 8}, nil)
+	slot := m.Ring(0).Params().SlotTime()
+	cc, err := m.OpenCross(CrossRequest{
+		SrcRing: 0, Src: 1, DstRing: 1, Dests: ring.Node(5),
+		Period: 100 * slot, Slots: 1, Deadline: 80 * slot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.EndToEnd().RelayUtilisation(0); got <= 0 {
+		t.Fatalf("no relay share reserved: %v", got)
+	}
+	if !m.CloseCross(cc.ID) {
+		t.Fatal("CloseCross failed")
+	}
+	if got := m.EndToEnd().RelayUtilisation(0); got != 0 {
+		t.Fatalf("relay share leaked: %v", got)
+	}
+	if got := len(m.Ring(1).Admission().Active()); got != 0 {
+		t.Fatalf("ring 1 capacity leaked: %d active", got)
+	}
+	if m.CloseCross(cc.ID) {
+		t.Fatal("double close succeeded")
+	}
+}

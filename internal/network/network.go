@@ -76,6 +76,12 @@ type Config struct {
 	// injector draws from its own seeded stream, so enabling faults never
 	// perturbs the workload or loss randomness.
 	Faults *fault.Plan
+	// Sim, when non-nil, is the event kernel the network schedules on instead
+	// of creating its own. A multi-ring topology (MultiNet) passes one shared
+	// simulator to every ring so their slot loops interleave on a single
+	// deterministic clock. Nil — every pre-topology caller — keeps the
+	// private-kernel behaviour byte-identical.
+	Sim *des.Simulator
 }
 
 // Metrics aggregates network-wide measurements for one run.
@@ -293,10 +299,14 @@ func New(cfg Config) (*Network, error) {
 	if cfg.DesignatedNode < 0 || cfg.DesignatedNode >= r.Nodes() {
 		return nil, fmt.Errorf("network: designated node %d outside ring", cfg.DesignatedNode)
 	}
+	sim := cfg.Sim
+	if sim == nil {
+		sim = des.New()
+	}
 	n := &Network{
 		cfg:          cfg,
 		params:       cfg.Params,
-		sim:          des.New(),
+		sim:          sim,
 		r:            r,
 		proto:        cfg.Protocol,
 		adm:          sched.NewAdmission(cfg.Params),
@@ -382,6 +392,10 @@ func (n *Network) Admission() *sched.Admission { return n.adm }
 
 // Slot returns the current slot number.
 func (n *Network) Slot() int64 { return n.slot }
+
+// NodeAlive reports whether station i is currently up (not crashed by fault
+// injection or a master-failure experiment).
+func (n *Network) NodeAlive(i int) bool { return !n.dead.Contains(i) }
 
 // Master returns the node currently holding clocking responsibility.
 func (n *Network) Master() int { return n.master }

@@ -1,0 +1,265 @@
+package sched
+
+import (
+	"fmt"
+
+	"ccredf/internal/timing"
+)
+
+// DecomposeDeadline splits a cross-ring connection's end-to-end relative
+// deadline into per-segment deadlines: the bridge relay latency is reserved
+// once per bridge crossed, and the remaining budget is divided equally over
+// the ring segments (the first segment absorbs the integer remainder so the
+// parts sum exactly to total − bridges·relay). Equal division is the
+// holistic-analysis baseline for chained EDF domains: each ring admits its
+// segment against its own share, and the end-to-end bound is the sum of the
+// per-segment guarantees plus the relay terms (see analysis.EndToEndBound).
+func DecomposeDeadline(total timing.Time, segments int, relay timing.Time, bridges int) ([]timing.Time, error) {
+	if segments < 1 {
+		return nil, fmt.Errorf("sched: decompose over %d segments", segments)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("sched: non-positive end-to-end deadline %v", total)
+	}
+	budget := total - timing.Time(bridges)*relay
+	if budget < timing.Time(segments) {
+		return nil, fmt.Errorf("sched: end-to-end deadline %v leaves no budget for %d segments after %d bridge relays of %v",
+			total, segments, bridges, relay)
+	}
+	per := budget / timing.Time(segments)
+	out := make([]timing.Time, segments)
+	for i := range out {
+		out[i] = per
+	}
+	out[0] += budget - per*timing.Time(segments)
+	return out, nil
+}
+
+// Relay is one cross-ring fragment train parked at a bridge: delivered on the
+// upstream ring, waiting out the store-and-forward latency before being
+// re-queued on the downstream ring. Deadline is the absolute deadline of the
+// *next* segment — the EDF key of the bridge queue and the expiry criterion.
+type Relay struct {
+	// Deadline is the absolute deadline of the downstream segment.
+	Deadline timing.Time
+	// Enqueued is when the relay entered the bridge queue.
+	Enqueued timing.Time
+	// Data is the owner's payload (the in-flight cross-connection state).
+	Data any
+
+	seq int64
+	pos int
+}
+
+// BridgeQueue is the deadline-aware store-and-forward queue of one bridge
+// direction: relays pop in EDF order (earliest downstream deadline first, FIFO
+// within ties), and already-hopeless relays can be expired in bulk. The zero
+// value is ready to use.
+type BridgeQueue struct {
+	heap []*Relay
+	next int64
+
+	// Relayed counts relays popped for forwarding; Expired counts relays
+	// dropped because their downstream deadline had already passed.
+	Relayed, Expired int64
+}
+
+// Len returns the number of parked relays.
+func (q *BridgeQueue) Len() int { return len(q.heap) }
+
+// Push parks a relay.
+func (q *BridgeQueue) Push(r *Relay) {
+	r.seq = q.next
+	q.next++
+	r.pos = len(q.heap)
+	q.heap = append(q.heap, r)
+	q.up(r.pos)
+}
+
+// Peek returns the earliest-deadline relay without removing it, or nil.
+func (q *BridgeQueue) Peek() *Relay {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	return q.heap[0]
+}
+
+// Pop removes and returns the earliest-deadline relay, counting it as
+// relayed, or returns nil when the queue is empty.
+func (q *BridgeQueue) Pop() *Relay {
+	r := q.pop()
+	if r != nil {
+		q.Relayed++
+	}
+	return r
+}
+
+// ExpireBefore removes and returns every relay whose downstream deadline is
+// already in the past at now, counting them as expired. A crashed or
+// congested bridge sheds exactly the traffic that can no longer make its
+// deadline, instead of poisoning the downstream ring with dead load.
+func (q *BridgeQueue) ExpireBefore(now timing.Time) []*Relay {
+	var out []*Relay
+	for len(q.heap) > 0 && q.heap[0].Deadline < now {
+		out = append(out, q.pop())
+		q.Expired++
+	}
+	return out
+}
+
+func (q *BridgeQueue) pop() *Relay {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	head := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[0].pos = 0
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return head
+}
+
+// relayBefore orders relays by deadline then arrival order.
+func relayBefore(a, b *Relay) bool {
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	return a.seq < b.seq
+}
+
+func (q *BridgeQueue) swapRelay(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].pos = i
+	q.heap[j].pos = j
+}
+
+func (q *BridgeQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !relayBefore(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.swapRelay(i, parent)
+		i = parent
+	}
+}
+
+func (q *BridgeQueue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && relayBefore(q.heap[l], q.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && relayBefore(q.heap[r], q.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.swapRelay(i, smallest)
+		i = smallest
+	}
+}
+
+// SegmentRequest is one per-ring leg of an end-to-end admission request: the
+// ring index and the connection (with its decomposed per-segment deadline)
+// that ring must carry.
+type SegmentRequest struct {
+	Ring int
+	Conn Connection
+}
+
+// RouteReservation records an accepted end-to-end request so it can be
+// released atomically.
+type RouteReservation struct {
+	// Segments holds the admitted per-ring connections (IDs assigned by each
+	// ring's own admission controller), parallel to the request.
+	Segments []SegmentRequest
+	// Bridges and RelayU record the relay capacity charged per bridge.
+	Bridges []int
+	RelayU  float64
+}
+
+// EndToEnd extends the paper's single-domain admission control (Section 6) to
+// a route across a multi-ring topology: a cross-ring connection is admitted
+// exactly when (a) every ring on its route accepts the corresponding segment
+// under its own density test (Equations 5–6, per-ring U_max), and (b) every
+// bridge on the route retains relay capacity for it. A bridge forwards at
+// most one fragment per slot per direction, so its relay budget is a plain
+// utilisation sum bounded by 1. Acceptance is atomic: if any ring or bridge
+// refuses, every segment already reserved is rolled back and the error of the
+// refusing stage is returned.
+type EndToEnd struct {
+	rings  []*Admission
+	relayU []float64
+}
+
+// NewEndToEnd builds the end-to-end admission check over the per-ring
+// admission controllers (one per ring, in ring-index order) and bridgeCount
+// bridge relay budgets.
+func NewEndToEnd(rings []*Admission, bridgeCount int) *EndToEnd {
+	return &EndToEnd{rings: rings, relayU: make([]float64, bridgeCount)}
+}
+
+// RelayUtilisation returns the relay load currently reserved on bridge bi.
+func (e *EndToEnd) RelayUtilisation(bi int) float64 { return e.relayU[bi] }
+
+// Request runs the end-to-end admission test: each segment against its
+// ring's controller in route order, then the relay budget of every bridge on
+// the route. On success the reservation (with per-ring connection IDs) is
+// returned; on any refusal everything already reserved is rolled back.
+func (e *EndToEnd) Request(segs []SegmentRequest, bridges []int, relayU float64) (RouteReservation, error) {
+	res := RouteReservation{Bridges: append([]int(nil), bridges...), RelayU: relayU}
+	rollback := func() {
+		for _, s := range res.Segments {
+			e.rings[s.Ring].Release(s.Conn.ID)
+		}
+	}
+	for i, s := range segs {
+		if s.Ring < 0 || s.Ring >= len(e.rings) {
+			rollback()
+			return RouteReservation{}, fmt.Errorf("sched: segment %d on unknown ring %d", i, s.Ring)
+		}
+		admitted, err := e.rings[s.Ring].Request(s.Conn)
+		if err != nil {
+			rollback()
+			return RouteReservation{}, fmt.Errorf("sched: segment %d (ring %d): %w", i, s.Ring, err)
+		}
+		res.Segments = append(res.Segments, SegmentRequest{Ring: s.Ring, Conn: admitted})
+	}
+	for _, bi := range bridges {
+		if bi < 0 || bi >= len(e.relayU) {
+			rollback()
+			return RouteReservation{}, fmt.Errorf("sched: unknown bridge %d", bi)
+		}
+		if e.relayU[bi]+relayU > 1 {
+			rollback()
+			return RouteReservation{}, fmt.Errorf("sched: bridge %d relay budget exhausted: %.4f + %.4f > 1",
+				bi, e.relayU[bi], relayU)
+		}
+	}
+	for _, bi := range bridges {
+		e.relayU[bi] += relayU
+	}
+	return res, nil
+}
+
+// Release frees a reservation: every segment on its ring, every bridge's
+// relay share.
+func (e *EndToEnd) Release(res RouteReservation) {
+	for _, s := range res.Segments {
+		e.rings[s.Ring].Release(s.Conn.ID)
+	}
+	for _, bi := range res.Bridges {
+		e.relayU[bi] -= res.RelayU
+		if e.relayU[bi] < 0 {
+			e.relayU[bi] = 0
+		}
+	}
+}

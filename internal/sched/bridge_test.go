@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"testing"
+
+	"ccredf/internal/timing"
+)
+
+func TestDecomposeDeadline(t *testing.T) {
+	relay := timing.Time(10 * timing.Microsecond)
+
+	parts, err := DecomposeDeadline(100*timing.Microsecond, 3, relay, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	var sum timing.Time
+	for _, p := range parts {
+		if p <= 0 {
+			t.Fatalf("non-positive part %v in %v", p, parts)
+		}
+		sum += p
+	}
+	if want := 100*timing.Microsecond - 2*relay; sum != want {
+		t.Fatalf("parts sum to %v, want %v", sum, want)
+	}
+	// Remainder lands on the first segment, never lost: with a budget that
+	// doesn't divide evenly, the parts still sum exactly and the first part
+	// carries the excess.
+	parts2, err := DecomposeDeadline(100*timing.Microsecond+1, 3, relay, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum2 timing.Time
+	for _, p := range parts2 {
+		sum2 += p
+	}
+	if want := 100*timing.Microsecond + 1 - 2*relay; sum2 != want {
+		t.Fatalf("parts %v sum to %v, want %v", parts2, sum2, want)
+	}
+	if parts2[0] < parts2[1] || parts2[1] != parts2[2] {
+		t.Fatalf("remainder misplaced: %v", parts2)
+	}
+
+	// Single segment, no bridges: identity.
+	one, err := DecomposeDeadline(42, 1, relay, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one[0] != 42 {
+		t.Fatalf("single segment got %v", one)
+	}
+
+	// Relay overhead eats the whole budget.
+	if _, err := DecomposeDeadline(15*timing.Microsecond, 2, relay, 2); err == nil {
+		t.Fatal("want error when relays exceed the deadline")
+	}
+	if _, err := DecomposeDeadline(0, 1, relay, 0); err == nil {
+		t.Fatal("want error for non-positive deadline")
+	}
+}
+
+func TestBridgeQueueEDFOrder(t *testing.T) {
+	var q BridgeQueue
+	q.Push(&Relay{Deadline: 30, Data: "c"})
+	q.Push(&Relay{Deadline: 10, Data: "a"})
+	q.Push(&Relay{Deadline: 20, Data: "b"})
+	q.Push(&Relay{Deadline: 10, Data: "a2"}) // FIFO within equal deadlines
+
+	if got := q.Peek().Data; got != "a" {
+		t.Fatalf("Peek = %v", got)
+	}
+	var order []string
+	for q.Len() > 0 {
+		order = append(order, q.Pop().Data.(string))
+	}
+	want := []string{"a", "a2", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", order, want)
+		}
+	}
+	if q.Relayed != 4 || q.Expired != 0 {
+		t.Fatalf("counters relayed=%d expired=%d", q.Relayed, q.Expired)
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty queue")
+	}
+}
+
+func TestBridgeQueueExpireBefore(t *testing.T) {
+	var q BridgeQueue
+	for _, d := range []timing.Time{5, 15, 25} {
+		q.Push(&Relay{Deadline: d})
+	}
+	dead := q.ExpireBefore(20)
+	if len(dead) != 2 || dead[0].Deadline != 5 || dead[1].Deadline != 15 {
+		t.Fatalf("expired %+v", dead)
+	}
+	if q.Len() != 1 || q.Expired != 2 {
+		t.Fatalf("len=%d expired=%d", q.Len(), q.Expired)
+	}
+	// Deadline exactly now survives (deadline is inclusive).
+	if got := q.ExpireBefore(25); len(got) != 0 {
+		t.Fatalf("deadline-at-now expired: %+v", got)
+	}
+}
+
+func e2eFixture(t *testing.T) (*EndToEnd, []*Admission, timing.Params) {
+	t.Helper()
+	params := timing.DefaultParams(8)
+	rings := []*Admission{
+		NewAdmission(params),
+		NewAdmission(params),
+	}
+	return NewEndToEnd(rings, 1), rings, params
+}
+
+func TestEndToEndRequestRelease(t *testing.T) {
+	e2e, rings, params := e2eFixture(t)
+	slot := params.SlotTime()
+	conn := func(src int) Connection {
+		return Connection{Src: src, Dests: 1 << uint(src+1), Period: 100 * slot, Slots: 1, Deadline: 50 * slot}
+	}
+
+	res, err := e2e.Request([]SegmentRequest{{Ring: 0, Conn: conn(0)}, {Ring: 1, Conn: conn(2)}}, []int{0}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) != 2 {
+		t.Fatalf("reserved %d segments", len(res.Segments))
+	}
+	for _, s := range res.Segments {
+		if _, ok := rings[s.Ring].Get(s.Conn.ID); !ok {
+			t.Fatalf("segment %+v not active on ring %d", s.Conn, s.Ring)
+		}
+	}
+	if got := e2e.RelayUtilisation(0); got != 0.01 {
+		t.Fatalf("relay utilisation %v", got)
+	}
+
+	e2e.Release(res)
+	for _, s := range res.Segments {
+		if _, ok := rings[s.Ring].Get(s.Conn.ID); ok {
+			t.Fatalf("segment still active on ring %d after release", s.Ring)
+		}
+	}
+	if got := e2e.RelayUtilisation(0); got != 0 {
+		t.Fatalf("relay utilisation %v after release", got)
+	}
+}
+
+// TestEndToEndRollback saturates ring 1 so a two-segment request fails there,
+// and checks the ring-0 reservation is rolled back.
+func TestEndToEndRollback(t *testing.T) {
+	e2e, rings, params := e2eFixture(t)
+	slot := params.SlotTime()
+
+	// Fill ring 1 near capacity.
+	hog := Connection{Src: 0, Dests: 1 << 1, Period: 2 * slot, Slots: 1, Deadline: 2 * slot}
+	if _, err := rings[1].Request(hog); err != nil {
+		t.Fatalf("hog rejected: %v", err)
+	}
+	before := len(rings[0].Active())
+
+	segs := []SegmentRequest{
+		{Ring: 0, Conn: Connection{Src: 0, Dests: 1 << 3, Period: 100 * slot, Slots: 1, Deadline: 10 * slot}},
+		{Ring: 1, Conn: Connection{Src: 2, Dests: 1 << 3, Period: 2 * slot, Slots: 2, Deadline: 2 * slot}},
+	}
+	if _, err := e2e.Request(segs, []int{0}, 0.01); err == nil {
+		t.Fatal("over-capacity request admitted")
+	}
+	if got := len(rings[0].Active()); got != before {
+		t.Fatalf("ring 0 left with %d connections after rollback, want %d", got, before)
+	}
+	if got := e2e.RelayUtilisation(0); got != 0 {
+		t.Fatalf("relay utilisation %v after failed request", got)
+	}
+}
+
+func TestEndToEndRelayBudget(t *testing.T) {
+	e2e, _, params := e2eFixture(t)
+	slot := params.SlotTime()
+	seg := []SegmentRequest{{Ring: 0, Conn: Connection{Src: 0, Dests: 1 << 1, Period: 1000 * slot, Slots: 1, Deadline: 500 * slot}}}
+
+	if _, err := e2e.Request(seg, []int{0}, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2e.Request([]SegmentRequest{{Ring: 1, Conn: Connection{Src: 0, Dests: 1 << 1, Period: 1000 * slot, Slots: 1, Deadline: 500 * slot}}}, []int{0}, 0.2); err == nil {
+		t.Fatal("relay budget overrun admitted")
+	}
+	if _, err := e2e.Request([]SegmentRequest{}, []int{5}, 0.1); err == nil {
+		t.Fatal("unknown bridge admitted")
+	}
+}

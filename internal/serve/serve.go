@@ -724,14 +724,38 @@ func (s *Server) runSim(ctx context.Context, j *Job) ([]byte, error) {
 		return nil, err
 	}
 	// The streaming exporter rides the observer pipeline, gated on live
-	// subscribers so an unwatched run pays one atomic load per event.
+	// subscribers so an unwatched run pays one atomic load per event. Multi-
+	// ring runs stream every ring's events through the same gate.
 	h := j.hub
 	exp := ccredf.NewEventExporter(h)
-	res.Net.Attach(ccredf.ObserverFunc(func(e *ccredf.Event) {
+	gate := ccredf.ObserverFunc(func(e *ccredf.Event) {
 		if h.active.Load() {
 			exp.OnEvent(e)
 		}
-	}))
+	})
+	if res.Multi != nil {
+		for i := 0; i < res.Multi.Rings(); i++ {
+			res.Multi.RingNetwork(i).Attach(gate)
+		}
+		p := res.Multi.RingNetwork(0).Params()
+		chunk := ccredf.Time(s.opts.ChunkSlots) * (p.SlotTime() + p.MaxHandoverTime())
+		for now := res.Multi.Now(); now < res.Horizon; now = res.Multi.Now() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			next := now + chunk
+			if next > res.Horizon {
+				next = res.Horizon
+			}
+			res.Multi.Run(next)
+		}
+		sum := SummarizeMulti(res.Multi, j.key)
+		s.faultsInjected.Add(sum.Snapshot.FaultsInjected)
+		s.faultsDetected.Add(sum.Snapshot.FaultsDetected)
+		s.faultsRecovered.Add(sum.Snapshot.FaultsRecovered)
+		return sum.Encode()
+	}
+	res.Net.Attach(gate)
 	period := res.Net.Params().SlotTime() + res.Net.Params().MaxHandoverTime()
 	chunk := ccredf.Time(s.opts.ChunkSlots) * period
 	for now := res.Net.Now(); now < res.Horizon; now = res.Net.Now() {

@@ -39,6 +39,35 @@ type Summary struct {
 	Key         string           `json:"key,omitempty"`
 	Snapshot    network.Snapshot `json:"snapshot"`
 	Connections []ConnSummary    `json:"connections,omitempty"`
+	// Rings and Cross report multi-ring runs (SummarizeMulti): one snapshot
+	// per ring plus the end-to-end record of every cross-ring connection.
+	// Both stay absent on single-ring runs, keeping their JSON unchanged.
+	Rings []RingSummary  `json:"rings,omitempty"`
+	Cross []CrossSummary `json:"cross,omitempty"`
+}
+
+// RingSummary is one ring's snapshot in a multi-ring run.
+type RingSummary struct {
+	Ring     int              `json:"ring"`
+	Snapshot network.Snapshot `json:"snapshot"`
+}
+
+// CrossSummary reports one cross-ring connection's end-to-end record,
+// including the analytical latency bound it is held to (experiment E22).
+type CrossSummary struct {
+	ID           int     `json:"id"`
+	SrcRing      int     `json:"src_ring"`
+	Src          int     `json:"src"`
+	DstRing      int     `json:"dst_ring"`
+	Dests        []int   `json:"dests"`
+	Route        []int   `json:"route"`
+	Released     int64   `json:"released"`
+	Delivered    int64   `json:"delivered"`
+	Expired      int64   `json:"expired"`
+	Misses       int64   `json:"misses"`
+	LatencyP99Us float64 `json:"latency_p99_us,omitempty"`
+	LatencyMaxUs float64 `json:"latency_max_us,omitempty"`
+	BoundUs      float64 `json:"bound_us"`
 }
 
 // Summarize captures a finished run. key is the scenario's content hash
@@ -73,6 +102,71 @@ func Summarize(net *ccredf.Network, key string) Summary {
 			c.JitterP99Us = cs.Jitter.Quantile(0.99).Micros()
 		}
 		s.Connections = append(s.Connections, c)
+	}
+	return s
+}
+
+// SummarizeMulti captures a finished multi-ring run: an aggregated snapshot
+// (counters summed across rings; rates and latency live in the per-ring
+// entries), one full snapshot per ring, and the end-to-end record of every
+// cross-ring connection with its analytical bound.
+func SummarizeMulti(net *ccredf.MultiNetwork, key string) Summary {
+	s := Summary{
+		Schema: SummarySchema,
+		Engine: EngineVersion,
+		Key:    key,
+	}
+	for i := 0; i < net.Rings(); i++ {
+		snap := net.Ring(i).Snapshot()
+		s.Rings = append(s.Rings, RingSummary{Ring: i, Snapshot: snap})
+		agg := &s.Snapshot
+		agg.Nodes += snap.Nodes
+		agg.Slots += snap.Slots
+		agg.SlotsWithData += snap.SlotsWithData
+		agg.Grants += snap.Grants
+		agg.MessagesDelivered += snap.MessagesDelivered
+		agg.MessagesLost += snap.MessagesLost
+		agg.FragmentsDelivered += snap.FragmentsDelivered
+		agg.FragmentsDropped += snap.FragmentsDropped
+		agg.Retransmits += snap.Retransmits
+		agg.NetMisses += snap.NetMisses
+		agg.UserMisses += snap.UserMisses
+		agg.LateDrops += snap.LateDrops
+		agg.BytesDelivered += snap.BytesDelivered
+		agg.WireErrors += snap.WireErrors
+		agg.Violations += snap.Violations
+		agg.FaultsInjected += snap.FaultsInjected
+		agg.FaultsDetected += snap.FaultsDetected
+		agg.FaultsRecovered += snap.FaultsRecovered
+		agg.NodeCrashes += snap.NodeCrashes
+		agg.QueueDepth += snap.QueueDepth
+		agg.ConnectionCount += snap.ConnectionCount
+	}
+	s.Snapshot.Protocol = s.Rings[0].Snapshot.Protocol
+	s.Snapshot.SlotTime = s.Rings[0].Snapshot.SlotTime
+	s.Snapshot.UMax = s.Rings[0].Snapshot.UMax
+	s.Snapshot.ElapsedUs = net.Now().Micros()
+	s.Snapshot.Latency = map[string]network.LatencySummary{}
+	for _, cc := range net.CrossConns() {
+		st := cc.Stats()
+		c := CrossSummary{
+			ID:        cc.ID,
+			SrcRing:   cc.Req.SrcRing,
+			Src:       cc.Req.Src,
+			DstRing:   cc.Req.DstRing,
+			Dests:     cc.Req.Dests.Nodes(),
+			Route:     cc.Route,
+			Released:  st.Released,
+			Delivered: st.Delivered,
+			Expired:   st.Expired,
+			Misses:    st.Misses,
+			BoundUs:   net.Bound(cc).Micros(),
+		}
+		if st.Latency.Count() > 0 {
+			c.LatencyP99Us = st.Latency.Quantile(0.99).Micros()
+			c.LatencyMaxUs = st.Latency.Max().Micros()
+		}
+		s.Cross = append(s.Cross, c)
 	}
 	return s
 }

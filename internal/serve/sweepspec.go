@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 
 	"ccredf/internal/fault"
 	"ccredf/internal/sweep"
+	"ccredf/internal/timing"
 )
 
 // SweepSpec is the declarative body of POST /v1/sweeps: a parameter grid
@@ -29,6 +31,9 @@ type SweepSpec struct {
 	// Faults is an optional fault-injection spec (fault.ParseSpec syntax)
 	// applied identically to every grid point.
 	Faults string `json:"faults,omitempty"`
+	// Rings > 1 runs every point on a bridged chain of that many rings of
+	// Nodes each (sweep.Point.Rings); 0 or 1 is the classic single ring.
+	Rings int `json:"rings,omitempty"`
 }
 
 // normalise fills the implicit axis defaults in place, so equivalent
@@ -48,6 +53,9 @@ func (sp *SweepSpec) normalise() {
 	}
 	if len(sp.Seeds) == 0 {
 		sp.Seeds = []uint64{1}
+	}
+	if sp.Rings == 1 {
+		sp.Rings = 0 // one ring is the default; share its cache key
 	}
 }
 
@@ -88,6 +96,9 @@ func (sp *SweepSpec) Validate() error {
 			return fmt.Errorf("sweep: faults: %w", err)
 		}
 	}
+	if sp.Rings < 0 || sp.Rings > 16 {
+		return fmt.Errorf("sweep: rings %d outside [0,16]", sp.Rings)
+	}
 	return nil
 }
 
@@ -96,6 +107,9 @@ func (sp *SweepSpec) Grid() []sweep.Point {
 	pts := sweep.Grid(sp.Protocols, sp.Nodes, sp.Loads, sp.Localities, sp.Seeds)
 	if sp.Faults != "" {
 		pts = sweep.WithFaults(pts, sp.Faults)
+	}
+	if sp.Rings > 1 {
+		pts = sweep.WithRings(pts, sp.Rings)
 	}
 	return pts
 }
@@ -119,19 +133,78 @@ func SweepKey(sp *SweepSpec) (string, error) {
 
 // SweepOutcome is the wire form of one grid point's result.
 type SweepOutcome struct {
-	Protocol        string  `json:"protocol"`
-	Nodes           int     `json:"nodes"`
-	Load            float64 `json:"load"`
-	Locality        string  `json:"locality"`
-	Seed            uint64  `json:"seed"`
-	Delivered       int64   `json:"delivered"`
-	MissRatio       float64 `json:"miss_ratio"`
-	P99LatencyUs    float64 `json:"p99_latency_us"`
-	ReuseFactor     float64 `json:"reuse_factor"`
-	GapFraction     float64 `json:"gap_fraction"`
-	FaultsInjected  int64   `json:"faults_injected,omitempty"`
-	FaultsRecovered int64   `json:"faults_recovered,omitempty"`
-	Error           string  `json:"error,omitempty"`
+	Protocol        string    `json:"protocol"`
+	Nodes           int       `json:"nodes"`
+	Load            float64   `json:"load"`
+	Locality        string    `json:"locality"`
+	Seed            uint64    `json:"seed"`
+	Rings           int       `json:"rings,omitempty"`
+	Delivered       int64     `json:"delivered"`
+	MissRatio       float64   `json:"miss_ratio"`
+	P99LatencyUs    float64   `json:"p99_latency_us"`
+	ReuseFactor     float64   `json:"reuse_factor"`
+	GapFraction     float64   `json:"gap_fraction"`
+	FaultsInjected  int64     `json:"faults_injected,omitempty"`
+	FaultsRecovered int64     `json:"faults_recovered,omitempty"`
+	RingUtil        []float64 `json:"ring_util,omitempty"`
+	CrossMissRatio  float64   `json:"cross_miss_ratio,omitempty"`
+	Error           string    `json:"error,omitempty"`
+}
+
+// WireOutcome converts one grid point's result to the wire form.
+func WireOutcome(o sweep.Outcome) SweepOutcome {
+	w := SweepOutcome{
+		Protocol:        o.Protocol,
+		Nodes:           o.Nodes,
+		Load:            o.Load,
+		Locality:        o.Locality,
+		Seed:            o.Seed,
+		Rings:           o.Rings,
+		Delivered:       o.Delivered,
+		MissRatio:       o.MissRatio,
+		P99LatencyUs:    o.P99Latency.Micros(),
+		ReuseFactor:     o.ReuseFactor,
+		GapFraction:     o.GapFraction,
+		FaultsInjected:  o.FaultsInjected,
+		FaultsRecovered: o.FaultsRecovered,
+		RingUtil:        o.RingUtil,
+		CrossMissRatio:  o.CrossMissRatio,
+	}
+	if o.Err != nil {
+		w.Error = o.Err.Error()
+	}
+	return w
+}
+
+// Outcome converts the wire form back into sweep.Outcome, so table and CSV
+// output is byte-identical whether the grid ran locally or remotely (the
+// sweep CSV header round-trip contract). faultSpec re-attaches the point's
+// fault coordinate, which the wire form does not carry per point.
+func (w SweepOutcome) Outcome(faultSpec string) sweep.Outcome {
+	o := sweep.Outcome{
+		Point: sweep.Point{
+			Protocol:  w.Protocol,
+			Nodes:     w.Nodes,
+			Load:      w.Load,
+			Locality:  w.Locality,
+			Seed:      w.Seed,
+			FaultSpec: faultSpec,
+			Rings:     w.Rings,
+		},
+		Delivered:       w.Delivered,
+		MissRatio:       w.MissRatio,
+		P99Latency:      timing.Time(w.P99LatencyUs * float64(timing.Microsecond)),
+		ReuseFactor:     w.ReuseFactor,
+		GapFraction:     w.GapFraction,
+		FaultsInjected:  w.FaultsInjected,
+		FaultsRecovered: w.FaultsRecovered,
+		RingUtil:        w.RingUtil,
+		CrossMissRatio:  w.CrossMissRatio,
+	}
+	if w.Error != "" {
+		o.Err = errors.New(w.Error)
+	}
+	return o
 }
 
 // SweepResult is the machine-readable result of one sweep job, deterministic
@@ -147,24 +220,7 @@ type SweepResult struct {
 func encodeSweep(key string, outcomes []sweep.Outcome) ([]byte, error) {
 	res := SweepResult{Schema: SummarySchema, Engine: EngineVersion, Key: key}
 	for _, o := range outcomes {
-		w := SweepOutcome{
-			Protocol:        o.Protocol,
-			Nodes:           o.Nodes,
-			Load:            o.Load,
-			Locality:        o.Locality,
-			Seed:            o.Seed,
-			Delivered:       o.Delivered,
-			MissRatio:       o.MissRatio,
-			P99LatencyUs:    o.P99Latency.Micros(),
-			ReuseFactor:     o.ReuseFactor,
-			GapFraction:     o.GapFraction,
-			FaultsInjected:  o.FaultsInjected,
-			FaultsRecovered: o.FaultsRecovered,
-		}
-		if o.Err != nil {
-			w.Error = o.Err.Error()
-		}
-		res.Points = append(res.Points, w)
+		res.Points = append(res.Points, WireOutcome(o))
 	}
 	return encodeJSONLine(res)
 }

@@ -11,17 +11,20 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"strings"
 
 	"ccredf/internal/ccfpr"
 	"ccredf/internal/core"
 	"ccredf/internal/fault"
 	"ccredf/internal/network"
+	"ccredf/internal/ring"
 	"ccredf/internal/rng"
 	"ccredf/internal/runner"
 	"ccredf/internal/sched"
 	"ccredf/internal/stats"
 	"ccredf/internal/tdma"
 	"ccredf/internal/timing"
+	"ccredf/internal/topology"
 	"ccredf/internal/traffic"
 )
 
@@ -43,11 +46,18 @@ type Point struct {
 	// syntax, e.g. "coll=0.01,crash=3@100+50"); empty disables injection.
 	// Kept as the compact string so Point stays comparable.
 	FaultSpec string
+	// Rings > 1 runs the point on a bridged chain of that many rings of
+	// Nodes each (cross-ring connections between neighbouring rings plus one
+	// spanning the chain); 0 or 1 is the classic single ring.
+	Rings int
 }
 
 // String renders the coordinate compactly.
 func (p Point) String() string {
 	s := fmt.Sprintf("%s/N%d/U%.2f/%s/s%d", p.Protocol, p.Nodes, p.Load, p.Locality, p.Seed)
+	if p.Rings > 1 {
+		s += fmt.Sprintf("/R%d", p.Rings)
+	}
 	if p.FaultSpec != "" {
 		s += "/f[" + p.FaultSpec + "]"
 	}
@@ -60,6 +70,16 @@ func WithFaults(points []Point, spec string) []Point {
 	out := append([]Point(nil), points...)
 	for i := range out {
 		out[i].FaultSpec = spec
+	}
+	return out
+}
+
+// WithRings returns the points with the given ring count stamped on every
+// coordinate (≤ 1 restores the single ring).
+func WithRings(points []Point, rings int) []Point {
+	out := append([]Point(nil), points...)
+	for i := range out {
+		out[i].Rings = rings
 	}
 	return out
 }
@@ -81,6 +101,12 @@ type Outcome struct {
 	// recoveries the protocol completed (equal when every fault healed).
 	FaultsInjected  int64
 	FaultsRecovered int64
+	// RingUtil is the admitted real-time utilisation per ring (one entry on
+	// a single-ring point).
+	RingUtil []float64
+	// CrossMissRatio is end-to-end deadline misses plus bridge expiries over
+	// all cross-ring completions (always 0 on a single-ring point).
+	CrossMissRatio float64
 	// Err records a failed point (nil on success).
 	Err error
 }
@@ -135,6 +161,9 @@ const chunkSlots = 512
 
 // runPoint executes one simulation, polling ctx between chunks of slots.
 func runPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
+	if pt.Rings > 1 {
+		return runMultiPoint(ctx, pt, horizonSlots)
+	}
 	out := Outcome{Point: pt}
 	p := timing.DefaultParams(pt.Nodes)
 	proto, err := protocol(pt.Protocol, pt.Nodes)
@@ -184,6 +213,116 @@ func runPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
 	out.GapFraction = float64(m.GapTime) / float64(net.Now())
 	out.FaultsInjected = m.FaultsInjected.Value()
 	out.FaultsRecovered = m.FaultsRecovered.Value()
+	out.RingUtil = []float64{net.Admission().Utilisation()}
+	return out
+}
+
+// runMultiPoint executes one bridged-chain simulation: pt.Rings rings of
+// pt.Nodes nodes, cross-ring connections between neighbouring rings plus one
+// spanning the chain, and the point's forced intra-ring load on every ring.
+func runMultiPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
+	out := Outcome{Point: pt}
+	spec := topology.Spec{}
+	for i := 0; i < pt.Rings; i++ {
+		spec.Rings = append(spec.Rings, pt.Nodes)
+		if i > 0 {
+			spec.Bridges = append(spec.Bridges, topology.Bridge{
+				RingA: i - 1, NodeA: pt.Nodes / 2, RingB: i, NodeB: 0,
+			})
+		}
+	}
+	topo, err := topology.New(spec)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	cfgs := make([]network.Config, pt.Rings)
+	for i := range cfgs {
+		proto, err := protocol(pt.Protocol, pt.Nodes)
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		cfgs[i] = network.Config{Params: timing.DefaultParams(pt.Nodes), Protocol: proto, Seed: pt.Seed + uint64(i)}
+		if pt.FaultSpec != "" && i == 0 {
+			plan, err := fault.ParseSpec(pt.FaultSpec)
+			if err != nil {
+				out.Err = err
+				return out
+			}
+			cfgs[i].Faults = &plan
+		}
+	}
+	m, err := network.NewMulti(network.MultiConfig{Topo: topo, RingConfigs: cfgs})
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	// Cross connections first, through end-to-end admission, so they hold
+	// their reservations before the forced intra-ring load floods the rings.
+	p := m.Ring(0).Params()
+	var cross []*network.CrossConn
+	openCross := func(req network.CrossRequest) {
+		if cc, err := m.OpenCross(req); err == nil {
+			cross = append(cross, cc)
+		}
+	}
+	for ri := 0; ri+1 < pt.Rings; ri++ {
+		openCross(network.CrossRequest{
+			SrcRing: ri, Src: 1, DstRing: ri + 1, Dests: ring.Node(1),
+			Period: 64 * p.SlotTime(), Slots: 1, Deadline: 64 * p.SlotTime(),
+		})
+	}
+	if pt.Rings > 2 {
+		openCross(network.CrossRequest{
+			SrcRing: 0, Src: 2, DstRing: pt.Rings - 1, Dests: ring.Node(2),
+			Period: 128 * p.SlotTime(), Slots: 1, Deadline: 128 * p.SlotTime(),
+		})
+	}
+	for ri := 0; ri < pt.Rings; ri++ {
+		net := m.Ring(ri)
+		src := rng.New(pt.Seed + uint64(ri))
+		for _, c := range traffic.UniformRTSet(pt.Nodes, pt.Nodes, pt.Load, p, picker(pt.Locality), src) {
+			if _, err := net.ForceConnection(c); err != nil {
+				out.Err = err
+				return out
+			}
+		}
+	}
+	for done := int64(0); done < horizonSlots; {
+		if err := ctx.Err(); err != nil {
+			out.Err = err
+			return out
+		}
+		step := int64(chunkSlots)
+		if remaining := horizonSlots - done; remaining < step {
+			step = remaining
+		}
+		m.RunSlots(step)
+		done += step
+	}
+	var misses int64
+	for ri := 0; ri < pt.Rings; ri++ {
+		rm := m.Ring(ri).Metrics()
+		out.Delivered += rm.MessagesDelivered.Value()
+		misses += rm.NetDeadlineMisses.Value()
+		if p99 := rm.Latency[sched.ClassRealTime].Quantile(0.99); p99 > out.P99Latency {
+			out.P99Latency = p99
+		}
+		out.ReuseFactor += rm.SpatialReuseFactor() / float64(pt.Rings)
+		out.FaultsInjected += rm.FaultsInjected.Value()
+		out.FaultsRecovered += rm.FaultsRecovered.Value()
+		out.RingUtil = append(out.RingUtil, m.Ring(ri).Admission().Utilisation())
+	}
+	out.MissRatio = stats.Ratio(misses, out.Delivered+misses)
+	out.GapFraction = float64(m.Ring(0).Metrics().GapTime) / float64(m.Now())
+	var crossBad, crossTotal int64
+	for _, cc := range cross {
+		st := cc.Stats()
+		crossBad += st.Misses + st.Expired
+		crossTotal += st.Delivered + st.Misses + st.Expired
+	}
+	out.CrossMissRatio = stats.Ratio(crossBad, crossTotal)
 	return out
 }
 
@@ -214,9 +353,24 @@ func RunCtx(ctx context.Context, points []Point, workers int, horizonSlots int64
 	return outcomes, err
 }
 
+// CSVHeader is the pinned column order of WriteCSV. Remote (ccr-sweep
+// -remote) and local runs must produce byte-identical rows under it; a
+// round-trip test in serve enforces that, so extend it deliberately.
+const CSVHeader = "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,faults_injected,faults_recovered,ring_util,cross_miss_ratio,error"
+
+// ringUtilCSV joins the per-ring utilisations with ';' so they stay one CSV
+// column.
+func ringUtilCSV(utils []float64) string {
+	parts := make([]string, len(utils))
+	for i, u := range utils {
+		parts[i] = fmt.Sprintf("%.4f", u)
+	}
+	return strings.Join(parts, ";")
+}
+
 // WriteCSV emits the outcomes as CSV with a header row.
 func WriteCSV(w io.Writer, outcomes []Outcome) error {
-	if _, err := fmt.Fprintln(w, "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,faults_injected,faults_recovered,error"); err != nil {
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
 		return err
 	}
 	for _, o := range outcomes {
@@ -224,10 +378,10 @@ func WriteCSV(w io.Writer, outcomes []Outcome) error {
 		if o.Err != nil {
 			errStr = o.Err.Error()
 		}
-		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%d,%d,%.6f,%.3f,%.4f,%.6f,%d,%d,%s\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%d,%d,%.6f,%.3f,%.4f,%.6f,%d,%d,%s,%.6f,%s\n",
 			o.Protocol, o.Nodes, o.Load, o.Locality, o.Seed,
 			o.Delivered, o.MissRatio, o.P99Latency.Micros(), o.ReuseFactor, o.GapFraction,
-			o.FaultsInjected, o.FaultsRecovered, errStr); err != nil {
+			o.FaultsInjected, o.FaultsRecovered, ringUtilCSV(o.RingUtil), o.CrossMissRatio, errStr); err != nil {
 			return err
 		}
 	}

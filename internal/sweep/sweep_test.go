@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -60,7 +61,7 @@ func TestParallelEqualsSerial(t *testing.T) {
 	serial := Run(pts, 1, 300)
 	parallel := Run(pts, 8, 300)
 	for i := range serial {
-		if serial[i] != parallel[i] {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
 			t.Fatalf("point %d differs: serial %+v vs parallel %+v", i, serial[i], parallel[i])
 		}
 	}
@@ -88,6 +89,45 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[1], "ccr-edf,8,0.3000,uniform,1,") {
 		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+// TestCSVHeaderPinned pins the CSV column order: remote (ccr-sweep -remote)
+// and local runs must emit byte-identical files, so any header change has to
+// land in SweepOutcome and its conversions at the same time.
+func TestCSVHeaderPinned(t *testing.T) {
+	const want = "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,faults_injected,faults_recovered,ring_util,cross_miss_ratio,error"
+	if CSVHeader != want {
+		t.Fatalf("CSVHeader = %q, want %q", CSVHeader, want)
+	}
+}
+
+func TestMultiRingPoint(t *testing.T) {
+	pt := Point{Protocol: "ccr-edf", Nodes: 8, Load: 0.3, Locality: "uniform", Seed: 1, Rings: 3}
+	out := runPoint(context.Background(), pt, 2000)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if out.Delivered == 0 {
+		t.Fatal("multi-ring point delivered nothing")
+	}
+	if len(out.RingUtil) != 3 {
+		t.Fatalf("RingUtil has %d entries, want 3", len(out.RingUtil))
+	}
+	for i, u := range out.RingUtil {
+		if u <= 0 || u > 1 {
+			t.Fatalf("ring %d utilisation %v outside (0,1]", i, u)
+		}
+	}
+	if out.CrossMissRatio != 0 {
+		t.Fatalf("cross miss ratio %v on an uncontended chain", out.CrossMissRatio)
+	}
+	again := runPoint(context.Background(), pt, 2000)
+	if !reflect.DeepEqual(out, again) {
+		t.Fatalf("multi-ring point not reproducible:\n%+v\n%+v", out, again)
+	}
+	if got := pt.String(); got != "ccr-edf/N8/U0.30/uniform/s1/R3" {
+		t.Fatalf("String() = %q", got)
 	}
 }
 
@@ -136,7 +176,7 @@ func TestRunDefaultWorkers(t *testing.T) {
 	a := Run(pts, 0, 200)
 	b := Run(pts, 1, 200)
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("default-worker outcome %d differs", i)
 		}
 	}
@@ -178,7 +218,7 @@ func TestRunCtxMatchesRunWhenUncancelled(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range want {
-		if got[i] != want[i] {
+		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Fatalf("outcome %d diverges: %+v vs %+v", i, got[i], want[i])
 		}
 	}

@@ -1,0 +1,279 @@
+// Package topology generalises the simulation core from "a network is a
+// ring" to "a network is a topology": R fibre-ribbon rings joined by bridge
+// nodes into a ring-of-rings (campus / SAN style) fabric. Each ring keeps the
+// full CCR-EDF machinery — its own slot loop, TCMA master and arbiter — while
+// bridges store-and-forward cross-ring traffic between rings.
+//
+// A Bridge is a station that sits on two rings at once: node NodeA of ring
+// RingA and node NodeB of ring RingB are the same physical device with one
+// queue per direction. A cross-ring transmission is therefore a sequence of
+// ordinary single-ring transmissions (segments), one per ring on the route,
+// glued together by bridge relays.
+//
+// Routes are computed over the ring graph (one vertex per ring, one edge per
+// bridge) by breadth-first search, so every route crosses the minimum number
+// of bridges; ties are broken deterministically by ascending bridge index,
+// which keeps every run byte-reproducible.
+package topology
+
+import (
+	"fmt"
+
+	"ccredf/internal/ring"
+)
+
+// Bridge joins node NodeA of ring RingA to node NodeB of ring RingB: the two
+// indices name the same physical bridge station as seen from each ring.
+type Bridge struct {
+	RingA int `json:"ring_a"`
+	NodeA int `json:"node_a"`
+	RingB int `json:"ring_b"`
+	NodeB int `json:"node_b"`
+}
+
+// End returns the bridge's endpoint (ring, node) on the given side: side 0 is
+// the A side, side 1 the B side.
+func (b Bridge) End(side int) (ringIdx, node int) {
+	if side == 0 {
+		return b.RingA, b.NodeA
+	}
+	return b.RingB, b.NodeB
+}
+
+// Spec declares a multi-ring topology: the size of each ring and the bridges
+// joining them. It is the JSON shape of the scenario "topology" stanza.
+type Spec struct {
+	// Rings holds the node count of each ring, in ring-index order.
+	Rings []int `json:"rings"`
+	// Bridges joins the rings. The ring graph must be connected.
+	Bridges []Bridge `json:"bridges,omitempty"`
+}
+
+// Validate checks the spec with field-qualified errors ("topology.rings[2]:
+// …") so scenario loading can surface exactly the offending field. Every ring
+// is held to ring.New's [2, 64] bound explicitly — node and link sets are
+// 64-bit masks, and a larger ring would silently overflow the shifts.
+func (s Spec) Validate() error {
+	if len(s.Rings) == 0 {
+		return fmt.Errorf("topology.rings: empty (need at least one ring)")
+	}
+	for i, n := range s.Rings {
+		if n < 2 || n > ring.MaxNodes {
+			return fmt.Errorf("topology.rings[%d]: size %d outside [2, %d]", i, n, ring.MaxNodes)
+		}
+	}
+	seen := make(map[[2]int]int)
+	for i, b := range s.Bridges {
+		for side, end := range [][2]int{{b.RingA, b.NodeA}, {b.RingB, b.NodeB}} {
+			name := [2]string{"a", "b"}[side]
+			r, n := end[0], end[1]
+			if r < 0 || r >= len(s.Rings) {
+				return fmt.Errorf("topology.bridges[%d].ring_%s: ring %d outside [0,%d)", i, name, r, len(s.Rings))
+			}
+			if n < 0 || n >= s.Rings[r] {
+				return fmt.Errorf("topology.bridges[%d].node_%s: node %d outside ring %d of %d", i, name, n, r, s.Rings[r])
+			}
+		}
+		if b.RingA == b.RingB {
+			return fmt.Errorf("topology.bridges[%d]: both ends on ring %d", i, b.RingA)
+		}
+		key := [2]int{b.RingA, b.NodeA}
+		if j, dup := seen[key]; dup {
+			return fmt.Errorf("topology.bridges[%d]: endpoint ring %d node %d already used by bridges[%d]", i, b.RingA, b.NodeA, j)
+		}
+		seen[key] = i
+		key = [2]int{b.RingB, b.NodeB}
+		if j, dup := seen[key]; dup {
+			return fmt.Errorf("topology.bridges[%d]: endpoint ring %d node %d already used by bridges[%d]", i, b.RingB, b.NodeB, j)
+		}
+		seen[key] = i
+	}
+	if !s.connected() {
+		return fmt.Errorf("topology.bridges: ring graph is not connected")
+	}
+	return nil
+}
+
+// connected reports whether every ring is reachable from ring 0 over bridges.
+func (s Spec) connected() bool {
+	if len(s.Rings) == 1 {
+		return true
+	}
+	reach := make([]bool, len(s.Rings))
+	reach[0] = true
+	queue := []int{0}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for _, b := range s.Bridges {
+			next := -1
+			switch r {
+			case b.RingA:
+				next = b.RingB
+			case b.RingB:
+				next = b.RingA
+			}
+			if next >= 0 && !reach[next] {
+				reach[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	for _, ok := range reach {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Single returns the trivial one-ring spec, the backward-compatible default
+// every pre-topology scenario maps onto.
+func Single(n int) Spec { return Spec{Rings: []int{n}} }
+
+// Topology is a compiled Spec: per-ring topology arithmetic plus the
+// all-pairs route table. Build with New.
+type Topology struct {
+	spec  Spec
+	rings []ring.Ring
+	// routes[src][dst] is the bridge-index sequence of the route from ring
+	// src to ring dst (nil when src == dst, absent only for disconnected
+	// specs, which New rejects).
+	routes [][][]int
+}
+
+// New compiles and validates a spec.
+func New(spec Spec) (*Topology, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Topology{spec: spec}
+	for _, n := range spec.Rings {
+		r, err := ring.New(n)
+		if err != nil {
+			return nil, err // unreachable: Validate bounds the sizes
+		}
+		t.rings = append(t.rings, r)
+	}
+	t.routes = make([][][]int, len(t.rings))
+	for src := range t.rings {
+		t.routes[src] = t.bfsFrom(src)
+	}
+	return t, nil
+}
+
+// MustNew is New for specs known to be valid; it panics on error.
+func MustNew(spec Spec) *Topology {
+	t, err := New(spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// bfsFrom computes minimal-bridge-count routes from ring src to every ring.
+// Bridges are explored in ascending index order, so among equally short
+// routes the lexicographically smallest bridge sequence always wins: the
+// route table is a pure function of the spec.
+func (t *Topology) bfsFrom(src int) [][]int {
+	routes := make([][]int, len(t.rings))
+	visited := make([]bool, len(t.rings))
+	visited[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for bi, b := range t.spec.Bridges {
+			next := -1
+			switch r {
+			case b.RingA:
+				next = b.RingB
+			case b.RingB:
+				next = b.RingA
+			}
+			if next < 0 || visited[next] {
+				continue
+			}
+			visited[next] = true
+			route := make([]int, len(routes[r])+1)
+			copy(route, routes[r])
+			route[len(route)-1] = bi
+			routes[next] = route
+			queue = append(queue, next)
+		}
+	}
+	return routes
+}
+
+// Spec returns the topology's spec.
+func (t *Topology) Spec() Spec { return t.spec }
+
+// Rings returns the number of rings R.
+func (t *Topology) Rings() int { return len(t.rings) }
+
+// Ring returns the topology arithmetic of ring i.
+func (t *Topology) Ring(i int) ring.Ring { return t.rings[i] }
+
+// Bridges returns the bridge list (shared; do not mutate).
+func (t *Topology) Bridges() []Bridge { return t.spec.Bridges }
+
+// Nodes returns the total station count across all rings; bridge stations
+// count once per ring membership, mirroring how each ring's slot loop sees
+// them.
+func (t *Topology) Nodes() int {
+	total := 0
+	for _, r := range t.rings {
+		total += r.Nodes()
+	}
+	return total
+}
+
+// Route returns the bridge-index sequence of the (unique, minimal) route from
+// ring src to ring dst, empty when src == dst. The returned slice is shared;
+// do not mutate.
+func (t *Topology) Route(src, dst int) []int { return t.routes[src][dst] }
+
+// BridgeEnds resolves bridge bi as traversed from ring `from`: entry is the
+// node on `from` where traffic leaves the ring, exit the node (and exitRing
+// the ring) where it re-enters the fabric.
+func (t *Topology) BridgeEnds(bi, from int) (entry, exitRing, exit int) {
+	b := t.spec.Bridges[bi]
+	if b.RingA == from {
+		return b.NodeA, b.RingB, b.NodeB
+	}
+	return b.NodeB, b.RingA, b.NodeA
+}
+
+// Segment is one single-ring leg of a cross-ring route: a transmission on
+// ring Ring from node Src to the destination set Dests. All but the final
+// segment end at a bridge entry node (a single destination).
+type Segment struct {
+	Ring  int
+	Src   int
+	Dests ring.NodeSet
+}
+
+// Segments decomposes a cross-ring transmission from (srcRing, src) to dests
+// on dstRing into its per-ring legs along the minimal route. It returns an
+// error for degenerate decompositions — a source or relay node that would
+// have to transmit to itself (zero-hop segments), which the single-ring
+// engine rightly rejects; such connections must be submitted from the far
+// side of the bridge instead.
+func (t *Topology) Segments(srcRing, src, dstRing int, dests ring.NodeSet) ([]Segment, error) {
+	route := t.Route(srcRing, dstRing)
+	segs := make([]Segment, 0, len(route)+1)
+	curRing, curNode := srcRing, src
+	for _, bi := range route {
+		entry, exitRing, exit := t.BridgeEnds(bi, curRing)
+		if entry == curNode {
+			return nil, fmt.Errorf("topology: node %d of ring %d is the bridge entry itself (zero-hop segment); submit on ring %d instead", curNode, curRing, exitRing)
+		}
+		segs = append(segs, Segment{Ring: curRing, Src: curNode, Dests: ring.Node(entry)})
+		curRing, curNode = exitRing, exit
+	}
+	if dests.Contains(curNode) {
+		return nil, fmt.Errorf("topology: destination set %v on ring %d contains the bridge exit node %d", dests, dstRing, curNode)
+	}
+	segs = append(segs, Segment{Ring: curRing, Src: curNode, Dests: dests})
+	return segs, nil
+}

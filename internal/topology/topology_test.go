@@ -1,0 +1,261 @@
+package topology
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/rng"
+)
+
+// chain3 is three 8-node rings in a line: 0 –b0– 1 –b1– 2.
+func chain3() Spec {
+	return Spec{
+		Rings: []int{8, 8, 8},
+		Bridges: []Bridge{
+			{RingA: 0, NodeA: 3, RingB: 1, NodeB: 0},
+			{RingA: 1, NodeA: 4, RingB: 2, NodeB: 1},
+		},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // substring of the error, "" for valid
+	}{
+		{"single", Single(8), ""},
+		{"chain", chain3(), ""},
+		{"empty", Spec{}, "topology.rings: empty"},
+		{"tiny ring", Spec{Rings: []int{1}}, "topology.rings[0]: size 1 outside [2, 64]"},
+		{"oversized ring", Spec{Rings: []int{8, 65}}, "topology.rings[1]: size 65 outside [2, 64]"},
+		{"bad bridge ring", Spec{Rings: []int{4, 4}, Bridges: []Bridge{{RingA: 0, NodeA: 0, RingB: 2, NodeB: 0}}},
+			"topology.bridges[0].ring_b: ring 2 outside [0,2)"},
+		{"bad bridge node", Spec{Rings: []int{4, 4}, Bridges: []Bridge{{RingA: 0, NodeA: 4, RingB: 1, NodeB: 0}}},
+			"topology.bridges[0].node_a: node 4 outside ring 0 of 4"},
+		{"self bridge", Spec{Rings: []int{4, 4}, Bridges: []Bridge{{RingA: 1, NodeA: 0, RingB: 1, NodeB: 2}}},
+			"topology.bridges[0]: both ends on ring 1"},
+		{"dup endpoint", Spec{Rings: []int{4, 4, 4}, Bridges: []Bridge{
+			{RingA: 0, NodeA: 1, RingB: 1, NodeB: 0},
+			{RingA: 0, NodeA: 1, RingB: 2, NodeB: 0},
+		}}, "topology.bridges[1]: endpoint ring 0 node 1 already used by bridges[0]"},
+		{"disconnected", Spec{Rings: []int{4, 4}}, "topology.bridges: ring graph is not connected"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// randomSpec builds a random connected topology: a bridge spanning-tree over
+// ringCount rings plus a few extra bridges, with endpoint reuse avoided.
+func randomSpec(r *rng.Source, ringCount int) Spec {
+	spec := Spec{Rings: make([]int, ringCount)}
+	used := make(map[[2]int]bool)
+	pick := func(ri int) int {
+		for {
+			n := r.Intn(spec.Rings[ri])
+			if !used[[2]int{ri, n}] {
+				used[[2]int{ri, n}] = true
+				return n
+			}
+		}
+	}
+	for i := range spec.Rings {
+		spec.Rings[i] = 6 + r.Intn(8)
+	}
+	for i := 1; i < ringCount; i++ {
+		other := r.Intn(i)
+		spec.Bridges = append(spec.Bridges, Bridge{
+			RingA: other, NodeA: pick(other), RingB: i, NodeB: pick(i),
+		})
+	}
+	extra := r.Intn(ringCount)
+	for i := 0; i < extra; i++ {
+		a := r.Intn(ringCount)
+		b := r.Intn(ringCount)
+		if a == b {
+			continue
+		}
+		spec.Bridges = append(spec.Bridges, Bridge{RingA: a, NodeA: pick(a), RingB: b, NodeB: pick(b)})
+	}
+	return spec
+}
+
+// shortestBridgeCount is an independent reference: plain BFS counting hops.
+func shortestBridgeCount(spec Spec, src, dst int) int {
+	dist := make([]int, len(spec.Rings))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for _, b := range spec.Bridges {
+			next := -1
+			switch r {
+			case b.RingA:
+				next = b.RingB
+			case b.RingB:
+				next = b.RingA
+			}
+			if next >= 0 && dist[next] < 0 {
+				dist[next] = dist[r] + 1
+				queue = append(queue, next)
+			}
+		}
+	}
+	return dist[dst]
+}
+
+// TestRouteMinimalAndDeterministic is the route-computation property test:
+// every cross-ring route crosses the minimum possible number of bridges, is
+// actually a valid walk from src to dst, and rebuilding the topology from the
+// same spec reproduces the identical route table.
+func TestRouteMinimalAndDeterministic(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		spec := randomSpec(r, 2+r.Intn(5))
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid spec: %v", trial, err)
+		}
+		topo := MustNew(spec)
+		topo2 := MustNew(spec)
+		for src := 0; src < topo.Rings(); src++ {
+			for dst := 0; dst < topo.Rings(); dst++ {
+				route := topo.Route(src, dst)
+				if want := shortestBridgeCount(spec, src, dst); len(route) != want {
+					t.Fatalf("trial %d: route %d→%d has %d bridges, shortest is %d", trial, src, dst, len(route), want)
+				}
+				// The route must be a walk: each bridge leaves the ring the
+				// previous one entered.
+				cur := src
+				for _, bi := range route {
+					b := spec.Bridges[bi]
+					switch cur {
+					case b.RingA:
+						cur = b.RingB
+					case b.RingB:
+						cur = b.RingA
+					default:
+						t.Fatalf("trial %d: route %d→%d: bridge %d does not touch ring %d", trial, src, dst, bi, cur)
+					}
+				}
+				if cur != dst {
+					t.Fatalf("trial %d: route %d→%d ends on ring %d", trial, src, dst, cur)
+				}
+				if !reflect.DeepEqual(route, topo2.Route(src, dst)) {
+					t.Fatalf("trial %d: route %d→%d not deterministic: %v vs %v", trial, src, dst, route, topo2.Route(src, dst))
+				}
+			}
+		}
+	}
+}
+
+// TestSingleRingDifferential checks that routing through the topology layer
+// degenerates exactly to the plain ring arithmetic: a one-ring topology gives
+// empty routes and one segment whose distance and span match ring.Dist and
+// ring.Span for every (src, dests) pair.
+func TestSingleRingDifferential(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 64} {
+		topo := MustNew(Single(n))
+		rr := ring.MustNew(n)
+		if topo.Nodes() != n {
+			t.Fatalf("n=%d: Nodes() = %d", n, topo.Nodes())
+		}
+		if got := topo.Route(0, 0); len(got) != 0 {
+			t.Fatalf("n=%d: single-ring route not empty: %v", n, got)
+		}
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if dst == src {
+					continue
+				}
+				dests := ring.Node(dst)
+				segs, err := topo.Segments(0, src, 0, dests)
+				if err != nil {
+					t.Fatalf("n=%d src=%d dst=%d: %v", n, src, dst, err)
+				}
+				if len(segs) != 1 {
+					t.Fatalf("n=%d src=%d dst=%d: %d segments", n, src, dst, len(segs))
+				}
+				s := segs[0]
+				if s.Ring != 0 || s.Src != src || s.Dests != dests {
+					t.Fatalf("n=%d src=%d dst=%d: segment %+v", n, src, dst, s)
+				}
+				if got, want := topo.Ring(s.Ring).Span(s.Src, s.Dests), rr.Span(src, dests); got != want {
+					t.Fatalf("n=%d src=%d dst=%d: span %d, ring.Span %d", n, src, dst, got, want)
+				}
+				if got, want := topo.Ring(s.Ring).Dist(s.Src, dst), rr.Dist(src, dst); got != want {
+					t.Fatalf("n=%d src=%d dst=%d: dist %d, ring.Dist %d", n, src, dst, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSegments(t *testing.T) {
+	topo := MustNew(chain3())
+
+	// Ring 0 node 1 → ring 2 nodes {3,5}: three segments over both bridges.
+	segs, err := topo.Segments(0, 1, 2, ring.NodeSetOf(3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Segment{
+		{Ring: 0, Src: 1, Dests: ring.Node(3)},
+		{Ring: 1, Src: 0, Dests: ring.Node(4)},
+		{Ring: 2, Src: 1, Dests: ring.NodeSetOf(3, 5)},
+	}
+	if !reflect.DeepEqual(segs, want) {
+		t.Fatalf("Segments = %+v, want %+v", segs, want)
+	}
+
+	// Source already at the bridge entry → zero-hop segment, rejected.
+	if _, err := topo.Segments(0, 3, 2, ring.Node(5)); err == nil {
+		t.Fatal("zero-hop segment accepted")
+	}
+	// Destination set containing the bridge exit node, rejected.
+	if _, err := topo.Segments(0, 1, 2, ring.NodeSetOf(1, 5)); err == nil {
+		t.Fatal("destination on bridge exit accepted")
+	}
+}
+
+func TestBridgeEnds(t *testing.T) {
+	topo := MustNew(chain3())
+	entry, exitRing, exit := topo.BridgeEnds(0, 0)
+	if entry != 3 || exitRing != 1 || exit != 0 {
+		t.Fatalf("BridgeEnds(0, from 0) = %d,%d,%d", entry, exitRing, exit)
+	}
+	entry, exitRing, exit = topo.BridgeEnds(0, 1)
+	if entry != 0 || exitRing != 0 || exit != 3 {
+		t.Fatalf("BridgeEnds(0, from 1) = %d,%d,%d", entry, exitRing, exit)
+	}
+}
+
+func ExampleTopology_Route() {
+	topo := MustNew(Spec{
+		Rings: []int{8, 8, 8},
+		Bridges: []Bridge{
+			{RingA: 0, NodeA: 3, RingB: 1, NodeB: 0},
+			{RingA: 1, NodeA: 4, RingB: 2, NodeB: 1},
+		},
+	})
+	fmt.Println(topo.Route(0, 2))
+	// Output: [0 1]
+}

@@ -1,0 +1,144 @@
+package ccredf
+
+import (
+	"fmt"
+
+	"ccredf/internal/ccfpr"
+	"ccredf/internal/core"
+	"ccredf/internal/network"
+	"ccredf/internal/sched"
+	"ccredf/internal/tdma"
+	"ccredf/internal/topology"
+)
+
+// TopologySpec declares a multi-ring topology: ring sizes plus the bridge
+// stations joining them (see internal/topology). It is also the JSON shape of
+// the scenario "topology" stanza.
+type TopologySpec = topology.Spec
+
+// TopologyBridge joins node NodeA of ring RingA to node NodeB of ring RingB —
+// one physical station sitting on both rings.
+type TopologyBridge = topology.Bridge
+
+// CrossRequest describes a cross-ring real-time connection with an
+// end-to-end deadline.
+type CrossRequest = network.CrossRequest
+
+// CrossConn is an opened cross-ring connection with its route, per-segment
+// deadline decomposition and end-to-end statistics.
+type CrossConn = network.CrossConn
+
+// CrossStats are the end-to-end measurements of one cross-ring connection.
+type CrossStats = network.CrossStats
+
+// MultiConfig configures a multi-ring network: the topology, one Config per
+// ring, and the bridge store-and-forward latency in slots.
+type MultiConfig struct {
+	// Topology declares the rings and bridges. Required.
+	Topology TopologySpec
+	// Rings holds one single-ring Config per ring. Each must have
+	// Params.Nodes matching the topology's ring size; Protocol, faults and
+	// instrumentation are per ring.
+	Rings []Config
+	// RelaySlots is each bridge's store-and-forward latency in downstream
+	// slot times (default 1).
+	RelaySlots int
+}
+
+// DefaultMultiConfig returns a MultiConfig for the given ring-of-rings spec
+// with default per-ring parameters, CCR-EDF arbitration everywhere, and
+// per-ring seeds derived from seed (seed+i for ring i) so rings draw from
+// independent streams.
+func DefaultMultiConfig(spec TopologySpec, seed uint64) MultiConfig {
+	cfg := MultiConfig{Topology: spec}
+	for i, n := range spec.Rings {
+		rc := DefaultConfig(n)
+		rc.Seed = seed + uint64(i)
+		cfg.Rings = append(cfg.Rings, rc)
+	}
+	return cfg
+}
+
+// MultiNetwork is a simulated multi-ring CCR-EDF fabric: every ring runs the
+// full single-ring machinery (own slot loop, TCMA master, arbiter) on one
+// shared deterministic clock, and bridges store-and-forward cross-ring
+// traffic through deadline-aware EDF queues. It embeds the engine; see
+// internal/network.MultiNet for the full surface.
+type MultiNetwork struct {
+	*network.MultiNet
+	cfg      MultiConfig
+	ringNets []*Network
+}
+
+// NewMulti builds a multi-ring network from cfg.
+func NewMulti(cfg MultiConfig) (*MultiNetwork, error) {
+	topo, err := topology.New(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Rings) != topo.Rings() {
+		return nil, fmt.Errorf("ccredf: %d ring configs for %d rings", len(cfg.Rings), topo.Rings())
+	}
+	ringCfgs := make([]network.Config, len(cfg.Rings))
+	for i, rc := range cfg.Rings {
+		if rc.Params.Nodes == 0 {
+			return nil, fmt.Errorf("ccredf: rings[%d]: zero-value Config; start from DefaultConfig", i)
+		}
+		mode := sched.Map5Bit
+		if rc.ExactEDF {
+			mode = sched.MapExact
+		}
+		var proto core.Protocol
+		var err error
+		switch rc.Protocol {
+		case CCREDF:
+			proto, err = core.NewArbiter(rc.Params.Nodes, mode, !rc.DisableSpatialReuse)
+		case CCFPR:
+			proto, err = ccfpr.NewArbiter(rc.Params.Nodes, !rc.DisableSpatialReuse)
+		case TDMA:
+			proto, err = tdma.NewArbiter(rc.Params.Nodes, !rc.DisableSpatialReuse)
+		default:
+			err = fmt.Errorf("unknown protocol %d", rc.Protocol)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ccredf: rings[%d]: %w", i, err)
+		}
+		ringCfgs[i] = network.Config{
+			Params:            rc.Params,
+			Protocol:          proto,
+			DropLate:          rc.DropLate,
+			Reliable:          rc.Reliable,
+			LossProb:          rc.LossProb,
+			CorruptProb:       rc.CorruptProb,
+			Seed:              rc.Seed,
+			SecondaryRequests: rc.SecondaryRequests,
+			FailMasterAt:      rc.FailMasterAt,
+			Faults:            rc.Faults,
+		}
+	}
+	inner, err := network.NewMulti(network.MultiConfig{
+		Topo:        topo,
+		RingConfigs: ringCfgs,
+		RelaySlots:  cfg.RelaySlots,
+	})
+	if err != nil {
+		return nil, err
+	}
+	mn := &MultiNetwork{MultiNet: inner, cfg: cfg}
+	for i := 0; i < inner.Rings(); i++ {
+		inner.Ring(i).AttachWireCheck()
+		if cfg.Rings[i].CheckInvariants {
+			inner.Ring(i).AttachInvariantChecker()
+		}
+		mn.ringNets = append(mn.ringNets, &Network{Network: inner.Ring(i), cfg: cfg.Rings[i]})
+	}
+	return mn, nil
+}
+
+// Config returns the configuration the network was built with.
+func (m *MultiNetwork) Config() MultiConfig { return m.cfg }
+
+// RingNetwork returns ring i wrapped in the single-ring facade, so per-ring
+// workloads (AttachPoisson, OpenConnection, services…) work unchanged on a
+// multi-ring fabric.
+func (m *MultiNetwork) RingNetwork(i int) *Network { return m.ringNets[i] }

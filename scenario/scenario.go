@@ -29,8 +29,16 @@ import (
 
 // Scenario is a declarative simulation description.
 type Scenario struct {
-	// Nodes is the ring size (required, 2-64).
-	Nodes int `json:"nodes"`
+	// Nodes is the ring size (required for single-ring scenarios, 2-64).
+	// Mutually exclusive with Topology.
+	Nodes int `json:"nodes,omitempty"`
+	// Topology declares a multi-ring fabric instead of a single ring: ring
+	// sizes plus the bridge stations joining them. When set, the scalar
+	// protocol/physics settings apply to every ring, the plain workload
+	// stanzas (connections, poisson, …) run on ring 0, Faults applies to
+	// ring 0 (use RingFaults for others), and CrossConnections declares
+	// end-to-end traffic across bridges.
+	Topology *ccredf.TopologySpec `json:"topology,omitempty"`
 	// Protocol is "ccr-edf" (default), "cc-fpr" or "tdma".
 	Protocol string `json:"protocol,omitempty"`
 	// ExactEDF enables full-resolution deadline arbitration.
@@ -60,8 +68,11 @@ type Scenario struct {
 	// Faults declares deterministic fault injection: control-channel drop
 	// probabilities, handover failures and node crash/restart schedules.
 	// Omitted (or all-zero) leaves the run byte-identical to a fault-free
-	// network.
+	// network. With a topology, Faults targets ring 0.
 	Faults *ccredf.FaultPlan `json:"faults,omitempty"`
+	// RingFaults assigns fault plans to specific rings of a topology —
+	// including bridge stations, whose crash partitions the fabric.
+	RingFaults []RingFault `json:"ring_faults,omitempty"`
 
 	// Physics overrides (zero = default).
 	LinkLengthM      float64   `json:"link_length_m,omitempty"`
@@ -74,6 +85,27 @@ type Scenario struct {
 	Poisson     []Poisson    `json:"poisson,omitempty"`
 	Bursty      []Bursty     `json:"bursty,omitempty"`
 	Video       []Video      `json:"video,omitempty"`
+	// CrossConnections are end-to-end real-time connections across bridges
+	// (topology scenarios only).
+	CrossConnections []CrossConnection `json:"cross_connections,omitempty"`
+}
+
+// RingFault targets one ring of a topology with a fault plan.
+type RingFault struct {
+	Ring   int              `json:"ring"`
+	Faults ccredf.FaultPlan `json:"faults"`
+}
+
+// CrossConnection describes a cross-ring real-time connection in slot units
+// (slot times of the source ring).
+type CrossConnection struct {
+	SrcRing       int   `json:"src_ring"`
+	Src           int   `json:"src"`
+	DstRing       int   `json:"dst_ring"`
+	Dests         []int `json:"dests"`
+	PeriodSlots   int64 `json:"period_slots"`
+	Slots         int   `json:"slots"`
+	DeadlineSlots int64 `json:"deadline_slots,omitempty"` // 0 = period
 }
 
 // Connection describes a logical real-time connection in slot units.
@@ -139,8 +171,29 @@ func Load(r io.Reader) (*Scenario, error) {
 // field-qualified ("connections[2].src …") so API clients can pinpoint the
 // offending input. Network-level checks (admission) happen again in Build.
 func (s *Scenario) Validate() error {
-	if s.Nodes < 2 || s.Nodes > 64 {
-		return fmt.Errorf("scenario: nodes %d outside [2,64]", s.Nodes)
+	if s.Topology != nil {
+		if s.Nodes != 0 {
+			return fmt.Errorf("scenario: nodes and topology are mutually exclusive")
+		}
+		if err := s.Topology.Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		if s.LinkLengthsM != nil {
+			return fmt.Errorf("scenario: link_lengths_m is unsupported with a topology (uniform link_length_m applies to every ring)")
+		}
+		if err := s.validateMulti(); err != nil {
+			return err
+		}
+	} else {
+		if s.Nodes < 2 || s.Nodes > 64 {
+			return fmt.Errorf("scenario: nodes %d outside [2,64]", s.Nodes)
+		}
+		if len(s.RingFaults) > 0 {
+			return fmt.Errorf("scenario: ring_faults requires a topology")
+		}
+		if len(s.CrossConnections) > 0 {
+			return fmt.Errorf("scenario: cross_connections requires a topology")
+		}
 	}
 	if s.HorizonSlots <= 0 {
 		return fmt.Errorf("scenario: horizon_slots must be positive")
@@ -177,7 +230,7 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("scenario: slot_payload_bytes %d negative", s.SlotPayloadBytes)
 	}
 	if s.Faults != nil {
-		if err := s.Faults.Validate(s.Nodes); err != nil {
+		if err := s.Faults.Validate(s.ring0()); err != nil {
 			return fmt.Errorf("scenario: faults: %w", err)
 		}
 	}
@@ -279,10 +332,64 @@ func (s *Scenario) Validate() error {
 	return nil
 }
 
-// checkNode verifies a node index against the ring size.
+// ring0 is the size of the ring plain workloads run on: the single ring, or
+// ring 0 of a topology.
+func (s *Scenario) ring0() int {
+	if s.Topology != nil {
+		return s.Topology.Rings[0]
+	}
+	return s.Nodes
+}
+
+// checkNode verifies a node index against the (ring-0) ring size.
 func (s *Scenario) checkNode(n int) error {
-	if n < 0 || n >= s.Nodes {
-		return fmt.Errorf("node %d outside ring [0,%d)", n, s.Nodes)
+	if n0 := s.ring0(); n < 0 || n >= n0 {
+		return fmt.Errorf("node %d outside ring [0,%d)", n, n0)
+	}
+	return nil
+}
+
+// validateMulti checks the topology-only stanzas with field-qualified errors.
+func (s *Scenario) validateMulti() error {
+	rings := s.Topology.Rings
+	for i, rf := range s.RingFaults {
+		if rf.Ring < 0 || rf.Ring >= len(rings) {
+			return fmt.Errorf("scenario: ring_faults[%d].ring %d outside [0,%d)", i, rf.Ring, len(rings))
+		}
+		if err := rf.Faults.Validate(rings[rf.Ring]); err != nil {
+			return fmt.Errorf("scenario: ring_faults[%d].faults: %w", i, err)
+		}
+	}
+	for i, c := range s.CrossConnections {
+		if c.SrcRing < 0 || c.SrcRing >= len(rings) {
+			return fmt.Errorf("scenario: cross_connections[%d].src_ring %d outside [0,%d)", i, c.SrcRing, len(rings))
+		}
+		if c.DstRing < 0 || c.DstRing >= len(rings) {
+			return fmt.Errorf("scenario: cross_connections[%d].dst_ring %d outside [0,%d)", i, c.DstRing, len(rings))
+		}
+		if c.Src < 0 || c.Src >= rings[c.SrcRing] {
+			return fmt.Errorf("scenario: cross_connections[%d].src: node %d outside ring %d [0,%d)", i, c.Src, c.SrcRing, rings[c.SrcRing])
+		}
+		if len(c.Dests) == 0 {
+			return fmt.Errorf("scenario: cross_connections[%d].dests is empty", i)
+		}
+		for j, d := range c.Dests {
+			if d < 0 || d >= rings[c.DstRing] {
+				return fmt.Errorf("scenario: cross_connections[%d].dests[%d]: node %d outside ring %d [0,%d)", i, j, d, c.DstRing, rings[c.DstRing])
+			}
+			if c.SrcRing == c.DstRing && d == c.Src {
+				return fmt.Errorf("scenario: cross_connections[%d].dests[%d] equals src %d", i, j, c.Src)
+			}
+		}
+		if c.PeriodSlots <= 0 {
+			return fmt.Errorf("scenario: cross_connections[%d].period_slots %d not positive", i, c.PeriodSlots)
+		}
+		if c.Slots <= 0 {
+			return fmt.Errorf("scenario: cross_connections[%d].slots %d not positive", i, c.Slots)
+		}
+		if c.DeadlineSlots < 0 {
+			return fmt.Errorf("scenario: cross_connections[%d].deadline_slots %d negative", i, c.DeadlineSlots)
+		}
 	}
 	return nil
 }
@@ -320,16 +427,25 @@ func (s *Scenario) destPicker(d string) ccredf.DestPicker {
 
 // Result is a built scenario ready to run.
 type Result struct {
+	// Net is the single-ring network; nil when the scenario declares a
+	// topology (Multi is set instead).
 	Net *ccredf.Network
+	// Multi is the multi-ring network of a topology scenario.
+	Multi *ccredf.MultiNetwork
 	// Connections are the opened real-time connections, in file order.
 	Connections []ccredf.Connection
+	// Cross are the opened cross-ring connections, in file order.
+	Cross []*ccredf.CrossConn
 	// Horizon is the absolute simulated time to run to.
 	Horizon ccredf.Time
 }
 
 // Build constructs the network and attaches every workload. Call
-// Result.Net.Run(Result.Horizon) to execute.
+// Result.Net.Run(Result.Horizon) (or Result.Multi.Run) to execute.
 func (s *Scenario) Build() (*Result, error) {
+	if s.Topology != nil {
+		return s.buildMulti()
+	}
 	cfg := ccredf.DefaultConfig(s.Nodes)
 	switch s.Protocol {
 	case "cc-fpr":
@@ -368,9 +484,19 @@ func (s *Scenario) Build() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	slot := net.Params().SlotTime()
-
 	res := &Result{Net: net}
+	if err := s.attachWorkloads(net, cfg.Seed, res); err != nil {
+		return nil, err
+	}
+	period := net.Params().SlotTime() + net.Params().MaxHandoverTime()
+	res.Horizon = ccredf.Time(s.HorizonSlots) * period
+	return res, nil
+}
+
+// attachWorkloads opens the plain connection list and starts the traffic
+// generators on net (the single ring, or ring 0 of a topology).
+func (s *Scenario) attachWorkloads(net *ccredf.Network, seed uint64, res *Result) error {
+	slot := net.Params().SlotTime()
 	for i, c := range s.Connections {
 		conn := ccredf.Connection{
 			Src:      c.Src,
@@ -380,13 +506,14 @@ func (s *Scenario) Build() (*Result, error) {
 			Slots:    c.Slots,
 		}
 		var opened ccredf.Connection
+		var err error
 		if c.Force {
 			opened, err = net.ForceConnection(conn)
 		} else {
 			opened, err = net.OpenConnection(conn)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("scenario: connection %d: %w", i, err)
+			return fmt.Errorf("scenario: connection %d: %w", i, err)
 		}
 		res.Connections = append(res.Connections, opened)
 	}
@@ -399,7 +526,7 @@ func (s *Scenario) Build() (*Result, error) {
 			MaxSlots:         p.MaxSlots,
 			RelDeadline:      ccredf.Time(p.RelDeadlineSlots) * slot,
 			Dest:             s.destPicker(p.Dest),
-		}, cfg.Seed+uint64(i)+100)
+		}, seed+uint64(i)+100)
 	}
 	for i, b := range s.Bursty {
 		net.AttachBursty(ccredf.Bursty{
@@ -410,7 +537,7 @@ func (s *Scenario) Build() (*Result, error) {
 			MeanIdle:          ccredf.Time(b.MeanIdleSlots) * slot,
 			Slots:             b.Slots,
 			RelDeadline:       ccredf.Time(b.RelDeadlineSlots) * slot,
-		}, cfg.Seed+uint64(i)+200)
+		}, seed+uint64(i)+200)
 	}
 	for i, v := range s.Video {
 		vs := ccredf.VideoStream{
@@ -421,14 +548,85 @@ func (s *Scenario) Build() (*Result, error) {
 		if v.Guaranteed {
 			opened, err := net.OpenConnection(vs.Connection())
 			if err != nil {
-				return nil, fmt.Errorf("scenario: video %d: %w", i, err)
+				return fmt.Errorf("scenario: video %d: %w", i, err)
 			}
 			res.Connections = append(res.Connections, opened)
 		} else {
 			net.AttachVideoBestEffort(vs)
 		}
 	}
-	period := net.Params().SlotTime() + net.Params().MaxHandoverTime()
-	res.Horizon = ccredf.Time(s.HorizonSlots) * period
+	return nil
+}
+
+// buildMulti constructs a multi-ring network: the scalar protocol and physics
+// settings stamp every ring's config, the plain workloads run on ring 0, and
+// cross-ring connections are admitted end-to-end in file order.
+func (s *Scenario) buildMulti() (*Result, error) {
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	mcfg := ccredf.DefaultMultiConfig(*s.Topology, seed)
+	for i := range mcfg.Rings {
+		rc := &mcfg.Rings[i]
+		switch s.Protocol {
+		case "cc-fpr":
+			rc.Protocol = ccredf.CCFPR
+		case "tdma":
+			rc.Protocol = ccredf.TDMA
+		}
+		rc.ExactEDF = s.ExactEDF
+		rc.DisableSpatialReuse = s.DisableSpatialReuse
+		rc.LossProb = s.LossProb
+		rc.CorruptProb = s.CorruptProb
+		rc.Reliable = s.Reliable
+		rc.DropLate = s.DropLate
+		rc.SecondaryRequests = s.SecondaryRequests
+		rc.CheckInvariants = s.CheckInvariants
+		if s.LinkLengthM > 0 {
+			rc.Params.LinkLengthM = s.LinkLengthM
+		}
+		if s.BitRate > 0 {
+			rc.Params.BitRate = s.BitRate
+		}
+		if s.SlotPayloadBytes > 0 {
+			rc.Params.SlotPayloadBytes = s.SlotPayloadBytes
+		}
+	}
+	mcfg.Rings[0].Faults = s.Faults
+	for i := range s.RingFaults {
+		rf := &s.RingFaults[i]
+		mcfg.Rings[rf.Ring].Faults = &rf.Faults
+	}
+	net, err := ccredf.NewMulti(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Multi: net}
+	for i, c := range s.CrossConnections {
+		slot := net.RingNetwork(c.SrcRing).Params().SlotTime()
+		deadline := c.DeadlineSlots
+		if deadline == 0 {
+			deadline = c.PeriodSlots
+		}
+		cc, err := net.OpenCross(ccredf.CrossRequest{
+			SrcRing:  c.SrcRing,
+			Src:      c.Src,
+			DstRing:  c.DstRing,
+			Dests:    ccredf.Nodes(c.Dests...),
+			Period:   ccredf.Time(c.PeriodSlots) * slot,
+			Slots:    c.Slots,
+			Deadline: ccredf.Time(deadline) * slot,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: cross connection %d: %w", i, err)
+		}
+		res.Cross = append(res.Cross, cc)
+	}
+	if err := s.attachWorkloads(net.RingNetwork(0), seed, res); err != nil {
+		return nil, err
+	}
+	p := net.RingNetwork(0).Params()
+	res.Horizon = ccredf.Time(s.HorizonSlots) * (p.SlotTime() + p.MaxHandoverTime())
 	return res, nil
 }
