@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# End-to-end cluster acceptance, run by CI and usable locally:
+#
+#  1. run a sweep on a single daemon → reference CSV,
+#  2. boot a 3-peer cluster (distinct journals), run the same sweep
+#     through peer 0 while SIGKILLing peer 1 mid-flight,
+#  3. require ccr-sweep exit 0 and a byte-identical CSV (`cmp`),
+#  4. resubmit through peer 2 and require byte-identical result bytes
+#     (content-addressed caches make the re-run a per-point cache hit),
+#  5. check the cluster surfaces: /cluster topology sees the dead peer,
+#     /metrics exposes ccr_cluster_* series.
+#
+# Usage: cluster-smoke.sh [path-to-ccr-served] [path-to-ccr-sweep]
+set -euo pipefail
+
+SERVED=${1:-./ccr-served}
+SWEEP=${2:-./ccr-sweep}
+TMP=$(mktemp -d)
+P1=127.0.0.1:8381
+P2=127.0.0.1:8382
+P3=127.0.0.1:8383
+PEERS="http://$P1,http://$P2,http://$P3"
+PIDS=()
+trap 'kill -9 "${PIDS[@]}" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+# A grid big enough to take several seconds: 3 protocols × 5 loads ×
+# 4 seeds = 60 points at 20000 slots each.
+SWEEP_ARGS=(-protocols ccr-edf,cc-fpr,tdma -loads 0.2,0.4,0.6,0.8,0.95
+  -seeds 1,2,3,4 -slots 20000)
+
+# 1. Reference: the same grid on one plain daemon.
+"$SERVED" -addr "$P1" -workers 2 &
+PIDS+=($!)
+for _ in $(seq 1 50); do
+  curl -fs "http://$P1/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+"$SWEEP" -remote "http://$P1" "${SWEEP_ARGS[@]}" -csv "$TMP/single.csv"
+kill -TERM "${PIDS[0]}" && wait "${PIDS[0]}" 2>/dev/null || true
+PIDS=()
+
+# 2. Boot the 3-peer cluster, each peer with its own journal.
+start_peer() { # addr index
+  "$SERVED" -addr "$1" -advertise "http://$1" -peers "$PEERS" -steal \
+    -workers 2 -gossip-interval 200ms -dead-after 1s \
+    -journal "$TMP/peer$2.journal" &
+  PIDS+=($!)
+}
+start_peer "$P1" 1
+start_peer "$P2" 2
+start_peer "$P3" 3
+for addr in "$P1" "$P2" "$P3"; do
+  for _ in $(seq 1 50); do
+    curl -fs "http://$addr/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  curl -fs "http://$addr/healthz" >/dev/null
+done
+# Let gossip converge to all-alive before the sweep.
+sleep 1
+
+# 3. Sweep through the cluster; SIGKILL peer 1 (a ring member in the
+# middle of the scatter) about a second in. The client must fail over and
+# the sweep must still exit 0 with byte-identical CSV.
+"$SWEEP" -remote "$PEERS" "${SWEEP_ARGS[@]}" -csv "$TMP/cluster.csv" &
+SWEEP_PID=$!
+sleep 1
+kill -9 "${PIDS[1]}" 2>/dev/null || true
+echo "cluster-smoke: SIGKILLed peer 2 ($P2) mid-sweep"
+wait "$SWEEP_PID"
+cmp "$TMP/single.csv" "$TMP/cluster.csv"
+echo "cluster-smoke: post-SIGKILL sweep CSV byte-identical to single daemon"
+
+# 4. Resubmit through the last peer: deterministic content addressing
+# makes the result bytes identical again (served largely from the
+# survivors' caches).
+"$SWEEP" -remote "http://$P3" "${SWEEP_ARGS[@]}" -csv "$TMP/resubmit.csv"
+cmp "$TMP/single.csv" "$TMP/resubmit.csv"
+echo "cluster-smoke: resubmission byte-identical"
+
+# 5. Surfaces: the survivors must report the killed peer dead, and the
+# cluster metrics must be present.
+curl -fs "http://$P1/cluster" | tee "$TMP/topology.json" | \
+  jq -e --arg peer "http://$P2" \
+    '.peers[] | select(.peer == $peer) | .state == "dead"' >/dev/null
+curl -fs "http://$P1/metrics" > "$TMP/metrics.txt"
+grep -q '^ccr_cluster_forwards_total ' "$TMP/metrics.txt"
+grep -q '^ccr_cluster_steals_total ' "$TMP/metrics.txt"
+grep -q "^ccr_cluster_peer_state{peer=\"http://$P2\"} 2\$" "$TMP/metrics.txt"
+# Scattering runs on whichever peer owns the sweep key, so sum the
+# counter across the survivors rather than pinning it to one peer.
+SCATTERED=0
+for addr in "$P1" "$P3"; do
+  n=$(curl -fs "http://$addr/metrics" | \
+    awk '/^ccr_cluster_scattered_points_total /{print $2}')
+  SCATTERED=$((SCATTERED + ${n:-0}))
+done
+[ "$SCATTERED" -gt 0 ]
+echo "cluster-smoke: topology and metrics surfaces ok"
+
+# Graceful drain of the survivors.
+kill -TERM "${PIDS[0]}" "${PIDS[2]}" 2>/dev/null || true
+for pid in "${PIDS[0]}" "${PIDS[2]}"; do
+  for _ in $(seq 1 50); do
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.2
+  done
+done
+echo "cluster-smoke: ok"

@@ -18,75 +18,254 @@
 // an append-only journal before they run, and a restart re-enqueues
 // incomplete jobs and replays finished results into the cache, so a client
 // resubmitting after a crash gets a byte-identical cache hit.
+//
+// With -peers the daemon joins a ccr-served cluster: the peers
+// consistent-hash every job's cache key across a ring, forward submissions
+// to the owning shard, gossip health on a heartbeat (a dead or degraded
+// peer's keyspace fails over to its ring successor), scatter sweep grids
+// across the fleet, and — with -steal — pull queued jobs from backlogged
+// peers. Without -peers, behaviour is byte-identical to a single daemon.
+//
+//	ccr-served -addr :8081 -advertise http://10.0.0.1:8081 \
+//	    -peers http://10.0.0.1:8081,http://10.0.0.2:8081,http://10.0.0.3:8081 \
+//	    -journal /var/lib/ccr/peer1.journal -steal
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"ccredf/internal/cluster"
 	"ccredf/internal/serve"
 	"ccredf/internal/serve/journal"
 )
 
+// config is the validated flag set.
+type config struct {
+	addr         string
+	workers      int
+	queueDepth   int
+	cacheMB      int64
+	timeout      time.Duration
+	chunkSlots   int64
+	maxBodyKB    int64
+	drainTimeout time.Duration
+
+	journalPath   string
+	journalCompMB int64
+	breakerK      int
+	breakerCool   time.Duration
+	rate          float64
+	rateBurst     int
+
+	peers          []string
+	advertise      string
+	gossipInterval time.Duration
+	deadAfter      time.Duration
+	steal          bool
+	stealThreshold int
+}
+
+// parseFlags reads and validates the command line. Every rejection names
+// the offending flag and the bound it violated, so a bad unit attempt
+// (-rate-burst -1, -breaker-threshold -7) fails at startup with an
+// actionable message instead of surfacing as a runtime surprise.
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("ccr-served", flag.ContinueOnError)
+	cfg := &config{}
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
+	fs.IntVar(&cfg.queueDepth, "queue", 64, "bounded job queue depth (submissions beyond it get 429)")
+	fs.Int64Var(&cfg.cacheMB, "cache-mb", 64, "result cache budget in MiB (0 disables)")
+	fs.DurationVar(&cfg.timeout, "timeout", 0, "default per-job timeout (0 = none; override per job with ?timeout=)")
+	fs.Int64Var(&cfg.chunkSlots, "chunk-slots", 512, "cancellation granularity in slot periods")
+	fs.Int64Var(&cfg.maxBodyKB, "max-body-kb", 1024, "largest accepted request body in KiB")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown budget before hard-cancelling jobs")
+
+	fs.StringVar(&cfg.journalPath, "journal", "", "job-journal path for crash-safe durability (empty disables)")
+	fs.Int64Var(&cfg.journalCompMB, "journal-compact-mb", 8, "journal size in MiB that triggers compaction")
+	fs.IntVar(&cfg.breakerK, "breaker-threshold", 5, "consecutive job failures that trip cache-only degraded mode (-1 disables)")
+	fs.DurationVar(&cfg.breakerCool, "breaker-cooldown", 30*time.Second, "open-breaker wait before a half-open probe job")
+	fs.Float64Var(&cfg.rate, "rate", 0, "per-client submissions per second (0 = unlimited)")
+	fs.IntVar(&cfg.rateBurst, "rate-burst", 0, "per-client token-bucket burst (default 2x -rate)")
+
+	var peerList string
+	fs.StringVar(&peerList, "peers", "", "comma-separated peer URLs (self included) to form a cluster; empty = single daemon")
+	fs.StringVar(&cfg.advertise, "advertise", "", "URL the other peers reach this daemon at (required with -peers)")
+	fs.DurationVar(&cfg.gossipInterval, "gossip-interval", time.Second, "cluster heartbeat period")
+	fs.DurationVar(&cfg.deadAfter, "dead-after", 0, "silence before a peer is declared dead (default 3x -gossip-interval)")
+	fs.BoolVar(&cfg.steal, "steal", false, "enable work stealing: pull queued jobs from backlogged peers when idle")
+	fs.IntVar(&cfg.stealThreshold, "steal-threshold", 2, "minimum victim queue depth worth stealing from")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	if cfg.workers < 1 {
+		return nil, fmt.Errorf("-workers: must be >= 1, got %d", cfg.workers)
+	}
+	if cfg.queueDepth < 1 {
+		return nil, fmt.Errorf("-queue: must be >= 1, got %d", cfg.queueDepth)
+	}
+	if cfg.cacheMB < 0 {
+		return nil, fmt.Errorf("-cache-mb: must be >= 0 (0 disables the cache), got %d", cfg.cacheMB)
+	}
+	if cfg.timeout < 0 {
+		return nil, fmt.Errorf("-timeout: must be >= 0, got %v", cfg.timeout)
+	}
+	if cfg.chunkSlots < 1 {
+		return nil, fmt.Errorf("-chunk-slots: must be >= 1, got %d", cfg.chunkSlots)
+	}
+	if cfg.maxBodyKB < 1 {
+		return nil, fmt.Errorf("-max-body-kb: must be >= 1, got %d", cfg.maxBodyKB)
+	}
+	if cfg.drainTimeout <= 0 {
+		return nil, fmt.Errorf("-drain-timeout: must be positive, got %v", cfg.drainTimeout)
+	}
+	if cfg.journalCompMB < 1 {
+		return nil, fmt.Errorf("-journal-compact-mb: must be >= 1, got %d", cfg.journalCompMB)
+	}
+	if cfg.breakerK < -1 {
+		return nil, fmt.Errorf("-breaker-threshold: must be >= -1 (-1 disables the breaker), got %d", cfg.breakerK)
+	}
+	if cfg.breakerCool <= 0 {
+		return nil, fmt.Errorf("-breaker-cooldown: must be positive, got %v", cfg.breakerCool)
+	}
+	if cfg.rate < 0 {
+		return nil, fmt.Errorf("-rate: must be >= 0 (0 = unlimited), got %g", cfg.rate)
+	}
+	if cfg.rateBurst < 0 {
+		return nil, fmt.Errorf("-rate-burst: must be >= 0 (0 = default 2x -rate), got %d", cfg.rateBurst)
+	}
+	if cfg.rateBurst > 0 && cfg.rate == 0 {
+		return nil, fmt.Errorf("-rate-burst: requires -rate > 0 (a burst without a refill rate admits nothing after the first %d)", cfg.rateBurst)
+	}
+
+	if peerList != "" {
+		for _, p := range strings.Split(peerList, ",") {
+			if p = cluster.NormalizePeer(p); p != "" {
+				cfg.peers = append(cfg.peers, p)
+			}
+		}
+		if len(cfg.peers) < 2 {
+			return nil, fmt.Errorf("-peers: need at least 2 distinct peer URLs, got %d", len(cfg.peers))
+		}
+		cfg.advertise = cluster.NormalizePeer(cfg.advertise)
+		if cfg.advertise == "" {
+			return nil, fmt.Errorf("-advertise: required with -peers (the URL other peers reach this daemon at)")
+		}
+		found := false
+		for _, p := range cfg.peers {
+			if p == cfg.advertise {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("-advertise: %q is not in -peers", cfg.advertise)
+		}
+		if cfg.gossipInterval <= 0 {
+			return nil, fmt.Errorf("-gossip-interval: must be positive, got %v", cfg.gossipInterval)
+		}
+		if cfg.deadAfter < 0 {
+			return nil, fmt.Errorf("-dead-after: must be >= 0 (0 = 3x -gossip-interval), got %v", cfg.deadAfter)
+		}
+		if cfg.deadAfter > 0 && cfg.deadAfter < cfg.gossipInterval {
+			return nil, fmt.Errorf("-dead-after: %v is shorter than -gossip-interval %v; every peer would flap dead between heartbeats", cfg.deadAfter, cfg.gossipInterval)
+		}
+		if cfg.stealThreshold < 1 {
+			return nil, fmt.Errorf("-steal-threshold: must be >= 1, got %d", cfg.stealThreshold)
+		}
+	} else {
+		if cfg.advertise != "" {
+			return nil, fmt.Errorf("-advertise: set without -peers; a single daemon has nothing to advertise to")
+		}
+		if cfg.steal {
+			return nil, fmt.Errorf("-steal: set without -peers; there is nobody to steal from")
+		}
+	}
+	return cfg, nil
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		workers      = flag.Int("workers", runtime.GOMAXPROCS(0), "simulation worker pool size")
-		queueDepth   = flag.Int("queue", 64, "bounded job queue depth (submissions beyond it get 429)")
-		cacheMB      = flag.Int64("cache-mb", 64, "result cache budget in MiB (0 disables)")
-		timeout      = flag.Duration("timeout", 0, "default per-job timeout (0 = none; override per job with ?timeout=)")
-		chunkSlots   = flag.Int64("chunk-slots", 512, "cancellation granularity in slot periods")
-		maxBodyKB    = flag.Int64("max-body-kb", 1024, "largest accepted request body in KiB")
-		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget before hard-cancelling jobs")
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		log.Fatalf("ccr-served: %v", err)
+	}
 
-		journalPath   = flag.String("journal", "", "job-journal path for crash-safe durability (empty disables)")
-		journalCompMB = flag.Int64("journal-compact-mb", 8, "journal size in MiB that triggers compaction")
-		breakerK      = flag.Int("breaker-threshold", 5, "consecutive job failures that trip cache-only degraded mode (-1 disables)")
-		breakerCool   = flag.Duration("breaker-cooldown", 30*time.Second, "open-breaker wait before a half-open probe job")
-		rate          = flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
-		rateBurst     = flag.Int("rate-burst", 0, "per-client token-bucket burst (default 2x -rate)")
-	)
-	flag.Parse()
-
-	cacheBytes := *cacheMB << 20
-	if *cacheMB <= 0 {
+	cacheBytes := cfg.cacheMB << 20
+	if cfg.cacheMB <= 0 {
 		cacheBytes = -1 // NewCache stores nothing on a negative budget
 	}
 
 	var jnl *journal.Journal
-	if *journalPath != "" {
-		var err error
-		jnl, err = journal.Open(*journalPath, journal.Options{CompactBytes: *journalCompMB << 20})
+	if cfg.journalPath != "" {
+		jnl, err = journal.Open(cfg.journalPath, journal.Options{CompactBytes: cfg.journalCompMB << 20})
 		if err != nil {
 			log.Fatalf("ccr-served: journal: %v", err)
 		}
 		rec := jnl.Recovery()
 		log.Printf("ccr-served: journal %s: %d record(s) replayed, %d incomplete job(s) to re-run, %d finished result(s) restored, %d line(s) skipped",
-			*journalPath, rec.Records, len(rec.Pending), len(rec.Results), rec.Skipped)
+			cfg.journalPath, rec.Records, len(rec.Pending), len(rec.Results), rec.Skipped)
+	}
+
+	idPrefix := ""
+	if len(cfg.peers) > 0 {
+		// Cluster mode prefixes job IDs with a hash of the advertise URL, so
+		// IDs are unique fleet-wide and journal recovery keeps them stable
+		// across restarts.
+		idPrefix = cluster.IDPrefix(cfg.advertise)
 	}
 
 	srv := serve.New(serve.Options{
-		Workers:          *workers,
-		QueueDepth:       *queueDepth,
+		Workers:          cfg.workers,
+		QueueDepth:       cfg.queueDepth,
 		CacheBytes:       cacheBytes,
-		DefaultTimeout:   *timeout,
-		ChunkSlots:       *chunkSlots,
-		MaxBodyBytes:     *maxBodyKB << 10,
+		DefaultTimeout:   cfg.timeout,
+		ChunkSlots:       cfg.chunkSlots,
+		MaxBodyBytes:     cfg.maxBodyKB << 10,
 		Journal:          jnl,
-		BreakerThreshold: *breakerK,
-		BreakerCooldown:  *breakerCool,
-		RatePerSec:       *rate,
-		RateBurst:        *rateBurst,
+		BreakerThreshold: cfg.breakerK,
+		BreakerCooldown:  cfg.breakerCool,
+		RatePerSec:       cfg.rate,
+		RateBurst:        cfg.rateBurst,
+		IDPrefix:         idPrefix,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	handler := srv.Handler()
+	var node *cluster.Node
+	if len(cfg.peers) > 0 {
+		node, err = cluster.New(cluster.Options{
+			Self:           cfg.advertise,
+			Peers:          cfg.peers,
+			Server:         srv,
+			GossipInterval: cfg.gossipInterval,
+			DeadAfter:      cfg.deadAfter,
+			Steal:          cfg.steal,
+			StealThreshold: cfg.stealThreshold,
+			Logf:           log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("ccr-served: %v", err)
+		}
+		handler = node.Handler()
+		node.Start()
+		log.Printf("ccr-served: cluster peer %s of %d (id-prefix %s steal=%v)",
+			cfg.advertise, len(node.Ring().Peers()), idPrefix, cfg.steal)
+	}
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -96,11 +275,14 @@ func main() {
 		defer close(drained)
 		<-ctx.Done()
 		stop() // a second signal kills the process the default way
+		if node != nil {
+			node.Stop() // stop heartbeating first: peers fail us over faster
+		}
 		if srv.Degraded() {
 			log.Printf("ccr-served: draining while DEGRADED (circuit breaker open, cache-only)")
 		}
-		log.Printf("ccr-served: draining (budget %v)…", *drainTimeout)
-		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		log.Printf("ccr-served: draining (budget %v)…", cfg.drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(dctx); err != nil {
 			log.Printf("ccr-served: http shutdown: %v", err)
@@ -117,7 +299,7 @@ func main() {
 	}()
 
 	log.Printf("ccr-served: listening on %s (workers=%d queue=%d cache=%dMiB engine=%s)",
-		*addr, *workers, *queueDepth, *cacheMB, serve.EngineVersion)
+		cfg.addr, cfg.workers, cfg.queueDepth, cfg.cacheMB, serve.EngineVersion)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("ccr-served: %v", err)
 	}

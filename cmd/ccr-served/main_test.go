@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // substring; "" = must parse
+	}{
+		{"defaults", nil, ""},
+		{"workers zero", []string{"-workers", "0"}, "-workers"},
+		{"queue zero", []string{"-queue", "0"}, "-queue"},
+		{"cache negative", []string{"-cache-mb", "-1"}, "-cache-mb"},
+		{"timeout negative", []string{"-timeout", "-1s"}, "-timeout"},
+		{"chunk zero", []string{"-chunk-slots", "0"}, "-chunk-slots"},
+		{"body zero", []string{"-max-body-kb", "0"}, "-max-body-kb"},
+		{"drain zero", []string{"-drain-timeout", "0s"}, "-drain-timeout"},
+		{"compact zero", []string{"-journal-compact-mb", "0"}, "-journal-compact-mb"},
+		{"breaker below -1", []string{"-breaker-threshold", "-2"}, "-breaker-threshold"},
+		{"breaker disabled ok", []string{"-breaker-threshold", "-1"}, ""},
+		{"cooldown zero", []string{"-breaker-cooldown", "0s"}, "-breaker-cooldown"},
+		{"rate negative", []string{"-rate", "-0.5"}, "-rate"},
+		{"burst negative", []string{"-rate-burst", "-1"}, "-rate-burst"},
+		{"burst without rate", []string{"-rate-burst", "5"}, "-rate-burst"},
+		{"burst with rate ok", []string{"-rate", "2", "-rate-burst", "5"}, ""},
+
+		{"peers single", []string{"-peers", "http://a:1", "-advertise", "http://a:1"}, "-peers"},
+		{"peers no advertise", []string{"-peers", "http://a:1,http://b:2"}, "-advertise"},
+		{"advertise not member", []string{"-peers", "http://a:1,http://b:2", "-advertise", "http://c:3"}, "-advertise"},
+		{"advertise slash ok", []string{"-peers", "http://a:1,http://b:2", "-advertise", "http://a:1/"}, ""},
+		{"dead-after flappy", []string{"-peers", "http://a:1,http://b:2", "-advertise", "http://a:1",
+			"-gossip-interval", "2s", "-dead-after", "1s"}, "-dead-after"},
+		{"steal threshold zero", []string{"-peers", "http://a:1,http://b:2", "-advertise", "http://a:1",
+			"-steal-threshold", "0"}, "-steal-threshold"},
+		{"advertise without peers", []string{"-advertise", "http://a:1"}, "-advertise"},
+		{"steal without peers", []string{"-steal"}, "-steal"},
+		{"full cluster ok", []string{"-peers", "http://a:1,http://b:2,http://c:3", "-advertise", "http://b:2",
+			"-steal", "-gossip-interval", "500ms", "-dead-after", "2s"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := parseFlags(tc.args)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseFlags(%v): unexpected error %v", tc.args, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseFlags(%v): expected error naming %q, got config %+v", tc.args, tc.wantErr, cfg)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("parseFlags(%v): error %q does not name flag %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseFlagsClusterConfig(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-peers", " http://a:1/ ,http://b:2,,http://a:1", "-advertise", "http://a:1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.peers) != 3 { // dup survives normalisation here; the ring dedups
+		t.Fatalf("peers = %v", cfg.peers)
+	}
+	if cfg.peers[0] != "http://a:1" {
+		t.Fatalf("peer not normalised: %q", cfg.peers[0])
+	}
+	if cfg.deadAfter != 0 {
+		t.Fatalf("deadAfter default = %v, want 0 (derived in cluster.New)", cfg.deadAfter)
+	}
+}

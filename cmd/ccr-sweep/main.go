@@ -10,7 +10,11 @@
 // With -remote URL the grid is not run locally: the spec is submitted to a
 // ccr-served daemon through the retrying client (bounded backoff honouring
 // Retry-After), so repeated sweeps hit the daemon's result cache and a
-// sweep survives transient 429/503 responses.
+// sweep survives transient 429/503 responses. -remote also accepts a
+// comma-separated list of cluster peer URLs: the client fails over between
+// them, and because jobs are content-addressed a resubmission after a peer
+// death re-runs only the grid points that were lost — every surviving
+// point is a byte-identical cache hit.
 package main
 
 import (
@@ -42,7 +46,7 @@ func main() {
 		csvPath    = flag.String("csv", "", "also write results to this CSV file")
 		faults     = flag.String("faults", "", "fault-injection spec applied to every point, e.g. coll=0.01,crash=3@100+50")
 		rings      = flag.Int("rings", 1, "rings per point: >1 runs each point on a bridged chain with cross-ring traffic")
-		remote     = flag.String("remote", "", "run the sweep on a ccr-served daemon at this base URL instead of locally")
+		remote     = flag.String("remote", "", "run the sweep on a ccr-served daemon (or comma-separated cluster peers) instead of locally")
 		remoteWait = flag.Duration("remote-timeout", 10*time.Minute, "server-side job timeout for -remote sweeps")
 	)
 	flag.Parse()
@@ -168,7 +172,8 @@ func main() {
 // wire outcomes back into sweep.Outcome, so the table/CSV output below is
 // identical whether the grid ran locally or remotely.
 func runRemote(base string, spec *serve.SweepSpec, timeout time.Duration, faultSpec string) ([]sweep.Outcome, error) {
-	c := client.New(base, client.Options{})
+	endpoints := strings.Split(base, ",")
+	c := client.NewMulti(endpoints, client.Options{})
 	ctx := context.Background()
 
 	st, body, err := c.RunSweep(ctx, spec, timeout)
@@ -179,10 +184,14 @@ func runRemote(base string, spec *serve.SweepSpec, timeout time.Duration, faultS
 	if err := json.Unmarshal(body, &res); err != nil {
 		return nil, fmt.Errorf("decode sweep result: %w", err)
 	}
+	where := strings.TrimSpace(endpoints[0])
+	if len(endpoints) > 1 {
+		where = fmt.Sprintf("cluster of %d", len(endpoints))
+	}
 	if st.Cached {
-		fmt.Printf("sweep %s: %d points served from %s cache\n", st.ID, len(res.Points), base)
+		fmt.Printf("sweep %s: %d points served from %s cache\n", st.ID, len(res.Points), where)
 	} else {
-		fmt.Printf("sweep %s: %d points run on %s (%.0f ms)\n", st.ID, len(res.Points), base, st.WallMS)
+		fmt.Printf("sweep %s: %d points run on %s (%.0f ms)\n", st.ID, len(res.Points), where, st.WallMS)
 	}
 
 	out := make([]sweep.Outcome, 0, len(res.Points))

@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// PeerState is the cluster's verdict on one peer, derived from gossip.
+type PeerState string
+
+const (
+	// StateAlive: the peer is heartbeating and reports Ready (breaker
+	// closed, not draining). It owns its keyspace and accepts forwards.
+	StateAlive PeerState = "alive"
+	// StateDegraded: the peer is heartbeating but reports !Ready — its
+	// circuit breaker is open or it is draining. Its keyspace fails over to
+	// its ring successor until it reports Ready again.
+	StateDegraded PeerState = "degraded"
+	// StateDead: no new gossip from the peer within DeadAfter. Treated like
+	// degraded for ownership; additionally nothing is forwarded or stolen
+	// from it.
+	StateDead PeerState = "dead"
+)
+
+// Digest is one peer's self-reported heartbeat, the unit of gossip. Seq is a
+// per-peer monotonic counter: a digest only replaces a stored one with a
+// lower Seq, so stale news can circulate harmlessly and merges are
+// commutative (push-pull gossip converges regardless of delivery order).
+type Digest struct {
+	Peer    string `json:"peer"`
+	Seq     uint64 `json:"seq"`
+	Ready   bool   `json:"ready"`
+	Queued  int    `json:"queued"`
+	Busy    int    `json:"busy"`
+	Workers int    `json:"workers"`
+}
+
+// PeerView is a Digest plus the local verdict on it, for /cluster and
+// metrics.
+type PeerView struct {
+	Digest
+	State PeerState `json:"state"`
+	Self  bool      `json:"self,omitempty"`
+}
+
+// membership is this node's eventually-consistent view of every peer. Dead
+// detection is purely local: a peer is dead when its digest has not advanced
+// (Seq-wise) within deadAfter, whether the silence is the peer's or the
+// network's — either way forwarding to it is pointless.
+type membership struct {
+	self      string
+	deadAfter time.Duration
+	now       func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*memberEntry
+}
+
+type memberEntry struct {
+	d           Digest
+	lastAdvance time.Time
+}
+
+func newMembership(self string, peers []string, deadAfter time.Duration, now func() time.Time) *membership {
+	if now == nil {
+		now = time.Now
+	}
+	m := &membership{self: self, deadAfter: deadAfter, now: now, entries: make(map[string]*memberEntry)}
+	start := now()
+	for _, p := range peers {
+		// Seeding lastAdvance at start grants every peer one DeadAfter of
+		// grace to come up before the cluster writes it off.
+		m.entries[p] = &memberEntry{d: Digest{Peer: p}, lastAdvance: start}
+	}
+	return m
+}
+
+// updateSelf installs this node's own fresh digest. Self state never goes
+// through merge, so no remote echo of an old digest can roll it back.
+func (m *membership) updateSelf(d Digest) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[m.self] = &memberEntry{d: d, lastAdvance: m.now()}
+}
+
+// merge folds one gossiped digest in; higher Seq wins. Digests about unknown
+// peers are ignored — membership is static per process, ring changes are a
+// restart — as are echoes about self.
+func (m *membership) merge(d Digest) {
+	d.Peer = NormalizePeer(d.Peer)
+	if d.Peer == m.self {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[d.Peer]
+	if !ok {
+		return
+	}
+	if d.Seq > e.d.Seq {
+		e.d = d
+		e.lastAdvance = m.now()
+	}
+}
+
+// state classifies one peer right now.
+func (m *membership) state(peer string) PeerState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stateLocked(peer)
+}
+
+func (m *membership) stateLocked(peer string) PeerState {
+	e, ok := m.entries[peer]
+	if !ok {
+		return StateDead
+	}
+	if peer != m.self && m.now().Sub(e.lastAdvance) > m.deadAfter {
+		return StateDead
+	}
+	if !e.d.Ready {
+		return StateDegraded
+	}
+	return StateAlive
+}
+
+// healthy is the ring's ownership predicate: only alive peers own keyspace.
+func (m *membership) healthy(peer string) bool { return m.state(peer) == StateAlive }
+
+// snapshot returns every stored digest, sorted by peer, for push-pull
+// exchange.
+func (m *membership) snapshot() []Digest {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ds := make([]Digest, 0, len(m.entries))
+	for _, e := range m.entries {
+		ds = append(ds, e.d)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Peer < ds[j].Peer })
+	return ds
+}
+
+// view returns the digests with local verdicts attached, sorted by peer.
+func (m *membership) view() []PeerView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vs := make([]PeerView, 0, len(m.entries))
+	for p, e := range m.entries {
+		vs = append(vs, PeerView{Digest: e.d, State: m.stateLocked(p), Self: p == m.self})
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Peer < vs[j].Peer })
+	return vs
+}
+
+// digest returns the stored digest for one peer.
+func (m *membership) digest(peer string) (Digest, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[peer]
+	if !ok {
+		return Digest{}, false
+	}
+	return e.d, true
+}

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics renders the cluster-plane counters in Prometheus text
+// exposition format; the HTTP handler appends them to the wrapped server's
+// page so one scrape covers both planes.
+func (n *Node) WriteMetrics(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("ccr_cluster_forwards_total", "Submissions forwarded to their ring owner.", n.forwards.Load())
+	counter("ccr_cluster_forward_errors_total", "Forward attempts that fell back to local serving or failed.", n.forwardErrors.Load())
+	counter("ccr_cluster_proxies_total", "Job lookups proxied to the owning peer.", n.proxies.Load())
+	counter("ccr_cluster_steals_total", "Jobs this peer stole and executed.", n.steals.Load())
+	counter("ccr_cluster_steals_served_total", "Queued jobs handed out to thieving peers.", n.stealsServed.Load())
+	counter("ccr_cluster_steal_errors_total", "Steal round-trips that failed.", n.stealErrors.Load())
+	counter("ccr_cluster_steal_reclaims_total", "Stolen jobs reclaimed after lease expiry.", n.reclaims.Load())
+	counter("ccr_cluster_gossip_rounds_total", "Completed gossip heartbeat rounds.", n.gossipRounds.Load())
+	counter("ccr_cluster_scattered_points_total", "Sweep grid points fanned out across the cluster.", n.scatteredPoints.Load())
+
+	// Peer states as this node sees them: 0 alive, 1 degraded, 2 dead.
+	fmt.Fprintf(w, "# HELP ccr_cluster_peer_state Peer health as seen locally (0 alive, 1 degraded, 2 dead).\n# TYPE ccr_cluster_peer_state gauge\n")
+	healthy := 0
+	for _, v := range n.members.view() {
+		code := 2
+		switch v.State {
+		case StateAlive:
+			code = 0
+			healthy++
+		case StateDegraded:
+			code = 1
+		}
+		fmt.Fprintf(w, "ccr_cluster_peer_state{peer=%q} %d\n", v.Peer, code)
+	}
+	fmt.Fprintf(w, "# HELP ccr_cluster_peers_healthy Peers currently alive, self included.\n# TYPE ccr_cluster_peers_healthy gauge\nccr_cluster_peers_healthy %d\n", healthy)
+	fmt.Fprintf(w, "# HELP ccr_cluster_peers Total configured peers.\n# TYPE ccr_cluster_peers gauge\nccr_cluster_peers %d\n", len(n.ring.Peers()))
+}

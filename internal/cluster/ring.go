@@ -1,0 +1,140 @@
+// Package cluster federates N ccr-served peers into one deterministic
+// simulation service. The pieces, in the order a job meets them:
+//
+//   - A consistent-hash ring (Ring) maps every content-addressed cache key
+//     to its owning peer, so any peer can accept any submission and forward
+//     it to the shard whose cache must hold the result.
+//   - A gossip layer (membership) spreads each peer's readiness — /readyz,
+//     circuit-breaker state, queue backlog — on a heartbeat, so every peer
+//     converges on the same health view and a degraded or dead peer's
+//     keyspace fails over to its ring successor.
+//   - Work stealing lets an idle peer pull queued jobs from the most
+//     backlogged healthy peer; the result is posted back to the victim, so
+//     cache-key ownership of the result placement is preserved.
+//   - Sweep scatter splits a sweep grid into per-point, content-addressed
+//     sub-sweeps fanned across the healthy peers, which is how a K-peer
+//     cluster finishes one sweep in ~1/K the wall time — and why a re-run
+//     after a peer death only pays for the points that were lost.
+//
+// Everything rests on the determinism contract of the core: equal keys
+// guarantee byte-identical result bytes, so forwarding, failover, stealing
+// and resubmission are all idempotent. The worst a race or a stale health
+// view can cause is a duplicate simulation, never a wrong answer.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// defaultReplicas is the virtual-node count per peer. 64 vnodes keep the
+// keyspace split within a few percent of even for small clusters while the
+// ring stays tiny (64×N points).
+const defaultReplicas = 64
+
+// ringPoint is one virtual node: a position on the hash circle and the peer
+// that owns the arc ending there.
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// Ring is an immutable consistent-hash ring over the peer set. Health is
+// deliberately not baked in: Owner takes the current health view as a
+// predicate, so one ring serves every failover decision and all peers with
+// the same membership view compute the same owner.
+type Ring struct {
+	replicas int
+	points   []ringPoint
+	peers    []string
+}
+
+// NewRing builds the ring. Peer URLs are normalised (trailing slash
+// stripped) and deduplicated; order does not matter — the ring layout
+// depends only on the set.
+func NewRing(peers []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = defaultReplicas
+	}
+	seen := make(map[string]bool)
+	r := &Ring{replicas: replicas}
+	for _, p := range peers {
+		p = NormalizePeer(p)
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		r.peers = append(r.peers, p)
+	}
+	sort.Strings(r.peers)
+	for _, p := range r.peers {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", p, i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// Peers returns the normalised, sorted peer set.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Owner maps key to its owning peer: the first healthy peer clockwise from
+// the key's position. With healthy == nil every peer qualifies, giving the
+// key's primary owner. ok is false only when no peer passes the predicate —
+// callers then fall back to serving locally rather than refusing.
+//
+// Failover drops out of the walk order: when a peer is unhealthy, the walk
+// simply continues to the next virtual node, so its keyspace lands on its
+// ring successors — and returns home, cache warm from determinism, the
+// moment gossip marks it healthy again.
+func (r *Ring) Owner(key string, healthy func(peer string) bool) (string, bool) {
+	if len(r.points) == 0 {
+		return "", false
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	tried := make(map[string]bool, len(r.peers))
+	for i := 0; i < len(r.points) && len(tried) < len(r.peers); i++ {
+		pt := r.points[(start+i)%len(r.points)]
+		if tried[pt.peer] {
+			continue
+		}
+		tried[pt.peer] = true
+		if healthy == nil || healthy(pt.peer) {
+			return pt.peer, true
+		}
+	}
+	return "", false
+}
+
+// hash64 is the ring's position function: the first 8 bytes of SHA-256,
+// matching the hash family of the cache keys it places.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NormalizePeer canonicalises a peer URL for ring and membership identity:
+// surrounding whitespace and trailing slashes stripped.
+func NormalizePeer(p string) string {
+	return strings.TrimRight(strings.TrimSpace(p), "/")
+}
+
+// IDPrefix derives a peer's job-ID prefix from its advertise URL: 8 hex
+// chars of its SHA-256 plus a dash (e.g. "3f2a9c01-"). Prefixing makes job
+// IDs unique cluster-wide, so a forwarded ID can never collide with a local
+// one and journal recovery keeps original IDs across peers.
+func IDPrefix(advertise string) string {
+	sum := sha256.Sum256([]byte(NormalizePeer(advertise)))
+	return hex.EncodeToString(sum[:4]) + "-"
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+var testPeers = []string{
+	"http://10.0.0.1:8080",
+	"http://10.0.0.2:8080",
+	"http://10.0.0.3:8080",
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i*2654435761) // sha256-shaped hex keys
+	}
+	return keys
+}
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	a := NewRing(testPeers, 0)
+	// Same set, different order and trailing slashes: same ring.
+	b := NewRing([]string{
+		"http://10.0.0.3:8080/",
+		"http://10.0.0.1:8080",
+		"http://10.0.0.2:8080/",
+	}, 0)
+	for _, k := range testKeys(500) {
+		oa, oka := a.Owner(k, nil)
+		ob, okb := b.Owner(k, nil)
+		if !oka || !okb || oa != ob {
+			t.Fatalf("key %.12s…: owner differs across equivalent rings: %q vs %q", k, oa, ob)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(testPeers, 0)
+	counts := map[string]int{}
+	keys := testKeys(3000)
+	for _, k := range keys {
+		o, ok := r.Owner(k, nil)
+		if !ok {
+			t.Fatalf("no owner for %q", k)
+		}
+		counts[o]++
+	}
+	for _, p := range r.Peers() {
+		share := float64(counts[p]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("peer %s owns %.1f%% of the keyspace; want a roughly even split", p, 100*share)
+		}
+	}
+}
+
+func TestRingFailover(t *testing.T) {
+	r := NewRing(testPeers, 0)
+	moved := 0
+	for _, k := range testKeys(300) {
+		primary, ok := r.Owner(k, nil)
+		if !ok {
+			t.Fatalf("no primary owner for %q", k)
+		}
+		healthy := func(p string) bool { return p != primary }
+		backup, ok := r.Owner(k, healthy)
+		if !ok {
+			t.Fatalf("no failover owner for %q", k)
+		}
+		if backup == primary {
+			t.Fatalf("key %.12s… failed over to its dead primary %s", k, primary)
+		}
+		moved++
+		// Health restored: ownership returns home.
+		home, _ := r.Owner(k, nil)
+		if home != primary {
+			t.Fatalf("key %.12s… did not return to %s after recovery", k, primary)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys exercised failover")
+	}
+}
+
+func TestRingNoHealthyPeer(t *testing.T) {
+	r := NewRing(testPeers, 0)
+	if o, ok := r.Owner("deadbeef", func(string) bool { return false }); ok {
+		t.Fatalf("Owner returned %q with every peer unhealthy", o)
+	}
+}
+
+func TestIDPrefix(t *testing.T) {
+	a, b := IDPrefix("http://10.0.0.1:8080"), IDPrefix("http://10.0.0.2:8080")
+	if a == b {
+		t.Fatalf("distinct advertise URLs share prefix %q", a)
+	}
+	if len(a) != 9 || !strings.HasSuffix(a, "-") {
+		t.Fatalf("prefix %q not 8 hex chars + dash", a)
+	}
+	if IDPrefix("http://10.0.0.1:8080/") != a {
+		t.Fatal("trailing slash changed the ID prefix")
+	}
+}
+
+func TestMembershipSeqWinsAndDead(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	m := newMembership(testPeers[0], testPeers, 300*time.Millisecond, clock)
+
+	m.merge(Digest{Peer: testPeers[1], Seq: 5, Ready: true, Queued: 3})
+	if st := m.state(testPeers[1]); st != StateAlive {
+		t.Fatalf("peer after fresh digest: %s, want alive", st)
+	}
+	// Stale news must not roll the entry back.
+	m.merge(Digest{Peer: testPeers[1], Seq: 4, Ready: false})
+	if d, _ := m.digest(testPeers[1]); d.Seq != 5 || !d.Ready {
+		t.Fatalf("stale digest overwrote newer state: %+v", d)
+	}
+	// Newer digest reporting not-ready: degraded.
+	m.merge(Digest{Peer: testPeers[1], Seq: 6, Ready: false})
+	if st := m.state(testPeers[1]); st != StateDegraded {
+		t.Fatalf("not-ready peer: %s, want degraded", st)
+	}
+	// Digest stops advancing: dead after the window.
+	now = now.Add(301 * time.Millisecond)
+	if st := m.state(testPeers[1]); st != StateDead {
+		t.Fatalf("silent peer: %s, want dead", st)
+	}
+	// A fresh digest resurrects it.
+	m.merge(Digest{Peer: testPeers[1], Seq: 7, Ready: true})
+	if st := m.state(testPeers[1]); st != StateAlive {
+		t.Fatalf("resurrected peer: %s, want alive", st)
+	}
+	// Unknown peers are ignored (static membership).
+	m.merge(Digest{Peer: "http://intruder:1", Seq: 99, Ready: true})
+	if _, ok := m.digest("http://intruder:1"); ok {
+		t.Fatal("merge admitted a peer outside the configured membership")
+	}
+	// Self is never affected by remote echoes.
+	m.updateSelf(Digest{Peer: testPeers[0], Seq: 10, Ready: true})
+	m.merge(Digest{Peer: testPeers[0], Seq: 99, Ready: false})
+	if d, _ := m.digest(testPeers[0]); d.Seq != 10 || !d.Ready {
+		t.Fatalf("gossip echo overwrote self digest: %+v", d)
+	}
+}
+
+func TestMembershipStartupGrace(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := newMembership(testPeers[0], testPeers, 300*time.Millisecond, func() time.Time { return now })
+	// Within the grace window an unseen peer is degraded (no Ready claim
+	// yet), not dead — forwarding holds off but failover is not triggered
+	// by mere startup ordering.
+	if st := m.state(testPeers[2]); st != StateDegraded {
+		t.Fatalf("unseen peer inside grace: %s, want degraded", st)
+	}
+	now = now.Add(time.Second)
+	if st := m.state(testPeers[2]); st != StateDead {
+		t.Fatalf("unseen peer after grace: %s, want dead", st)
+	}
+}

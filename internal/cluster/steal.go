@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"context"
+	"time"
+
+	"ccredf/internal/serve"
+)
+
+// Work stealing, thief side. Each tick an idle node (empty queue, spare
+// worker capacity counting in-flight stolen jobs) asks the most backlogged
+// healthy peer for one queued job, runs it on its own cores, and posts the
+// result bytes back to the victim — which owns the cache key, so the result
+// lands exactly where a resubmission would look for it. The victim guards
+// itself with a lease: if this node dies mid-execution the job is reclaimed
+// and re-run, and by determinism the worst outcome of the race is a
+// discarded byte-identical duplicate.
+
+// stealLoop drives the thief and the victim's reclaim sweep.
+func (n *Node) stealLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.opts.StealInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		n.reclaims.Add(int64(n.srv.ReclaimStolen()))
+		n.stealOnce()
+	}
+}
+
+// stealOnce attempts one steal if this node is idle and a victim qualifies.
+func (n *Node) stealOnce() {
+	queued, busy, workers := n.srv.Backlog()
+	if queued > 0 || busy+int(n.stealBusy.Load()) >= workers {
+		return // not idle: local work first, always
+	}
+	victim := n.pickVictim()
+	if victim == "" {
+		return
+	}
+	job, err := n.requestSteal(victim, n.opts.StealLease)
+	if err != nil {
+		n.stealErrors.Add(1)
+		return
+	}
+	if job == nil {
+		return // victim's queue drained before we got there
+	}
+	n.steals.Add(1)
+	n.stealBusy.Add(1)
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer n.stealBusy.Add(-1)
+		n.runStolen(victim, job)
+	}()
+}
+
+// pickVictim returns the alive peer with the deepest queue at or above the
+// steal threshold, or "" when nobody is worth robbing.
+func (n *Node) pickVictim() string {
+	best, bestQueued := "", n.opts.StealThreshold-1
+	for _, v := range n.members.view() {
+		if v.Self || v.State != StateAlive {
+			continue
+		}
+		if v.Queued > bestQueued {
+			best, bestQueued = v.Peer, v.Queued
+		}
+	}
+	return best
+}
+
+// runStolen executes one stolen job and posts the result back. Delivery is
+// best-effort: on any failure the victim's lease expires and the job re-runs
+// there, to identical bytes.
+func (n *Node) runStolen(victim string, job *serve.StolenJob) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Abort the execution if the node is stopped mid-job; the victim
+	// reclaims on lease expiry.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-n.stop:
+			cancel()
+		case <-done:
+		}
+	}()
+
+	key, result, err := n.srv.ExecuteSpec(ctx, job.Kind, job.Spec, job.Timeout)
+	if ctx.Err() != nil && err != nil {
+		// We were stopped mid-execution: say nothing and let the victim's
+		// lease expire, so the job re-runs instead of failing.
+		return
+	}
+	errMsg := ""
+	if err != nil {
+		errMsg = err.Error()
+		key = job.Key // report under the victim's key so it can finalize
+	}
+	if perr := n.postStolenResult(victim, job.ID, key, result, errMsg); perr != nil {
+		n.stealErrors.Add(1)
+		n.logf("cluster: steal: returning %s to %s failed: %v (victim will reclaim)", job.ID, victim, perr)
+	}
+}

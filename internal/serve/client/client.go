@@ -1,18 +1,28 @@
-// Package client is the principled retry path onto a ccr-served daemon: a
-// small HTTP client wrapping the /v1 job API with bounded exponential
-// backoff, full jitter, and first-class Retry-After handling — the header
-// the server computes from queue depth, recent job latency and breaker
-// cooldown. Retrying a submission is always safe: jobs are content-
+// Package client is the principled retry path onto a ccr-served daemon or
+// cluster: a small HTTP client wrapping the /v1 job API with bounded
+// exponential backoff, full jitter, and first-class Retry-After handling —
+// the header the server computes from queue depth, recent job latency and
+// breaker cooldown. Retrying a submission is always safe: jobs are content-
 // addressed, so a duplicate submit is a cache hit, never duplicate work.
 //
-// It backs ccr-sweep -remote, and is the reference for anything else that
-// talks to the daemon.
+// Against a cluster, NewMulti takes every peer URL. A transport failure
+// rotates to the next endpoint, and a 503 carrying the X-CCR-Degraded
+// marker (circuit breaker open, cache-only) fails over immediately instead
+// of backing off against a peer that cannot serve new work. If a job is
+// lost mid-await — its peer was SIGKILLed and the ID is unknown elsewhere —
+// RunScenario/RunSweep resubmit the spec: completed work is already in the
+// surviving peers' content-addressed caches, so only lost points re-run and
+// the final bytes are identical.
+//
+// It backs ccr-sweep -remote, the cluster's peer-to-peer traffic, and is
+// the reference for anything else that talks to the daemon.
 package client
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -20,6 +30,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"ccredf/internal/serve"
@@ -88,16 +99,50 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("server returned %d: %s", e.Status, e.Message)
 }
 
-// Client talks to one daemon. Safe for concurrent use.
+// Client talks to one daemon, or to any peer of a cluster (NewMulti).
+// Safe for concurrent use.
 type Client struct {
-	base string
-	opts Options
+	endpoints []string
+	cur       atomic.Int64 // index of the endpoint currently preferred
+	opts      Options
 }
 
 // New builds a client for the daemon at base (e.g. "http://host:8080").
 func New(base string, opts Options) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), opts: opts.withDefaults()}
+	return NewMulti([]string{base}, opts)
 }
+
+// NewMulti builds a client over several equivalent endpoints — typically
+// every peer of a ccr-served cluster, any of which can accept any job. The
+// first endpoint is preferred; transport failures and degraded-peer 503s
+// rotate to the next.
+func NewMulti(bases []string, opts Options) *Client {
+	c := &Client{opts: opts.withDefaults()}
+	for _, b := range bases {
+		if b = strings.TrimRight(strings.TrimSpace(b), "/"); b != "" {
+			c.endpoints = append(c.endpoints, b)
+		}
+	}
+	if len(c.endpoints) == 0 {
+		c.endpoints = []string{""}
+	}
+	return c
+}
+
+// base returns the currently preferred endpoint.
+func (c *Client) base() string {
+	return c.endpoints[int(c.cur.Load())%len(c.endpoints)]
+}
+
+// rotate moves to the next endpoint; a no-op with a single one.
+func (c *Client) rotate() {
+	if len(c.endpoints) > 1 {
+		c.cur.Add(1)
+	}
+}
+
+// Endpoints returns the configured endpoint list.
+func (c *Client) Endpoints() []string { return append([]string(nil), c.endpoints...) }
 
 // retryableStatus: the server's over-admission and degradation responses
 // plus gateway-layer flakes. Deterministic failures (4xx, 500) are not
@@ -148,19 +193,26 @@ type response struct {
 // do runs one request with retries. body may be re-sent on every attempt.
 // Non-retryable HTTP statuses are returned to the caller for decoding, so
 // only transport failures and retry exhaustion surface as errors here.
+//
+// With multiple endpoints, a transport failure rotates to the next peer
+// before the retry, and a degraded-peer 503 (X-CCR-Degraded) rotates and
+// retries immediately — the refusal will last the breaker cooldown there,
+// while a healthy peer can take the job right now.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string) (*response, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			if err := c.opts.sleep(ctx, c.delay(attempt-1, lastErr)); err != nil {
-				return nil, err
+			if d := c.delay(attempt-1, lastErr); d > 0 {
+				if err := c.opts.sleep(ctx, d); err != nil {
+					return nil, err
+				}
 			}
 		}
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
 		}
-		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		req, err := http.NewRequestWithContext(ctx, method, c.base()+path, rd)
 		if err != nil {
 			return nil, err
 		}
@@ -173,16 +225,26 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 				return nil, ctx.Err()
 			}
 			lastErr = err
+			c.rotate() // the peer may be gone; try the next one
 			continue
 		}
 		b, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
 			lastErr = err
+			c.rotate()
 			continue
 		}
 		if retryableStatus(resp.StatusCode) {
-			lastErr = &retryState{status: resp.StatusCode, message: errorMessage(b), retryAfter: resp.Header.Get("Retry-After")}
+			lastErr = &retryState{
+				status:     resp.StatusCode,
+				message:    errorMessage(b),
+				retryAfter: resp.Header.Get("Retry-After"),
+				degraded:   resp.Header.Get(serve.DegradedHeader) != "",
+			}
+			if resp.Header.Get(serve.DegradedHeader) != "" {
+				c.rotate()
+			}
 			continue
 		}
 		return &response{status: resp.StatusCode, body: b, header: resp.Header}, nil
@@ -199,17 +261,22 @@ type retryState struct {
 	status     int
 	message    string
 	retryAfter string
+	degraded   bool
 }
 
 func (r *retryState) Error() string {
 	return fmt.Sprintf("status %d: %s", r.status, r.message)
 }
 
-// delay picks the next sleep: the server's Retry-After when present
-// (trusted — it is computed from real queue state), jittered backoff
-// otherwise.
+// delay picks the next sleep: zero for a degraded 503 when another endpoint
+// is available (do already rotated — retry there immediately), the server's
+// Retry-After when present (trusted — it is computed from real queue
+// state), jittered backoff otherwise.
 func (c *Client) delay(retry int, lastErr error) time.Duration {
 	if rs, ok := lastErr.(*retryState); ok {
+		if rs.degraded && len(c.endpoints) > 1 {
+			return 0
+		}
 		if d, ok := parseRetryAfter(rs.retryAfter); ok {
 			// A sliver of jitter keeps synchronized clients apart even
 			// when the server names the same instant for all of them.
@@ -313,7 +380,7 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 // Ready probes /readyz once (no retries — readiness is a point-in-time
 // question). A nil error means the daemon is accepting new work.
 func (c *Client) Ready(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base()+"/readyz", nil)
 	if err != nil {
 		return err
 	}
@@ -345,7 +412,26 @@ func (c *Client) Await(ctx context.Context, id string) (serve.JobStatus, error) 
 	}
 }
 
-// run drives a submission to its result bytes.
+// resubmitAttempts bounds how many times Run* resubmits a job whose record
+// was lost (its peer died between submission and result). Work already done
+// is in the cluster's content-addressed caches, so each resubmission only
+// pays for what was actually lost.
+const resubmitAttempts = 4
+
+// lostJob reports whether an await/fetch failure means the job record is
+// gone rather than the job having deterministically failed: the ID is
+// unknown (404 — the peer holding it was killed and we rotated elsewhere)
+// or the connection died and retries were exhausted. Both are cured by
+// resubmitting the content-addressed spec.
+func lostJob(err error) bool {
+	var api *APIError
+	if errors.As(err, &api) {
+		return api.Status == http.StatusNotFound || retryableStatus(api.Status)
+	}
+	return true // transport-level exhaustion
+}
+
+// run drives one submission to its result bytes.
 func (c *Client) run(ctx context.Context, st serve.JobStatus, err error) (serve.JobStatus, []byte, error) {
 	if err != nil {
 		return serve.JobStatus{}, nil, err
@@ -362,15 +448,59 @@ func (c *Client) run(ctx context.Context, st serve.JobStatus, err error) (serve.
 	return st, b, err
 }
 
-// RunScenario submits a scenario and blocks until its result is available
-// (or the job fails, or ctx ends). A cache hit returns immediately.
-func (c *Client) RunScenario(ctx context.Context, scenarioJSON []byte, timeout time.Duration) (serve.JobStatus, []byte, error) {
-	st, err := c.SubmitScenario(ctx, scenarioJSON, timeout)
-	return c.run(ctx, st, err)
+// runResilient is run with whole-job resubmission: when the job is lost
+// mid-flight (peer SIGKILLed, ID unknown on the survivors) the spec is
+// submitted again — safe by idempotence, cheap by content-addressing.
+func (c *Client) runResilient(ctx context.Context, submit func() (serve.JobStatus, error)) (serve.JobStatus, []byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < resubmitAttempts; attempt++ {
+		if ctx.Err() != nil {
+			return serve.JobStatus{}, nil, ctx.Err()
+		}
+		if attempt > 0 {
+			c.rotate()
+		}
+		st, err := submit()
+		if err != nil {
+			if !lostJob(err) {
+				return serve.JobStatus{}, nil, err
+			}
+			lastErr = err
+			continue
+		}
+		st, b, err := c.run(ctx, st, nil)
+		if err == nil {
+			return st, b, nil
+		}
+		if errors.Is(err, ctx.Err()) && ctx.Err() != nil {
+			return serve.JobStatus{}, nil, err
+		}
+		if st.State.Terminal() && st.State != serve.StateDone {
+			// The job genuinely ended failed/cancelled: deterministic — a
+			// resubmission would fail identically.
+			return st, nil, err
+		}
+		if !lostJob(err) {
+			return st, nil, err
+		}
+		lastErr = err
+	}
+	return serve.JobStatus{}, nil, fmt.Errorf("client: giving up after %d submissions: %w", resubmitAttempts, lastErr)
 }
 
-// RunSweep submits a sweep spec and blocks until its result is available.
+// RunScenario submits a scenario and blocks until its result is available
+// (or the job fails, or ctx ends). A cache hit returns immediately; a job
+// lost to a dead peer is resubmitted to a surviving one.
+func (c *Client) RunScenario(ctx context.Context, scenarioJSON []byte, timeout time.Duration) (serve.JobStatus, []byte, error) {
+	return c.runResilient(ctx, func() (serve.JobStatus, error) {
+		return c.SubmitScenario(ctx, scenarioJSON, timeout)
+	})
+}
+
+// RunSweep submits a sweep spec and blocks until its result is available,
+// resubmitting if the job is lost to a dead peer.
 func (c *Client) RunSweep(ctx context.Context, spec *serve.SweepSpec, timeout time.Duration) (serve.JobStatus, []byte, error) {
-	st, err := c.SubmitSweep(ctx, spec, timeout)
-	return c.run(ctx, st, err)
+	return c.runResilient(ctx, func() (serve.JobStatus, error) {
+		return c.SubmitSweep(ctx, spec, timeout)
+	})
 }

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"ccredf/scenario"
+)
+
+// Golden content-address keys. These pin the full canonicalisation pipeline
+// — normalisation defaults, canonical JSON, EngineVersion — for one
+// canonical single-ring spec and one multi-ring spec. If either changes,
+// every deployed cache, journal and cluster ring placement silently
+// invalidates, so a failure here must be a deliberate engine-version bump:
+// update EngineVersion and re-pin, never just re-pin.
+const (
+	goldenSingleRingSweepKey = "e6485cb63dbc518d6766a56f5bffa56f5a52b1d7c71265a561427a5c52409387"
+	goldenMultiRingSweepKey  = "62df900925e68aef00715d2d66221453f043305f5f4f5256a9d77884b2b57b98"
+	goldenScenarioKey        = "e82138c9daf34ec6c8ea94a64e040f47233a8aab22ea9d5159f4a48793e3742c"
+)
+
+// goldenSingleRingSpec is the canonical one-ring sweep: every axis at its
+// documented default, spelled explicitly.
+func goldenSingleRingSpec() *SweepSpec {
+	return &SweepSpec{
+		Protocols:    []string{"ccr-edf"},
+		Nodes:        []int{8},
+		Loads:        []float64{0.5},
+		Localities:   []string{"uniform"},
+		Seeds:        []uint64{1},
+		HorizonSlots: 10000,
+	}
+}
+
+func TestSweepKeyGoldenSingleRing(t *testing.T) {
+	key, err := SweepKey(goldenSingleRingSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != goldenSingleRingSweepKey {
+		t.Fatalf("single-ring sweep key changed:\n got %s\nwant %s\nThis invalidates every cache, journal and cluster placement; if intentional, bump EngineVersion and re-pin.", key, goldenSingleRingSweepKey)
+	}
+	// The implicit spelling (empty axes → defaults) must share the line.
+	implicit, err := SweepKey(&SweepSpec{HorizonSlots: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit != key {
+		t.Fatalf("implicit-default spec got %s, want the canonical key %s", implicit, key)
+	}
+	// Rings:1 is the single-ring default and must share it too.
+	one := goldenSingleRingSpec()
+	one.Rings = 1
+	if k, _ := SweepKey(one); k != key {
+		t.Fatalf("rings:1 spec got %s, want the single-ring key %s", k, key)
+	}
+	// Workers never affects results, so it must not affect the key.
+	w := goldenSingleRingSpec()
+	w.Workers = 7
+	if k, _ := SweepKey(w); k != key {
+		t.Fatalf("workers changed the key: %s vs %s", k, key)
+	}
+}
+
+func TestSweepKeyGoldenMultiRing(t *testing.T) {
+	sp := goldenSingleRingSpec()
+	sp.Rings = 3
+	key, err := SweepKey(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != goldenMultiRingSweepKey {
+		t.Fatalf("multi-ring sweep key changed:\n got %s\nwant %s\nThis invalidates every cache, journal and cluster placement; if intentional, bump EngineVersion and re-pin.", key, goldenMultiRingSweepKey)
+	}
+	if key == goldenSingleRingSweepKey {
+		t.Fatal("multi-ring spec shares the single-ring key; rings is not in the canonical form")
+	}
+}
+
+func TestScenarioKeyGolden(t *testing.T) {
+	scen, err := scenario.Load(strings.NewReader(`{
+		"nodes": 8,
+		"seed": 1,
+		"horizon_slots": 10000,
+		"connections": [
+			{"src": 0, "dests": [4], "period_slots": 10, "slots": 1}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := ScenarioKey(scen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != goldenScenarioKey {
+		t.Fatalf("scenario key changed:\n got %s\nwant %s\nThis invalidates every cache, journal and cluster placement; if intentional, bump EngineVersion and re-pin.", key, goldenScenarioKey)
+	}
+}
+
+func TestKeysEmbedEngineVersion(t *testing.T) {
+	// The engine version participates in every key (the cluster's
+	// mixed-version guard); this documents the coupling without pinning the
+	// hash preimage layout.
+	if EngineVersion == "" {
+		t.Fatal("EngineVersion is empty")
+	}
+	if len(goldenSingleRingSweepKey) != 64 || len(goldenScenarioKey) != 64 {
+		t.Fatal("golden keys are not 64-hex sha256 strings")
+	}
+}

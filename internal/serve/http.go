@@ -13,6 +13,12 @@ import (
 	"ccredf/scenario"
 )
 
+// DegradedHeader marks 503s caused by the circuit breaker's cache-only
+// degraded mode (as opposed to drain or overload): the refusal is going to
+// last the breaker cooldown, so a client holding other peer URLs should
+// fail over immediately rather than back off and retry here.
+const DegradedHeader = "X-CCR-Degraded"
+
 // JobStatus is the wire form of a job record (GET /v1/jobs/{id}).
 type JobStatus struct {
 	ID          string    `json:"id"`
@@ -234,12 +240,18 @@ func (s *Server) respondSubmission(w http.ResponseWriter, j *Job, err error) {
 		setRetryAfter(w, time.Duration(s.retryAfterSeconds())*time.Second)
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 	case errors.Is(err, ErrDegraded):
-		// Come back once the breaker's cooldown can admit a probe.
+		// Come back once the breaker's cooldown can admit a probe — or, for
+		// cluster-aware clients, go somewhere healthy right now: the
+		// X-CCR-Degraded marker distinguishes "this peer is in cache-only
+		// degraded mode" from a generic 503, so a multi-endpoint client
+		// redirects immediately instead of backing off against a peer that
+		// cannot serve it.
 		wait := s.breaker.view().RetryAfter
 		if wait <= 0 {
 			wait = time.Second
 		}
 		setRetryAfter(w, wait)
+		w.Header().Set(DegradedHeader, "1")
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -365,6 +377,7 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		if v.RetryAfter > 0 {
 			setRetryAfter(w, v.RetryAfter)
 		}
+		w.Header().Set(DegradedHeader, "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintf(w, "degraded: circuit breaker %s after %d consecutive failure(s); serving cached results only\n",
 			v.State, v.Consecutive)

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -115,6 +116,11 @@ type Options struct {
 	RatePerSec float64
 	// RateBurst is the token-bucket depth (default 2×RatePerSec, min 1).
 	RateBurst int
+	// IDPrefix prepends every job ID (e.g. "a1b2c3d4-" in cluster mode, so
+	// IDs are unique across peers and a forwarded ID can never collide with
+	// a local one). Empty — the single-daemon default — keeps the classic
+	// "j%06d" IDs byte-identical.
+	IDPrefix string
 }
 
 func (o Options) withDefaults() Options {
@@ -268,6 +274,15 @@ type Server struct {
 	// runHook, when set (tests), runs at the start of every job execution;
 	// a panic here exercises the worker isolation path.
 	runHook func(*Job)
+	// scatter, when set (cluster mode), is offered every sweep job before
+	// the local runner; see SetSweepScatter.
+	scatter func(ctx context.Context, spec *SweepSpec, key string) ([]SweepOutcome, bool, error)
+
+	// stolenMu guards jobs handed out to cluster peers via StealQueued;
+	// each entry carries a lease deadline after which ReclaimStolen
+	// re-enqueues the job locally.
+	stolenMu sync.Mutex
+	stolen   map[string]*stolenJob
 
 	busy           atomic.Int64
 	doneJobs       atomic.Int64
@@ -317,6 +332,7 @@ func New(opts Options) *Server {
 		breaker:    newBreaker(o.BreakerThreshold, o.BreakerCooldown),
 		limiter:    newLimiter(o.RatePerSec, o.RateBurst),
 		jobs:       make(map[string]*Job),
+		stolen:     make(map[string]*stolenJob),
 	}
 	if s.journal != nil {
 		s.recoverFromJournal()
@@ -344,7 +360,10 @@ func (s *Server) recoverFromJournal() {
 	var maxID int64 = -1
 	for _, p := range rec.Pending {
 		var n int64
-		if _, err := fmt.Sscanf(p.ID, "j%d", &n); err == nil && n > maxID {
+		// Journalled IDs carry the peer's IDPrefix in cluster mode; strip it
+		// so the counter still advances past everything recovered.
+		id := strings.TrimPrefix(p.ID, s.opts.IDPrefix)
+		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > maxID {
 			maxID = n
 		}
 	}
@@ -438,7 +457,7 @@ func (s *Server) submit(kind, key string, scen *scenario.Scenario, spec *SweepSp
 	if s.closed {
 		return nil, ErrClosed
 	}
-	id := fmt.Sprintf("j%06d", s.nextID)
+	id := fmt.Sprintf("%sj%06d", s.opts.IDPrefix, s.nextID)
 	s.nextID++
 	j := &Job{
 		id:        id,
@@ -591,6 +610,25 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 // degraded mode (new work refused with 503 until a probe job succeeds).
 func (s *Server) Degraded() bool { return s.breaker.view().Degraded }
 
+// Ready reports whether the server is accepting new work: not draining and
+// not degraded. Cluster peers gossip this, so a peer that trips its breaker
+// (or starts a SIGTERM drain) has its keyspace failed over to its successor.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	return !closed && !s.breaker.view().Degraded
+}
+
+// SetSweepScatter installs the cluster fan-out hook: every sweep job is
+// offered to fn before the local runner. fn returns the wire outcomes in
+// grid order and handled=true when it distributed the grid; handled=false
+// falls back to the classic local sweep. Must be called before the server
+// receives traffic (cluster wiring happens at startup).
+func (s *Server) SetSweepScatter(fn func(ctx context.Context, spec *SweepSpec, key string) ([]SweepOutcome, bool, error)) {
+	s.scatter = fn
+}
+
 // finalizeJob applies a terminal state and updates the server counters; it
 // is the only finalization path used by workers.
 func (s *Server) finalizeJob(j *Job, st State, result []byte, err error) {
@@ -719,23 +757,35 @@ func (s *Server) runJob(j *Job) {
 // runSim executes one scenario simulation, streaming events to the job's
 // hub and polling ctx between slot chunks.
 func (s *Server) runSim(ctx context.Context, j *Job) ([]byte, error) {
-	res, err := j.scen.Build()
+	return s.simulateScenario(ctx, j.scen, j.key, j.hub)
+}
+
+// simulateScenario is the hub-optional simulation core shared by local jobs
+// (runSim) and work stolen from cluster peers (ExecuteSpec, which has no
+// job record and therefore no hub).
+func (s *Server) simulateScenario(ctx context.Context, scen *scenario.Scenario, key string, h *hub) ([]byte, error) {
+	res, err := scen.Build()
 	if err != nil {
 		return nil, err
 	}
 	// The streaming exporter rides the observer pipeline, gated on live
 	// subscribers so an unwatched run pays one atomic load per event. Multi-
-	// ring runs stream every ring's events through the same gate.
-	h := j.hub
-	exp := ccredf.NewEventExporter(h)
-	gate := ccredf.ObserverFunc(func(e *ccredf.Event) {
-		if h.active.Load() {
-			exp.OnEvent(e)
-		}
-	})
+	// ring runs stream every ring's events through the same gate. Stolen
+	// executions have no hub and skip the seam entirely.
+	var gate ccredf.Observer
+	if h != nil {
+		exp := ccredf.NewEventExporter(h)
+		gate = ccredf.ObserverFunc(func(e *ccredf.Event) {
+			if h.active.Load() {
+				exp.OnEvent(e)
+			}
+		})
+	}
 	if res.Multi != nil {
-		for i := 0; i < res.Multi.Rings(); i++ {
-			res.Multi.RingNetwork(i).Attach(gate)
+		if gate != nil {
+			for i := 0; i < res.Multi.Rings(); i++ {
+				res.Multi.RingNetwork(i).Attach(gate)
+			}
 		}
 		p := res.Multi.RingNetwork(0).Params()
 		chunk := ccredf.Time(s.opts.ChunkSlots) * (p.SlotTime() + p.MaxHandoverTime())
@@ -749,13 +799,15 @@ func (s *Server) runSim(ctx context.Context, j *Job) ([]byte, error) {
 			}
 			res.Multi.Run(next)
 		}
-		sum := SummarizeMulti(res.Multi, j.key)
+		sum := SummarizeMulti(res.Multi, key)
 		s.faultsInjected.Add(sum.Snapshot.FaultsInjected)
 		s.faultsDetected.Add(sum.Snapshot.FaultsDetected)
 		s.faultsRecovered.Add(sum.Snapshot.FaultsRecovered)
 		return sum.Encode()
 	}
-	res.Net.Attach(gate)
+	if gate != nil {
+		res.Net.Attach(gate)
+	}
 	period := res.Net.Params().SlotTime() + res.Net.Params().MaxHandoverTime()
 	chunk := ccredf.Time(s.opts.ChunkSlots) * period
 	for now := res.Net.Now(); now < res.Horizon; now = res.Net.Now() {
@@ -772,12 +824,24 @@ func (s *Server) runSim(ctx context.Context, j *Job) ([]byte, error) {
 	s.faultsInjected.Add(snap.FaultsInjected)
 	s.faultsDetected.Add(snap.FaultsDetected)
 	s.faultsRecovered.Add(snap.FaultsRecovered)
-	return Summarize(res.Net, j.key).Encode()
+	return Summarize(res.Net, key).Encode()
 }
 
-// runSweep fans the grid out over internal/sweep with the job's context.
+// runSweep fans the grid out — across the cluster when a scatter hook is
+// installed (each point becomes a content-addressed single-point sub-sweep
+// on its owning peer), over internal/sweep locally otherwise. Both paths
+// stitch the points in grid order, so the result bytes are identical.
 func (s *Server) runSweep(ctx context.Context, j *Job) ([]byte, error) {
 	spec := j.sweepSpec
+	if s.scatter != nil {
+		points, handled, err := s.scatter(ctx, spec, j.key)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return encodeSweepPoints(j.key, points)
+		}
+	}
 	outcomes, err := sweep.RunCtx(ctx, spec.Grid(), spec.workerCount(), spec.HorizonSlots)
 	if err != nil {
 		return nil, err

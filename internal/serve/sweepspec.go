@@ -224,3 +224,32 @@ func encodeSweep(key string, outcomes []sweep.Outcome) ([]byte, error) {
 	}
 	return encodeJSONLine(res)
 }
+
+// encodeSweepPoints encodes already-wire-form points under key. Scattered
+// sweeps stitch with this: a point's wire form survives a JSON round trip
+// through a sub-sweep result exactly (encoding/json emits the shortest
+// representation that round-trips a float64), so a cluster-assembled result
+// is byte-identical to a locally-run one.
+func encodeSweepPoints(key string, points []SweepOutcome) ([]byte, error) {
+	return encodeJSONLine(SweepResult{Schema: SummarySchema, Engine: EngineVersion, Key: key, Points: points})
+}
+
+// PointSpec narrows a (normalised) spec to a single grid point: a
+// one-value-per-axis sub-sweep. Sub-sweeps are what a cluster scatters —
+// each is an ordinary content-addressed sweep job, so every grid point gets
+// its own cache line and a re-run after a peer failure only re-simulates
+// the points that were lost.
+func (sp *SweepSpec) PointSpec(pt sweep.Point) *SweepSpec {
+	sub := &SweepSpec{
+		Protocols:    []string{pt.Protocol},
+		Nodes:        []int{pt.Nodes},
+		Loads:        []float64{pt.Load},
+		Localities:   []string{pt.Locality},
+		Seeds:        []uint64{pt.Seed},
+		HorizonSlots: sp.HorizonSlots,
+		Faults:       sp.Faults,
+		Rings:        sp.Rings,
+	}
+	sub.normalise()
+	return sub
+}
