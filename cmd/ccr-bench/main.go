@@ -37,6 +37,8 @@ func main() {
 		out        = flag.String("out", "", "also write a Markdown report to this file")
 		jsonOut    = flag.String("json", "", "also write the machine-readable benchmark baseline to this file (forces a serial run)")
 		benchSlots = flag.Int64("bench-slots", 4096, "slot horizon of the -json slot-engine microbenchmark")
+		benchReps  = flag.Int("bench-replicas", 8, "replica count of the -json batched slot-engine microbenchmark")
+		benchRound = flag.Int("bench-rounds", 3, "measurement rounds of the -json slot-engine microbenchmark; the baseline keeps each protocol's fastest round")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "experiments to run in parallel")
 	)
 	flag.Parse()
@@ -129,7 +131,7 @@ func main() {
 		fmt.Printf("wrote %s\n", *out)
 	}
 	if *jsonOut != "" {
-		if err := writeBaseline(*jsonOut, selected, outcomes, *benchSlots); err != nil {
+		if err := writeBaseline(*jsonOut, selected, outcomes, *benchSlots, *benchReps, *benchRound); err != nil {
 			fmt.Fprintf(os.Stderr, "ccr-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -162,24 +164,70 @@ type experimentBench struct {
 }
 
 // baseline is the BENCH_slot_engine.json document: the steady-state
-// slot-engine microbenchmark (the number CI gates on) plus per-experiment
-// per-slot costs for the whole P/E suite.
+// slot-engine microbenchmark (the number CI gates on), its batched
+// multi-replica counterpart, and per-experiment per-slot costs for the whole
+// P/E suite.
+//
+// Schema 2: slot-engine entries carry requested_slots (the RunSlots budget)
+// next to slots (the count actually executed — real hand-over gaps beat the
+// worst-case budget, so the two differ per protocol), and the
+// slot_engine_batched section records the effective per-slot cost of the
+// batched engine with bench_replicas replicas (its slots field counts slots
+// across all replicas).
 type baseline struct {
-	Schema      int               `json:"schema"`
-	Go          string            `json:"go"`
-	BenchSlots  int64             `json:"bench_slots"`
-	SlotEngine  []slotbench.Stats `json:"slot_engine"`
-	Experiments []experimentBench `json:"experiments"`
+	Schema            int               `json:"schema"`
+	Go                string            `json:"go"`
+	BenchSlots        int64             `json:"bench_slots"`
+	BenchReplicas     int               `json:"bench_replicas"`
+	SlotEngine        []slotbench.Stats `json:"slot_engine"`
+	SlotEngineBatched []slotbench.Stats `json:"slot_engine_batched"`
+	Experiments       []experimentBench `json:"experiments"`
 }
 
-func writeBaseline(path string, selected []experiment.Experiment, outcomes []outcome, benchSlots int64) error {
-	doc := baseline{Schema: 1, Go: runtime.Version(), BenchSlots: benchSlots}
+// measureBest repeats one protocol's measurement and keeps the fastest
+// round. Wall-clock per-slot cost on a shared machine is noisy in one
+// direction only — preemption and cache eviction inflate it, nothing
+// deflates it — so the minimum over a few rounds is the robust estimate of
+// the engine's true cost, and the committed baseline stays comparable across
+// regenerations on differently-loaded hosts.
+func measureBest(rounds int, measure func() (slotbench.Stats, error)) (slotbench.Stats, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	var best slotbench.Stats
+	for r := 0; r < rounds; r++ {
+		st, err := measure()
+		if err != nil {
+			return slotbench.Stats{}, err
+		}
+		if r == 0 || st.NsPerSlot < best.NsPerSlot {
+			best = st
+		}
+	}
+	return best, nil
+}
+
+func writeBaseline(path string, selected []experiment.Experiment, outcomes []outcome, benchSlots int64, benchReps, benchRounds int) error {
+	doc := baseline{Schema: 2, Go: runtime.Version(), BenchSlots: benchSlots, BenchReplicas: benchReps}
 	for _, name := range slotbench.Protocols {
-		st, err := slotbench.Measure(name, benchSlots)
+		name := name
+		st, err := measureBest(benchRounds, func() (slotbench.Stats, error) {
+			return slotbench.Measure(name, benchSlots)
+		})
 		if err != nil {
 			return err
 		}
 		doc.SlotEngine = append(doc.SlotEngine, st)
+	}
+	for _, name := range slotbench.Protocols {
+		name := name
+		st, err := measureBest(benchRounds, func() (slotbench.Stats, error) {
+			return slotbench.MeasureBatch(name, benchReps, benchSlots)
+		})
+		if err != nil {
+			return err
+		}
+		doc.SlotEngineBatched = append(doc.SlotEngineBatched, st)
 	}
 	for i := range selected {
 		res := outcomes[i].res

@@ -10,7 +10,6 @@ package core
 import (
 	"fmt"
 	"math/bits"
-	"slices"
 
 	"ccredf/internal/ring"
 	"ccredf/internal/sched"
@@ -112,12 +111,10 @@ type Arbiter struct {
 	// Reusable per-round scratch: the request sort buffer and the outcome's
 	// grant/deny slices. Arbitrate runs once per slot for the lifetime of a
 	// simulation, so reusing these keeps the steady-state slot loop
-	// allocation-free. cmp is the comparison function bound once at
-	// construction (binding it per call would allocate a closure per round).
+	// allocation-free.
 	sorted []Request
 	grants []Grant
 	denied []int
-	cmp    func(x, y Request) int
 }
 
 // NewArbiter returns a CCR-EDF arbiter for a ring of n nodes.
@@ -126,9 +123,17 @@ func NewArbiter(n int, mode sched.MapMode, spatialReuse bool) (*Arbiter, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	a := &Arbiter{ring: r, mode: mode, spatialReuse: spatialReuse}
-	a.cmp = a.compare
-	return a, nil
+	return &Arbiter{ring: r, mode: mode, spatialReuse: spatialReuse}, nil
+}
+
+// BindScratch points the arbiter's reusable per-round scratch at
+// caller-owned backing storage. A batched engine (network.NewBatch) carves
+// one contiguous arena into per-replica slices so every replica's sort
+// buffer, grant list and deny list sit replica-indexed in memory. Purely a
+// placement decision: Arbitrate rebuilds all three from length zero every
+// round, and appends past the bound capacity fall back to ordinary growth.
+func (a *Arbiter) BindScratch(sorted []Request, grants []Grant, denied []int) {
+	a.sorted, a.grants, a.denied = sorted[:0], grants[:0], denied[:0]
 }
 
 // Name implements Protocol.
@@ -221,7 +226,15 @@ func (a *Arbiter) Arbitrate(reqs []Request, curMaster int) Outcome {
 		// Nothing to send anywhere: the current master keeps clocking.
 		return Outcome{Master: curMaster}
 	}
-	slices.SortFunc(sorted, a.cmp)
+	// compare is a strict total order (node index and message ID break every
+	// tie), so any comparison sort yields the same sequence; a direct
+	// insertion sort beats the generic machinery on the ≤ 2N slates this
+	// per-slot path sees, and the slate arrives nearly sorted in steady state.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && a.compare(sorted[j], sorted[j-1]) < 0; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
 
 	master := sorted[0].Node
 	grants, denied := a.grants[:0], a.denied[:0]

@@ -10,7 +10,6 @@
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 
@@ -42,7 +41,7 @@ func (e *Event) When() timing.Time { return e.when }
 func (e *Event) Cancel() {
 	e.cancelled = true
 	if e.index >= 0 && e.sim != nil {
-		heap.Remove(&e.sim.queue, e.index)
+		e.sim.queue.remove(e.index)
 	}
 }
 
@@ -86,7 +85,7 @@ func (s *Simulator) At(t timing.Time, fn Handler) *Event {
 	}
 	ev := &Event{when: t, seq: s.seq, fn: fn, sim: s}
 	s.seq++
-	heap.Push(&s.queue, ev)
+	s.queue.push(ev)
 	return ev
 }
 
@@ -115,7 +114,7 @@ func (s *Simulator) Post(t timing.Time, fn Handler) {
 		ev = &Event{when: t, seq: s.seq, fn: fn, pooled: true, sim: s}
 	}
 	s.seq++
-	heap.Push(&s.queue, ev)
+	s.queue.push(ev)
 }
 
 // PostAfter schedules fn to run d after the current time, with Post's
@@ -152,7 +151,7 @@ func (s *Simulator) Run(horizon timing.Time) uint64 {
 		if next.when > horizon {
 			break
 		}
-		heap.Pop(&s.queue)
+		s.queue.pop()
 		if next.cancelled {
 			continue
 		}
@@ -177,11 +176,32 @@ func (s *Simulator) Run(horizon timing.Time) uint64 {
 // RunAll executes events until the queue is empty or Stop is called.
 func (s *Simulator) RunAll() uint64 { return s.Run(timing.Forever) }
 
-// Step executes exactly one event (skipping cancelled ones) and reports
-// whether an event was executed.
-func (s *Simulator) Step() bool {
+// ReserveSeq consumes and returns the next scheduling sequence number without
+// queueing anything. An inline executor (the slot engine's fixed per-slot
+// schedule, see internal/network) reserves the seq each Post would have taken
+// and runs the handler itself; because queued events keep their (when, seq)
+// order against the reserved points, the interleaving — and therefore the
+// whole run — stays byte-identical to the fully event-driven execution.
+func (s *Simulator) ReserveSeq() uint64 {
+	seq := s.seq
+	s.seq++
+	return seq
+}
+
+// StepBefore executes the single next queued event if it fires no later than
+// horizon AND is ordered strictly before the reserved point (when, seq), and
+// reports whether it did. Inline executors drain the queue through repeated
+// calls right before running each of their own points.
+func (s *Simulator) StepBefore(horizon, when timing.Time, seq uint64) bool {
 	for len(s.queue) > 0 {
-		next := heap.Pop(&s.queue).(*Event)
+		next := s.queue[0]
+		if next.when > horizon {
+			return false
+		}
+		if next.when > when || (next.when == when && next.seq >= seq) {
+			return false
+		}
+		s.queue.pop()
 		if next.cancelled {
 			continue
 		}
@@ -197,36 +217,138 @@ func (s *Simulator) Step() bool {
 	return false
 }
 
-// eventQueue is a binary min-heap ordered by (when, seq).
+// PeekBefore reports whether the next queued event is ordered strictly before
+// the reserved point (when, seq). It is the inline executor's cheap gate: in
+// the common case no heap event interleaves before the next engine point and
+// the executor runs it straight, never calling into StepBefore. A cancelled
+// event at the head may answer true; the subsequent StepBefore skips it.
+func (s *Simulator) PeekBefore(when timing.Time, seq uint64) bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	next := s.queue[0]
+	return next.when < when || (next.when == when && next.seq < seq)
+}
+
+// StepUpTo executes the single next queued event if it fires no later than
+// horizon, and reports whether it did. Events exactly at the horizon fire,
+// matching Run.
+func (s *Simulator) StepUpTo(horizon timing.Time) bool {
+	return s.StepBefore(horizon, timing.Forever, 0)
+}
+
+// AdvanceTo moves the clock forward to t; moving backwards is a no-op. Inline
+// executors advance the clock to each point before running its handler, just
+// as Run does for queued events, and to the horizon when they suspend.
+func (s *Simulator) AdvanceTo(t timing.Time) {
+	if t > s.now && t != timing.Forever {
+		s.now = t
+	}
+}
+
+// Step executes exactly one event (skipping cancelled ones) and reports
+// whether an event was executed.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		next := s.queue.pop()
+		if next.cancelled {
+			continue
+		}
+		s.now = next.when
+		fn := next.fn
+		if next.pooled {
+			s.recycle(next)
+		}
+		fn(s.now)
+		s.executed++
+		return true
+	}
+	return false
+}
+
+// eventQueue is a binary min-heap ordered by (when, seq), hand-rolled on the
+// concrete element type: the kernel pops an event per delivery per slot
+// forever, and container/heap would route every comparison and swap through
+// an interface. (when, seq) is a strict total order, so the pop sequence —
+// the only observable — is the unique sorted order no matter how the heap
+// arranges its layers.
 type eventQueue []*Event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].when != q[j].when {
 		return q[i].when < q[j].when
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+func (q eventQueue) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		q[i].index, q[p].index = i, p
+		i = p
+	}
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
+func (q eventQueue) down(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && q.less(r, l) {
+			m = r
+		}
+		if !q.less(m, i) {
+			return
+		}
+		q[i], q[m] = q[m], q[i]
+		q[i].index, q[m].index = i, m
+		i = m
+	}
+}
+
+func (q *eventQueue) push(ev *Event) {
 	ev.index = len(*q)
 	*q = append(*q, ev)
+	q.up(ev.index)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
+// pop removes and returns the minimum (the root).
+func (q *eventQueue) pop() *Event {
+	h := *q
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[0].index = 0
+	h[n] = nil
+	*q = h[:n]
+	if n > 1 {
+		q.down(0)
+	}
 	ev.index = -1
-	*q = old[:n-1]
 	return ev
+}
+
+// remove deletes the element at heap index i (Event.Cancel).
+func (q *eventQueue) remove(i int) {
+	h := *q
+	n := len(h) - 1
+	ev := h[i]
+	if i != n {
+		h[i] = h[n]
+		h[i].index = i
+	}
+	h[n] = nil
+	*q = h[:n]
+	if i < n {
+		q.down(i)
+		q.up(i)
+	}
+	ev.index = -1
 }

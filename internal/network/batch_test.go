@@ -1,0 +1,195 @@
+package network
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ccredf/internal/ccfpr"
+	"ccredf/internal/core"
+	"ccredf/internal/fault"
+	"ccredf/internal/obs"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/tdma"
+	"ccredf/internal/timing"
+	"ccredf/internal/trace"
+)
+
+const batchTestNodes = 8
+
+// batchReplicaConfig builds one traced replica configuration. Each call
+// constructs a fresh protocol instance — arbiters are stateful, so batched
+// and sequential runs must never share one.
+func batchReplicaConfig(t *testing.T, proto string, seed uint64, faultSpec string) (Config, *trace.Tracer) {
+	t.Helper()
+	cfg := Config{Params: timing.DefaultParams(batchTestNodes), Seed: seed}
+	switch proto {
+	case "ccr-edf", "ccr-edf+secondary":
+		arb, err := core.NewArbiter(batchTestNodes, sched.Map5Bit, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Protocol = arb
+		cfg.SecondaryRequests = proto == "ccr-edf+secondary"
+	case "cc-fpr":
+		arb, err := ccfpr.NewArbiter(batchTestNodes, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Protocol = arb
+	case "tdma":
+		arb, err := tdma.NewArbiter(batchTestNodes, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Protocol = arb
+	default:
+		t.Fatalf("unknown protocol %q", proto)
+	}
+	if faultSpec != "" {
+		plan, err := fault.ParseSpec(faultSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = &plan
+	}
+	tr := trace.New(0)
+	cfg.Observers = []obs.Observer{trace.NewObserver(tr)}
+	return cfg, tr
+}
+
+// seedBatchWorkload submits the replica's deterministic traffic: a permanent
+// best-effort backlog plus completing real-time messages (with per-seed
+// destinations and deadlines), so the run exercises grants, deliveries,
+// completions and deadline accounting — and, with faults enabled, expiry of
+// crashed queues.
+func seedBatchWorkload(t *testing.T, n *Network, seed uint64) {
+	t.Helper()
+	farOff := 2 + int(seed)%5
+	for i := 0; i < batchTestNodes; i++ {
+		near := (i + 1) % batchTestNodes
+		far := (i + farOff) % batchTestNodes
+		if _, err := n.SubmitMessage(sched.ClassBestEffort, i, ring.Node(near), 1<<20, 0); err != nil {
+			t.Fatal(err)
+		}
+		rel := timing.Time(120+10*int(seed)+7*i) * timing.Microsecond
+		if _, err := n.SubmitMessage(sched.ClassRealTime, i, ring.Node(far), 2+i%3, rel); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// traceText renders the full trace; the tracer must have dropped nothing or
+// the comparison would silently shrink.
+func traceText(t *testing.T, tr *trace.Tracer) []byte {
+	t.Helper()
+	if tr.Dropped() != 0 {
+		t.Fatalf("tracer dropped %d records", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBatchMatchesSequential is the batched engine's differential gate: a
+// K-replica batched run must produce byte-identical per-replica traces,
+// clocks and metrics to K sequential single-network runs, across all four
+// protocol configurations, both fault-free and under an active fault plan
+// (control-channel drops, handover failures and a crash/restart schedule).
+func TestBatchMatchesSequential(t *testing.T) {
+	const (
+		replicas  = 3
+		runSlots  = 600
+		faultSpec = "coll=0.02,dist=0.02,ho=0.05,crash=3@120+200,seed=9"
+	)
+	protocols := []string{"ccr-edf", "ccr-edf+secondary", "cc-fpr", "tdma"}
+	for _, proto := range protocols {
+		for _, spec := range []string{"", faultSpec} {
+			name := proto
+			if spec != "" {
+				name += "+faults"
+			}
+			t.Run(name, func(t *testing.T) {
+				// Sequential reference: each replica runs alone.
+				seqTraces := make([][]byte, replicas)
+				seqNets := make([]*Network, replicas)
+				for j := 0; j < replicas; j++ {
+					cfg, tr := batchReplicaConfig(t, proto, uint64(j), spec)
+					n, err := New(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					seedBatchWorkload(t, n, uint64(j))
+					n.RunSlots(runSlots)
+					seqTraces[j] = traceText(t, tr)
+					seqNets[j] = n
+				}
+				// Batched run: same configurations, one engine pass.
+				cfgs := make([]Config, replicas)
+				trs := make([]*trace.Tracer, replicas)
+				for j := 0; j < replicas; j++ {
+					cfgs[j], trs[j] = batchReplicaConfig(t, proto, uint64(j), spec)
+				}
+				b, err := NewBatch(cfgs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := 0; j < replicas; j++ {
+					seedBatchWorkload(t, b.Net(j), uint64(j))
+				}
+				b.RunSlots(runSlots)
+				for j := 0; j < replicas; j++ {
+					n := b.Net(j)
+					if got, want := traceText(t, trs[j]), seqTraces[j]; !bytes.Equal(got, want) {
+						t.Fatalf("replica %d trace diverged (batched %d bytes, sequential %d bytes)", j, len(got), len(want))
+					}
+					if n.Now() != seqNets[j].Now() {
+						t.Errorf("replica %d clock: batched %v, sequential %v", j, n.Now(), seqNets[j].Now())
+					}
+					if got, want := metricsKey(n.Metrics()), metricsKey(seqNets[j].Metrics()); got != want {
+						t.Errorf("replica %d metrics diverged:\n batched:    %s\n sequential: %s", j, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// metricsKey flattens the counters a divergent replica would disturb first.
+func metricsKey(m *Metrics) string {
+	return fmt.Sprintf("slots=%d data=%d grants=%d wasted=%d denied=%d del=%d drop=%d msgdel=%d msglost=%d miss=%d/%d gap=%d busy=%d inj=%d det=%d rec=%d",
+		m.Slots.Value(), m.SlotsWithData.Value(), m.Grants.Value(), m.WastedGrants.Value(),
+		m.DeniedRequests.Value(), m.FragmentsDelivered.Value(), m.FragmentsDropped.Value(),
+		m.MessagesDelivered.Value(), m.MessagesLost.Value(),
+		m.NetDeadlineMisses.Value(), m.UserDeadlineMisses.Value(),
+		int64(m.GapTime), m.BusyLinks,
+		m.FaultsInjected.Value(), m.FaultsDetected.Value(), m.FaultsRecovered.Value())
+}
+
+// TestBatchOfOneIsTheSinglePath pins the K=1 guarantee directly: a batch of
+// one produces the identical trace to the plain constructor, so the golden
+// single-network trace transitively covers the batched engine.
+func TestBatchOfOneIsTheSinglePath(t *testing.T) {
+	cfg1, tr1 := batchReplicaConfig(t, "ccr-edf", 0, "")
+	single, err := New(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedBatchWorkload(t, single, 0)
+	single.RunSlots(400)
+
+	cfg2, tr2 := batchReplicaConfig(t, "ccr-edf", 0, "")
+	b, err := NewBatch([]Config{cfg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedBatchWorkload(t, b.Net(0), 0)
+	b.RunSlots(400)
+
+	if !bytes.Equal(traceText(t, tr1), traceText(t, tr2)) {
+		t.Fatal("batch of one diverged from the single path")
+	}
+}

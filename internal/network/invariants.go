@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"math/bits"
 
 	"ccredf/internal/core"
 	"ccredf/internal/obs"
@@ -42,9 +43,11 @@ func (c *invariantChecker) check(slot int64, reqs []core.Request, out core.Outco
 		return
 	}
 
-	// Per-node view of the (possibly multi-entry) request slice.
+	// Per-node view of the (possibly multi-entry) request slice. A fixed
+	// array replaces a per-round map (a NodeSet bounds the ring at 64
+	// nodes); only indices with their `requested` bit set are meaningful.
 	var requested ring.NodeSet
-	bestPrio := make(map[int]uint8)
+	var bestPrio [64]uint8
 	for _, req := range reqs {
 		if req.Empty() {
 			continue
@@ -99,8 +102,8 @@ func (c *invariantChecker) check(slot int64, reqs []core.Request, out core.Outco
 	if arb, isEDF := c.proto.(*core.Arbiter); isEDF && !requested.Empty() {
 		if arb.Mode() == sched.Map5Bit {
 			var max uint8
-			for _, p := range bestPrio {
-				if p > max {
+			for v := uint64(requested); v != 0; v &= v - 1 {
+				if p := bestPrio[bits.TrailingZeros64(v)]; p > max {
 					max = p
 				}
 			}
@@ -110,8 +113,8 @@ func (c *invariantChecker) check(slot int64, reqs []core.Request, out core.Outco
 			}
 		} else {
 			var maxClass sched.Class
-			for _, p := range bestPrio {
-				if c := sched.PrioClass(p); c > maxClass {
+			for v := uint64(requested); v != 0; v &= v - 1 {
+				if c := sched.PrioClass(bestPrio[bits.TrailingZeros64(v)]); c > maxClass {
 					maxClass = c
 				}
 			}

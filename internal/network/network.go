@@ -10,6 +10,7 @@ package network
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"ccredf/internal/core"
 	"ccredf/internal/des"
@@ -82,6 +83,19 @@ type Config struct {
 	// deterministic clock. Nil — every pre-topology caller — keeps the
 	// private-kernel behaviour byte-identical.
 	Sim *des.Simulator
+
+	// table optionally supplies a precomputed timing table for Params.
+	// NewBatch shares one table across every replica of the same physical
+	// shape; New computes a private one when nil. Unexported: only the
+	// batch constructor may inject it, and only for a Params it was built
+	// from.
+	table *timing.Table
+
+	// arena optionally supplies batch-owned backing storage for the
+	// per-network hot-path scratch (request slates, engine points, arbiter
+	// scratch, delivery pool), laid out per-replica-contiguous by NewBatch.
+	// Nil — every direct caller — keeps private allocations.
+	arena *batchArena
 }
 
 // Metrics aggregates network-wide measurements for one run.
@@ -188,6 +202,7 @@ type connState struct {
 type Network struct {
 	cfg     Config
 	params  timing.Params
+	tt      *timing.Table // precomputed Params quantities (see timing.Table)
 	sim     *des.Simulator
 	r       ring.Ring
 	proto   core.Protocol
@@ -221,6 +236,26 @@ type Network struct {
 	startSlotFn    des.Handler
 	freeDeliveries *delivery
 
+	// Inline slot execution (DESIGN.md §14). When the network owns its
+	// simulator (cfg.Sim == nil) the fixed per-slot schedule — N collection
+	// samples, the arbitration and the slot end — is not pushed through the
+	// event heap at all: startSlot records the points in inlinePts with their
+	// reserved sequence numbers (des.ReserveSeq) and Run executes them
+	// directly, draining genuinely dynamic events (deliveries, traffic
+	// generators, fault-recovery timeouts) from the heap exactly where the
+	// (time, seq) order would have interleaved them. That removes ~N+3 heap
+	// push/pop pairs per slot while keeping every run byte-identical to the
+	// event-driven path, which MultiNet (a shared cfg.Sim) still uses.
+	// inlineNext is the cursor into inlinePts; slotPending/nextSlotAt/
+	// nextSlotSeq hold the reserved start of the next slot so a Run horizon
+	// may land anywhere inside a slot and resume later (mid-slot suspension).
+	inline      bool
+	inlinePts   []enginePoint
+	inlineNext  int
+	slotPending bool
+	nextSlotAt  timing.Time
+	nextSlotSeq uint64
+
 	msgSeq    int64
 	conns     map[int]*connState
 	onDeliver []func(*sched.Message, timing.Time)
@@ -237,6 +272,26 @@ type Network struct {
 	detectPending ring.NodeSet
 	collDropped   bool
 }
+
+// enginePoint is one inline-executed engine event: an operation to run at a
+// simulated time under a sequence number reserved from the simulator, so its
+// order against heap-scheduled events matches the event-driven execution.
+// The operation is encoded as an opcode plus node index rather than a bound
+// handler: runInline dispatches with direct method calls, where a des.Handler
+// costs a closure indirection per point (ten per slot).
+type enginePoint struct {
+	when timing.Time
+	seq  uint64
+	idx  int32 // sampled node of an opSample point
+	op   uint8
+}
+
+// enginePoint opcodes, in within-slot order.
+const (
+	opSample uint8 = iota
+	opArbitrate
+	opEndSlot
+)
 
 // delivery is a pooled in-flight fragment: the des event payload for the
 // arrival of one granted transmission. fire is bound into fn once, when the
@@ -300,21 +355,44 @@ func New(cfg Config) (*Network, error) {
 		return nil, fmt.Errorf("network: designated node %d outside ring", cfg.DesignatedNode)
 	}
 	sim := cfg.Sim
+	inline := sim == nil
 	if sim == nil {
 		sim = des.New()
+	}
+	tt := cfg.table
+	if tt == nil {
+		tt = timing.NewTable(cfg.Params)
+	}
+	// Hot-path scratch comes from the batch arena when one is configured
+	// (replica-contiguous struct-of-arrays placement, see batch.go) and from
+	// private allocations otherwise. Identical storage either way.
+	newReqs := func(count int) []core.Request {
+		if cfg.arena != nil {
+			return cfg.arena.takeReqs(count)
+		}
+		return make([]core.Request, count)
 	}
 	n := &Network{
 		cfg:          cfg,
 		params:       cfg.Params,
+		tt:           tt,
 		sim:          sim,
 		r:            r,
 		proto:        cfg.Protocol,
 		adm:          sched.NewAdmission(cfg.Params),
 		rnd:          rng.New(cfg.Seed),
 		metrics:      newMetrics(r.Nodes()),
-		sampled:      make([]core.Request, r.Nodes()),
-		sampledSpare: make([]core.Request, r.Nodes()),
+		sampled:      newReqs(r.Nodes()),
+		sampledSpare: newReqs(r.Nodes()),
 		conns:        make(map[int]*connState),
+		inline:       inline,
+	}
+	if inline {
+		if cfg.arena != nil {
+			n.inlinePts = cfg.arena.takePts(r.Nodes() + 2)
+		} else {
+			n.inlinePts = make([]enginePoint, 0, r.Nodes()+2)
+		}
 	}
 	if cfg.Faults.Enabled() {
 		inj, err := fault.New(*cfg.Faults, r.Nodes())
@@ -324,9 +402,9 @@ func New(cfg Config) (*Network, error) {
 		n.inj = inj
 	}
 	if cfg.SecondaryRequests {
-		n.sampled2 = make([]core.Request, r.Nodes())
-		n.sampled2Spare = make([]core.Request, r.Nodes())
-		n.combined = make([]core.Request, 0, 2*r.Nodes())
+		n.sampled2 = newReqs(r.Nodes())
+		n.sampled2Spare = newReqs(r.Nodes())
+		n.combined = newReqs(2 * r.Nodes())[:0]
 	}
 	n.sampleFns = make([]des.Handler, r.Nodes())
 	for i := 0; i < r.Nodes(); i++ {
@@ -347,14 +425,40 @@ func New(cfg Config) (*Network, error) {
 	n.arbitrateFn = n.arbitrate
 	n.endSlotFn = n.endSlot
 	n.startSlotFn = n.startSlot
+	if cfg.arena != nil {
+		// Prewire the delivery pool from the arena's contiguous block: the
+		// free list then never grows on the heap in steady state, and every
+		// in-flight fragment event of replica i lives in replica i's segment.
+		ds := cfg.arena.takeDeliveries(deliveriesPerReplica(r.Nodes()))
+		for i := range ds {
+			d := &ds[i]
+			d.n = n
+			d.fn = d.fire
+			d.next = n.freeDeliveries
+			n.freeDeliveries = d
+		}
+	}
 	// Built-in accounting subscribes first so Metrics always fills; the
 	// caller's observers follow in the order given.
 	n.pipe.Attach(&metricsObserver{m: n.metrics, payload: cfg.Params.SlotPayloadBytes})
 	for _, o := range cfg.Observers {
 		n.pipe.Attach(o)
 	}
-	n.sim.Post(0, n.startSlotFn)
+	n.scheduleNextSlot(0)
 	return n, nil
+}
+
+// scheduleNextSlot arranges for startSlot to run at time at. The event-driven
+// path posts it on the heap; the inline path reserves the identical sequence
+// number and lets Run execute it directly.
+func (n *Network) scheduleNextSlot(at timing.Time) {
+	if n.inline {
+		n.nextSlotAt = at
+		n.nextSlotSeq = n.sim.ReserveSeq()
+		n.slotPending = true
+		return
+	}
+	n.sim.Post(at, n.startSlotFn)
 }
 
 // Now returns the current simulated time.
@@ -369,13 +473,79 @@ func (n *Network) At(t timing.Time, fn func(timing.Time)) { n.sim.Post(t, fn) }
 func (n *Network) After(d timing.Time, fn func(timing.Time)) { n.sim.PostAfter(d, fn) }
 
 // Run advances the simulation to the given absolute time.
-func (n *Network) Run(until timing.Time) { n.sim.Run(until) }
+func (n *Network) Run(until timing.Time) {
+	if n.inline {
+		n.runInline(until)
+		return
+	}
+	n.sim.Run(until)
+}
+
+// runInline advances the simulation to until by executing the recorded engine
+// points directly, draining heap events (deliveries, traffic, recovery
+// timeouts) wherever the (time, seq) order interleaves them. The horizon may
+// land anywhere — mid-slot, mid-gap, or during a recovery silence — and the
+// cursor state picks the slot up on the next call.
+func (n *Network) runInline(until timing.Time) {
+	for {
+		// Run the active slot's remaining engine points.
+		for n.inlineNext < len(n.inlinePts) {
+			pt := n.inlinePts[n.inlineNext]
+			if pt.when > until {
+				// Suspended mid-slot: finish the due heap events and park.
+				for n.sim.StepUpTo(until) {
+				}
+				n.sim.AdvanceTo(until)
+				return
+			}
+			if n.sim.PeekBefore(pt.when, pt.seq) {
+				// A heap event interleaves before this point; it is in
+				// horizon because its time is at most pt.when ≤ until.
+				for n.sim.StepBefore(until, pt.when, pt.seq) {
+				}
+			}
+			n.inlineNext++
+			n.sim.AdvanceTo(pt.when)
+			switch pt.op {
+			case opSample:
+				n.sample(int(pt.idx), pt.when)
+			case opArbitrate:
+				n.arbitrate(pt.when)
+			default:
+				n.endSlot(pt.when)
+			}
+		}
+		// The slot is complete; cross the hand-over gap into the next one.
+		if n.slotPending {
+			if n.nextSlotAt > until {
+				for n.sim.StepUpTo(until) {
+				}
+				n.sim.AdvanceTo(until)
+				return
+			}
+			if n.sim.PeekBefore(n.nextSlotAt, n.nextSlotSeq) {
+				for n.sim.StepBefore(until, n.nextSlotAt, n.nextSlotSeq) {
+				}
+			}
+			n.slotPending = false
+			n.sim.AdvanceTo(n.nextSlotAt)
+			n.startSlot(n.nextSlotAt)
+			continue
+		}
+		// No slot is scheduled: the ring is silent awaiting a recovery
+		// timeout (master loss, failed hand-over). Step heap events one at a
+		// time — the recovery handler re-arms the engine mid-step.
+		if !n.sim.StepUpTo(until) {
+			n.sim.AdvanceTo(until)
+			return
+		}
+	}
+}
 
 // RunSlots advances the simulation by approximately count slots (assuming
 // worst-case gaps; the engine may fit more slots in the same wall of time).
 func (n *Network) RunSlots(count int64) {
-	period := n.params.SlotTime() + n.params.MaxHandoverTime()
-	n.Run(n.sim.Now() + timing.Time(count)*period)
+	n.Run(n.sim.Now() + timing.Time(count)*n.tt.SlotPeriod)
 }
 
 // Params returns the physical parameters.
@@ -425,8 +595,11 @@ func (n *Network) SubmitMessage(class sched.Class, src int, dests ring.NodeSet, 
 	if dests.Empty() || dests.Contains(src) {
 		return nil, fmt.Errorf("network: bad destination set %v for source %d", dests, src)
 	}
-	for _, d := range dests.Nodes() {
-		if !n.r.Valid(d) {
+	// Walk the set bits directly: traffic generators call SubmitMessage per
+	// message forever, and materialising the member slice just to validate it
+	// would allocate on every submission.
+	for v := uint64(dests); v != 0; v &= v - 1 {
+		if d := bits.TrailingZeros64(v); !n.r.Valid(d) {
 			return nil, fmt.Errorf("network: destination %d outside ring", d)
 		}
 	}
@@ -566,7 +739,10 @@ func (n *Network) releaseConnMessage(id int) {
 // slot starts on the control channel.
 func (n *Network) startSlot(now timing.Time) {
 	n.slotStart = now
-	n.pipe.Emit(obs.Event{Kind: obs.KindSlotStart, Time: now, Slot: n.slot, Node: n.master})
+	if e := n.pipe.Prep(obs.KindSlotStart); e != nil {
+		e.Time, e.Slot, e.Node = now, n.slot, n.master
+		n.pipe.Dispatch()
+	}
 
 	// Execute the grants of the previous arbitration.
 	busy := 0
@@ -582,38 +758,67 @@ func (n *Network) startSlot(now timing.Time) {
 		busy += g.Links.Count()
 		n.transmit(m, g, now)
 	}
-	n.pipe.Emit(obs.Event{
-		Kind: obs.KindSlotData, Time: now, Slot: n.slot, Node: n.master,
-		Busy: busy, Denied: len(n.pending.Denied),
-	})
+	if e := n.pipe.Prep(obs.KindSlotData); e != nil {
+		e.Time, e.Slot, e.Node = now, n.slot, n.master
+		e.Busy, e.Denied = busy, len(n.pending.Denied)
+		n.pipe.Dispatch()
+	}
 
 	// Collection phase: the control packet leaves the master and passes
 	// every node; node (master+i) appends its request after i per-node
-	// delays and the propagation over the i links between them.
+	// delays and the propagation over the i links between them. Inline mode
+	// records the same schedule as engine points under reserved sequence
+	// numbers — in the exact order the Posts below consume theirs — and Run
+	// executes them without touching the heap.
+	if n.inline {
+		nodes := n.r.Nodes()
+		pts := n.inlinePts[:0]
+		for i := 1; i <= nodes; i++ {
+			idx := n.master + i
+			if idx >= nodes {
+				idx -= nodes
+			}
+			at := now + n.tt.CollectOff(n.master, i)
+			pts = append(pts, enginePoint{when: at, seq: n.sim.ReserveSeq(), op: opSample, idx: int32(idx)})
+		}
+		pts = append(pts, enginePoint{when: now + n.tt.MinSlot, seq: n.sim.ReserveSeq(), op: opArbitrate})
+		pts = append(pts, enginePoint{when: now + n.tt.SlotTime, seq: n.sim.ReserveSeq(), op: opEndSlot})
+		// The schedule above is already (when, seq)-ordered for every
+		// physically sensible Params (sample times grow with the hop count,
+		// arbitration shares the last sample's time with a later seq); the
+		// insertion sort is a cheap O(n) pass then, and keeps the inline
+		// execution faithful to the heap order for exotic timing models.
+		for i := 1; i < len(pts); i++ {
+			for j := i; j > 0 && (pts[j].when < pts[j-1].when ||
+				(pts[j].when == pts[j-1].when && pts[j].seq < pts[j-1].seq)); j-- {
+				pts[j], pts[j-1] = pts[j-1], pts[j]
+			}
+		}
+		n.inlinePts = pts
+		n.inlineNext = 0
+		return
+	}
 	for i := 1; i <= n.r.Nodes(); i++ {
 		idx := (n.master + i) % n.r.Nodes()
-		prop := n.params.PropagationBetween(n.master, n.master+i)
-		if i == n.r.Nodes() {
-			prop = n.params.RingPropagation() // full loop back to the master
-		}
-		at := now + timing.Time(i)*n.params.NodeControlDelay() + prop
-		n.sim.Post(at, n.sampleFns[idx])
+		n.sim.Post(now+n.tt.CollectOff(n.master, i), n.sampleFns[idx])
 	}
 	// The master holds the completed packet after Equation 2's minimum
 	// collection time and arbitrates.
-	n.sim.Post(now+n.params.MinSlotLength(), n.arbitrateFn)
+	n.sim.Post(now+n.tt.MinSlot, n.arbitrateFn)
 	// The slot ends one payload time after it started.
-	n.sim.Post(now+n.params.SlotTime(), n.endSlotFn)
+	n.sim.Post(now+n.tt.SlotTime, n.endSlotFn)
 }
 
 // transmit delivers (or loses) one granted fragment.
 func (n *Network) transmit(m *sched.Message, g core.Grant, slotBegin timing.Time) {
 	span := n.r.Span(g.Node, g.Dests)
-	arrival := slotBegin + n.params.SlotTime() + n.params.PropagationBetween(g.Node, g.Node+span)
-	n.pipe.Emit(obs.Event{
-		Kind: obs.KindFragmentSent, Time: slotBegin, Slot: n.slot,
-		Node: g.Node, Peer: g.Dests.First(), Msg: m, Grant: g,
-	})
+	arrival := slotBegin + n.tt.SlotTime + n.tt.Prop(g.Node, g.Node+span)
+	if e := n.pipe.Prep(obs.KindFragmentSent); e != nil {
+		e.Time, e.Slot = slotBegin, n.slot
+		e.Node, e.Peer = g.Node, g.Dests.First()
+		e.Msg, e.Grant = m, g
+		n.pipe.Dispatch()
+	}
 	lost := n.cfg.LossProb > 0 && n.rnd.Bool(n.cfg.LossProb)
 	corrupted := !lost && n.cfg.CorruptProb > 0 && n.rnd.Bool(n.cfg.CorruptProb)
 	if lost || corrupted {
@@ -626,7 +831,7 @@ func (n *Network) transmit(m *sched.Message, g core.Grant, slotBegin timing.Time
 			// distribution packet of the slot after the arrival slot and
 			// requeues the fragment. (A closure per loss is fine: losses are
 			// injected faults, not the steady-state path.)
-			n.sim.Post(arrival+n.params.SlotTime(), func(t timing.Time) {
+			n.sim.Post(arrival+n.tt.SlotTime, func(t timing.Time) {
 				n.pipe.Emit(obs.Event{
 					Kind: obs.KindRetransmit, Time: t, Slot: n.slot, Node: m.Src, Msg: m, Grant: g,
 				})
@@ -648,10 +853,12 @@ func (n *Network) transmit(m *sched.Message, g core.Grant, slotBegin timing.Time
 // deliver completes one fragment and, when it is the last, the message.
 func (n *Network) deliver(m *sched.Message, g core.Grant, now timing.Time) {
 	m.Delivered++
-	n.pipe.Emit(obs.Event{
-		Kind: obs.KindFragmentDelivered, Time: now, Slot: n.slot,
-		Node: g.Node, Peer: g.Dests.First(), Msg: m, Grant: g,
-	})
+	if e := n.pipe.Prep(obs.KindFragmentDelivered); e != nil {
+		e.Time, e.Slot = now, n.slot
+		e.Node, e.Peer = g.Node, g.Dests.First()
+		e.Msg, e.Grant = m, g
+		n.pipe.Dispatch()
+	}
 	if m.Delivered < m.Slots {
 		if m.Dropped > 0 && m.Dropped+m.Delivered >= m.Slots {
 			// The last outstanding fragment was lost while this one was in
@@ -672,7 +879,7 @@ func (n *Network) deliver(m *sched.Message, g core.Grant, now timing.Time) {
 				Kind: obs.KindDeadlineMiss, Time: now, Slot: n.slot, Node: m.Src, Msg: m,
 			})
 		}
-		if now > m.Deadline+n.params.WorstCaseLatency() {
+		if now > m.Deadline+n.tt.WorstLatency {
 			n.pipe.Emit(obs.Event{
 				Kind: obs.KindDeadlineMiss, User: true, Time: now, Slot: n.slot, Node: m.Src, Msg: m,
 			})
@@ -696,7 +903,7 @@ func (n *Network) deliver(m *sched.Message, g core.Grant, now timing.Time) {
 			if now > m.Deadline {
 				cs.stats.NetMisses++
 			}
-			if now > m.Deadline+n.params.WorstCaseLatency() {
+			if now > m.Deadline+n.tt.WorstLatency {
 				cs.stats.UserMisses++
 			}
 		}
@@ -722,12 +929,14 @@ func (n *Network) sample(idx int, now timing.Time) {
 		}
 		return
 	}
-	req, dropped := n.nodes[idx].Request(now, n.params.SlotTime(), n.cfg.DropLate)
+	req, dropped := n.nodes[idx].Request(now, n.tt.SlotTime, n.cfg.DropLate)
 	n.sampled[idx] = req
 	if n.sampled2 != nil {
-		n.sampled2[idx] = n.nodes[idx].SecondaryRequest(now, n.params.SlotTime())
+		n.sampled2[idx] = n.nodes[idx].SecondaryRequest(now, n.tt.SlotTime)
 	}
-	n.pipe.Emit(obs.Event{Kind: obs.KindRequestSampled, Time: now, Slot: n.slot, Node: idx, Req: req})
+	if n.pipe.Wants(obs.KindRequestSampled) {
+		n.pipe.Emit(obs.Event{Kind: obs.KindRequestSampled, Time: now, Slot: n.slot, Node: idx, Req: req})
+	}
 	for _, m := range dropped {
 		n.pipe.Emit(obs.Event{Kind: obs.KindLateDrop, Time: now, Slot: n.slot, Node: idx, Msg: m})
 		n.pipe.Emit(obs.Event{Kind: obs.KindDeadlineMiss, Time: now, Slot: n.slot, Node: idx, Msg: m})
@@ -772,10 +981,12 @@ func (n *Network) arbitrate(now timing.Time) {
 	// all subscribe to it. Requests aliases network-owned scratch that stays
 	// intact only until the next arbitration — observers retaining it must
 	// copy (DESIGN.md §9).
-	n.pipe.Emit(obs.Event{
-		Kind: obs.KindArbitration, Time: now, Slot: n.slot,
-		Node: n.master, Peer: n.next.Master, Outcome: &n.next, Requests: reqs,
-	})
+	if n.pipe.Wants(obs.KindArbitration) {
+		n.pipe.Emit(obs.Event{
+			Kind: obs.KindArbitration, Time: now, Slot: n.slot,
+			Node: n.master, Peer: n.next.Master, Outcome: &n.next, Requests: reqs,
+		})
+	}
 	// Swap in the spare slate for the next collection round, resetting it in
 	// place. The slate just emitted stays untouched until the round after.
 	n.sampled, n.sampledSpare = n.sampledSpare, n.sampled
@@ -827,7 +1038,7 @@ func (n *Network) endSlot(now timing.Time) {
 		// (§8); the designated node skips dead stations.
 		n.dead = n.dead.Add(newMaster)
 		n.pipe.Emit(obs.Event{Kind: obs.KindMasterLoss, Time: now, Slot: n.slot, Node: newMaster})
-		timeout := timing.Time(n.cfg.RecoveryTimeoutSlots) * n.params.SlotTime()
+		timeout := timing.Time(n.cfg.RecoveryTimeoutSlots) * n.tt.SlotTime
 		n.sim.Post(now+timeout, func(t timing.Time) {
 			n.master = n.cfg.DesignatedNode
 			for i := 0; n.dead.Contains(n.master) && i < n.r.Nodes(); i++ {
@@ -858,15 +1069,17 @@ func (n *Network) endSlot(now timing.Time) {
 		n.pending = core.Outcome{Master: n.master}
 		n.next = n.pending
 		n.slot++
-		n.sim.Post(now, n.startSlotFn)
+		n.scheduleNextSlot(now)
 		return
 	}
 	dist := n.r.Dist(n.master, newMaster)
-	gap := n.params.HandoverBetween(n.master, newMaster)
-	n.pipe.Emit(obs.Event{
-		Kind: obs.KindHandover, Time: now, Slot: n.slot,
-		Node: n.master, Peer: newMaster, Hops: dist, Gap: gap,
-	})
+	gap := n.tt.Prop(n.master, newMaster)
+	if e := n.pipe.Prep(obs.KindHandover); e != nil {
+		e.Time, e.Slot = now, n.slot
+		e.Node, e.Peer = n.master, newMaster
+		e.Hops, e.Gap = dist, gap
+		n.pipe.Dispatch()
+	}
 	if n.inj != nil && newMaster != n.master && n.inj.FailHandover() {
 		// The handover token is lost in the inter-slot gap: the elected
 		// master never starts clocking. Equation 1's gap still elapses (the
@@ -874,7 +1087,7 @@ func (n *Network) endSlot(now timing.Time) {
 		// detects the silence after one further slot time — the forfeited
 		// slot — and re-takes the clock with an empty outcome.
 		n.pipe.Emit(obs.Event{Kind: obs.KindFaultInjected, Fault: fault.HandoverFail, Time: now, Slot: n.slot, Node: newMaster})
-		silence := gap + n.params.SlotTime()
+		silence := gap + n.tt.SlotTime
 		n.sim.Post(now+silence, func(t timing.Time) {
 			n.pipe.Emit(obs.Event{Kind: obs.KindFaultDetected, Fault: fault.HandoverFail, Time: t, Slot: n.slot, Node: n.master, Gap: silence})
 			n.pending = core.Outcome{Master: n.master}
@@ -888,7 +1101,7 @@ func (n *Network) endSlot(now timing.Time) {
 	n.master = newMaster
 	n.pending = n.next
 	n.slot++
-	n.sim.Post(now+gap, n.startSlotFn)
+	n.scheduleNextSlot(now + gap)
 }
 
 // crashNode kills one station at the current slot boundary: its queue

@@ -61,6 +61,13 @@ type metricsObserver struct {
 	payload int
 }
 
+// Kinds declares the kinds the switch below consumes, so a network with only
+// the built-in accounting attached never pays for the per-node
+// KindRequestSampled emits (N per slot) or the arbitration round event.
+func (o *metricsObserver) Kinds() obs.KindSet {
+	return obs.AllKinds &^ obs.KindsOf(obs.KindRequestSampled, obs.KindArbitration, obs.KindMasterLoss)
+}
+
 func (o *metricsObserver) OnEvent(e *obs.Event) {
 	m := o.m
 	switch e.Kind {
@@ -118,10 +125,16 @@ func (o *metricsObserver) OnEvent(e *obs.Event) {
 }
 
 // wireChecker verifies the control-channel packet codecs on every
-// arbitration.
+// arbitration. The collection scratch, decode target and bit writer persist
+// across rounds: the checker runs once per slot for the lifetime of a
+// simulation, and round-trip verification must not turn the steady-state slot
+// loop into an allocation source.
 type wireChecker struct {
 	r    ring.Ring
 	errs *stats.Counter
+	c    wire.Collection
+	got  wire.Collection
+	enc  wire.Writer
 }
 
 func (w *wireChecker) OnEvent(e *obs.Event) {
@@ -142,29 +155,31 @@ func (w *wireChecker) OnEvent(e *obs.Event) {
 // checkCollection serialises the sampled requests exactly as the control
 // fibre would and verifies the round trip.
 func (w *wireChecker) checkCollection(reqs []core.Request) {
-	c := wire.Collection{Requests: make([]wire.Request, len(reqs))}
+	if cap(w.c.Requests) < len(reqs) {
+		w.c.Requests = make([]wire.Request, len(reqs))
+	}
+	w.c.Requests = w.c.Requests[:len(reqs)]
 	for i, r := range reqs {
 		if r.Empty() {
+			w.c.Requests[i] = wire.Request{}
 			continue
 		}
-		c.Requests[i] = wire.Request{
+		w.c.Requests[i] = wire.Request{
 			Prio:    r.Prio,
 			Reserve: w.r.PathLinks(r.Node, r.Dests),
 			Dests:   r.Dests,
 		}
 	}
-	buf, err := wire.EncodeCollection(c, w.r.Nodes())
-	if err != nil {
+	if err := wire.EncodeCollectionInto(&w.enc, w.c, w.r.Nodes()); err != nil {
 		w.errs.Inc()
 		return
 	}
-	got, err := wire.DecodeCollection(buf, w.r.Nodes())
-	if err != nil {
+	if err := wire.DecodeCollectionInto(&w.got, w.enc.Bytes(), w.r.Nodes()); err != nil {
 		w.errs.Inc()
 		return
 	}
-	for i := range c.Requests {
-		if got.Requests[i] != c.Requests[i] {
+	for i := range w.c.Requests {
+		if w.got.Requests[i] != w.c.Requests[i] {
 			w.errs.Inc()
 			return
 		}
@@ -175,24 +190,27 @@ func (w *wireChecker) checkCollection(reqs []core.Request) {
 // distribution-phase packet and verifies the round trip.
 func (w *wireChecker) checkDistribution(out core.Outcome) {
 	d := wire.Distribution{HPNode: out.Master, Granted: out.GrantedSet().Add(out.Master)}
-	buf, err := wire.EncodeDistribution(d, w.r.Nodes())
-	if err != nil {
+	if err := wire.EncodeDistributionInto(&w.enc, d, w.r.Nodes()); err != nil {
 		w.errs.Inc()
 		return
 	}
-	got, err := wire.DecodeDistribution(buf, w.r.Nodes())
+	got, err := wire.DecodeDistribution(w.enc.Bytes(), w.r.Nodes())
 	if err != nil || got.HPNode != d.HPNode || got.Granted != d.Granted {
 		w.errs.Inc()
 	}
 }
 
 // dataChecker verifies the data-channel packet codec on every transmitted
-// fragment, as the receiver hardware would.
+// fragment, as the receiver hardware would. Payload scratch, bit writer and
+// decode target persist across fragments so per-fragment verification stays
+// allocation-free in steady state.
 type dataChecker struct {
 	nodes        int
 	payloadBytes int
 	errs         *stats.Counter
 	scratch      []byte
+	enc          wire.Writer
+	got          wire.DataPacket
 }
 
 func (d *dataChecker) OnEvent(e *obs.Event) {
@@ -223,14 +241,13 @@ func (d *dataChecker) OnEvent(e *obs.Event) {
 		Total:    uint16(m.Slots),
 		Payload:  d.scratch,
 	}
-	buf, err := wire.EncodeData(pkt, d.nodes)
-	if err != nil {
+	if err := wire.EncodeDataInto(&d.enc, pkt, d.nodes); err != nil {
 		d.errs.Inc()
 		return
 	}
-	got, err := wire.DecodeData(buf, d.nodes)
-	if err != nil || got.MsgID != pkt.MsgID || got.Fragment != pkt.Fragment ||
-		got.Src != pkt.Src || got.Dests != pkt.Dests {
+	if err := wire.DecodeDataInto(&d.got, d.enc.Bytes(), d.nodes); err != nil ||
+		d.got.MsgID != pkt.MsgID || d.got.Fragment != pkt.Fragment ||
+		d.got.Src != pkt.Src || d.got.Dests != pkt.Dests {
 		d.errs.Inc()
 	}
 }

@@ -181,6 +181,32 @@ type Observer interface {
 	OnEvent(e *Event)
 }
 
+// KindSet is a bitmask of event kinds, bit k set for Kind k.
+type KindSet uint32
+
+// AllKinds is the KindSet containing every kind.
+const AllKinds = KindSet(1)<<numKinds - 1
+
+// KindsOf builds a KindSet from kinds.
+func KindsOf(kinds ...Kind) KindSet {
+	var s KindSet
+	for _, k := range kinds {
+		s |= 1 << k
+	}
+	return s
+}
+
+// Contains reports whether k is in s.
+func (s KindSet) Contains(k Kind) bool { return s&(1<<k) != 0 }
+
+// Interests is optionally implemented by observers to declare the event kinds
+// they consume. The pipeline unions the declared sets and skips dispatching —
+// and lets emitters skip even *building* — events no attached observer wants.
+// An observer that does not implement Interests is assumed to want everything.
+type Interests interface {
+	Kinds() KindSet
+}
+
 // Func adapts a plain function to the Observer interface.
 type Func func(e *Event)
 
@@ -192,18 +218,31 @@ func (f Func) OnEvent(e *Event) { f(e) }
 // pipeline with no observers allocates nothing.
 type Pipeline struct {
 	observers []Observer
+	wants     KindSet
 	// scratch is the reusable dispatch slot: Emit copies the event here and
 	// hands observers a pointer to it, so the event value itself never
 	// escapes to the heap.
 	scratch Event
 }
 
-// Attach appends an observer; nil observers are ignored.
+// Attach appends an observer; nil observers are ignored. The observer's
+// declared interests (see Interests) widen the pipeline's wanted-kind set.
 func (p *Pipeline) Attach(o Observer) {
-	if o != nil {
-		p.observers = append(p.observers, o)
+	if o == nil {
+		return
+	}
+	p.observers = append(p.observers, o)
+	if in, ok := o.(Interests); ok {
+		p.wants |= in.Kinds()
+	} else {
+		p.wants = AllKinds
 	}
 }
+
+// Wants reports whether any attached observer consumes events of kind k.
+// Emitters on hot paths guard with Wants to skip constructing the event
+// value entirely when nobody is listening for that kind.
+func (p *Pipeline) Wants(k Kind) bool { return p.wants&(1<<k) != 0 }
 
 // Len returns the number of attached observers.
 func (p *Pipeline) Len() int { return len(p.observers) }
@@ -215,10 +254,32 @@ func (p *Pipeline) Active() bool { return len(p.observers) > 0 }
 // Emit dispatches one event to every attached observer in order. With no
 // observers attached it is a zero-allocation no-op.
 func (p *Pipeline) Emit(e Event) {
-	if len(p.observers) == 0 {
+	if !p.Wants(e.Kind) {
 		return
 	}
 	p.scratch = e
+	for _, o := range p.observers {
+		o.OnEvent(&p.scratch)
+	}
+}
+
+// Prep begins an in-place emission of kind k: it resets the dispatch slot to a
+// fresh event of that kind and returns it for the caller to fill, or nil when
+// no attached observer wants k. The caller sets the event's fields and calls
+// Dispatch — semantically identical to Emit, minus the two value copies an
+// Event literal costs, for emitters that fire every slot. Nothing may emit
+// between Prep and Dispatch (the slot is shared, exactly as with Emit).
+func (p *Pipeline) Prep(k Kind) *Event {
+	if !p.Wants(k) {
+		return nil
+	}
+	p.scratch = Event{Kind: k}
+	return &p.scratch
+}
+
+// Dispatch delivers the event prepared by the preceding Prep to every
+// attached observer in order.
+func (p *Pipeline) Dispatch() {
 	for _, o := range p.observers {
 		o.OnEvent(&p.scratch)
 	}

@@ -177,11 +177,30 @@ func (s LinkSet) Links() []int {
 // the slot engine's per-request hot path, so it iterates the mask directly
 // instead of materialising the member slice.
 func (r Ring) Span(src int, dests NodeSet) int {
+	mask := ^uint64(0) >> (64 - uint(r.n))
+	v := uint64(dests)
+	if v&^mask != 0 || src < 0 || src >= r.n {
+		return r.spanSlow(src, dests) // out-of-ring bits: exact legacy folding
+	}
+	v &^= 1 << uint(src) // a node does not send to itself over the ring
+	if v == 0 {
+		return 0
+	}
+	// Rotate so src sits at bit 0: bit p of rot is then the node at
+	// downstream distance p, and the span is the highest set position.
+	rot := (v>>uint(src) | v<<uint(r.n-src)) & mask
+	return bits.Len64(rot) - 1
+}
+
+// spanSlow is the membership walk Span replaces; it remains the reference
+// for destination sets carrying bits outside the ring (Dist folds them
+// modulo N, which the rotation cannot reproduce).
+func (r Ring) spanSlow(src int, dests NodeSet) int {
 	max := 0
 	for v := uint64(dests); v != 0; v &= v - 1 {
 		d := bits.TrailingZeros64(v)
 		if d == src {
-			continue // a node does not send to itself over the ring
+			continue
 		}
 		if h := r.Dist(src, d); h > max {
 			max = h
@@ -195,11 +214,15 @@ func (r Ring) Span(src int, dests NodeSet) int {
 // the link leaving src.
 func (r Ring) PathLinks(src int, dests NodeSet) LinkSet {
 	span := r.Span(src, dests)
-	var s LinkSet
-	for h := 0; h < span; h++ {
-		s |= Link((src + h) % r.n)
+	if span == 0 {
+		return 0
 	}
-	return s
+	mask := ^uint64(0) >> (64 - uint(r.n))
+	if src < 0 || src >= r.n {
+		src = ((src % r.n) + r.n) % r.n
+	}
+	ones := uint64(1)<<uint(span) - 1 // span ≤ N−1 < 64
+	return LinkSet((ones<<uint(src) | ones>>uint(r.n-src)) & mask)
 }
 
 // SegmentNodes returns the set of nodes that a transmission from src with the

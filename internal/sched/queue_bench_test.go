@@ -1,0 +1,71 @@
+package sched
+
+import (
+	"testing"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/timing"
+)
+
+// These benchmarks pin the secondary index to strictly pay-per-use by
+// measuring the exact same queue workload both ways — index off and index
+// on — in the style of measure-both-ways priority-queue disciplines: the
+// off row is the pre-index baseline, and any gap between it and a build
+// without the index code at all would be an off-path tax. The off path
+// costs one nil check per operation (q.spans == nil) and nothing else;
+// SecondDistinct without the index is a constant-time nil return.
+//
+// Engine-level, the same comparison is the ccr-edf (index off) versus
+// ccr-edf+secondary (index on) rows of BENCH_slot_engine.json.
+
+// benchQueue drives a steady-state churn: a queue pre-filled to depth, then
+// one push plus one pop per iteration with rotating span shapes so the
+// indexed variant exercises every bucket. Messages are recycled from a fixed
+// pool, so the loop itself allocates nothing and the measured cost is pure
+// queue discipline.
+func benchQueue(b *testing.B, withIndex bool) {
+	r, err := ring.New(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const depth = 256
+	var q Queue
+	if withIndex {
+		q.EnableSecondaryIndex(r)
+	}
+	pool := make([]Message, depth+1)
+	for i := range pool {
+		m := &pool[i]
+		m.ID = int64(i + 1)
+		m.Class = Class(1 + i%3)
+		m.Src = i % 8
+		m.Dests = ring.Node((i%8 + 1 + i%5) % 8)
+		m.Deadline = timing.Time(1000 + i*37)
+		m.Slots = 1
+		if m.Class == ClassNonRealTime {
+			m.Deadline = timing.Forever
+		}
+		if i < depth {
+			q.Push(m)
+		}
+	}
+	next := &pool[depth]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(next)
+		if withIndex {
+			_ = q.SecondDistinct()
+		}
+		next = q.Pop()
+		// Rotate the recycled message's shape so spans vary over time.
+		next.Deadline = timing.Time(1000 + (int(next.ID)+i)*37)
+		if next.Class != ClassNonRealTime {
+			// 1+i%6 is never 0 mod 8, so the destination is never the source.
+			next.Dests = ring.Node((next.Src + 1 + i%6) % 8)
+		}
+	}
+}
+
+func BenchmarkQueueIndexOff(b *testing.B) { benchQueue(b, false) }
+func BenchmarkQueueIndexOn(b *testing.B)  { benchQueue(b, true) }

@@ -96,6 +96,15 @@ func MapPriority(c Class, laxity, slot timing.Time) uint8 {
 	if slot <= 0 {
 		slot = 1
 	}
+	if laxity == timing.Forever {
+		// An unbounded deadline always saturates the laxity index; skipping
+		// the division matters because sampling maps every queue head each
+		// slot and steady-state backlogs are all unbounded.
+		if c == ClassRealTime {
+			return uint8(PrioRTMax - maxLaxityIndex)
+		}
+		return uint8(PrioBEMax - maxLaxityIndex)
+	}
 	laxSlots := int64(0)
 	if laxity > 0 {
 		laxSlots = int64(laxity / slot)

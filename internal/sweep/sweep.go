@@ -204,6 +204,14 @@ func runPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
 		net.RunSlots(step)
 		done += step
 	}
+	collect(net, &out)
+	return out
+}
+
+// collect reads one finished single-ring simulation's headline metrics into
+// the outcome. Shared between the sequential and the batched paths so the
+// two emit identical numbers by construction.
+func collect(net *network.Network, out *Outcome) {
 	m := net.Metrics()
 	out.Delivered = m.MessagesDelivered.Value()
 	misses := m.NetDeadlineMisses.Value()
@@ -214,7 +222,6 @@ func runPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
 	out.FaultsInjected = m.FaultsInjected.Value()
 	out.FaultsRecovered = m.FaultsRecovered.Value()
 	out.RingUtil = []float64{net.Admission().Utilisation()}
-	return out
 }
 
 // runMultiPoint executes one bridged-chain simulation: pt.Rings rings of

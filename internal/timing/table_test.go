@@ -1,0 +1,69 @@
+package timing
+
+import "testing"
+
+// TestTableMatchesParams pins the Table cache against the closed-form Params
+// accessors, over both the uniform-link default and a per-link-length
+// configuration, for every index the slot engine uses (including the
+// one-ring-past overflow of Prop).
+func TestTableMatchesParams(t *testing.T) {
+	configs := map[string]Params{
+		"uniform": DefaultParams(8),
+		"perlink": func() Params {
+			p := DefaultParams(5)
+			p.LinkLengthsM = []float64{10, 12.5, 7, 30, 10}
+			return p
+		}(),
+	}
+	for name, p := range configs {
+		t.Run(name, func(t *testing.T) {
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			tab := NewTable(p)
+			if tab.BitTime != p.BitTime() {
+				t.Errorf("BitTime = %v, want %v", tab.BitTime, p.BitTime())
+			}
+			if tab.SlotTime != p.SlotTime() {
+				t.Errorf("SlotTime = %v, want %v", tab.SlotTime, p.SlotTime())
+			}
+			if tab.NodeDelay != p.NodeControlDelay() {
+				t.Errorf("NodeDelay = %v, want %v", tab.NodeDelay, p.NodeControlDelay())
+			}
+			if tab.RingProp != p.RingPropagation() {
+				t.Errorf("RingProp = %v, want %v", tab.RingProp, p.RingPropagation())
+			}
+			if tab.MinSlot != p.MinSlotLength() {
+				t.Errorf("MinSlot = %v, want %v", tab.MinSlot, p.MinSlotLength())
+			}
+			if tab.MaxHandover != p.MaxHandoverTime() {
+				t.Errorf("MaxHandover = %v, want %v", tab.MaxHandover, p.MaxHandoverTime())
+			}
+			if tab.WorstLatency != p.WorstCaseLatency() {
+				t.Errorf("WorstLatency = %v, want %v", tab.WorstLatency, p.WorstCaseLatency())
+			}
+			if want := p.SlotTime() + p.MaxHandoverTime(); tab.SlotPeriod != want {
+				t.Errorf("SlotPeriod = %v, want %v", tab.SlotPeriod, want)
+			}
+			for from := 0; from < 2*p.Nodes; from++ {
+				for to := 0; to < 2*p.Nodes; to++ {
+					if got, want := tab.Prop(from, to), p.PropagationBetween(from, to); got != want {
+						t.Errorf("Prop(%d,%d) = %v, want %v", from, to, got, want)
+					}
+				}
+			}
+			for m := 0; m < p.Nodes; m++ {
+				for i := 1; i <= p.Nodes; i++ {
+					prop := p.PropagationBetween(m, m+i)
+					if i == p.Nodes {
+						prop = p.RingPropagation()
+					}
+					want := Time(i)*p.NodeControlDelay() + prop
+					if got := tab.CollectOff(m, i); got != want {
+						t.Errorf("CollectOff(%d,%d) = %v, want %v", m, i, got, want)
+					}
+				}
+			}
+		})
+	}
+}

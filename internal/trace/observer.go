@@ -1,62 +1,138 @@
 package trace
 
 import (
-	"fmt"
+	"math/bits"
+	"strconv"
 
 	"ccredf/internal/obs"
+	"ccredf/internal/timing"
 )
+
+// maxInterned bounds the observer's detail/gap caches so a pathological run
+// (unbounded distinct message IDs) cannot grow them without limit. Steady
+// workloads cycle through far fewer distinct strings than this.
+const maxInterned = 4096
 
 // observer renders protocol events into trace records. It reproduces the
 // exact record stream the slot engine used to emit inline (the golden-trace
 // test pins it byte for byte), so attaching a Tracer through the observer
 // pipeline is indistinguishable from the old hardwired tracing.
+//
+// Detail strings are assembled in a reusable byte buffer and interned:
+// traced slot loops repeat a small set of details ("grants=1 denied=0",
+// recurring hand-over gaps) every slot, and formatting them through
+// fmt.Sprintf cost several allocations per record in argument boxing alone.
+// A repeated detail now costs zero allocations; a novel one costs exactly
+// its string.
 type observer struct {
-	t *Tracer
+	t        *Tracer
+	buf      []byte
+	interned map[string]string
+	gaps     map[timing.Time]string
 }
 
 // NewObserver returns an observer that records protocol events into t.
-func NewObserver(t *Tracer) obs.Observer { return &observer{t: t} }
+func NewObserver(t *Tracer) obs.Observer {
+	return &observer{
+		t:        t,
+		interned: make(map[string]string),
+		gaps:     make(map[timing.Time]string),
+	}
+}
+
+// detail interns and returns the string accumulated in o.buf.
+func (o *observer) detail() string {
+	if s, ok := o.interned[string(o.buf)]; ok {
+		return s
+	}
+	s := string(o.buf)
+	if len(o.interned) < maxInterned {
+		o.interned[s] = s
+	}
+	return s
+}
+
+// gapString caches the rendered form of a gap duration; hand-over gaps take
+// only a handful of distinct values (one per hop distance).
+func (o *observer) gapString(g timing.Time) string {
+	if s, ok := o.gaps[g]; ok {
+		return s
+	}
+	s := g.String()
+	if len(o.gaps) < maxInterned {
+		o.gaps[g] = s
+	}
+	return s
+}
 
 // OnEvent implements obs.Observer. The detail strings are formatted here —
-// not in the engine — so untraced runs never pay for fmt.Sprintf.
+// not in the engine — so untraced runs never pay for them.
 func (o *observer) OnEvent(e *obs.Event) {
 	switch e.Kind {
 	case obs.KindSlotStart:
 		o.t.Emit(Record{Time: e.Time, Slot: e.Slot, Kind: SlotStart, Node: e.Node})
 	case obs.KindArbitration:
 		out := e.Outcome
+		o.buf = append(o.buf[:0], "grants="...)
+		o.buf = strconv.AppendInt(o.buf, int64(len(out.Grants)), 10)
+		o.buf = append(o.buf, " denied="...)
+		o.buf = strconv.AppendInt(o.buf, int64(len(out.Denied)), 10)
 		o.t.Emit(Record{
 			Time: e.Time, Slot: e.Slot, Kind: Collection, Node: e.Node, Peer: e.Peer,
-			Detail: fmt.Sprintf("grants=%d denied=%d", len(out.Grants), len(out.Denied)),
+			Detail: o.detail(),
 		})
 		for _, g := range out.Grants {
+			o.buf = append(o.buf[:0], "msg="...)
+			o.buf = strconv.AppendInt(o.buf, g.MsgID, 10)
+			o.buf = append(o.buf, " links=["...)
+			// Renders exactly as fmt's %v of the ascending link slice.
+			for v := uint64(g.Links); v != 0; v &= v - 1 {
+				if o.buf[len(o.buf)-1] != '[' {
+					o.buf = append(o.buf, ' ')
+				}
+				o.buf = strconv.AppendInt(o.buf, int64(bits.TrailingZeros64(v)), 10)
+			}
+			o.buf = append(o.buf, ']')
 			o.t.Emit(Record{
 				Time: e.Time, Slot: e.Slot, Kind: Grant,
 				Node: g.Node, Peer: g.Dests.First(), Links: uint64(g.Links),
-				Detail: fmt.Sprintf("msg=%d links=%v", g.MsgID, g.Links.Links()),
+				Detail: o.detail(),
 			})
 		}
 		for _, d := range out.Denied {
 			o.t.Emit(Record{Time: e.Time, Slot: e.Slot, Kind: Deny, Node: d})
 		}
 	case obs.KindHandover:
+		o.buf = append(o.buf[:0], "hops="...)
+		o.buf = strconv.AppendInt(o.buf, int64(e.Hops), 10)
+		o.buf = append(o.buf, " gap="...)
+		o.buf = append(o.buf, o.gapString(e.Gap)...)
 		o.t.Emit(Record{
 			Time: e.Time, Slot: e.Slot, Kind: Handover, Node: e.Node, Peer: e.Peer,
-			Detail: fmt.Sprintf("hops=%d gap=%v", e.Hops, e.Gap),
+			Detail: o.detail(),
 		})
 	case obs.KindFragmentDelivered:
+		o.buf = append(o.buf[:0], "msg="...)
+		o.buf = strconv.AppendInt(o.buf, e.Msg.ID, 10)
+		o.buf = append(o.buf, " frag="...)
+		o.buf = strconv.AppendInt(o.buf, int64(e.Msg.Delivered), 10)
+		o.buf = append(o.buf, '/')
+		o.buf = strconv.AppendInt(o.buf, int64(e.Msg.Slots), 10)
 		o.t.Emit(Record{
 			Time: e.Time, Slot: e.Slot, Kind: Deliver, Node: e.Node, Peer: e.Peer,
-			Detail: fmt.Sprintf("msg=%d frag=%d/%d", e.Msg.ID, e.Msg.Delivered, e.Msg.Slots),
+			Detail: o.detail(),
 		})
 	case obs.KindFragmentLost:
-		reason := "lost"
+		o.buf = append(o.buf[:0], "msg="...)
+		o.buf = strconv.AppendInt(o.buf, e.Msg.ID, 10)
 		if e.Corrupted {
-			reason = "crc"
+			o.buf = append(o.buf, " crc"...)
+		} else {
+			o.buf = append(o.buf, " lost"...)
 		}
 		o.t.Emit(Record{
 			Time: e.Time, Slot: e.Slot, Kind: Drop, Node: e.Node,
-			Detail: fmt.Sprintf("msg=%d %s", e.Msg.ID, reason),
+			Detail: o.detail(),
 		})
 	case obs.KindMasterLoss:
 		o.t.Emit(Record{

@@ -80,23 +80,35 @@ var errDataFormat = errors.New("wire: malformed data packet")
 
 // EncodeData serialises p for a ring of n nodes.
 func EncodeData(p DataPacket, n int) ([]byte, error) {
+	var w Writer
+	if err := EncodeDataInto(&w, p, n); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// EncodeDataInto is EncodeData writing through a caller-owned Writer (which
+// it resets first): the data-channel verifier serialises one packet per
+// transmitted fragment and reuses the Writer's buffer across fragments. The
+// packet bytes are available from w.Bytes on success.
+func EncodeDataInto(w *Writer, p DataPacket, n int) error {
 	switch {
 	case p.Version >= 1<<4:
-		return nil, fmt.Errorf("wire: version %d exceeds 4 bits", p.Version)
+		return fmt.Errorf("wire: version %d exceeds 4 bits", p.Version)
 	case p.Class == 0 || p.Class >= 1<<2:
-		return nil, fmt.Errorf("wire: class %d outside [1,3]", p.Class)
+		return fmt.Errorf("wire: class %d outside [1,3]", p.Class)
 	case p.Src < 0 || p.Src >= n:
-		return nil, fmt.Errorf("wire: source %d outside ring of %d", p.Src, n)
+		return fmt.Errorf("wire: source %d outside ring of %d", p.Src, n)
 	case !fits(uint64(p.Dests), n):
-		return nil, fmt.Errorf("wire: destination set exceeds %d-bit width", n)
+		return fmt.Errorf("wire: destination set exceeds %d-bit width", n)
 	case p.Dests == 0:
-		return nil, errors.New("wire: data packet without destinations")
+		return errors.New("wire: data packet without destinations")
 	case p.Fragment >= p.Total:
-		return nil, fmt.Errorf("wire: fragment %d of %d", p.Fragment, p.Total)
+		return fmt.Errorf("wire: fragment %d of %d", p.Fragment, p.Total)
 	case len(p.Payload) >= 1<<16:
-		return nil, fmt.Errorf("wire: payload %d bytes exceeds 16-bit length", len(p.Payload))
+		return fmt.Errorf("wire: payload %d bytes exceeds 16-bit length", len(p.Payload))
 	}
-	var w Writer
+	w.Reset()
 	w.WriteBits(uint64(p.Version), 4)
 	w.WriteBits(uint64(p.Class), 2)
 	w.WriteBits(uint64(p.Src), 6)
@@ -110,60 +122,65 @@ func EncodeData(p DataPacket, n int) ([]byte, error) {
 	for w.Len()%8 != 0 {
 		w.WriteBit(false)
 	}
-	buf := append(w.Bytes(), p.Payload...)
-	crc := CRC16(buf)
-	return append(buf, byte(crc>>8), byte(crc)), nil
+	w.AppendBytes(p.Payload)
+	crc := CRC16(w.Bytes())
+	w.WriteBits(uint64(crc), 16)
+	return nil
 }
 
 // DecodeData parses and checksum-verifies a data packet for a ring of n
 // nodes.
 func DecodeData(buf []byte, n int) (DataPacket, error) {
+	var p DataPacket
+	if err := DecodeDataInto(&p, buf, n); err != nil {
+		return DataPacket{}, err
+	}
+	return p, nil
+}
+
+// DecodeDataInto is DecodeData parsing into a caller-owned DataPacket,
+// reusing p.Payload's capacity: the data-channel verifier decodes one packet
+// per transmitted fragment and must not allocate a payload copy each time.
+// On error p is left partially decoded and must not be interpreted.
+func DecodeDataInto(p *DataPacket, buf []byte, n int) error {
 	if len(buf) < 3 {
-		return DataPacket{}, errTruncated
+		return errTruncated
 	}
 	body, sum := buf[:len(buf)-2], buf[len(buf)-2:]
 	if got := CRC16(body); got != uint16(sum[0])<<8|uint16(sum[1]) {
-		return DataPacket{}, fmt.Errorf("wire: data CRC mismatch (got %04x, want %02x%02x)", got, sum[0], sum[1])
+		return fmt.Errorf("wire: data CRC mismatch (got %04x, want %02x%02x)", got, sum[0], sum[1])
 	}
-	r := NewReader(body)
-	read := func(width int) uint64 {
-		v, err := r.ReadBits(width)
-		if err != nil {
-			panic(errTruncated)
-		}
-		return v
+	headerBits := dataHeaderBits(n)
+	headerBytes := (headerBits + 7) / 8
+	if 8*len(body) < headerBits {
+		return errTruncated
 	}
-	var p DataPacket
-	err := func() (err error) {
-		defer func() {
-			if recover() != nil {
-				err = errTruncated
-			}
-		}()
-		p.Version = uint8(read(4))
-		p.Class = uint8(read(2))
-		p.Src = int(read(6))
-		p.Dests = ring.NodeSet(read(n))
-		p.MsgID = uint32(read(32))
-		p.Fragment = uint16(read(16))
-		p.Total = uint16(read(16))
-		length := int(read(16))
-		headerBits := dataHeaderBits(n)
-		headerBytes := (headerBits + 7) / 8
-		if len(body) != headerBytes+length {
-			return fmt.Errorf("%w: length field %d vs body %d", errDataFormat, length, len(body)-headerBytes)
-		}
-		p.Payload = append([]byte(nil), body[headerBytes:]...)
-		return nil
-	}()
-	if err != nil {
-		return DataPacket{}, err
+	// The header fits (checked above), so the field reads cannot fail.
+	r := Reader{buf: body}
+	ver, _ := r.ReadBits(4)
+	class, _ := r.ReadBits(2)
+	src, _ := r.ReadBits(6)
+	dests, _ := r.ReadBits(n)
+	msgID, _ := r.ReadBits(32)
+	frag, _ := r.ReadBits(16)
+	total, _ := r.ReadBits(16)
+	length, _ := r.ReadBits(16)
+	p.Version = uint8(ver)
+	p.Class = uint8(class)
+	p.Src = int(src)
+	p.Dests = ring.NodeSet(dests)
+	p.MsgID = uint32(msgID)
+	p.Fragment = uint16(frag)
+	p.Total = uint16(total)
+	if len(body) != headerBytes+int(length) {
+		return fmt.Errorf("%w: length field %d vs body %d", errDataFormat, length, len(body)-headerBytes)
 	}
+	p.Payload = append(p.Payload[:0], body[headerBytes:]...)
 	if p.Version != DataVersion {
-		return DataPacket{}, fmt.Errorf("%w: version %d", errDataFormat, p.Version)
+		return fmt.Errorf("%w: version %d", errDataFormat, p.Version)
 	}
 	if p.Class == 0 || p.Src >= n || p.Fragment >= p.Total {
-		return DataPacket{}, errDataFormat
+		return errDataFormat
 	}
-	return p, nil
+	return nil
 }

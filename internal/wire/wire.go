@@ -113,6 +113,23 @@ func (w *Writer) WriteBits(v uint64, width int) {
 	}
 }
 
+// Reset discards the written bits while keeping the grown buffer, so one
+// Writer can serialise a packet every arbitration round without reallocating.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.nbit = 0
+}
+
+// AppendBytes appends whole bytes to a byte-aligned writer (the data-packet
+// encoder byte-aligns its header so payload and CRC can be block-copied).
+func (w *Writer) AppendBytes(b []byte) {
+	if w.nbit%8 != 0 {
+		panic("wire: AppendBytes on an unaligned writer")
+	}
+	w.buf = append(w.buf, b...)
+	w.nbit += 8 * len(b)
+}
+
 // Bytes returns the packed bytes. The final byte is zero-padded.
 func (w *Writer) Bytes() []byte { return w.buf }
 
@@ -162,69 +179,106 @@ func (r *Reader) Remaining() int { return 8*len(r.buf) - r.nbit }
 // when the packet shape is inconsistent with n or a field overflows its
 // width.
 func EncodeCollection(c Collection, n int) ([]byte, error) {
-	if len(c.Requests) != n {
-		return nil, fmt.Errorf("wire: collection has %d requests, ring has %d nodes", len(c.Requests), n)
-	}
 	var w Writer
+	if err := EncodeCollectionInto(&w, c, n); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// EncodeCollectionInto is EncodeCollection writing through a caller-owned
+// Writer (which it resets first): a verifier that serialises one packet per
+// arbitration round reuses the Writer's buffer instead of growing a fresh one
+// each time. The packet bytes are available from w.Bytes on success.
+func EncodeCollectionInto(w *Writer, c Collection, n int) error {
+	if len(c.Requests) != n {
+		return fmt.Errorf("wire: collection has %d requests, ring has %d nodes", len(c.Requests), n)
+	}
+	w.Reset()
 	w.WriteBit(true) // start bit
 	for i, req := range c.Requests {
 		if req.Prio > MaxPrio {
-			return nil, fmt.Errorf("wire: request %d priority %d exceeds %d", i, req.Prio, MaxPrio)
+			return fmt.Errorf("wire: request %d priority %d exceeds %d", i, req.Prio, MaxPrio)
 		}
 		if !fits(uint64(req.Reserve), n) || !fits(uint64(req.Dests), n) {
-			return nil, fmt.Errorf("wire: request %d field exceeds %d-bit width", i, n)
+			return fmt.Errorf("wire: request %d field exceeds %d-bit width", i, n)
 		}
 		if req.Empty() && (req.Reserve != 0 || req.Dests != 0) {
-			return nil, fmt.Errorf("wire: request %d has priority 0 but non-zero fields", i)
+			return fmt.Errorf("wire: request %d has priority 0 but non-zero fields", i)
 		}
 		w.WriteBits(uint64(req.Prio), PrioBits)
 		w.WriteBits(uint64(req.Reserve), n)
 		w.WriteBits(uint64(req.Dests), n)
 	}
-	return w.Bytes(), nil
+	return nil
 }
 
 // DecodeCollection parses a collection-phase packet for a ring of n nodes.
 func DecodeCollection(buf []byte, n int) (Collection, error) {
-	r := NewReader(buf)
-	start, err := r.ReadBit()
-	if err != nil {
+	var c Collection
+	if err := DecodeCollectionInto(&c, buf, n); err != nil {
 		return Collection{}, err
-	}
-	if !start {
-		return Collection{}, errors.New("wire: missing start bit")
-	}
-	c := Collection{Requests: make([]Request, n)}
-	for i := 0; i < n; i++ {
-		prio, err := r.ReadBits(PrioBits)
-		if err != nil {
-			return Collection{}, err
-		}
-		res, err := r.ReadBits(n)
-		if err != nil {
-			return Collection{}, err
-		}
-		dst, err := r.ReadBits(n)
-		if err != nil {
-			return Collection{}, err
-		}
-		c.Requests[i] = Request{Prio: uint8(prio), Reserve: ring.LinkSet(res), Dests: ring.NodeSet(dst)}
-		if c.Requests[i].Empty() && (res != 0 || dst != 0) {
-			return Collection{}, fmt.Errorf("wire: request %d has priority 0 but non-zero fields", i)
-		}
 	}
 	return c, nil
 }
 
+// DecodeCollectionInto is DecodeCollection parsing into a caller-owned
+// Collection, reusing c.Requests when its capacity suffices. On error c is
+// left with partially decoded requests and must not be interpreted.
+func DecodeCollectionInto(c *Collection, buf []byte, n int) error {
+	r := NewReader(buf)
+	start, err := r.ReadBit()
+	if err != nil {
+		return err
+	}
+	if !start {
+		return errors.New("wire: missing start bit")
+	}
+	if cap(c.Requests) < n {
+		c.Requests = make([]Request, n)
+	}
+	c.Requests = c.Requests[:n]
+	for i := 0; i < n; i++ {
+		prio, err := r.ReadBits(PrioBits)
+		if err != nil {
+			return err
+		}
+		res, err := r.ReadBits(n)
+		if err != nil {
+			return err
+		}
+		dst, err := r.ReadBits(n)
+		if err != nil {
+			return err
+		}
+		c.Requests[i] = Request{Prio: uint8(prio), Reserve: ring.LinkSet(res), Dests: ring.NodeSet(dst)}
+		if c.Requests[i].Empty() && (res != 0 || dst != 0) {
+			return fmt.Errorf("wire: request %d has priority 0 but non-zero fields", i)
+		}
+	}
+	return nil
+}
+
 // EncodeDistribution serialises d for a ring of n nodes.
 func EncodeDistribution(d Distribution, n int) ([]byte, error) {
+	var w Writer
+	if err := EncodeDistributionInto(&w, d, n); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// EncodeDistributionInto is EncodeDistribution writing through a caller-owned
+// Writer (which it resets first), reusing the Writer's grown buffer across
+// rounds. The packet bytes are available from w.Bytes on success.
+func EncodeDistributionInto(w *Writer, d Distribution, n int) error {
 	if d.HPNode < 0 || d.HPNode >= n {
-		return nil, fmt.Errorf("wire: hp-node %d outside ring of %d", d.HPNode, n)
+		return fmt.Errorf("wire: hp-node %d outside ring of %d", d.HPNode, n)
 	}
 	if !fits(uint64(d.Granted), n) || !fits(uint64(d.Acks), n) {
-		return nil, fmt.Errorf("wire: node-set field exceeds %d-bit width", n)
+		return fmt.Errorf("wire: node-set field exceeds %d-bit width", n)
 	}
-	var w Writer
+	w.Reset()
 	w.WriteBit(true) // start bit
 	// N−1 result bits: every node except HPNode, in ascending index order.
 	for i := 0; i < n; i++ {
@@ -238,7 +292,7 @@ func EncodeDistribution(d Distribution, n int) ([]byte, error) {
 	w.WriteBits(uint64(d.Acks), n)
 	w.WriteBit(d.Barrier)
 	w.WriteBits(d.Reduce, 64)
-	return w.Bytes(), nil
+	return nil
 }
 
 // DecodeDistribution parses a distribution-phase packet for a ring of n
@@ -253,12 +307,11 @@ func DecodeDistribution(buf []byte, n int) (Distribution, error) {
 	if !start {
 		return Distribution{}, errors.New("wire: missing start bit")
 	}
-	results := make([]bool, n-1)
-	for i := range results {
-		results[i], err = r.ReadBit()
-		if err != nil {
-			return Distribution{}, err
-		}
+	// The N−1 result bits fit a uint64 (a NodeSet bounds the ring at 64
+	// nodes), so they are held as a bitfield instead of a per-call []bool.
+	results, err := r.ReadBits(n - 1)
+	if err != nil {
+		return Distribution{}, err
 	}
 	hp, err := r.ReadBits(timing.CeilLog2(n))
 	if err != nil {
@@ -268,13 +321,14 @@ func DecodeDistribution(buf []byte, n int) (Distribution, error) {
 		return Distribution{}, fmt.Errorf("wire: hp-node %d outside ring of %d", hp, n)
 	}
 	d := Distribution{HPNode: int(hp)}
-	// Re-associate the N−1 result bits with node indices.
+	// Re-associate the N−1 result bits (MSB-first read order) with node
+	// indices.
 	j := 0
 	for i := 0; i < n; i++ {
 		if i == d.HPNode {
 			continue
 		}
-		if results[j] {
+		if results>>uint(n-2-j)&1 == 1 {
 			d.Granted = d.Granted.Add(i)
 		}
 		j++
