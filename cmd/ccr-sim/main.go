@@ -47,6 +47,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		nodeLat  = flag.Bool("node-latency", false, "print per-source-node completion-latency percentiles")
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. coll=0.01,dist=0.01,ho=0.005,crash=3@100+50,seed=9")
+		churn    = flag.String("churn", "", "connection-churn spec, e.g. rate=50000,hold=2000,hard=0.2,firm=0.4,seed=9")
 	)
 	showHist = flag.Bool("hist", false, "render latency histograms as ASCII bars")
 	jsonOut = flag.Bool("json", false, "print a machine-readable JSON snapshot instead of text")
@@ -61,9 +62,18 @@ func main() {
 		}
 		faultPlan = &plan
 	}
+	var churnSpec *ccredf.ChurnSpec
+	if *churn != "" {
+		spec, err := ccredf.ParseChurnSpec(*churn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccr-sim:", err)
+			os.Exit(2)
+		}
+		churnSpec = &spec
+	}
 
 	if *config != "" {
-		runConfig(*config, *nodeLat, faultPlan)
+		runConfig(*config, *nodeLat, faultPlan, churnSpec)
 		return
 	}
 
@@ -139,6 +149,18 @@ func main() {
 		}
 	}
 
+	// Connection churn: live mixed-criticality arrivals and departures.
+	if churnSpec != nil {
+		sp := *churnSpec
+		if sp.Seed == 0 {
+			sp.Seed = *seed + 300
+		}
+		if _, err := net.AttachChurn(sp); err != nil {
+			fmt.Fprintln(os.Stderr, "ccr-sim:", err)
+			os.Exit(1)
+		}
+	}
+
 	net.RunSlots(*slots)
 	summarise(net, "", opened, *exact, *noReuse, *loss)
 	printProbe(probe)
@@ -174,8 +196,8 @@ func printProbe(probe *ccredf.LatencyProbe) {
 }
 
 // runConfig executes a declarative JSON scenario. A -faults spec overrides
-// the scenario's own faults stanza.
-func runConfig(path string, nodeLat bool, faultPlan *ccredf.FaultPlan) {
+// the scenario's own faults stanza, and a -churn spec its churn stanza.
+func runConfig(path string, nodeLat bool, faultPlan *ccredf.FaultPlan, churnSpec *ccredf.ChurnSpec) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
@@ -187,8 +209,13 @@ func runConfig(path string, nodeLat bool, faultPlan *ccredf.FaultPlan) {
 		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
 		os.Exit(1)
 	}
-	if faultPlan != nil {
-		s.Faults = faultPlan
+	if faultPlan != nil || churnSpec != nil {
+		if faultPlan != nil {
+			s.Faults = faultPlan
+		}
+		if churnSpec != nil {
+			s.Churn = churnSpec
+		}
 		if err := s.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, "ccr-sim:", err)
 			os.Exit(2)
@@ -312,6 +339,17 @@ func summarise(net *ccredf.Network, key string, opened int, exact, noReuse bool,
 		fmt.Printf("faults              injected=%d detected=%d recovered=%d crashes=%d\n",
 			m.FaultsInjected.Value(), m.FaultsDetected.Value(),
 			m.FaultsRecovered.Value(), m.NodeCrashes.Value())
+	}
+	var churned int64
+	for _, l := range []ccredf.Criticality{ccredf.CritHard, ccredf.CritFirm, ccredf.CritBestEffort} {
+		churned += m.CritAdmitted[l].Value() + m.CritRejected[l].Value()
+	}
+	if churned > 0 {
+		for _, l := range []ccredf.Criticality{ccredf.CritHard, ccredf.CritFirm, ccredf.CritBestEffort} {
+			fmt.Printf("admission[%-11s] admitted=%d rejected=%d evicted=%d missed=%d\n",
+				l, m.CritAdmitted[l].Value(), m.CritRejected[l].Value(),
+				m.CritEvicted[l].Value(), m.CritMisses[l].Value())
+		}
 	}
 	for _, cl := range []struct {
 		name  string

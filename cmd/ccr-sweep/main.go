@@ -46,6 +46,7 @@ func main() {
 		batch      = flag.Int("batch", sweep.DefaultBatch, "fuse up to this many same-shape points per batched engine pass (1 disables fusion; local runs only)")
 		csvPath    = flag.String("csv", "", "also write results to this CSV file")
 		faults     = flag.String("faults", "", "fault-injection spec applied to every point, e.g. coll=0.01,crash=3@100+50")
+		churnFlag  = flag.String("churn", "", "connection-churn spec applied to every point, e.g. rate=50000,hold=2000 (seedless specs inherit each point's seed)")
 		rings      = flag.Int("rings", 1, "rings per point: >1 runs each point on a bridged chain with cross-ring traffic")
 		remote     = flag.String("remote", "", "run the sweep on a ccr-served daemon (or comma-separated cluster peers) instead of locally")
 		remoteWait = flag.Duration("remote-timeout", 10*time.Minute, "server-side job timeout for -remote sweeps")
@@ -108,6 +109,12 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *churnFlag != "" {
+		if _, err := ccredf.ParseChurnSpec(*churnFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "ccr-sweep: -churn:", err)
+			os.Exit(2)
+		}
+	}
 
 	var outcomes []sweep.Outcome
 	if *remote != "" {
@@ -121,9 +128,10 @@ func main() {
 			Workers:      *workers,
 			Faults:       *faults,
 			Rings:        *rings,
+			Churn:        *churnFlag,
 		}
 		var err error
-		outcomes, err = runRemote(*remote, spec, *remoteWait, *faults)
+		outcomes, err = runRemote(*remote, spec, *remoteWait, *faults, *churnFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccr-sweep: remote:", err)
 			os.Exit(1)
@@ -135,6 +143,9 @@ func main() {
 		}
 		if *rings > 1 {
 			grid = sweep.WithRings(grid, *rings)
+		}
+		if *churnFlag != "" {
+			grid = sweep.WithChurn(grid, *churnFlag)
 		}
 		fmt.Printf("sweeping %d points on %d workers (%d slots each)…\n", len(grid), *workers, *slots)
 		if *batch > 1 {
@@ -176,7 +187,7 @@ func main() {
 // runRemote submits the sweep spec to a ccr-served daemon and converts the
 // wire outcomes back into sweep.Outcome, so the table/CSV output below is
 // identical whether the grid ran locally or remotely.
-func runRemote(base string, spec *serve.SweepSpec, timeout time.Duration, faultSpec string) ([]sweep.Outcome, error) {
+func runRemote(base string, spec *serve.SweepSpec, timeout time.Duration, faultSpec, churnSpec string) ([]sweep.Outcome, error) {
 	endpoints := strings.Split(base, ",")
 	c := client.NewMulti(endpoints, client.Options{})
 	ctx := context.Background()
@@ -201,7 +212,7 @@ func runRemote(base string, spec *serve.SweepSpec, timeout time.Duration, faultS
 
 	out := make([]sweep.Outcome, 0, len(res.Points))
 	for _, p := range res.Points {
-		out = append(out, p.Outcome(faultSpec))
+		out = append(out, p.Outcome(faultSpec, churnSpec))
 	}
 	return out, nil
 }

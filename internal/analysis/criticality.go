@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"fmt"
+
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// LevelDensities folds a connection set's density per criticality level, in
+// ascending ID order like the admission controller, so the figures are
+// bit-identical to the controller's own LevelDensity for the same set.
+func LevelDensities(set []sched.Connection, p timing.Params) [sched.NumCriticalities]float64 {
+	var out [sched.NumCriticalities]float64
+	slot := p.SlotTime()
+	for _, c := range set {
+		out[c.Crit] += c.Density(slot)
+	}
+	return out
+}
+
+// BudgetFeasible is the mixed-criticality extension of the Equation 5/6
+// admission test: the set's total density must stay within U_max, and each
+// criticality level's own density within its budget (an absolute density
+// cap, as sched.Admission.SetBudget stores it). It returns nil when both
+// hold, or an error naming the first violated constraint — the analytic
+// check experiment E23 holds the live churn controller to.
+func BudgetFeasible(set []sched.Connection, budgets [sched.NumCriticalities]float64, p timing.Params) error {
+	levels := LevelDensities(set, p)
+	total := 0.0
+	for _, l := range sched.Criticalities() {
+		u := levels[l]
+		total += u
+		if u > budgets[l] {
+			return fmt.Errorf("analysis: %s density %.4f exceeds budget %.4f", l, u, budgets[l])
+		}
+	}
+	if umax := p.UMax(); total > umax {
+		return fmt.Errorf("analysis: total density %.4f exceeds U_max %.4f", total, umax)
+	}
+	return nil
+}

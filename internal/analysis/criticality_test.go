@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+func critConn(id int, crit sched.Criticality, periodSlots int64) sched.Connection {
+	p := timing.DefaultParams(8)
+	return sched.Connection{
+		ID: id, Src: 0, Dests: ring.Node(4),
+		Period: timing.Time(periodSlots) * p.SlotTime(), Slots: 1, Crit: crit,
+	}
+}
+
+func TestLevelDensitiesMatchController(t *testing.T) {
+	p := timing.DefaultParams(8)
+	adm := sched.NewAdmission(p)
+	var set []sched.Connection
+	for i, crit := range []sched.Criticality{sched.CritHard, sched.CritFirm, sched.CritBestEffort, sched.CritFirm} {
+		c, err := adm.Request(critConn(0, crit, int64(20+10*i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		set = append(set, c)
+	}
+	got := LevelDensities(set, p)
+	for _, l := range sched.Criticalities() {
+		if got[l] != adm.LevelDensity(l) {
+			t.Fatalf("level %s density %v != controller %v", l, got[l], adm.LevelDensity(l))
+		}
+	}
+}
+
+func TestBudgetFeasible(t *testing.T) {
+	p := timing.DefaultParams(8)
+	umax := p.UMax()
+	full := [sched.NumCriticalities]float64{umax, umax, umax}
+
+	set := []sched.Connection{critConn(1, sched.CritHard, 20), critConn(2, sched.CritFirm, 20)}
+	if err := BudgetFeasible(set, full, p); err != nil {
+		t.Fatalf("modest set infeasible: %v", err)
+	}
+
+	// A tightened firm budget below the firm demand names the level.
+	tight := full
+	tight[sched.CritFirm] = 0.01
+	if err := BudgetFeasible(set, tight, p); err == nil || !strings.Contains(err.Error(), "firm") {
+		t.Fatalf("tight firm budget: %v", err)
+	}
+
+	// Per-level budgets can pass while the total breaks U_max.
+	over := []sched.Connection{
+		critConn(1, sched.CritHard, 2),
+		critConn(2, sched.CritFirm, 2),
+	}
+	if err := BudgetFeasible(over, full, p); err == nil || !strings.Contains(err.Error(), "U_max") {
+		t.Fatalf("overloaded set: %v", err)
+	}
+}

@@ -124,6 +124,7 @@ var registry = []Experiment{
 	{"E20", "Unequal link lengths (per-link Equation 1)", runE20},
 	{"E21", "Deterministic fault injection and recovery", runE21},
 	{"E22", "End-to-end bounds across bridged rings", runE22},
+	{"E23", "Mixed-criticality admission under connection churn", runE23},
 }
 
 // All returns every experiment in suite order.

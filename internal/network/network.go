@@ -133,6 +133,11 @@ type Metrics struct {
 	// run the three counters agree. NodeCrashes counts the subset of
 	// injections that killed a station.
 	FaultsInjected, FaultsDetected, FaultsRecovered, NodeCrashes stats.Counter
+	// CritAdmitted / CritEvicted / CritRejected count mixed-criticality
+	// admission outcomes per level (AdmitConnection); CritMisses counts
+	// network-level deadline misses of connection messages per level.
+	// Indexed by sched.Criticality.
+	CritAdmitted, CritEvicted, CritRejected, CritMisses [sched.NumCriticalities]stats.Counter
 	// Violations holds up to eight violation descriptions for debugging.
 	Violations []string
 	// GapTime accumulates inter-slot clock hand-over gaps.
@@ -688,6 +693,65 @@ func (n *Network) CloseConnection(id int) bool {
 	return n.adm.Release(id)
 }
 
+// AdmitConnection runs the mixed-criticality admission test (Admission.Admit)
+// and, on acceptance, starts the connection's periodic stream after stopping
+// and purging every connection the test shed. Purging matters for the hard
+// guarantee: the freed capacity is reused immediately, so a shed connection's
+// queued but un-granted messages must leave the source queue with it —
+// otherwise they would compete for slots the feasibility test no longer
+// accounts for. In-flight granted fragments complete normally. Per-level
+// admit/evict/reject counters land in Metrics.
+func (n *Network) AdmitConnection(c sched.Connection) (sched.Connection, []sched.Connection, error) {
+	admitted, shed, err := n.adm.Admit(c)
+	if err != nil {
+		if c.Crit.Valid() {
+			n.metrics.CritRejected[c.Crit].Inc()
+		}
+		return sched.Connection{}, nil, err
+	}
+	for _, v := range shed {
+		if cs, ok := n.conns[v.ID]; ok && cs.active {
+			cs.active = false
+			n.purgeQueued(v)
+		}
+		n.metrics.CritEvicted[v.Crit].Inc()
+	}
+	n.metrics.CritAdmitted[admitted.Crit].Inc()
+	n.startConn(admitted)
+	return admitted, shed, nil
+}
+
+// RetireConnection is CloseConnection plus queue hygiene: the departing
+// connection's queued, un-granted messages are cancelled at the source so a
+// subsequent admission reusing the freed capacity does not race stale
+// backlog (see AdmitConnection). Churn departures use this.
+func (n *Network) RetireConnection(id int) bool {
+	cs, ok := n.conns[id]
+	if !ok || !cs.active {
+		return false
+	}
+	cs.active = false
+	n.purgeQueued(cs.stats.Conn)
+	return n.adm.Release(id)
+}
+
+// purgeQueued cancels c's queued, un-granted messages at its source node.
+func (n *Network) purgeQueued(c sched.Connection) {
+	if c.Src < 0 || c.Src >= len(n.nodes) {
+		return
+	}
+	nd := n.nodes[c.Src]
+	var ids []int64
+	for _, m := range nd.Queued() {
+		if m.Conn == c.ID {
+			ids = append(ids, m.ID)
+		}
+	}
+	for _, id := range ids {
+		nd.Cancel(id)
+	}
+}
+
 // ConnStats returns the statistics of a (possibly closed) connection.
 func (n *Network) ConnStats(id int) (*ConnStats, bool) {
 	cs, ok := n.conns[id]
@@ -721,7 +785,7 @@ func (n *Network) releaseConnMessage(id int) {
 	m := &sched.Message{
 		ID:       n.msgSeq,
 		Conn:     c.ID,
-		Class:    sched.ClassRealTime,
+		Class:    c.Crit.Class(),
 		Src:      c.Src,
 		Dests:    c.Dests,
 		Release:  n.sim.Now(),
@@ -902,6 +966,7 @@ func (n *Network) deliver(m *sched.Message, g core.Grant, now timing.Time) {
 			cs.stats.lastDelivery = now
 			if now > m.Deadline {
 				cs.stats.NetMisses++
+				n.metrics.CritMisses[cs.stats.Conn.Crit].Inc()
 			}
 			if now > m.Deadline+n.tt.WorstLatency {
 				cs.stats.UserMisses++
@@ -945,6 +1010,7 @@ func (n *Network) sample(idx int, now timing.Time) {
 			if cs, ok := n.conns[m.Conn]; ok {
 				cs.stats.NetMisses++
 				cs.stats.UserMisses++
+				n.metrics.CritMisses[cs.stats.Conn.Crit].Inc()
 			}
 		}
 	}

@@ -36,6 +36,22 @@ type Snapshot struct {
 	FaultsRecovered    int64 `json:"faults_recovered,omitempty"`
 	NodeCrashes        int64 `json:"node_crashes,omitempty"`
 
+	// Mixed-criticality admission outcomes (AdmitConnection) and per-level
+	// network-deadline misses. All zero — and absent from the JSON — on
+	// static-scenario runs that never exercise mixed-criticality admission.
+	AdmittedHard int64 `json:"admitted_hard,omitempty"`
+	AdmittedFirm int64 `json:"admitted_firm,omitempty"`
+	AdmittedBE   int64 `json:"admitted_best_effort,omitempty"`
+	EvictedHard  int64 `json:"evicted_hard,omitempty"`
+	EvictedFirm  int64 `json:"evicted_firm,omitempty"`
+	EvictedBE    int64 `json:"evicted_best_effort,omitempty"`
+	RejectedHard int64 `json:"rejected_hard,omitempty"`
+	RejectedFirm int64 `json:"rejected_firm,omitempty"`
+	RejectedBE   int64 `json:"rejected_best_effort,omitempty"`
+	MissedHard   int64 `json:"missed_hard,omitempty"`
+	MissedFirm   int64 `json:"missed_firm,omitempty"`
+	MissedBE     int64 `json:"missed_best_effort,omitempty"`
+
 	GapTimeUs       float64                   `json:"gap_time_us"`
 	ReuseFactor     float64                   `json:"reuse_factor"`
 	AdmittedU       float64                   `json:"admitted_utilisation"`
@@ -94,6 +110,18 @@ func (n *Network) Snapshot() Snapshot {
 		FaultsDetected:     m.FaultsDetected.Value(),
 		FaultsRecovered:    m.FaultsRecovered.Value(),
 		NodeCrashes:        m.NodeCrashes.Value(),
+		AdmittedHard:       m.CritAdmitted[sched.CritHard].Value(),
+		AdmittedFirm:       m.CritAdmitted[sched.CritFirm].Value(),
+		AdmittedBE:         m.CritAdmitted[sched.CritBestEffort].Value(),
+		EvictedHard:        m.CritEvicted[sched.CritHard].Value(),
+		EvictedFirm:        m.CritEvicted[sched.CritFirm].Value(),
+		EvictedBE:          m.CritEvicted[sched.CritBestEffort].Value(),
+		RejectedHard:       m.CritRejected[sched.CritHard].Value(),
+		RejectedFirm:       m.CritRejected[sched.CritFirm].Value(),
+		RejectedBE:         m.CritRejected[sched.CritBestEffort].Value(),
+		MissedHard:         m.CritMisses[sched.CritHard].Value(),
+		MissedFirm:         m.CritMisses[sched.CritFirm].Value(),
+		MissedBE:           m.CritMisses[sched.CritBestEffort].Value(),
 		GapTimeUs:          m.GapTime.Micros(),
 		ReuseFactor:        m.SpatialReuseFactor(),
 		AdmittedU:          n.adm.Utilisation(),

@@ -30,6 +30,10 @@ type Connection struct {
 	// admitted by the conservative density test — see RelDeadline and
 	// analysis.DemandBoundFeasible for the exact test).
 	Deadline timing.Time
+	// Crit is the connection's criticality level. The zero value is
+	// CritHard: a plain Connection is the paper's guaranteed logical
+	// real-time connection.
+	Crit Criticality
 }
 
 // RelDeadline returns the effective relative deadline: Deadline, or Period
@@ -86,6 +90,8 @@ func (c Connection) Validate(n int, slot timing.Time) error {
 	case timing.Time(c.Slots)*slot > c.RelDeadline():
 		return fmt.Errorf("sched: message (%d slots = %v) does not fit in its own deadline %v",
 			c.Slots, timing.Time(c.Slots)*slot, c.RelDeadline())
+	case !c.Crit.Valid():
+		return fmt.Errorf("sched: invalid criticality %d", int(c.Crit))
 	}
 	for _, d := range c.Dests.Nodes() {
 		if d < 0 || d >= n {
@@ -111,6 +117,27 @@ func (e ErrRejected) Error() string {
 		e.Current, e.Requested, e.UMax)
 }
 
+// ErrBudgetExceeded is returned by Admit when a connection fails its own
+// criticality level's utilisation budget. Shedding lower-criticality
+// connections cannot fix this — the budget caps the level itself — so the
+// candidate is rejected without touching the accepted set.
+type ErrBudgetExceeded struct {
+	// Level is the candidate's criticality.
+	Level Criticality
+	// Requested is the density the new connection would add.
+	Requested float64
+	// Current is the density level's accepted connections already use.
+	Current float64
+	// Budget is the level's utilisation budget.
+	Budget float64
+}
+
+// Error implements error.
+func (e ErrBudgetExceeded) Error() string {
+	return fmt.Sprintf("sched: %s connection rejected: level utilisation %.4f + %.4f would exceed budget %.4f",
+		e.Level, e.Current, e.Requested, e.Budget)
+}
+
 // Admission is the online centralised admission controller of Section 6. A
 // designated node runs one instance; connection requests arrive one at a
 // time (over the best-effort service or the in-process API) and are accepted
@@ -121,17 +148,24 @@ type Admission struct {
 	umax   float64
 	active map[int]Connection
 	nextID int
+	// budgets caps the density each criticality level may hold. Each
+	// defaults to umax (no partitioning); SetBudget tightens a level.
+	budgets [NumCriticalities]float64
 }
 
 // NewAdmission returns an admission controller for a ring with the given
 // physical parameters.
 func NewAdmission(params timing.Params) *Admission {
-	return &Admission{
+	a := &Admission{
 		params: params,
 		umax:   params.UMax(),
 		active: make(map[int]Connection),
 		nextID: 1,
 	}
+	for l := range a.budgets {
+		a.budgets[l] = a.umax
+	}
+	return a
 }
 
 // UMax returns the schedulability bound in use (Equation 6).
@@ -146,6 +180,145 @@ func (a *Admission) Utilisation() float64 {
 // paper's implicit-deadline connections this equals Utilisation.
 func (a *Admission) Density() float64 {
 	return a.sum(Connection.Density)
+}
+
+// SetBudget caps the density criticality level l may hold. Budgets are
+// clamped to [0, U_max]; NewAdmission initialises every level to U_max
+// (no partitioning). Tightening a budget below a level's current density
+// does not evict anything — it only constrains future Admit calls.
+func (a *Admission) SetBudget(l Criticality, budget float64) error {
+	if !l.Valid() {
+		return fmt.Errorf("sched: invalid criticality %d", int(l))
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	if budget > a.umax {
+		budget = a.umax
+	}
+	a.budgets[l] = budget
+	return nil
+}
+
+// Budget returns the density budget of criticality level l.
+func (a *Admission) Budget(l Criticality) float64 {
+	if !l.Valid() {
+		return 0
+	}
+	return a.budgets[l]
+}
+
+// LevelDensity returns the total density of the accepted connections at
+// criticality level l, summed in ascending connection-ID order (see sum).
+func (a *Admission) LevelDensity(l Criticality) float64 {
+	ids := make([]int, 0, len(a.active))
+	for id, c := range a.active {
+		if c.Crit == l {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	u := 0.0
+	for _, id := range ids {
+		u += a.active[id].Density(a.params.SlotTime())
+	}
+	return u
+}
+
+// Admit runs the mixed-criticality admission test for c. The decision is
+// computed in full before any state changes, so a rejection leaves the
+// accepted set untouched (rollback by construction):
+//
+//  1. c must pass its own level's budget: LevelDensity(c.Crit) + density(c)
+//     ≤ Budget(c.Crit). Shedding lower-criticality connections cannot free
+//     own-level budget, so failure here is ErrBudgetExceeded.
+//  2. If the total density with c stays within U_max, c is admitted with no
+//     shedding.
+//  3. Otherwise connections of strictly lower criticality than c are shed
+//     in degraded-mode order — least critical level first, newest ID first
+//     within a level — until c fits. Hard admissions may evict firm and
+//     best-effort connections but never other hard ones; if shedding every
+//     lower-criticality connection still cannot make room, c is rejected
+//     with ErrRejected and nothing is evicted.
+//
+// On acceptance it assigns an ID, commits the evictions and the new
+// connection, and returns the stored connection plus the shed connections
+// in eviction order.
+func (a *Admission) Admit(c Connection) (Connection, []Connection, error) {
+	if err := c.Validate(a.params.Nodes, a.params.SlotTime()); err != nil {
+		return Connection{}, nil, err
+	}
+	slot := a.params.SlotTime()
+	u := c.Density(slot)
+	levelCur := a.LevelDensity(c.Crit)
+	if levelCur+u > a.budgets[c.Crit] {
+		return Connection{}, nil, ErrBudgetExceeded{
+			Level: c.Crit, Requested: u, Current: levelCur, Budget: a.budgets[c.Crit],
+		}
+	}
+	cur := a.Density()
+	if cur+u <= a.umax {
+		return a.commit(c, nil), nil, nil
+	}
+	// Degraded mode: collect shedding candidates of strictly lower
+	// criticality, least critical first, newest (highest-ID) first within
+	// a level, and evict greedily until c fits.
+	cands := make([]Connection, 0, len(a.active))
+	for _, v := range a.active {
+		if v.Crit > c.Crit {
+			cands = append(cands, v)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Crit != cands[j].Crit {
+			return cands[i].Crit > cands[j].Crit
+		}
+		return cands[i].ID > cands[j].ID
+	})
+	// Recompute the remaining set's density from scratch after each
+	// eviction instead of subtracting: float subtraction is not the exact
+	// inverse of the ID-ordered sum, and the decision must be bit-identical
+	// to a recompute-from-scratch oracle.
+	excluded := make(map[int]bool, len(cands))
+	shed := make([]Connection, 0, len(cands))
+	for cur+u > a.umax {
+		if len(shed) == len(cands) {
+			return Connection{}, nil, ErrRejected{Requested: u, Current: a.Density(), UMax: a.umax}
+		}
+		v := cands[len(shed)]
+		excluded[v.ID] = true
+		shed = append(shed, v)
+		cur = a.densityExcluding(excluded)
+	}
+	return a.commit(c, shed), shed, nil
+}
+
+// densityExcluding returns the density of the accepted set minus the
+// excluded IDs, summed in ascending connection-ID order.
+func (a *Admission) densityExcluding(excluded map[int]bool) float64 {
+	ids := make([]int, 0, len(a.active))
+	for id := range a.active {
+		if !excluded[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	u := 0.0
+	for _, id := range ids {
+		u += a.active[id].Density(a.params.SlotTime())
+	}
+	return u
+}
+
+// commit evicts shed, assigns the next ID to c and stores it.
+func (a *Admission) commit(c Connection, shed []Connection) Connection {
+	for _, v := range shed {
+		delete(a.active, v.ID)
+	}
+	c.ID = a.nextID
+	a.nextID++
+	a.active[c.ID] = c
+	return c
 }
 
 // sum folds term over the accepted set in ascending connection-ID order:

@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"ccredf/internal/timing"
+)
+
+func TestCriticalityClassAndString(t *testing.T) {
+	cases := []struct {
+		crit  Criticality
+		class Class
+		name  string
+	}{
+		{CritHard, ClassRealTime, "hard"},
+		{CritFirm, ClassRealTime, "firm"},
+		{CritBestEffort, ClassBestEffort, "best_effort"},
+	}
+	for _, c := range cases {
+		if got := c.crit.Class(); got != c.class {
+			t.Errorf("%s.Class() = %v, want %v", c.name, got, c.class)
+		}
+		if got := c.crit.String(); got != c.name {
+			t.Errorf("String() = %q, want %q", got, c.name)
+		}
+		parsed, err := ParseCriticality(c.name)
+		if err != nil || parsed != c.crit {
+			t.Errorf("ParseCriticality(%q) = %v, %v", c.name, parsed, err)
+		}
+	}
+	if _, err := ParseCriticality(""); err == nil {
+		t.Error("ParseCriticality(\"\") should fail: JSON bodies must be explicit")
+	}
+	if _, err := ParseCriticality("soft"); err == nil {
+		t.Error("ParseCriticality(\"soft\") should fail")
+	}
+	if Criticality(-1).Valid() || Criticality(NumCriticalities).Valid() {
+		t.Error("out-of-range criticalities must not validate")
+	}
+}
+
+// TestMapPriorityProperties is the randomized property test for the Table-1
+// mapping: within a class the priority is monotone non-increasing in laxity,
+// it never escapes the class's band, and PrioClass inverts the mapping for
+// every class and laxity.
+func TestMapPriorityProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	slotTimes := []timing.Time{
+		timing.Time(1), slot / 7, slot, 3 * slot, 1000 * slot,
+	}
+	randLaxity := func(st timing.Time) timing.Time {
+		switch rng.Intn(8) {
+		case 0:
+			return -timing.Time(rng.Int63n(int64(10 * st)))
+		case 1:
+			return 0
+		case 2:
+			return timing.Forever
+		case 3:
+			// Near a power-of-two slot boundary, where the log bucketing
+			// changes value.
+			k := uint(rng.Intn(40))
+			base := timing.Time((int64(1)<<k)-1) * st
+			return base + timing.Time(rng.Int63n(3)) - 1
+		default:
+			return timing.Time(rng.Int63n(int64(1) << uint(10+rng.Intn(40))))
+		}
+	}
+	classes := []Class{ClassNone, ClassNonRealTime, ClassBestEffort, ClassRealTime}
+	bands := map[Class][2]uint8{
+		ClassNone:        {PrioNothing, PrioNothing},
+		ClassNonRealTime: {PrioNonRT, PrioNonRT},
+		ClassBestEffort:  {PrioBEMin, PrioBEMax},
+		ClassRealTime:    {PrioRTMin, PrioRTMax},
+	}
+	for i := 0; i < 20000; i++ {
+		st := slotTimes[rng.Intn(len(slotTimes))]
+		c := classes[rng.Intn(len(classes))]
+		l1, l2 := randLaxity(st), randLaxity(st)
+		p1, p2 := MapPriority(c, l1, st), MapPriority(c, l2, st)
+
+		// Band containment.
+		b := bands[c]
+		if p1 < b[0] || p1 > b[1] {
+			t.Fatalf("MapPriority(%v, %v, %v) = %d escapes band [%d,%d]", c, l1, st, p1, b[0], b[1])
+		}
+		// PrioClass inverts the mapping.
+		if got := PrioClass(p1); got != c {
+			t.Fatalf("PrioClass(MapPriority(%v, %v, %v)) = %v", c, l1, st, got)
+		}
+		// Monotone non-increasing in laxity within the class.
+		if l1 < l2 && p1 < p2 {
+			t.Fatalf("priority increased with laxity: %v → %d but %v → %d (class %v, slot %v)",
+				l1, p1, l2, p2, c, st)
+		}
+		if l1 > l2 && p1 > p2 {
+			t.Fatalf("priority increased with laxity: %v → %d but %v → %d (class %v, slot %v)",
+				l2, p2, l1, p1, c, st)
+		}
+	}
+}
+
+// TestMapPriorityCritClasses ties the two mappings together: a criticality
+// level's released messages map into the Table-1 band of its traffic class.
+func TestMapPriorityCritClasses(t *testing.T) {
+	for _, crit := range Criticalities() {
+		p := MapPriority(crit.Class(), 4*slot, slot)
+		if got := PrioClass(p); got != crit.Class() {
+			t.Errorf("crit %v: PrioClass(%d) = %v, want %v", crit, p, got, crit.Class())
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// AdmissionConn is the wire form of one connection in an admission request,
+// in slot units like scenario connections. Criticality is "hard" (the
+// default), "firm" or "best_effort".
+type AdmissionConn struct {
+	// ID is an optional caller-side identifier echoed back in shed entries.
+	ID            int    `json:"id,omitempty"`
+	Src           int    `json:"src"`
+	Dests         []int  `json:"dests"`
+	PeriodSlots   int64  `json:"period_slots"`
+	Slots         int    `json:"slots"`
+	DeadlineSlots int64  `json:"deadline_slots,omitempty"` // 0 = period
+	Criticality   string `json:"criticality,omitempty"`    // "" = hard
+}
+
+// AdmissionRequest is the body of POST /v1/admission: a stateless
+// mixed-criticality admission decision. The caller supplies its currently
+// admitted connection set and one candidate; the server replays the set
+// through a fresh controller (in list order, so eviction order — newest
+// lowest-criticality first — follows list position) and answers whether the
+// candidate fits, and at whose expense.
+type AdmissionRequest struct {
+	// Nodes is the ring size the connections run on (required; sets UMax).
+	Nodes int `json:"nodes"`
+	// Budgets caps each criticality level's density as a fraction of UMax
+	// (keys "hard", "firm", "best_effort"; omitted levels keep the full
+	// UMax).
+	Budgets map[string]float64 `json:"budgets,omitempty"`
+	// Connections is the currently admitted set, taken as given (it is not
+	// re-tested against UMax: the caller's controller already admitted it).
+	Connections []AdmissionConn `json:"connections,omitempty"`
+	// Candidate is the connection asking for admission.
+	Candidate AdmissionConn `json:"candidate"`
+}
+
+// ShedConn identifies one connection the decision evicts to make room.
+type ShedConn struct {
+	// Index is the connection's position in the request's connections list.
+	Index int `json:"index"`
+	// ID echoes the caller-side identifier, when one was given.
+	ID int `json:"id,omitempty"`
+	// Criticality is the evicted connection's level.
+	Criticality string `json:"criticality"`
+}
+
+// AdmissionResponse is the decision for one candidate.
+type AdmissionResponse struct {
+	Admitted bool `json:"admitted"`
+	// Reason explains a refusal (budget or utilisation test) in the
+	// controller's own words; empty on admission.
+	Reason string `json:"reason,omitempty"`
+	// Shed lists the lower-criticality connections evicted to admit the
+	// candidate (empty when it fit outright or was refused).
+	Shed []ShedConn `json:"shed,omitempty"`
+	// Utilisation is the accepted set's density after the decision; UMax is
+	// the Equation 6 bound it is held under.
+	Utilisation float64 `json:"utilisation"`
+	UMax        float64 `json:"umax"`
+	// LevelUtilisation breaks Utilisation down by criticality level.
+	LevelUtilisation map[string]float64 `json:"level_utilisation"`
+}
+
+// toSched converts the wire connection to a sched.Connection, leaving ID
+// assignment to the controller.
+func (c AdmissionConn) toSched(slot timing.Time) (sched.Connection, error) {
+	crit := sched.CritHard
+	if c.Criticality != "" {
+		var err error
+		if crit, err = sched.ParseCriticality(c.Criticality); err != nil {
+			return sched.Connection{}, err
+		}
+	}
+	return sched.Connection{
+		Src:      c.Src,
+		Dests:    ring.NodeSetOf(c.Dests...),
+		Period:   timing.Time(c.PeriodSlots) * slot,
+		Slots:    c.Slots,
+		Deadline: timing.Time(c.DeadlineSlots) * slot,
+		Crit:     crit,
+	}, nil
+}
+
+// EvaluateAdmission answers one stateless admission request. It returns an
+// error only for malformed requests (HTTP 400); a well-formed refusal is a
+// response with Admitted=false.
+func EvaluateAdmission(req *AdmissionRequest) (*AdmissionResponse, error) {
+	if req.Nodes < 2 || req.Nodes > 64 {
+		return nil, fmt.Errorf("admission: nodes %d outside [2,64]", req.Nodes)
+	}
+	params := timing.DefaultParams(req.Nodes)
+	slot := params.SlotTime()
+	adm := sched.NewAdmission(params)
+	for name, frac := range req.Budgets {
+		l, err := sched.ParseCriticality(name)
+		if err != nil {
+			return nil, fmt.Errorf("admission: budgets: %w", err)
+		}
+		if frac < 0 || frac > 1 {
+			return nil, fmt.Errorf("admission: budgets[%s] %g outside [0,1]", name, frac)
+		}
+		if err := adm.SetBudget(l, frac*adm.UMax()); err != nil {
+			return nil, fmt.Errorf("admission: budgets[%s]: %w", name, err)
+		}
+	}
+	// Replay the caller's set in list order: Force assigns ascending IDs, so
+	// the controller's newest-first eviction order follows list position.
+	index := make(map[int]int, len(req.Connections))
+	for i, wc := range req.Connections {
+		sc, err := wc.toSched(slot)
+		if err != nil {
+			return nil, fmt.Errorf("admission: connections[%d]: %w", i, err)
+		}
+		got, err := adm.Force(sc)
+		if err != nil {
+			return nil, fmt.Errorf("admission: connections[%d]: %w", i, err)
+		}
+		index[got.ID] = i
+	}
+	cand, err := req.Candidate.toSched(slot)
+	if err != nil {
+		return nil, fmt.Errorf("admission: candidate: %w", err)
+	}
+	if err := cand.Validate(req.Nodes, slot); err != nil {
+		return nil, fmt.Errorf("admission: candidate: %w", err)
+	}
+	res := &AdmissionResponse{UMax: adm.UMax()}
+	if _, shed, err := adm.Admit(cand); err != nil {
+		res.Reason = err.Error()
+	} else {
+		res.Admitted = true
+		for _, v := range shed {
+			i := index[v.ID]
+			res.Shed = append(res.Shed, ShedConn{
+				Index:       i,
+				ID:          req.Connections[i].ID,
+				Criticality: v.Crit.String(),
+			})
+		}
+	}
+	res.Utilisation = adm.Density()
+	res.LevelUtilisation = make(map[string]float64, sched.NumCriticalities)
+	for _, l := range sched.Criticalities() {
+		res.LevelUtilisation[l.String()] = adm.LevelDensity(l)
+	}
+	return res, nil
+}

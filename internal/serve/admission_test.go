@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// evalJSON runs EvaluateAdmission on a raw JSON body the way the handler
+// does (unknown fields rejected), returning the decision or the error.
+func evalJSON(t *testing.T, body string) (*AdmissionResponse, error) {
+	t.Helper()
+	dec := json.NewDecoder(strings.NewReader(body))
+	dec.DisallowUnknownFields()
+	var req AdmissionRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, err
+	}
+	return EvaluateAdmission(&req)
+}
+
+func TestAdmissionAdmitsWhenFits(t *testing.T) {
+	res, err := evalJSON(t, `{
+		"nodes": 16,
+		"connections": [
+			{"id": 7, "src": 0, "dests": [4], "period_slots": 100, "slots": 1}
+		],
+		"candidate": {"src": 2, "dests": [5], "period_slots": 100, "slots": 1, "criticality": "firm"}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Admitted || len(res.Shed) != 0 {
+		t.Fatalf("decision %+v, want plain admission", res)
+	}
+	if res.Utilisation <= 0 || res.Utilisation > res.UMax {
+		t.Fatalf("utilisation %v outside (0, %v]", res.Utilisation, res.UMax)
+	}
+	if res.LevelUtilisation["hard"] <= 0 || res.LevelUtilisation["firm"] <= 0 {
+		t.Fatalf("level utilisation %v", res.LevelUtilisation)
+	}
+}
+
+// TestAdmissionShedsForHard: a hard candidate on a saturated ring evicts
+// lower-criticality connections, newest (highest list position) first, and
+// the shed entries carry the caller's ids.
+func TestAdmissionShedsForHard(t *testing.T) {
+	res, err := evalJSON(t, `{
+		"nodes": 16,
+		"connections": [
+			{"id": 10, "src": 0, "dests": [4], "period_slots": 4, "slots": 1},
+			{"id": 11, "src": 1, "dests": [5], "period_slots": 4, "slots": 1, "criticality": "firm"},
+			{"id": 12, "src": 2, "dests": [6], "period_slots": 4, "slots": 1, "criticality": "best_effort"}
+		],
+		"candidate": {"src": 3, "dests": [7], "period_slots": 4, "slots": 1}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Admitted {
+		t.Fatalf("hard candidate refused: %+v", res)
+	}
+	if len(res.Shed) == 0 {
+		t.Fatal("saturated ring admitted a hard candidate without shedding")
+	}
+	// Best-effort goes before firm; ids echo the caller's.
+	if res.Shed[0].Criticality != "best_effort" || res.Shed[0].ID != 12 || res.Shed[0].Index != 2 {
+		t.Fatalf("first shed %+v, want best_effort id 12 index 2", res.Shed[0])
+	}
+	for _, sh := range res.Shed {
+		if sh.Criticality == "hard" {
+			t.Fatalf("decision shed a hard connection: %+v", sh)
+		}
+	}
+}
+
+// TestAdmissionRefusesOverBudget: a firm candidate over its own level budget
+// is refused — shedding best-effort cannot free firm budget.
+func TestAdmissionRefusesOverBudget(t *testing.T) {
+	res, err := evalJSON(t, `{
+		"nodes": 16,
+		"budgets": {"firm": 0.01},
+		"connections": [],
+		"candidate": {"src": 0, "dests": [4], "period_slots": 4, "slots": 1, "criticality": "firm"}
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted {
+		t.Fatalf("over-budget firm candidate admitted: %+v", res)
+	}
+	if !strings.Contains(res.Reason, "budget") {
+		t.Fatalf("reason %q does not name the budget", res.Reason)
+	}
+}
+
+func TestAdmissionFieldQualifiedErrors(t *testing.T) {
+	cases := []struct {
+		body string
+		want string
+	}{
+		{`{"nodes": 1, "candidate": {"src": 0, "dests": [1], "period_slots": 10, "slots": 1}}`, "nodes"},
+		{`{"nodes": 8, "budgets": {"soft": 0.5}, "candidate": {"src": 0, "dests": [1], "period_slots": 10, "slots": 1}}`, "budgets"},
+		{`{"nodes": 8, "budgets": {"firm": 1.5}, "candidate": {"src": 0, "dests": [1], "period_slots": 10, "slots": 1}}`, "budgets[firm]"},
+		{`{"nodes": 8, "connections": [{"src": 0, "dests": [1], "period_slots": 10, "slots": 1, "criticality": "soft"}], "candidate": {"src": 0, "dests": [1], "period_slots": 10, "slots": 1}}`, "connections[0]"},
+		{`{"nodes": 8, "connections": [{"src": 99, "dests": [1], "period_slots": 10, "slots": 1}], "candidate": {"src": 0, "dests": [1], "period_slots": 10, "slots": 1}}`, "connections[0]"},
+		{`{"nodes": 8, "candidate": {"src": 0, "dests": [0], "period_slots": 10, "slots": 1}}`, "candidate"},
+		{`{"nodes": 8, "candidate": {"src": 0, "dests": [1], "period_slots": 0, "slots": 1}}`, "candidate"},
+	}
+	for _, tc := range cases {
+		if _, err := evalJSON(t, tc.body); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("body %s: err %v, want mention of %q", tc.body, err, tc.want)
+		}
+	}
+}
+
+// TestAdmissionEndpoint drives the HTTP surface: decisions come back 200
+// with counters bumped, malformed bodies come back 400.
+func TestAdmissionEndpoint(t *testing.T) {
+	srv, ts, client := newTestService(t, Options{Workers: 1})
+	resp, body := postJSON(t, client, ts.URL+"/v1/admission", `{
+		"nodes": 16,
+		"connections": [
+			{"id": 1, "src": 0, "dests": [4], "period_slots": 4, "slots": 1},
+			{"id": 2, "src": 1, "dests": [5], "period_slots": 4, "slots": 1, "criticality": "firm"},
+			{"id": 3, "src": 2, "dests": [6], "period_slots": 4, "slots": 1, "criticality": "best_effort"}
+		],
+		"candidate": {"src": 3, "dests": [7], "period_slots": 4, "slots": 1}
+	}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var res AdmissionResponse
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Admitted || len(res.Shed) == 0 {
+		t.Fatalf("decision %+v, want admission with shedding", res)
+	}
+	if got := srv.admissionRequests.Load(); got != 1 {
+		t.Fatalf("admissionRequests = %d", got)
+	}
+	if got := srv.admissionShed.Load(); got != int64(len(res.Shed)) {
+		t.Fatalf("admissionShed = %d, want %d", got, len(res.Shed))
+	}
+
+	resp, body = postJSON(t, client, ts.URL+"/v1/admission", `{"nodes": 0, "candidate": {}}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad request status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, client, ts.URL+"/v1/admission", `{"nodes": 8, "bogus": 1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown-field status %d: %s", resp.StatusCode, body)
+	}
+
+	// The metrics surface reports the decisions.
+	var sb strings.Builder
+	srv.WriteMetrics(&sb)
+	if !strings.Contains(sb.String(), "ccr_served_admission_requests_total 1") {
+		t.Fatalf("metrics missing admission counters:\n%s", sb.String())
+	}
+}
+
+// FuzzAdmissionBody: arbitrary JSON through the exact decode + evaluate path
+// of POST /v1/admission must never panic, and any accepted request must
+// yield a decision whose level utilisations sum to the total.
+func FuzzAdmissionBody(f *testing.F) {
+	f.Add([]byte(`{"nodes": 16, "candidate": {"src": 0, "dests": [4], "period_slots": 10, "slots": 1}}`))
+	f.Add([]byte(`{"nodes": 16, "budgets": {"firm": 0.5, "best_effort": 0.3}, "connections": [{"id": 1, "src": 0, "dests": [4], "period_slots": 4, "slots": 1, "criticality": "firm"}], "candidate": {"src": 2, "dests": [6], "period_slots": 4, "slots": 1}}`))
+	f.Add([]byte(`{"nodes": 1, "candidate": {"src": 0, "dests": [1], "period_slots": 10, "slots": 1}}`))
+	f.Add([]byte(`{"nodes": 8, "budgets": {"soft": 2}, "candidate": {"src": 0, "dests": [1], "period_slots": 10, "slots": 1}}`))
+	f.Add([]byte(`{"nodes": 8, "candidate": {"src": 0, "dests": [0], "period_slots": -5, "slots": 0, "criticality": "be"}}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		var req AdmissionRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		res, err := EvaluateAdmission(&req)
+		if err != nil {
+			return
+		}
+		var sum float64
+		for _, u := range res.LevelUtilisation {
+			sum += u
+		}
+		if diff := sum - res.Utilisation; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("level utilisations sum to %v, total %v", sum, res.Utilisation)
+		}
+	})
+}

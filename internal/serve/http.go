@@ -69,6 +69,9 @@ func (s *Server) status(j *Job) JobStatus {
 //	                            Accept: text/event-stream)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	POST   /v1/sweeps           submit a sweep grid (JSON body)
+//	POST   /v1/admission        stateless mixed-criticality admission
+//	                            decision: connection set + candidate →
+//	                            admit/refuse + shed list (synchronous)
 //	GET    /healthz             liveness (200 while the process runs)
 //	GET    /readyz              readiness: 503 while degraded (circuit
 //	                            breaker open, cache-only) or draining
@@ -87,6 +90,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("POST /v1/admission", s.handleAdmission)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -232,6 +236,36 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.SubmitSweep(&spec, timeout)
 	s.respondSubmission(w, j, err)
+}
+
+// handleAdmission answers a stateless admission decision synchronously: it
+// runs no simulation, so it bypasses the job queue and worker pool entirely
+// (only the per-client rate limit applies).
+func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) {
+	if !s.allowClient(w, r) {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req AdmissionRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "admission: %v", err)
+		return
+	}
+	res, err := EvaluateAdmission(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.admissionRequests.Add(1)
+	if res.Admitted {
+		s.admissionAdmitted.Add(1)
+	} else {
+		s.admissionRejected.Add(1)
+	}
+	s.admissionShed.Add(int64(len(res.Shed)))
+	writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) respondSubmission(w http.ResponseWriter, j *Job, err error) {

@@ -76,6 +76,27 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	counter("ccr_served_faults_detected_total", "Injected faults detected by the protocol.", s.faultsDetected.Load())
 	counter("ccr_served_faults_recovered_total", "Injected faults recovered from.", s.faultsRecovered.Load())
 
+	// Admission surface: synchronous /v1/admission decisions plus the
+	// per-criticality admission counters aggregated over every simulation
+	// this server ran.
+	counter("ccr_served_admission_requests_total", "Admission decisions served by POST /v1/admission.", s.admissionRequests.Load())
+	counter("ccr_served_admission_admitted_total", "Admission decisions that admitted the candidate.", s.admissionAdmitted.Load())
+	counter("ccr_served_admission_rejected_total", "Admission decisions that refused the candidate.", s.admissionRejected.Load())
+	counter("ccr_served_admission_shed_total", "Connections shed by admission decisions.", s.admissionShed.Load())
+	levels := []string{"hard", "firm", "best_effort"}
+	fmt.Fprintf(w, "# HELP ccr_served_admission_sim_admitted_total Connections admitted in simulations, by criticality level.\n# TYPE ccr_served_admission_sim_admitted_total counter\n")
+	for i, lv := range levels {
+		fmt.Fprintf(w, "ccr_served_admission_sim_admitted_total{level=%q} %d\n", lv, s.critAdmitted[i].Load())
+	}
+	fmt.Fprintf(w, "# HELP ccr_served_admission_sim_evicted_total Connections evicted in simulations, by criticality level.\n# TYPE ccr_served_admission_sim_evicted_total counter\n")
+	for i, lv := range levels {
+		fmt.Fprintf(w, "ccr_served_admission_sim_evicted_total{level=%q} %d\n", lv, s.critEvicted[i].Load())
+	}
+	fmt.Fprintf(w, "# HELP ccr_served_admission_sim_missed_total Deadline misses in simulations, by criticality level.\n# TYPE ccr_served_admission_sim_missed_total counter\n")
+	for i, lv := range levels {
+		fmt.Fprintf(w, "ccr_served_admission_sim_missed_total{level=%q} %d\n", lv, s.critMissed[i].Load())
+	}
+
 	// Resilience surface: circuit breaker, panic isolation, admission
 	// control and journal durability.
 	bv := s.breaker.view()

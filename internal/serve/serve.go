@@ -35,6 +35,8 @@ import (
 	"ccredf"
 	"ccredf/scenario"
 
+	"ccredf/internal/network"
+	"ccredf/internal/sched"
 	"ccredf/internal/serve/journal"
 	"ccredf/internal/sweep"
 )
@@ -301,6 +303,19 @@ type Server struct {
 	faultsInjected  atomic.Int64
 	faultsDetected  atomic.Int64
 	faultsRecovered atomic.Int64
+
+	// Admission-service counters: synchronous POST /v1/admission decisions.
+	admissionRequests atomic.Int64
+	admissionAdmitted atomic.Int64
+	admissionRejected atomic.Int64
+	admissionShed     atomic.Int64
+
+	// Per-criticality admission counters aggregated over every simulation
+	// this server has actually run (churn scenarios; cache hits do not
+	// re-count), indexed by sched.Criticality.
+	critAdmitted [sched.NumCriticalities]atomic.Int64
+	critEvicted  [sched.NumCriticalities]atomic.Int64
+	critMissed   [sched.NumCriticalities]atomic.Int64
 
 	wallMu    sync.Mutex
 	wallSum   float64
@@ -803,6 +818,7 @@ func (s *Server) simulateScenario(ctx context.Context, scen *scenario.Scenario, 
 		s.faultsInjected.Add(sum.Snapshot.FaultsInjected)
 		s.faultsDetected.Add(sum.Snapshot.FaultsDetected)
 		s.faultsRecovered.Add(sum.Snapshot.FaultsRecovered)
+		s.addCritCounters(sum.Snapshot)
 		return sum.Encode()
 	}
 	if gate != nil {
@@ -824,7 +840,22 @@ func (s *Server) simulateScenario(ctx context.Context, scen *scenario.Scenario, 
 	s.faultsInjected.Add(snap.FaultsInjected)
 	s.faultsDetected.Add(snap.FaultsDetected)
 	s.faultsRecovered.Add(snap.FaultsRecovered)
+	s.addCritCounters(snap)
 	return Summarize(res.Net, key).Encode()
+}
+
+// addCritCounters folds one finished run's per-criticality admission
+// counters into the server-lifetime aggregates behind /metrics.
+func (s *Server) addCritCounters(snap network.Snapshot) {
+	s.critAdmitted[sched.CritHard].Add(snap.AdmittedHard)
+	s.critAdmitted[sched.CritFirm].Add(snap.AdmittedFirm)
+	s.critAdmitted[sched.CritBestEffort].Add(snap.AdmittedBE)
+	s.critEvicted[sched.CritHard].Add(snap.EvictedHard)
+	s.critEvicted[sched.CritFirm].Add(snap.EvictedFirm)
+	s.critEvicted[sched.CritBestEffort].Add(snap.EvictedBE)
+	s.critMissed[sched.CritHard].Add(snap.MissedHard)
+	s.critMissed[sched.CritFirm].Add(snap.MissedFirm)
+	s.critMissed[sched.CritBestEffort].Add(snap.MissedBE)
 }
 
 // runSweep fans the grid out — across the cluster when a scatter hook is

@@ -138,6 +138,18 @@ func SummarizeMulti(net *ccredf.MultiNetwork, key string) Summary {
 		agg.FaultsInjected += snap.FaultsInjected
 		agg.FaultsDetected += snap.FaultsDetected
 		agg.FaultsRecovered += snap.FaultsRecovered
+		agg.AdmittedHard += snap.AdmittedHard
+		agg.AdmittedFirm += snap.AdmittedFirm
+		agg.AdmittedBE += snap.AdmittedBE
+		agg.EvictedHard += snap.EvictedHard
+		agg.EvictedFirm += snap.EvictedFirm
+		agg.EvictedBE += snap.EvictedBE
+		agg.RejectedHard += snap.RejectedHard
+		agg.RejectedFirm += snap.RejectedFirm
+		agg.RejectedBE += snap.RejectedBE
+		agg.MissedHard += snap.MissedHard
+		agg.MissedFirm += snap.MissedFirm
+		agg.MissedBE += snap.MissedBE
 		agg.NodeCrashes += snap.NodeCrashes
 		agg.QueueDepth += snap.QueueDepth
 		agg.ConnectionCount += snap.ConnectionCount

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"runtime"
 
+	"ccredf/internal/churn"
 	"ccredf/internal/fault"
+	"ccredf/internal/sched"
 	"ccredf/internal/sweep"
 	"ccredf/internal/timing"
 )
@@ -34,6 +36,10 @@ type SweepSpec struct {
 	// Rings > 1 runs every point on a bridged chain of that many rings of
 	// Nodes each (sweep.Point.Rings); 0 or 1 is the classic single ring.
 	Rings int `json:"rings,omitempty"`
+	// Churn is an optional connection-churn spec (churn.ParseSpec syntax)
+	// applied identically to every grid point. A seedless spec inherits each
+	// point's seed.
+	Churn string `json:"churn,omitempty"`
 }
 
 // normalise fills the implicit axis defaults in place, so equivalent
@@ -99,6 +105,11 @@ func (sp *SweepSpec) Validate() error {
 	if sp.Rings < 0 || sp.Rings > 16 {
 		return fmt.Errorf("sweep: rings %d outside [0,16]", sp.Rings)
 	}
+	if sp.Churn != "" {
+		if _, err := churn.ParseSpec(sp.Churn); err != nil {
+			return fmt.Errorf("sweep: churn: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -110,6 +121,9 @@ func (sp *SweepSpec) Grid() []sweep.Point {
 	}
 	if sp.Rings > 1 {
 		pts = sweep.WithRings(pts, sp.Rings)
+	}
+	if sp.Churn != "" {
+		pts = sweep.WithChurn(pts, sp.Churn)
 	}
 	return pts
 }
@@ -148,6 +162,15 @@ type SweepOutcome struct {
 	FaultsRecovered int64     `json:"faults_recovered,omitempty"`
 	RingUtil        []float64 `json:"ring_util,omitempty"`
 	CrossMissRatio  float64   `json:"cross_miss_ratio,omitempty"`
+	AdmittedHard    int64     `json:"admitted_hard,omitempty"`
+	AdmittedFirm    int64     `json:"admitted_firm,omitempty"`
+	AdmittedBE      int64     `json:"admitted_be,omitempty"`
+	EvictedHard     int64     `json:"evicted_hard,omitempty"`
+	EvictedFirm     int64     `json:"evicted_firm,omitempty"`
+	EvictedBE       int64     `json:"evicted_be,omitempty"`
+	MissedHard      int64     `json:"missed_hard,omitempty"`
+	MissedFirm      int64     `json:"missed_firm,omitempty"`
+	MissedBE        int64     `json:"missed_be,omitempty"`
 	Error           string    `json:"error,omitempty"`
 }
 
@@ -169,6 +192,15 @@ func WireOutcome(o sweep.Outcome) SweepOutcome {
 		FaultsRecovered: o.FaultsRecovered,
 		RingUtil:        o.RingUtil,
 		CrossMissRatio:  o.CrossMissRatio,
+		AdmittedHard:    o.Admitted[sched.CritHard],
+		AdmittedFirm:    o.Admitted[sched.CritFirm],
+		AdmittedBE:      o.Admitted[sched.CritBestEffort],
+		EvictedHard:     o.Evicted[sched.CritHard],
+		EvictedFirm:     o.Evicted[sched.CritFirm],
+		EvictedBE:       o.Evicted[sched.CritBestEffort],
+		MissedHard:      o.Missed[sched.CritHard],
+		MissedFirm:      o.Missed[sched.CritFirm],
+		MissedBE:        o.Missed[sched.CritBestEffort],
 	}
 	if o.Err != nil {
 		w.Error = o.Err.Error()
@@ -178,9 +210,10 @@ func WireOutcome(o sweep.Outcome) SweepOutcome {
 
 // Outcome converts the wire form back into sweep.Outcome, so table and CSV
 // output is byte-identical whether the grid ran locally or remotely (the
-// sweep CSV header round-trip contract). faultSpec re-attaches the point's
-// fault coordinate, which the wire form does not carry per point.
-func (w SweepOutcome) Outcome(faultSpec string) sweep.Outcome {
+// sweep CSV header round-trip contract). faultSpec and churnSpec re-attach
+// the point's fault and churn coordinates, which the wire form does not
+// carry per point.
+func (w SweepOutcome) Outcome(faultSpec, churnSpec string) sweep.Outcome {
 	o := sweep.Outcome{
 		Point: sweep.Point{
 			Protocol:  w.Protocol,
@@ -190,6 +223,7 @@ func (w SweepOutcome) Outcome(faultSpec string) sweep.Outcome {
 			Seed:      w.Seed,
 			FaultSpec: faultSpec,
 			Rings:     w.Rings,
+			ChurnSpec: churnSpec,
 		},
 		Delivered:       w.Delivered,
 		MissRatio:       w.MissRatio,
@@ -201,6 +235,15 @@ func (w SweepOutcome) Outcome(faultSpec string) sweep.Outcome {
 		RingUtil:        w.RingUtil,
 		CrossMissRatio:  w.CrossMissRatio,
 	}
+	o.Admitted[sched.CritHard] = w.AdmittedHard
+	o.Admitted[sched.CritFirm] = w.AdmittedFirm
+	o.Admitted[sched.CritBestEffort] = w.AdmittedBE
+	o.Evicted[sched.CritHard] = w.EvictedHard
+	o.Evicted[sched.CritFirm] = w.EvictedFirm
+	o.Evicted[sched.CritBestEffort] = w.EvictedBE
+	o.Missed[sched.CritHard] = w.MissedHard
+	o.Missed[sched.CritFirm] = w.MissedFirm
+	o.Missed[sched.CritBestEffort] = w.MissedBE
 	if w.Error != "" {
 		o.Err = errors.New(w.Error)
 	}
@@ -249,6 +292,7 @@ func (sp *SweepSpec) PointSpec(pt sweep.Point) *SweepSpec {
 		HorizonSlots: sp.HorizonSlots,
 		Faults:       sp.Faults,
 		Rings:        sp.Rings,
+		Churn:        sp.Churn,
 	}
 	sub.normalise()
 	return sub

@@ -18,6 +18,7 @@ import (
 func TestSweepCSVRoundTrip(t *testing.T) {
 	pts := sweep.Grid([]string{"ccr-edf"}, []int{8}, []float64{0.4}, []string{"uniform"}, []uint64{1, 2})
 	pts = append(pts, sweep.WithRings(pts[:1], 3)...)
+	pts = append(pts, sweep.WithChurn(pts[:1], "rate=100000,hold=1000")...)
 	local, err := sweep.RunCtx(context.Background(), pts, 2, 500)
 	if err != nil {
 		t.Fatal(err)
@@ -38,7 +39,7 @@ func TestSweepCSVRoundTrip(t *testing.T) {
 	}
 	remote := make([]sweep.Outcome, len(decoded))
 	for i, w := range decoded {
-		remote[i] = w.Outcome("")
+		remote[i] = w.Outcome("", "")
 	}
 
 	var localCSV, remoteCSV bytes.Buffer
@@ -57,6 +58,35 @@ func TestSweepCSVRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(header, "ring_util") || !strings.Contains(header, "cross_miss_ratio") {
 		t.Fatalf("header %q missing multi-ring columns", header)
+	}
+	for _, col := range []string{"admitted_hard", "admitted_firm", "admitted_be",
+		"evicted_hard", "evicted_firm", "evicted_be",
+		"missed_hard", "missed_firm", "missed_be"} {
+		if !strings.Contains(header, col) {
+			t.Fatalf("header %q missing criticality column %q", header, col)
+		}
+	}
+}
+
+// TestSweepSpecChurnValidation covers the churn axis: bad specs are rejected
+// with a field-qualified error and good ones stamp every grid point.
+func TestSweepSpecChurnValidation(t *testing.T) {
+	sp := &SweepSpec{HorizonSlots: 100, Churn: "rate=0"}
+	if err := sp.Validate(); err == nil || !strings.Contains(err.Error(), "churn") {
+		t.Fatalf("churn rate=0 validated: %v", err)
+	}
+	sp = &SweepSpec{HorizonSlots: 100, Churn: "rate=50000,hold=2000"}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sp.normalise()
+	for _, pt := range sp.Grid() {
+		if pt.ChurnSpec != "rate=50000,hold=2000" {
+			t.Fatalf("grid point %v lost the churn spec", pt)
+		}
+	}
+	if sub := sp.PointSpec(sp.Grid()[0]); sub.Churn != sp.Churn {
+		t.Fatalf("PointSpec dropped churn: %+v", sub)
 	}
 }
 

@@ -23,8 +23,10 @@ const DefaultBatch = 8
 // grid order, into chunks of at most maxBatch, each of which one
 // network.Batch can run as fused replicas. Bridged multi-ring points
 // (Rings > 1) run through network.NewMulti rather than the batched engine,
-// so they always form singleton groups. Group order is deterministic:
-// shapes in order of first appearance, chunks in grid order within a shape.
+// and churn points (ChurnSpec != "") drive live admission through the
+// sequential engine, so both always form singleton groups. Group order is
+// deterministic: shapes in order of first appearance, chunks in grid order
+// within a shape.
 //
 // Grouping never changes results — each replica keeps its own simulation
 // state and rng stream — it only changes how many engine passes the grid
@@ -37,11 +39,12 @@ func Batches(points []Point, maxBatch int) [][]int {
 		protocol string
 		nodes    int
 		rings    int
+		churn    bool
 	}
 	byShape := make(map[shape][]int)
 	var order []shape
 	for i, pt := range points {
-		k := shape{pt.Protocol, pt.Nodes, pt.Rings}
+		k := shape{pt.Protocol, pt.Nodes, pt.Rings, pt.ChurnSpec != ""}
 		if k.rings < 1 {
 			k.rings = 1
 		}
@@ -54,7 +57,7 @@ func Batches(points []Point, maxBatch int) [][]int {
 	for _, k := range order {
 		idxs := byShape[k]
 		limit := maxBatch
-		if k.rings > 1 {
+		if k.rings > 1 || k.churn {
 			limit = 1
 		}
 		for len(idxs) > limit {

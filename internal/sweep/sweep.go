@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"ccredf/internal/ccfpr"
+	"ccredf/internal/churn"
 	"ccredf/internal/core"
 	"ccredf/internal/fault"
 	"ccredf/internal/network"
@@ -50,6 +51,11 @@ type Point struct {
 	// Nodes each (cross-ring connections between neighbouring rings plus one
 	// spanning the chain); 0 or 1 is the classic single ring.
 	Rings int
+	// ChurnSpec is an optional connection-churn spec (churn.ParseSpec
+	// syntax, e.g. "rate=50000,hold=2000"); empty disables churn. Kept as
+	// the compact string so Point stays comparable. On a multi-ring point
+	// the churn runs on ring 0.
+	ChurnSpec string
 }
 
 // String renders the coordinate compactly.
@@ -60,6 +66,9 @@ func (p Point) String() string {
 	}
 	if p.FaultSpec != "" {
 		s += "/f[" + p.FaultSpec + "]"
+	}
+	if p.ChurnSpec != "" {
+		s += "/c[" + p.ChurnSpec + "]"
 	}
 	return s
 }
@@ -80,6 +89,16 @@ func WithRings(points []Point, rings int) []Point {
 	out := append([]Point(nil), points...)
 	for i := range out {
 		out[i].Rings = rings
+	}
+	return out
+}
+
+// WithChurn returns the points with the given churn spec stamped on every
+// coordinate ("" clears it).
+func WithChurn(points []Point, spec string) []Point {
+	out := append([]Point(nil), points...)
+	for i := range out {
+		out[i].ChurnSpec = spec
 	}
 	return out
 }
@@ -107,6 +126,10 @@ type Outcome struct {
 	// CrossMissRatio is end-to-end deadline misses plus bridge expiries over
 	// all cross-ring completions (always 0 on a single-ring point).
 	CrossMissRatio float64
+	// Admitted / Evicted / Missed count mixed-criticality admission
+	// outcomes and per-level deadline misses, indexed by sched.Criticality
+	// (all zero without a churn spec).
+	Admitted, Evicted, Missed [sched.NumCriticalities]int64
 	// Err records a failed point (nil on success).
 	Err error
 }
@@ -192,6 +215,10 @@ func runPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
 			return out
 		}
 	}
+	if err := attachChurn(net, pt); err != nil {
+		out.Err = err
+		return out
+	}
 	for done := int64(0); done < horizonSlots; {
 		if err := ctx.Err(); err != nil {
 			out.Err = err
@@ -208,6 +235,24 @@ func runPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
 	return out
 }
 
+// attachChurn parses the point's churn spec (if any) and starts the churn
+// workload on net. A seedless spec inherits the point seed so every point
+// stays deterministic.
+func attachChurn(net *network.Network, pt Point) error {
+	if pt.ChurnSpec == "" {
+		return nil
+	}
+	spec, err := churn.ParseSpec(pt.ChurnSpec)
+	if err != nil {
+		return err
+	}
+	if spec.Seed == 0 {
+		spec.Seed = pt.Seed
+	}
+	_, err = churn.Attach(net, spec)
+	return err
+}
+
 // collect reads one finished single-ring simulation's headline metrics into
 // the outcome. Shared between the sequential and the batched paths so the
 // two emit identical numbers by construction.
@@ -222,6 +267,16 @@ func collect(net *network.Network, out *Outcome) {
 	out.FaultsInjected = m.FaultsInjected.Value()
 	out.FaultsRecovered = m.FaultsRecovered.Value()
 	out.RingUtil = []float64{net.Admission().Utilisation()}
+	collectCrit(m, out)
+}
+
+// collectCrit folds one ring's mixed-criticality counters into the outcome.
+func collectCrit(m *network.Metrics, out *Outcome) {
+	for l := 0; l < sched.NumCriticalities; l++ {
+		out.Admitted[l] += m.CritAdmitted[l].Value()
+		out.Evicted[l] += m.CritEvicted[l].Value()
+		out.Missed[l] += m.CritMisses[l].Value()
+	}
 }
 
 // runMultiPoint executes one bridged-chain simulation: pt.Rings rings of
@@ -296,6 +351,10 @@ func runMultiPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
 			}
 		}
 	}
+	if err := attachChurn(m.Ring(0), pt); err != nil {
+		out.Err = err
+		return out
+	}
 	for done := int64(0); done < horizonSlots; {
 		if err := ctx.Err(); err != nil {
 			out.Err = err
@@ -320,6 +379,7 @@ func runMultiPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
 		out.FaultsInjected += rm.FaultsInjected.Value()
 		out.FaultsRecovered += rm.FaultsRecovered.Value()
 		out.RingUtil = append(out.RingUtil, m.Ring(ri).Admission().Utilisation())
+		collectCrit(rm, &out)
 	}
 	out.MissRatio = stats.Ratio(misses, out.Delivered+misses)
 	out.GapFraction = float64(m.Ring(0).Metrics().GapTime) / float64(m.Now())
@@ -363,7 +423,7 @@ func RunCtx(ctx context.Context, points []Point, workers int, horizonSlots int64
 // CSVHeader is the pinned column order of WriteCSV. Remote (ccr-sweep
 // -remote) and local runs must produce byte-identical rows under it; a
 // round-trip test in serve enforces that, so extend it deliberately.
-const CSVHeader = "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,faults_injected,faults_recovered,ring_util,cross_miss_ratio,error"
+const CSVHeader = "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,faults_injected,faults_recovered,ring_util,cross_miss_ratio,admitted_hard,admitted_firm,admitted_be,evicted_hard,evicted_firm,evicted_be,missed_hard,missed_firm,missed_be,error"
 
 // ringUtilCSV joins the per-ring utilisations with ';' so they stay one CSV
 // column.
@@ -385,10 +445,13 @@ func WriteCSV(w io.Writer, outcomes []Outcome) error {
 		if o.Err != nil {
 			errStr = o.Err.Error()
 		}
-		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%d,%d,%.6f,%.3f,%.4f,%.6f,%d,%d,%s,%.6f,%s\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%d,%d,%.6f,%.3f,%.4f,%.6f,%d,%d,%s,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
 			o.Protocol, o.Nodes, o.Load, o.Locality, o.Seed,
 			o.Delivered, o.MissRatio, o.P99Latency.Micros(), o.ReuseFactor, o.GapFraction,
-			o.FaultsInjected, o.FaultsRecovered, ringUtilCSV(o.RingUtil), o.CrossMissRatio, errStr); err != nil {
+			o.FaultsInjected, o.FaultsRecovered, ringUtilCSV(o.RingUtil), o.CrossMissRatio,
+			o.Admitted[sched.CritHard], o.Admitted[sched.CritFirm], o.Admitted[sched.CritBestEffort],
+			o.Evicted[sched.CritHard], o.Evicted[sched.CritFirm], o.Evicted[sched.CritBestEffort],
+			o.Missed[sched.CritHard], o.Missed[sched.CritFirm], o.Missed[sched.CritBestEffort], errStr); err != nil {
 			return err
 		}
 	}

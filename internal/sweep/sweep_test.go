@@ -96,7 +96,7 @@ func TestWriteCSV(t *testing.T) {
 // and local runs must emit byte-identical files, so any header change has to
 // land in SweepOutcome and its conversions at the same time.
 func TestCSVHeaderPinned(t *testing.T) {
-	const want = "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,faults_injected,faults_recovered,ring_util,cross_miss_ratio,error"
+	const want = "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,faults_injected,faults_recovered,ring_util,cross_miss_ratio,admitted_hard,admitted_firm,admitted_be,evicted_hard,evicted_firm,evicted_be,missed_hard,missed_firm,missed_be,error"
 	if CSVHeader != want {
 		t.Fatalf("CSVHeader = %q, want %q", CSVHeader, want)
 	}
@@ -128,6 +128,73 @@ func TestMultiRingPoint(t *testing.T) {
 	}
 	if got := pt.String(); got != "ccr-edf/N8/U0.30/uniform/s1/R3" {
 		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestChurnPoint: a churn spec on a sweep point drives live admission and
+// populates the per-criticality columns, deterministically, with hard
+// connections never evicted or missing deadlines.
+func TestChurnPoint(t *testing.T) {
+	pt := Point{Protocol: "ccr-edf", Nodes: 16, Load: 0.2, Locality: "uniform", Seed: 7,
+		ChurnSpec: "rate=200000,hold=1500"}
+	out := runPoint(context.Background(), pt, 20000)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	var admitted int64
+	for _, a := range out.Admitted {
+		admitted += a
+	}
+	if admitted == 0 {
+		t.Fatal("churn point admitted no connections")
+	}
+	if out.Evicted[0] != 0 {
+		t.Fatalf("%d hard evictions", out.Evicted[0])
+	}
+	if out.Missed[0] != 0 {
+		t.Fatalf("%d hard deadline misses", out.Missed[0])
+	}
+	if out.Evicted[1]+out.Evicted[2] == 0 {
+		t.Fatal("no firm/best-effort evictions under overload churn")
+	}
+	again := runPoint(context.Background(), pt, 20000)
+	if !reflect.DeepEqual(out, again) {
+		t.Fatalf("churn point not reproducible:\n%+v\n%+v", out, again)
+	}
+	if got := pt.String(); got != "ccr-edf/N16/U0.20/uniform/s7/c[rate=200000,hold=1500]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestChurnPointBatchedMatches: churn points form singleton batch groups, so
+// RunBatched must reproduce Run exactly even when mixed with batchable points.
+func TestChurnPointBatchedMatches(t *testing.T) {
+	pts := smallGrid()[:2]
+	pts = append(pts, Point{Protocol: "ccr-edf", Nodes: 8, Load: 0.2, Locality: "uniform", Seed: 3,
+		ChurnSpec: "rate=100000,hold=1000"})
+	want := Run(pts, 1, 2000)
+	got := RunBatched(pts, 2, DefaultBatch, 2000)
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("outcome %d diverges:\n%+v\n%+v", i, got[i], want[i])
+		}
+	}
+	groups := Batches(pts, DefaultBatch)
+	for _, g := range groups {
+		for _, i := range g {
+			if pts[i].ChurnSpec != "" && len(g) != 1 {
+				t.Fatalf("churn point %d in group of %d", i, len(g))
+			}
+		}
+	}
+}
+
+func TestChurnSpecInvalid(t *testing.T) {
+	pt := Point{Protocol: "ccr-edf", Nodes: 8, Load: 0.2, Locality: "uniform", Seed: 1,
+		ChurnSpec: "rate=0"}
+	out := runPoint(context.Background(), pt, 100)
+	if out.Err == nil {
+		t.Fatal("invalid churn spec should fail the point")
 	}
 }
 

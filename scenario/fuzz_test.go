@@ -18,6 +18,11 @@ func FuzzScenarioValidate(f *testing.F) {
 	f.Add([]byte(`{"nodes":8,"horizon_slots":100,"faults":{"seed":9,"collection_drop_prob":0.01,"crashes":[{"node":3,"at_slot":10,"restart_slot":20}]}}`))
 	f.Add([]byte(`{"nodes":1,"horizon_slots":100}`))
 	f.Add([]byte(`{"nodes":8,"horizon_slots":100,"faults":{"collection_drop_prob":2}}`))
+	f.Add([]byte(`{"nodes":16,"horizon_slots":500,"churn":{"rate_per_sec":50000,"mean_hold_us":2000,"seed":9}}`))
+	f.Add([]byte(`{"nodes":16,"horizon_slots":500,"churn":{"rate_per_sec":50000,"mean_hold_us":2000,"hard_frac":0.3,"firm_frac":0.3,"firm_budget":0.4,"be_budget":0.2,"min_period_slots":60,"max_period_slots":300,"max_msg_slots":3}}`))
+	f.Add([]byte(`{"nodes":16,"horizon_slots":500,"churn":{"rate_per_sec":0,"mean_hold_us":2000}}`))
+	f.Add([]byte(`{"nodes":16,"horizon_slots":500,"churn":{"rate_per_sec":1000,"mean_hold_us":100,"hard_frac":0.9,"firm_frac":0.9}}`))
+	f.Add([]byte(`{"nodes":16,"horizon_slots":500,"churn":{"rate_per_sec":1000,"mean_hold_us":100,"max_msg_slots":500}}`))
 	f.Add([]byte(`{"nodes":8}`))
 	f.Add([]byte(`not json`))
 	f.Fuzz(func(t *testing.T, data []byte) {

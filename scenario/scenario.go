@@ -73,6 +73,11 @@ type Scenario struct {
 	// RingFaults assigns fault plans to specific rings of a topology —
 	// including bridge stations, whose crash partitions the fabric.
 	RingFaults []RingFault `json:"ring_faults,omitempty"`
+	// Churn starts a seeded Poisson connection arrival/departure workload
+	// with mixed-criticality admission (internal/churn). With a topology it
+	// runs on ring 0. Omitted leaves the run byte-identical to a
+	// churn-free network.
+	Churn *ccredf.ChurnSpec `json:"churn,omitempty"`
 
 	// Physics overrides (zero = default).
 	LinkLengthM      float64   `json:"link_length_m,omitempty"`
@@ -232,6 +237,14 @@ func (s *Scenario) Validate() error {
 	if s.Faults != nil {
 		if err := s.Faults.Validate(s.ring0()); err != nil {
 			return fmt.Errorf("scenario: faults: %w", err)
+		}
+	}
+	if s.Churn != nil {
+		if !s.Churn.Enabled() {
+			return fmt.Errorf("scenario: churn: rate_per_sec must be positive")
+		}
+		if err := s.Churn.Normalised().Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
 		}
 	}
 	for i, c := range s.Connections {
@@ -436,6 +449,9 @@ type Result struct {
 	Connections []ccredf.Connection
 	// Cross are the opened cross-ring connections, in file order.
 	Cross []*ccredf.CrossConn
+	// Churn is the live statistics of the churn stanza's generator, nil
+	// when the scenario declares none.
+	Churn *ccredf.ChurnStats
 	// Horizon is the absolute simulated time to run to.
 	Horizon ccredf.Time
 }
@@ -554,6 +570,19 @@ func (s *Scenario) attachWorkloads(net *ccredf.Network, seed uint64, res *Result
 		} else {
 			net.AttachVideoBestEffort(vs)
 		}
+	}
+	if s.Churn != nil {
+		spec := *s.Churn
+		if spec.Seed == 0 {
+			// Derive the churn stream from the scenario seed so a seedless
+			// stanza still replays identically.
+			spec.Seed = seed + 300
+		}
+		st, err := net.AttachChurn(spec)
+		if err != nil {
+			return fmt.Errorf("scenario: churn: %w", err)
+		}
+		res.Churn = st
 	}
 	return nil
 }

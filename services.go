@@ -1,6 +1,7 @@
 package ccredf
 
 import (
+	"ccredf/internal/churn"
 	"ccredf/internal/rng"
 	"ccredf/internal/services"
 	"ccredf/internal/traffic"
@@ -136,4 +137,21 @@ func (n *Network) AttachVideoBestEffort(v VideoStream) *int64 {
 // OpenRadarPipeline admits and starts a radar pipeline on the network.
 func (n *Network) OpenRadarPipeline(rp RadarPipeline) ([]Connection, error) {
 	return rp.Open(n.Network)
+}
+
+// ChurnSpec configures a Poisson connection arrival/departure workload with
+// a mixed-criticality admission policy (internal/churn, DESIGN.md §15).
+type ChurnSpec = churn.Spec
+
+// ChurnStats counts a churn generator's activity.
+type ChurnStats = churn.Stats
+
+// ParseChurnSpec parses the compact -churn command-line specification
+// (rate=...,hold=...,hard=...,firm=...,fbud=...,bbud=...,seed=...).
+var ParseChurnSpec = churn.ParseSpec
+
+// AttachChurn applies the spec's per-level budgets and starts the churn
+// arrival process on the network, returning its live statistics.
+func (n *Network) AttachChurn(spec ChurnSpec) (*ChurnStats, error) {
+	return churn.Attach(n.Network, spec)
 }

@@ -1,0 +1,109 @@
+//go:build soak
+
+package ccredf_test
+
+import (
+	"testing"
+
+	"ccredf"
+)
+
+// TestChurnSoak is the long mixed-criticality churn soak (build tag
+// "soak"): a Poisson connection arrival/departure process drives hundreds
+// of thousands of admission decisions through a 16-node ring across one
+// million slots, with per-level budgets partitioning the bandwidth and a
+// randomized crash/restart schedule underneath. The hard class must come
+// through untouched — zero hard deadline misses, zero hard evictions — and
+// the admitted set must respect every level budget at each of the chunked
+// checkpoints. Run with: go test -tags soak -run TestChurnSoak .
+func TestChurnSoak(t *testing.T) {
+	const (
+		nodes   = 16
+		horizon = 1_000_000
+		chunks  = 100
+	)
+	rnd := ccredf.NewRand(31337)
+	plan := &ccredf.FaultPlan{Seed: 31337}
+	// Randomized crash/restart windows on every node, clear of the horizon
+	// edges, so churned connections live and die across node outages too.
+	for n := 0; n < nodes; n++ {
+		at := int64(1 + rnd.Intn(50_000))
+		for at < horizon-20_000 {
+			restart := at + int64(100+rnd.Intn(2000))
+			plan.Crashes = append(plan.Crashes, ccredf.FaultCrash{Node: n, At: at, Restart: restart})
+			at = restart + int64(20_000+rnd.Intn(100_000))
+		}
+	}
+
+	cfg := ccredf.DefaultConfig(nodes)
+	cfg.CheckInvariants = true
+	cfg.Seed = 42
+	cfg.Faults = plan
+	net, err := ccredf.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := ccredf.ChurnSpec{
+		RatePerSec: 100_000,
+		MeanHoldUs: 2000,
+		Seed:       9001,
+	}
+	st, err := net.AttachChurn(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm := net.Admission()
+	budgets := map[ccredf.Criticality]float64{}
+	for _, l := range []ccredf.Criticality{ccredf.CritHard, ccredf.CritFirm, ccredf.CritBestEffort} {
+		budgets[l] = adm.Budget(l)
+	}
+
+	const eps = 1e-12
+	for i := 0; i < chunks; i++ {
+		net.RunSlots(horizon / chunks)
+		for l, budget := range budgets {
+			if u := adm.LevelDensity(l); u > budget+eps {
+				t.Fatalf("checkpoint %d: %v density %.6f exceeds budget %.6f", i, l, u, budget)
+			}
+		}
+		if u := adm.Density(); u > adm.UMax()+eps {
+			t.Fatalf("checkpoint %d: total density %.6f exceeds U_max %.6f", i, u, adm.UMax())
+		}
+	}
+
+	s := net.Snapshot()
+	t.Logf("churn soak: %d slots, %d arrivals, %d departures, admitted hard/firm/be %d/%d/%d, evicted 0/%d/%d, %d crashes",
+		s.Slots, st.Arrivals, st.Departures,
+		st.Admitted[ccredf.CritHard], st.Admitted[ccredf.CritFirm], st.Admitted[ccredf.CritBestEffort],
+		st.Evicted[ccredf.CritFirm], st.Evicted[ccredf.CritBestEffort], s.NodeCrashes)
+
+	if s.MissedHard != 0 {
+		t.Errorf("hard deadline misses: %d", s.MissedHard)
+	}
+	if st.Evicted[ccredf.CritHard] != 0 {
+		t.Errorf("hard evictions: %d", st.Evicted[ccredf.CritHard])
+	}
+	if st.Arrivals < 100_000 {
+		t.Errorf("only %d churn arrivals across 1M slots; the generator stalled", st.Arrivals)
+	}
+	if st.Departures == 0 {
+		t.Error("no departures: hold-time expiry never fired")
+	}
+	if st.Evicted[ccredf.CritFirm]+st.Evicted[ccredf.CritBestEffort] == 0 {
+		t.Error("no firm/best-effort evictions under overload churn")
+	}
+	for _, l := range []ccredf.Criticality{ccredf.CritHard, ccredf.CritFirm, ccredf.CritBestEffort} {
+		if st.Admitted[l] == 0 {
+			t.Errorf("no %v admissions", l)
+		}
+	}
+	if s.NodeCrashes == 0 {
+		t.Fatal("soak injected no crashes; the plan is broken")
+	}
+	if s.Violations != 0 {
+		t.Errorf("invariant violations under churn soak: %d", s.Violations)
+	}
+	if s.WireErrors != 0 {
+		t.Errorf("wire errors: %d", s.WireErrors)
+	}
+}

@@ -38,6 +38,20 @@ const (
 // Connection describes a logical real-time connection (Section 6).
 type Connection = sched.Connection
 
+// Criticality is a connection's mixed-criticality level (DESIGN.md §15).
+type Criticality = sched.Criticality
+
+// Criticality levels, most important first. The zero value is CritHard, so
+// a plain Connection is the paper's guaranteed connection.
+const (
+	CritHard       = sched.CritHard
+	CritFirm       = sched.CritFirm
+	CritBestEffort = sched.CritBestEffort
+)
+
+// ParseCriticality parses "hard", "firm" or "best_effort".
+var ParseCriticality = sched.ParseCriticality
+
 // Message is one schedulable message.
 type Message = sched.Message
 
