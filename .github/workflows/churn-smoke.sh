@@ -68,7 +68,7 @@ RC=0
   -churn "$CHURN" -csv "$TMP/sweep.csv" >/dev/null
 head -1 "$TMP/sweep.csv" | grep -q 'admitted_hard,admitted_firm,admitted_be,evicted_hard,evicted_firm,evicted_be,missed_hard,missed_firm,missed_be'
 awk -F, 'NR==2 {
-  if ($15+0 <= 0 || $18 != 0 || $19+$20 <= 0 || $21 != 0 || $24 != "") exit 1
+  if ($15+0 <= 0 || $18 != 0 || $19+$20 <= 0 || $21 != 0 || $28 != "") exit 1
 }' "$TMP/sweep.csv"
 
 echo "churn-smoke: ok"

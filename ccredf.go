@@ -114,6 +114,11 @@ type Config struct {
 	// nil or zero plan leaves runs byte-identical to an unconfigured
 	// network). See FaultPlan and ParseFaultSpec.
 	Faults *FaultPlan
+	// Mode enables the operating-mode protocol (nil disables): a hysteresis
+	// state machine over per-window miss ratio and backlog that gates firm
+	// admissions in Degraded mode and sheds best-effort traffic in Critical
+	// mode. See ModeSpec and ParseModeSpec.
+	Mode *ModeSpec
 	// CheckInvariants verifies the protocol invariants on every
 	// arbitration (Metrics.InvariantViolations must stay zero).
 	CheckInvariants bool
@@ -181,6 +186,7 @@ func New(cfg Config) (*Network, error) {
 		SecondaryRequests: cfg.SecondaryRequests,
 		FailMasterAt:      cfg.FailMasterAt,
 		Faults:            cfg.Faults,
+		Mode:              cfg.Mode,
 	})
 	if err != nil {
 		return nil, err
@@ -229,6 +235,19 @@ const (
 	KindFaultInjected  = obs.KindFaultInjected
 	KindFaultDetected  = obs.KindFaultDetected
 	KindFaultRecovered = obs.KindFaultRecovered
+)
+
+// Operating-mode transition kinds (Event.Node carries the previous mode,
+// Event.Peer the new one) and bridge-backpressure kinds (Event.Node carries
+// the bridge index; for KindBridgeCongested, Event.Busy is 1 on entering
+// congestion and 0 on clearing).
+const (
+	KindModeNormal      = obs.KindModeNormal
+	KindModeDegraded    = obs.KindModeDegraded
+	KindModeCritical    = obs.KindModeCritical
+	KindBridgeDrop      = obs.KindBridgeDrop
+	KindBridgeOverflow  = obs.KindBridgeOverflow
+	KindBridgeCongested = obs.KindBridgeCongested
 )
 
 // ParseFaultSpec parses a compact command-line fault spec such as

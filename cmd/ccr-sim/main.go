@@ -48,6 +48,7 @@ func main() {
 		nodeLat  = flag.Bool("node-latency", false, "print per-source-node completion-latency percentiles")
 		faults   = flag.String("faults", "", "fault-injection spec, e.g. coll=0.01,dist=0.01,ho=0.005,crash=3@100+50,seed=9")
 		churn    = flag.String("churn", "", "connection-churn spec, e.g. rate=50000,hold=2000,hard=0.2,firm=0.4,seed=9")
+		modeArg  = flag.String("mode", "", "operating-mode spec, e.g. window=256,dmiss=0.05,cmiss=0.25,cool=2,bcap=64")
 	)
 	showHist = flag.Bool("hist", false, "render latency histograms as ASCII bars")
 	jsonOut = flag.Bool("json", false, "print a machine-readable JSON snapshot instead of text")
@@ -71,9 +72,18 @@ func main() {
 		}
 		churnSpec = &spec
 	}
+	var modeSpec *ccredf.ModeSpec
+	if *modeArg != "" {
+		spec, err := ccredf.ParseModeSpec(*modeArg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ccr-sim:", err)
+			os.Exit(2)
+		}
+		modeSpec = &spec
+	}
 
 	if *config != "" {
-		runConfig(*config, *nodeLat, faultPlan, churnSpec)
+		runConfig(*config, *nodeLat, faultPlan, churnSpec, modeSpec)
 		return
 	}
 
@@ -84,6 +94,7 @@ func main() {
 	cfg.Reliable = *reliable
 	cfg.Seed = *seed
 	cfg.Faults = faultPlan
+	cfg.Mode = modeSpec
 	switch *protocol {
 	case "ccr-edf":
 		cfg.Protocol = ccredf.CCREDF
@@ -196,8 +207,9 @@ func printProbe(probe *ccredf.LatencyProbe) {
 }
 
 // runConfig executes a declarative JSON scenario. A -faults spec overrides
-// the scenario's own faults stanza, and a -churn spec its churn stanza.
-func runConfig(path string, nodeLat bool, faultPlan *ccredf.FaultPlan, churnSpec *ccredf.ChurnSpec) {
+// the scenario's own faults stanza, a -churn spec its churn stanza, and a
+// -mode spec its mode stanza.
+func runConfig(path string, nodeLat bool, faultPlan *ccredf.FaultPlan, churnSpec *ccredf.ChurnSpec, modeSpec *ccredf.ModeSpec) {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
@@ -209,12 +221,15 @@ func runConfig(path string, nodeLat bool, faultPlan *ccredf.FaultPlan, churnSpec
 		fmt.Fprintln(os.Stderr, "ccr-sim:", err)
 		os.Exit(1)
 	}
-	if faultPlan != nil || churnSpec != nil {
+	if faultPlan != nil || churnSpec != nil || modeSpec != nil {
 		if faultPlan != nil {
 			s.Faults = faultPlan
 		}
 		if churnSpec != nil {
 			s.Churn = churnSpec
+		}
+		if modeSpec != nil {
+			s.Mode = modeSpec
 		}
 		if err := s.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, "ccr-sim:", err)
@@ -284,6 +299,16 @@ func runMulti(res *scenario.Result, key string, nodeLat bool) {
 				sum.Snapshot.FaultsInjected, sum.Snapshot.FaultsDetected,
 				sum.Snapshot.FaultsRecovered, sum.Snapshot.NodeCrashes)
 		}
+		if sum.Snapshot.Mode != "" {
+			fmt.Printf("operating mode      %s (transitions=%d degraded=%d critical=%d gated=%d shed_be=%d)\n",
+				sum.Snapshot.Mode, sum.Snapshot.ModeTransitions,
+				sum.Snapshot.ModeDegradedEntries, sum.Snapshot.ModeCriticalEntries,
+				sum.Snapshot.ModeGated, sum.Snapshot.ModeShedBE)
+		}
+		if sum.Snapshot.BridgeDropped+sum.Snapshot.BridgeOverflowed > 0 || sum.Snapshot.BridgeMaxQueue > 0 {
+			fmt.Printf("bridge backpressure dropped=%d overflowed=%d max_queue=%d\n",
+				sum.Snapshot.BridgeDropped, sum.Snapshot.BridgeOverflowed, sum.Snapshot.BridgeMaxQueue)
+		}
 	}
 	printProbe(probe)
 	missed := sum.DeadlinesMissed()
@@ -339,6 +364,12 @@ func summarise(net *ccredf.Network, key string, opened int, exact, noReuse bool,
 		fmt.Printf("faults              injected=%d detected=%d recovered=%d crashes=%d\n",
 			m.FaultsInjected.Value(), m.FaultsDetected.Value(),
 			m.FaultsRecovered.Value(), m.NodeCrashes.Value())
+	}
+	if mc := net.ModeController(); mc != nil {
+		fmt.Printf("operating mode      %s (transitions=%d degraded=%d critical=%d gated=%d shed_be=%d)\n",
+			mc.Mode(), mc.Transitions(),
+			mc.Entries(ccredf.ModeDegraded), mc.Entries(ccredf.ModeCritical),
+			m.ModeGated.Value(), m.ModeShedBE.Value())
 	}
 	var churned int64
 	for _, l := range []ccredf.Criticality{ccredf.CritHard, ccredf.CritFirm, ccredf.CritBestEffort} {

@@ -47,6 +47,7 @@ func main() {
 		csvPath    = flag.String("csv", "", "also write results to this CSV file")
 		faults     = flag.String("faults", "", "fault-injection spec applied to every point, e.g. coll=0.01,crash=3@100+50")
 		churnFlag  = flag.String("churn", "", "connection-churn spec applied to every point, e.g. rate=50000,hold=2000 (seedless specs inherit each point's seed)")
+		modeFlag   = flag.String("mode", "", "operating-mode spec applied to every point, e.g. window=256,dmiss=0.05,bcap=64")
 		rings      = flag.Int("rings", 1, "rings per point: >1 runs each point on a bridged chain with cross-ring traffic")
 		remote     = flag.String("remote", "", "run the sweep on a ccr-served daemon (or comma-separated cluster peers) instead of locally")
 		remoteWait = flag.Duration("remote-timeout", 10*time.Minute, "server-side job timeout for -remote sweeps")
@@ -115,6 +116,12 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	if *modeFlag != "" {
+		if _, err := ccredf.ParseModeSpec(*modeFlag); err != nil {
+			fmt.Fprintln(os.Stderr, "ccr-sweep: -mode:", err)
+			os.Exit(2)
+		}
+	}
 
 	var outcomes []sweep.Outcome
 	if *remote != "" {
@@ -129,9 +136,10 @@ func main() {
 			Faults:       *faults,
 			Rings:        *rings,
 			Churn:        *churnFlag,
+			Mode:         *modeFlag,
 		}
 		var err error
-		outcomes, err = runRemote(*remote, spec, *remoteWait, *faults, *churnFlag)
+		outcomes, err = runRemote(*remote, spec, *remoteWait, *faults, *churnFlag, *modeFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ccr-sweep: remote:", err)
 			os.Exit(1)
@@ -146,6 +154,9 @@ func main() {
 		}
 		if *churnFlag != "" {
 			grid = sweep.WithChurn(grid, *churnFlag)
+		}
+		if *modeFlag != "" {
+			grid = sweep.WithMode(grid, *modeFlag)
 		}
 		fmt.Printf("sweeping %d points on %d workers (%d slots each)…\n", len(grid), *workers, *slots)
 		if *batch > 1 {
@@ -187,7 +198,7 @@ func main() {
 // runRemote submits the sweep spec to a ccr-served daemon and converts the
 // wire outcomes back into sweep.Outcome, so the table/CSV output below is
 // identical whether the grid ran locally or remotely.
-func runRemote(base string, spec *serve.SweepSpec, timeout time.Duration, faultSpec, churnSpec string) ([]sweep.Outcome, error) {
+func runRemote(base string, spec *serve.SweepSpec, timeout time.Duration, faultSpec, churnSpec, modeSpec string) ([]sweep.Outcome, error) {
 	endpoints := strings.Split(base, ",")
 	c := client.NewMulti(endpoints, client.Options{})
 	ctx := context.Background()
@@ -212,7 +223,7 @@ func runRemote(base string, spec *serve.SweepSpec, timeout time.Duration, faultS
 
 	out := make([]sweep.Outcome, 0, len(res.Points))
 	for _, p := range res.Points {
-		out = append(out, p.Outcome(faultSpec, churnSpec))
+		out = append(out, p.Outcome(faultSpec, churnSpec, modeSpec))
 	}
 	return out, nil
 }

@@ -39,6 +39,15 @@ type Options struct {
 	StealLease time.Duration
 	// Steal enables the thief loop.
 	Steal bool
+	// ForwardTimeout bounds each forwarded submission and each proxied
+	// job-record call (default 3s; event streams are exempt). A hung owner
+	// therefore degrades to serve-locally within one bounded wait instead of
+	// pinning the client for the full transport timeout.
+	ForwardTimeout time.Duration
+	// StealTimeout bounds each steal request and each stolen-result post
+	// (default 5s). A hung victim costs the thief one bounded round trip;
+	// the victim's lease reclaims the job either way.
+	StealTimeout time.Duration
 	// Replicas is the virtual-node count per peer (default 64).
 	Replicas int
 	// Logf, when set, receives one-line operational log messages.
@@ -133,6 +142,12 @@ func New(opts Options) (*Node, error) {
 	}
 	if opts.StealLease <= 0 {
 		opts.StealLease = 30 * time.Second
+	}
+	if opts.ForwardTimeout <= 0 {
+		opts.ForwardTimeout = 3 * time.Second
+	}
+	if opts.StealTimeout <= 0 {
+		opts.StealTimeout = 5 * time.Second
 	}
 	gossipTimeout := 2 * opts.GossipInterval
 	if gossipTimeout < time.Second {

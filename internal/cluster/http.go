@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -143,7 +144,9 @@ func (n *Node) submissionKey(kind string, body []byte) (string, bool) {
 // the health view was stale; availability beats placement, and determinism
 // makes the misplaced cache line harmless.
 func (n *Node) forwardSubmit(w http.ResponseWriter, r *http.Request, owner string, body []byte, inner http.Handler) {
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner+r.URL.RequestURI(), bytes.NewReader(body))
+	ctx, cancel := context.WithTimeout(r.Context(), n.opts.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "cluster: forward: %v", err)
 		return
@@ -203,7 +206,15 @@ func (n *Node) jobHandler(inner http.Handler) http.HandlerFunc {
 // with an untimed client so SSE keeps flowing.
 func (n *Node) proxyJob(w http.ResponseWriter, r *http.Request, owner string) {
 	n.proxies.Add(1)
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, owner+r.URL.RequestURI(), nil)
+	hc, ctx := n.peerClient, r.Context()
+	if strings.HasSuffix(r.URL.Path, "/events") {
+		hc = n.streamClient // SSE: no per-request deadline
+	} else {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, n.opts.ForwardTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, owner+r.URL.RequestURI(), nil)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "cluster: proxy: %v", err)
 		return
@@ -212,10 +223,6 @@ func (n *Node) proxyJob(w http.ResponseWriter, r *http.Request, owner string) {
 		req.Header.Set("Accept", accept)
 	}
 	req.Header.Set(ForwardedHeader, n.self)
-	hc := n.peerClient
-	if strings.HasSuffix(r.URL.Path, "/events") {
-		hc = n.streamClient
-	}
 	resp, err := hc.Do(req)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "cluster: proxy to %s: %v", owner, err)
@@ -346,7 +353,9 @@ func (n *Node) requestSteal(victim string, lease time.Duration) (*serve.StolenJo
 	if err != nil {
 		return nil, err
 	}
-	resp, err := n.peerClient.Post(victim+"/cluster/steal", "application/json", bytes.NewReader(b))
+	ctx, cancel := context.WithTimeout(context.Background(), n.opts.StealTimeout)
+	defer cancel()
+	resp, err := n.postJSON(ctx, victim+"/cluster/steal", b)
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +381,9 @@ func (n *Node) postStolenResult(victim, id, key string, result []byte, errMsg st
 	if err != nil {
 		return err
 	}
-	resp, err := n.peerClient.Post(victim+"/cluster/stolen", "application/json", bytes.NewReader(b))
+	ctx, cancel := context.WithTimeout(context.Background(), n.opts.StealTimeout)
+	defer cancel()
+	resp, err := n.postJSON(ctx, victim+"/cluster/stolen", b)
 	if err != nil {
 		return err
 	}
@@ -382,6 +393,16 @@ func (n *Node) postStolenResult(victim, id, key string, result []byte, errMsg st
 		return fmt.Errorf("cluster: stolen result to %s: HTTP %d", victim, resp.StatusCode)
 	}
 	return nil
+}
+
+// postJSON issues one deadline-bounded JSON POST on the unary peer client.
+func (n *Node) postJSON(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return n.peerClient.Do(req)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ccredf/internal/serve"
+)
+
+// hungServer accepts requests and never answers until the test ends,
+// emulating a peer whose process is alive but wedged (GC death spiral,
+// blocked disk, half-open connection).
+func hungServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	done := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-done
+	}))
+	t.Cleanup(func() {
+		close(done)
+		hs.Close()
+	})
+	return hs
+}
+
+// newNodeWithHungPeer builds a two-peer node whose other member is wedged
+// but — via a hand-merged digest — still looks alive to the health view, so
+// the ring keeps routing keys at it.
+func newNodeWithHungPeer(t *testing.T, fwdTimeout, stealTimeout time.Duration) (*Node, string) {
+	t.Helper()
+	hung := hungServer(t)
+	srv := serve.New(serve.Options{Workers: 1})
+	t.Cleanup(srv.Close)
+	n, err := New(Options{
+		Self:           "http://127.0.0.1:1", // never dialled: only the hung peer is
+		Peers:          []string{"http://127.0.0.1:1", hung.URL},
+		Server:         srv,
+		DeadAfter:      time.Minute, // keep the merged digest alive for the whole test
+		ForwardTimeout: fwdTimeout,
+		StealTimeout:   stealTimeout,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	// No Start(): gossip would need the hung peer to answer. Merge a fresh
+	// digest instead so the membership view says alive.
+	n.members.merge(Digest{Peer: NormalizePeer(hung.URL), Seq: 1, Ready: true, Workers: 1})
+	return n, NormalizePeer(hung.URL)
+}
+
+// TestForwardTimeoutServesLocally proves the degradation path: a submission
+// owned by a hung-but-alive peer falls back to local execution after one
+// bounded ForwardTimeout instead of hanging for the transport timeout.
+func TestForwardTimeoutServesLocally(t *testing.T) {
+	n, hung := newNodeWithHungPeer(t, 150*time.Millisecond, time.Second)
+	h := n.Handler()
+
+	// Find a scenario seed the ring assigns to the hung peer.
+	var body string
+	for seed := uint64(1); seed <= 64; seed++ {
+		s := testScenario(seed, 2000)
+		key, ok := n.submissionKey(kindSim, []byte(s))
+		if !ok {
+			t.Fatalf("seed %d: scenario did not parse", seed)
+		}
+		if n.owner(key) == hung {
+			body = s
+			break
+		}
+	}
+	if body == "" {
+		t.Fatal("no seed in 1..64 routed to the hung peer")
+	}
+
+	start := time.Now()
+	req := httptest.NewRequest(http.MethodPost, "/v1/jobs", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	elapsed := time.Since(start)
+
+	if rec.Code != http.StatusOK && rec.Code != http.StatusAccepted {
+		t.Fatalf("local fallback returned HTTP %d: %s", rec.Code, rec.Body.String())
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("fallback took %v; the forward deadline did not bound the hung peer", elapsed)
+	}
+	if got := n.forwardErrors.Load(); got != 1 {
+		t.Fatalf("forwardErrors = %d, want 1 (the timed-out forward)", got)
+	}
+}
+
+// TestProxyTimeoutBoundsHungPeer proves a proxied job lookup against a hung
+// peer fails fast with 502 rather than stalling the client.
+func TestProxyTimeoutBoundsHungPeer(t *testing.T) {
+	n, hung := newNodeWithHungPeer(t, 150*time.Millisecond, time.Second)
+	n.rememberForward("job-on-hung-peer", hung)
+
+	start := time.Now()
+	req := httptest.NewRequest(http.MethodGet, "/v1/jobs/job-on-hung-peer", nil)
+	req.SetPathValue("id", "job-on-hung-peer")
+	rec := httptest.NewRecorder()
+	n.Handler().ServeHTTP(rec, req)
+	elapsed := time.Since(start)
+
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("proxy to hung peer returned HTTP %d, want 502", rec.Code)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("proxy error took %v; the deadline did not bound the hung peer", elapsed)
+	}
+}
+
+// TestStealTimeoutBoundsHungVictim proves the thief's steal round trip is
+// deadline-bounded even when the victim is wedged.
+func TestStealTimeoutBoundsHungVictim(t *testing.T) {
+	n, hung := newNodeWithHungPeer(t, time.Second, 150*time.Millisecond)
+
+	start := time.Now()
+	if _, err := n.requestSteal(hung, time.Second); err == nil {
+		t.Fatal("requestSteal against a hung victim returned no error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("requestSteal took %v; the steal deadline did not bound the hung victim", elapsed)
+	}
+
+	start = time.Now()
+	if err := n.postStolenResult(hung, "id", "key", []byte("{}"), ""); err == nil {
+		t.Fatal("postStolenResult against a hung victim returned no error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("postStolenResult took %v; the steal deadline did not bound the hung victim", elapsed)
+	}
+}

@@ -1,0 +1,220 @@
+package experiment
+
+import (
+	"ccredf/internal/churn"
+	"ccredf/internal/core"
+	"ccredf/internal/fault"
+	"ccredf/internal/mode"
+	"ccredf/internal/network"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/stats"
+	"ccredf/internal/timing"
+	"ccredf/internal/topology"
+)
+
+// runE24 validates graceful degradation end to end on a bridged two-ring
+// mesh. Ring 0 carries admission-governed connection churn, a non-real-time
+// submission flood (which can never displace real-time traffic under the
+// class-ordered arbitration, so the hard guarantee stays meaningful), and a
+// staggered node-crash schedule that includes the bridge node. The
+// operating-mode protocol must ride the backlog up through Degraded into
+// Critical — gating firm admissions and shedding best-effort releases — and,
+// once the flood stops and the crashed nodes return, cool down cleanly back
+// to Normal without flapping. Throughout, the hard class never misses a
+// deadline, and the bounded bridge queue never exceeds its configured
+// capacity while EDF backpressure visibly sheds the cross-ring excess. The
+// whole run must be byte-stable across repetition.
+func runE24(o Options) (*Result, error) {
+	r := &Result{ID: "E24", Title: "Graceful degradation: mode protocol under overload and bridge faults"}
+	horizon := o.horizon(24000)
+	n := o.nodes(16)
+	const bridgeCap = 2
+	mspec := &mode.Spec{
+		WindowSlots: 64, DegradeMiss: 0.02, CriticalMiss: 0.5,
+		DegradeBacklog: 96, CriticalBacklog: 256,
+		ExitFrac: 0.5, CooldownWindows: 2, BridgeCap: bridgeCap,
+	}
+	// Firm/best-effort churn only: the hard class is the two explicitly
+	// admitted connections below, so the zero-hard-miss check is exact.
+	cspec := churn.Spec{
+		RatePerSec: 60000,
+		MeanHoldUs: 1500,
+		FirmFrac:   0.6,
+		Seed:       o.Seed + 600,
+	}.Normalised()
+
+	type outcome struct {
+		st          churn.Stats
+		snap        network.Snapshot
+		transitions int64
+		degEntries  int64
+		critEntries int64
+		finalMode   mode.Mode
+		dropped     int64
+		overflowed  int64
+		maxQueue    int
+		crossDel    int64
+		crossDrop   int64
+	}
+	run := func() (*outcome, error) {
+		topo, err := topology.New(topology.Spec{
+			Rings:   []int{n, n},
+			Bridges: []topology.Bridge{{RingA: 0, NodeA: 3, RingB: 1, NodeB: 0}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfgs := make([]network.Config, 2)
+		for i := range cfgs {
+			p := timing.DefaultParams(n)
+			arb, err := core.NewArbiter(n, sched.Map5Bit, true)
+			if err != nil {
+				return nil, err
+			}
+			cfgs[i] = network.Config{
+				Params: p, Protocol: arb, Seed: o.Seed + 600 + uint64(i),
+				Mode: mspec, DropLate: true,
+			}
+		}
+		// Staggered crashes through the overload phase, bridge node included:
+		// the mode protocol must hold its state through the faults instead of
+		// flapping on them.
+		cfgs[0].Faults = &fault.Plan{Crashes: []fault.Crash{
+			{Node: 2, At: horizon / 16, Restart: horizon / 2},
+			{Node: 4, At: horizon / 8, Restart: horizon / 2},
+			{Node: 5, At: 3 * horizon / 16, Restart: horizon / 2},
+			{Node: 3, At: horizon / 4, Restart: horizon/4 + 512},
+		}}
+		m, err := network.NewMulti(network.MultiConfig{
+			Topo: topo, RingConfigs: cfgs, BridgeCap: bridgeCap, RelaySlots: 6,
+		})
+		if err != nil {
+			return nil, err
+		}
+		net := m.Ring(0)
+		slot := net.Params().SlotTime()
+
+		// One admitted hard connection per ring: the traffic the protocol
+		// exists to protect. Endpoints avoid every crashed node.
+		for ri := 0; ri < 2; ri++ {
+			if _, err := m.Ring(ri).OpenConnection(sched.Connection{
+				Src: 1, Dests: ring.Node(7), Period: 64 * slot, Slots: 1,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		// Best-effort cross traffic over a deliberately slow, tightly-capped
+		// bridge: phase-aligned releases burst past the capacity every
+		// period, so EDF backpressure must evict and the congestion bound
+		// must hold. Opened before churn attaches so admission capacity is
+		// reserved deterministically.
+		for i := 0; i < 4; i++ {
+			if _, err := m.OpenCross(network.CrossRequest{
+				SrcRing: 0, Src: (5 + i) % n, DstRing: 1, Dests: ring.Node((2 + i) % n),
+				Period: 32 * slot, Slots: 1, Deadline: 32 * slot,
+				Crit: sched.CritBestEffort,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		// Churn drives admission decisions throughout (gated in Degraded+).
+		st, err := churn.Attach(net, cspec)
+		if err != nil {
+			return nil, err
+		}
+		// The overload: a non-real-time submission flood. NRT is served only
+		// in slack, so it saturates the backlog signal without ever taking a
+		// slot from admitted real-time traffic.
+		pumping := true
+		var pump func(t timing.Time)
+		pump = func(t timing.Time) {
+			if !pumping {
+				return
+			}
+			for _, src := range []int{0, 6} {
+				net.SubmitMessage(sched.ClassNonRealTime, src, ring.Node((src+7)%n), 1, 0) //nolint:errcheck
+			}
+			net.After(slot, pump)
+		}
+		net.After(slot, pump)
+
+		before := net.Metrics().Slots.Value()
+		m.RunSlots(horizon / 8)
+		if got := net.Mode(); got < mode.Degraded {
+			r.check(false, "at flood peak mode = %v, want >= degraded (backlog %d)", got, net.QueueDepth())
+		}
+		pumping = false
+		m.RunSlots(horizon - horizon/8)
+		r.Slots += net.Metrics().Slots.Value() - before
+
+		out := &outcome{
+			st:          *st,
+			snap:        net.Snapshot(),
+			transitions: net.ModeController().Transitions(),
+			degEntries:  net.ModeController().Entries(mode.Degraded),
+			critEntries: net.ModeController().Entries(mode.Critical),
+			finalMode:   net.Mode(),
+		}
+		out.dropped, out.overflowed, out.maxQueue = m.BridgeTotals()
+		for _, cc := range m.CrossConns() {
+			out.crossDel += cc.Stats().Delivered
+			out.crossDrop += cc.Stats().Dropped
+		}
+		return out, nil
+	}
+
+	a, err := run()
+	if err != nil {
+		return nil, err
+	}
+	b, err := run()
+	if err != nil {
+		return nil, err
+	}
+	r.Slots /= 2
+
+	tab := stats.NewTable("Mode protocol under overload + bridge crash",
+		"signal", "value")
+	tab.AddRow("transitions", a.transitions)
+	tab.AddRow("degraded entries", a.degEntries)
+	tab.AddRow("critical entries", a.critEntries)
+	tab.AddRow("final mode", a.finalMode.String())
+	tab.AddRow("admissions gated", a.snap.ModeGated)
+	tab.AddRow("best-effort shed", a.snap.ModeShedBE)
+	tab.AddRow("bridge dropped", a.dropped)
+	tab.AddRow("bridge overflowed", a.overflowed)
+	tab.AddRow("bridge max queue", a.maxQueue)
+	tab.AddRow("cross delivered", a.crossDel)
+	r.Tables = append(r.Tables, tab)
+
+	// The hard class is inviolable in every mode.
+	r.check(a.snap.MissedHard == 0, "%d hard deadline misses", a.snap.MissedHard)
+	r.check(a.st.Evicted[sched.CritHard] == 0, "%d hard connections evicted", a.st.Evicted[sched.CritHard])
+	// A full hysteresis cycle: Degraded and Critical both entered, then a
+	// clean exit once the flood lifts and the crashed nodes return.
+	r.check(a.degEntries >= 1, "never entered degraded (transitions=%d)", a.transitions)
+	r.check(a.critEntries >= 1, "never entered critical (transitions=%d)", a.transitions)
+	r.check(a.finalMode == mode.Normal, "did not return to normal: %v", a.finalMode)
+	// The modes did real work: firm admissions gated, best-effort shed.
+	r.check(a.snap.ModeGated > 0, "degraded mode gated no admissions")
+	r.check(a.snap.ModeShedBE > 0, "critical mode shed no best-effort releases")
+	// No flapping: transitions stay far below the window count.
+	windows := horizon / mspec.WindowSlots
+	r.check(a.transitions <= windows/8, "flapping: %d transitions over %d windows", a.transitions, windows)
+	// The bridge queue is bounded by its configured capacity even while the
+	// bridge node is dark, and EDF backpressure visibly shed the excess.
+	r.check(a.maxQueue <= bridgeCap, "bridge queue reached %d > cap %d", a.maxQueue, bridgeCap)
+	r.check(a.dropped+a.overflowed > 0, "bridge backpressure never engaged under the cross bursts")
+	r.check(a.crossDel > 0, "no cross-ring deliveries at all")
+	// Byte-stable repetition, mode trajectory included.
+	r.check(a.st == b.st, "churn stats not reproducible across runs")
+	r.check(a.snap.MessagesDelivered == b.snap.MessagesDelivered,
+		"deliveries not reproducible (%d vs %d)", a.snap.MessagesDelivered, b.snap.MessagesDelivered)
+	r.check(a.transitions == b.transitions && a.finalMode == b.finalMode,
+		"mode trajectory not reproducible (%d/%v vs %d/%v)", a.transitions, a.finalMode, b.transitions, b.finalMode)
+
+	r.note("hard class untouched (0 misses, 0 evictions) through a Normal→Degraded→Critical→Normal cycle in %d transitions (gated=%d shed=%d); bridge queue bounded at %d/%d with %d relays shed by backpressure",
+		a.transitions, a.snap.ModeGated, a.snap.ModeShedBE, a.maxQueue, bridgeCap, a.dropped)
+	return r.finish(), nil
+}

@@ -125,6 +125,7 @@ var registry = []Experiment{
 	{"E21", "Deterministic fault injection and recovery", runE21},
 	{"E22", "End-to-end bounds across bridged rings", runE22},
 	{"E23", "Mixed-criticality admission under connection churn", runE23},
+	{"E24", "Graceful degradation: mode protocol under overload and bridge faults", runE24},
 }
 
 // All returns every experiment in suite order.

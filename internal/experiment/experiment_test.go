@@ -13,7 +13,7 @@ func TestSuiteRegistry(t *testing.T) {
 	ids := IDs()
 	want := []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7",
 		"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
-		"E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23"}
+		"E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21", "E22", "E23", "E24"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
 	}

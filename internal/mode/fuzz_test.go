@@ -1,0 +1,33 @@
+package mode
+
+import "testing"
+
+// FuzzModeSpec checks ParseSpec never panics, and that every accepted spec
+// both validates after normalisation and survives a String round-trip.
+func FuzzModeSpec(f *testing.F) {
+	f.Add("")
+	f.Add("window=256,dmiss=0.05,cmiss=0.25,dback=256,cback=1024,exit=0.5,cool=2,bcap=64")
+	f.Add("dmiss=0.01")
+	f.Add("bcap=8,cool=3")
+	f.Add("window=1,exit=0.9")
+	f.Add("window")
+	f.Add("dmiss=nan")
+	f.Add("bogus=1")
+	f.Add(",,,")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		if err := s.Normalised().Validate(); err != nil {
+			t.Fatalf("accepted spec %q fails validation: %v", in, err)
+		}
+		back, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("String() of accepted spec %q does not re-parse: %v", in, err)
+		}
+		if back != s {
+			t.Fatalf("round trip of %q: %+v != %+v", in, back, s)
+		}
+	})
+}

@@ -1,0 +1,382 @@
+package mode
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"",
+		"window=512",
+		"window=256,dmiss=0.05,cmiss=0.25,dback=256,cback=1024,exit=0.5,cool=2,bcap=64",
+		"dmiss=0.01,cool=3",
+		"bcap=8",
+	}
+	for _, in := range cases {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		back, err := ParseSpec(s.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(String(%q)=%q): %v", in, s.String(), err)
+		}
+		if back != s {
+			t.Errorf("round trip %q: got %+v want %+v", in, back, s)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []string{
+		"window",              // not key=value
+		"window=x",            // bad int
+		"dmiss=high",          // bad float
+		"bogus=1",             // unknown key
+		"dmiss=0",             // out of range after normalise? 0 -> default; use negative
+		"dmiss=-0.1",          // negative ratio
+		"dmiss=2",             // ratio > 1
+		"dmiss=0.5,cmiss=0.1", // cmiss below dmiss
+		"exit=1",              // exit must be < 1
+		"exit=0.0001,cool=0",  // cool=0 normalises to default... use negative
+		"cool=-1",
+		"bcap=-2",
+		"window=-5",
+		"cback=1,dback=900", // cback below dback
+	}
+	for _, in := range cases {
+		if in == "dmiss=0" || in == "exit=0.0001,cool=0" {
+			// zero values take defaults by design; these parse fine.
+			if _, err := ParseSpec(in); err != nil {
+				t.Errorf("ParseSpec(%q): unexpected error %v", in, err)
+			}
+			continue
+		}
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q): expected error", in)
+		}
+	}
+}
+
+func TestParseSpecEmptyDisabled(t *testing.T) {
+	s, err := ParseSpec("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != (Spec{}) {
+		t.Errorf("empty spec should be zero, got %+v", s)
+	}
+	if s.String() != "" {
+		t.Errorf("zero spec String() = %q, want empty", s.String())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Normal.String() != "normal" || Degraded.String() != "degraded" || Critical.String() != "critical" {
+		t.Fatalf("mode names wrong: %v %v %v", Normal, Degraded, Critical)
+	}
+}
+
+// window is one window's worth of signals fed to a controller.
+type window struct {
+	missed, done int64 // per-window deltas
+	backlog      int
+}
+
+// drive runs the controller over a window sequence, returning the mode after
+// each window and the transition slots.
+func drive(t *testing.T, spec Spec, ws []window) ([]Mode, []Transition) {
+	t.Helper()
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modes []Mode
+	var trs []Transition
+	var cumMissed, cumDone, slot int64
+	for _, w := range ws {
+		// Drive the per-slot API for one full window.
+		fired := false
+		for i := int64(0); i < c.Spec().WindowSlots; i++ {
+			slot++
+			if c.EndSlot() {
+				if fired {
+					t.Fatal("EndSlot fired twice in one window")
+				}
+				fired = true
+				cumMissed += w.missed
+				cumDone += w.done
+				if tr, ok := c.Evaluate(slot, cumMissed, cumDone, w.backlog); ok {
+					trs = append(trs, tr)
+				}
+			}
+		}
+		if !fired {
+			t.Fatal("EndSlot never fired across a full window")
+		}
+		modes = append(modes, c.Mode())
+	}
+	return modes, trs
+}
+
+func TestEscalateAndCooldownExit(t *testing.T) {
+	spec := Spec{WindowSlots: 16, DegradeMiss: 0.1, CriticalMiss: 0.5,
+		DegradeBacklog: 100, CriticalBacklog: 1000, ExitFrac: 0.5, CooldownWindows: 2}
+	ws := []window{
+		{0, 100, 0},  // clean
+		{20, 100, 0}, // 20% miss -> Degraded
+		{20, 100, 0}, // still dirty
+		{1, 100, 0},  // clean (1% < 0.5*10%) — cooldown 1/2
+		{1, 100, 0},  // cooldown 2/2 -> Normal
+		{60, 100, 0}, // 60% -> Critical directly
+		{10, 100, 0}, // 10% < 0.5*50% -> clean 1/2 for Critical exit
+		{10, 100, 0}, // -> Degraded (one level only)
+		{1, 100, 0},  // clean for Degraded 1/2
+		{1, 100, 0},  // -> Normal
+	}
+	modes, trs := drive(t, spec, ws)
+	want := []Mode{Normal, Degraded, Degraded, Degraded, Normal, Critical, Critical, Degraded, Degraded, Normal}
+	for i, m := range want {
+		if modes[i] != m {
+			t.Fatalf("window %d: mode %v, want %v (all: %v)", i, modes[i], m, modes)
+		}
+	}
+	if len(trs) != 5 {
+		t.Fatalf("transitions: got %d (%v), want 5", len(trs), trs)
+	}
+	if trs[1] != (Transition{Degraded, Normal, trs[1].Slot}) {
+		t.Errorf("second transition %+v, want Degraded->Normal", trs[1])
+	}
+	if trs[2].To != Critical || trs[2].From != Normal {
+		t.Errorf("third transition %+v, want Normal->Critical jump", trs[2])
+	}
+}
+
+func TestBacklogTriggers(t *testing.T) {
+	spec := Spec{WindowSlots: 8, DegradeMiss: 0.5, CriticalMiss: 0.9,
+		DegradeBacklog: 10, CriticalBacklog: 100, ExitFrac: 0.5, CooldownWindows: 1}
+	ws := []window{
+		{0, 10, 15},  // backlog 15 >= 10 -> Degraded
+		{0, 10, 200}, // backlog 200 >= 100 -> Critical
+		{0, 10, 4},   // 4 < 0.5*100 -> Degraded (cool=1)
+		{0, 10, 4},   // 4 < 0.5*10 -> Normal
+	}
+	modes, _ := drive(t, spec, ws)
+	want := []Mode{Degraded, Critical, Degraded, Normal}
+	for i, m := range want {
+		if modes[i] != m {
+			t.Fatalf("window %d: mode %v, want %v", i, modes[i], m)
+		}
+	}
+}
+
+func TestNoFlappingAtThreshold(t *testing.T) {
+	// A workload oscillating around the entry threshold must not flap: once
+	// Degraded, windows at ~the entry threshold are dirty (entry >
+	// exit*entry), so the controller stays put.
+	spec := Spec{WindowSlots: 8, DegradeMiss: 0.1, CriticalMiss: 0.9,
+		DegradeBacklog: 1 << 30, CriticalBacklog: 1 << 30, ExitFrac: 0.5, CooldownWindows: 2}
+	ws := make([]window, 40)
+	for i := range ws {
+		if i%2 == 0 {
+			ws[i] = window{11, 100, 0} // just above entry
+		} else {
+			ws[i] = window{9, 100, 0} // just below entry, above exit (5%)
+		}
+	}
+	modes, trs := drive(t, spec, ws)
+	if len(trs) != 1 {
+		t.Fatalf("oscillating workload: %d transitions (%v), want exactly 1 (enter Degraded)", len(trs), trs)
+	}
+	for i := 1; i < len(modes); i++ {
+		if modes[i] != Degraded {
+			t.Fatalf("window %d: left Degraded (%v) under oscillation", i, modes[i])
+		}
+	}
+}
+
+// naiveOracle is an independent straightforward reimplementation of the
+// hysteresis protocol, used as a differential check on the incremental
+// Controller.
+func naiveOracle(spec Spec, ws []window) []Mode {
+	spec = spec.Normalised()
+	cur := Normal
+	clean := 0
+	var out []Mode
+	for _, w := range ws {
+		ratio := 0.0
+		if w.done > 0 {
+			ratio = float64(w.missed) / float64(w.done)
+		} else if w.missed > 0 {
+			ratio = 1
+		}
+		target := Normal
+		if ratio >= spec.CriticalMiss || w.backlog >= spec.CriticalBacklog {
+			target = Critical
+		} else if ratio >= spec.DegradeMiss || w.backlog >= spec.DegradeBacklog {
+			target = Degraded
+		}
+		if target > cur {
+			cur = target
+			clean = 0
+		} else if cur != Normal {
+			em, eb := spec.DegradeMiss, spec.DegradeBacklog
+			if cur == Critical {
+				em, eb = spec.CriticalMiss, spec.CriticalBacklog
+			}
+			if ratio < spec.ExitFrac*em && float64(w.backlog) < spec.ExitFrac*float64(eb) {
+				clean++
+				if clean >= spec.CooldownWindows {
+					cur--
+					clean = 0
+				}
+			} else {
+				clean = 0
+			}
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+func TestDifferentialVsNaiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		spec := Spec{
+			WindowSlots:     int64(1 + rng.Intn(32)),
+			DegradeMiss:     0.01 + 0.3*rng.Float64(),
+			DegradeBacklog:  1 + rng.Intn(50),
+			ExitFrac:        0.1 + 0.8*rng.Float64(),
+			CooldownWindows: 1 + rng.Intn(4),
+		}
+		spec.CriticalMiss = spec.DegradeMiss + (1-spec.DegradeMiss)*rng.Float64()
+		spec.CriticalBacklog = spec.DegradeBacklog + rng.Intn(200)
+		ws := make([]window, 50)
+		for i := range ws {
+			ws[i] = window{
+				missed:  int64(rng.Intn(30)),
+				done:    int64(rng.Intn(100)),
+				backlog: rng.Intn(300),
+			}
+			if ws[i].done < ws[i].missed {
+				ws[i].done = ws[i].missed // misses are a subset of completions
+			}
+		}
+		got, _ := drive(t, spec, ws)
+		want := naiveOracle(spec, ws)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d window %d: controller %v, oracle %v\nspec %+v\nwindows %+v",
+					trial, i, got[i], want[i], spec, ws)
+			}
+		}
+	}
+}
+
+func TestTransitionsMonotoneWithinWindow(t *testing.T) {
+	// Property: at most one transition per window, escalations go up,
+	// de-escalations step exactly one level, and the total transition count
+	// is bounded by the number of windows.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		spec := Spec{WindowSlots: int64(1 + rng.Intn(8)), CooldownWindows: 1 + rng.Intn(3)}
+		c, err := New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cumMissed, cumDone, slot int64
+		windows, transitions := 0, 0
+		for w := 0; w < 100; w++ {
+			dm := int64(rng.Intn(40))
+			dd := dm + int64(rng.Intn(100))
+			back := rng.Intn(2000)
+			seen := 0
+			for i := int64(0); i < c.Spec().WindowSlots; i++ {
+				slot++
+				before := c.Mode()
+				if !c.EndSlot() {
+					if c.Mode() != before {
+						t.Fatal("mode changed outside a window boundary")
+					}
+					continue
+				}
+				seen++
+				cumMissed += dm
+				cumDone += dd
+				tr, ok := c.Evaluate(slot, cumMissed, cumDone, back)
+				if !ok {
+					continue
+				}
+				transitions++
+				if tr.From == tr.To {
+					t.Fatalf("self-transition %+v", tr)
+				}
+				if tr.To < tr.From && tr.From-tr.To != 1 {
+					t.Fatalf("de-escalation skipped a level: %+v", tr)
+				}
+				if tr.Slot != slot {
+					t.Fatalf("transition slot %d, want %d", tr.Slot, slot)
+				}
+			}
+			if seen != 1 {
+				t.Fatalf("window fired %d boundary evaluations, want 1", seen)
+			}
+			windows++
+		}
+		if int64(transitions) != c.Transitions() {
+			t.Fatalf("transition counter %d, observed %d", c.Transitions(), transitions)
+		}
+		if transitions > windows {
+			t.Fatalf("%d transitions over %d windows — more than one per window", transitions, windows)
+		}
+	}
+}
+
+func TestEntriesCounters(t *testing.T) {
+	spec := Spec{WindowSlots: 4, DegradeMiss: 0.1, CriticalMiss: 0.5,
+		ExitFrac: 0.5, CooldownWindows: 1}
+	ws := []window{
+		{20, 100, 0}, {0, 100, 0}, // enter Degraded, exit
+		{60, 100, 0}, {0, 100, 0}, {0, 100, 0}, // Critical, Degraded, Normal
+	}
+	_, _ = ws, spec
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cumM, cumD, slot int64
+	for _, w := range ws {
+		for i := int64(0); i < c.Spec().WindowSlots; i++ {
+			slot++
+			if c.EndSlot() {
+				cumM += w.missed
+				cumD += w.done
+				c.Evaluate(slot, cumM, cumD, w.backlog)
+			}
+		}
+	}
+	if c.Mode() != Normal {
+		t.Fatalf("final mode %v, want Normal", c.Mode())
+	}
+	if c.Entries(Degraded) != 2 || c.Entries(Critical) != 1 || c.Entries(Normal) != 2 {
+		t.Fatalf("entries: normal=%d degraded=%d critical=%d, want 2/2/1",
+			c.Entries(Normal), c.Entries(Degraded), c.Entries(Critical))
+	}
+	if c.Transitions() != 5 {
+		t.Fatalf("transitions %d, want 5", c.Transitions())
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Spec{WindowSlots: -1}); err == nil {
+		t.Fatal("New accepted negative window")
+	}
+	c, err := New(Spec{})
+	if err != nil {
+		t.Fatalf("New(zero spec) should normalise to defaults: %v", err)
+	}
+	if c.Spec().WindowSlots != defaultWindow {
+		t.Fatalf("zero spec window %d, want default %d", c.Spec().WindowSlots, defaultWindow)
+	}
+}

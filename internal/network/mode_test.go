@@ -1,0 +1,166 @@
+package network
+
+import (
+	"testing"
+
+	"ccredf/internal/fault"
+	"ccredf/internal/mode"
+	"ccredf/internal/ring"
+	"ccredf/internal/sched"
+	"ccredf/internal/timing"
+)
+
+// overload force-installs high-rate hard connections on every node,
+// bypassing admission, so the ring runs at a utilisation no schedule can
+// meet and deadline misses are guaranteed. Returns the forced IDs.
+func overload(t testing.TB, net *Network, periodSlots int) []int {
+	t.Helper()
+	p := net.Params()
+	n := net.Ring().Nodes()
+	ids := make([]int, 0, n)
+	for src := 0; src < n; src++ {
+		c, err := net.ForceConnection(sched.Connection{
+			Src: src, Dests: ring.Node((src + 1) % n),
+			Period: timing.Time(periodSlots) * p.SlotTime(), Slots: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, c.ID)
+	}
+	return ids
+}
+
+// TestModeOverloadEntersAndExits drives the live engine through a full
+// hysteresis cycle: sustained overload enters Degraded (or worse), relief
+// plus the cool-down exits back to Normal. This is the tentpole acceptance
+// property on the real slot engine, not the controller in isolation.
+func TestModeOverloadEntersAndExits(t *testing.T) {
+	spec := &mode.Spec{WindowSlots: 32, DegradeMiss: 0.02, CriticalMiss: 0.5,
+		DegradeBacklog: 1 << 20, CriticalBacklog: 1 << 21, ExitFrac: 0.5, CooldownWindows: 2}
+	net := newEDF(t, 8, sched.Map5Bit, true, func(cfg *Config) {
+		cfg.Mode = spec
+	})
+	net.AttachInvariantChecker()
+	p := net.Params()
+
+	// A light, feasible connection that keeps delivering throughout, so
+	// clean windows after relief have a non-zero done count.
+	if _, err := net.OpenConnection(sched.Connection{
+		Src: 0, Dests: ring.Node(4), Period: 64 * p.SlotTime(), Slots: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := overload(t, net, 2)
+	net.RunSlots(512)
+	if net.Mode() < mode.Degraded {
+		t.Fatalf("after 512 overloaded slots mode = %v, want >= degraded (misses=%d)",
+			net.Mode(), net.Metrics().NetDeadlineMisses.Value())
+	}
+	entered := net.ModeController().Transitions()
+	if entered == 0 {
+		t.Fatal("no transitions recorded on entry")
+	}
+
+	// Relief: drop the overload, keep the light connection, run well past
+	// the cool-down (Cooldown windows per de-escalation step).
+	for _, id := range ids {
+		net.CloseConnection(id)
+	}
+	net.RunSlots(4096)
+	if got := net.Mode(); got != mode.Normal {
+		t.Fatalf("after relief mode = %v, want normal (transitions=%d)", got, net.ModeController().Transitions())
+	}
+	if net.ModeController().Transitions() <= entered {
+		t.Fatal("no exit transitions recorded after relief")
+	}
+}
+
+// TestModeCriticalShedsBEButNeverHard holds the ring in Critical mode and
+// checks shedding discriminates by criticality: best-effort releases are
+// shed at the queue while the hard-class connection keeps releasing.
+func TestModeCriticalShedsBEButNeverHard(t *testing.T) {
+	spec := &mode.Spec{WindowSlots: 32, DegradeMiss: 0.01, CriticalMiss: 0.02,
+		DegradeBacklog: 1 << 20, CriticalBacklog: 1 << 21, ExitFrac: 0.5, CooldownWindows: 4}
+	net := newEDF(t, 8, sched.Map5Bit, true, func(cfg *Config) {
+		cfg.Mode = spec
+	})
+	p := net.Params()
+
+	hard, err := net.ForceConnection(sched.Connection{
+		Src: 1, Dests: ring.Node(5), Period: 16 * p.SlotTime(), Slots: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	be, err := net.ForceConnection(sched.Connection{
+		Src: 2, Dests: ring.Node(6), Period: 16 * p.SlotTime(), Slots: 1,
+		Crit: sched.CritBestEffort,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overload(t, net, 2)
+	net.RunSlots(2048)
+
+	if net.Mode() != mode.Critical {
+		t.Fatalf("overload did not reach critical: mode = %v", net.Mode())
+	}
+	if shed := net.Metrics().ModeShedBE.Value(); shed == 0 {
+		t.Fatal("critical mode shed no best-effort releases")
+	}
+	hs, _ := net.ConnStats(hard.ID)
+	bs, _ := net.ConnStats(be.ID)
+	if hs.Released <= bs.Released {
+		t.Fatalf("hard released %d <= best-effort released %d; shedding did not spare the hard class",
+			hs.Released, bs.Released)
+	}
+	// The hard connection must never stop releasing: every period except
+	// those lost to enqueue refusal is accounted for. Shedding (the mode
+	// path) only ever skips best-effort, so hard releases track the BE
+	// connection's shed + released total.
+	if hs.Released == 0 {
+		t.Fatal("hard connection stopped releasing in critical mode")
+	}
+}
+
+// TestModeBridgeCrashNoFlap crashes a bridge node while the mesh is held in
+// Degraded and checks the hysteresis holds: the controller neither flaps
+// (transition count stays far below the window count) nor loses the
+// eventual exit once the overload is lifted and the bridge is back.
+func TestModeBridgeCrashNoFlap(t *testing.T) {
+	spec := &mode.Spec{WindowSlots: 32, DegradeMiss: 0.02, CriticalMiss: 0.5,
+		DegradeBacklog: 1 << 20, CriticalBacklog: 1 << 21, ExitFrac: 0.5, CooldownWindows: 2}
+	m := newMulti(t, []int{8, 8}, func(ri int, cfg *Config) {
+		cfg.Mode = spec
+		if ri == 0 {
+			// Crash the ring-0 bridge node mid-overload; restart later.
+			cfg.Faults = &fault.Plan{Crashes: []fault.Crash{
+				{Node: 3, At: 256, Restart: 512},
+			}}
+		}
+	})
+	net := m.Ring(0)
+	ids := overload(t, net, 2)
+	m.RunSlots(1024)
+	if net.Mode() < mode.Degraded {
+		t.Fatalf("overloaded ring 0 mode = %v, want >= degraded", net.Mode())
+	}
+	for _, id := range ids {
+		net.CloseConnection(id)
+	}
+	m.RunSlots(4096)
+
+	tr := net.ModeController().Transitions()
+	windows := (1024 + 4096) / 32
+	if tr > int64(windows/8) {
+		t.Fatalf("controller flapped: %d transitions over %d windows", tr, windows)
+	}
+	if net.Mode() != mode.Normal {
+		t.Fatalf("ring 0 did not return to normal after relief: %v (transitions=%d)", net.Mode(), tr)
+	}
+	if net.ModeController().Entries(mode.Degraded) == 0 {
+		t.Fatal("ring 0 never entered degraded")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"ccredf/internal/analysis"
 	"ccredf/internal/des"
+	"ccredf/internal/obs"
 	"ccredf/internal/ring"
 	"ccredf/internal/sched"
 	"ccredf/internal/stats"
@@ -26,6 +27,10 @@ type MultiConfig struct {
 	// of the downstream ring (default 1: the bridge re-queues a fragment
 	// train one slot after receiving it).
 	RelaySlots int
+	// BridgeCap is the per-bridge relay-queue capacity enabling EDF-aware
+	// backpressure (0 leaves only the hard safety cap — see
+	// sched.BridgeQueue). Typically set from mode.Spec.BridgeCap.
+	BridgeCap int
 }
 
 // CrossRequest describes a cross-ring real-time connection: a periodic stream
@@ -41,6 +46,11 @@ type CrossRequest struct {
 	Period   timing.Time
 	Slots    int
 	Deadline timing.Time
+	// Crit is the connection's criticality, carried by every ring segment
+	// (so per-ring admission and mode gating see it) and by the bridge
+	// relays (so backpressure evicts lower-criticality traffic first). The
+	// zero value is CritHard, matching single-ring connections.
+	Crit sched.Criticality
 }
 
 // CrossStats are the end-to-end measurements of one cross-ring connection.
@@ -48,8 +58,9 @@ type CrossStats struct {
 	// Released counts source-segment releases; Delivered end-to-end
 	// completions on the destination ring; Expired relays dropped at a
 	// bridge (deadline already blown or bridge dead); Misses deliveries
-	// after the end-to-end deadline.
-	Released, Delivered, Expired, Misses int64
+	// after the end-to-end deadline; Dropped relays evicted by bridge
+	// backpressure or the hard safety cap.
+	Released, Delivered, Expired, Misses, Dropped int64
 	// Latency is the end-to-end (source release → final delivery) histogram.
 	Latency *stats.Histogram
 }
@@ -87,9 +98,12 @@ type flight struct {
 
 // bridgeState is the store-and-forward relay of one bridge: a deadline-aware
 // queue (EDF across all cross-ring connections sharing the bridge) drained at
-// one fragment train per relay interval.
+// one fragment train per relay interval. congested mirrors the queue's
+// backpressure signal so toggles can be propagated (end-to-end admission,
+// typed event) exactly once per edge.
 type bridgeState struct {
-	queue sched.BridgeQueue
+	queue     sched.BridgeQueue
+	congested bool
 }
 
 // MultiNet is a multi-ring CCR-EDF network: R single-ring Networks sharing
@@ -150,7 +164,9 @@ func NewMulti(cfg MultiConfig) (*MultiNet, error) {
 		m.srcConns = append(m.srcConns, make(map[int]*CrossConn))
 	}
 	for bi := range cfg.Topo.Bridges() {
-		m.bridges = append(m.bridges, &bridgeState{})
+		bs := &bridgeState{}
+		bs.queue.Cap = cfg.BridgeCap
+		m.bridges = append(m.bridges, bs)
 		// The relay interval is measured in the downstream ring's slot time:
 		// the bridge must wait for a granted slot on the ring it forwards
 		// into. Resolve the downstream ring as the B side; for symmetric
@@ -227,6 +243,28 @@ func (m *MultiNet) BridgeStats(bi int) (relayed, expired int64) {
 	return m.bridges[bi].queue.Relayed, m.bridges[bi].queue.Expired
 }
 
+// BridgeBackpressure returns bridge bi's bounded-queue counters: relays
+// evicted by backpressure, drops against the hard safety cap, the high-water
+// queue length and the live congestion signal.
+func (m *MultiNet) BridgeBackpressure(bi int) (dropped, overflowed int64, maxLen int, congested bool) {
+	q := &m.bridges[bi].queue
+	return q.Dropped, q.Overflowed, q.MaxLen, q.Congested()
+}
+
+// BridgeTotals sums the bounded-queue counters over every bridge, for
+// summaries: total backpressure drops, safety-cap overflows, and the highest
+// per-bridge queue length seen anywhere.
+func (m *MultiNet) BridgeTotals() (dropped, overflowed int64, maxLen int) {
+	for _, bs := range m.bridges {
+		dropped += bs.queue.Dropped
+		overflowed += bs.queue.Overflowed
+		if bs.queue.MaxLen > maxLen {
+			maxLen = bs.queue.MaxLen
+		}
+	}
+	return dropped, overflowed, maxLen
+}
+
 // OpenCross admits and starts a cross-ring connection: the route's segments
 // are decomposed (topology.Segments), the end-to-end deadline is split across
 // them (sched.DecomposeDeadline), every ring on the route runs its own
@@ -268,6 +306,7 @@ func (m *MultiNet) OpenCross(req CrossRequest) (*CrossConn, error) {
 				Period:   req.Period,
 				Slots:    req.Slots,
 				Deadline: segD[k],
+				Crit:     req.Crit,
 			},
 		}
 	}
@@ -379,12 +418,50 @@ func (m *MultiNet) segmentDone(fl *flight, now timing.Time) {
 	bi := cc.Route[fl.seg]
 	next := fl.seg + 1
 	fl.seg = next
-	m.bridges[bi].queue.Push(&sched.Relay{
+	dropped, overflow := m.bridges[bi].queue.Push(&sched.Relay{
 		Deadline: fl.release0 + cc.offsets[next],
 		Enqueued: now,
+		Crit:     cc.Req.Crit,
 		Data:     fl,
 	})
+	if dropped != nil {
+		dfl := dropped.Data.(*flight)
+		dfl.cc.stats.Dropped++
+		kind := obs.KindBridgeDrop
+		if overflow {
+			kind = obs.KindBridgeOverflow
+		}
+		m.emitBridge(bi, kind, now, 0)
+	}
+	m.syncCongestion(bi, now)
 	m.sim.PostAfter(m.relay[bi], func(t timing.Time) { m.drainBridge(bi, t) })
+}
+
+// emitBridge emits a bridge event (Node = bridge index) on the downstream
+// ring's pipeline, so bridge activity shows up in that ring's trace.
+func (m *MultiNet) emitBridge(bi int, kind obs.Kind, now timing.Time, busy int) {
+	b := m.topo.Bridges()[bi]
+	net := m.rings[b.RingB]
+	net.pipe.Emit(obs.Event{Kind: kind, Time: now, Slot: net.slot, Node: bi, Busy: busy})
+}
+
+// syncCongestion propagates a change in bridge bi's backpressure signal: the
+// end-to-end admission controller starts (or stops) refusing routes over the
+// bridge, and the toggle is emitted as a typed event (Busy=1 congested,
+// Busy=0 cleared).
+func (m *MultiNet) syncCongestion(bi int, now timing.Time) {
+	bs := m.bridges[bi]
+	cur := bs.queue.Congested()
+	if cur == bs.congested {
+		return
+	}
+	bs.congested = cur
+	m.e2e.SetCongested(bi, cur)
+	busy := 0
+	if cur {
+		busy = 1
+	}
+	m.emitBridge(bi, obs.KindBridgeCongested, now, busy)
 }
 
 // drainBridge services one relay interval of bridge bi: expired relays (and
@@ -392,6 +469,7 @@ func (m *MultiNet) segmentDone(fl *flight, now timing.Time) {
 // shed, then the earliest-deadline relay is forwarded onto its next ring.
 func (m *MultiNet) drainBridge(bi int, now timing.Time) {
 	q := &m.bridges[bi].queue
+	defer m.syncCongestion(bi, now)
 	if !m.BridgeAlive(bi) {
 		for _, r := range q.ExpireBefore(timing.Forever) {
 			r.Data.(*flight).cc.stats.Expired++

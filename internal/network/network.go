@@ -15,6 +15,7 @@ import (
 	"ccredf/internal/core"
 	"ccredf/internal/des"
 	"ccredf/internal/fault"
+	"ccredf/internal/mode"
 	"ccredf/internal/node"
 	"ccredf/internal/obs"
 	"ccredf/internal/ring"
@@ -77,6 +78,13 @@ type Config struct {
 	// injector draws from its own seeded stream, so enabling faults never
 	// perturbs the workload or loss randomness.
 	Faults *fault.Plan
+	// Mode is an optional operating-mode protocol (see internal/mode): a
+	// hysteresis state machine over the per-window miss ratio and backlog
+	// that drives graceful degradation — Degraded gates new firm
+	// admissions, Critical also sheds best-effort traffic at release time.
+	// Nil disables the controller entirely: the engine performs one nil
+	// check per slot and the run is byte-identical to a mode-free build.
+	Mode *mode.Spec
 	// Sim, when non-nil, is the event kernel the network schedules on instead
 	// of creating its own. A multi-ring topology (MultiNet) passes one shared
 	// simulator to every ring so their slot loops interleave on a single
@@ -138,6 +146,12 @@ type Metrics struct {
 	// network-level deadline misses of connection messages per level.
 	// Indexed by sched.Criticality.
 	CritAdmitted, CritEvicted, CritRejected, CritMisses [sched.NumCriticalities]stats.Counter
+	// ModeTransitions counts operating-mode changes; ModeEntries counts
+	// entries into each mode (indexed by mode.Mode); ModeGated counts
+	// admissions refused purely because of the operating mode; ModeShedBE
+	// counts best-effort message releases shed in Critical mode.
+	ModeTransitions, ModeGated, ModeShedBE stats.Counter
+	ModeEntries                            [mode.NumModes]stats.Counter
 	// Violations holds up to eight violation descriptions for debugging.
 	Violations []string
 	// GapTime accumulates inter-slot clock hand-over gaps.
@@ -276,6 +290,11 @@ type Network struct {
 	dead          ring.NodeSet
 	detectPending ring.NodeSet
 	collDropped   bool
+
+	// modeCtl is the operating-mode hysteresis controller, nil unless
+	// Config.Mode enables the protocol. The slot loop pays one nil check;
+	// window evaluation runs only at window boundaries.
+	modeCtl *mode.Controller
 }
 
 // enginePoint is one inline-executed engine event: an operation to run at a
@@ -405,6 +424,14 @@ func New(cfg Config) (*Network, error) {
 			return nil, fmt.Errorf("network: %w", err)
 		}
 		n.inj = inj
+	}
+	if cfg.Mode != nil {
+		ctl, err := mode.New(*cfg.Mode)
+		if err != nil {
+			return nil, fmt.Errorf("network: %w", err)
+		}
+		n.modeCtl = ctl
+		n.adm.SetModeFunc(ctl.Mode)
 	}
 	if cfg.SecondaryRequests {
 		n.sampled2 = newReqs(r.Nodes())
@@ -584,6 +611,40 @@ func (n *Network) QueueDepth() int {
 	return total
 }
 
+// Mode returns the current operating mode (Normal when the mode protocol is
+// disabled).
+func (n *Network) Mode() mode.Mode {
+	if n.modeCtl == nil {
+		return mode.Normal
+	}
+	return n.modeCtl.Mode()
+}
+
+// ModeController returns the operating-mode controller, or nil when the
+// protocol is disabled.
+func (n *Network) ModeController() *mode.Controller { return n.modeCtl }
+
+// modeTick closes one mode window at a slot boundary: it feeds the
+// cumulative miss/completion totals and the current backlog to the
+// hysteresis controller, and on a transition counts it and emits the typed
+// mode event (Node carries the previous mode, Peer the new one). Runs once
+// per WindowSlots slots, off the hot path, so the queue-depth scan and the
+// event construction are acceptable.
+func (n *Network) modeTick(now timing.Time) {
+	missed := n.metrics.NetDeadlineMisses.Value()
+	done := n.metrics.MessagesDelivered.Value() + n.metrics.LateDrops.Value()
+	tr, ok := n.modeCtl.Evaluate(n.slot, missed, done, n.QueueDepth())
+	if !ok {
+		return
+	}
+	n.metrics.ModeTransitions.Inc()
+	n.metrics.ModeEntries[tr.To].Inc()
+	n.pipe.Emit(obs.Event{
+		Kind: obs.KindModeNormal + obs.Kind(tr.To),
+		Time: now, Slot: n.slot, Node: int(tr.From), Peer: int(tr.To),
+	})
+}
+
 // OnDeliver registers fn to run whenever a message completes delivery.
 func (n *Network) OnDeliver(fn func(*sched.Message, timing.Time)) {
 	n.onDeliver = append(n.onDeliver, fn)
@@ -707,6 +768,9 @@ func (n *Network) AdmitConnection(c sched.Connection) (sched.Connection, []sched
 		if c.Crit.Valid() {
 			n.metrics.CritRejected[c.Crit].Inc()
 		}
+		if _, gated := err.(sched.ErrModeGated); gated {
+			n.metrics.ModeGated.Inc()
+		}
 		return sched.Connection{}, nil, err
 	}
 	for _, v := range shed {
@@ -781,6 +845,14 @@ func (n *Network) releaseConnMessage(id int) {
 		return
 	}
 	c := cs.stats.Conn
+	if n.modeCtl != nil && c.Crit == sched.CritBestEffort && n.modeCtl.Mode() >= mode.Critical {
+		// Critical mode sheds best-effort traffic at the queue: the release
+		// is skipped (never enqueued) but stays scheduled, so the connection
+		// resumes transmitting the moment the mode relaxes.
+		n.metrics.ModeShedBE.Inc()
+		n.sim.PostAfter(c.Period, cs.release)
+		return
+	}
 	n.msgSeq++
 	m := &sched.Message{
 		ID:       n.msgSeq,
@@ -1074,6 +1146,9 @@ func (n *Network) arbitrate(now timing.Time) {
 // silent until the incumbent re-takes it. All fault branches may allocate —
 // they are off the steady-state path (DESIGN.md §9).
 func (n *Network) endSlot(now timing.Time) {
+	if n.modeCtl != nil && n.modeCtl.EndSlot() {
+		n.modeTick(now)
+	}
 	if n.collDropped {
 		// The collection drop injected during this slot has run its course:
 		// the incumbent kept the clock and the round retries next slot.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"ccredf/internal/mode"
 	"ccredf/internal/sched"
 	"ccredf/internal/stats"
 )
@@ -51,6 +52,20 @@ type Snapshot struct {
 	MissedHard   int64 `json:"missed_hard,omitempty"`
 	MissedFirm   int64 `json:"missed_firm,omitempty"`
 	MissedBE     int64 `json:"missed_best_effort,omitempty"`
+
+	// Operating-mode protocol state (internal/mode). Mode is empty — and the
+	// whole block absent from the JSON — when the protocol is disabled.
+	Mode                string `json:"mode,omitempty"`
+	ModeTransitions     int64  `json:"mode_transitions,omitempty"`
+	ModeDegradedEntries int64  `json:"mode_degraded_entries,omitempty"`
+	ModeCriticalEntries int64  `json:"mode_critical_entries,omitempty"`
+	ModeGated           int64  `json:"mode_gated,omitempty"`
+	ModeShedBE          int64  `json:"mode_shed_best_effort,omitempty"`
+
+	// Bridge backpressure counters (multi-ring runs; see sched.BridgeQueue).
+	BridgeDropped    int64 `json:"bridge_dropped,omitempty"`
+	BridgeOverflowed int64 `json:"bridge_overflowed,omitempty"`
+	BridgeMaxQueue   int   `json:"bridge_max_queue,omitempty"`
 
 	GapTimeUs       float64                   `json:"gap_time_us"`
 	ReuseFactor     float64                   `json:"reuse_factor"`
@@ -130,6 +145,14 @@ func (n *Network) Snapshot() Snapshot {
 		NodeSent:           append([]int64(nil), m.NodeSent...),
 		ConnectionCount:    len(n.conns),
 		Latency:            map[string]LatencySummary{},
+	}
+	if n.modeCtl != nil {
+		s.Mode = n.modeCtl.Mode().String()
+		s.ModeTransitions = n.modeCtl.Transitions()
+		s.ModeDegradedEntries = n.modeCtl.Entries(mode.Degraded)
+		s.ModeCriticalEntries = n.modeCtl.Entries(mode.Critical)
+		s.ModeGated = m.ModeGated.Value()
+		s.ModeShedBE = m.ModeShedBE.Value()
 	}
 	if elapsed > 0 {
 		s.ThroughputMBps = float64(m.BytesDelivered.Value()) / elapsed.Seconds() / 1e6

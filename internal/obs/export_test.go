@@ -57,6 +57,12 @@ func exportFixture() []Event {
 		{Kind: KindFaultInjected, Time: 260, Slot: 14, Node: 3, Fault: fault.NodeCrash},
 		{Kind: KindFaultDetected, Time: 270, Slot: 15, Node: 3, Fault: fault.NodeCrash},
 		{Kind: KindFaultRecovered, Time: 280, Slot: 16, Node: 3, Fault: fault.NodeCrash},
+		{Kind: KindModeNormal, Time: 290, Slot: 17, Node: 1, Peer: 0},
+		{Kind: KindModeDegraded, Time: 300, Slot: 18, Node: 0, Peer: 1},
+		{Kind: KindModeCritical, Time: 310, Slot: 19, Node: 1, Peer: 2},
+		{Kind: KindBridgeDrop, Time: 320, Slot: 20, Node: 0, Gap: 123},
+		{Kind: KindBridgeOverflow, Time: 330, Slot: 20, Node: 1},
+		{Kind: KindBridgeCongested, Time: 340, Slot: 21, Node: 0, Busy: 1},
 	}
 }
 

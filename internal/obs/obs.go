@@ -87,6 +87,23 @@ const (
 	// KindFaultRecovered marks the recovery action completing: the incumbent
 	// master re-taking the clock, or a crashed node rejoining the ring.
 	KindFaultRecovered
+	// KindModeNormal / KindModeDegraded / KindModeCritical mark the operating
+	// mode controller entering that mode (Node carries the previous mode,
+	// Peer the new one, both as mode ordinals).
+	KindModeNormal
+	KindModeDegraded
+	KindModeCritical
+	// KindBridgeDrop marks bridge-queue backpressure evicting the
+	// lowest-criticality latest-deadline relay from a full bridge queue
+	// (Node is the bridge index).
+	KindBridgeDrop
+	// KindBridgeOverflow marks the bridge queue's hard safety cap dropping a
+	// relay with backpressure disabled — the never-OOM bound.
+	KindBridgeOverflow
+	// KindBridgeCongested marks a bridge's congestion signal toggling
+	// (Busy=1 congested, Busy=0 cleared); end-to-end admission refuses
+	// routes over congested bridges.
+	KindBridgeCongested
 
 	numKinds
 )
@@ -111,6 +128,12 @@ var kindNames = [numKinds]string{
 	KindFaultInjected:     "fault-injected",
 	KindFaultDetected:     "fault-detected",
 	KindFaultRecovered:    "fault-recovered",
+	KindModeNormal:        "mode-normal",
+	KindModeDegraded:      "mode-degraded",
+	KindModeCritical:      "mode-critical",
+	KindBridgeDrop:        "bridge-drop",
+	KindBridgeOverflow:    "bridge-overflow",
+	KindBridgeCongested:   "bridge-congested",
 }
 
 // String returns the kind's wire name (used by the JSONL exporter).

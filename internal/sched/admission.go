@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"ccredf/internal/mode"
 	"ccredf/internal/ring"
 	"ccredf/internal/timing"
 )
@@ -138,6 +139,21 @@ func (e ErrBudgetExceeded) Error() string {
 		e.Level, e.Current, e.Requested, e.Budget)
 }
 
+// ErrModeGated is returned by Admit when the current operating mode gates
+// the candidate's criticality level: Degraded gates new firm admissions,
+// Critical also gates best-effort. Hard-class connections are never gated.
+type ErrModeGated struct {
+	// Mode is the operating mode at decision time.
+	Mode mode.Mode
+	// Level is the gated criticality.
+	Level Criticality
+}
+
+// Error implements error.
+func (e ErrModeGated) Error() string {
+	return fmt.Sprintf("sched: %s connection gated: system in %s mode", e.Level, e.Mode)
+}
+
 // Admission is the online centralised admission controller of Section 6. A
 // designated node runs one instance; connection requests arrive one at a
 // time (over the best-effort service or the in-process API) and are accepted
@@ -151,6 +167,9 @@ type Admission struct {
 	// budgets caps the density each criticality level may hold. Each
 	// defaults to umax (no partitioning); SetBudget tightens a level.
 	budgets [NumCriticalities]float64
+	// modeFn, when set, supplies the operating mode consulted by Admit:
+	// Degraded gates new firm admissions, Critical also gates best-effort.
+	modeFn func() mode.Mode
 }
 
 // NewAdmission returns an admission controller for a ring with the given
@@ -225,6 +244,26 @@ func (a *Admission) LevelDensity(l Criticality) float64 {
 	return u
 }
 
+// SetModeFunc wires the operating-mode source consulted by Admit (nil
+// disables gating). The function is called once per admission decision.
+func (a *Admission) SetModeFunc(fn func() mode.Mode) { a.modeFn = fn }
+
+// gated reports whether the current operating mode refuses new admissions at
+// criticality level l. Hard is never gated.
+func (a *Admission) gated(l Criticality) (mode.Mode, bool) {
+	if a.modeFn == nil || l == CritHard {
+		return mode.Normal, false
+	}
+	m := a.modeFn()
+	switch {
+	case m >= mode.Critical:
+		return m, true // firm and best-effort both gated
+	case m >= mode.Degraded:
+		return m, l == CritFirm
+	}
+	return m, false
+}
+
 // Admit runs the mixed-criticality admission test for c. The decision is
 // computed in full before any state changes, so a rejection leaves the
 // accepted set untouched (rollback by construction):
@@ -247,6 +286,9 @@ func (a *Admission) LevelDensity(l Criticality) float64 {
 func (a *Admission) Admit(c Connection) (Connection, []Connection, error) {
 	if err := c.Validate(a.params.Nodes, a.params.SlotTime()); err != nil {
 		return Connection{}, nil, err
+	}
+	if m, g := a.gated(c.Crit); g {
+		return Connection{}, nil, ErrModeGated{Mode: m, Level: c.Crit}
 	}
 	slot := a.params.SlotTime()
 	u := c.Density(slot)

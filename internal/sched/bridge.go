@@ -44,6 +44,11 @@ type Relay struct {
 	Deadline timing.Time
 	// Enqueued is when the relay entered the bridge queue.
 	Enqueued timing.Time
+	// Crit is the criticality level of the owning connection: under
+	// backpressure a full queue evicts its lowest-criticality
+	// latest-deadline relay first, so hard-class traffic is displaced only
+	// by earlier-deadline hard-class traffic.
+	Crit Criticality
 	// Data is the owner's payload (the in-flight cross-connection state).
 	Data any
 
@@ -51,29 +56,124 @@ type Relay struct {
 	pos int
 }
 
+// DefaultHardCap bounds a bridge queue's memory when no explicit capacity is
+// configured: a misconfigured or partitioned cross-ring workload can park at
+// most this many relays per bridge before the queue sheds instead of growing
+// without bound. Large enough that any feasible workload never reaches it.
+const DefaultHardCap = 1 << 16
+
 // BridgeQueue is the deadline-aware store-and-forward queue of one bridge
 // direction: relays pop in EDF order (earliest downstream deadline first, FIFO
 // within ties), and already-hopeless relays can be expired in bulk. The zero
 // value is ready to use.
+//
+// The queue is always bounded. With Cap set, backpressure is active: a push
+// into a full queue evicts the worst relay — lowest criticality first, then
+// latest deadline, then latest arrival — which may be the incoming relay
+// itself, and the Congested signal (with hysteresis: set at full, cleared at
+// half) tells end-to-end admission to refuse new routes over this bridge.
+// Without Cap, the hard safety cap still applies so the simulator can never
+// OOM; drops against it count as Overflowed rather than Dropped.
 type BridgeQueue struct {
 	heap []*Relay
 	next int64
 
+	// Cap is the backpressure capacity (0 = backpressure disabled). HardCap
+	// overrides DefaultHardCap when positive.
+	Cap, HardCap int
+
 	// Relayed counts relays popped for forwarding; Expired counts relays
-	// dropped because their downstream deadline had already passed.
-	Relayed, Expired int64
+	// dropped because their downstream deadline had already passed. Dropped
+	// counts backpressure evictions at Cap, Overflowed drops against the
+	// hard safety cap. MaxLen tracks the high-water queue length.
+	Relayed, Expired, Dropped, Overflowed int64
+	MaxLen                                int
+
+	congested bool
 }
 
 // Len returns the number of parked relays.
 func (q *BridgeQueue) Len() int { return len(q.heap) }
 
-// Push parks a relay.
-func (q *BridgeQueue) Push(r *Relay) {
+// Congested reports the backpressure signal: set when a push found the queue
+// at capacity, cleared only once the queue has drained to half capacity. The
+// asymmetry keeps the signal from toggling on every push/pop pair at the
+// boundary. Always false with backpressure disabled.
+func (q *BridgeQueue) Congested() bool { return q.congested }
+
+// limit returns the active bound: Cap under backpressure, else the hard
+// safety cap.
+func (q *BridgeQueue) limit() int {
+	if q.Cap > 0 {
+		return q.Cap
+	}
+	if q.HardCap > 0 {
+		return q.HardCap
+	}
+	return DefaultHardCap
+}
+
+// Push parks a relay. If the queue is full it evicts and returns the worst
+// relay (lowest criticality, latest deadline, latest arrival — possibly r
+// itself); overflow reports that the drop was against the hard safety cap
+// rather than backpressure. Returns (nil, false) when nothing was dropped.
+func (q *BridgeQueue) Push(r *Relay) (dropped *Relay, overflow bool) {
 	r.seq = q.next
 	q.next++
+	if len(q.heap) >= q.limit() {
+		overflow = q.Cap <= 0
+		if overflow {
+			q.Overflowed++
+		} else {
+			q.Dropped++
+			q.congested = true
+		}
+		victim := r
+		for _, cand := range q.heap {
+			if relayWorse(cand, victim) {
+				victim = cand
+			}
+		}
+		if victim == r {
+			return r, overflow
+		}
+		q.remove(victim.pos)
+		dropped = victim
+	}
 	r.pos = len(q.heap)
 	q.heap = append(q.heap, r)
 	q.up(r.pos)
+	if len(q.heap) > q.MaxLen {
+		q.MaxLen = len(q.heap)
+	}
+	if q.Cap > 0 && len(q.heap) >= q.Cap {
+		q.congested = true
+	}
+	return dropped, overflow
+}
+
+// relayWorse orders relays worst-first for eviction: higher Crit ordinal
+// (less critical), then later deadline, then later arrival.
+func relayWorse(a, b *Relay) bool {
+	if a.Crit != b.Crit {
+		return a.Crit > b.Crit
+	}
+	if a.Deadline != b.Deadline {
+		return a.Deadline > b.Deadline
+	}
+	return a.seq > b.seq
+}
+
+// remove deletes the relay at heap position i.
+func (q *BridgeQueue) remove(i int) {
+	last := len(q.heap) - 1
+	q.swapRelay(i, last)
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
 }
 
 // Peek returns the earliest-deadline relay without removing it, or nil.
@@ -119,6 +219,9 @@ func (q *BridgeQueue) pop() *Relay {
 	q.heap = q.heap[:last]
 	if last > 0 {
 		q.down(0)
+	}
+	if q.congested && len(q.heap) <= q.Cap/2 {
+		q.congested = false
 	}
 	return head
 }
@@ -196,15 +299,34 @@ type RouteReservation struct {
 // refuses, every segment already reserved is rolled back and the error of the
 // refusing stage is returned.
 type EndToEnd struct {
-	rings  []*Admission
-	relayU []float64
+	rings     []*Admission
+	relayU    []float64
+	congested []bool
 }
 
 // NewEndToEnd builds the end-to-end admission check over the per-ring
 // admission controllers (one per ring, in ring-index order) and bridgeCount
 // bridge relay budgets.
 func NewEndToEnd(rings []*Admission, bridgeCount int) *EndToEnd {
-	return &EndToEnd{rings: rings, relayU: make([]float64, bridgeCount)}
+	return &EndToEnd{
+		rings:     rings,
+		relayU:    make([]float64, bridgeCount),
+		congested: make([]bool, bridgeCount),
+	}
+}
+
+// SetCongested records bridge bi's backpressure signal: while set, Request
+// refuses any route crossing the bridge, so admission and route selection
+// respect congestion instead of queueing onto it.
+func (e *EndToEnd) SetCongested(bi int, v bool) {
+	if bi >= 0 && bi < len(e.congested) {
+		e.congested[bi] = v
+	}
+}
+
+// Congested returns bridge bi's recorded backpressure signal.
+func (e *EndToEnd) Congested(bi int) bool {
+	return bi >= 0 && bi < len(e.congested) && e.congested[bi]
 }
 
 // RelayUtilisation returns the relay load currently reserved on bridge bi.
@@ -237,6 +359,10 @@ func (e *EndToEnd) Request(segs []SegmentRequest, bridges []int, relayU float64)
 		if bi < 0 || bi >= len(e.relayU) {
 			rollback()
 			return RouteReservation{}, fmt.Errorf("sched: unknown bridge %d", bi)
+		}
+		if e.congested[bi] {
+			rollback()
+			return RouteReservation{}, fmt.Errorf("sched: bridge %d congested: backpressure refuses new routes", bi)
 		}
 		if e.relayU[bi]+relayU > 1 {
 			rollback()

@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"testing"
+
+	"ccredf/internal/timing"
+)
+
+func TestBridgeQueueBackpressureEvictsWorst(t *testing.T) {
+	q := BridgeQueue{Cap: 3}
+	relays := []*Relay{
+		{Deadline: 100, Crit: CritHard},
+		{Deadline: 200, Crit: CritFirm},
+		{Deadline: 300, Crit: CritBestEffort},
+	}
+	for _, r := range relays {
+		if d, _ := q.Push(r); d != nil {
+			t.Fatalf("push below cap dropped %+v", d)
+		}
+	}
+	if !q.Congested() {
+		t.Fatal("queue at cap should signal congested")
+	}
+	// A firm relay with an earlier deadline displaces the best-effort one,
+	// not the later-deadline firm one.
+	in := &Relay{Deadline: 150, Crit: CritFirm}
+	d, overflow := q.Push(in)
+	if overflow {
+		t.Fatal("backpressure drop flagged as overflow")
+	}
+	if d != relays[2] {
+		t.Fatalf("evicted %+v, want the best-effort relay", d)
+	}
+	if q.Len() != 3 || q.Dropped != 1 {
+		t.Fatalf("len=%d dropped=%d, want 3/1", q.Len(), q.Dropped)
+	}
+
+	// An incoming best-effort relay into a queue of harder traffic is itself
+	// the victim.
+	be := &Relay{Deadline: 50, Crit: CritBestEffort}
+	d, _ = q.Push(be)
+	if d != be {
+		t.Fatalf("evicted %+v, want the incoming best-effort relay", d)
+	}
+	if q.Len() != 3 || q.Dropped != 2 {
+		t.Fatalf("len=%d dropped=%d, want 3/2", q.Len(), q.Dropped)
+	}
+
+	// Among equal criticality, the latest deadline goes — whether it is the
+	// incoming relay or a resident one.
+	late := &Relay{Deadline: 999, Crit: CritFirm}
+	if d, _ := q.Push(late); d != late {
+		t.Fatalf("evicted %+v, want the incoming latest-deadline firm relay", d)
+	}
+	d, _ = q.Push(&Relay{Deadline: 10, Crit: CritFirm})
+	if d == nil || d.Deadline != 200 || d.Crit != CritFirm {
+		t.Fatalf("evicted %+v, want the resident firm relay with deadline 200", d)
+	}
+
+	// EDF pop order must survive arbitrary-position evictions.
+	var last timing.Time = -1
+	for q.Len() > 0 {
+		r := q.Pop()
+		if r.Deadline < last {
+			t.Fatalf("heap order broken: %v after %v", r.Deadline, last)
+		}
+		last = r.Deadline
+	}
+}
+
+func TestBridgeQueueCongestionHysteresis(t *testing.T) {
+	q := BridgeQueue{Cap: 8}
+	for i := 0; i < 8; i++ {
+		q.Push(&Relay{Deadline: timing.Time(i)})
+	}
+	if !q.Congested() {
+		t.Fatal("full queue not congested")
+	}
+	// Popping one leaves 7 > Cap/2: still congested (no flapping at the rim).
+	q.Pop()
+	if !q.Congested() {
+		t.Fatal("congestion cleared above half capacity")
+	}
+	for q.Len() > 4 {
+		q.Pop()
+	}
+	if q.Congested() {
+		t.Fatalf("congestion not cleared at half capacity (len=%d)", q.Len())
+	}
+	if q.MaxLen != 8 {
+		t.Fatalf("MaxLen=%d, want 8", q.MaxLen)
+	}
+}
+
+func TestBridgeQueueHardSafetyCap(t *testing.T) {
+	q := BridgeQueue{HardCap: 4}
+	for i := 0; i < 4; i++ {
+		if d, over := q.Push(&Relay{Deadline: timing.Time(i)}); d != nil || over {
+			t.Fatalf("push %d below hard cap dropped", i)
+		}
+	}
+	d, over := q.Push(&Relay{Deadline: 1000})
+	if d == nil || !over {
+		t.Fatalf("hard-cap push: dropped=%v overflow=%v, want drop+overflow", d, over)
+	}
+	if q.Overflowed != 1 || q.Dropped != 0 {
+		t.Fatalf("overflowed=%d dropped=%d, want 1/0", q.Overflowed, q.Dropped)
+	}
+	if q.Congested() {
+		t.Fatal("safety-cap overflow must not raise the backpressure signal")
+	}
+	if q.Len() != 4 {
+		t.Fatalf("len=%d, want hard cap 4", q.Len())
+	}
+}
+
+func TestBridgeQueueDefaultHardCapBounds(t *testing.T) {
+	var q BridgeQueue
+	if q.limit() != DefaultHardCap {
+		t.Fatalf("zero-value limit %d, want DefaultHardCap %d", q.limit(), DefaultHardCap)
+	}
+}
+
+func TestEndToEndCongestedRefusesRoutes(t *testing.T) {
+	params := timing.DefaultParams(8)
+	slot := params.SlotTime()
+	a0 := NewAdmission(params)
+	a1 := NewAdmission(params)
+	e := NewEndToEnd([]*Admission{a0, a1}, 2)
+	conn := func(src int) Connection {
+		return Connection{Src: src, Dests: 1 << uint(src+1), Period: 100 * slot, Slots: 1}
+	}
+	segs := []SegmentRequest{
+		{Ring: 0, Conn: conn(0)},
+		{Ring: 1, Conn: conn(2)},
+	}
+	e.SetCongested(1, true)
+	if _, err := e.Request(segs, []int{1}, 0.01); err == nil {
+		t.Fatal("request over congested bridge accepted")
+	}
+	if a0.Utilisation() != 0 || a1.Utilisation() != 0 {
+		t.Fatal("congestion refusal leaked a segment reservation")
+	}
+	// The uncongested bridge still admits, and clearing re-opens bridge 1.
+	if _, err := e.Request(segs, []int{0}, 0.01); err != nil {
+		t.Fatalf("uncongested bridge refused: %v", err)
+	}
+	e.SetCongested(1, false)
+	if _, err := e.Request(segs, []int{1}, 0.01); err != nil {
+		t.Fatalf("cleared bridge refused: %v", err)
+	}
+}

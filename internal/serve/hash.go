@@ -14,7 +14,7 @@ import (
 // It participates in every cache key, so bumping it when the engine's
 // observable behaviour changes (arbitration, timing model, Summary wire
 // format) invalidates the whole cache instead of serving stale results.
-const EngineVersion = "ccredf-engine/4"
+const EngineVersion = "ccredf-engine/5"
 
 // canonicalKey hashes (engine version, domain, canonical JSON of v). Struct
 // field order is fixed by the Go type, so json.Marshal of a normalised value

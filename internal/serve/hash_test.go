@@ -14,9 +14,9 @@ import (
 // invalidates, so a failure here must be a deliberate engine-version bump:
 // update EngineVersion and re-pin, never just re-pin.
 const (
-	goldenSingleRingSweepKey = "e6485cb63dbc518d6766a56f5bffa56f5a52b1d7c71265a561427a5c52409387"
-	goldenMultiRingSweepKey  = "62df900925e68aef00715d2d66221453f043305f5f4f5256a9d77884b2b57b98"
-	goldenScenarioKey        = "e82138c9daf34ec6c8ea94a64e040f47233a8aab22ea9d5159f4a48793e3742c"
+	goldenSingleRingSweepKey = "1eb4bdc042fe9cc0354472f0d792c60dc6d6f51146545478a05e260251e3a477"
+	goldenMultiRingSweepKey  = "9e5ddab6d3b70706540c5c75dec92ed51c2759ee774cf69c05816ff321f4f619"
+	goldenScenarioKey        = "44cc069e8d89867b2650c98835d528f1f1bb68e4091f80e529496230daecdf95"
 )
 
 // goldenSingleRingSpec is the canonical one-ring sweep: every axis at its

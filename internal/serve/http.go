@@ -417,5 +417,14 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 			v.State, v.Consecutive)
 		return
 	}
+	// The worst operating mode of the most recent mode-enabled simulation
+	// rides along (header + payload) so fleet tooling can see overload
+	// degradation without scraping /metrics. The first word stays "ready".
+	if rank := s.lastMode.Load(); rank > 0 {
+		name := [4]string{"", "normal", "degraded", "critical"}[rank]
+		w.Header().Set("X-CCR-Mode", name)
+		fmt.Fprintf(w, "ready mode=%s\n", name)
+		return
+	}
 	fmt.Fprintln(w, "ready")
 }

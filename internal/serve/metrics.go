@@ -97,6 +97,19 @@ func (s *Server) WriteMetrics(w io.Writer) {
 		fmt.Fprintf(w, "ccr_served_admission_sim_missed_total{level=%q} %d\n", lv, s.critMissed[i].Load())
 	}
 
+	// Operating-mode surface: hysteresis transitions, shedding and gating
+	// aggregated over every simulation this server ran, plus the worst mode
+	// of the most recent mode-enabled run (0 = none yet, 1 = normal,
+	// 2 = degraded, 3 = critical).
+	counter("ccr_served_mode_transitions_total", "Operating-mode transitions across all simulations run by this server.", s.modeTransitions.Load())
+	counter("ccr_served_mode_shed_total", "Best-effort messages shed in Critical mode.", s.modeShed.Load())
+	counter("ccr_served_mode_gated_total", "Connection admissions gated by Degraded/Critical mode.", s.modeGated.Load())
+	gauge("ccr_served_mode_last", "Worst operating mode of the most recent mode-enabled run (0 none, 1 normal, 2 degraded, 3 critical).", s.lastMode.Load())
+
+	// Bridge-backpressure surface: bounded bridge queues on multi-ring runs.
+	counter("ccr_served_bridge_backpressure_dropped_total", "Relays dropped by bridge-queue EDF backpressure.", s.bridgeDropped.Load())
+	counter("ccr_served_bridge_backpressure_overflow_total", "Relays dropped by the bridge-queue hard safety cap.", s.bridgeOverflow.Load())
+
 	// Resilience surface: circuit breaker, panic isolation, admission
 	// control and journal durability.
 	bv := s.breaker.view()

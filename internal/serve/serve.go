@@ -317,6 +317,18 @@ type Server struct {
 	critEvicted  [sched.NumCriticalities]atomic.Int64
 	critMissed   [sched.NumCriticalities]atomic.Int64
 
+	// Operating-mode and bridge-backpressure counters aggregated over every
+	// simulation this server has actually run (mode scenarios; cache hits do
+	// not re-count). lastMode tracks the most recent finished run's worst
+	// operating mode as a modeRank ordinal (0 = no mode run yet), surfaced on
+	// /readyz and /metrics.
+	modeTransitions atomic.Int64
+	modeShed        atomic.Int64
+	modeGated       atomic.Int64
+	bridgeDropped   atomic.Int64
+	bridgeOverflow  atomic.Int64
+	lastMode        atomic.Int64
+
 	wallMu    sync.Mutex
 	wallSum   float64
 	wallCount int64
@@ -856,6 +868,14 @@ func (s *Server) addCritCounters(snap network.Snapshot) {
 	s.critMissed[sched.CritHard].Add(snap.MissedHard)
 	s.critMissed[sched.CritFirm].Add(snap.MissedFirm)
 	s.critMissed[sched.CritBestEffort].Add(snap.MissedBE)
+	s.modeTransitions.Add(snap.ModeTransitions)
+	s.modeShed.Add(snap.ModeShedBE)
+	s.modeGated.Add(snap.ModeGated)
+	s.bridgeDropped.Add(snap.BridgeDropped)
+	s.bridgeOverflow.Add(snap.BridgeOverflowed)
+	if snap.Mode != "" {
+		s.lastMode.Store(int64(modeRank(snap.Mode)))
+	}
 }
 
 // runSweep fans the grid out — across the cluster when a scatter hook is

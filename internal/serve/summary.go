@@ -150,10 +150,20 @@ func SummarizeMulti(net *ccredf.MultiNetwork, key string) Summary {
 		agg.MissedHard += snap.MissedHard
 		agg.MissedFirm += snap.MissedFirm
 		agg.MissedBE += snap.MissedBE
+		agg.ModeTransitions += snap.ModeTransitions
+		agg.ModeDegradedEntries += snap.ModeDegradedEntries
+		agg.ModeCriticalEntries += snap.ModeCriticalEntries
+		agg.ModeGated += snap.ModeGated
+		agg.ModeShedBE += snap.ModeShedBE
 		agg.NodeCrashes += snap.NodeCrashes
 		agg.QueueDepth += snap.QueueDepth
 		agg.ConnectionCount += snap.ConnectionCount
+		// The aggregate mode is the worst (most severe) ring mode.
+		if snap.Mode != "" && modeRank(snap.Mode) > modeRank(s.Snapshot.Mode) {
+			s.Snapshot.Mode = snap.Mode
+		}
 	}
+	s.Snapshot.BridgeDropped, s.Snapshot.BridgeOverflowed, s.Snapshot.BridgeMaxQueue = net.BridgeTotals()
 	s.Snapshot.Protocol = s.Rings[0].Snapshot.Protocol
 	s.Snapshot.SlotTime = s.Rings[0].Snapshot.SlotTime
 	s.Snapshot.UMax = s.Rings[0].Snapshot.UMax
@@ -181,6 +191,21 @@ func SummarizeMulti(net *ccredf.MultiNetwork, key string) Summary {
 		s.Cross = append(s.Cross, c)
 	}
 	return s
+}
+
+// modeRank orders operating-mode names by severity for aggregation ("" <
+// normal < degraded < critical).
+func modeRank(m string) int {
+	switch m {
+	case "normal":
+		return 1
+	case "degraded":
+		return 2
+	case "critical":
+		return 3
+	default:
+		return 0
+	}
 }
 
 // DeadlinesMissed reports whether any real-time deadline was missed (or a

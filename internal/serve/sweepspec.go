@@ -7,6 +7,7 @@ import (
 
 	"ccredf/internal/churn"
 	"ccredf/internal/fault"
+	"ccredf/internal/mode"
 	"ccredf/internal/sched"
 	"ccredf/internal/sweep"
 	"ccredf/internal/timing"
@@ -40,6 +41,9 @@ type SweepSpec struct {
 	// applied identically to every grid point. A seedless spec inherits each
 	// point's seed.
 	Churn string `json:"churn,omitempty"`
+	// Mode is an optional operating-mode spec (mode.ParseSpec syntax)
+	// applied identically to every grid point.
+	Mode string `json:"mode,omitempty"`
 }
 
 // normalise fills the implicit axis defaults in place, so equivalent
@@ -110,6 +114,11 @@ func (sp *SweepSpec) Validate() error {
 			return fmt.Errorf("sweep: churn: %w", err)
 		}
 	}
+	if sp.Mode != "" {
+		if _, err := mode.ParseSpec(sp.Mode); err != nil {
+			return fmt.Errorf("sweep: mode: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -124,6 +133,9 @@ func (sp *SweepSpec) Grid() []sweep.Point {
 	}
 	if sp.Churn != "" {
 		pts = sweep.WithChurn(pts, sp.Churn)
+	}
+	if sp.Mode != "" {
+		pts = sweep.WithMode(pts, sp.Mode)
 	}
 	return pts
 }
@@ -171,6 +183,10 @@ type SweepOutcome struct {
 	MissedHard      int64     `json:"missed_hard,omitempty"`
 	MissedFirm      int64     `json:"missed_firm,omitempty"`
 	MissedBE        int64     `json:"missed_be,omitempty"`
+	ModeTransitions int64     `json:"mode_transitions,omitempty"`
+	ModeShedBE      int64     `json:"mode_shed_be,omitempty"`
+	BridgeDropped   int64     `json:"bridge_dropped,omitempty"`
+	BridgeOverflow  int64     `json:"bridge_overflowed,omitempty"`
 	Error           string    `json:"error,omitempty"`
 }
 
@@ -201,6 +217,10 @@ func WireOutcome(o sweep.Outcome) SweepOutcome {
 		MissedHard:      o.Missed[sched.CritHard],
 		MissedFirm:      o.Missed[sched.CritFirm],
 		MissedBE:        o.Missed[sched.CritBestEffort],
+		ModeTransitions: o.ModeTransitions,
+		ModeShedBE:      o.ModeShedBE,
+		BridgeDropped:   o.BridgeDropped,
+		BridgeOverflow:  o.BridgeOverflowed,
 	}
 	if o.Err != nil {
 		w.Error = o.Err.Error()
@@ -210,10 +230,10 @@ func WireOutcome(o sweep.Outcome) SweepOutcome {
 
 // Outcome converts the wire form back into sweep.Outcome, so table and CSV
 // output is byte-identical whether the grid ran locally or remotely (the
-// sweep CSV header round-trip contract). faultSpec and churnSpec re-attach
-// the point's fault and churn coordinates, which the wire form does not
-// carry per point.
-func (w SweepOutcome) Outcome(faultSpec, churnSpec string) sweep.Outcome {
+// sweep CSV header round-trip contract). faultSpec, churnSpec and modeSpec
+// re-attach the point's fault, churn and operating-mode coordinates, which
+// the wire form does not carry per point.
+func (w SweepOutcome) Outcome(faultSpec, churnSpec, modeSpec string) sweep.Outcome {
 	o := sweep.Outcome{
 		Point: sweep.Point{
 			Protocol:  w.Protocol,
@@ -224,6 +244,7 @@ func (w SweepOutcome) Outcome(faultSpec, churnSpec string) sweep.Outcome {
 			FaultSpec: faultSpec,
 			Rings:     w.Rings,
 			ChurnSpec: churnSpec,
+			ModeSpec:  modeSpec,
 		},
 		Delivered:       w.Delivered,
 		MissRatio:       w.MissRatio,
@@ -244,6 +265,10 @@ func (w SweepOutcome) Outcome(faultSpec, churnSpec string) sweep.Outcome {
 	o.Missed[sched.CritHard] = w.MissedHard
 	o.Missed[sched.CritFirm] = w.MissedFirm
 	o.Missed[sched.CritBestEffort] = w.MissedBE
+	o.ModeTransitions = w.ModeTransitions
+	o.ModeShedBE = w.ModeShedBE
+	o.BridgeDropped = w.BridgeDropped
+	o.BridgeOverflowed = w.BridgeOverflow
 	if w.Error != "" {
 		o.Err = errors.New(w.Error)
 	}
@@ -293,6 +318,7 @@ func (sp *SweepSpec) PointSpec(pt sweep.Point) *SweepSpec {
 		Faults:       sp.Faults,
 		Rings:        sp.Rings,
 		Churn:        sp.Churn,
+		Mode:         sp.Mode,
 	}
 	sub.normalise()
 	return sub

@@ -39,7 +39,7 @@ func TestSweepCSVRoundTrip(t *testing.T) {
 	}
 	remote := make([]sweep.Outcome, len(decoded))
 	for i, w := range decoded {
-		remote[i] = w.Outcome("", "")
+		remote[i] = w.Outcome("", "", "")
 	}
 
 	var localCSV, remoteCSV bytes.Buffer
@@ -87,6 +87,28 @@ func TestSweepSpecChurnValidation(t *testing.T) {
 	}
 	if sub := sp.PointSpec(sp.Grid()[0]); sub.Churn != sp.Churn {
 		t.Fatalf("PointSpec dropped churn: %+v", sub)
+	}
+}
+
+// TestSweepSpecModeValidation covers the operating-mode axis: bad specs are
+// rejected with a field-qualified error and good ones stamp every grid point.
+func TestSweepSpecModeValidation(t *testing.T) {
+	sp := &SweepSpec{HorizonSlots: 100, Mode: "dmiss=2"}
+	if err := sp.Validate(); err == nil || !strings.Contains(err.Error(), "mode") {
+		t.Fatalf("mode dmiss=2 validated: %v", err)
+	}
+	sp = &SweepSpec{HorizonSlots: 100, Mode: "window=128,dmiss=0.05,bcap=32"}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sp.normalise()
+	for _, pt := range sp.Grid() {
+		if pt.ModeSpec != "window=128,dmiss=0.05,bcap=32" {
+			t.Fatalf("grid point %v lost the mode spec", pt)
+		}
+	}
+	if sub := sp.PointSpec(sp.Grid()[0]); sub.Mode != sp.Mode {
+		t.Fatalf("PointSpec dropped mode: %+v", sub)
 	}
 }
 

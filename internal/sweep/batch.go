@@ -23,8 +23,9 @@ const DefaultBatch = 8
 // grid order, into chunks of at most maxBatch, each of which one
 // network.Batch can run as fused replicas. Bridged multi-ring points
 // (Rings > 1) run through network.NewMulti rather than the batched engine,
-// and churn points (ChurnSpec != "") drive live admission through the
-// sequential engine, so both always form singleton groups. Group order is
+// and churn points (ChurnSpec != "") and operating-mode points
+// (ModeSpec != "") drive live admission through the sequential engine, so
+// all three always form singleton groups. Group order is
 // deterministic: shapes in order of first appearance, chunks in grid order
 // within a shape.
 //
@@ -40,11 +41,12 @@ func Batches(points []Point, maxBatch int) [][]int {
 		nodes    int
 		rings    int
 		churn    bool
+		mode     bool
 	}
 	byShape := make(map[shape][]int)
 	var order []shape
 	for i, pt := range points {
-		k := shape{pt.Protocol, pt.Nodes, pt.Rings, pt.ChurnSpec != ""}
+		k := shape{pt.Protocol, pt.Nodes, pt.Rings, pt.ChurnSpec != "", pt.ModeSpec != ""}
 		if k.rings < 1 {
 			k.rings = 1
 		}
@@ -57,7 +59,7 @@ func Batches(points []Point, maxBatch int) [][]int {
 	for _, k := range order {
 		idxs := byShape[k]
 		limit := maxBatch
-		if k.rings > 1 || k.churn {
+		if k.rings > 1 || k.churn || k.mode {
 			limit = 1
 		}
 		for len(idxs) > limit {

@@ -17,6 +17,7 @@ import (
 	"ccredf/internal/churn"
 	"ccredf/internal/core"
 	"ccredf/internal/fault"
+	"ccredf/internal/mode"
 	"ccredf/internal/network"
 	"ccredf/internal/ring"
 	"ccredf/internal/rng"
@@ -56,6 +57,12 @@ type Point struct {
 	// the compact string so Point stays comparable. On a multi-ring point
 	// the churn runs on ring 0.
 	ChurnSpec string
+	// ModeSpec is an optional operating-mode spec (mode.ParseSpec syntax,
+	// e.g. "window=256,dmiss=0.05,bcap=64"); empty disables the protocol.
+	// Kept as the compact string so Point stays comparable. On a multi-ring
+	// point every ring runs its own controller and bcap bounds the bridge
+	// queues.
+	ModeSpec string
 }
 
 // String renders the coordinate compactly.
@@ -69,6 +76,9 @@ func (p Point) String() string {
 	}
 	if p.ChurnSpec != "" {
 		s += "/c[" + p.ChurnSpec + "]"
+	}
+	if p.ModeSpec != "" {
+		s += "/m[" + p.ModeSpec + "]"
 	}
 	return s
 }
@@ -103,6 +113,16 @@ func WithChurn(points []Point, spec string) []Point {
 	return out
 }
 
+// WithMode returns the points with the given operating-mode spec stamped on
+// every coordinate ("" clears it).
+func WithMode(points []Point, spec string) []Point {
+	out := append([]Point(nil), points...)
+	for i := range out {
+		out[i].ModeSpec = spec
+	}
+	return out
+}
+
 // Outcome is the measured result at one point.
 type Outcome struct {
 	Point
@@ -130,6 +150,15 @@ type Outcome struct {
 	// outcomes and per-level deadline misses, indexed by sched.Criticality
 	// (all zero without a churn spec).
 	Admitted, Evicted, Missed [sched.NumCriticalities]int64
+	// ModeTransitions and ModeShedBE count operating-mode transitions and
+	// best-effort messages shed in Critical mode (zero without a mode spec;
+	// summed over rings on a multi-ring point).
+	ModeTransitions int64
+	ModeShedBE      int64
+	// BridgeDropped and BridgeOverflowed count bridge-queue backpressure
+	// drops and safety-cap overflows (multi-ring points only).
+	BridgeDropped    int64
+	BridgeOverflowed int64
 	// Err records a failed point (nil on success).
 	Err error
 }
@@ -203,6 +232,14 @@ func runPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
 		}
 		cfg.Faults = &plan
 	}
+	if pt.ModeSpec != "" {
+		ms, err := mode.ParseSpec(pt.ModeSpec)
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		cfg.Mode = &ms
+	}
 	net, err := network.New(cfg)
 	if err != nil {
 		out.Err = err
@@ -268,6 +305,16 @@ func collect(net *network.Network, out *Outcome) {
 	out.FaultsRecovered = m.FaultsRecovered.Value()
 	out.RingUtil = []float64{net.Admission().Utilisation()}
 	collectCrit(m, out)
+	collectMode(net, out)
+}
+
+// collectMode folds one ring's operating-mode counters into the outcome.
+func collectMode(net *network.Network, out *Outcome) {
+	if net.ModeController() == nil {
+		return
+	}
+	out.ModeTransitions += net.ModeController().Transitions()
+	out.ModeShedBE += net.Metrics().ModeShedBE.Value()
 }
 
 // collectCrit folds one ring's mixed-criticality counters into the outcome.
@@ -315,7 +362,19 @@ func runMultiPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
 			cfgs[i].Faults = &plan
 		}
 	}
-	m, err := network.NewMulti(network.MultiConfig{Topo: topo, RingConfigs: cfgs})
+	bridgeCap := 0
+	if pt.ModeSpec != "" {
+		ms, err := mode.ParseSpec(pt.ModeSpec)
+		if err != nil {
+			out.Err = err
+			return out
+		}
+		bridgeCap = ms.BridgeCap
+		for i := range cfgs {
+			cfgs[i].Mode = &ms
+		}
+	}
+	m, err := network.NewMulti(network.MultiConfig{Topo: topo, RingConfigs: cfgs, BridgeCap: bridgeCap})
 	if err != nil {
 		out.Err = err
 		return out
@@ -380,7 +439,9 @@ func runMultiPoint(ctx context.Context, pt Point, horizonSlots int64) Outcome {
 		out.FaultsRecovered += rm.FaultsRecovered.Value()
 		out.RingUtil = append(out.RingUtil, m.Ring(ri).Admission().Utilisation())
 		collectCrit(rm, &out)
+		collectMode(m.Ring(ri), &out)
 	}
+	out.BridgeDropped, out.BridgeOverflowed, _ = m.BridgeTotals()
 	out.MissRatio = stats.Ratio(misses, out.Delivered+misses)
 	out.GapFraction = float64(m.Ring(0).Metrics().GapTime) / float64(m.Now())
 	var crossBad, crossTotal int64
@@ -423,7 +484,7 @@ func RunCtx(ctx context.Context, points []Point, workers int, horizonSlots int64
 // CSVHeader is the pinned column order of WriteCSV. Remote (ccr-sweep
 // -remote) and local runs must produce byte-identical rows under it; a
 // round-trip test in serve enforces that, so extend it deliberately.
-const CSVHeader = "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,faults_injected,faults_recovered,ring_util,cross_miss_ratio,admitted_hard,admitted_firm,admitted_be,evicted_hard,evicted_firm,evicted_be,missed_hard,missed_firm,missed_be,error"
+const CSVHeader = "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,faults_injected,faults_recovered,ring_util,cross_miss_ratio,admitted_hard,admitted_firm,admitted_be,evicted_hard,evicted_firm,evicted_be,missed_hard,missed_firm,missed_be,mode_transitions,mode_shed_be,bridge_dropped,bridge_overflowed,error"
 
 // ringUtilCSV joins the per-ring utilisations with ';' so they stay one CSV
 // column.
@@ -445,13 +506,14 @@ func WriteCSV(w io.Writer, outcomes []Outcome) error {
 		if o.Err != nil {
 			errStr = o.Err.Error()
 		}
-		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%d,%d,%.6f,%.3f,%.4f,%.6f,%d,%d,%s,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%.4f,%s,%d,%d,%.6f,%.3f,%.4f,%.6f,%d,%d,%s,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
 			o.Protocol, o.Nodes, o.Load, o.Locality, o.Seed,
 			o.Delivered, o.MissRatio, o.P99Latency.Micros(), o.ReuseFactor, o.GapFraction,
 			o.FaultsInjected, o.FaultsRecovered, ringUtilCSV(o.RingUtil), o.CrossMissRatio,
 			o.Admitted[sched.CritHard], o.Admitted[sched.CritFirm], o.Admitted[sched.CritBestEffort],
 			o.Evicted[sched.CritHard], o.Evicted[sched.CritFirm], o.Evicted[sched.CritBestEffort],
-			o.Missed[sched.CritHard], o.Missed[sched.CritFirm], o.Missed[sched.CritBestEffort], errStr); err != nil {
+			o.Missed[sched.CritHard], o.Missed[sched.CritFirm], o.Missed[sched.CritBestEffort],
+			o.ModeTransitions, o.ModeShedBE, o.BridgeDropped, o.BridgeOverflowed, errStr); err != nil {
 			return err
 		}
 	}

@@ -96,7 +96,7 @@ func TestWriteCSV(t *testing.T) {
 // and local runs must emit byte-identical files, so any header change has to
 // land in SweepOutcome and its conversions at the same time.
 func TestCSVHeaderPinned(t *testing.T) {
-	const want = "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,faults_injected,faults_recovered,ring_util,cross_miss_ratio,admitted_hard,admitted_firm,admitted_be,evicted_hard,evicted_firm,evicted_be,missed_hard,missed_firm,missed_be,error"
+	const want = "protocol,nodes,load,locality,seed,delivered,miss_ratio,p99_latency_us,reuse_factor,gap_fraction,faults_injected,faults_recovered,ring_util,cross_miss_ratio,admitted_hard,admitted_firm,admitted_be,evicted_hard,evicted_firm,evicted_be,missed_hard,missed_firm,missed_be,mode_transitions,mode_shed_be,bridge_dropped,bridge_overflowed,error"
 	if CSVHeader != want {
 		t.Fatalf("CSVHeader = %q, want %q", CSVHeader, want)
 	}
@@ -186,6 +186,58 @@ func TestChurnPointBatchedMatches(t *testing.T) {
 				t.Fatalf("churn point %d in group of %d", i, len(g))
 			}
 		}
+	}
+}
+
+// TestModePoint: an operating-mode spec on an overloaded point (forced load
+// past the schedulable bound) drives the hysteresis controller through at
+// least one transition, deterministically.
+func TestModePoint(t *testing.T) {
+	pt := Point{Protocol: "ccr-edf", Nodes: 16, Load: 1.5, Locality: "uniform", Seed: 7,
+		ModeSpec: "window=64,dmiss=0.01,cmiss=0.05,cool=2"}
+	out := runPoint(context.Background(), pt, 20000)
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if out.ModeTransitions == 0 {
+		t.Fatal("overloaded mode point never left Normal")
+	}
+	again := runPoint(context.Background(), pt, 20000)
+	if !reflect.DeepEqual(out, again) {
+		t.Fatalf("mode point not reproducible:\n%+v\n%+v", out, again)
+	}
+	if got := pt.String(); got != "ccr-edf/N16/U1.50/uniform/s7/m[window=64,dmiss=0.01,cmiss=0.05,cool=2]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestModePointBatchedMatches: mode points form singleton batch groups.
+func TestModePointBatchedMatches(t *testing.T) {
+	pts := smallGrid()[:2]
+	pts = append(pts, Point{Protocol: "ccr-edf", Nodes: 8, Load: 0.2, Locality: "uniform", Seed: 3,
+		ModeSpec: "window=64"})
+	want := Run(pts, 1, 2000)
+	got := RunBatched(pts, 2, DefaultBatch, 2000)
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("outcome %d diverges:\n%+v\n%+v", i, got[i], want[i])
+		}
+	}
+	for _, g := range Batches(pts, DefaultBatch) {
+		for _, i := range g {
+			if pts[i].ModeSpec != "" && len(g) != 1 {
+				t.Fatalf("mode point %d in group of %d", i, len(g))
+			}
+		}
+	}
+}
+
+func TestModeSpecInvalid(t *testing.T) {
+	pt := Point{Protocol: "ccr-edf", Nodes: 8, Load: 0.2, Locality: "uniform", Seed: 1,
+		ModeSpec: "dmiss=2"}
+	out := runPoint(context.Background(), pt, 100)
+	if out.Err == nil {
+		t.Fatal("invalid mode spec should fail the point")
 	}
 }
 

@@ -43,6 +43,10 @@ type MultiConfig struct {
 	// RelaySlots is each bridge's store-and-forward latency in downstream
 	// slot times (default 1).
 	RelaySlots int
+	// Mode enables the operating-mode protocol fabric-wide: every ring whose
+	// own Config.Mode is nil inherits this spec, and the spec's BridgeCap
+	// bounds each bridge queue with EDF-aware backpressure. Nil disables.
+	Mode *ModeSpec
 }
 
 // DefaultMultiConfig returns a MultiConfig for the given ring-of-rings spec
@@ -103,6 +107,10 @@ func NewMulti(cfg MultiConfig) (*MultiNetwork, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ccredf: rings[%d]: %w", i, err)
 		}
+		ringMode := rc.Mode
+		if ringMode == nil {
+			ringMode = cfg.Mode
+		}
 		ringCfgs[i] = network.Config{
 			Params:            rc.Params,
 			Protocol:          proto,
@@ -114,12 +122,18 @@ func NewMulti(cfg MultiConfig) (*MultiNetwork, error) {
 			SecondaryRequests: rc.SecondaryRequests,
 			FailMasterAt:      rc.FailMasterAt,
 			Faults:            rc.Faults,
+			Mode:              ringMode,
 		}
+	}
+	bridgeCap := 0
+	if cfg.Mode != nil {
+		bridgeCap = cfg.Mode.BridgeCap
 	}
 	inner, err := network.NewMulti(network.MultiConfig{
 		Topo:        topo,
 		RingConfigs: ringCfgs,
 		RelaySlots:  cfg.RelaySlots,
+		BridgeCap:   bridgeCap,
 	})
 	if err != nil {
 		return nil, err

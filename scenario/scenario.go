@@ -78,6 +78,14 @@ type Scenario struct {
 	// runs on ring 0. Omitted leaves the run byte-identical to a
 	// churn-free network.
 	Churn *ccredf.ChurnSpec `json:"churn,omitempty"`
+	// Mode enables the graceful-degradation operating-mode protocol: a
+	// hysteresis state machine over per-window miss ratio and backlog that
+	// gates firm admissions in Degraded mode and sheds best-effort traffic in
+	// Critical mode (internal/mode). With a topology the spec applies to
+	// every ring and its bridge_cap bounds the bridge queues with EDF-aware
+	// backpressure. Omitted leaves the run byte-identical to a mode-free
+	// network.
+	Mode *ccredf.ModeSpec `json:"mode,omitempty"`
 
 	// Physics overrides (zero = default).
 	LinkLengthM      float64   `json:"link_length_m,omitempty"`
@@ -244,6 +252,11 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("scenario: churn: rate_per_sec must be positive")
 		}
 		if err := s.Churn.Normalised().Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
+	if s.Mode != nil {
+		if err := s.Mode.Normalised().Validate(); err != nil {
 			return fmt.Errorf("scenario: %w", err)
 		}
 	}
@@ -480,6 +493,7 @@ func (s *Scenario) Build() (*Result, error) {
 	cfg.CheckInvariants = s.CheckInvariants
 	cfg.DataCheck = s.DataCheck
 	cfg.Faults = s.Faults
+	cfg.Mode = s.Mode
 	cfg.Seed = s.Seed
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
@@ -622,6 +636,7 @@ func (s *Scenario) buildMulti() (*Result, error) {
 			rc.Params.SlotPayloadBytes = s.SlotPayloadBytes
 		}
 	}
+	mcfg.Mode = s.Mode
 	mcfg.Rings[0].Faults = s.Faults
 	for i := range s.RingFaults {
 		rf := &s.RingFaults[i]

@@ -2,6 +2,7 @@ package ccredf
 
 import (
 	"ccredf/internal/churn"
+	"ccredf/internal/mode"
 	"ccredf/internal/rng"
 	"ccredf/internal/services"
 	"ccredf/internal/traffic"
@@ -155,3 +156,22 @@ var ParseChurnSpec = churn.ParseSpec
 func (n *Network) AttachChurn(spec ChurnSpec) (*ChurnStats, error) {
 	return churn.Attach(n.Network, spec)
 }
+
+// ModeSpec configures the graceful-degradation operating-mode protocol: a
+// hysteresis state machine over per-window deadline-miss ratio and backlog
+// (internal/mode, DESIGN.md §16). Set it on Config.Mode / MultiConfig.Mode.
+type ModeSpec = mode.Spec
+
+// OperatingMode is the system operating mode (Normal, Degraded, Critical).
+type OperatingMode = mode.Mode
+
+// Operating modes, ordered by severity.
+const (
+	ModeNormal   = mode.Normal
+	ModeDegraded = mode.Degraded
+	ModeCritical = mode.Critical
+)
+
+// ParseModeSpec parses the compact -mode command-line specification
+// (window=...,dmiss=...,cmiss=...,dback=...,cback=...,exit=...,cool=...,bcap=...).
+var ParseModeSpec = mode.ParseSpec

@@ -1,0 +1,155 @@
+//go:build soak
+
+package ccredf_test
+
+import (
+	"testing"
+
+	"ccredf"
+)
+
+// TestModeSoak is the long graceful-degradation soak (build tag "soak"): a
+// 16-node ring under admission-governed firm/best-effort churn takes a
+// sustained non-real-time submission flood and a randomized crash/restart
+// schedule, driving the operating-mode protocol through Degraded into
+// Critical and — once the flood lifts — back down to Normal through the
+// cool-down. The explicitly admitted hard connection must come through
+// untouched (zero hard deadline misses, zero hard evictions), the
+// controller must not flap across thousands of windows, and the run must
+// end in Normal. Run with: go test -tags soak -run TestModeSoak .
+func TestModeSoak(t *testing.T) {
+	const (
+		nodes     = 16
+		horizon   = 200_000
+		floodEnds = horizon / 16
+		chunks    = 15
+	)
+	rnd := ccredf.NewRand(424242)
+	plan := &ccredf.FaultPlan{Seed: 424242}
+	// Randomized crash/restart windows, clear of the horizon edges and of
+	// the hard connection's endpoints (nodes 1 and 7), so the zero-hard-miss
+	// check stays exact: crashes may only perturb churned and flooded
+	// traffic, never the protected class.
+	for n := 0; n < nodes; n++ {
+		if n == 1 || n == 7 {
+			continue
+		}
+		at := int64(5_000 + rnd.Intn(20_000))
+		for at < horizon-20_000 {
+			restart := at + int64(100+rnd.Intn(2000))
+			plan.Crashes = append(plan.Crashes, ccredf.FaultCrash{Node: n, At: at, Restart: restart})
+			at = restart + int64(20_000+rnd.Intn(60_000))
+		}
+	}
+
+	cfg := ccredf.DefaultConfig(nodes)
+	cfg.CheckInvariants = true
+	cfg.Seed = 77
+	cfg.Faults = plan
+	cfg.DropLate = true
+	cfg.Mode = &ccredf.ModeSpec{
+		WindowSlots: 64, DegradeMiss: 0.02, CriticalMiss: 0.5,
+		DegradeBacklog: 96, CriticalBacklog: 256,
+		ExitFrac: 0.5, CooldownWindows: 2,
+	}
+	net, err := ccredf.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := net.Params().SlotTime()
+
+	// The one hard connection the protocol exists to protect.
+	if _, err := net.OpenConnection(ccredf.Connection{
+		Src: 1, Dests: ccredf.Node(7), Period: 64 * slot, Slots: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Firm/best-effort churn only (HardFrac 0), so admission decisions keep
+	// flowing for Degraded mode to gate.
+	st, err := net.AttachChurn(ccredf.ChurnSpec{
+		RatePerSec: 60_000,
+		MeanHoldUs: 1500,
+		FirmFrac:   0.6,
+		Seed:       5151,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The overload: a non-real-time submission flood. Non-real-time traffic
+	// is served only in slack, so it saturates the backlog signal without
+	// ever displacing admitted real-time traffic.
+	pumping := true
+	var pump func(now ccredf.Time)
+	pump = func(now ccredf.Time) {
+		if !pumping {
+			return
+		}
+		for _, src := range []int{0, 6} {
+			net.SubmitMessage(ccredf.ClassNonRealTime, src, ccredf.Node((src+7)%nodes), 1, 0) //nolint:errcheck
+		}
+		net.After(slot, pump)
+	}
+	net.After(slot, pump)
+
+	net.RunSlots(floodEnds)
+	if got := net.Mode(); got < ccredf.ModeDegraded {
+		t.Fatalf("at flood peak mode = %v, want >= degraded (backlog %d)", got, net.QueueDepth())
+	}
+	pumping = false
+
+	adm := net.Admission()
+	const eps = 1e-12
+	for i := 0; i < chunks; i++ {
+		net.RunSlots((horizon - floodEnds) / chunks)
+		if u := adm.Density(); u > adm.UMax()+eps {
+			t.Fatalf("checkpoint %d: total density %.6f exceeds U_max %.6f", i, u, adm.UMax())
+		}
+	}
+
+	s := net.Snapshot()
+	mc := net.ModeController()
+	t.Logf("mode soak: %d slots, %d arrivals, mode %v, transitions %d (degraded %d, critical %d), gated %d, shed %d, %d crashes",
+		s.Slots, st.Arrivals, net.Mode(), mc.Transitions(),
+		mc.Entries(ccredf.ModeDegraded), mc.Entries(ccredf.ModeCritical),
+		s.ModeGated, s.ModeShedBE, s.NodeCrashes)
+
+	if s.MissedHard != 0 {
+		t.Errorf("hard deadline misses: %d", s.MissedHard)
+	}
+	if st.Evicted[ccredf.CritHard] != 0 {
+		t.Errorf("hard evictions: %d", st.Evicted[ccredf.CritHard])
+	}
+	if mc.Entries(ccredf.ModeDegraded) == 0 {
+		t.Error("never entered degraded")
+	}
+	if mc.Entries(ccredf.ModeCritical) == 0 {
+		t.Error("never entered critical")
+	}
+	if got := net.Mode(); got != ccredf.ModeNormal {
+		t.Errorf("did not return to normal after the flood lifted: %v", got)
+	}
+	if s.ModeGated == 0 {
+		t.Error("degraded mode gated no admissions")
+	}
+	if s.ModeShedBE == 0 {
+		t.Error("critical mode shed no best-effort releases")
+	}
+	windows := int64(horizon) / cfg.Mode.WindowSlots
+	if tr := mc.Transitions(); tr > windows/8 {
+		t.Errorf("flapping: %d transitions over %d windows", tr, windows)
+	}
+	if st.Arrivals < 10_000 {
+		t.Errorf("only %d churn arrivals; the generator stalled", st.Arrivals)
+	}
+	if s.NodeCrashes == 0 {
+		t.Fatal("soak injected no crashes; the plan is broken")
+	}
+	if s.Violations != 0 {
+		t.Errorf("invariant violations under mode soak: %d", s.Violations)
+	}
+	if s.WireErrors != 0 {
+		t.Errorf("wire errors: %d", s.WireErrors)
+	}
+}
